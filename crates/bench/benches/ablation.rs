@@ -1,0 +1,47 @@
+//! Ablation ladder for the pipe path, plus the size sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexrpc_bench::ablate::{fig10_pair, PipeStep, SweepCell};
+use flexrpc_kernel::TrustLevel;
+
+const TOTAL: usize = 256 * 1024;
+
+fn pipe_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipe_ladder");
+    group.throughput(Throughput::Bytes(TOTAL as u64));
+    group.sample_size(20);
+    for step in PipeStep::ALL {
+        let mut h = step.harness(4096);
+        group.bench_function(BenchmarkId::from_parameter(step.label()), |b| {
+            b.iter(|| h.transfer(TOTAL, 2048).expect("transfer"));
+        });
+    }
+    group.finish();
+}
+
+fn trust_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_trust_sweep");
+    for size in [0usize, 256, 1024, 4096, 16384] {
+        for (label, cl, sv) in [
+            ("no-trust", TrustLevel::None, TrustLevel::None),
+            ("full-trust", TrustLevel::LeakyUnprotected, TrustLevel::LeakyUnprotected),
+        ] {
+            let mut cell = SweepCell::new(cl, sv, size);
+            group.bench_function(BenchmarkId::new(label, size), |b| b.iter(|| cell.call()));
+        }
+    }
+    group.finish();
+}
+
+fn fig10_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fig10_sweep");
+    for size in [64usize, 256, 1024, 4096, 16384] {
+        let (mut fixed, mut flex) = fig10_pair(size);
+        group.bench_function(BenchmarkId::new("fixed-copy", size), |b| b.iter(|| fixed.call()));
+        group.bench_function(BenchmarkId::new("flexible", size), |b| b.iter(|| flex.call()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipe_ladder, trust_size_sweep, fig10_size_sweep);
+criterion_main!(benches);

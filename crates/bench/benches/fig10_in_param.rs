@@ -1,0 +1,22 @@
+//! Figure 10 — same-domain RPC, 1 KB `in` parameter: copy vs borrow vs
+//! flexible mutability semantics across the four requirement groups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrpc_bench::fig10::{Group, Runner, System, PARAM_SIZE};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_in_param");
+    for g in Group::ALL {
+        for system in System::ALL {
+            let mut r = Runner::new(system, g, PARAM_SIZE);
+            let id = format!("{}/{}", g.label(), system.label());
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| r.call());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 11 — same-domain RPC, 1 KB `out` parameter: allocation
+//! semantics (server-alloc / client-alloc / flexible) across groups.
+//! Each bar includes the glue work its fixed semantics forces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrpc_bench::fig11::{Group, Runner, System, PARAM_SIZE};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_out_param");
+    for g in Group::ALL {
+        for system in System::ALL {
+            let mut r = Runner::new(system, g, PARAM_SIZE);
+            let id = format!("{}/{}", g.label(), system.label());
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| r.call());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 12 — null RPC latency across the 3×3 trust matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrpc_bench::fig12::Cell;
+use flexrpc_kernel::TrustLevel;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_trust");
+    for client in TrustLevel::ALL {
+        for server in TrustLevel::ALL {
+            let cell = Cell::new(client, server);
+            let id = format!("client-{}/server-{}", client.label(), server.label());
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| cell.null_rpc());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

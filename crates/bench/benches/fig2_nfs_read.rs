@@ -1,0 +1,32 @@
+//! Figure 2 — NFS read, client processing time per stub variant.
+//!
+//! Measured time is the *client CPU* component of each bar; the constant
+//! "network + server" component is the deterministic wire clock reported by
+//! the `report` binary. The paper's shape: hand ≈ generated within a
+//! presentation; the user-space-buffer presentation beats conventional.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexrpc_bench::fig2::{Fig2, CHUNK};
+use flexrpc_nfs::client::ClientVariant;
+
+/// A bench-sized file: 1 MB keeps Criterion iterations reasonable while
+/// preserving the 8 KB-chunk structure (the report binary runs the full
+/// 8 MB figure workload).
+const FILE_LEN: usize = 1024 * 1024;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_nfs_read");
+    group.throughput(Throughput::Bytes(FILE_LEN as u64));
+    group.sample_size(20);
+    let _ = CHUNK;
+    for variant in ClientVariant::ALL {
+        let mut f = Fig2::new(FILE_LEN);
+        group.bench_function(BenchmarkId::from_parameter(variant.label()), |b| {
+            b.iter(|| f.run(variant, FILE_LEN));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 6 — pipe throughput over kernel IPC: default vs `dealloc(never)`
+//! reply presentation, 4K and 8K pipe buffers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexrpc_bench::fig6::{harness, run, ReadPresentation, IO_SIZE, PIPE_CAPS};
+
+/// Bytes moved per iteration.
+const TOTAL: usize = 256 * 1024;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_pipe_ipc");
+    group.throughput(Throughput::Bytes(TOTAL as u64));
+    group.sample_size(20);
+    let _ = IO_SIZE;
+    for cap in PIPE_CAPS {
+        for mode in [ReadPresentation::Default, ReadPresentation::DeallocNever] {
+            let mut h = harness(cap, mode);
+            let id = format!("{}k-{}", cap / 1024, mode.label());
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| run(&mut h, TOTAL));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 7 — pipe throughput over fbufs: standard (LRPC-like) vs
+//! `[special]` (data stays in fbufs through the server), plus the
+//! monolithic BSD-pipe reference bar.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexrpc_bench::fig7::{harness, run, BsdRef, FbufMode, PIPE_CAPS};
+
+/// Bytes moved per iteration.
+const TOTAL: usize = 256 * 1024;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_pipe_fbufs");
+    group.throughput(Throughput::Bytes(TOTAL as u64));
+    group.sample_size(20);
+    for cap in PIPE_CAPS {
+        for mode in [FbufMode::Standard, FbufMode::Special] {
+            let mut h = harness(cap, mode);
+            let id = format!("{}k-{}", cap / 1024, mode.label());
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| run(&mut h, TOTAL));
+            });
+        }
+    }
+    let mut bsd = BsdRef::new();
+    group.bench_function(BenchmarkId::from_parameter("bsd-monolithic-4k"), |b| {
+        b.iter(|| bsd.run(TOTAL));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! §4.5 inline measurement — port-right transfer with and without the
+//! unique-name requirement (`[nonunique]`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexrpc_bench::port::PortTransfer;
+use flexrpc_kernel::NameMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tbl_port_transfer");
+    for (label, mode) in [("unique", NameMode::Unique), ("nonunique", NameMode::NonUnique)] {
+        let t = PortTransfer::new(mode);
+        t.transfer_once(); // Warm the name tables.
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| t.transfer_once());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

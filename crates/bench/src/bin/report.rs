@@ -1,0 +1,370 @@
+//! Prints paper-style result rows for every measured figure.
+//!
+//! Usage: `report [figure...] [--json PATH]`
+//! where figure ∈ {fig2, fig6, fig7, fig10, fig11, fig12, port}; no
+//! arguments runs everything. `--json` additionally writes the numbers as
+//! JSON (used to refresh EXPERIMENTS.md).
+
+use flexrpc_bench::{ablate, fig10, fig11, fig12, fig2, fig6, fig7, measure_ns, port};
+use flexrpc_kernel::{NameMode, TrustLevel};
+use flexrpc_nfs::client::ClientVariant;
+use flexrpc_pipes::fbuf::FbufMode;
+use flexrpc_pipes::server::ReadPresentation;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize, Default)]
+struct Report {
+    /// figure → row label → value (ns or MB/s as noted per figure).
+    figures: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+impl Report {
+    fn put(&mut self, fig: &str, row: &str, value: f64) {
+        self.figures.entry(fig.into()).or_default().insert(row.into(), value);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+    let selected: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| s.starts_with("fig") || *s == "port" || *s == "ablate")
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    let mut report = Report::default();
+    if want("fig2") {
+        run_fig2(&mut report);
+    }
+    if want("fig6") {
+        run_fig6(&mut report);
+    }
+    if want("fig7") {
+        run_fig7(&mut report);
+    }
+    if want("fig10") {
+        run_fig10(&mut report);
+    }
+    if want("fig11") {
+        run_fig11(&mut report);
+    }
+    if want("fig12") {
+        run_fig12(&mut report);
+    }
+    if want("port") {
+        run_port(&mut report);
+    }
+    if want("ablate") {
+        run_ablate(&mut report);
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("serializes");
+        std::fs::write(&path, json).expect("json written");
+        println!("\nwrote {path}");
+    }
+}
+
+fn run_fig2(report: &mut Report) {
+    println!("== Figure 2: NFS 8MB read — client processing per variant ==");
+    println!("(wire+server time is the deterministic clock, identical per variant)");
+    let file_len = fig2::FILE_LEN;
+    // Interleave rounds across variants so CPU-frequency drift and cache
+    // state cannot systematically favor whichever variant runs last.
+    const ROUNDS: usize = 9;
+    let mut harnesses: Vec<fig2::Fig2> =
+        ClientVariant::ALL.iter().map(|_| fig2::Fig2::new(file_len)).collect();
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); ClientVariant::ALL.len()];
+    // Warm-up pass.
+    for (i, v) in ClientVariant::ALL.iter().enumerate() {
+        harnesses[i].run(*v, file_len);
+    }
+    for _ in 0..ROUNDS {
+        for (i, v) in ClientVariant::ALL.iter().enumerate() {
+            // Client processing = measured total minus the far side's real
+            // CPU time, matching the figure's bar decomposition.
+            let service0 = harnesses[i].service_ns();
+            let t0 = std::time::Instant::now();
+            harnesses[i].run(*v, file_len);
+            let total = t0.elapsed().as_nanos() as f64;
+            let service = (harnesses[i].service_ns() - service0) as f64;
+            samples[i].push(total - service);
+        }
+    }
+    let mut base_ms = 0.0;
+    for (i, variant) in ClientVariant::ALL.iter().enumerate() {
+        samples[i].sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let cpu_ms = samples[i][ROUNDS / 2] / 1e6;
+        if *variant == ClientVariant::ConventionalGenerated {
+            base_ms = cpu_ms;
+        }
+        let delta = if base_ms > 0.0 { (base_ms - cpu_ms) / base_ms * 100.0 } else { 0.0 };
+        println!(
+            "  {:26} client-cpu {:9.3} ms   vs conventional-generated: {:+.1}%",
+            variant.label(),
+            cpu_ms,
+            delta
+        );
+        report.put("fig2", &format!("{}-client-cpu-ms", variant.label()), cpu_ms);
+    }
+    // One clean run for the constant wire + server component.
+    let mut f = fig2::Fig2::new(file_len);
+    let w0 = f.wire_ns();
+    f.run(ClientVariant::ConventionalGenerated, file_len);
+    let wire_ms = (f.wire_ns() - w0) as f64 / 1e6;
+    println!("  network+server (simulated)   {wire_ms:9.3} ms  (constant across variants)");
+    report.put("fig2", "wire-ms", wire_ms);
+}
+
+/// Interleaved paired measurement: alternates the two closures round-robin
+/// so frequency drift and scheduling noise hit both equally; returns the
+/// per-iteration median nanoseconds of each.
+fn measure_pair(
+    rounds: usize,
+    iters: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (f64, f64) {
+    let mut sa = Vec::with_capacity(rounds);
+    let mut sb = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        sa.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            b();
+        }
+        sb.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    (sa[rounds / 2], sb[rounds / 2])
+}
+
+fn run_fig6(report: &mut Report) {
+    println!("\n== Figure 6: pipe server over kernel IPC (throughput) ==");
+    let total = 512 * 1024;
+    for cap in fig6::PIPE_CAPS {
+        let mut h_default = fig6::harness(cap, ReadPresentation::Default);
+        let mut h_never = fig6::harness(cap, ReadPresentation::DeallocNever);
+        fig6::run(&mut h_default, total); // Warm-up.
+        fig6::run(&mut h_never, total);
+        let (ns_default, ns_never) = measure_pair(
+            15,
+            4,
+            || { fig6::run(&mut h_default, total); },
+            || { fig6::run(&mut h_never, total); },
+        );
+        let per_mode = [
+            total as f64 / (ns_default / 1e9) / 1e6,
+            total as f64 / (ns_never / 1e9) / 1e6,
+        ];
+        for (mode, mbs) in
+            [ReadPresentation::Default, ReadPresentation::DeallocNever].iter().zip(per_mode)
+        {
+            println!("  {}K pipe, {:24} {:8.1} MB/s", cap / 1024, mode.label(), mbs);
+            report.put("fig6", &format!("{}k-{}-mbps", cap / 1024, mode.label()), mbs);
+        }
+        println!(
+            "  {}K pipe: dealloc(never) improvement: {:+.1}%  (paper: +{}%)",
+            cap / 1024,
+            (per_mode[1] - per_mode[0]) / per_mode[0] * 100.0,
+            if cap == 4096 { 21 } else { 24 }
+        );
+    }
+}
+
+fn run_fig7(report: &mut Report) {
+    println!("\n== Figure 7: pipe server over fbufs (throughput) ==");
+    let total = 512 * 1024;
+    for cap in fig7::PIPE_CAPS {
+        let mut h_std = fig7::harness(cap, FbufMode::Standard);
+        let mut h_sp = fig7::harness(cap, FbufMode::Special);
+        fig7::run(&mut h_std, total); // Warm-up.
+        fig7::run(&mut h_sp, total);
+        let (ns_std, ns_sp) = measure_pair(
+            15,
+            4,
+            || fig7::run(&mut h_std, total),
+            || fig7::run(&mut h_sp, total),
+        );
+        let per_mode =
+            [total as f64 / (ns_std / 1e9) / 1e6, total as f64 / (ns_sp / 1e9) / 1e6];
+        for (mode, mbs) in [FbufMode::Standard, FbufMode::Special].iter().zip(per_mode) {
+            println!("  {}K pipe, {:24} {:8.1} MB/s", cap / 1024, mode.label(), mbs);
+            report.put("fig7", &format!("{}k-{}-mbps", cap / 1024, mode.label()), mbs);
+        }
+        println!(
+            "  {}K pipe: [special] improvement: {:+.1}%  (paper: +{}%)",
+            cap / 1024,
+            (per_mode[1] - per_mode[0]) / per_mode[0] * 100.0,
+            if cap == 4096 { 92 } else { 160 }
+        );
+    }
+    let mut bsd = fig7::BsdRef::new();
+    bsd.run(total); // Warm-up.
+    let ns = measure_ns(7, 2, || bsd.run(total));
+    let mbs = total as f64 / (ns / 1e9) / 1e6;
+    println!("  BSD monolithic pipe (4K)       {mbs:8.1} MB/s  (reference)");
+    report.put("fig7", "bsd-monolithic-mbps", mbs);
+}
+
+fn run_fig10(report: &mut Report) {
+    println!("\n== Figure 10: same-domain 1KB in-param — mutability semantics (ns/call) ==");
+    println!(
+        "  {:32} {:>12} {:>12} {:>12}",
+        "group", "fixed-copy", "fixed-borrow", "flexible"
+    );
+    for g in fig10::Group::ALL {
+        let mut row = Vec::new();
+        for system in fig10::System::ALL {
+            let mut r = fig10::Runner::new(system, g, fig10::PARAM_SIZE);
+            let ns = measure_ns(5, 2000, || r.call());
+            row.push(ns);
+            report.put("fig10", &format!("{}-{}", g.label(), system.label()), ns);
+        }
+        println!(
+            "  {:32} {:>12.0} {:>12.0} {:>12.0}",
+            g.label(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+}
+
+fn run_fig11(report: &mut Report) {
+    println!("\n== Figure 11: same-domain 1KB out-param — allocation semantics (ns/call) ==");
+    println!(
+        "  {:32} {:>14} {:>14} {:>12}",
+        "group", "server-alloc", "client-alloc", "flexible"
+    );
+    for g in fig11::Group::ALL {
+        let mut row = Vec::new();
+        for system in fig11::System::ALL {
+            let mut r = fig11::Runner::new(system, g, fig11::PARAM_SIZE);
+            let ns = measure_ns(5, 2000, || r.call());
+            row.push(ns);
+            report.put("fig11", &format!("{}-{}", g.label(), system.label()), ns);
+        }
+        println!(
+            "  {:32} {:>14.0} {:>14.0} {:>12.0}",
+            g.label(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+}
+
+fn run_fig12(report: &mut Report) {
+    println!("\n== Figure 12: null RPC × trust matrix (ns/call) ==");
+    println!("  client-trust \\ server-trust    none      leaky  leaky+unprot");
+    let mut corner = (0.0, 0.0);
+    for client in TrustLevel::ALL {
+        let mut row = Vec::new();
+        for server in TrustLevel::ALL {
+            let cell = fig12::Cell::new(client, server);
+            let ns = measure_ns(5, 5000, || cell.null_rpc());
+            row.push(ns);
+            report.put(
+                "fig12",
+                &format!("client-{}-server-{}", client.label(), server.label()),
+                ns,
+            );
+            if client == TrustLevel::None && server == TrustLevel::None {
+                corner.0 = ns;
+            }
+            if client == TrustLevel::LeakyUnprotected && server == TrustLevel::LeakyUnprotected {
+                corner.1 = ns;
+            }
+        }
+        println!(
+            "  {:28} {:>8.0} {:>10.0} {:>13.0}",
+            client.label(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    println!(
+        "  no-trust → full-trust improvement: {:+.1}%  (paper: ~30%)",
+        (corner.0 - corner.1) / corner.0 * 100.0
+    );
+}
+
+fn run_ablate(report: &mut Report) {
+    println!("\n== Ablation: the pipe path, one presentation knob at a time ==");
+    let total = 512 * 1024;
+    let mut prev: Option<f64> = None;
+    for step in ablate::PipeStep::ALL {
+        let mut h = step.harness(4096);
+        h.transfer(total, 2048).expect("warm-up");
+        let ns = measure_ns(9, 2, || {
+            h.transfer(total, 2048).expect("transfer");
+        });
+        let mbs = total as f64 / (ns / 1e9) / 1e6;
+        let delta = prev.map(|p| format!("{:+.1}% vs previous", (mbs - p) / p * 100.0));
+        println!(
+            "  {:18} {:8.1} MB/s   {}",
+            step.label(),
+            mbs,
+            delta.unwrap_or_default()
+        );
+        report.put("ablate", &format!("pipe-{}-mbps", step.label()), mbs);
+        prev = Some(mbs);
+    }
+
+    println!("\n== Ablation: trust spread vs payload size (echo RPC, ns/call) ==");
+    println!("  {:>8} {:>12} {:>12} {:>8}", "bytes", "no-trust", "full-trust", "spread");
+    for size in [0usize, 256, 1024, 4096, 16384] {
+        let mut hard = ablate::SweepCell::new(
+            flexrpc_kernel::TrustLevel::None,
+            flexrpc_kernel::TrustLevel::None,
+            size,
+        );
+        let mut soft = ablate::SweepCell::new(
+            flexrpc_kernel::TrustLevel::LeakyUnprotected,
+            flexrpc_kernel::TrustLevel::LeakyUnprotected,
+            size,
+        );
+        let a = measure_ns(5, 3000, || hard.call());
+        let b = measure_ns(5, 3000, || soft.call());
+        println!(
+            "  {:>8} {:>12.0} {:>12.0} {:>7.1}%",
+            size,
+            a,
+            b,
+            (a - b) / a * 100.0
+        );
+        report.put("ablate", &format!("trust-spread-{size}b-pct"), (a - b) / a * 100.0);
+    }
+    println!("  (the paper's closing claim: the faster/lighter the transfer, the more");
+    println!("   presentation matters — the spread shrinks as payload grows)");
+}
+
+fn run_port(report: &mut Report) {
+    println!("\n== §4.5: port-right transfer, unique vs [nonunique] (ns/transfer) ==");
+    let mut vals = Vec::new();
+    for (label, mode) in [("unique", NameMode::Unique), ("nonunique", NameMode::NonUnique)] {
+        let t = port::PortTransfer::new(mode);
+        t.transfer_once();
+        let ns = measure_ns(5, 5000, || t.transfer_once());
+        vals.push(ns);
+        println!("  {label:12} {ns:>10.0} ns   ({} probes/transfer)", t.probes_per_transfer());
+        report.put("port", label, ns);
+    }
+    println!(
+        "  [nonunique] improvement: {:+.1}%  (paper: 32.4µs → 24.7µs, 24%)",
+        (vals[0] - vals[1]) / vals[0] * 100.0
+    );
+}

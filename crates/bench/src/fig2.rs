@@ -1,0 +1,72 @@
+//! Figure 2 — NFS 8 MB read: user-space buffer presentation × stub origin.
+//!
+//! The paper's bars decompose into a constant "network and server" part and
+//! a varying "client processing" part. Here the client processing is real
+//! measured CPU time and the network/server part is the simulated wire
+//! clock, which is *identical* across variants by construction (asserted in
+//! the nfs crate's tests).
+
+use flexrpc_net::SimNet;
+use flexrpc_nfs::client::{ClientVariant, NfsClientHarness};
+use flexrpc_nfs::server::{serve_nfs, test_file};
+use flexrpc_nfs::FHSIZE;
+use std::sync::Arc;
+
+/// The paper's workload: an 8 MB file read in NFSv2's 8 KB chunks.
+pub const FILE_LEN: usize = 8 * 1024 * 1024;
+/// Chunk size per NFS read.
+pub const CHUNK: usize = 8192;
+
+/// One experiment instance: a network, a served file, and a client harness.
+pub struct Fig2 {
+    net: Arc<SimNet>,
+    harness: NfsClientHarness,
+}
+
+impl Fig2 {
+    /// Builds the experiment with a file of `file_len` bytes.
+    pub fn new(file_len: usize) -> Fig2 {
+        let net = SimNet::new();
+        let client_host = net.add_host("linux-486dx2");
+        let server_host = net.add_host("hp700-bsd");
+        let store = serve_nfs(&net, server_host);
+        let fh: [u8; FHSIZE] = store.lock().add_file(test_file(file_len, 42));
+        let harness = NfsClientHarness::new(Arc::clone(&net), client_host, server_host, fh, file_len);
+        Fig2 { net, harness }
+    }
+
+    /// Reads the whole file once with `variant`. Returns bytes read.
+    pub fn run(&mut self, variant: ClientVariant, file_len: usize) -> usize {
+        self.harness
+            .read_file(variant, file_len, CHUNK)
+            .expect("read succeeds");
+        file_len
+    }
+
+    /// Simulated wire + server nanoseconds accumulated so far.
+    pub fn wire_ns(&self) -> u64 {
+        self.net.wire_ns()
+    }
+
+    /// Real CPU nanoseconds spent in the server's handlers so far —
+    /// subtracted from measured totals so the reported number is *client*
+    /// processing, as in the paper's figure.
+    pub fn service_ns(&self) -> u64 {
+        self.net.service_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_all_variants() {
+        let len = 64 * 1024;
+        let mut f = Fig2::new(len);
+        for v in ClientVariant::ALL {
+            assert_eq!(f.run(v, len), len);
+        }
+        assert!(f.wire_ns() > 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 6 — pipe throughput over kernel IPC, default vs `dealloc(never)`.
+
+pub use flexrpc_pipes::ipc::PipeIpcHarness;
+pub use flexrpc_pipes::server::ReadPresentation;
+
+/// Total bytes moved through the pipe per measured run.
+pub const TOTAL: usize = 1024 * 1024;
+/// Per-operation I/O size (half the smaller pipe so flow control engages).
+pub const IO_SIZE: usize = 4096;
+
+/// The paper's two pipe-buffer sizes.
+pub const PIPE_CAPS: [usize; 2] = [4096, 8192];
+
+/// Builds a harness for `(cap, mode)`.
+pub fn harness(cap: usize, mode: ReadPresentation) -> PipeIpcHarness {
+    PipeIpcHarness::new(cap, mode)
+}
+
+/// Runs one transfer; returns (write_rpcs, read_rpcs).
+pub fn run(h: &mut PipeIpcHarness, total: usize) -> (u64, u64) {
+    h.transfer(total, IO_SIZE).expect("transfer succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_and_caps_run() {
+        for cap in PIPE_CAPS {
+            for mode in [ReadPresentation::Default, ReadPresentation::DeallocNever] {
+                let mut h = harness(cap, mode);
+                let (w, r) = run(&mut h, 64 * 1024);
+                assert!(w > 0 && r > 0);
+            }
+        }
+    }
+}

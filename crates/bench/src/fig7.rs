@@ -1,0 +1,76 @@
+//! Figure 7 — pipe throughput over fbufs (standard vs `[special]`), plus
+//! the monolithic BSD-pipe reference.
+
+pub use flexrpc_pipes::fbuf::{FbufMode, FbufPipeHarness};
+use flexrpc_kernel::{Kernel, TaskId, UserAddr};
+use flexrpc_pipes::bsd::BsdPipe;
+use std::sync::Arc;
+
+/// Total bytes per measured run.
+pub const TOTAL: usize = 1024 * 1024;
+/// Per-operation I/O size.
+pub const IO_SIZE: usize = 4096;
+/// The paper's two pipe-buffer sizes.
+pub const PIPE_CAPS: [usize; 2] = [4096, 8192];
+
+/// Builds an fbuf harness for `(cap, mode)`.
+pub fn harness(cap: usize, mode: FbufMode) -> FbufPipeHarness {
+    FbufPipeHarness::new(cap, IO_SIZE, mode)
+}
+
+/// Runs one fbuf transfer.
+pub fn run(h: &mut FbufPipeHarness, total: usize) {
+    h.transfer(total, IO_SIZE);
+}
+
+/// The monolithic reference setup.
+pub struct BsdRef {
+    pipe: BsdPipe,
+    writer: TaskId,
+    waddr: UserAddr,
+    reader: TaskId,
+    raddr: UserAddr,
+}
+
+impl BsdRef {
+    /// Builds the in-kernel pipe baseline (4K buffer, as in 4.3BSD).
+    pub fn new() -> BsdRef {
+        let k = Kernel::new();
+        let writer = k.create_task("writer", 2 * IO_SIZE + 4096).expect("task");
+        let reader = k.create_task("reader", 2 * IO_SIZE + 4096).expect("task");
+        let waddr = k.user_alloc(writer, IO_SIZE).expect("alloc");
+        let raddr = k.user_alloc(reader, IO_SIZE).expect("alloc");
+        let pipe = BsdPipe::new(Arc::clone(&k));
+        BsdRef { pipe, writer, waddr, reader, raddr }
+    }
+
+    /// Moves `total` bytes through the monolithic pipe.
+    pub fn run(&mut self, total: usize) {
+        self.pipe
+            .transfer(self.writer, self.waddr, self.reader, self.raddr, total, IO_SIZE)
+            .expect("transfer succeeds");
+    }
+}
+
+impl Default for BsdRef {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fbuf_modes_and_bsd_run() {
+        for cap in PIPE_CAPS {
+            for mode in [FbufMode::Standard, FbufMode::Special] {
+                let mut h = harness(cap, mode);
+                run(&mut h, 64 * 1024);
+            }
+        }
+        let mut b = BsdRef::new();
+        b.run(64 * 1024);
+    }
+}

@@ -1,0 +1,45 @@
+//! Experiment drivers for every measured figure in the paper.
+//!
+//! Each module builds one experiment's setup and exposes a `run`-shaped
+//! entry point used both by the Criterion benches (`benches/fig*.rs`) and
+//! by the `report` binary that prints paper-style rows for EXPERIMENTS.md.
+//! Keeping the drivers here guarantees the two measure the same code.
+
+pub mod ablate;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod port;
+
+/// Measures `f` with a simple best-of-trimmed-mean loop (the `report`
+/// binary's clock; Criterion is used for the statically-defined benches).
+///
+/// Runs `iters` iterations `rounds` times and returns the median round's
+/// mean nanoseconds per iteration.
+pub fn measure_ns(rounds: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    assert!(rounds >= 1 && iters >= 1);
+    let mut per_round = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_round.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_round.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    per_round[rounds / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn measure_ns_returns_positive() {
+        let ns = super::measure_ns(3, 10, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(ns > 0.0);
+    }
+}

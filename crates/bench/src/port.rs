@@ -1,0 +1,96 @@
+//! §4.5's first measurement — transferring a port right between tasks,
+//! with and without Mach's unique-name requirement.
+//!
+//! The paper: relaxing the single-name rule with `[nonunique]` cut a
+//! single-port transfer from 32.4 µs to 24.7 µs (24%), because the unique
+//! path must probe a reverse map and maintain reference counts "through
+//! many layers of function calls" while the relaxed path just mints a
+//! fresh name.
+
+use flexrpc_kernel::ipc::{BindOptions, MsgOut, ServerOptions};
+use flexrpc_kernel::{Connection, Kernel, NameMode, PortName};
+use std::sync::Arc;
+
+/// A port-transfer scenario: a connection whose server receives one send
+/// right per call (and releases it, keeping tables in steady state).
+pub struct PortTransfer {
+    kernel: Arc<Kernel>,
+    conn: Connection,
+    right: PortName,
+}
+
+impl PortTransfer {
+    /// Builds the scenario with the given name-translation mode.
+    pub fn new(mode: NameMode) -> PortTransfer {
+        let kernel = Kernel::new();
+        let client = kernel.create_task("client", 4096).expect("task");
+        let server = kernel.create_task("server", 4096).expect("task");
+        let third = kernel.create_task("object", 4096).expect("task");
+
+        // The object whose right is passed around.
+        let obj_port = kernel.port_allocate(third).expect("port");
+        let right = kernel.extract_send_right(third, obj_port, client).expect("right");
+
+        let port = kernel.port_allocate(server).expect("port");
+        let k2 = Arc::clone(&kernel);
+        kernel
+            .register_server(
+                server,
+                port,
+                ServerOptions { name_mode: mode, ..Default::default() },
+                move |_k, m| {
+                    // Consume the right: release it so per-call state stays
+                    // constant (a server done with a capability drops it).
+                    for name in &m.rights {
+                        k2.deallocate_right(server, *name).map_err(|_| 1u32)?;
+                    }
+                    Ok(MsgOut { regs: m.regs, body: Vec::new(), rights: vec![] })
+                },
+            )
+            .expect("register");
+        let send = kernel.extract_send_right(server, port, client).expect("right");
+        let conn = kernel.ipc_bind(client, send, BindOptions::default()).expect("bind");
+        PortTransfer { kernel, conn, right }
+    }
+
+    /// One RPC carrying one port right.
+    pub fn transfer_once(&self) {
+        self.kernel
+            .ipc_call(&self.conn, &[], &[self.right])
+            .expect("transfer succeeds");
+    }
+
+    /// Name-table probes per transfer (the deterministic cost model).
+    pub fn probes_per_transfer(&self) -> u64 {
+        let before = self.kernel.stats().snapshot();
+        self.transfer_once();
+        self.kernel.stats().snapshot().since(&before).name_table_probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_costs_more_probes() {
+        let unique = PortTransfer::new(NameMode::Unique);
+        let nonunique = PortTransfer::new(NameMode::NonUnique);
+        // Warm both (first unique transfer installs the name).
+        unique.transfer_once();
+        nonunique.transfer_once();
+        let u = unique.probes_per_transfer();
+        let n = nonunique.probes_per_transfer();
+        assert!(u > n, "unique={u} probes vs nonunique={n}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn rights_steady_state() {
+        let t = PortTransfer::new(NameMode::NonUnique);
+        for _ in 0..100 {
+            t.transfer_once();
+        }
+        // The server released every minted name; a healthy steady state.
+    }
+}

@@ -1,0 +1,190 @@
+//! `flexrpcgen` — the stub compiler as a command-line tool.
+//!
+//! The `rpcgen` of this system: reads an interface definition (CORBA `.idl`,
+//! Sun `.x`, or MIG `.defs`, selected by extension), optionally one PDL file
+//! per endpoint, and writes Rust stub source.
+//!
+//! ```text
+//! flexrpcgen INTERFACE[.idl|.x|.defs] [options]
+//!   --pdl FILE       presentation definition file (applies to both sides
+//!                    unless --client-pdl/--server-pdl are given)
+//!   --client-pdl F   PDL for the client side only
+//!   --server-pdl F   PDL for the server side only
+//!   --client-only    emit only client stubs
+//!   --server-only    emit only server traits/glue
+//!   -o FILE          output path (default: stdout)
+//! ```
+//!
+//! When the two sides get different PDLs, two modules are emitted
+//! (`mod client_side` / `mod server_side`) whose wire signatures are — by
+//! construction — identical.
+
+use flexrpc_codegen::{generate, GenOptions};
+use flexrpc_core::annot::apply_pdl;
+use flexrpc_core::ir::Module;
+use flexrpc_core::present::InterfacePresentation;
+use std::process::ExitCode;
+
+struct Args {
+    input: String,
+    pdl: Option<String>,
+    client_pdl: Option<String>,
+    server_pdl: Option<String>,
+    client_only: bool,
+    server_only: bool,
+    output: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: flexrpcgen INTERFACE[.idl|.x|.defs] [--pdl F] [--client-pdl F] \
+         [--server-pdl F] [--client-only|--server-only] [-o FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        input: String::new(),
+        pdl: None,
+        client_pdl: None,
+        server_pdl: None,
+        client_only: false,
+        server_only: false,
+        output: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pdl" => args.pdl = Some(it.next().ok_or_else(usage)?),
+            "--client-pdl" => args.client_pdl = Some(it.next().ok_or_else(usage)?),
+            "--server-pdl" => args.server_pdl = Some(it.next().ok_or_else(usage)?),
+            "--client-only" => args.client_only = true,
+            "--server-only" => args.server_only = true,
+            "-o" => args.output = Some(it.next().ok_or_else(usage)?),
+            "-h" | "--help" => return Err(usage()),
+            other if args.input.is_empty() && !other.starts_with('-') => {
+                args.input = other.to_owned();
+            }
+            other => {
+                eprintln!("flexrpcgen: unknown argument `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    if args.input.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn parse_interface(path: &str, src: &str) -> Result<Module, String> {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("module")
+        .to_owned();
+    let ext = std::path::Path::new(path).extension().and_then(|s| s.to_str()).unwrap_or("");
+    match ext {
+        "x" => flexrpc_idl::sunrpc::parse(&stem, src).map_err(|e| format!("{path}:{e}")),
+        "defs" => flexrpc_idl::mig::parse(&stem, src).map_err(|e| format!("{path}:{e}")),
+        "idl" => flexrpc_idl::corba::parse(&stem, src).map_err(|e| format!("{path}:{e}")),
+        _ => {
+            // No extension hint: try each front-end in turn.
+            flexrpc_idl::corba::parse(&stem, src)
+                .or_else(|_| flexrpc_idl::sunrpc::parse(&stem, src))
+                .or_else(|_| flexrpc_idl::mig::parse(&stem, src))
+                .map_err(|e| format!("{path}: not parseable by any front-end (last error: {e})"))
+        }
+    }
+}
+
+fn load_pdl(path: &Option<String>) -> Result<Option<flexrpc_core::annot::PdlFile>, String> {
+    match path {
+        None => Ok(None),
+        Some(p) => {
+            let src = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            flexrpc_idl::pdl::parse(&src).map(Some).map_err(|e| format!("{p}:{e}"))
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let args = parse_args().map_err(|_| String::new())?;
+    let src = std::fs::read_to_string(&args.input).map_err(|e| format!("{}: {e}", args.input))?;
+    let module = parse_interface(&args.input, &src)?;
+
+    let shared = load_pdl(&args.pdl)?;
+    let client_pdl = load_pdl(&args.client_pdl)?.or_else(|| shared.clone());
+    let server_pdl = load_pdl(&args.server_pdl)?.or(shared);
+    let split = args.client_pdl.is_some() || args.server_pdl.is_some();
+
+    let mut out = String::new();
+    for iface in &module.interfaces {
+        let base = InterfacePresentation::default_for(&module, iface)
+            .map_err(|e| format!("{}: {e}", iface.name))?;
+        let present = |pdl: &Option<flexrpc_core::annot::PdlFile>| -> Result<_, String> {
+            match pdl {
+                None => Ok(base.clone()),
+                Some(p) => apply_pdl(&module, iface, &base, p)
+                    .map_err(|e| format!("{}: {e}", iface.name)),
+            }
+        };
+        if split {
+            let cpres = present(&client_pdl)?;
+            let spres = present(&server_pdl)?;
+            out.push_str("pub mod client_side {\n");
+            out.push_str(&indent(&generate(
+                &module,
+                iface,
+                &cpres,
+                &GenOptions { client: true, server: false },
+            )
+            .map_err(|e| e.to_string())?));
+            out.push_str("}\n\npub mod server_side {\n");
+            out.push_str(&indent(&generate(
+                &module,
+                iface,
+                &spres,
+                &GenOptions { client: false, server: true },
+            )
+            .map_err(|e| e.to_string())?));
+            out.push_str("}\n");
+        } else {
+            let pres = present(&client_pdl)?;
+            let opts = GenOptions {
+                client: !args.server_only,
+                server: !args.client_only,
+            };
+            out.push_str(&generate(&module, iface, &pres, &opts).map_err(|e| e.to_string())?);
+        }
+    }
+
+    if let Some(path) = &args.output {
+        std::fs::write(path, &out).map_err(|e| format!("{path}: {e}"))?;
+        Ok(format!("wrote {path}"))
+    } else {
+        Ok(out)
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| if l.is_empty() { "\n".into() } else { format!("    {l}\n") }).collect()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            if !out.is_empty() {
+                println!("{out}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("flexrpcgen: {msg}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

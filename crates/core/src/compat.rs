@@ -1,0 +1,347 @@
+//! Bind-time negotiation of invocation semantics from presentation pairs.
+//!
+//! §4.4 of the paper: when client and server share a protection domain, the
+//! RPC system can short-circuit calls into procedure calls — but a fixed
+//! presentation still forces copies. Invocation semantics (copy vs. borrow,
+//! who allocates) are not themselves presentation attributes, because they
+//! are a contract between caller and callee; they can, however, be *derived
+//! from* presentation attributes declared independently on each side. These
+//! pure functions are that derivation; `flexrpc-runtime` evaluates them once
+//! at bind time and bakes the result into the binding.
+
+use crate::present::{AllocSemantics, ParamPresentation};
+
+/// What the binding must do with an `in`-direction payload parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InParamAction {
+    /// Pass the client's buffer through by reference; nobody copies.
+    Borrow,
+    /// The stub copies the buffer before the server sees it.
+    CopyInStub,
+}
+
+/// Decides copy-vs-borrow for a same-domain `in` payload (Figure 10).
+///
+/// The stub must copy only when *neither* side relaxed its constraint: the
+/// client insists its buffer survive (`!trashable`) *and* the server wants
+/// to modify what it receives (`!preserved`).
+pub fn in_param_action(client: &ParamPresentation, server: &ParamPresentation) -> InParamAction {
+    if client.trashable || server.preserved {
+        InParamAction::Borrow
+    } else {
+        InParamAction::CopyInStub
+    }
+}
+
+/// Fixed-presentation baselines for the Figure 10 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InFixedSystem {
+    /// The RPC system always provides copy (pass-by-value) semantics.
+    AlwaysCopy,
+    /// The RPC system always provides borrow semantics; a server that needs
+    /// to modify the buffer must copy it *itself* (glue code).
+    AlwaysBorrow,
+}
+
+/// What work each party performs for an `in` payload under a given system.
+///
+/// `server_modifies` is the server's actual requirement (the workload knob
+/// in Figure 10); `client_reusable` is whether the client needs its buffer
+/// intact afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InCosts {
+    /// Buffer-sized copies performed by the stub.
+    pub stub_copies: u32,
+    /// Buffer-sized copies the *server glue* must perform by hand.
+    pub server_glue_copies: u32,
+}
+
+/// Copy schedule of a fixed-presentation system for Figure 10's groups.
+pub fn in_fixed_costs(system: InFixedSystem, server_modifies: bool) -> InCosts {
+    match system {
+        InFixedSystem::AlwaysCopy => InCosts { stub_copies: 1, server_glue_copies: 0 },
+        InFixedSystem::AlwaysBorrow => InCosts {
+            stub_copies: 0,
+            server_glue_copies: if server_modifies { 1 } else { 0 },
+        },
+    }
+}
+
+/// Copy schedule of the flexible system for Figure 10's groups.
+///
+/// The client declares `trashable` iff it does not need the buffer back;
+/// the server declares `preserved` iff it does not modify. Flexible
+/// presentation then copies exactly when both constraints are live — and
+/// never needs hand-written glue.
+pub fn in_flexible_costs(client_needs_buffer: bool, server_modifies: bool) -> InCosts {
+    let client = ParamPresentation { trashable: !client_needs_buffer, ..Default::default() };
+    let server = ParamPresentation { preserved: !server_modifies, ..Default::default() };
+    match in_param_action(&client, &server) {
+        InParamAction::Borrow => InCosts { stub_copies: 0, server_glue_copies: 0 },
+        InParamAction::CopyInStub => InCosts { stub_copies: 1, server_glue_copies: 0 },
+    }
+}
+
+/// What the binding must do with an `out`-direction payload parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutParamAction {
+    /// The server work function fills the client's buffer in place.
+    DirectFill,
+    /// The server donates an owned buffer which the client consumes.
+    Donate,
+    /// Both sides insist on owning their buffer: the stub copies from the
+    /// server's buffer into the client's.
+    CopyInStub,
+}
+
+/// Decides allocation matching for a same-domain `out` payload (Figure 11).
+///
+/// Each side independently declares who it *expects* to allocate:
+/// the client's `alloc(caller)` means "I already have a buffer, fill it";
+/// the server's `dealloc(never)` means "the data lives in storage I keep".
+/// A copy is needed only when **both** insist on owning the bytes.
+pub fn out_param_action(client: &ParamPresentation, server: &ParamPresentation) -> OutParamAction {
+    let client_has_buffer = client.alloc == AllocSemantics::CallerAllocates;
+    let server_keeps_buffer = server.is_server_sink();
+    match (client_has_buffer, server_keeps_buffer) {
+        // Server produces into wherever the client wants: fill directly.
+        (true, false) => OutParamAction::DirectFill,
+        // Client takes whatever the server hands over: donate.
+        (false, false) => OutParamAction::Donate,
+        // Server's data stays in its own storage, client has no buffer:
+        // the stub lends the client a view/copy; with same-domain borrow
+        // rules this is a direct fill of a stub-allocated buffer — one
+        // allocation, no extra copy beyond producing the data.
+        (false, true) => OutParamAction::Donate,
+        // Both own storage: someone must copy; the stub does it so neither
+        // side writes glue.
+        (true, true) => OutParamAction::CopyInStub,
+    }
+}
+
+/// Fixed-presentation baselines for the Figure 11 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutFixedSystem {
+    /// "Server allocates, client consumes" — CORBA/COM move semantics.
+    ServerAllocates,
+    /// "Client allocates, server fills" — MIG-style semantics.
+    ClientAllocates,
+}
+
+/// Work each party performs for an `out` payload (Figure 11's bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutCosts {
+    /// Buffer-sized copies performed by the stub.
+    pub stub_copies: u32,
+    /// Buffer allocations performed by the stub/server on behalf of the RPC
+    /// system (beyond what the endpoints already own).
+    pub stub_allocs: u32,
+    /// Buffer-sized copies hand-written client glue must perform.
+    pub client_glue_copies: u32,
+    /// Buffer-sized copies hand-written server glue must perform.
+    pub server_glue_copies: u32,
+}
+
+/// Copy/alloc schedule of a fixed system given each endpoint's requirement.
+///
+/// `client_wants_own_buffer`: the client needs the data at a particular
+/// address (e.g. it is reading into a user-supplied buffer).
+/// `server_has_own_buffer`: the data already sits in server-owned storage.
+pub fn out_fixed_costs(
+    system: OutFixedSystem,
+    client_wants_own_buffer: bool,
+    server_has_own_buffer: bool,
+) -> OutCosts {
+    match system {
+        OutFixedSystem::ServerAllocates => OutCosts {
+            // The server must produce a donated buffer: if its data already
+            // lives elsewhere, glue copies it into a fresh allocation.
+            stub_allocs: 1,
+            server_glue_copies: if server_has_own_buffer { 1 } else { 0 },
+            // If the client wanted the data somewhere specific, glue copies
+            // from the donated buffer and frees it.
+            client_glue_copies: if client_wants_own_buffer { 1 } else { 0 },
+            stub_copies: 0,
+        },
+        OutFixedSystem::ClientAllocates => OutCosts {
+            // The client must present a buffer: if it did not have one, it
+            // allocates one (cheap) — no copy. The server must fill the
+            // caller's buffer: if its data lives in its own storage, glue
+            // copies it there.
+            stub_allocs: if client_wants_own_buffer { 0 } else { 1 },
+            server_glue_copies: if server_has_own_buffer { 1 } else { 0 },
+            client_glue_copies: 0,
+            stub_copies: 0,
+        },
+    }
+}
+
+/// Copy/alloc schedule of the flexible system for the same groups.
+pub fn out_flexible_costs(
+    client_wants_own_buffer: bool,
+    server_has_own_buffer: bool,
+) -> OutCosts {
+    let client = ParamPresentation {
+        alloc: if client_wants_own_buffer {
+            AllocSemantics::CallerAllocates
+        } else {
+            AllocSemantics::StubAllocates
+        },
+        ..Default::default()
+    };
+    let server = ParamPresentation {
+        dealloc: if server_has_own_buffer {
+            crate::present::DeallocPolicy::Never
+        } else {
+            crate::present::DeallocPolicy::OnReturn
+        },
+        ..Default::default()
+    };
+    match out_param_action(&client, &server) {
+        OutParamAction::DirectFill => OutCosts::default(),
+        OutParamAction::Donate => OutCosts {
+            stub_allocs: if server_has_own_buffer { 1 } else { 1 },
+            ..Default::default()
+        },
+        OutParamAction::CopyInStub => OutCosts { stub_copies: 1, ..Default::default() },
+    }
+}
+
+impl OutCosts {
+    /// Total buffer-sized copies, whoever performs them.
+    pub fn total_copies(&self) -> u32 {
+        self.stub_copies + self.client_glue_copies + self.server_glue_copies
+    }
+
+    /// Copies the *programmer* had to write by hand.
+    pub fn glue_copies(&self) -> u32 {
+        self.client_glue_copies + self.server_glue_copies
+    }
+}
+
+impl InCosts {
+    /// Total buffer-sized copies.
+    pub fn total_copies(&self) -> u32 {
+        self.stub_copies + self.server_glue_copies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ParamPresentation {
+        ParamPresentation::default()
+    }
+
+    #[test]
+    fn in_copy_only_when_both_constrained() {
+        // Paper: "the RPC stubs only need to make a separate copy of the
+        // parameter if neither the trashable nor the preserved attribute
+        // was specified."
+        let trash = ParamPresentation { trashable: true, ..p() };
+        let pres = ParamPresentation { preserved: true, ..p() };
+        assert_eq!(in_param_action(&p(), &p()), InParamAction::CopyInStub);
+        assert_eq!(in_param_action(&trash, &p()), InParamAction::Borrow);
+        assert_eq!(in_param_action(&p(), &pres), InParamAction::Borrow);
+        assert_eq!(in_param_action(&trash, &pres), InParamAction::Borrow);
+    }
+
+    #[test]
+    fn fig10_flexible_never_worse_than_either_fixed() {
+        for client_needs in [false, true] {
+            for server_mods in [false, true] {
+                let flex = in_flexible_costs(client_needs, server_mods).total_copies();
+                let copy =
+                    in_fixed_costs(InFixedSystem::AlwaysCopy, server_mods).total_copies();
+                let borrow =
+                    in_fixed_costs(InFixedSystem::AlwaysBorrow, server_mods).total_copies();
+                assert!(flex <= copy.min(borrow), "group ({client_needs},{server_mods})");
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_flexible_copies_only_in_worst_group() {
+        // The only group needing a copy: client wants its buffer back AND
+        // the server modifies in place.
+        assert_eq!(in_flexible_costs(true, true).stub_copies, 1);
+        assert_eq!(in_flexible_costs(true, false).total_copies(), 0);
+        assert_eq!(in_flexible_costs(false, true).total_copies(), 0);
+        assert_eq!(in_flexible_costs(false, false).total_copies(), 0);
+    }
+
+    #[test]
+    fn fig10_fixed_copy_always_pays() {
+        for m in [false, true] {
+            assert_eq!(in_fixed_costs(InFixedSystem::AlwaysCopy, m).stub_copies, 1);
+        }
+    }
+
+    #[test]
+    fn fig10_fixed_borrow_pushes_glue_to_server() {
+        let c = in_fixed_costs(InFixedSystem::AlwaysBorrow, true);
+        assert_eq!(c.stub_copies, 0);
+        assert_eq!(c.server_glue_copies, 1);
+    }
+
+    #[test]
+    fn out_action_matrix() {
+        let caller = ParamPresentation { alloc: AllocSemantics::CallerAllocates, ..p() };
+        let keeps = ParamPresentation {
+            dealloc: crate::present::DeallocPolicy::Never,
+            ..p()
+        };
+        assert_eq!(out_param_action(&caller, &p()), OutParamAction::DirectFill);
+        assert_eq!(out_param_action(&p(), &p()), OutParamAction::Donate);
+        assert_eq!(out_param_action(&p(), &keeps), OutParamAction::Donate);
+        assert_eq!(out_param_action(&caller, &keeps), OutParamAction::CopyInStub);
+    }
+
+    #[test]
+    fn fig11_flexible_never_worse_than_either_fixed() {
+        for cw in [false, true] {
+            for sh in [false, true] {
+                let flex = out_flexible_costs(cw, sh);
+                let sa = out_fixed_costs(OutFixedSystem::ServerAllocates, cw, sh);
+                let ca = out_fixed_costs(OutFixedSystem::ClientAllocates, cw, sh);
+                assert!(
+                    flex.total_copies() <= sa.total_copies().min(ca.total_copies()),
+                    "copies in group ({cw},{sh})"
+                );
+                // And flexible presentation never requires hand-written glue.
+                assert_eq!(flex.glue_copies(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_agreeing_groups_are_free_of_copies() {
+        // "The two middle groups represent the common case in which the
+        // client and server agree... the minimum amount of work is done."
+        assert_eq!(out_flexible_costs(true, false).total_copies(), 0);
+        assert_eq!(out_flexible_costs(false, true).total_copies(), 0);
+    }
+
+    #[test]
+    fn fig11_mismatch_costs_one_copy_everywhere() {
+        // "Someone must do the matching... it makes no performance
+        // difference whether the client, the server, or the stubs do it."
+        let flex = out_flexible_costs(true, true).total_copies();
+        let sa = out_fixed_costs(OutFixedSystem::ServerAllocates, true, true).total_copies();
+        let ca = out_fixed_costs(OutFixedSystem::ClientAllocates, true, true).total_copies();
+        assert_eq!(flex, 1);
+        assert_eq!(sa, flex + 1, "CORBA-fixed also re-buffers on the server side");
+        assert_eq!(ca, flex);
+    }
+
+    #[test]
+    fn fig11_fixed_wrong_system_is_terrible() {
+        // Client wants its own buffer, server has none: MIG-style is free,
+        // CORBA-style forces an alloc + a client glue copy.
+        let sa = out_fixed_costs(OutFixedSystem::ServerAllocates, true, false);
+        let ca = out_fixed_costs(OutFixedSystem::ClientAllocates, true, false);
+        assert_eq!(ca.total_copies(), 0);
+        assert_eq!(sa.client_glue_copies, 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Errors produced by the compiler middle stage.
+
+use core::fmt;
+
+/// An error from IR validation, PDL application, or program compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A name (type, interface, operation, parameter) could not be resolved.
+    Unresolved {
+        /// What kind of name was looked up ("type", "operation", ...).
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The same name was declared twice in one scope.
+    Duplicate {
+        /// What kind of name collided.
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// The IR is structurally invalid (e.g. a typedef cycle).
+    Invalid(String),
+    /// A construct is valid IR but not supported by program compilation
+    /// (e.g. sequences of non-octet elements); carries a reason.
+    Unsupported(String),
+    /// A PDL annotation is not applicable where it was written.
+    BadAnnotation {
+        /// The annotation's PDL spelling.
+        attr: String,
+        /// Why it cannot apply here.
+        why: String,
+    },
+    /// A PDL file attempted to change the network contract — the one thing
+    /// presentation is defined never to do.
+    ContractViolation(String),
+    /// A presentation combination is invalid for compilation (e.g. a
+    /// sink-mode payload parameter after a buffered one).
+    BadPresentation(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Unresolved { kind, name } => write!(f, "unresolved {kind} `{name}`"),
+            CoreError::Duplicate { kind, name } => write!(f, "duplicate {kind} `{name}`"),
+            CoreError::Invalid(why) => write!(f, "invalid interface: {why}"),
+            CoreError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            CoreError::BadAnnotation { attr, why } => {
+                write!(f, "annotation `{attr}` not applicable: {why}")
+            }
+            CoreError::ContractViolation(why) => {
+                write!(f, "PDL attempted to change the network contract: {why}")
+            }
+            CoreError::BadPresentation(why) => write!(f, "invalid presentation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CoreError::Unresolved { kind: "type", name: "fattr".into() };
+        assert_eq!(e.to_string(), "unresolved type `fattr`");
+        let e = CoreError::ContractViolation("param added".into());
+        assert!(e.to_string().contains("network contract"));
+    }
+}

@@ -1,0 +1,498 @@
+//! The interface IR — the *network contract* between client and server.
+//!
+//! Front-ends (CORBA IDL, Sun RPC `.x`) lower their ASTs into this common
+//! representation; everything downstream (signatures, presentations, stub
+//! programs, code generation) works from here and is dialect-independent.
+//! The IR deliberately contains **no presentation information**: nothing in
+//! this module says who allocates a buffer or whether a string is passed
+//! with an explicit length. That separation *is* the paper.
+
+use std::fmt;
+
+/// Which IDL dialect a module was written in.
+///
+/// The dialect does not change the network contract; it selects which
+/// *default presentation* rules apply (CORBA language mapping vs. rpcgen
+/// conventions) and which wire format the back-end picks by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dialect {
+    /// CORBA IDL (the pipe-server and same-domain experiments).
+    #[default]
+    Corba,
+    /// Sun RPC / rpcgen `.x` (the NFS experiment).
+    Sun,
+    /// MIG `.defs` (the front-end the paper lists as under construction;
+    /// finished here).
+    Mig,
+}
+
+impl Dialect {
+    /// Human-readable dialect name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dialect::Corba => "corba",
+            Dialect::Sun => "sun",
+            Dialect::Mig => "mig",
+        }
+    }
+}
+
+/// A wire type. `Named` references a [`TypeDef`] in the enclosing module.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value (operation results only).
+    Void,
+    /// Boolean (one wire word in XDR, one octet in CDR).
+    Bool,
+    /// 8-bit unsigned (CORBA `octet`, XDR `opaque` element).
+    Octet,
+    /// 16-bit signed.
+    I16,
+    /// 16-bit unsigned.
+    U16,
+    /// 32-bit signed (`long` in CORBA IDL, `int` in Sun).
+    I32,
+    /// 32-bit unsigned.
+    U32,
+    /// 64-bit signed.
+    I64,
+    /// 64-bit unsigned.
+    U64,
+    /// IEEE double.
+    F64,
+    /// Character string.
+    Str,
+    /// Variable-length sequence of an element type.
+    Sequence(Box<Type>),
+    /// Fixed-length array of an element type.
+    Array(Box<Type>, u32),
+    /// Reference to a named [`TypeDef`].
+    Named(String),
+    /// An object/port reference (a capability, transferred out-of-band).
+    ObjRef,
+}
+
+impl Type {
+    /// Convenience constructor for `sequence<octet>`, the paper's workhorse.
+    pub fn octet_seq() -> Type {
+        Type::Sequence(Box::new(Type::Octet))
+    }
+
+    /// True for types whose canonical form carries bulk payload bytes
+    /// (`sequence<octet>`, `string`) rather than fixed-size scalars.
+    pub fn is_payload(&self) -> bool {
+        matches!(self, Type::Str)
+            || matches!(self, Type::Sequence(el) if **el == Type::Octet)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Bool => write!(f, "boolean"),
+            Type::Octet => write!(f, "octet"),
+            Type::I16 => write!(f, "short"),
+            Type::U16 => write!(f, "unsigned short"),
+            Type::I32 => write!(f, "long"),
+            Type::U32 => write!(f, "unsigned long"),
+            Type::I64 => write!(f, "long long"),
+            Type::U64 => write!(f, "unsigned long long"),
+            Type::F64 => write!(f, "double"),
+            Type::Str => write!(f, "string"),
+            Type::Sequence(el) => write!(f, "sequence<{el}>"),
+            Type::Array(el, n) => write!(f, "{el}[{n}]"),
+            Type::Named(n) => write!(f, "{n}"),
+            Type::ObjRef => write!(f, "Object"),
+        }
+    }
+}
+
+/// A named field of a struct or union arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+}
+
+/// One arm of a discriminated union.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionArm {
+    /// Discriminant value selecting this arm.
+    pub case: u32,
+    /// The arm's payload field.
+    pub field: Field,
+}
+
+/// The body of a named type definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeBody {
+    /// A transparent alias.
+    Alias(Type),
+    /// A record of named fields.
+    Struct(Vec<Field>),
+    /// An enumeration (wire representation: u32 ordinal).
+    Enum(Vec<String>),
+    /// A discriminated union (wire: u32 discriminant + selected arm).
+    Union {
+        /// Union arms in declaration order.
+        arms: Vec<UnionArm>,
+        /// Arm used when no case matches, if declared.
+        default: Option<Field>,
+    },
+}
+
+/// A named type definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDef {
+    /// The type's name.
+    pub name: String,
+    /// Its body.
+    pub body: TypeBody,
+}
+
+/// Direction of a parameter, as declared in the IDL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamDir {
+    /// Client → server.
+    In,
+    /// Server → client.
+    Out,
+    /// Both directions.
+    InOut,
+}
+
+impl ParamDir {
+    /// True if the parameter travels client → server.
+    pub fn is_in(self) -> bool {
+        matches!(self, ParamDir::In | ParamDir::InOut)
+    }
+
+    /// True if the parameter travels server → client.
+    pub fn is_out(self) -> bool {
+        matches!(self, ParamDir::Out | ParamDir::InOut)
+    }
+
+    /// IDL keyword for this direction.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ParamDir::In => "in",
+            ParamDir::Out => "out",
+            ParamDir::InOut => "inout",
+        }
+    }
+}
+
+/// A declared operation parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Direction.
+    pub dir: ParamDir,
+    /// Wire type.
+    pub ty: Type,
+}
+
+impl Param {
+    /// Shorthand constructor.
+    pub fn new(name: &str, dir: ParamDir, ty: Type) -> Param {
+        Param { name: name.to_owned(), dir, ty }
+    }
+}
+
+/// A declared operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// Sun RPC procedure number, when the dialect assigns one.
+    pub opnum: Option<u32>,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Result type ([`Type::Void`] for none).
+    pub ret: Type,
+}
+
+impl Operation {
+    /// Creates an operation with no Sun procedure number.
+    pub fn new(name: &str, params: Vec<Param>, ret: Type) -> Operation {
+        Operation { name: name.to_owned(), opnum: None, params, ret }
+    }
+
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+}
+
+/// A declared interface: a set of operations invocable through one object
+/// reference / program number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name.
+    pub name: String,
+    /// Sun RPC program number, if any.
+    pub program: Option<u32>,
+    /// Sun RPC version number, if any.
+    pub version: Option<u32>,
+    /// Operations in declaration order.
+    pub ops: Vec<Operation>,
+}
+
+impl Interface {
+    /// Creates an interface with no Sun numbering.
+    pub fn new(name: &str, ops: Vec<Operation>) -> Interface {
+        Interface { name: name.to_owned(), program: None, version: None, ops }
+    }
+
+    /// Looks up an operation by name.
+    pub fn op(&self, name: &str) -> Option<&Operation> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+
+    /// Index of an operation by name (the runtime's dispatch key).
+    pub fn op_index(&self, name: &str) -> Option<usize> {
+        self.ops.iter().position(|o| o.name == name)
+    }
+}
+
+/// A compilation unit: named types plus interfaces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// Module name (file stem or IDL `module` name).
+    pub name: String,
+    /// Dialect the module was written in.
+    pub dialect: Dialect,
+    /// Named type definitions.
+    pub typedefs: Vec<TypeDef>,
+    /// Interfaces.
+    pub interfaces: Vec<Interface>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: &str, dialect: Dialect) -> Module {
+        Module { name: name.to_owned(), dialect, ..Default::default() }
+    }
+
+    /// Looks up a named type.
+    pub fn typedef(&self, name: &str) -> Option<&TypeDef> {
+        self.typedefs.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up an interface.
+    pub fn interface(&self, name: &str) -> Option<&Interface> {
+        self.interfaces.iter().find(|i| i.name == name)
+    }
+
+    /// Resolves aliases until a non-alias type is reached.
+    ///
+    /// Returns the input type if it is not `Named`; fails on dangling names.
+    /// Cycles are rejected by [`crate::validate::validate`], which callers
+    /// run first; this walker still bounds itself defensively.
+    pub fn resolve<'a>(&'a self, ty: &'a Type) -> crate::Result<&'a Type> {
+        let mut cur = ty;
+        for _ in 0..64 {
+            match cur {
+                Type::Named(name) => match self.typedef(name) {
+                    Some(TypeDef { body: TypeBody::Alias(inner), .. }) => cur = inner,
+                    Some(_) => return Ok(cur),
+                    None => {
+                        return Err(crate::CoreError::Unresolved {
+                            kind: "type",
+                            name: name.clone(),
+                        })
+                    }
+                },
+                _ => return Ok(cur),
+            }
+        }
+        Err(crate::CoreError::Invalid("typedef alias chain too deep (cycle?)".into()))
+    }
+}
+
+/// Pretty-prints a module in CORBA-IDL-flavored syntax (round-trip aid for
+/// parser tests and for humans inspecting lowered front-end output).
+pub fn pretty_print(module: &Module) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for td in &module.typedefs {
+        match &td.body {
+            TypeBody::Alias(t) => {
+                let _ = writeln!(s, "typedef {t} {};", td.name);
+            }
+            TypeBody::Struct(fields) => {
+                let _ = writeln!(s, "struct {} {{", td.name);
+                for f in fields {
+                    let _ = writeln!(s, "    {} {};", f.ty, f.name);
+                }
+                let _ = writeln!(s, "}};");
+            }
+            TypeBody::Enum(items) => {
+                let _ = writeln!(s, "enum {} {{ {} }};", td.name, items.join(", "));
+            }
+            TypeBody::Union { arms, default } => {
+                let _ = writeln!(s, "union {} switch (unsigned long) {{", td.name);
+                for a in arms {
+                    let _ =
+                        writeln!(s, "    case {}: {} {};", a.case, a.field.ty, a.field.name);
+                }
+                if let Some(d) = default {
+                    let _ = writeln!(s, "    default: {} {};", d.ty, d.name);
+                }
+                let _ = writeln!(s, "}};");
+            }
+        }
+    }
+    for iface in &module.interfaces {
+        let _ = writeln!(s, "interface {} {{", iface.name);
+        for op in &iface.ops {
+            let params = op
+                .params
+                .iter()
+                .map(|p| format!("{} {} {}", p.dir.keyword(), p.ty, p.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(s, "    {} {}({});", op.ret, op.name, params);
+        }
+        let _ = writeln!(s, "}};");
+    }
+    s
+}
+
+/// Builds the paper's running example: the `FileIO` pipe interface (Fig. 3).
+pub fn fileio_example() -> Module {
+    let mut m = Module::new("fileio", Dialect::Corba);
+    m.interfaces.push(Interface::new(
+        "FileIO",
+        vec![
+            Operation::new(
+                "read",
+                vec![Param::new("count", ParamDir::In, Type::U32)],
+                Type::octet_seq(),
+            ),
+            Operation::new(
+                "write",
+                vec![Param::new("data", ParamDir::In, Type::octet_seq())],
+                Type::Void,
+            ),
+        ],
+    ));
+    m
+}
+
+/// Builds the introduction's `SysLog` example interface.
+pub fn syslog_example() -> Module {
+    let mut m = Module::new("syslog", Dialect::Corba);
+    m.interfaces.push(Interface::new(
+        "SysLog",
+        vec![Operation::new(
+            "write_msg",
+            vec![Param::new("msg", ParamDir::In, Type::Str)],
+            Type::Void,
+        )],
+    ));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_types() {
+        assert_eq!(Type::octet_seq().to_string(), "sequence<octet>");
+        assert_eq!(Type::Array(Box::new(Type::U32), 8).to_string(), "unsigned long[8]");
+        assert_eq!(Type::Named("fattr".into()).to_string(), "fattr");
+    }
+
+    #[test]
+    fn payload_classification() {
+        assert!(Type::Str.is_payload());
+        assert!(Type::octet_seq().is_payload());
+        assert!(!Type::U32.is_payload());
+        assert!(!Type::Sequence(Box::new(Type::U32)).is_payload());
+    }
+
+    #[test]
+    fn param_direction_predicates() {
+        assert!(ParamDir::In.is_in() && !ParamDir::In.is_out());
+        assert!(!ParamDir::Out.is_in() && ParamDir::Out.is_out());
+        assert!(ParamDir::InOut.is_in() && ParamDir::InOut.is_out());
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        assert_eq!(iface.op_index("write"), Some(1));
+        let read = iface.op("read").unwrap();
+        assert_eq!(read.param("count").unwrap().ty, Type::U32);
+        assert!(iface.op("seek").is_none());
+    }
+
+    #[test]
+    fn alias_resolution() {
+        let mut m = Module::new("t", Dialect::Corba);
+        m.typedefs.push(TypeDef { name: "nfscookie".into(), body: TypeBody::Alias(Type::U64) });
+        m.typedefs.push(TypeDef {
+            name: "cookie2".into(),
+            body: TypeBody::Alias(Type::Named("nfscookie".into())),
+        });
+        let t = Type::Named("cookie2".into());
+        assert_eq!(m.resolve(&t).unwrap(), &Type::U64);
+    }
+
+    #[test]
+    fn alias_cycle_bounded() {
+        let mut m = Module::new("t", Dialect::Corba);
+        m.typedefs
+            .push(TypeDef { name: "a".into(), body: TypeBody::Alias(Type::Named("b".into())) });
+        m.typedefs
+            .push(TypeDef { name: "b".into(), body: TypeBody::Alias(Type::Named("a".into())) });
+        let t = Type::Named("a".into());
+        assert!(m.resolve(&t).is_err());
+    }
+
+    #[test]
+    fn dangling_name_reported() {
+        let m = Module::new("t", Dialect::Corba);
+        let t = Type::Named("ghost".into());
+        assert_eq!(
+            m.resolve(&t).unwrap_err(),
+            crate::CoreError::Unresolved { kind: "type", name: "ghost".into() }
+        );
+    }
+
+    #[test]
+    fn pretty_print_contains_declarations() {
+        let m = fileio_example();
+        let s = pretty_print(&m);
+        assert!(s.contains("interface FileIO {"));
+        assert!(s.contains("sequence<octet> read(in unsigned long count);"));
+        assert!(s.contains("void write(in sequence<octet> data);"));
+    }
+
+    #[test]
+    fn pretty_print_typedefs() {
+        let mut m = Module::new("t", Dialect::Sun);
+        m.typedefs.push(TypeDef {
+            name: "fattr".into(),
+            body: TypeBody::Struct(vec![
+                Field { name: "size".into(), ty: Type::U32 },
+                Field { name: "mtime".into(), ty: Type::U64 },
+            ]),
+        });
+        m.typedefs.push(TypeDef {
+            name: "nfsstat".into(),
+            body: TypeBody::Enum(vec!["NFS_OK".into(), "NFSERR_IO".into()]),
+        });
+        let s = pretty_print(&m);
+        assert!(s.contains("struct fattr {"));
+        assert!(s.contains("unsigned long size;"));
+        assert!(s.contains("enum nfsstat { NFS_OK, NFSERR_IO };"));
+    }
+}

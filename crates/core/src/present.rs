@@ -1,0 +1,275 @@
+//! Presentation: the programmer's contract between stubs and user code.
+//!
+//! A presentation answers, per parameter: who allocates the buffer, who
+//! deallocates it, may it be modified in place, is marshalling delegated to
+//! a user `[special]` routine, is a string passed with an explicit length —
+//! and per interface: how errors surface (`[comm_status]`), how far the peer
+//! is trusted, whether port names must be unique. None of these affect the
+//! bytes on the wire.
+//!
+//! [`InterfacePresentation::default_for`] computes the *default
+//! presentation* from the interface definition "by fixed, standardized
+//! rules", per dialect, exactly as the paper's front-end does; a PDL file
+//! (see [`crate::annot`]) then modifies it for one endpoint.
+
+use crate::ir::{Dialect, Interface, Module, Operation};
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// Who provides the storage for an `out`-direction payload (or result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocSemantics {
+    /// The stub allocates a fresh buffer and *donates* it to the consumer —
+    /// CORBA/COM "move" semantics, the CORBA default.
+    #[default]
+    StubAllocates,
+    /// The caller provides the buffer and the stub fills it in —
+    /// MIG-style semantics for non-copy-on-write parameters.
+    CallerAllocates,
+    /// Marshalling/unmarshalling is delegated to a user `[special]` routine
+    /// (e.g. the Linux NFS client copying straight to user space).
+    Special,
+}
+
+/// When the *server-side* stub releases an out-payload buffer after
+/// marshalling the reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeallocPolicy {
+    /// Free it after marshalling — the "move" semantics of the default
+    /// CORBA presentation (the server donates the buffer to the stub).
+    #[default]
+    OnReturn,
+    /// Never free it: the server manages its own storage and the stub
+    /// marshals straight out of it — the paper's `[dealloc(never)]`
+    /// (Figure 5), which deletes the pipe server's extra copy.
+    Never,
+}
+
+/// Trust one endpoint declares in the other (core-side mirror of the
+/// kernel's trust levels; the runtime maps between them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord)]
+pub enum Trust {
+    /// No trust (default): full register protection.
+    #[default]
+    None,
+    /// `[leaky]`: confidentiality conceded, integrity protected.
+    Leaky,
+    /// `[leaky, unprotected]`: full trust.
+    LeakyUnprotected,
+}
+
+/// Presentation attributes of one parameter (or the result).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParamPresentation {
+    /// Marshal/unmarshal via user-registered `[special]` routines.
+    pub special: bool,
+    /// For string parameters: pass as raw bytes with an explicit length
+    /// parameter of this name (the paper's `length_is` example) instead of
+    /// as a checked string.
+    pub length_is: Option<String>,
+    /// Client-side, `in` payloads: the caller permits the RPC system (or a
+    /// same-domain server) to trash the buffer during the call.
+    pub trashable: bool,
+    /// Server-side, `in` payloads: the server promises not to modify the
+    /// buffer it receives.
+    pub preserved: bool,
+    /// Server-side, `in` payloads: hand the server a borrowed window into
+    /// the request message instead of a private copy.
+    pub borrowed: bool,
+    /// Who allocates storage for `out` payloads.
+    pub alloc: AllocSemantics,
+    /// When the server-side stub frees `out` payload storage.
+    pub dealloc: DeallocPolicy,
+    /// For object-reference parameters: relax Mach's unique-name rule on
+    /// transfer (`[nonunique]`).
+    pub nonunique: bool,
+}
+
+impl ParamPresentation {
+    /// True if the server-side stub must not buffer this out-payload —
+    /// either the server retains ownership (`dealloc(never)`) or a
+    /// `[special]` routine produces the bytes. Both compile to *sink mode*:
+    /// the work function writes the payload directly into the reply message.
+    pub fn is_server_sink(&self) -> bool {
+        self.dealloc == DeallocPolicy::Never || (self.special && self.alloc != AllocSemantics::CallerAllocates)
+    }
+}
+
+/// Presentation attributes of one operation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpPresentation {
+    /// Per-parameter attributes, in the operation's declaration order.
+    pub params: Vec<ParamPresentation>,
+    /// Attributes of the result value (for non-void results).
+    pub result: ParamPresentation,
+    /// Surface the RPC/communication status as an ordinary return code
+    /// (`[comm_status]`) instead of through the exception path.
+    pub comm_status: bool,
+}
+
+/// Presentation of an entire interface, for one endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfacePresentation {
+    /// The interface this presentation belongs to.
+    pub interface: String,
+    /// Dialect whose default rules seeded this presentation.
+    pub dialect: Dialect,
+    /// Per-operation presentations, keyed by operation name.
+    pub ops: BTreeMap<String, OpPresentation>,
+    /// How far this endpoint trusts its peer.
+    pub trust: Trust,
+}
+
+impl InterfacePresentation {
+    /// Computes the default presentation for `iface` under the module's
+    /// dialect rules.
+    ///
+    /// CORBA rules: out payloads are stub-allocated move-semantics buffers,
+    /// in payloads are copied for the server (no trashing, no preservation
+    /// promise), strings are checked strings, errors surface as exceptions.
+    /// Sun (rpcgen) rules differ in one default: errors surface as status
+    /// results (`comm_status`), matching the C idiom of returning a pointer
+    /// that is `NULL` on RPC failure. MIG rules differ in two: statuses are
+    /// `kern_return_t` values (`comm_status`) and out buffers are
+    /// caller-allocated — the "client allocates, client consumes" fixed
+    /// semantics Figure 11 names MIG for.
+    pub fn default_for(module: &Module, iface: &Interface) -> Result<InterfacePresentation> {
+        let mut ops = BTreeMap::new();
+        for op in &iface.ops {
+            ops.insert(op.name.clone(), default_op(module, op)?);
+        }
+        Ok(InterfacePresentation {
+            interface: iface.name.clone(),
+            dialect: module.dialect,
+            ops,
+            trust: Trust::None,
+        })
+    }
+
+    /// Looks up one operation's presentation.
+    pub fn op(&self, name: &str) -> Option<&OpPresentation> {
+        self.ops.get(name)
+    }
+
+    /// Mutable lookup (used by PDL application).
+    pub fn op_mut(&mut self, name: &str) -> Option<&mut OpPresentation> {
+        self.ops.get_mut(name)
+    }
+}
+
+fn default_op(module: &Module, op: &Operation) -> Result<OpPresentation> {
+    let mig = module.dialect == Dialect::Mig;
+    let mut params = Vec::with_capacity(op.params.len());
+    for p in &op.params {
+        // The default presentation is type/direction-driven; the resolved
+        // type is consulted so typedef'd payloads behave like their
+        // structure.
+        let resolved = module.resolve(&p.ty)?;
+        let mut pres = ParamPresentation::default();
+        // Only counted-bytes payloads can be caller-allocated (strings
+        // carry format framing); MIG strings keep move semantics.
+        if mig && p.dir.is_out() && resolved == &crate::ir::Type::octet_seq() {
+            pres.alloc = AllocSemantics::CallerAllocates;
+        }
+        params.push(pres);
+    }
+    let mut result = ParamPresentation::default();
+    if mig && module.resolve(&op.ret)? == &crate::ir::Type::octet_seq() {
+        result.alloc = AllocSemantics::CallerAllocates;
+    }
+    Ok(OpPresentation {
+        params,
+        result,
+        comm_status: module.dialect != Dialect::Corba,
+    })
+}
+
+/// Returns the indices of `op`'s parameters whose wire form is bulk payload
+/// (plus `usize::MAX` standing for the result, if it is payload), in the
+/// order their bytes appear on the wire. Shared by program compilation and
+/// codegen so the two can never disagree about layout.
+pub fn payload_order(module: &Module, op: &Operation) -> Result<Vec<usize>> {
+    let mut order = Vec::new();
+    for (i, p) in op.params.iter().enumerate() {
+        if module.resolve(&p.ty)?.is_payload() {
+            order.push(i);
+        }
+    }
+    if module.resolve(&op.ret)?.is_payload() {
+        order.push(usize::MAX);
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{fileio_example, syslog_example, Param, ParamDir, Type};
+
+    #[test]
+    fn corba_defaults() {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        let read = pres.op("read").unwrap();
+        assert!(!read.comm_status, "CORBA default surfaces errors as exceptions");
+        assert_eq!(read.result.alloc, AllocSemantics::StubAllocates);
+        assert_eq!(read.result.dealloc, DeallocPolicy::OnReturn);
+        let write = pres.op("write").unwrap();
+        assert!(!write.params[0].trashable);
+        assert!(!write.params[0].preserved);
+        assert_eq!(pres.trust, Trust::None);
+    }
+
+    #[test]
+    fn sun_defaults_use_comm_status() {
+        let mut m = fileio_example();
+        m.dialect = Dialect::Sun;
+        let iface = m.interface("FileIO").unwrap();
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        assert!(pres.op("read").unwrap().comm_status);
+    }
+
+    #[test]
+    fn sink_mode_classification() {
+        let mut p = ParamPresentation::default();
+        assert!(!p.is_server_sink());
+        p.dealloc = DeallocPolicy::Never;
+        assert!(p.is_server_sink());
+        let mut q = ParamPresentation { special: true, ..Default::default() };
+        assert!(q.is_server_sink());
+        // Special with caller-allocated client buffer is a client-side hook,
+        // not a server sink.
+        q.alloc = AllocSemantics::CallerAllocates;
+        assert!(!q.is_server_sink());
+    }
+
+    #[test]
+    fn payload_order_params_then_result() {
+        let m = fileio_example();
+        let read = m.interface("FileIO").unwrap().op("read").unwrap();
+        assert_eq!(payload_order(&m, read).unwrap(), vec![usize::MAX]);
+        let write = m.interface("FileIO").unwrap().op("write").unwrap();
+        assert_eq!(payload_order(&m, write).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn payload_order_multiple() {
+        let m = syslog_example();
+        let mut op = m.interface("SysLog").unwrap().op("write_msg").unwrap().clone();
+        op.params.push(Param::new("tag", ParamDir::In, Type::U32));
+        op.params.push(Param::new("extra", ParamDir::In, Type::octet_seq()));
+        assert_eq!(payload_order(&m, &op).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn op_lookup() {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        let mut pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        assert!(pres.op("read").is_some());
+        assert!(pres.op("nope").is_none());
+        pres.op_mut("read").unwrap().comm_status = true;
+        assert!(pres.op("read").unwrap().comm_status);
+    }
+}

@@ -1,0 +1,960 @@
+//! Compilation of (operation × presentation) pairs into stub programs.
+//!
+//! A [`StubProgram`] is a flat list of marshal ops — threaded code, after
+//! the paper's bind-time "combination signature \[that\] threads together
+//! small blocks of code". The `flexrpc-runtime` crate interprets programs
+//! against real buffers; `flexrpc-codegen` pretty-prints them as Rust
+//! source. Each operation compiles to four programs (request/reply ×
+//! marshal/unmarshal); an endpoint uses the two for its role.
+//!
+//! # Wire layout (FLEX-ABI v1)
+//!
+//! The layout is derived from the *interface alone*, so differently
+//! presented endpoints always interoperate:
+//!
+//! 1. All **payload fields** (strings, `sequence<octet>`), in declaration
+//!    order — requests carry the `in`-direction ones, replies the
+//!    `out`-direction ones plus the result.
+//! 2. All **scalar fields** (flattened structs included), in declaration
+//!    order.
+//! 3. Replies end with a `u32` **status** word.
+//!
+//! Payload-first layout is what makes *sink-mode* presentations possible:
+//! a server work function with `[dealloc(never)]` or `[special]` output
+//! writes the payload bytes directly into the reply message while it still
+//! holds its own state borrowed, before the stub marshals the scalars.
+//! Sink-mode payloads must therefore form a prefix of the reply's payload
+//! section; the compiler rejects anything else.
+//!
+//! Object references travel out-of-band in the transport's rights vector
+//! (in field order), matching how Mach carries port rights.
+
+use crate::ir::{Interface, Module, Operation, Param, ParamDir, Type, TypeBody};
+use crate::present::{AllocSemantics, InterfacePresentation, OpPresentation, ParamPresentation};
+use crate::sig::WireSignature;
+use crate::value::Value;
+use crate::{CoreError, Result};
+use std::fmt;
+
+/// Index of a slot in a call's flat value array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slot(pub usize);
+
+/// The primitive kind a slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// `u32` (also enum ordinals).
+    U32,
+    /// `i32`.
+    I32,
+    /// `u64`.
+    U64,
+    /// `i64`.
+    I64,
+    /// `bool`.
+    Bool,
+    /// `f64`.
+    F64,
+    /// Checked string.
+    Str,
+    /// Byte buffer (sequences, fixed opaque arrays, length_is strings).
+    Bytes,
+    /// Port / object reference.
+    Port,
+}
+
+impl SlotKind {
+    /// A default-initialized value of this kind (interpreters use this to
+    /// pre-size slot arrays).
+    pub fn empty_value(self) -> Value {
+        match self {
+            SlotKind::U32 => Value::U32(0),
+            SlotKind::I32 => Value::I32(0),
+            SlotKind::U64 => Value::U64(0),
+            SlotKind::I64 => Value::I64(0),
+            SlotKind::Bool => Value::Bool(false),
+            SlotKind::F64 => Value::F64(0.0),
+            SlotKind::Str => Value::Str(String::new()),
+            SlotKind::Bytes => Value::Bytes(Vec::new()),
+            SlotKind::Port => Value::Port(0),
+        }
+    }
+}
+
+/// Descriptor of one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// Dotted name: `param` or `param.field` for flattened struct fields;
+    /// `return` (or `return.field`) for the result; `status` for the status
+    /// word.
+    pub name: String,
+    /// Value kind.
+    pub kind: SlotKind,
+    /// Direction this slot travels.
+    pub dir: ParamDir,
+    /// Index of the source parameter (`None` for result/status slots).
+    pub param_index: Option<usize>,
+}
+
+/// The slot layout of a compiled operation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SlotMap {
+    /// All slots, in assignment order.
+    pub slots: Vec<SlotInfo>,
+}
+
+impl SlotMap {
+    /// Finds a slot by dotted name.
+    pub fn slot(&self, name: &str) -> Option<Slot> {
+        self.slots.iter().position(|s| s.name == name).map(Slot)
+    }
+
+    /// The status slot (always present, always last).
+    pub fn status_slot(&self) -> Slot {
+        Slot(self.slots.len() - 1)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the map is empty (never, for a compiled op).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// A freshly initialized slot-value array for one call.
+    pub fn new_frame(&self) -> Vec<Value> {
+        self.slots.iter().map(|s| s.kind.empty_value()).collect()
+    }
+}
+
+/// One marshal/unmarshal op. `Put*` ops write to the message from slots;
+/// `Get*` ops read from the message into slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MOp {
+    /// Write a `u32` from the slot.
+    PutU32(Slot),
+    /// Write an `i32`.
+    PutI32(Slot),
+    /// Write a `u64`.
+    PutU64(Slot),
+    /// Write an `i64`.
+    PutI64(Slot),
+    /// Write a boolean.
+    PutBool(Slot),
+    /// Write an `f64`.
+    PutF64(Slot),
+    /// Write a wire string from a `Str` slot.
+    PutStr(Slot),
+    /// Write a wire string from a `Bytes` slot (the `length_is`
+    /// presentation: user code passes raw bytes + explicit length).
+    PutStrFromBytes(Slot),
+    /// Write a counted payload from a `Bytes` (or window) slot.
+    PutBytes(Slot),
+    /// Write a fixed-length opaque field of exactly this many bytes.
+    PutBytesFixed(Slot, u32),
+    /// Write a counted payload produced by the user hook for this
+    /// parameter (`[special]` marshal: the hook fills a reserved window).
+    PutBytesSpecial {
+        /// Slot carrying the payload length (hook decides content).
+        slot: Slot,
+        /// Hook index = parameter index.
+        hook: usize,
+    },
+    /// Transfer a port right from the slot (out-of-band).
+    PutPort(Slot),
+    /// Read a `u32` into the slot.
+    GetU32(Slot),
+    /// Read an `i32`.
+    GetI32(Slot),
+    /// Read a `u64`.
+    GetU64(Slot),
+    /// Read an `i64`.
+    GetI64(Slot),
+    /// Read a boolean.
+    GetBool(Slot),
+    /// Read an `f64`.
+    GetF64(Slot),
+    /// Read a wire string into a `Str` slot (validates UTF-8/NUL).
+    GetStr(Slot),
+    /// Read a wire string into a `Bytes` slot without string validation
+    /// (the `length_is` presentation).
+    GetStrAsBytes(Slot),
+    /// Read a counted payload into a freshly allocated `Bytes` slot — the
+    /// copying, stub-allocates default.
+    GetBytesOwned(Slot),
+    /// Read a counted payload as a zero-copy `Window` into the message —
+    /// the `[borrowed]` server presentation.
+    GetBytesBorrowed(Slot),
+    /// Read a counted payload into the caller-provided buffer already in
+    /// the slot, truncating the slot to the received length — the
+    /// `alloc(caller)` (MIG-style) presentation.
+    GetBytesInto(Slot),
+    /// Read a counted payload by handing the wire bytes to the user hook
+    /// for this parameter (`[special]` unmarshal, e.g. copyout straight to
+    /// user space). The slot records the payload length.
+    GetBytesSpecial {
+        /// Slot receiving the payload length.
+        slot: Slot,
+        /// Hook index = parameter index (`usize::MAX` for the result).
+        hook: usize,
+    },
+    /// Read a fixed-length opaque field.
+    GetBytesFixed(Slot, u32),
+    /// Receive a port right into the slot (out-of-band).
+    GetPort(Slot),
+}
+
+impl MOp {
+    /// The slot this op reads or writes.
+    pub fn slot(&self) -> Slot {
+        match *self {
+            MOp::PutU32(s)
+            | MOp::PutI32(s)
+            | MOp::PutU64(s)
+            | MOp::PutI64(s)
+            | MOp::PutBool(s)
+            | MOp::PutF64(s)
+            | MOp::PutStr(s)
+            | MOp::PutStrFromBytes(s)
+            | MOp::PutBytes(s)
+            | MOp::PutBytesFixed(s, _)
+            | MOp::PutBytesSpecial { slot: s, .. }
+            | MOp::PutPort(s)
+            | MOp::GetU32(s)
+            | MOp::GetI32(s)
+            | MOp::GetU64(s)
+            | MOp::GetI64(s)
+            | MOp::GetBool(s)
+            | MOp::GetF64(s)
+            | MOp::GetStr(s)
+            | MOp::GetStrAsBytes(s)
+            | MOp::GetBytesOwned(s)
+            | MOp::GetBytesBorrowed(s)
+            | MOp::GetBytesInto(s)
+            | MOp::GetBytesSpecial { slot: s, .. }
+            | MOp::GetBytesFixed(s, _)
+            | MOp::GetPort(s) => s,
+        }
+    }
+}
+
+/// A linear sequence of marshal ops.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StubProgram {
+    /// Ops in execution order.
+    pub ops: Vec<MOp>,
+}
+
+impl StubProgram {
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the program does nothing (e.g. a null RPC's body).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl fmt::Display for StubProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            writeln!(f, "{i:3}: {op:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A payload the server work function writes directly into the reply
+/// message (sink mode: `[dealloc(never)]` or server-side `[special]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkSpec {
+    /// Slot whose length records what the sink wrote (diagnostics).
+    pub slot: Slot,
+    /// Parameter index (`usize::MAX` for the result).
+    pub param_index: usize,
+}
+
+/// One operation compiled under one endpoint's presentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledOp {
+    /// Operation name.
+    pub name: String,
+    /// Operation index within the interface (the dispatch key).
+    pub index: usize,
+    /// Sun RPC procedure number, when the dialect assigns one.
+    pub opnum: Option<u32>,
+    /// Slot layout.
+    pub slots: SlotMap,
+    /// Client: marshal the request from in-slots.
+    pub request_marshal: StubProgram,
+    /// Server: unmarshal the request into in-slots.
+    pub request_unmarshal: StubProgram,
+    /// Server: marshal the reply from out-slots (after the work function,
+    /// which has already sink-written any [`CompiledOp::sink_params`]).
+    pub reply_marshal: StubProgram,
+    /// Client: unmarshal the reply into out-slots.
+    pub reply_unmarshal: StubProgram,
+    /// Reply payloads written by the work function via the sink, in wire
+    /// order (always a prefix of the reply's payload section).
+    pub sink_params: Vec<SinkSpec>,
+    /// Whether status surfaces as a return code (`[comm_status]`).
+    pub comm_status: bool,
+}
+
+impl CompiledOp {
+    /// The status slot.
+    pub fn status_slot(&self) -> Slot {
+        self.slots.status_slot()
+    }
+}
+
+/// A whole interface compiled under one endpoint's presentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledInterface {
+    /// Interface name.
+    pub interface: String,
+    /// Compiled operations, in interface declaration order.
+    pub ops: Vec<CompiledOp>,
+    /// The network contract both endpoints must share.
+    pub signature: WireSignature,
+}
+
+impl CompiledInterface {
+    /// Compiles every operation of `iface` under `pres`.
+    pub fn compile(
+        module: &Module,
+        iface: &Interface,
+        pres: &InterfacePresentation,
+    ) -> Result<CompiledInterface> {
+        crate::validate::validate(module)?;
+        let signature = WireSignature::of_interface(module, iface)?;
+        let mut ops = Vec::with_capacity(iface.ops.len());
+        for (index, op) in iface.ops.iter().enumerate() {
+            let op_pres = pres.op(&op.name).ok_or_else(|| {
+                CoreError::BadPresentation(format!(
+                    "presentation lacks operation `{}`",
+                    op.name
+                ))
+            })?;
+            ops.push(compile_op(module, op, index, op_pres)?);
+        }
+        Ok(CompiledInterface { interface: iface.name.clone(), ops, signature })
+    }
+
+    /// Looks up a compiled op by name.
+    pub fn op(&self, name: &str) -> Option<&CompiledOp> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+}
+
+/// A flattened field of a parameter: its slot kind plus wire shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FieldShape {
+    Scalar(SlotKind),
+    /// Wire string (slot kind depends on presentation).
+    Str,
+    /// Counted byte payload.
+    Payload,
+    /// Fixed-length opaque bytes.
+    FixedBytes(u32),
+    /// Port right, out-of-band.
+    Port,
+}
+
+#[derive(Debug, Clone)]
+struct FlatField {
+    name: String,
+    shape: FieldShape,
+}
+
+/// Flattens a (resolved) type into wire fields, in wire order.
+fn flatten(module: &Module, prefix: &str, ty: &Type, out: &mut Vec<FlatField>) -> Result<()> {
+    let f = |shape| FlatField { name: prefix.to_owned(), shape };
+    match module.resolve(ty)? {
+        Type::Void => {}
+        Type::Bool => out.push(f(FieldShape::Scalar(SlotKind::Bool))),
+        Type::Octet | Type::U16 => out.push(f(FieldShape::Scalar(SlotKind::U32))),
+        Type::I16 | Type::I32 => out.push(f(FieldShape::Scalar(SlotKind::I32))),
+        Type::U32 => out.push(f(FieldShape::Scalar(SlotKind::U32))),
+        Type::I64 => out.push(f(FieldShape::Scalar(SlotKind::I64))),
+        Type::U64 => out.push(f(FieldShape::Scalar(SlotKind::U64))),
+        Type::F64 => out.push(f(FieldShape::Scalar(SlotKind::F64))),
+        Type::Str => out.push(f(FieldShape::Str)),
+        Type::ObjRef => out.push(f(FieldShape::Port)),
+        Type::Sequence(el) => match module.resolve(el)? {
+            Type::Octet => out.push(f(FieldShape::Payload)),
+            other => {
+                return Err(CoreError::Unsupported(format!(
+                    "sequence<{other}>: only sequence<octet> compiles to programs"
+                )))
+            }
+        },
+        Type::Array(el, n) => match module.resolve(el)? {
+            Type::Octet => out.push(f(FieldShape::FixedBytes(*n))),
+            other => {
+                return Err(CoreError::Unsupported(format!(
+                    "{other}[{n}]: only octet arrays compile to programs"
+                )))
+            }
+        },
+        Type::Named(name) => {
+            let td = module.typedef(name).expect("resolve() checked");
+            match &td.body {
+                TypeBody::Alias(_) => unreachable!("resolve() strips aliases"),
+                TypeBody::Struct(fields) => {
+                    for field in fields {
+                        let child = format!("{prefix}.{}", field.name);
+                        flatten(module, &child, &field.ty, out)?;
+                    }
+                }
+                TypeBody::Enum(_) => out.push(f(FieldShape::Scalar(SlotKind::U32))),
+                TypeBody::Union { .. } => {
+                    return Err(CoreError::Unsupported(format!(
+                        "union `{name}`: use [comm_status]-style status results instead"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A parameter's flattened fields with their slots assigned.
+struct PlacedParam<'a> {
+    param_index: usize, // usize::MAX for the result
+    dir: ParamDir,
+    pres: &'a ParamPresentation,
+    fields: Vec<(FlatField, Slot)>,
+}
+
+fn compile_op(
+    module: &Module,
+    op: &Operation,
+    index: usize,
+    pres: &OpPresentation,
+) -> Result<CompiledOp> {
+    if pres.params.len() != op.params.len() {
+        return Err(CoreError::BadPresentation(format!(
+            "presentation of `{}` has {} parameter entries, operation declares {}",
+            op.name,
+            pres.params.len(),
+            op.params.len()
+        )));
+    }
+
+    // 1. Flatten every parameter (and the result) and assign slots.
+    let mut slots = SlotMap::default();
+    let mut placed: Vec<PlacedParam<'_>> = Vec::new();
+    let result_param = Param::new("return", ParamDir::Out, op.ret.clone());
+    let all: Vec<(usize, &Param, &ParamPresentation)> = op
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, p, &pres.params[i]))
+        .chain(if op.ret == Type::Void {
+            None
+        } else {
+            Some((usize::MAX, &result_param, &pres.result))
+        })
+        .collect();
+
+    for (param_index, param, ppres) in &all {
+        let mut fields = Vec::new();
+        flatten(module, &param.name, &param.ty, &mut fields)?;
+        let mut placed_fields = Vec::with_capacity(fields.len());
+        for field in fields {
+            let kind = slot_kind_for(&field.shape, ppres);
+            let slot = Slot(slots.slots.len());
+            slots.slots.push(SlotInfo {
+                name: field.name.clone(),
+                kind,
+                dir: param.dir,
+                param_index: if *param_index == usize::MAX { None } else { Some(*param_index) },
+            });
+            placed_fields.push((field, slot));
+        }
+        placed.push(PlacedParam {
+            param_index: *param_index,
+            dir: param.dir,
+            pres: ppres,
+            fields: placed_fields,
+        });
+    }
+    // Status slot, always last.
+    let status_slot = Slot(slots.slots.len());
+    slots.slots.push(SlotInfo {
+        name: "status".into(),
+        kind: SlotKind::U32,
+        dir: ParamDir::Out,
+        param_index: None,
+    });
+
+    // 2. Build the four programs following the payload-first layout.
+    let mut request_marshal = StubProgram::default();
+    let mut request_unmarshal = StubProgram::default();
+    let mut reply_marshal = StubProgram::default();
+    let mut reply_unmarshal = StubProgram::default();
+    let mut sink_params = Vec::new();
+    let mut reply_payload_seen_buffered = false;
+
+    // Payload section.
+    for pp in &placed {
+        for (field, slot) in &pp.fields {
+            let is_payload_field =
+                matches!(field.shape, FieldShape::Str | FieldShape::Payload);
+            if !is_payload_field {
+                continue;
+            }
+            if pp.dir.is_in() {
+                request_marshal.ops.push(put_payload_op(&field.shape, *slot, pp, false)?);
+                request_unmarshal.ops.push(get_payload_op_server(&field.shape, *slot, pp));
+            }
+            if pp.dir.is_out() {
+                if pp.pres.is_server_sink() {
+                    if reply_payload_seen_buffered {
+                        return Err(CoreError::BadPresentation(format!(
+                            "sink-mode payload `{}` follows a buffered payload: sink payloads must lead the reply",
+                            field.name
+                        )));
+                    }
+                    sink_params.push(SinkSpec { slot: *slot, param_index: pp.param_index });
+                } else {
+                    reply_payload_seen_buffered = true;
+                    reply_marshal.ops.push(put_payload_op(&field.shape, *slot, pp, true)?);
+                }
+                reply_unmarshal.ops.push(get_payload_op_client(&field.shape, *slot, pp));
+            }
+        }
+    }
+
+    // Scalar / fixed / port section.
+    for pp in &placed {
+        for (field, slot) in &pp.fields {
+            let (put, get) = match &field.shape {
+                FieldShape::Str | FieldShape::Payload => continue,
+                FieldShape::Scalar(kind) => scalar_ops(*kind, *slot),
+                FieldShape::FixedBytes(n) => {
+                    (MOp::PutBytesFixed(*slot, *n), MOp::GetBytesFixed(*slot, *n))
+                }
+                FieldShape::Port => (MOp::PutPort(*slot), MOp::GetPort(*slot)),
+            };
+            if pp.dir.is_in() {
+                request_marshal.ops.push(put);
+                request_unmarshal.ops.push(get);
+            }
+            if pp.dir.is_out() {
+                reply_marshal.ops.push(put);
+                reply_unmarshal.ops.push(get);
+            }
+        }
+    }
+
+    // Status word.
+    reply_marshal.ops.push(MOp::PutU32(status_slot));
+    reply_unmarshal.ops.push(MOp::GetU32(status_slot));
+
+    Ok(CompiledOp {
+        name: op.name.clone(),
+        index,
+        opnum: op.opnum,
+        slots,
+        request_marshal,
+        request_unmarshal,
+        reply_marshal,
+        reply_unmarshal,
+        sink_params,
+        comm_status: pres.comm_status,
+    })
+}
+
+fn slot_kind_for(shape: &FieldShape, pres: &ParamPresentation) -> SlotKind {
+    match shape {
+        FieldShape::Scalar(k) => *k,
+        FieldShape::Str => {
+            if pres.length_is.is_some() {
+                SlotKind::Bytes
+            } else {
+                SlotKind::Str
+            }
+        }
+        FieldShape::Payload | FieldShape::FixedBytes(_) => SlotKind::Bytes,
+        FieldShape::Port => SlotKind::Port,
+    }
+}
+
+fn scalar_ops(kind: SlotKind, slot: Slot) -> (MOp, MOp) {
+    match kind {
+        SlotKind::U32 => (MOp::PutU32(slot), MOp::GetU32(slot)),
+        SlotKind::I32 => (MOp::PutI32(slot), MOp::GetI32(slot)),
+        SlotKind::U64 => (MOp::PutU64(slot), MOp::GetU64(slot)),
+        SlotKind::I64 => (MOp::PutI64(slot), MOp::GetI64(slot)),
+        SlotKind::Bool => (MOp::PutBool(slot), MOp::GetBool(slot)),
+        SlotKind::F64 => (MOp::PutF64(slot), MOp::GetF64(slot)),
+        SlotKind::Str | SlotKind::Bytes | SlotKind::Port => {
+            unreachable!("non-scalar kinds handled by the payload/port paths")
+        }
+    }
+}
+
+/// Marshal op for a payload field (`reply` selects the reply direction).
+fn put_payload_op(
+    shape: &FieldShape,
+    slot: Slot,
+    pp: &PlacedParam<'_>,
+    reply: bool,
+) -> Result<MOp> {
+    // A client-side special hook for in-params, or a server whose special
+    // out-param is NOT sink-mode, writes through the hook op; sinks never
+    // reach here.
+    if pp.pres.special && !reply {
+        return Ok(MOp::PutBytesSpecial { slot, hook: pp.param_index });
+    }
+    Ok(match shape {
+        FieldShape::Str => {
+            if pp.pres.length_is.is_some() {
+                MOp::PutStrFromBytes(slot)
+            } else {
+                MOp::PutStr(slot)
+            }
+        }
+        FieldShape::Payload => MOp::PutBytes(slot),
+        _ => unreachable!("only payload shapes reach put_payload_op"),
+    })
+}
+
+/// Server-side unmarshal op for an in-direction payload field.
+fn get_payload_op_server(shape: &FieldShape, slot: Slot, pp: &PlacedParam<'_>) -> MOp {
+    if pp.pres.special {
+        return MOp::GetBytesSpecial { slot, hook: pp.param_index };
+    }
+    match shape {
+        FieldShape::Str => {
+            if pp.pres.length_is.is_some() {
+                MOp::GetStrAsBytes(slot)
+            } else {
+                MOp::GetStr(slot)
+            }
+        }
+        FieldShape::Payload => {
+            if pp.pres.borrowed {
+                MOp::GetBytesBorrowed(slot)
+            } else {
+                MOp::GetBytesOwned(slot)
+            }
+        }
+        _ => unreachable!("only payload shapes reach get_payload_op_server"),
+    }
+}
+
+/// Client-side unmarshal op for an out-direction payload field.
+fn get_payload_op_client(shape: &FieldShape, slot: Slot, pp: &PlacedParam<'_>) -> MOp {
+    match pp.pres.alloc {
+        AllocSemantics::Special => MOp::GetBytesSpecial { slot, hook: pp.param_index },
+        AllocSemantics::CallerAllocates => MOp::GetBytesInto(slot),
+        AllocSemantics::StubAllocates => match shape {
+            FieldShape::Str => {
+                if pp.pres.length_is.is_some() {
+                    MOp::GetStrAsBytes(slot)
+                } else {
+                    MOp::GetStr(slot)
+                }
+            }
+            FieldShape::Payload => MOp::GetBytesOwned(slot),
+            _ => unreachable!("only payload shapes reach get_payload_op_client"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot::{apply_pdl, Attr, OpAnnot, ParamAnnot, PdlFile};
+    use crate::ir::{fileio_example, syslog_example, Dialect, Field, TypeDef};
+    use crate::present::InterfacePresentation;
+
+    fn compile_fileio(pdl: Option<PdlFile>) -> CompiledInterface {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        let mut pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        if let Some(pdl) = pdl {
+            pres = apply_pdl(&m, iface, &pres, &pdl).unwrap();
+        }
+        CompiledInterface::compile(&m, iface, &pres).unwrap()
+    }
+
+    #[test]
+    fn fileio_default_layout() {
+        let ci = compile_fileio(None);
+        let read = ci.op("read").unwrap();
+        // Request: just the count scalar.
+        assert_eq!(read.request_marshal.ops, vec![MOp::PutU32(Slot(0))]);
+        assert_eq!(read.request_unmarshal.ops, vec![MOp::GetU32(Slot(0))]);
+        // Reply: result payload, then status.
+        assert_eq!(
+            read.reply_marshal.ops,
+            vec![MOp::PutBytes(Slot(1)), MOp::PutU32(Slot(2))]
+        );
+        assert_eq!(
+            read.reply_unmarshal.ops,
+            vec![MOp::GetBytesOwned(Slot(1)), MOp::GetU32(Slot(2))]
+        );
+        assert!(read.sink_params.is_empty());
+
+        let write = ci.op("write").unwrap();
+        // Request: payload first (there are no scalars).
+        assert_eq!(write.request_marshal.ops, vec![MOp::PutBytes(Slot(0))]);
+        assert_eq!(write.request_unmarshal.ops, vec![MOp::GetBytesOwned(Slot(0))]);
+        // Reply: status only.
+        assert_eq!(write.reply_marshal.ops, vec![MOp::PutU32(Slot(1))]);
+    }
+
+    #[test]
+    fn dealloc_never_compiles_to_sink() {
+        let pdl = PdlFile {
+            interface: Some("FileIO".into()),
+            iface_attrs: vec![],
+            types: vec![],
+            ops: vec![OpAnnot {
+                op: "read".into(),
+                op_attrs: vec![],
+                params: vec![ParamAnnot {
+                    param: "return".into(),
+                    attrs: vec![Attr::DeallocNever],
+                }],
+            }],
+        };
+        let ci = compile_fileio(Some(pdl));
+        let read = ci.op("read").unwrap();
+        // The payload is no longer marshalled by the stub...
+        assert_eq!(read.reply_marshal.ops, vec![MOp::PutU32(Slot(2))]);
+        // ...it is sink-written by the work function.
+        assert_eq!(read.sink_params, vec![SinkSpec { slot: Slot(1), param_index: usize::MAX }]);
+        // The client side is unchanged: wire layout is presentation-free.
+        assert_eq!(
+            read.reply_unmarshal.ops,
+            vec![MOp::GetBytesOwned(Slot(1)), MOp::GetU32(Slot(2))]
+        );
+    }
+
+    #[test]
+    fn caller_allocates_changes_client_side_only() {
+        let pdl = PdlFile {
+            interface: Some("FileIO".into()),
+            iface_attrs: vec![],
+            types: vec![],
+            ops: vec![OpAnnot {
+                op: "read".into(),
+                op_attrs: vec![],
+                params: vec![ParamAnnot {
+                    param: "return".into(),
+                    attrs: vec![Attr::AllocCaller],
+                }],
+            }],
+        };
+        let ci = compile_fileio(Some(pdl));
+        let read = ci.op("read").unwrap();
+        assert_eq!(
+            read.reply_unmarshal.ops,
+            vec![MOp::GetBytesInto(Slot(1)), MOp::GetU32(Slot(2))]
+        );
+        // Server side still buffers + marshals by default.
+        assert_eq!(
+            read.reply_marshal.ops,
+            vec![MOp::PutBytes(Slot(1)), MOp::PutU32(Slot(2))]
+        );
+    }
+
+    #[test]
+    fn borrowed_server_presentation() {
+        let pdl = PdlFile {
+            interface: Some("FileIO".into()),
+            iface_attrs: vec![],
+            types: vec![],
+            ops: vec![OpAnnot {
+                op: "write".into(),
+                op_attrs: vec![],
+                params: vec![ParamAnnot { param: "data".into(), attrs: vec![Attr::Borrowed] }],
+            }],
+        };
+        let ci = compile_fileio(Some(pdl));
+        let write = ci.op("write").unwrap();
+        assert_eq!(write.request_unmarshal.ops, vec![MOp::GetBytesBorrowed(Slot(0))]);
+    }
+
+    #[test]
+    fn special_in_param_uses_hooks_both_sides() {
+        let pdl = PdlFile {
+            interface: Some("FileIO".into()),
+            iface_attrs: vec![],
+            types: vec![],
+            ops: vec![OpAnnot {
+                op: "write".into(),
+                op_attrs: vec![],
+                params: vec![ParamAnnot { param: "data".into(), attrs: vec![Attr::Special] }],
+            }],
+        };
+        let ci = compile_fileio(Some(pdl));
+        let write = ci.op("write").unwrap();
+        assert_eq!(
+            write.request_marshal.ops,
+            vec![MOp::PutBytesSpecial { slot: Slot(0), hook: 0 }]
+        );
+        assert_eq!(
+            write.request_unmarshal.ops,
+            vec![MOp::GetBytesSpecial { slot: Slot(0), hook: 0 }]
+        );
+    }
+
+    #[test]
+    fn length_is_switches_string_ops() {
+        let m = syslog_example();
+        let iface = m.interface("SysLog").unwrap();
+        let base = InterfacePresentation::default_for(&m, iface).unwrap();
+        let ci = CompiledInterface::compile(&m, iface, &base).unwrap();
+        assert_eq!(ci.op("write_msg").unwrap().request_marshal.ops, vec![MOp::PutStr(Slot(0))]);
+
+        let pdl = PdlFile {
+            interface: Some("SysLog".into()),
+            iface_attrs: vec![],
+            types: vec![],
+            ops: vec![OpAnnot {
+                op: "write_msg".into(),
+                op_attrs: vec![],
+                params: vec![ParamAnnot {
+                    param: "msg".into(),
+                    attrs: vec![Attr::LengthIs("length".into())],
+                }],
+            }],
+        };
+        let pres = apply_pdl(&m, iface, &base, &pdl).unwrap();
+        let ci = CompiledInterface::compile(&m, iface, &pres).unwrap();
+        let op = ci.op("write_msg").unwrap();
+        assert_eq!(op.request_marshal.ops, vec![MOp::PutStrFromBytes(Slot(0))]);
+        assert_eq!(op.slots.slots[0].kind, SlotKind::Bytes);
+    }
+
+    #[test]
+    fn struct_params_flatten_to_scalars() {
+        let mut m = crate::ir::Module::new("nfs", Dialect::Sun);
+        m.typedefs.push(TypeDef {
+            name: "fattr".into(),
+            body: TypeBody::Struct(vec![
+                Field { name: "size".into(), ty: Type::U32 },
+                Field { name: "mtime".into(), ty: Type::U64 },
+            ]),
+        });
+        m.interfaces.push(Interface::new(
+            "Nfs",
+            vec![Operation::new(
+                "getattr",
+                vec![Param::new("attrs", ParamDir::Out, Type::Named("fattr".into()))],
+                Type::Void,
+            )],
+        ));
+        let iface = m.interface("Nfs").unwrap();
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        let ci = CompiledInterface::compile(&m, iface, &pres).unwrap();
+        let op = ci.op("getattr").unwrap();
+        assert_eq!(op.slots.slot("attrs.size"), Some(Slot(0)));
+        assert_eq!(op.slots.slot("attrs.mtime"), Some(Slot(1)));
+        assert_eq!(
+            op.reply_marshal.ops,
+            vec![MOp::PutU32(Slot(0)), MOp::PutU64(Slot(1)), MOp::PutU32(Slot(2))]
+        );
+    }
+
+    #[test]
+    fn unsupported_sequence_element_rejected() {
+        let mut m = fileio_example();
+        m.interfaces[0].ops[0].params[0].ty = Type::Sequence(Box::new(Type::U32));
+        let iface = m.interface("FileIO").unwrap();
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        assert!(matches!(
+            CompiledInterface::compile(&m, iface, &pres),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn status_slot_is_last() {
+        let ci = compile_fileio(None);
+        for op in &ci.ops {
+            let s = op.status_slot();
+            assert_eq!(op.slots.slots[s.0].name, "status");
+            assert_eq!(s.0, op.slots.len() - 1);
+        }
+    }
+
+    #[test]
+    fn new_frame_matches_kinds() {
+        let ci = compile_fileio(None);
+        let read = ci.op("read").unwrap();
+        let frame = read.slots.new_frame();
+        assert_eq!(frame.len(), read.slots.len());
+        assert_eq!(frame[0], Value::U32(0));
+        assert_eq!(frame[1], Value::Bytes(vec![]));
+    }
+
+    #[test]
+    fn signatures_equal_across_presentations() {
+        let default = compile_fileio(None);
+        let pdl = PdlFile {
+            interface: Some("FileIO".into()),
+            iface_attrs: vec![Attr::Leaky],
+            types: vec![],
+            ops: vec![OpAnnot {
+                op: "read".into(),
+                op_attrs: vec![Attr::CommStatus],
+                params: vec![ParamAnnot {
+                    param: "return".into(),
+                    attrs: vec![Attr::DeallocNever],
+                }],
+            }],
+        };
+        let annotated = compile_fileio(Some(pdl));
+        assert_eq!(default.signature.hash(), annotated.signature.hash());
+    }
+
+    #[test]
+    fn program_display_lists_ops() {
+        let ci = compile_fileio(None);
+        let s = ci.op("read").unwrap().reply_marshal.to_string();
+        assert!(s.contains("PutBytes"));
+        assert!(s.contains("PutU32"));
+    }
+
+    #[test]
+    fn fixed_opaque_array() {
+        let mut m = crate::ir::Module::new("nfs", Dialect::Sun);
+        m.typedefs.push(TypeDef {
+            name: "nfs_fh".into(),
+            body: TypeBody::Alias(Type::Array(Box::new(Type::Octet), 32)),
+        });
+        m.interfaces.push(Interface::new(
+            "Nfs",
+            vec![Operation::new(
+                "null_fh",
+                vec![Param::new("fh", ParamDir::In, Type::Named("nfs_fh".into()))],
+                Type::Void,
+            )],
+        ));
+        let iface = m.interface("Nfs").unwrap();
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        let ci = CompiledInterface::compile(&m, iface, &pres).unwrap();
+        assert_eq!(
+            ci.op("null_fh").unwrap().request_marshal.ops,
+            vec![MOp::PutBytesFixed(Slot(0), 32)]
+        );
+    }
+
+    #[test]
+    fn mop_slot_accessor() {
+        assert_eq!(MOp::PutU32(Slot(3)).slot(), Slot(3));
+        assert_eq!(MOp::GetBytesSpecial { slot: Slot(7), hook: 1 }.slot(), Slot(7));
+    }
+}

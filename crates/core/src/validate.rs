@@ -1,0 +1,241 @@
+//! Structural validation of the interface IR.
+//!
+//! Front-ends produce IR mechanically; this pass catches what their grammars
+//! cannot: dangling type names, duplicate declarations, alias cycles, and
+//! void in positions where it is meaningless. Everything downstream
+//! (signatures, presentations, programs) may assume a validated module.
+
+use crate::ir::{Module, Type, TypeBody};
+use crate::{CoreError, Result};
+use std::collections::HashSet;
+
+/// Validates a module, returning it unchanged on success.
+pub fn validate(module: &Module) -> Result<()> {
+    check_duplicates(module)?;
+    check_alias_cycles(module)?;
+    for td in &module.typedefs {
+        match &td.body {
+            TypeBody::Alias(t) => check_type(module, t, false)?,
+            TypeBody::Struct(fields) => {
+                let mut seen = HashSet::new();
+                for f in fields {
+                    if !seen.insert(f.name.as_str()) {
+                        return Err(CoreError::Duplicate { kind: "field", name: f.name.clone() });
+                    }
+                    check_type(module, &f.ty, false)?;
+                }
+            }
+            TypeBody::Enum(items) => {
+                let mut seen = HashSet::new();
+                for it in items {
+                    if !seen.insert(it.as_str()) {
+                        return Err(CoreError::Duplicate {
+                            kind: "enumerator",
+                            name: it.clone(),
+                        });
+                    }
+                }
+                if items.is_empty() {
+                    return Err(CoreError::Invalid(format!("enum `{}` has no items", td.name)));
+                }
+            }
+            TypeBody::Union { arms, default } => {
+                let mut seen = HashSet::new();
+                for a in arms {
+                    if !seen.insert(a.case) {
+                        return Err(CoreError::Invalid(format!(
+                            "union `{}` repeats case {}",
+                            td.name, a.case
+                        )));
+                    }
+                    // XDR unions commonly have `void` arms ("no data in
+                    // this case"), so void is legal here.
+                    check_type(module, &a.field.ty, true)?;
+                }
+                if let Some(d) = default {
+                    check_type(module, &d.ty, true)?;
+                }
+            }
+        }
+    }
+    for iface in &module.interfaces {
+        for op in &iface.ops {
+            let mut seen = HashSet::new();
+            for p in &op.params {
+                if !seen.insert(p.name.as_str()) {
+                    return Err(CoreError::Duplicate { kind: "parameter", name: p.name.clone() });
+                }
+                check_type(module, &p.ty, false)?;
+            }
+            check_type(module, &op.ret, true)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_duplicates(module: &Module) -> Result<()> {
+    let mut types = HashSet::new();
+    for td in &module.typedefs {
+        if !types.insert(td.name.as_str()) {
+            return Err(CoreError::Duplicate { kind: "type", name: td.name.clone() });
+        }
+    }
+    let mut ifaces = HashSet::new();
+    for iface in &module.interfaces {
+        if !ifaces.insert(iface.name.as_str()) {
+            return Err(CoreError::Duplicate { kind: "interface", name: iface.name.clone() });
+        }
+        let mut ops = HashSet::new();
+        for op in &iface.ops {
+            if !ops.insert(op.name.as_str()) {
+                return Err(CoreError::Duplicate { kind: "operation", name: op.name.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_alias_cycles(module: &Module) -> Result<()> {
+    for td in &module.typedefs {
+        // Walk the alias chain from each typedef; `resolve` bounds itself.
+        let t = Type::Named(td.name.clone());
+        module.resolve(&t)?;
+    }
+    Ok(())
+}
+
+fn check_type(module: &Module, ty: &Type, void_ok: bool) -> Result<()> {
+    match ty {
+        Type::Void if !void_ok => {
+            Err(CoreError::Invalid("void is only valid as a result type".into()))
+        }
+        Type::Void => Ok(()),
+        Type::Sequence(el) | Type::Array(el, _) => {
+            if **el == Type::Void {
+                return Err(CoreError::Invalid("void element type".into()));
+            }
+            check_type(module, el, false)
+        }
+        Type::Named(name) => {
+            if module.typedef(name).is_none() {
+                return Err(CoreError::Unresolved { kind: "type", name: name.clone() });
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{
+        fileio_example, Dialect, Field, Interface, Operation, Param, ParamDir, TypeDef,
+    };
+
+    #[test]
+    fn examples_validate() {
+        validate(&fileio_example()).unwrap();
+        validate(&crate::ir::syslog_example()).unwrap();
+    }
+
+    #[test]
+    fn duplicate_interface_rejected() {
+        let mut m = fileio_example();
+        m.interfaces.push(Interface::new("FileIO", vec![]));
+        assert!(matches!(
+            validate(&m),
+            Err(CoreError::Duplicate { kind: "interface", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_operation_rejected() {
+        let mut m = fileio_example();
+        m.interfaces[0].ops.push(Operation::new("read", vec![], Type::Void));
+        assert!(matches!(
+            validate(&m),
+            Err(CoreError::Duplicate { kind: "operation", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_param_rejected() {
+        let mut m = fileio_example();
+        m.interfaces[0].ops[0].params.push(Param::new("count", ParamDir::In, Type::U32));
+        assert!(matches!(
+            validate(&m),
+            Err(CoreError::Duplicate { kind: "parameter", .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_param_type_rejected() {
+        let mut m = fileio_example();
+        m.interfaces[0].ops[0].params.push(Param::new(
+            "extra",
+            ParamDir::In,
+            Type::Named("nowhere".into()),
+        ));
+        assert!(matches!(validate(&m), Err(CoreError::Unresolved { .. })));
+    }
+
+    #[test]
+    fn void_param_rejected() {
+        let mut m = fileio_example();
+        m.interfaces[0].ops[0].params.push(Param::new("v", ParamDir::In, Type::Void));
+        assert!(matches!(validate(&m), Err(CoreError::Invalid(_))));
+    }
+
+    #[test]
+    fn void_result_accepted() {
+        let m = fileio_example();
+        assert_eq!(m.interfaces[0].ops[1].ret, Type::Void);
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn alias_cycle_rejected() {
+        let mut m = Module::new("t", Dialect::Corba);
+        m.typedefs
+            .push(TypeDef { name: "x".into(), body: TypeBody::Alias(Type::Named("x".into())) });
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn empty_enum_rejected() {
+        let mut m = Module::new("t", Dialect::Corba);
+        m.typedefs.push(TypeDef { name: "e".into(), body: TypeBody::Enum(vec![]) });
+        assert!(matches!(validate(&m), Err(CoreError::Invalid(_))));
+    }
+
+    #[test]
+    fn duplicate_union_case_rejected() {
+        use crate::ir::UnionArm;
+        let mut m = Module::new("t", Dialect::Corba);
+        m.typedefs.push(TypeDef {
+            name: "u".into(),
+            body: TypeBody::Union {
+                arms: vec![
+                    UnionArm { case: 0, field: Field { name: "a".into(), ty: Type::U32 } },
+                    UnionArm { case: 0, field: Field { name: "b".into(), ty: Type::U32 } },
+                ],
+                default: None,
+            },
+        });
+        assert!(matches!(validate(&m), Err(CoreError::Invalid(_))));
+    }
+
+    #[test]
+    fn duplicate_struct_field_rejected() {
+        let mut m = Module::new("t", Dialect::Corba);
+        m.typedefs.push(TypeDef {
+            name: "s".into(),
+            body: TypeBody::Struct(vec![
+                Field { name: "f".into(), ty: Type::U32 },
+                Field { name: "f".into(), ty: Type::U64 },
+            ]),
+        });
+        assert!(matches!(validate(&m), Err(CoreError::Duplicate { kind: "field", .. })));
+    }
+}

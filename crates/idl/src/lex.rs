@@ -1,0 +1,355 @@
+//! A hand-written lexer shared by all three front-ends.
+//!
+//! Tokenizes identifiers, decimal/hex numbers, and the punctuation the three
+//! grammars need. `//`, `/* */` and `#`-to-end-of-line comments are skipped
+//! (rpcgen `.x` files use `#` for preprocessor lines; `%` passthrough lines
+//! are skipped too). Every token carries its source position for
+//! diagnostics.
+
+use crate::diag::ParseError;
+use crate::Result;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are decided by the parsers).
+    Ident(String),
+    /// Unsigned integer literal (decimal or `0x` hex).
+    Num(u64),
+    /// One punctuation character: `{}()[]<>;,:=*.-`.
+    Punct(char),
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable token description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Num(n) => format!("number {n}"),
+            Tok::Punct(c) => format!("`{c}`"),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Tokenizes `src` completely (appends an `Eof` token).
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comments and preprocessor/passthrough lines.
+        if c == '#' || c == '%' || (c == '/' && bytes.get(i + 1) == Some(&b'/')) {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                bump!();
+            }
+            continue;
+        }
+        // Block comments.
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let (sl, sc) = (line, col);
+            bump!();
+            bump!();
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(ParseError::at("unterminated block comment", sl, sc));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    bump!();
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            continue;
+        }
+        // Identifiers.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let (sl, sc) = (line, col);
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                bump!();
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(src[start..i].to_owned()),
+                line: sl,
+                col: sc,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (sl, sc) = (line, col);
+            let start = i;
+            if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                bump!();
+                bump!();
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    bump!();
+                }
+                let v = u64::from_str_radix(&src[start + 2..i], 16)
+                    .map_err(|_| ParseError::at("invalid hex literal", sl, sc))?;
+                out.push(Spanned { tok: Tok::Num(v), line: sl, col: sc });
+            } else {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    bump!();
+                }
+                let v = src[start..i]
+                    .parse::<u64>()
+                    .map_err(|_| ParseError::at("integer literal too large", sl, sc))?;
+                out.push(Spanned { tok: Tok::Num(v), line: sl, col: sc });
+            }
+            continue;
+        }
+        // Punctuation.
+        if "{}()[]<>;,:=*.-".contains(c) {
+            out.push(Spanned { tok: Tok::Punct(c), line, col });
+            bump!();
+            continue;
+        }
+        return Err(ParseError::at(format!("unexpected character `{c}`"), line, col));
+    }
+    out.push(Spanned { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+/// A token stream with lookahead, shared by the parsers.
+#[derive(Debug)]
+pub struct TokStream {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl TokStream {
+    /// Lexes `src` into a stream.
+    pub fn new(src: &str) -> Result<TokStream> {
+        Ok(TokStream { toks: tokenize(src)?, pos: 0 })
+    }
+
+    /// The current token.
+    pub fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    /// The token after the current one.
+    pub fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    /// Position of the current token.
+    pub fn pos(&self) -> (u32, u32) {
+        (self.toks[self.pos].line, self.toks[self.pos].col)
+    }
+
+    /// Consumes and returns the current token.
+    pub fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Errors at the current position.
+    pub fn error(&self, msg: impl Into<String>) -> ParseError {
+        let (line, col) = self.pos();
+        ParseError::at(msg, line, col)
+    }
+
+    /// Consumes an identifier or fails.
+    pub fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    /// Consumes a number or fails.
+    pub fn expect_num(&mut self) -> Result<u64> {
+        match self.next() {
+            Tok::Num(n) => Ok(n),
+            other => Err(self.error(format!("expected number, found {}", other.describe()))),
+        }
+    }
+
+    /// Consumes a specific punctuation character or fails.
+    pub fn expect_punct(&mut self, c: char) -> Result<()> {
+        match self.next() {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(self.error(format!("expected `{c}`, found {}", other.describe()))),
+        }
+    }
+
+    /// Consumes the given punctuation if present; returns whether it did.
+    pub fn eat_punct(&mut self, c: char) -> bool {
+        if *self.peek() == Tok::Punct(c) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the given keyword if present; returns whether it did.
+    pub fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a specific keyword or fails.
+    pub fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            let found = self.peek().describe();
+            Err(self.error(format!("expected `{kw}`, found {found}")))
+        }
+    }
+
+    /// True at end of input.
+    pub fn at_eof(&self) -> bool {
+        *self.peek() == Tok::Eof
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("interface Foo { void f(in string s); };"),
+            vec![
+                Tok::Ident("interface".into()),
+                Tok::Ident("Foo".into()),
+                Tok::Punct('{'),
+                Tok::Ident("void".into()),
+                Tok::Ident("f".into()),
+                Tok::Punct('('),
+                Tok::Ident("in".into()),
+                Tok::Ident("string".into()),
+                Tok::Ident("s".into()),
+                Tok::Punct(')'),
+                Tok::Punct(';'),
+                Tok::Punct('}'),
+                Tok::Punct(';'),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_and_hex() {
+        assert_eq!(toks("42 0x2A 0"), vec![Tok::Num(42), Tok::Num(42), Tok::Num(0), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let src = "a // line\n b /* block\n over lines */ c # cpp\n % passthrough\n d";
+        assert_eq!(
+            toks(src),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_reported() {
+        let err = tokenize("x /* nope").unwrap_err();
+        assert!(err.msg.contains("unterminated"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let s = tokenize("ab\n  cd").unwrap();
+        assert_eq!((s[0].line, s[0].col), (1, 1));
+        assert_eq!((s[1].line, s[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_char_reported() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(err.msg.contains('@'));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn stream_helpers() {
+        let mut ts = TokStream::new("foo ( 7 ) ;").unwrap();
+        assert_eq!(ts.expect_ident("name").unwrap(), "foo");
+        ts.expect_punct('(').unwrap();
+        assert_eq!(ts.expect_num().unwrap(), 7);
+        ts.expect_punct(')').unwrap();
+        assert!(ts.eat_punct(';'));
+        assert!(ts.at_eof());
+        // Errors at EOF don't panic and describe the situation.
+        assert!(ts.expect_num().is_err());
+    }
+
+    #[test]
+    fn keyword_helpers() {
+        let mut ts = TokStream::new("unsigned long x").unwrap();
+        assert!(ts.eat_kw("unsigned"));
+        assert!(!ts.eat_kw("short"));
+        ts.expect_kw("long").unwrap();
+        assert_eq!(ts.expect_ident("name").unwrap(), "x");
+    }
+
+    #[test]
+    fn peek2_lookahead() {
+        let ts = TokStream::new("a b").unwrap();
+        assert_eq!(*ts.peek(), Tok::Ident("a".into()));
+        assert_eq!(*ts.peek2(), Tok::Ident("b".into()));
+    }
+}

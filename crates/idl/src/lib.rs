@@ -1,0 +1,50 @@
+//! IDL front-ends for the flexrpc stub compiler.
+//!
+//! The compiler is "cleanly separated into front-ends and back-ends so that
+//! it can read multiple existing IDLs as its input" (§3 of the paper). This
+//! crate provides the front-ends, all lowering to the common IR in
+//! `flexrpc-core`:
+//!
+//! * [`corba`] — a CORBA IDL subset (interfaces, typedefs, structs, enums,
+//!   `sequence<>`, modules), covering the paper's `SysLog` and `FileIO`
+//!   examples and more.
+//! * [`sunrpc`] — a Sun RPC / rpcgen `.x` subset (consts, typedefs with XDR
+//!   declarators like `opaque data<>`, structs, enums, unions,
+//!   `program`/`version` blocks), covering the NFS experiment, with one
+//!   documented extension: procedures may declare multiple named parameters
+//!   with optional `out` direction, which classic rpcgen expresses through
+//!   single argument/result structs.
+//! * [`mig`] — a MIG `.defs` subset (the front-end the paper had "under
+//!   construction"), whose dialect carries MIG's defining presentation
+//!   defaults: caller-allocated out buffers and `kern_return_t` statuses.
+//! * [`pdl`] — the presentation definition language, with the C-prototype-
+//!   flavored syntax of the paper's figures (`[comm_status] int
+//!   nfsproc_read(, nfs_fh *file, ..., [special] user_data *data, ...)`).
+//!   A PDL file parses to a [`flexrpc_core::annot::PdlFile`]; applying it to
+//!   a presentation is `flexrpc-core`'s job, where the contract-invariance
+//!   checks live.
+//!
+//! All parsers share the hand-written lexer in [`lex`] and report errors
+//! with line/column positions ([`ParseError`]).
+//!
+//! # Examples
+//!
+//! ```
+//! let module = flexrpc_idl::corba::parse(
+//!     "syslog",
+//!     r#"interface SysLog { void write_msg(in string msg); };"#,
+//! ).unwrap();
+//! assert_eq!(module.interfaces[0].ops[0].name, "write_msg");
+//! ```
+
+pub mod corba;
+pub mod diag;
+pub mod lex;
+pub mod mig;
+pub mod pdl;
+pub mod sunrpc;
+
+pub use diag::ParseError;
+
+/// Result alias for parsing operations.
+pub type Result<T> = core::result::Result<T, ParseError>;

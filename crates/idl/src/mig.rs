@@ -1,0 +1,292 @@
+//! MIG (`.defs`) front-end — the paper's "under construction" third
+//! front-end, completed.
+//!
+//! Supports the subsystem/type/routine subset that interface files like the
+//! Mach name server's use:
+//!
+//! ```defs
+//! subsystem pipe 2400;
+//!
+//! type buffer_t = array[*:8192] of char;
+//! type path_t = c_string[*:1024];
+//!
+//! routine pipe_read(
+//!     server    : mach_port_t;
+//!     count     : int;
+//!     out data  : buffer_t);
+//!
+//! simpleroutine pipe_poke(
+//!     server    : mach_port_t;
+//!     code      : int);
+//!
+//! skip;
+//! ```
+//!
+//! Lowering decisions (documented MIG semantics):
+//!
+//! * The subsystem's base message id numbers routines sequentially
+//!   (`skip;` burns an id), carried in [`Operation::opnum`].
+//! * The first parameter, when it is a `mach_port_t`, is the *request
+//!   port* — transport addressing, not message content — and is dropped
+//!   from the operation's wire parameters.
+//! * `simpleroutine` (one-way) lowers to a void-returning operation; our
+//!   transports are synchronous, so the reply is an empty status message.
+//! * The implicit `kern_return_t` result is the status word every reply
+//!   already carries; MIG's *default presentation* (`comm_status`,
+//!   caller-allocated out buffers) is applied by
+//!   `InterfacePresentation::default_for` via [`Dialect::Mig`].
+
+use crate::lex::TokStream;
+use crate::Result;
+use flexrpc_core::ir::{Dialect, Interface, Module, Operation, Param, ParamDir, Type, TypeBody, TypeDef};
+
+/// Parses `.defs` source into a validated [`Module`].
+pub fn parse(name: &str, src: &str) -> Result<Module> {
+    let mut ts = TokStream::new(src)?;
+    let mut module = Module::new(name, Dialect::Mig);
+
+    ts.expect_kw("subsystem")?;
+    let sub_name = ts.expect_ident("subsystem name")?;
+    let base = ts.expect_num()?;
+    ts.expect_punct(';')?;
+
+    let mut ops = Vec::new();
+    let mut next_id = base as u32;
+    while !ts.at_eof() {
+        if ts.eat_kw("type") {
+            let td = parse_typedef(&mut ts)?;
+            module.typedefs.push(td);
+        } else if ts.eat_kw("skip") {
+            ts.expect_punct(';')?;
+            next_id += 1;
+        } else if ts.eat_kw("routine") || {
+            if ts.eat_kw("simpleroutine") {
+                true
+            } else {
+                return Err(ts.error(format!(
+                    "expected type/routine/simpleroutine/skip, found {}",
+                    ts.peek().describe()
+                )));
+            }
+        } {
+            let op = parse_routine(&mut ts, next_id)?;
+            next_id += 1;
+            ops.push(op);
+        }
+    }
+    module.interfaces.push(Interface {
+        name: sub_name,
+        program: Some(base as u32),
+        version: None,
+        ops,
+    });
+    flexrpc_core::validate::validate(&module)
+        .map_err(|e| ts.error(format!("invalid module: {e}")))?;
+    Ok(module)
+}
+
+fn parse_typedef(ts: &mut TokStream) -> Result<TypeDef> {
+    let name = ts.expect_ident("type name")?;
+    ts.expect_punct('=')?;
+    let ty = parse_type(ts)?;
+    ts.expect_punct(';')?;
+    Ok(TypeDef { name, body: TypeBody::Alias(ty) })
+}
+
+fn parse_type(ts: &mut TokStream) -> Result<Type> {
+    if ts.eat_kw("int") {
+        return Ok(Type::I32);
+    }
+    if ts.eat_kw("unsigned") {
+        return Ok(Type::U32);
+    }
+    if ts.eat_kw("char") {
+        return Ok(Type::Octet);
+    }
+    if ts.eat_kw("boolean_t") {
+        return Ok(Type::Bool);
+    }
+    if ts.eat_kw("mach_port_t") {
+        return Ok(Type::ObjRef);
+    }
+    if ts.eat_kw("c_string") {
+        // c_string[*:N] — a bounded C string.
+        ts.expect_punct('[')?;
+        ts.expect_punct('*')?;
+        ts.expect_punct(':')?;
+        let _max = ts.expect_num()?;
+        ts.expect_punct(']')?;
+        return Ok(Type::Str);
+    }
+    if ts.eat_kw("array") {
+        ts.expect_punct('[')?;
+        let bounded = if ts.eat_punct('*') {
+            ts.expect_punct(':')?;
+            let _max = ts.expect_num()?;
+            None
+        } else {
+            Some(ts.expect_num()? as u32)
+        };
+        ts.expect_punct(']')?;
+        ts.expect_kw("of")?;
+        let el = parse_type(ts)?;
+        return Ok(match bounded {
+            None => Type::Sequence(Box::new(el)),
+            Some(n) => Type::Array(Box::new(el), n),
+        });
+    }
+    let name = ts.expect_ident("type name")?;
+    Ok(Type::Named(name))
+}
+
+fn parse_routine(ts: &mut TokStream, opnum: u32) -> Result<Operation> {
+    let name = ts.expect_ident("routine name")?;
+    ts.expect_punct('(')?;
+    let mut params = Vec::new();
+    let mut first = true;
+    if !ts.eat_punct(')') {
+        loop {
+            let dir = if ts.eat_kw("out") {
+                ParamDir::Out
+            } else if ts.eat_kw("inout") {
+                ParamDir::InOut
+            } else {
+                let _ = ts.eat_kw("in");
+                ParamDir::In
+            };
+            let pname = ts.expect_ident("parameter name")?;
+            ts.expect_punct(':')?;
+            let ty = parse_type(ts)?;
+            // MIG: the leading request-port parameter is addressing, not
+            // message content.
+            let is_request_port = first && dir == ParamDir::In && ty == Type::ObjRef;
+            first = false;
+            if !is_request_port {
+                params.push(Param { name: pname, dir, ty });
+            }
+            if ts.eat_punct(')') {
+                break;
+            }
+            ts.expect_punct(';')?;
+            // Tolerate a trailing separator before the closing paren.
+            if ts.eat_punct(')') {
+                break;
+            }
+        }
+    }
+    ts.expect_punct(';')?;
+    Ok(Operation { name, opnum: Some(opnum), params, ret: Type::Void })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrpc_core::present::{AllocSemantics, InterfacePresentation};
+
+    const PIPE_DEFS: &str = r#"
+        subsystem pipe 2400;
+
+        #include <mach/std_types.defs>
+
+        type buffer_t = array[*:8192] of char;
+        type fixed_t = array[16] of char;
+        type path_t = c_string[*:1024];
+
+        routine pipe_read(
+            server    : mach_port_t;
+            count     : int;
+            out data  : buffer_t);
+
+        routine pipe_write(
+            server    : mach_port_t;
+            data      : buffer_t);
+
+        skip;
+
+        simpleroutine pipe_poke(
+            server    : mach_port_t;
+            code      : int);
+    "#;
+
+    #[test]
+    fn subsystem_parses_and_numbers_routines() {
+        let m = parse("pipe", PIPE_DEFS).unwrap();
+        assert_eq!(m.dialect, Dialect::Mig);
+        let iface = &m.interfaces[0];
+        assert_eq!(iface.name, "pipe");
+        assert_eq!(iface.program, Some(2400));
+        let ids: Vec<Option<u32>> = iface.ops.iter().map(|o| o.opnum).collect();
+        // skip; burned 2402.
+        assert_eq!(ids, vec![Some(2400), Some(2401), Some(2403)]);
+    }
+
+    #[test]
+    fn request_port_dropped_from_wire_params() {
+        let m = parse("pipe", PIPE_DEFS).unwrap();
+        let read = m.interfaces[0].op("pipe_read").unwrap();
+        assert_eq!(read.params.len(), 2, "server port is addressing, not content");
+        assert_eq!(read.params[0].name, "count");
+        assert_eq!(read.params[1].dir, ParamDir::Out);
+        assert_eq!(
+            m.resolve(&read.params[1].ty).unwrap(),
+            &Type::octet_seq()
+        );
+    }
+
+    #[test]
+    fn type_specs_lower() {
+        let m = parse("pipe", PIPE_DEFS).unwrap();
+        assert_eq!(
+            m.typedef("buffer_t").unwrap().body,
+            TypeBody::Alias(Type::octet_seq())
+        );
+        assert_eq!(
+            m.typedef("fixed_t").unwrap().body,
+            TypeBody::Alias(Type::Array(Box::new(Type::Octet), 16))
+        );
+        assert_eq!(m.typedef("path_t").unwrap().body, TypeBody::Alias(Type::Str));
+    }
+
+    #[test]
+    fn mig_default_presentation_is_caller_allocates() {
+        // Figure 11's middle bar is named after MIG for a reason: its
+        // default out-buffer semantics is "client allocates, server fills".
+        let m = parse("pipe", PIPE_DEFS).unwrap();
+        let iface = &m.interfaces[0];
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        let read = pres.op("pipe_read").unwrap();
+        assert!(read.comm_status, "kern_return_t is a status, not an exception");
+        assert_eq!(read.params[1].alloc, AllocSemantics::CallerAllocates);
+    }
+
+    #[test]
+    fn mig_module_compiles_and_roundtrips() {
+        use flexrpc_core::program::CompiledInterface;
+        let m = parse("pipe", PIPE_DEFS).unwrap();
+        let iface = &m.interfaces[0];
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        let ci = CompiledInterface::compile(&m, iface, &pres).unwrap();
+        assert_eq!(ci.ops.len(), 3);
+        assert_eq!(ci.op("pipe_read").unwrap().opnum, Some(2400));
+    }
+
+    #[test]
+    fn simpleroutine_is_void() {
+        let m = parse("pipe", PIPE_DEFS).unwrap();
+        let poke = m.interfaces[0].op("pipe_poke").unwrap();
+        assert_eq!(poke.ret, Type::Void);
+        assert_eq!(poke.params.len(), 1);
+    }
+
+    #[test]
+    fn garbage_reported_with_position() {
+        let err = parse("bad", "subsystem x 1;\nfrobnicate;").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("frobnicate") || err.msg.contains("expected"));
+    }
+
+    #[test]
+    fn missing_subsystem_reported() {
+        assert!(parse("bad", "routine r(x: int);").is_err());
+    }
+}

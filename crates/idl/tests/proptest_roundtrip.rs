@@ -1,0 +1,162 @@
+//! Property tests over the front-ends.
+//!
+//! The central ones: `pretty_print ∘ parse = id` over random interface
+//! modules, and signature stability under random PDL annotation — the
+//! machine-checked form of "presentation never changes the contract".
+
+use flexrpc_core::annot::{apply_pdl, Attr, OpAnnot, ParamAnnot, PdlFile};
+use flexrpc_core::ir::{
+    pretty_print, Dialect, Field, Interface, Module, Operation, Param, ParamDir, Type, TypeBody,
+    TypeDef,
+};
+use flexrpc_core::present::InterfacePresentation;
+use flexrpc_core::sig::WireSignature;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn scalar_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::Bool),
+        Just(Type::Octet),
+        Just(Type::I16),
+        Just(Type::U16),
+        Just(Type::I32),
+        Just(Type::U32),
+        Just(Type::I64),
+        Just(Type::U64),
+        Just(Type::F64),
+    ]
+}
+
+fn param_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        scalar_type(),
+        Just(Type::Str),
+        Just(Type::octet_seq()),
+        Just(Type::ObjRef),
+    ]
+}
+
+fn dedup_names<T>(items: Vec<(String, T)>) -> Vec<(String, T)> {
+    let mut seen = std::collections::HashSet::new();
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, v))| (format!("{name}_{i}"), v))
+        .filter(|(name, _)| seen.insert(name.clone()))
+        .collect()
+}
+
+prop_compose! {
+    fn operation()(
+        name in ident(),
+        params in prop::collection::vec((ident(), param_type(), 0u8..3), 0..5),
+        ret in prop_oneof![Just(Type::Void), param_type()],
+    ) -> Operation {
+        let params = dedup_names(params.into_iter().map(|(n, t, d)| (n, (t, d))).collect())
+            .into_iter()
+            .map(|(n, (t, d))| Param {
+                name: n,
+                dir: match d { 0 => ParamDir::In, 1 => ParamDir::Out, _ => ParamDir::InOut },
+                ty: t,
+            })
+            .collect();
+        Operation { name, opnum: None, params, ret }
+    }
+}
+
+prop_compose! {
+    fn module()(
+        struct_fields in prop::collection::vec((ident(), scalar_type()), 1..4),
+        ops in prop::collection::vec(operation(), 1..5),
+    ) -> Module {
+        let mut m = Module::new("prop", Dialect::Corba);
+        m.typedefs.push(TypeDef {
+            name: "rec".into(),
+            body: TypeBody::Struct(
+                dedup_names(struct_fields)
+                    .into_iter()
+                    .map(|(n, t)| Field { name: n, ty: t })
+                    .collect(),
+            ),
+        });
+        let ops = dedup_names(ops.into_iter().map(|o| (o.name.clone(), o)).collect())
+            .into_iter()
+            .map(|(n, mut o)| { o.name = n; o })
+            .collect();
+        m.interfaces.push(Interface::new("Props", ops));
+        m
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pretty-printing a random module and re-parsing it yields the same IR.
+    #[test]
+    fn pretty_print_parse_roundtrip(m in module()) {
+        prop_assume!(flexrpc_core::validate::validate(&m).is_ok());
+        let text = pretty_print(&m);
+        let parsed = flexrpc_idl::corba::parse("prop", &text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(&m.typedefs, &parsed.typedefs);
+        prop_assert_eq!(&m.interfaces, &parsed.interfaces);
+    }
+
+    /// Random applicable PDL annotations never change the wire signature,
+    /// and inapplicable ones fail cleanly without panicking.
+    #[test]
+    fn random_annotation_preserves_contract(
+        m in module(),
+        op_idx in any::<prop::sample::Index>(),
+        param_idx in any::<prop::sample::Index>(),
+        attr_pick in 0u8..8,
+    ) {
+        prop_assume!(flexrpc_core::validate::validate(&m).is_ok());
+        let iface = &m.interfaces[0];
+        let before = WireSignature::of_interface(&m, iface).unwrap();
+        let base = InterfacePresentation::default_for(&m, iface).unwrap();
+
+        let op = &iface.ops[op_idx.index(iface.ops.len())];
+        prop_assume!(!op.params.is_empty());
+        let param = &op.params[param_idx.index(op.params.len())];
+        let attr = match attr_pick {
+            0 => Attr::Special,
+            1 => Attr::Trashable,
+            2 => Attr::Preserved,
+            3 => Attr::Borrowed,
+            4 => Attr::DeallocNever,
+            5 => Attr::AllocCaller,
+            6 => Attr::NonUnique,
+            _ => Attr::LengthIs("n".into()),
+        };
+        let pdl = PdlFile {
+            interface: None,
+            iface_attrs: vec![],
+            types: vec![],
+            ops: vec![OpAnnot {
+                op: op.name.clone(),
+                op_attrs: vec![],
+                params: vec![ParamAnnot { param: param.name.clone(), attrs: vec![attr] }],
+            }],
+        };
+        // Apply may reject (attribute not applicable to this param) — that
+        // is fine; it must never panic, and on success the signature is
+        // untouched.
+        let _ = apply_pdl(&m, iface, &base, &pdl);
+        let after = WireSignature::of_interface(&m, iface).unwrap();
+        prop_assert_eq!(before.hash(), after.hash());
+    }
+
+    /// The three front-ends never panic on arbitrary input.
+    #[test]
+    fn parsers_never_panic(src in "[ -~\\n]{0,200}") {
+        let _ = flexrpc_idl::corba::parse("fuzz", &src);
+        let _ = flexrpc_idl::sunrpc::parse("fuzz", &src);
+        let _ = flexrpc_idl::mig::parse("fuzz", &src);
+        let _ = flexrpc_idl::pdl::parse(&src);
+    }
+}

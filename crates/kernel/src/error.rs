@@ -1,0 +1,88 @@
+//! Kernel error codes.
+
+use crate::ports::PortName;
+use crate::task::{TaskId, UserAddr};
+use core::fmt;
+
+/// An error returned by a simulated kernel operation.
+///
+/// Mirrors the flavor of Mach `kern_return_t` codes for the operations this
+/// substrate supports; every user-triggerable failure is a value, never a
+/// panic, because RPC endpoints are untrusted relative to each other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The referenced task does not exist.
+    NoSuchTask(TaskId),
+    /// A user-space access fell outside the task's address space.
+    BadAddress {
+        /// Task whose space was accessed.
+        task: TaskId,
+        /// Faulting address.
+        addr: UserAddr,
+        /// Length of the attempted access.
+        len: usize,
+    },
+    /// The task's address space has no room for the requested allocation.
+    NoSpace(TaskId),
+    /// The port name is not valid in the task's name table.
+    InvalidName(PortName),
+    /// The name exists but does not carry the required right.
+    InsufficientRights(PortName),
+    /// The port has no registered server.
+    NoServer,
+    /// A server is already registered on the port.
+    ServerExists,
+    /// The caller does not hold the receive right for the port.
+    NotReceiver,
+    /// Bind-time type signatures of client and server are incompatible:
+    /// presentation may vary per endpoint, the network contract may not.
+    SignatureMismatch {
+        /// Hash the client registered.
+        client: u64,
+        /// Hash the server registered.
+        server: u64,
+    },
+    /// The message body exceeds the streamlined path's size limit.
+    MsgTooLarge(usize),
+    /// The connection was shut down.
+    ConnectionDead,
+    /// The server handler reported an application-level failure.
+    ServerFailure(u32),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchTask(t) => write!(f, "no such task {t:?}"),
+            KernelError::BadAddress { task, addr, len } => {
+                write!(f, "bad address in {task:?}: {addr:?}+{len}")
+            }
+            KernelError::NoSpace(t) => write!(f, "address space exhausted in {t:?}"),
+            KernelError::InvalidName(n) => write!(f, "invalid port name {n:?}"),
+            KernelError::InsufficientRights(n) => write!(f, "insufficient rights on {n:?}"),
+            KernelError::NoServer => write!(f, "no server registered on port"),
+            KernelError::ServerExists => write!(f, "server already registered on port"),
+            KernelError::NotReceiver => write!(f, "caller does not hold the receive right"),
+            KernelError::SignatureMismatch { client, server } => {
+                write!(f, "type signature mismatch: client {client:#x} vs server {server:#x}")
+            }
+            KernelError::MsgTooLarge(n) => write!(f, "message body of {n} bytes too large"),
+            KernelError::ConnectionDead => write!(f, "connection is dead"),
+            KernelError::ServerFailure(code) => write!(f, "server failure code {code}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_payload() {
+        let e = KernelError::SignatureMismatch { client: 0xAB, server: 0xCD };
+        let s = e.to_string();
+        assert!(s.contains("0xab") && s.contains("0xcd"));
+    }
+}

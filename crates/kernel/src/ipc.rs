@@ -1,0 +1,575 @@
+//! The streamlined synchronous IPC path.
+//!
+//! Models the paper's "new, streamlined low-level Mach IPC mechanism":
+//! messages travel through processor registers and/or a simple buffer copied
+//! directly between address spaces; there is no copy-on-write machinery.
+//! Control transfer is synchronous — the server's handler runs on the
+//! caller's (simulated) thread, the migrating-threads model of the authors'
+//! earlier work.
+//!
+//! *Binding* is where flexible presentation meets the kernel: both sides
+//! register type signatures and presentation attributes, the kernel checks
+//! the signatures against each other (a PDL can never change the network
+//! contract, so compatible interfaces always bind), and compiles a
+//! *combination signature*: the [`RegPath`] threaded code for the declared
+//! trust pair plus the name-translation mode for transferred port rights.
+
+use crate::error::KernelError;
+use crate::ports::{NameMode, PortId, PortName};
+use crate::regs::{run_ops, RegPath, RegisterFile, TrustLevel, MSG_REGS};
+use crate::stats::KernelStats;
+use crate::task::TaskId;
+use crate::{Kernel, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Maximum body size accepted by the streamlined path.
+///
+/// The real path existed for small control transfers; bulk data goes through
+/// fbufs or the network. 256 KiB comfortably covers every experiment.
+pub const MAX_BODY: usize = 256 * 1024;
+
+/// A server handler: runs with no kernel locks held and may re-enter the
+/// kernel. Returns the reply message or an application-defined failure code.
+pub type Handler =
+    Box<dyn FnMut(&Kernel, MsgIn<'_>) -> core::result::Result<MsgOut, u32> + Send>;
+
+/// The request as seen by a server handler.
+#[derive(Debug)]
+pub struct MsgIn<'a> {
+    /// Inline register words (first [`MSG_REGS`] registers of the caller).
+    pub regs: [u64; MSG_REGS],
+    /// Message body in the server's receive buffer.
+    pub body: &'a [u8],
+    /// Port rights, already translated into the server's name table.
+    pub rights: Vec<PortName>,
+}
+
+/// The reply produced by a server handler.
+#[derive(Debug, Default)]
+pub struct MsgOut {
+    /// Inline register words returned to the caller.
+    pub regs: [u64; MSG_REGS],
+    /// Reply body (server-side buffer; the kernel copies it to the client).
+    pub body: Vec<u8>,
+    /// Port rights to transfer, named in the server's table.
+    pub rights: Vec<PortName>,
+}
+
+/// The reply as seen by the client.
+#[derive(Debug, Default)]
+pub struct Reply {
+    /// Inline register words from the server.
+    pub regs: [u64; MSG_REGS],
+    /// Reply body, copied into client-side memory.
+    pub body: Vec<u8>,
+    /// Port rights, translated into the client's name table.
+    pub rights: Vec<PortName>,
+}
+
+/// Presentation attributes a server declares when registering
+/// (its half of the combination signature).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerOptions {
+    /// How far the server trusts its clients.
+    pub trust_of_client: TrustLevel,
+    /// How incoming rights are installed in the server's name table.
+    pub name_mode: NameMode,
+    /// Interface type signature; `None` opts out of checking (tests only).
+    pub signature: Option<u64>,
+    /// Direct receive: the handler reads the sender's message in place
+    /// instead of through a copied receive buffer. Sound in the migrating-
+    /// threads model (the sender is blocked for the call's duration); this
+    /// is the "slight enhancement to the underlying IPC mechanism" §4.2.1
+    /// says would delete one more copy from the pipe write path.
+    pub direct_receive: bool,
+}
+
+/// Presentation attributes a client declares at bind time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BindOptions {
+    /// How far the client trusts the server.
+    pub trust_of_server: TrustLevel,
+    /// How reply rights are installed in the client's name table.
+    pub name_mode: NameMode,
+    /// Interface type signature; `None` opts out of checking (tests only).
+    pub signature: Option<u64>,
+}
+
+pub(crate) struct ServerEntry {
+    pub(crate) task: TaskId,
+    pub(crate) options: ServerOptions,
+    pub(crate) handler: Arc<Mutex<Handler>>,
+}
+
+/// A bound client↔server connection with its compiled combination signature.
+///
+/// Cheap to call through repeatedly; all bind-time decisions (register path,
+/// name modes, signature check) are already baked in.
+pub struct Connection {
+    pub(crate) client: TaskId,
+    pub(crate) server: TaskId,
+    /// The port this connection was bound through (kept for diagnostics and
+    /// future rebinding support).
+    pub(crate) port: PortId,
+    handler: Arc<Mutex<Handler>>,
+    reg_path: RegPath,
+    /// Name mode for rights moving client → server.
+    req_name_mode: NameMode,
+    /// Name mode for rights moving server → client.
+    reply_name_mode: NameMode,
+    direct_receive: bool,
+    regs: Mutex<RegisterFile>,
+    /// The server-side receive buffer for this connection, reused across
+    /// calls (the streamlined path pre-registers receive windows).
+    recv: Mutex<Vec<u8>>,
+}
+
+impl Connection {
+    /// The client task of this connection.
+    pub fn client_task(&self) -> TaskId {
+        self.client
+    }
+
+    /// The server task of this connection.
+    pub fn server_task(&self) -> TaskId {
+        self.server
+    }
+
+    /// The compiled register path (diagnostics: its length is the register
+    /// cost the trust pair bought).
+    pub fn reg_path(&self) -> &RegPath {
+        &self.reg_path
+    }
+
+    /// Kernel-wide identity of the port this connection targets.
+    pub fn port_id(&self) -> u64 {
+        self.port.0
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("client", &self.client)
+            .field("server", &self.server)
+            .field("reg_ops", &self.reg_path.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Kernel {
+    /// Registers `handler` as the server on the port `task` names `port_name`.
+    ///
+    /// Requires the receive right. The `options` are the server's half of the
+    /// combination signature built later by [`Kernel::ipc_bind`].
+    pub fn register_server(
+        &self,
+        task: TaskId,
+        port_name: PortName,
+        options: ServerOptions,
+        handler: impl FnMut(&Kernel, MsgIn<'_>) -> core::result::Result<MsgOut, u32>
+            + Send
+            + 'static,
+    ) -> Result<()> {
+        if !self.is_receiver(task, port_name)? {
+            return Err(KernelError::NotReceiver);
+        }
+        let port = self.resolve_port(task, port_name)?;
+        let mut servers = self.servers.lock();
+        if servers.contains_key(&port) {
+            return Err(KernelError::ServerExists);
+        }
+        servers.insert(
+            port,
+            ServerEntry { task, options, handler: Arc::new(Mutex::new(Box::new(handler))) },
+        );
+        Ok(())
+    }
+
+    /// Binds `client_task` (holding a send right named `send_name`) to the
+    /// server registered on that port, compiling the combination signature.
+    ///
+    /// Fails with [`KernelError::SignatureMismatch`] if both sides declared
+    /// type signatures and they differ — the "network contract" check that
+    /// presentation annotations can never influence.
+    pub fn ipc_bind(
+        &self,
+        client_task: TaskId,
+        send_name: PortName,
+        options: BindOptions,
+    ) -> Result<Connection> {
+        let port = self.resolve_port(client_task, send_name)?;
+        let servers = self.servers.lock();
+        let entry = servers.get(&port).ok_or(KernelError::NoServer)?;
+        if let (Some(c), Some(s)) = (options.signature, entry.options.signature) {
+            if c != s {
+                return Err(KernelError::SignatureMismatch { client: c, server: s });
+            }
+        }
+        let reg_path = RegPath::compile(options.trust_of_server, entry.options.trust_of_client);
+        Ok(Connection {
+            client: client_task,
+            server: entry.task,
+            port,
+            handler: Arc::clone(&entry.handler),
+            reg_path,
+            req_name_mode: entry.options.name_mode,
+            reply_name_mode: options.name_mode,
+            direct_receive: entry.options.direct_receive,
+            regs: Mutex::new(RegisterFile::default()),
+            recv: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Performs a synchronous RPC over `conn` with empty register words.
+    pub fn ipc_call(&self, conn: &Connection, body: &[u8], rights: &[PortName]) -> Result<Reply> {
+        self.ipc_call_regs(conn, [0; MSG_REGS], body, rights)
+    }
+
+    /// Performs a synchronous RPC carrying register words and a body.
+    pub fn ipc_call_regs(
+        &self,
+        conn: &Connection,
+        regs: [u64; MSG_REGS],
+        body: &[u8],
+        rights: &[PortName],
+    ) -> Result<Reply> {
+        let mut reply_body = Vec::new();
+        let out = self.call_inner(conn, regs, body, rights, &mut reply_body)?;
+        Ok(Reply { regs: out.0, body: reply_body, rights: out.1 })
+    }
+
+    /// Like [`Kernel::ipc_call_regs`] but writes the reply body into a
+    /// caller-provided buffer, so steady-state calls allocate nothing on the
+    /// client side (used by the throughput benches).
+    pub fn ipc_call_into(
+        &self,
+        conn: &Connection,
+        regs: [u64; MSG_REGS],
+        body: &[u8],
+        rights: &[PortName],
+        reply_body: &mut Vec<u8>,
+    ) -> Result<([u64; MSG_REGS], Vec<PortName>)> {
+        self.call_inner(conn, regs, body, rights, reply_body)
+    }
+
+    fn call_inner(
+        &self,
+        conn: &Connection,
+        regs: [u64; MSG_REGS],
+        body: &[u8],
+        rights: &[PortName],
+        reply_body: &mut Vec<u8>,
+    ) -> Result<([u64; MSG_REGS], Vec<PortName>)> {
+        if body.len() > MAX_BODY {
+            return Err(KernelError::MsgTooLarge(body.len()));
+        }
+        let stats = self.stats();
+        KernelStats::add(&stats.messages, 1);
+
+        // Translate request rights into the server's name table.
+        let mut server_rights = Vec::with_capacity(rights.len());
+        for &name in rights {
+            let port = self.resolve_port(conn.client, name)?;
+            server_rights.push(self.install_send_right(conn.server, port, conn.req_name_mode)?);
+        }
+
+        // Single direct copy of the body into the connection's (reused)
+        // server-side receive buffer — unless the server opted into direct
+        // receive, in which case the handler reads the sender's message in
+        // place and the copy disappears. The buffer lock is held across the
+        // handler; that cannot deadlock because synchronous RPC never
+        // re-enters the *same* connection (its caller is blocked inside
+        // it), and calls out on other connections take other locks.
+        let mut recv_buf = conn.recv.lock();
+        if !conn.direct_receive {
+            recv_buf.clear();
+            recv_buf.extend_from_slice(body);
+            KernelStats::add(&stats.bytes_copied_user_to_user, body.len() as u64);
+        }
+
+        // Register half of the combination signature: call path.
+        {
+            let mut rf = conn.regs.lock();
+            rf.live[..MSG_REGS].copy_from_slice(&regs);
+            run_ops(&conn.reg_path.pre, &mut rf, stats);
+        }
+
+        // Enter the server. No kernel locks are held here.
+        let served_body: &[u8] = if conn.direct_receive { body } else { &recv_buf };
+        let msg = MsgIn { regs, body: served_body, rights: server_rights };
+        let out = {
+            let mut handler = conn.handler.lock();
+            (handler)(self, msg).map_err(KernelError::ServerFailure)?
+        };
+
+        // Register half: reply path.
+        {
+            let mut rf = conn.regs.lock();
+            run_ops(&conn.reg_path.post, &mut rf, stats);
+        }
+
+        if out.body.len() > MAX_BODY {
+            return Err(KernelError::MsgTooLarge(out.body.len()));
+        }
+
+        // Translate reply rights into the client's name table.
+        let mut client_rights = Vec::with_capacity(out.rights.len());
+        for name in out.rights {
+            let port = self.resolve_port(conn.server, name)?;
+            client_rights.push(self.install_send_right(conn.client, port, conn.reply_name_mode)?);
+        }
+
+        // Single direct copy of the reply body back to the client.
+        reply_body.clear();
+        reply_body.extend_from_slice(&out.body);
+        KernelStats::add(&stats.bytes_copied_user_to_user, out.body.len() as u64);
+
+        Ok((out.regs, client_rights))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup_echo(
+        server_opts: ServerOptions,
+    ) -> (std::sync::Arc<Kernel>, TaskId, TaskId, PortName) {
+        let k = Kernel::new();
+        let client = k.create_task("client", 4096).unwrap();
+        let server = k.create_task("server", 4096).unwrap();
+        let port = k.port_allocate(server).unwrap();
+        k.register_server(server, port, server_opts, |_k, m| {
+            Ok(MsgOut { regs: m.regs, body: m.body.to_vec(), rights: m.rights })
+        })
+        .unwrap();
+        let send = k.extract_send_right(server, port, client).unwrap();
+        (k, client, server, send)
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let (k, client, _server, send) = setup_echo(ServerOptions::default());
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        let mut regs = [0u64; MSG_REGS];
+        regs[0] = 7;
+        let reply = k.ipc_call_regs(&conn, regs, b"payload", &[]).unwrap();
+        assert_eq!(reply.regs[0], 7);
+        assert_eq!(reply.body, b"payload");
+    }
+
+    #[test]
+    fn body_copied_twice_total() {
+        // One direct copy per direction — the streamlined path's contract.
+        let (k, client, _server, send) = setup_echo(ServerOptions::default());
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        let before = k.stats().snapshot();
+        k.ipc_call(&conn, &[9; 100], &[]).unwrap();
+        let d = k.stats().snapshot().since(&before);
+        assert_eq!(d.bytes_copied_user_to_user, 200);
+        assert_eq!(d.messages, 1);
+    }
+
+    #[test]
+    fn reply_into_reuses_buffer() {
+        let (k, client, _server, send) = setup_echo(ServerOptions::default());
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        let mut reply = Vec::new();
+        for i in 0..3u8 {
+            k.ipc_call_into(&conn, [0; MSG_REGS], &[i; 16], &[], &mut reply).unwrap();
+            assert_eq!(reply, vec![i; 16]);
+        }
+    }
+
+    #[test]
+    fn signature_mismatch_refused_at_bind() {
+        let (k, client, _server, send) =
+            setup_echo(ServerOptions { signature: Some(0xAAAA), ..Default::default() });
+        let err = k
+            .ipc_bind(
+                client,
+                send,
+                BindOptions { signature: Some(0xBBBB), ..Default::default() },
+            )
+            .unwrap_err();
+        assert!(matches!(err, KernelError::SignatureMismatch { .. }));
+        // Matching signatures bind fine.
+        k.ipc_bind(client, send, BindOptions { signature: Some(0xAAAA), ..Default::default() })
+            .unwrap();
+        // A client that does not declare a signature also binds (wildcard).
+        k.ipc_bind(client, send, BindOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn no_server_registered_reported() {
+        let k = Kernel::new();
+        let a = k.create_task("a", 64).unwrap();
+        let b = k.create_task("b", 64).unwrap();
+        let p = k.port_allocate(a).unwrap();
+        let send = k.extract_send_right(a, p, b).unwrap();
+        assert!(matches!(
+            k.ipc_bind(b, send, BindOptions::default()),
+            Err(KernelError::NoServer)
+        ));
+    }
+
+    #[test]
+    fn register_requires_receive_right() {
+        let k = Kernel::new();
+        let a = k.create_task("a", 64).unwrap();
+        let b = k.create_task("b", 64).unwrap();
+        let p = k.port_allocate(a).unwrap();
+        let send = k.extract_send_right(a, p, b).unwrap();
+        let err = k
+            .register_server(b, send, ServerOptions::default(), |_k, _m| Ok(MsgOut::default()))
+            .unwrap_err();
+        assert_eq!(err, KernelError::NotReceiver);
+    }
+
+    #[test]
+    fn double_register_refused() {
+        let (k, _client, server, _send) = setup_echo(ServerOptions::default());
+        // `setup_echo` registered on the server's port name 1; find it again.
+        let err = k
+            .register_server(
+                server,
+                PortName(1),
+                ServerOptions::default(),
+                |_k, _m| Ok(MsgOut::default()),
+            )
+            .unwrap_err();
+        assert_eq!(err, KernelError::ServerExists);
+    }
+
+    #[test]
+    fn oversized_body_refused() {
+        let (k, client, _server, send) = setup_echo(ServerOptions::default());
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        let big = vec![0u8; MAX_BODY + 1];
+        assert!(matches!(
+            k.ipc_call(&conn, &big, &[]),
+            Err(KernelError::MsgTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn server_failure_code_propagates() {
+        let k = Kernel::new();
+        let client = k.create_task("client", 64).unwrap();
+        let server = k.create_task("server", 64).unwrap();
+        let port = k.port_allocate(server).unwrap();
+        k.register_server(server, port, ServerOptions::default(), |_k, _m| Err(42)).unwrap();
+        let send = k.extract_send_right(server, port, client).unwrap();
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        assert_eq!(k.ipc_call(&conn, &[], &[]).unwrap_err(), KernelError::ServerFailure(42));
+    }
+
+    #[test]
+    fn rights_travel_in_messages() {
+        // Client sends the server a send right to a third port; the server
+        // sends it back; the client ends up holding it under some name.
+        let k = Kernel::new();
+        let client = k.create_task("client", 64).unwrap();
+        let server = k.create_task("server", 64).unwrap();
+        let third = k.create_task("third", 64).unwrap();
+        let third_port = k.port_allocate(third).unwrap();
+        let client_third = k.extract_send_right(third, third_port, client).unwrap();
+
+        let port = k.port_allocate(server).unwrap();
+        k.register_server(server, port, ServerOptions::default(), |_k, m| {
+            Ok(MsgOut { regs: m.regs, body: vec![], rights: m.rights })
+        })
+        .unwrap();
+        let send = k.extract_send_right(server, port, client).unwrap();
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+
+        let before = k.stats().snapshot();
+        let reply = k.ipc_call(&conn, &[], &[client_third]).unwrap();
+        assert_eq!(reply.rights.len(), 1);
+        let d = k.stats().snapshot().since(&before);
+        assert_eq!(d.rights_transferred, 2, "client→server and server→client");
+        // The returned right resolves to the third task's port.
+        let got = k.resolve_port(client, reply.rights[0]).unwrap();
+        let orig = k.resolve_port(client, client_third).unwrap();
+        assert_eq!(got, orig);
+    }
+
+    #[test]
+    fn nonunique_bindings_mint_fresh_reply_names() {
+        let k = Kernel::new();
+        let client = k.create_task("client", 64).unwrap();
+        let server = k.create_task("server", 64).unwrap();
+        let obj = k.port_allocate(server).unwrap();
+        let port = k.port_allocate(server).unwrap();
+        // Server hands out a right to `obj` on every call.
+        k.register_server(server, port, ServerOptions::default(), move |_k, m| {
+            Ok(MsgOut { regs: m.regs, body: vec![], rights: vec![obj] })
+        })
+        .unwrap();
+        let send = k.extract_send_right(server, port, client).unwrap();
+
+        let unique_conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        let r1 = k.ipc_call(&unique_conn, &[], &[]).unwrap().rights[0];
+        let r2 = k.ipc_call(&unique_conn, &[], &[]).unwrap().rights[0];
+        assert_eq!(r1, r2, "unique mode coalesces to one name");
+
+        let nonunique_conn = k
+            .ipc_bind(client, send, BindOptions { name_mode: NameMode::NonUnique, ..Default::default() })
+            .unwrap();
+        let r3 = k.ipc_call(&nonunique_conn, &[], &[]).unwrap().rights[0];
+        let r4 = k.ipc_call(&nonunique_conn, &[], &[]).unwrap().rights[0];
+        assert_ne!(r3, r4, "[nonunique] mints a fresh name per transfer");
+    }
+
+    #[test]
+    fn trust_pair_compiles_into_connection() {
+        let (k, client, _server, send) = setup_echo(ServerOptions {
+            trust_of_client: TrustLevel::Leaky,
+            ..Default::default()
+        });
+        let strict = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        let trusting = k
+            .ipc_bind(
+                client,
+                send,
+                BindOptions { trust_of_server: TrustLevel::LeakyUnprotected, ..Default::default() },
+            )
+            .unwrap();
+        assert!(strict.reg_path().len() > trusting.reg_path().len());
+        // Both still function.
+        assert_eq!(k.ipc_call(&strict, b"x", &[]).unwrap().body, b"x");
+        assert_eq!(k.ipc_call(&trusting, b"x", &[]).unwrap().body, b"x");
+    }
+
+    #[test]
+    fn register_ops_counter_scales_with_trust() {
+        let (k, client, _server, send) = setup_echo(ServerOptions::default());
+        let strict = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        let before = k.stats().snapshot();
+        k.ipc_call(&strict, &[], &[]).unwrap();
+        let strict_ops = k.stats().snapshot().since(&before).register_ops;
+        assert_eq!(strict_ops, strict.reg_path().len() as u64);
+    }
+
+    #[test]
+    fn handler_may_reenter_kernel() {
+        // The pipe server allocates user memory and copies inside handlers;
+        // make sure no lock is held across the handler call.
+        let k = Kernel::new();
+        let client = k.create_task("client", 4096).unwrap();
+        let server = k.create_task("server", 4096).unwrap();
+        let port = k.port_allocate(server).unwrap();
+        k.register_server(server, port, ServerOptions::default(), move |kk, m| {
+            let addr = kk.user_alloc(server, m.body.len()).map_err(|_| 1u32)?;
+            kk.copyout(server, addr, m.body).map_err(|_| 2u32)?;
+            let copy = kk.copyin_vec(server, addr, m.body.len()).map_err(|_| 3u32)?;
+            Ok(MsgOut { regs: m.regs, body: copy, rights: vec![] })
+        })
+        .unwrap();
+        let send = k.extract_send_right(server, port, client).unwrap();
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        assert_eq!(k.ipc_call(&conn, b"reenter", &[]).unwrap().body, b"reenter");
+    }
+}

@@ -1,0 +1,119 @@
+//! Kernel-wide event counters.
+//!
+//! The reproduction separates *correctness of an optimization* from *timing*:
+//! tests assert these counters (e.g. "the `dealloc(never)` presentation
+//! removed exactly one payload-sized copy per read"), while the Criterion
+//! benches measure wall-clock time. Counters are monotonically increasing
+//! atomics so they can be read concurrently with IPC activity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of simulated-kernel events.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    /// Bytes moved from a user arena into kernel space (`copyin`).
+    pub bytes_copied_in: AtomicU64,
+    /// Bytes moved from kernel space into a user arena (`copyout`).
+    pub bytes_copied_out: AtomicU64,
+    /// Bytes moved directly between two user arenas (the streamlined path).
+    pub bytes_copied_user_to_user: AtomicU64,
+    /// IPC messages sent over the streamlined path.
+    pub messages: AtomicU64,
+    /// Port rights transferred between tasks.
+    pub rights_transferred: AtomicU64,
+    /// Hash-table probes performed by port-name translation (the cost the
+    /// `[nonunique]` presentation removes).
+    pub name_table_probes: AtomicU64,
+    /// Individual register save/restore/scrub operations performed by the
+    /// trust-parameterized path.
+    pub register_ops: AtomicU64,
+}
+
+impl KernelStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters, for before/after deltas in tests.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            bytes_copied_in: self.bytes_copied_in.load(Ordering::Relaxed),
+            bytes_copied_out: self.bytes_copied_out.load(Ordering::Relaxed),
+            bytes_copied_user_to_user: self.bytes_copied_user_to_user.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            rights_transferred: self.rights_transferred.load(Ordering::Relaxed),
+            name_table_probes: self.name_table_probes.load(Ordering::Relaxed),
+            register_ops: self.register_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`KernelStats`], supporting subtraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// See [`KernelStats::bytes_copied_in`].
+    pub bytes_copied_in: u64,
+    /// See [`KernelStats::bytes_copied_out`].
+    pub bytes_copied_out: u64,
+    /// See [`KernelStats::bytes_copied_user_to_user`].
+    pub bytes_copied_user_to_user: u64,
+    /// See [`KernelStats::messages`].
+    pub messages: u64,
+    /// See [`KernelStats::rights_transferred`].
+    pub rights_transferred: u64,
+    /// See [`KernelStats::name_table_probes`].
+    pub name_table_probes: u64,
+    /// See [`KernelStats::register_ops`].
+    pub register_ops: u64,
+}
+
+impl StatsSnapshot {
+    /// Total bytes copied by the kernel in any direction.
+    pub fn total_bytes_copied(&self) -> u64 {
+        self.bytes_copied_in + self.bytes_copied_out + self.bytes_copied_user_to_user
+    }
+
+    /// Counter deltas since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is a later snapshot (counters are
+    /// monotonic, so that is always a caller bug).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            bytes_copied_in: self.bytes_copied_in - earlier.bytes_copied_in,
+            bytes_copied_out: self.bytes_copied_out - earlier.bytes_copied_out,
+            bytes_copied_user_to_user: self.bytes_copied_user_to_user
+                - earlier.bytes_copied_user_to_user,
+            messages: self.messages - earlier.messages,
+            rights_transferred: self.rights_transferred - earlier.rights_transferred,
+            name_table_probes: self.name_table_probes - earlier.name_table_probes,
+            register_ops: self.register_ops - earlier.register_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let s = KernelStats::new();
+        KernelStats::add(&s.messages, 2);
+        let a = s.snapshot();
+        KernelStats::add(&s.messages, 3);
+        KernelStats::add(&s.bytes_copied_in, 100);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.messages, 3);
+        assert_eq!(d.bytes_copied_in, 100);
+        assert_eq!(d.total_bytes_copied(), 100);
+    }
+}

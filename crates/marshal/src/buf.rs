@@ -1,0 +1,286 @@
+//! Growable message buffers with reserve-then-fill windows.
+//!
+//! A [`MsgBuf`] is the unit of data handed to a transport: the client stub
+//! marshals arguments into one, the kernel (or network) moves its bytes into
+//! the peer's address space, and the server stub unmarshals out of the copy.
+//!
+//! Two features exist specifically to support flexible presentation:
+//!
+//! * **Reserve/fill windows** ([`MsgBuf::reserve_window`]) let a `[special]`
+//!   user marshal routine write payload bytes directly into their final
+//!   position in the message, skipping the staging copy a conventional stub
+//!   would do. This is the generated-stub equivalent of the hand-coded Linux
+//!   NFS client calling `memcpy_fromfs` straight into the RPC buffer (§4.1).
+//! * **Byte accounting** ([`MsgBuf::bytes_written`]) so tests can assert the
+//!   *copy schedule* of an optimization (e.g. `dealloc(never)` removes
+//!   exactly one payload-sized copy per read) independent of timing noise.
+
+use crate::error::MarshalError;
+use crate::Result;
+
+/// A growable, sequentially-written message buffer.
+///
+/// Writes append at the tail. Alignment padding is explicit: the encoders in
+/// [`crate::xdr`] and [`crate::cdr`] call [`MsgBuf::pad_to`] so the padding
+/// policy stays a property of the wire format, not of the buffer.
+///
+/// # Examples
+///
+/// ```
+/// use flexrpc_marshal::MsgBuf;
+///
+/// let mut m = MsgBuf::new();
+/// m.put_bytes(&[1, 2, 3]);
+/// m.pad_to(4);
+/// assert_eq!(m.as_slice(), &[1, 2, 3, 0]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MsgBuf {
+    data: Vec<u8>,
+    /// Total payload bytes appended via `put_bytes`/window fills (excludes
+    /// padding), for copy-schedule accounting.
+    bytes_written: u64,
+    /// Number of currently outstanding (unfilled) reserve windows.
+    open_windows: usize,
+}
+
+/// A reserved, not-yet-filled region inside a [`MsgBuf`].
+///
+/// Produced by [`MsgBuf::reserve_window`]; must be passed back to
+/// [`MsgBuf::fill_window`] (or [`MsgBuf::fill_window_with`]) exactly once
+/// before the buffer is sealed with [`MsgBuf::seal`].
+#[derive(Debug)]
+#[must_use = "a reserved window must be filled before the message is sealed"]
+pub struct Window {
+    offset: usize,
+    len: usize,
+}
+
+impl Window {
+    /// Byte offset of the window inside the message.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Length of the window in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for a zero-length window.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl MsgBuf {
+    /// Creates an empty message buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        MsgBuf { data: Vec::with_capacity(cap), bytes_written: 0, open_windows: 0 }
+    }
+
+    /// Wraps an already-encoded byte vector (e.g. one received from a
+    /// transport) so it can be inspected through the same accessors.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        MsgBuf { data, bytes_written: 0, open_windows: 0 }
+    }
+
+    /// Current length of the message in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The encoded message so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the encoded bytes (used by transports that patch
+    /// headers in place, e.g. record-marking lengths).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Total payload bytes appended through this buffer (padding excluded).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Appends raw bytes at the tail.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+        self.bytes_written += bytes.len() as u64;
+    }
+
+    /// Appends `n` zero bytes (explicit padding; not counted as payload).
+    pub fn put_zeros(&mut self, n: usize) {
+        self.data.resize(self.data.len() + n, 0);
+    }
+
+    /// Pads with zeros so the current length is a multiple of `align`.
+    pub fn pad_to(&mut self, align: usize) {
+        let target = crate::align_up(self.data.len(), align);
+        self.data.resize(target, 0);
+    }
+
+    /// Reserves a `len`-byte window at the tail for later direct filling.
+    ///
+    /// The window is zero-initialized so a message is never sent with
+    /// uninitialized contents even if a fill is skipped (that skip is still
+    /// reported as an error by [`MsgBuf::seal`]).
+    pub fn reserve_window(&mut self, len: usize) -> Window {
+        let offset = self.data.len();
+        self.data.resize(offset + len, 0);
+        self.open_windows += 1;
+        Window { offset, len }
+    }
+
+    /// Fills a previously reserved window with `bytes`.
+    ///
+    /// Fails if `bytes.len()` differs from the window length.
+    pub fn fill_window(&mut self, w: Window, bytes: &[u8]) -> Result<()> {
+        if bytes.len() != w.len {
+            return Err(MarshalError::WindowMisuse("fill length differs from window length"));
+        }
+        self.data[w.offset..w.offset + w.len].copy_from_slice(bytes);
+        self.bytes_written += w.len as u64;
+        self.open_windows -= 1;
+        Ok(())
+    }
+
+    /// Fills a previously reserved window through a user-supplied writer.
+    ///
+    /// This is the entry point used by `[special]` marshal hooks: the hook
+    /// receives the window's bytes in place and writes the payload itself
+    /// (for the NFS client this is the simulated `copyin` from user space).
+    /// The hook reports how many bytes it produced; producing fewer than the
+    /// window length is an error, matching the strictness of the kernel
+    /// routines the paper wraps.
+    pub fn fill_window_with<F>(&mut self, w: Window, f: F) -> Result<()>
+    where
+        F: FnOnce(&mut [u8]) -> usize,
+    {
+        let wrote = f(&mut self.data[w.offset..w.offset + w.len]);
+        if wrote != w.len {
+            return Err(MarshalError::WindowMisuse("special hook filled wrong byte count"));
+        }
+        self.bytes_written += w.len as u64;
+        self.open_windows -= 1;
+        Ok(())
+    }
+
+    /// Finalizes the message, returning its bytes.
+    ///
+    /// Fails if any reserved window was never filled.
+    pub fn seal(self) -> Result<Vec<u8>> {
+        if self.open_windows != 0 {
+            return Err(MarshalError::WindowMisuse("sealed with unfilled window"));
+        }
+        Ok(self.data)
+    }
+
+    /// Consumes the buffer without checking windows (for re-wrapped received
+    /// messages which never had windows).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_pad() {
+        let mut m = MsgBuf::new();
+        m.put_bytes(b"abcde");
+        m.pad_to(4);
+        assert_eq!(m.len(), 8);
+        assert_eq!(&m.as_slice()[5..], &[0, 0, 0]);
+        assert_eq!(m.bytes_written(), 5);
+    }
+
+    #[test]
+    fn pad_when_already_aligned_is_noop() {
+        let mut m = MsgBuf::new();
+        m.put_bytes(&[0; 8]);
+        m.pad_to(4);
+        assert_eq!(m.len(), 8);
+    }
+
+    #[test]
+    fn window_fill_roundtrip() {
+        let mut m = MsgBuf::new();
+        m.put_bytes(&[0xAA]);
+        m.pad_to(4);
+        let w = m.reserve_window(4);
+        m.put_bytes(&[0xBB]);
+        m.fill_window(w, &[1, 2, 3, 4]).unwrap();
+        let bytes = m.seal().unwrap();
+        assert_eq!(bytes, vec![0xAA, 0, 0, 0, 1, 2, 3, 4, 0xBB]);
+    }
+
+    #[test]
+    fn window_wrong_length_rejected() {
+        let mut m = MsgBuf::new();
+        let w = m.reserve_window(4);
+        let err = m.fill_window(w, &[1, 2]).unwrap_err();
+        assert!(matches!(err, MarshalError::WindowMisuse(_)));
+    }
+
+    #[test]
+    fn seal_with_open_window_rejected() {
+        let mut m = MsgBuf::new();
+        let _w = m.reserve_window(4);
+        assert!(matches!(m.seal(), Err(MarshalError::WindowMisuse(_))));
+    }
+
+    #[test]
+    fn fill_window_with_hook() {
+        let mut m = MsgBuf::new();
+        let w = m.reserve_window(3);
+        m.fill_window_with(w, |dst| {
+            dst.copy_from_slice(b"xyz");
+            3
+        })
+        .unwrap();
+        assert_eq!(m.seal().unwrap(), b"xyz".to_vec());
+    }
+
+    #[test]
+    fn fill_window_with_short_hook_rejected() {
+        let mut m = MsgBuf::new();
+        let w = m.reserve_window(3);
+        let err = m.fill_window_with(w, |_| 2).unwrap_err();
+        assert!(matches!(err, MarshalError::WindowMisuse(_)));
+    }
+
+    #[test]
+    fn window_accessors() {
+        let mut m = MsgBuf::new();
+        m.put_bytes(&[9, 9]);
+        let w = m.reserve_window(5);
+        assert_eq!(w.offset(), 2);
+        assert_eq!(w.len(), 5);
+        assert!(!w.is_empty());
+        m.fill_window(w, &[0; 5]).unwrap();
+    }
+
+    #[test]
+    fn from_vec_wraps_without_copy_count() {
+        let m = MsgBuf::from_vec(vec![1, 2, 3]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.bytes_written(), 0);
+        assert_eq!(m.into_vec(), vec![1, 2, 3]);
+    }
+}

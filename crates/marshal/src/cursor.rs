@@ -1,0 +1,144 @@
+//! Format-agnostic borrowing reads over received messages.
+//!
+//! [`ReadCursor`] is a thin wrapper used by the stub interpreter when it does
+//! not need full XDR/CDR semantics — e.g. walking a kernel IPC message whose
+//! layout the bind-time combination signature already fixed. Its value is the
+//! *borrowing* API: payload regions come back as slices into the receive
+//! buffer, so whether a copy happens is decided by the presentation, not by
+//! the decoder.
+
+use crate::error::MarshalError;
+use crate::Result;
+
+/// A bounds-checked, borrowing read cursor over a received message.
+///
+/// # Examples
+///
+/// ```
+/// use flexrpc_marshal::ReadCursor;
+///
+/// let msg = [0, 0, 0, 5, b'h', b'e', b'l', b'l', b'o'];
+/// let mut c = ReadCursor::new(&msg);
+/// let n = c.get_u32_ne().unwrap();
+/// # let _ = n;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ReadCursor<'a> {
+    /// Creates a cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ReadCursor { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns `true` when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current offset from the start of the message.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Borrows the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(MarshalError::Truncated { needed: n, remaining: self.remaining() });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+
+    /// Reads a native-endian u32 (layout fixed at bind time, both sides on
+    /// the same simulated machine).
+    pub fn get_u32_ne(&mut self) -> Result<u32> {
+        Ok(u32::from_ne_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a native-endian u64.
+    pub fn get_u64_ne(&mut self) -> Result<u64> {
+        Ok(u64::from_ne_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Borrows a length-prefixed (native-endian u32) byte region.
+    pub fn get_counted(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32_ne()? as usize;
+        if len > self.remaining() {
+            return Err(MarshalError::LengthOutOfRange { claimed: len, max: self.remaining() });
+        }
+        self.take(len)
+    }
+
+    /// The rest of the message as one borrowed slice (consumes it).
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_skip() {
+        let msg = [1, 2, 3, 4, 5];
+        let mut c = ReadCursor::new(&msg);
+        assert_eq!(c.take(2).unwrap(), &[1, 2]);
+        c.skip(1).unwrap();
+        assert_eq!(c.position(), 3);
+        assert_eq!(c.rest(), &[4, 5]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn take_past_end_rejected() {
+        let msg = [1, 2];
+        let mut c = ReadCursor::new(&msg);
+        assert!(matches!(c.take(3), Err(MarshalError::Truncated { needed: 3, remaining: 2 })));
+        // A failed take consumes nothing.
+        assert_eq!(c.remaining(), 2);
+    }
+
+    #[test]
+    fn native_endian_ints() {
+        let v: u32 = 0x12345678;
+        let q: u64 = 0x1122334455667788;
+        let mut msg = v.to_ne_bytes().to_vec();
+        msg.extend_from_slice(&q.to_ne_bytes());
+        let mut c = ReadCursor::new(&msg);
+        assert_eq!(c.get_u32_ne().unwrap(), v);
+        assert_eq!(c.get_u64_ne().unwrap(), q);
+    }
+
+    #[test]
+    fn counted_region() {
+        let mut msg = 3u32.to_ne_bytes().to_vec();
+        msg.extend_from_slice(&[7, 8, 9]);
+        let mut c = ReadCursor::new(&msg);
+        assert_eq!(c.get_counted().unwrap(), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn counted_hostile_length_rejected() {
+        let msg = u32::MAX.to_ne_bytes();
+        let mut c = ReadCursor::new(&msg);
+        assert!(matches!(c.get_counted(), Err(MarshalError::LengthOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by all marshalling operations.
+
+use core::fmt;
+
+/// An error produced while encoding or decoding a message.
+///
+/// Decoding is the interesting direction: a received message is untrusted
+/// input (another protection domain wrote it), so every read is bounds- and
+/// validity-checked and failures surface as values, never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarshalError {
+    /// The reader ran past the end of the message.
+    ///
+    /// `needed` is how many bytes the failed read required; `remaining` is how
+    /// many were actually left.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that were available.
+        remaining: usize,
+    },
+    /// A variable-length item declared a length larger than the enclosing
+    /// message, or larger than the decoder's configured maximum.
+    LengthOutOfRange {
+        /// The length the message claimed.
+        claimed: usize,
+        /// The maximum the decoder would accept.
+        max: usize,
+    },
+    /// A boolean field held a value other than 0 or 1.
+    BadBool(u32),
+    /// A string field was not valid UTF-8 (XDR) or was missing its NUL
+    /// terminator (CDR).
+    BadString,
+    /// A CDR message announced an unknown byte-order flag.
+    BadByteOrder(u8),
+    /// An enum/union discriminant did not match any declared arm.
+    BadDiscriminant(u32),
+    /// Trailing bytes remained after a decoder expected the message to end.
+    TrailingBytes(usize),
+    /// A reserve/fill window was misused (filled twice, wrong length, or
+    /// never filled before the message was sealed).
+    WindowMisuse(&'static str),
+}
+
+impl fmt::Display for MarshalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarshalError::Truncated { needed, remaining } => {
+                write!(f, "message truncated: needed {needed} bytes, {remaining} remain")
+            }
+            MarshalError::LengthOutOfRange { claimed, max } => {
+                write!(f, "declared length {claimed} exceeds limit {max}")
+            }
+            MarshalError::BadBool(v) => write!(f, "boolean field held {v}, expected 0 or 1"),
+            MarshalError::BadString => write!(f, "malformed string payload"),
+            MarshalError::BadByteOrder(v) => write!(f, "unknown byte-order flag {v:#x}"),
+            MarshalError::BadDiscriminant(v) => write!(f, "discriminant {v} matches no arm"),
+            MarshalError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message end"),
+            MarshalError::WindowMisuse(what) => write!(f, "reserve window misused: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MarshalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MarshalError::Truncated { needed: 8, remaining: 3 };
+        assert!(e.to_string().contains("needed 8"));
+        assert!(e.to_string().contains("3 remain"));
+        let e = MarshalError::LengthOutOfRange { claimed: 100, max: 10 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MarshalError::BadBool(2), MarshalError::BadBool(2));
+        assert_ne!(MarshalError::BadBool(2), MarshalError::BadBool(3));
+    }
+}

@@ -1,0 +1,98 @@
+//! Wire formats and message buffers for the flexrpc stub runtime.
+//!
+//! This crate is the *transfer syntax* layer of the reproduction: it knows how
+//! bytes are laid out on the wire, and nothing about interfaces or
+//! presentations. Two encodings are provided, matching the two RPC families
+//! the paper targets:
+//!
+//! * [`xdr`] — Sun RPC's XDR: big-endian, everything padded to 4-byte
+//!   multiples, variable-length data prefixed with a `u32` length
+//!   (RFC 1014-compatible for the subset we implement).
+//! * [`cdr`] — a CORBA CDR-style encoding: sender-chosen byte order recorded
+//!   in the message, natural alignment for primitives, strings carried with
+//!   their NUL terminator.
+//!
+//! The pieces that make *flexible presentation* possible live in [`buf`] and
+//! [`cursor`]: a [`buf::MsgBuf`] supports reserve-then-fill windows so a
+//! `[special]` marshal hook can write payload bytes straight into the message
+//! (the Linux `memcpy_tofs`/`memcpy_fromfs` trick from §4.1 of the paper),
+//! and a [`cursor::ReadCursor`] can *borrow* payload slices out of a received
+//! message instead of copying them, which is what `dealloc(never)` and
+//! caller-allocated `out` buffers compile down to.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexrpc_marshal::xdr::{XdrWriter, XdrReader};
+//!
+//! let mut w = XdrWriter::new();
+//! w.put_u32(7);
+//! w.put_string("pipe");
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = XdrReader::new(&bytes);
+//! assert_eq!(r.get_u32().unwrap(), 7);
+//! assert_eq!(r.get_string().unwrap(), "pipe");
+//! assert!(r.is_empty());
+//! ```
+
+pub mod buf;
+pub mod cdr;
+pub mod cursor;
+pub mod error;
+pub mod xdr;
+
+pub use buf::MsgBuf;
+pub use cursor::ReadCursor;
+pub use error::MarshalError;
+
+/// Result alias used throughout the marshalling layer.
+pub type Result<T> = core::result::Result<T, MarshalError>;
+
+/// The two transfer syntaxes supported by the stub compiler back-ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireFormat {
+    /// Sun RPC XDR: big-endian, 4-byte padding (used by the NFS experiments).
+    Xdr,
+    /// CORBA-style CDR: tagged byte order, natural alignment (used by the
+    /// pipe-server and same-domain experiments).
+    Cdr,
+}
+
+impl WireFormat {
+    /// Returns the human-readable name used in diagnostics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::Xdr => "xdr",
+            WireFormat::Cdr => "cdr",
+        }
+    }
+}
+
+/// Rounds `n` up to the next multiple of `align` (`align` must be a power of
+/// two, which all wire alignments are).
+#[inline]
+pub(crate) fn align_up(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (n + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 4), 0);
+        assert_eq!(align_up(1, 4), 4);
+        assert_eq!(align_up(4, 4), 4);
+        assert_eq!(align_up(5, 4), 8);
+        assert_eq!(align_up(13, 8), 16);
+    }
+
+    #[test]
+    fn wire_format_names() {
+        assert_eq!(WireFormat::Xdr.name(), "xdr");
+        assert_eq!(WireFormat::Cdr.name(), "cdr");
+    }
+}

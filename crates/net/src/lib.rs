@@ -1,0 +1,347 @@
+//! A simulated network substrate with a deterministic wire clock.
+//!
+//! The paper's NFS experiment (Figure 2) ran over a 10 Mbit Ethernet between
+//! a BSD file server and a Linux client, and its figure decomposes each bar
+//! into a constant "network and server processing" part and a varying
+//! "client processing" part. We cannot reproduce that hardware, so this
+//! substrate splits the same way, by construction:
+//!
+//! * The **CPU side** is real work: request/reply bytes are really copied
+//!   between endpoint buffers and the registered service handler really
+//!   runs. Criterion measures this part.
+//! * The **wire side** is a deterministic clock ([`SimNet::wire_ns`]):
+//!   each message charges per-packet latency plus bytes/bandwidth at the
+//!   configured link speed. It is identical across presentation variants —
+//!   exactly the constant left-hand bar segment of Figure 2 — and the bench
+//!   harness reports it alongside measured CPU time.
+//!
+//! [`sunrpc`] adds the Sun RPC call/reply message layer (XIDs, program/
+//! version/procedure headers, record marking) used by the NFS experiment.
+
+pub mod sunrpc;
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors from the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Unknown host.
+    NoSuchHost(HostId),
+    /// The destination host has no registered service.
+    NoService(HostId),
+    /// The service handler failed with a protocol-level error.
+    ServiceFailure(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoSuchHost(h) => write!(f, "no such host {h:?}"),
+            NetError::NoService(h) => write!(f, "no service registered on {h:?}"),
+            NetError::ServiceFailure(why) => write!(f, "service failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result alias for network operations.
+pub type Result<T> = core::result::Result<T, NetError>;
+
+/// Identifier of a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostId(usize);
+
+/// Link parameters for the wire clock.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+    /// Fixed cost per packet (media access + propagation + interrupt), ns.
+    pub per_packet_ns: u64,
+    /// Maximum payload bytes per packet.
+    pub mtu: usize,
+    /// Fixed per-message server-side processing charge, ns (disk/cache and
+    /// protocol stack on the far side — constant across client variants).
+    pub server_ns: u64,
+}
+
+impl Default for NetConfig {
+    /// A 10 Mbit Ethernet with early-90s protocol stacks.
+    fn default() -> Self {
+        NetConfig {
+            bandwidth_bps: 10_000_000 / 8,
+            per_packet_ns: 100_000, // 100 µs per packet
+            mtu: 1500,
+            server_ns: 500_000, // 500 µs per request at the server
+        }
+    }
+}
+
+/// Wire-clock counters.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Messages carried.
+    pub messages: AtomicU64,
+    /// Packets charged.
+    pub packets: AtomicU64,
+    /// Payload bytes carried.
+    pub bytes: AtomicU64,
+    /// Real CPU nanoseconds spent inside service handlers (the far side's
+    /// processing). Lets harnesses report *client* processing time the way
+    /// the paper's Figure 2 does: measured total minus this.
+    pub service_ns: AtomicU64,
+}
+
+/// A service handler: consumes a request, produces a reply.
+pub type Service = Box<dyn FnMut(&[u8]) -> core::result::Result<Vec<u8>, String> + Send>;
+
+struct HostState {
+    #[allow(dead_code)] // Diagnostic field, reported by `host_name`.
+    name: String,
+    service: Option<Service>,
+}
+
+/// The simulated network: hosts, services, and the wire clock.
+pub struct SimNet {
+    cfg: NetConfig,
+    hosts: Mutex<Vec<HostState>>,
+    wire_ns: AtomicU64,
+    stats: NetStats,
+}
+
+impl SimNet {
+    /// Creates a network with the default 10 Mbit configuration.
+    pub fn new() -> Arc<SimNet> {
+        Self::with_config(NetConfig::default())
+    }
+
+    /// Creates a network with explicit link parameters.
+    pub fn with_config(cfg: NetConfig) -> Arc<SimNet> {
+        Arc::new(SimNet {
+            cfg,
+            hosts: Mutex::new(Vec::new()),
+            wire_ns: AtomicU64::new(0),
+            stats: NetStats::default(),
+        })
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> NetConfig {
+        self.cfg
+    }
+
+    /// Wire-clock counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Adds a host.
+    pub fn add_host(&self, name: &str) -> HostId {
+        let mut hosts = self.hosts.lock();
+        let id = HostId(hosts.len());
+        hosts.push(HostState { name: name.to_owned(), service: None });
+        id
+    }
+
+    /// The host's name.
+    pub fn host_name(&self, host: HostId) -> Result<String> {
+        let hosts = self.hosts.lock();
+        hosts.get(host.0).map(|h| h.name.clone()).ok_or(NetError::NoSuchHost(host))
+    }
+
+    /// Registers the service handler for `host` (one service per host —
+    /// port demultiplexing happens inside the Sun RPC layer).
+    pub fn register_service(
+        &self,
+        host: HostId,
+        service: impl FnMut(&[u8]) -> core::result::Result<Vec<u8>, String> + Send + 'static,
+    ) -> Result<()> {
+        let mut hosts = self.hosts.lock();
+        let h = hosts.get_mut(host.0).ok_or(NetError::NoSuchHost(host))?;
+        h.service = Some(Box::new(service));
+        Ok(())
+    }
+
+    /// Accumulated simulated wire + far-side time, in nanoseconds.
+    ///
+    /// Deterministic: a pure function of the messages sent so far.
+    pub fn wire_ns(&self) -> u64 {
+        self.wire_ns.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated real CPU time spent inside service handlers.
+    pub fn service_ns(&self) -> u64 {
+        self.stats.service_ns.load(Ordering::Relaxed)
+    }
+
+    fn charge_wire(&self, payload: usize) {
+        let packets = payload.div_ceil(self.cfg.mtu).max(1) as u64;
+        let ns = packets * self.cfg.per_packet_ns
+            + (payload as u64) * 1_000_000_000 / self.cfg.bandwidth_bps;
+        self.wire_ns.fetch_add(ns, Ordering::Relaxed);
+        self.stats.packets.fetch_add(packets, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(payload as u64, Ordering::Relaxed);
+    }
+
+    /// Sends `request` from `from` to `to`, runs the service, and writes the
+    /// reply into `reply_into` (cleared first).
+    ///
+    /// The CPU side (handler + buffer copies) is real; the wire side goes to
+    /// the clock. `from` is currently only validated — the simulation has no
+    /// routing — but keeps call sites honest about direction.
+    pub fn call(
+        &self,
+        from: HostId,
+        to: HostId,
+        request: &[u8],
+        reply_into: &mut Vec<u8>,
+    ) -> Result<()> {
+        {
+            let hosts = self.hosts.lock();
+            if hosts.get(from.0).is_none() {
+                return Err(NetError::NoSuchHost(from));
+            }
+        }
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        // Request hits the wire.
+        self.charge_wire(request.len());
+        // The far side receives into its own buffer: a real copy, as the
+        // receiving protocol stack would perform.
+        let rx: Vec<u8> = request.to_vec();
+        // Take the handler out so it runs without the host lock held.
+        let mut service = {
+            let mut hosts = self.hosts.lock();
+            let h = hosts.get_mut(to.0).ok_or(NetError::NoSuchHost(to))?;
+            h.service.take().ok_or(NetError::NoService(to))?
+        };
+        let t0 = std::time::Instant::now();
+        let result = service(&rx);
+        self.stats.service_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        {
+            let mut hosts = self.hosts.lock();
+            hosts[to.0].service = Some(service);
+        }
+        let reply = result.map_err(NetError::ServiceFailure)?;
+        // Server-side processing + reply on the wire.
+        self.wire_ns.fetch_add(self.cfg.server_ns, Ordering::Relaxed);
+        self.charge_wire(reply.len());
+        reply_into.clear();
+        reply_into.extend_from_slice(&reply);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("hosts", &self.hosts.lock().len())
+            .field("wire_ns", &self.wire_ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let net = SimNet::new();
+        let c = net.add_host("client");
+        let s = net.add_host("server");
+        net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+        let mut reply = Vec::new();
+        net.call(c, s, b"ping", &mut reply).unwrap();
+        assert_eq!(reply, b"ping");
+    }
+
+    #[test]
+    fn wire_clock_is_deterministic() {
+        let run = || {
+            let net = SimNet::new();
+            let c = net.add_host("c");
+            let s = net.add_host("s");
+            net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+            let mut reply = Vec::new();
+            for _ in 0..5 {
+                net.call(c, s, &[0u8; 4000], &mut reply).unwrap();
+            }
+            net.wire_ns()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wire_cost_scales_with_size_and_packets() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        net.register_service(s, |_| Ok(vec![])).unwrap();
+        let mut reply = Vec::new();
+
+        net.call(c, s, &[0u8; 100], &mut reply).unwrap();
+        let small = net.wire_ns();
+        net.call(c, s, &[0u8; 8000], &mut reply).unwrap();
+        let big = net.wire_ns() - small;
+        assert!(big > small, "8000 bytes must cost more than 100");
+        // 8000 bytes at MTU 1500 = 6 packets.
+        assert_eq!(net.stats().packets.load(Ordering::Relaxed), 1 + 6 + 2);
+    }
+
+    #[test]
+    fn missing_service_reported() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        let mut reply = Vec::new();
+        assert_eq!(net.call(c, s, b"x", &mut reply).unwrap_err(), NetError::NoService(s));
+    }
+
+    #[test]
+    fn missing_host_reported() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let ghost = HostId(9);
+        let mut reply = Vec::new();
+        assert_eq!(net.call(c, ghost, b"x", &mut reply).unwrap_err(), NetError::NoSuchHost(ghost));
+        assert_eq!(net.call(ghost, c, b"x", &mut reply).unwrap_err(), NetError::NoSuchHost(ghost));
+    }
+
+    #[test]
+    fn service_failure_propagates() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        net.register_service(s, |_| Err("disk on fire".into())).unwrap();
+        let mut reply = Vec::new();
+        assert_eq!(
+            net.call(c, s, b"x", &mut reply).unwrap_err(),
+            NetError::ServiceFailure("disk on fire".into())
+        );
+    }
+
+    #[test]
+    fn reply_buffer_reused() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        net.register_service(s, |req| Ok(vec![req[0]; 3])).unwrap();
+        let mut reply = Vec::with_capacity(16);
+        net.call(c, s, &[7], &mut reply).unwrap();
+        assert_eq!(reply, vec![7, 7, 7]);
+        net.call(c, s, &[9], &mut reply).unwrap();
+        assert_eq!(reply, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn host_names() {
+        let net = SimNet::new();
+        let h = net.add_host("hp700-fileserver");
+        assert_eq!(net.host_name(h).unwrap(), "hp700-fileserver");
+        assert!(net.host_name(HostId(5)).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! The Sun RPC call/reply message layer (RFC 1057 subset).
+//!
+//! Frames procedure calls for transport over [`crate::SimNet`]: a record
+//! mark (so streams could be reassembled, as over TCP), then the standard
+//! call header — XID, message type, RPC version, program, version,
+//! procedure, and null credentials — then the XDR-encoded arguments the
+//! stub marshalled. Replies carry the XID, an accept status, and results.
+
+use crate::{NetError, Result};
+use flexrpc_marshal::xdr::{XdrReader, XdrWriter};
+
+/// RPC message types.
+const CALL: u32 = 0;
+const REPLY: u32 = 1;
+/// The only RPC protocol version RFC 1057 defines.
+const RPC_VERS: u32 = 2;
+
+/// Reply status codes (accepted-state subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptStat {
+    /// Call executed successfully.
+    Success,
+    /// Program number not served here.
+    ProgUnavail,
+    /// Program version not served.
+    ProgMismatch,
+    /// Procedure number unknown.
+    ProcUnavail,
+    /// Arguments undecodable.
+    GarbageArgs,
+}
+
+impl AcceptStat {
+    fn code(self) -> u32 {
+        match self {
+            AcceptStat::Success => 0,
+            AcceptStat::ProgUnavail => 1,
+            AcceptStat::ProgMismatch => 2,
+            AcceptStat::ProcUnavail => 3,
+            AcceptStat::GarbageArgs => 4,
+        }
+    }
+
+    fn from_code(v: u32) -> Option<AcceptStat> {
+        Some(match v {
+            0 => AcceptStat::Success,
+            1 => AcceptStat::ProgUnavail,
+            2 => AcceptStat::ProgMismatch,
+            3 => AcceptStat::ProcUnavail,
+            4 => AcceptStat::GarbageArgs,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded call header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallHeader {
+    /// Transaction id (matches replies to calls).
+    pub xid: u32,
+    /// Program number (e.g. 100003 for NFS).
+    pub prog: u32,
+    /// Program version.
+    pub vers: u32,
+    /// Procedure number.
+    pub proc: u32,
+}
+
+/// Encodes a call message: record mark + header + `args`.
+pub fn encode_call(hdr: CallHeader, args: &[u8]) -> Vec<u8> {
+    let mut w = XdrWriter::with_capacity(args.len() + 48);
+    // Record mark placeholder (patched below): last-fragment bit + length.
+    w.put_u32(0);
+    w.put_u32(hdr.xid);
+    w.put_u32(CALL);
+    w.put_u32(RPC_VERS);
+    w.put_u32(hdr.prog);
+    w.put_u32(hdr.vers);
+    w.put_u32(hdr.proc);
+    // Null credentials and verifier (flavor 0, length 0), per RFC 1057.
+    w.put_u32(0);
+    w.put_u32(0);
+    w.put_u32(0);
+    w.put_u32(0);
+    w.put_opaque_fixed(args);
+    let mut buf = w.into_bytes();
+    patch_record_mark(&mut buf);
+    buf
+}
+
+/// Encodes a reply message: record mark + header + `results`.
+pub fn encode_reply(xid: u32, stat: AcceptStat, results: &[u8]) -> Vec<u8> {
+    let mut w = XdrWriter::with_capacity(results.len() + 32);
+    w.put_u32(0); // Record mark placeholder.
+    w.put_u32(xid);
+    w.put_u32(REPLY);
+    w.put_u32(0); // MSG_ACCEPTED.
+    w.put_u32(0); // Null verifier flavor.
+    w.put_u32(0); // Null verifier length.
+    w.put_u32(stat.code());
+    w.put_opaque_fixed(results);
+    let mut buf = w.into_bytes();
+    patch_record_mark(&mut buf);
+    buf
+}
+
+fn patch_record_mark(buf: &mut [u8]) {
+    let len = (buf.len() - 4) as u32;
+    let mark = 0x8000_0000 | len; // Last-fragment bit set.
+    buf[..4].copy_from_slice(&mark.to_be_bytes());
+}
+
+fn proto_err(why: &str) -> NetError {
+    NetError::ServiceFailure(format!("sunrpc protocol error: {why}"))
+}
+
+/// Decodes a call message, returning the header and the argument bytes.
+pub fn decode_call(msg: &[u8]) -> Result<(CallHeader, &[u8])> {
+    let mut r = XdrReader::new(msg);
+    let mark = r.get_u32().map_err(|_| proto_err("truncated record mark"))?;
+    if mark & 0x8000_0000 == 0 {
+        return Err(proto_err("fragmented records not supported"));
+    }
+    if (mark & 0x7FFF_FFFF) as usize != msg.len() - 4 {
+        return Err(proto_err("record mark length mismatch"));
+    }
+    let xid = r.get_u32().map_err(|_| proto_err("truncated xid"))?;
+    let mtype = r.get_u32().map_err(|_| proto_err("truncated msg type"))?;
+    if mtype != CALL {
+        return Err(proto_err("expected a call message"));
+    }
+    let rpcvers = r.get_u32().map_err(|_| proto_err("truncated rpc version"))?;
+    if rpcvers != RPC_VERS {
+        return Err(proto_err("unsupported RPC protocol version"));
+    }
+    let prog = r.get_u32().map_err(|_| proto_err("truncated prog"))?;
+    let vers = r.get_u32().map_err(|_| proto_err("truncated vers"))?;
+    let proc = r.get_u32().map_err(|_| proto_err("truncated proc"))?;
+    for what in ["cred flavor", "cred length", "verf flavor", "verf length"] {
+        let v = r.get_u32().map_err(|_| proto_err("truncated credentials"))?;
+        if v != 0 {
+            return Err(proto_err(&format!("non-null {what} not supported")));
+        }
+    }
+    let args_len = r.remaining();
+    let args = r.get_opaque_fixed(args_len).expect("remaining bytes");
+    Ok((CallHeader { xid, prog, vers, proc }, args))
+}
+
+/// Decodes a reply message, returning the XID, status, and result bytes.
+pub fn decode_reply(msg: &[u8]) -> Result<(u32, AcceptStat, &[u8])> {
+    let mut r = XdrReader::new(msg);
+    let mark = r.get_u32().map_err(|_| proto_err("truncated record mark"))?;
+    if (mark & 0x7FFF_FFFF) as usize != msg.len() - 4 {
+        return Err(proto_err("record mark length mismatch"));
+    }
+    let xid = r.get_u32().map_err(|_| proto_err("truncated xid"))?;
+    let mtype = r.get_u32().map_err(|_| proto_err("truncated msg type"))?;
+    if mtype != REPLY {
+        return Err(proto_err("expected a reply message"));
+    }
+    let replystat = r.get_u32().map_err(|_| proto_err("truncated reply stat"))?;
+    if replystat != 0 {
+        return Err(proto_err("call rejected"));
+    }
+    let _verf_flavor = r.get_u32().map_err(|_| proto_err("truncated verifier"))?;
+    let _verf_len = r.get_u32().map_err(|_| proto_err("truncated verifier"))?;
+    let stat = AcceptStat::from_code(r.get_u32().map_err(|_| proto_err("truncated stat"))?)
+        .ok_or_else(|| proto_err("unknown accept status"))?;
+    let rest = r.remaining();
+    let results = r.get_opaque_fixed(rest).expect("remaining bytes");
+    Ok((xid, stat, results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_roundtrip() {
+        let hdr = CallHeader { xid: 77, prog: 100003, vers: 2, proc: 6 };
+        let msg = encode_call(hdr, b"args-bytes!!");
+        let (got, args) = decode_call(&msg).unwrap();
+        assert_eq!(got, hdr);
+        assert_eq!(args, b"args-bytes!!");
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let msg = encode_reply(77, AcceptStat::Success, &[1, 2, 3, 4]);
+        let (xid, stat, results) = decode_reply(&msg).unwrap();
+        assert_eq!(xid, 77);
+        assert_eq!(stat, AcceptStat::Success);
+        assert_eq!(results, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn record_mark_carries_length() {
+        let msg = encode_call(CallHeader { xid: 1, prog: 2, vers: 3, proc: 4 }, &[]);
+        let mark = u32::from_be_bytes(msg[..4].try_into().unwrap());
+        assert_ne!(mark & 0x8000_0000, 0, "last-fragment bit");
+        assert_eq!((mark & 0x7FFF_FFFF) as usize, msg.len() - 4);
+    }
+
+    #[test]
+    fn corrupted_record_mark_rejected() {
+        let mut msg = encode_call(CallHeader { xid: 1, prog: 2, vers: 3, proc: 4 }, b"x");
+        msg[3] ^= 0xFF;
+        assert!(decode_call(&msg).is_err());
+    }
+
+    #[test]
+    fn wrong_message_type_rejected() {
+        let call = encode_call(CallHeader { xid: 5, prog: 1, vers: 1, proc: 0 }, &[]);
+        assert!(decode_reply(&call).is_err());
+        let reply = encode_reply(5, AcceptStat::Success, &[]);
+        assert!(decode_call(&reply).is_err());
+    }
+
+    #[test]
+    fn error_statuses_roundtrip() {
+        for stat in [
+            AcceptStat::ProgUnavail,
+            AcceptStat::ProgMismatch,
+            AcceptStat::ProcUnavail,
+            AcceptStat::GarbageArgs,
+        ] {
+            let msg = encode_reply(9, stat, &[]);
+            let (_, got, _) = decode_reply(&msg).unwrap();
+            assert_eq!(got, stat);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_rejected_not_panicking() {
+        let msg = encode_call(CallHeader { xid: 1, prog: 2, vers: 3, proc: 4 }, b"abc");
+        for cut in 0..msg.len() {
+            let _ = decode_call(&msg[..cut]);
+        }
+    }
+
+    #[test]
+    fn args_are_borrowed_from_message() {
+        let msg = encode_call(CallHeader { xid: 1, prog: 2, vers: 3, proc: 4 }, &[9; 64]);
+        let (_, args) = decode_call(&msg).unwrap();
+        let base = msg.as_ptr() as usize;
+        let p = args.as_ptr() as usize;
+        assert!(p >= base && p < base + msg.len(), "zero-copy args view");
+    }
+}

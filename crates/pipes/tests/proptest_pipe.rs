@@ -1,0 +1,152 @@
+//! Model-based property test: the pipe server against a reference queue.
+//!
+//! Random interleavings of reads and writes, executed through the *full*
+//! RPC stack (stub programs → kernel IPC → pipe server), must behave
+//! byte-for-byte like a plain FIFO with the same capacity — under every
+//! reply presentation. Flow-control refusals must also agree with the
+//! model.
+
+use flexrpc_core::value::Value;
+use flexrpc_pipes::server::ReadPresentation;
+use flexrpc_pipes::{fileio_module, WOULDBLOCK};
+use flexrpc_core::present::InterfacePresentation;
+use flexrpc_core::program::CompiledInterface;
+use flexrpc_marshal::WireFormat;
+use flexrpc_runtime::transport::Loopback;
+use flexrpc_runtime::{ClientStub, RpcError};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+struct Model {
+    cap: usize,
+    q: VecDeque<u8>,
+}
+
+impl Model {
+    fn write(&mut self, data: &[u8]) -> u32 {
+        if self.q.len() + data.len() > self.cap {
+            WOULDBLOCK
+        } else {
+            self.q.extend(data.iter().copied());
+            0
+        }
+    }
+
+    fn read(&mut self, count: usize) -> (u32, Vec<u8>) {
+        if self.q.is_empty() {
+            return (WOULDBLOCK, Vec::new());
+        }
+        let n = count.min(self.q.len());
+        (0, self.q.drain(..n).collect())
+    }
+}
+
+fn client_for(mode: ReadPresentation, cap: usize) -> ClientStub {
+    let (server, _stats) =
+        flexrpc_pipes::server::build_pipe_server(cap, mode, WireFormat::Cdr);
+    let m = fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO");
+    let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    let compiled = CompiledInterface::compile(&m, iface, &pres).expect("compiles");
+    ClientStub::new(compiled, WireFormat::Cdr, Box::new(Loopback::new(server)))
+}
+
+fn rpc_write(client: &mut ClientStub, data: &[u8]) -> u32 {
+    let mut frame = client.new_frame("write").expect("frame");
+    frame[0] = Value::Bytes(data.to_vec());
+    match client.call("write", &mut frame) {
+        Ok(s) => s,
+        Err(RpcError::Remote(s)) => s,
+        Err(e) => panic!("write failed: {e}"),
+    }
+}
+
+fn rpc_read(client: &mut ClientStub, count: usize) -> (u32, Vec<u8>) {
+    let mut frame = client.new_frame("read").expect("frame");
+    frame[0] = Value::U32(count as u32);
+    let status = match client.call("read", &mut frame) {
+        Ok(s) => s,
+        Err(RpcError::Remote(s)) => s,
+        Err(e) => panic!("read failed: {e}"),
+    };
+    match std::mem::take(&mut frame[1]) {
+        Value::Bytes(b) => (status, b),
+        other => panic!("unexpected return slot {other:?}"),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(Vec<u8>),
+    Read(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 1..48).prop_map(Op::Write),
+        (1usize..48).prop_map(Op::Read),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipe_matches_fifo_model(
+        ops in prop::collection::vec(op_strategy(), 1..64),
+        mode_pick in 0usize..3,
+    ) {
+        let mode = [
+            ReadPresentation::Default,
+            ReadPresentation::DeallocNever,
+            ReadPresentation::DeallocNeverWrapOptimized,
+        ][mode_pick];
+        let cap = 64;
+        let mut model = Model { cap, q: VecDeque::new() };
+        let mut client = client_for(mode, cap);
+
+        for op in &ops {
+            match op {
+                Op::Write(data) => {
+                    let got = rpc_write(&mut client, data);
+                    let want = model.write(data);
+                    prop_assert_eq!(got, want, "write status diverged ({:?})", mode);
+                }
+                Op::Read(count) => {
+                    let (got_status, got_data) = rpc_read(&mut client, *count);
+                    let (want_status, want_data) = model.read(*count);
+                    prop_assert_eq!(got_status, want_status, "read status diverged ({:?})", mode);
+                    prop_assert_eq!(&got_data, &want_data, "read data diverged ({:?})", mode);
+                }
+            }
+        }
+    }
+
+    /// All three presentations produce the identical observable trace.
+    #[test]
+    fn presentations_are_observationally_equal(
+        ops in prop::collection::vec(op_strategy(), 1..32),
+    ) {
+        let cap = 64;
+        let mut clients: Vec<ClientStub> = [
+            ReadPresentation::Default,
+            ReadPresentation::DeallocNever,
+            ReadPresentation::DeallocNeverWrapOptimized,
+        ]
+        .iter()
+        .map(|m| client_for(*m, cap))
+        .collect();
+
+        for op in &ops {
+            let results: Vec<(u32, Vec<u8>)> = clients
+                .iter_mut()
+                .map(|c| match op {
+                    Op::Write(data) => (rpc_write(c, data), Vec::new()),
+                    Op::Read(count) => rpc_read(c, *count),
+                })
+                .collect();
+            prop_assert_eq!(&results[0], &results[1]);
+            prop_assert_eq!(&results[0], &results[2]);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The client stub: marshal → transport → unmarshal.
+
+use crate::error::RpcError;
+use crate::hooks::HookMap;
+use crate::interp::{marshal, unmarshal};
+use crate::transport::Transport;
+use crate::wire::{AnyReader, AnyWriter};
+use crate::Result;
+use flexrpc_core::program::{CompiledInterface, CompiledOp};
+use flexrpc_core::value::Value;
+use flexrpc_marshal::WireFormat;
+
+/// A client binding: compiled programs (this endpoint's presentation), its
+/// `[special]` hooks, and a transport to the server.
+pub struct ClientStub {
+    compiled: CompiledInterface,
+    format: WireFormat,
+    hooks: Vec<HookMap>,
+    transport: Box<dyn Transport>,
+    /// Scratch reply buffer, reused across calls (no steady-state client
+    /// allocation beyond what the presentation itself requires).
+    reply_buf: Vec<u8>,
+    /// Offset of the reply body within `reply_buf` (transport framing).
+    reply_off: usize,
+    /// Scratch request buffer, reused across calls.
+    request_buf: Vec<u8>,
+}
+
+impl ClientStub {
+    /// Creates a stub over `transport`.
+    pub fn new(
+        compiled: CompiledInterface,
+        format: WireFormat,
+        transport: Box<dyn Transport>,
+    ) -> ClientStub {
+        let n = compiled.ops.len();
+        ClientStub {
+            compiled,
+            format,
+            hooks: vec![HookMap::new(); n],
+            transport,
+            reply_buf: Vec::new(),
+            reply_off: 0,
+            request_buf: Vec::new(),
+        }
+    }
+
+    /// The compiled interface (client presentation).
+    pub fn compiled(&self) -> &CompiledInterface {
+        &self.compiled
+    }
+
+    /// Looks up a compiled operation by name.
+    pub fn op(&self, name: &str) -> Result<&CompiledOp> {
+        self.compiled.op(name).ok_or_else(|| RpcError::NoSuchOp(name.into()))
+    }
+
+    /// A fresh call frame for an operation.
+    pub fn new_frame(&self, name: &str) -> Result<Vec<Value>> {
+        Ok(self.op(name)?.slots.new_frame())
+    }
+
+    /// `[special]` hooks for an operation (register before calling).
+    pub fn hooks_mut(&mut self, name: &str) -> Result<&mut HookMap> {
+        let i = self
+            .compiled
+            .ops
+            .iter()
+            .position(|o| o.name == name)
+            .ok_or_else(|| RpcError::NoSuchOp(name.into()))?;
+        Ok(&mut self.hooks[i])
+    }
+
+    /// Invokes an operation by name. In-slots of `frame` must be filled;
+    /// out-slots are written on return. Returns the status word.
+    ///
+    /// Error presentation follows `[comm_status]`: with it, every status is
+    /// returned as a value; without it, a non-zero status surfaces as
+    /// [`RpcError::Remote`] (the exception path).
+    pub fn call(&mut self, name: &str, frame: &mut [Value]) -> Result<u32> {
+        let i = self
+            .compiled
+            .ops
+            .iter()
+            .position(|o| o.name == name)
+            .ok_or_else(|| RpcError::NoSuchOp(name.into()))?;
+        self.call_index(i, frame)
+    }
+
+    /// Invokes an operation by index (the dispatch key).
+    pub fn call_index(&mut self, op_index: usize, frame: &mut [Value]) -> Result<u32> {
+        let op = self
+            .compiled
+            .ops
+            .get(op_index)
+            .ok_or_else(|| RpcError::NoSuchOp(format!("op index {op_index}")))?;
+        let hooks = &self.hooks[op_index];
+
+        let mut writer = AnyWriter::over(self.format, std::mem::take(&mut self.request_buf));
+        let mut rights = Vec::new();
+        marshal(&op.request_marshal, frame, &[], &mut writer, hooks, &mut rights)?;
+        let request = writer.into_bytes();
+
+        let mut rights_out = Vec::new();
+        let mut reply = std::mem::take(&mut self.reply_buf);
+        let off = match self.transport.call(op, &request, &rights, &mut reply, &mut rights_out) {
+            Ok(off) => off,
+            Err(e) => {
+                self.reply_buf = reply;
+                return Err(e);
+            }
+        };
+        self.reply_off = off;
+
+        let result = (|| -> Result<u32> {
+            let body = &reply[off..];
+            let mut reader = AnyReader::new(self.format, body)?;
+            unmarshal(
+                &op.reply_unmarshal,
+                frame,
+                body,
+                &mut reader,
+                hooks,
+                &mut rights_out.iter().copied(),
+            )?;
+            let status = frame[op.status_slot().0]
+                .as_u32()
+                .expect("status slot is always u32");
+            if status != 0 && !op.comm_status {
+                return Err(RpcError::Remote(status));
+            }
+            Ok(status)
+        })();
+        // NOTE: `Window` out-values reference `reply_buf`; they are only
+        // valid until the next call on this stub. Borrowed client
+        // presentations must consume them before re-calling — same rule as
+        // any borrowed receive buffer.
+        self.reply_buf = reply;
+        self.request_buf = request;
+        result
+    }
+
+    /// The raw bytes of the last reply body (resolves `Window` out-values).
+    pub fn last_reply(&self) -> &[u8] {
+        &self.reply_buf[self.reply_off..]
+    }
+}
+
+impl std::fmt::Debug for ClientStub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientStub")
+            .field("interface", &self.compiled.interface)
+            .field("format", &self.format.name())
+            .finish()
+    }
+}

@@ -1,0 +1,98 @@
+//! The runtime's unified error type.
+
+use core::fmt;
+
+/// An error surfaced by a client stub, server dispatch, or transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Encoding/decoding failed.
+    Marshal(flexrpc_marshal::MarshalError),
+    /// The simulated kernel refused an operation.
+    Kernel(flexrpc_kernel::KernelError),
+    /// The simulated network refused an operation.
+    Net(flexrpc_net::NetError),
+    /// Program compilation or presentation application failed at bind time.
+    Core(flexrpc_core::CoreError),
+    /// The server completed the RPC with a non-zero application status and
+    /// the presentation surfaces it through the exception path (no
+    /// `[comm_status]`).
+    Remote(u32),
+    /// The requested operation does not exist on the interface.
+    NoSuchOp(String),
+    /// A slot held a value of the wrong kind for the op executed on it.
+    SlotKind {
+        /// Slot index.
+        slot: usize,
+        /// What the op required.
+        expected: &'static str,
+        /// What the slot held.
+        found: &'static str,
+    },
+    /// A `[special]` op referenced a hook that was never registered.
+    MissingHook(usize),
+    /// The server work function misused the reply sink (wrong order, or a
+    /// sink payload written twice).
+    SinkMisuse(String),
+    /// Transport-level failure with no richer classification.
+    Transport(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Marshal(e) => write!(f, "marshal error: {e}"),
+            RpcError::Kernel(e) => write!(f, "kernel error: {e}"),
+            RpcError::Net(e) => write!(f, "network error: {e}"),
+            RpcError::Core(e) => write!(f, "compile error: {e}"),
+            RpcError::Remote(code) => write!(f, "remote failure, status {code}"),
+            RpcError::NoSuchOp(name) => write!(f, "no such operation `{name}`"),
+            RpcError::SlotKind { slot, expected, found } => {
+                write!(f, "slot {slot}: expected {expected}, found {found}")
+            }
+            RpcError::MissingHook(i) => write!(f, "no [special] hook registered for param {i}"),
+            RpcError::SinkMisuse(why) => write!(f, "reply sink misused: {why}"),
+            RpcError::Transport(why) => write!(f, "transport failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<flexrpc_marshal::MarshalError> for RpcError {
+    fn from(e: flexrpc_marshal::MarshalError) -> Self {
+        RpcError::Marshal(e)
+    }
+}
+
+impl From<flexrpc_kernel::KernelError> for RpcError {
+    fn from(e: flexrpc_kernel::KernelError) -> Self {
+        RpcError::Kernel(e)
+    }
+}
+
+impl From<flexrpc_net::NetError> for RpcError {
+    fn from(e: flexrpc_net::NetError) -> Self {
+        RpcError::Net(e)
+    }
+}
+
+impl From<flexrpc_core::CoreError> for RpcError {
+    fn from(e: flexrpc_core::CoreError) -> Self {
+        RpcError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RpcError = flexrpc_marshal::MarshalError::BadBool(3).into();
+        assert!(e.to_string().contains("marshal error"));
+        let e: RpcError = flexrpc_kernel::KernelError::NoServer.into();
+        assert!(e.to_string().contains("kernel error"));
+        let e = RpcError::SlotKind { slot: 2, expected: "bytes", found: "u32" };
+        assert!(e.to_string().contains("slot 2"));
+    }
+}

@@ -1,0 +1,180 @@
+//! `[special]` marshal hooks: user-supplied routines the generated stubs
+//! call at the right point in the marshal stream.
+//!
+//! This is the mechanism behind the paper's §4.1 Linux NFS client: the stub
+//! compiler emits stubs that delegate one parameter's (un)marshalling to
+//! programmer-provided routines — there, wrappers around the kernel's
+//! `memcpy_tofs`/`memcpy_fromfs` so file data moves directly between the
+//! RPC buffer and the *user's* address space, skipping the kernel staging
+//! buffer. Everything else in the stub stays generated.
+
+use flexrpc_core::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// User marshal routines for one `[special]` parameter.
+///
+/// For an in-direction parameter on the sending side, [`SpecialMarshal::put_len`]
+/// and [`SpecialMarshal::put_fill`] produce the payload straight into the
+/// message. On the receiving side, [`SpecialMarshal::get`] consumes the wire
+/// payload (a borrowed view of the receive buffer) — typically copying it to
+/// its final destination in one step.
+///
+/// Hooks see the call's slot frame, so payload sizes can depend on other
+/// parameters (e.g. NFS `count`). Out-of-band state (which user buffer to
+/// fill) lives in the hook value itself.
+pub trait SpecialMarshal: Send + Sync {
+    /// Length in bytes of the payload this hook will produce.
+    fn put_len(&self, slots: &[Value]) -> usize {
+        let _ = slots;
+        0
+    }
+
+    /// Fills `dst` (exactly [`SpecialMarshal::put_len`] bytes) with the
+    /// payload. Returns the bytes written; anything short is an error.
+    fn put_fill(&self, slots: &[Value], dst: &mut [u8]) -> usize {
+        let _ = slots;
+        let _ = dst;
+        0
+    }
+
+    /// Consumes a received payload. `slots` is the call frame (the hook's
+    /// slot records the payload length afterwards, by the interpreter).
+    fn get(&self, slots: &mut [Value], payload: &[u8]) {
+        let _ = (slots, payload);
+    }
+}
+
+/// Hook registry for one operation: parameter index → hook.
+///
+/// The result position uses `usize::MAX`, matching the compiler's encoding.
+#[derive(Clone, Default)]
+pub struct HookMap {
+    hooks: HashMap<usize, Arc<dyn SpecialMarshal>>,
+}
+
+impl HookMap {
+    /// An empty registry.
+    pub fn new() -> HookMap {
+        HookMap::default()
+    }
+
+    /// Registers the hook for a parameter index.
+    pub fn set(&mut self, param: usize, hook: Arc<dyn SpecialMarshal>) {
+        self.hooks.insert(param, hook);
+    }
+
+    /// Registers the hook for the result position.
+    pub fn set_result(&mut self, hook: Arc<dyn SpecialMarshal>) {
+        self.hooks.insert(usize::MAX, hook);
+    }
+
+    /// Looks up a hook.
+    pub fn get(&self, param: usize) -> Option<&Arc<dyn SpecialMarshal>> {
+        self.hooks.get(&param)
+    }
+
+    /// Number of registered hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// True if no hooks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+}
+
+impl std::fmt::Debug for HookMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HookMap({} hooks)", self.hooks.len())
+    }
+}
+
+/// A hook backed by closures — convenient for tests and simple apps.
+pub struct FnHook<L, F, G> {
+    /// Length function.
+    pub len: L,
+    /// Fill function.
+    pub fill: F,
+    /// Receive function.
+    pub recv: G,
+}
+
+impl<L, F, G> SpecialMarshal for FnHook<L, F, G>
+where
+    L: Fn(&[Value]) -> usize + Send + Sync,
+    F: Fn(&[Value], &mut [u8]) -> usize + Send + Sync,
+    G: Fn(&mut [Value], &[u8]) + Send + Sync,
+{
+    fn put_len(&self, slots: &[Value]) -> usize {
+        (self.len)(slots)
+    }
+
+    fn put_fill(&self, slots: &[Value], dst: &mut [u8]) -> usize {
+        (self.fill)(slots, dst)
+    }
+
+    fn get(&self, slots: &mut [Value], payload: &[u8]) {
+        (self.recv)(slots, payload)
+    }
+}
+
+/// A receive-only hook from a single closure.
+pub fn recv_hook(
+    f: impl Fn(&mut [Value], &[u8]) + Send + Sync + 'static,
+) -> Arc<dyn SpecialMarshal> {
+    Arc::new(FnHook { len: |_: &[Value]| 0, fill: |_: &[Value], _: &mut [u8]| 0, recv: f })
+}
+
+/// A send-only hook from a length closure and a fill closure.
+pub fn send_hook(
+    len: impl Fn(&[Value]) -> usize + Send + Sync + 'static,
+    fill: impl Fn(&[Value], &mut [u8]) -> usize + Send + Sync + 'static,
+) -> Arc<dyn SpecialMarshal> {
+    Arc::new(FnHook { len, fill, recv: |_: &mut [Value], _: &[u8]| {} })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut map = HookMap::new();
+        assert!(map.is_empty());
+        map.set(0, send_hook(|_| 3, |_, d| {
+            d.copy_from_slice(b"abc");
+            3
+        }));
+        map.set_result(recv_hook(|_, _| {}));
+        assert_eq!(map.len(), 2);
+        assert!(map.get(0).is_some());
+        assert!(map.get(usize::MAX).is_some());
+        assert!(map.get(7).is_none());
+    }
+
+    #[test]
+    fn fn_hook_dispatch() {
+        let hook = send_hook(|slots| slots.len(), |_, d| {
+            d.fill(9);
+            d.len()
+        });
+        let slots = vec![Value::U32(1), Value::U32(2)];
+        assert_eq!(hook.put_len(&slots), 2);
+        let mut buf = [0u8; 2];
+        assert_eq!(hook.put_fill(&slots, &mut buf), 2);
+        assert_eq!(buf, [9, 9]);
+    }
+
+    #[test]
+    fn default_trait_methods_are_inert() {
+        struct Nop;
+        impl SpecialMarshal for Nop {}
+        let slots = vec![Value::Null];
+        assert_eq!(Nop.put_len(&slots), 0);
+        let mut s = slots.clone();
+        Nop.get(&mut s, b"ignored");
+        assert_eq!(s, slots);
+    }
+}

@@ -1,0 +1,457 @@
+//! The stub-program interpreter.
+//!
+//! Executes the threaded code of a [`StubProgram`] against a call frame of
+//! [`Value`] slots and a wire writer/reader. Dispatch cost is a match per
+//! op; payload ops do bulk `memcpy` work (or none, for the borrowed/window
+//! forms), so the interpreter's copy schedule — not its dispatch — dominates
+//! exactly as it did for the paper's generated C stubs.
+
+use crate::error::RpcError;
+use crate::hooks::HookMap;
+use crate::wire::{AnyReader, AnyWriter};
+use crate::Result;
+use flexrpc_core::program::{MOp, StubProgram};
+use flexrpc_core::value::Value;
+
+fn kind_err(op: &MOp, found: &Value, expected: &'static str) -> RpcError {
+    RpcError::SlotKind { slot: op.slot().0, expected, found: found.kind() }
+}
+
+/// Runs a marshal (Put) program: slots → writer.
+///
+/// `src_msg` resolves `Window` slots (payloads borrowed from the *request*
+/// message when a server echoes them into a reply). `rights_out` collects
+/// port rights in op order for out-of-band transfer.
+pub fn marshal(
+    program: &StubProgram,
+    slots: &[Value],
+    src_msg: &[u8],
+    w: &mut AnyWriter,
+    hooks: &HookMap,
+    rights_out: &mut Vec<u32>,
+) -> Result<()> {
+    for op in &program.ops {
+        let v = &slots[op.slot().0];
+        match op {
+            MOp::PutU32(_) => match v {
+                Value::U32(x) => w.put_u32(*x),
+                Value::Bool(b) => w.put_u32(*b as u32),
+                other => return Err(kind_err(op, other, "u32")),
+            },
+            MOp::PutI32(_) => match v {
+                Value::I32(x) => w.put_i32(*x),
+                other => return Err(kind_err(op, other, "i32")),
+            },
+            MOp::PutU64(_) => match v {
+                Value::U64(x) => w.put_u64(*x),
+                other => return Err(kind_err(op, other, "u64")),
+            },
+            MOp::PutI64(_) => match v {
+                Value::I64(x) => w.put_i64(*x),
+                other => return Err(kind_err(op, other, "i64")),
+            },
+            MOp::PutBool(_) => match v {
+                Value::Bool(x) => w.put_bool(*x),
+                other => return Err(kind_err(op, other, "bool")),
+            },
+            MOp::PutF64(_) => match v {
+                Value::F64(x) => w.put_f64(*x),
+                other => return Err(kind_err(op, other, "f64")),
+            },
+            MOp::PutStr(_) => match v {
+                Value::Str(s) => w.put_str(s),
+                other => return Err(kind_err(op, other, "str")),
+            },
+            MOp::PutStrFromBytes(_) => match v.window_of(src_msg) {
+                Some(bytes) => w.put_str_bytes(bytes),
+                None => return Err(kind_err(op, v, "bytes")),
+            },
+            MOp::PutBytes(_) => match v.window_of(src_msg) {
+                Some(bytes) => w.put_bytes(bytes),
+                None => return Err(kind_err(op, v, "bytes")),
+            },
+            MOp::PutBytesFixed(_, n) => match v.window_of(src_msg) {
+                Some(bytes) if bytes.len() == *n as usize => w.put_bytes_fixed(bytes),
+                // An unset slot (error replies never filled it) marshals as
+                // zeros: failed calls still produce decodable messages.
+                Some(bytes) if bytes.is_empty() => {
+                    w.put_bytes_fixed(&vec![0u8; *n as usize])
+                }
+                Some(_) => {
+                    return Err(RpcError::Transport(format!(
+                        "fixed opaque field expects exactly {n} bytes"
+                    )))
+                }
+                None => return Err(kind_err(op, v, "bytes")),
+            },
+            MOp::PutBytesSpecial { hook, .. } => {
+                let h = hooks.get(*hook).ok_or(RpcError::MissingHook(*hook))?.clone();
+                let len = h.put_len(slots);
+                let win = w.reserve_payload(len);
+                w.fill_window_with(win, |dst| h.put_fill(slots, dst))?;
+            }
+            MOp::PutPort(_) => match v {
+                Value::Port(p) => rights_out.push(*p),
+                other => return Err(kind_err(op, other, "port")),
+            },
+            _ => unreachable!("Get op {op:?} in a marshal program is a compiler bug"),
+        }
+    }
+    Ok(())
+}
+
+/// Runs an unmarshal (Get) program: reader → slots.
+///
+/// `msg` is the full receive buffer (window offsets resolve against it);
+/// `rights_in` yields port rights in op order.
+pub fn unmarshal(
+    program: &StubProgram,
+    slots: &mut [Value],
+    msg: &[u8],
+    r: &mut AnyReader<'_>,
+    hooks: &HookMap,
+    rights_in: &mut dyn Iterator<Item = u32>,
+) -> Result<()> {
+    for op in &program.ops {
+        let slot = op.slot().0;
+        match op {
+            MOp::GetU32(_) => slots[slot] = Value::U32(r.get_u32()?),
+            MOp::GetI32(_) => slots[slot] = Value::I32(r.get_i32()?),
+            MOp::GetU64(_) => slots[slot] = Value::U64(r.get_u64()?),
+            MOp::GetI64(_) => slots[slot] = Value::I64(r.get_i64()?),
+            MOp::GetBool(_) => slots[slot] = Value::Bool(r.get_bool()?),
+            MOp::GetF64(_) => slots[slot] = Value::F64(r.get_f64()?),
+            MOp::GetStr(_) => slots[slot] = Value::Str(r.get_str()?),
+            MOp::GetStrAsBytes(_) => slots[slot] = Value::Bytes(r.get_str_bytes()?),
+            MOp::GetBytesOwned(_) => slots[slot] = Value::Bytes(r.get_bytes_owned()?),
+            MOp::GetBytesBorrowed(_) => {
+                let s = r.get_bytes_borrowed()?;
+                let off = s.as_ptr() as usize - msg.as_ptr() as usize;
+                slots[slot] = Value::Window { off, len: s.len() };
+            }
+            MOp::GetBytesInto(_) => {
+                let src = r.get_bytes_borrowed()?;
+                match &mut slots[slot] {
+                    Value::Bytes(dst) => {
+                        if src.len() > dst.capacity().max(dst.len()) {
+                            return Err(RpcError::Marshal(
+                                flexrpc_marshal::MarshalError::LengthOutOfRange {
+                                    claimed: src.len(),
+                                    max: dst.capacity().max(dst.len()),
+                                },
+                            ));
+                        }
+                        // Fill the caller's buffer in place: no allocation.
+                        dst.clear();
+                        dst.extend_from_slice(src);
+                    }
+                    other => {
+                        let found = other.kind();
+                        return Err(RpcError::SlotKind { slot, expected: "bytes", found });
+                    }
+                }
+            }
+            MOp::GetBytesSpecial { hook, .. } => {
+                let h = hooks.get(*hook).ok_or(RpcError::MissingHook(*hook))?.clone();
+                let payload = r.get_bytes_borrowed()?;
+                h.get(slots, payload);
+                slots[slot] = Value::U32(payload.len() as u32);
+            }
+            MOp::GetBytesFixed(_, n) => {
+                slots[slot] = Value::Bytes(r.get_bytes_fixed_owned(*n as usize)?)
+            }
+            MOp::GetPort(_) => {
+                let p = rights_in
+                    .next()
+                    .ok_or_else(|| RpcError::Transport("missing port right".into()))?;
+                slots[slot] = Value::Port(p);
+            }
+            _ => unreachable!("Put op {op:?} in an unmarshal program is a compiler bug"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::{recv_hook, send_hook};
+    use flexrpc_core::program::Slot;
+    use flexrpc_marshal::WireFormat;
+    use std::sync::Arc;
+    use std::sync::Mutex;
+
+    fn prog(ops: Vec<MOp>) -> StubProgram {
+        StubProgram { ops }
+    }
+
+    #[test]
+    fn scalar_slots_roundtrip() {
+        let p_put = prog(vec![
+            MOp::PutU32(Slot(0)),
+            MOp::PutI64(Slot(1)),
+            MOp::PutBool(Slot(2)),
+            MOp::PutF64(Slot(3)),
+            MOp::PutStr(Slot(4)),
+        ]);
+        let p_get = prog(vec![
+            MOp::GetU32(Slot(0)),
+            MOp::GetI64(Slot(1)),
+            MOp::GetBool(Slot(2)),
+            MOp::GetF64(Slot(3)),
+            MOp::GetStr(Slot(4)),
+        ]);
+        let slots = vec![
+            Value::U32(7),
+            Value::I64(-9),
+            Value::Bool(true),
+            Value::F64(1.5),
+            Value::Str("flex".into()),
+        ];
+        for format in [WireFormat::Xdr, WireFormat::Cdr] {
+            let mut w = AnyWriter::new(format);
+            let mut rights = Vec::new();
+            marshal(&p_put, &slots, &[], &mut w, &HookMap::new(), &mut rights).unwrap();
+            let msg = w.into_bytes();
+            let mut out = vec![Value::Null; 5];
+            let mut r = AnyReader::new(format, &msg).unwrap();
+            unmarshal(&p_get, &mut out, &msg, &mut r, &HookMap::new(), &mut std::iter::empty())
+                .unwrap();
+            assert_eq!(out, slots);
+        }
+    }
+
+    #[test]
+    fn owned_and_borrowed_payloads_interoperate() {
+        let p_put = prog(vec![MOp::PutBytes(Slot(0))]);
+        let slots = vec![Value::Bytes(b"payload".to_vec())];
+        let mut w = AnyWriter::new(WireFormat::Cdr);
+        marshal(&p_put, &slots, &[], &mut w, &HookMap::new(), &mut Vec::new()).unwrap();
+        let msg = w.into_bytes();
+
+        // Borrowed consumer gets a window into the message.
+        let mut out = vec![Value::Null];
+        let mut r = AnyReader::new(WireFormat::Cdr, &msg).unwrap();
+        unmarshal(
+            &prog(vec![MOp::GetBytesBorrowed(Slot(0))]),
+            &mut out,
+            &msg,
+            &mut r,
+            &HookMap::new(),
+            &mut std::iter::empty(),
+        )
+        .unwrap();
+        assert_eq!(out[0].window_of(&msg).unwrap(), b"payload");
+
+        // A window slot can be re-marshalled (echo server shape).
+        let mut w2 = AnyWriter::new(WireFormat::Cdr);
+        marshal(&p_put, &out, &msg, &mut w2, &HookMap::new(), &mut Vec::new()).unwrap();
+        let msg2 = w2.into_bytes();
+        let mut out2 = vec![Value::Null];
+        let mut r2 = AnyReader::new(WireFormat::Cdr, &msg2).unwrap();
+        unmarshal(
+            &prog(vec![MOp::GetBytesOwned(Slot(0))]),
+            &mut out2,
+            &msg2,
+            &mut r2,
+            &HookMap::new(),
+            &mut std::iter::empty(),
+        )
+        .unwrap();
+        assert_eq!(out2[0].as_bytes().unwrap(), b"payload");
+    }
+
+    #[test]
+    fn caller_allocated_buffer_filled_in_place() {
+        let mut w = AnyWriter::new(WireFormat::Xdr);
+        marshal(
+            &prog(vec![MOp::PutBytes(Slot(0))]),
+            &[Value::Bytes(vec![5; 100])],
+            &[],
+            &mut w,
+            &HookMap::new(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let msg = w.into_bytes();
+
+        let mut out = vec![Value::Bytes(Vec::with_capacity(128))];
+        let ptr_before = out[0].as_bytes().unwrap().as_ptr();
+        let mut r = AnyReader::new(WireFormat::Xdr, &msg).unwrap();
+        unmarshal(
+            &prog(vec![MOp::GetBytesInto(Slot(0))]),
+            &mut out,
+            &msg,
+            &mut r,
+            &HookMap::new(),
+            &mut std::iter::empty(),
+        )
+        .unwrap();
+        assert_eq!(out[0].as_bytes().unwrap(), &[5u8; 100][..]);
+        assert_eq!(out[0].as_bytes().unwrap().as_ptr(), ptr_before, "no reallocation");
+    }
+
+    #[test]
+    fn caller_buffer_too_small_rejected() {
+        let mut w = AnyWriter::new(WireFormat::Xdr);
+        marshal(
+            &prog(vec![MOp::PutBytes(Slot(0))]),
+            &[Value::Bytes(vec![5; 100])],
+            &[],
+            &mut w,
+            &HookMap::new(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let msg = w.into_bytes();
+        let mut out = vec![Value::Bytes(Vec::with_capacity(10))];
+        let mut r = AnyReader::new(WireFormat::Xdr, &msg).unwrap();
+        let err = unmarshal(
+            &prog(vec![MOp::GetBytesInto(Slot(0))]),
+            &mut out,
+            &msg,
+            &mut r,
+            &HookMap::new(),
+            &mut std::iter::empty(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RpcError::Marshal(_)));
+    }
+
+    #[test]
+    fn special_hooks_on_both_sides() {
+        // Sender: hook produces payload from out-of-band state.
+        let mut send_hooks = HookMap::new();
+        send_hooks.set(0, send_hook(|_| 4, |_, d| {
+            d.copy_from_slice(b"hook");
+            4
+        }));
+        let mut w = AnyWriter::new(WireFormat::Xdr);
+        marshal(
+            &prog(vec![MOp::PutBytesSpecial { slot: Slot(0), hook: 0 }]),
+            &[Value::Null],
+            &[],
+            &mut w,
+            &send_hooks,
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let msg = w.into_bytes();
+
+        // Receiver: hook captures the payload.
+        let captured = Arc::new(Mutex::new(Vec::new()));
+        let cap2 = Arc::clone(&captured);
+        let mut recv_hooks = HookMap::new();
+        recv_hooks.set(0, recv_hook(move |_, payload| {
+            cap2.lock().unwrap().extend_from_slice(payload);
+        }));
+        let mut out = vec![Value::Null];
+        let mut r = AnyReader::new(WireFormat::Xdr, &msg).unwrap();
+        unmarshal(
+            &prog(vec![MOp::GetBytesSpecial { slot: Slot(0), hook: 0 }]),
+            &mut out,
+            &msg,
+            &mut r,
+            &recv_hooks,
+            &mut std::iter::empty(),
+        )
+        .unwrap();
+        assert_eq!(*captured.lock().unwrap(), b"hook");
+        assert_eq!(out[0], Value::U32(4), "slot records the payload length");
+    }
+
+    #[test]
+    fn missing_hook_reported() {
+        let mut w = AnyWriter::new(WireFormat::Xdr);
+        let err = marshal(
+            &prog(vec![MOp::PutBytesSpecial { slot: Slot(0), hook: 3 }]),
+            &[Value::Null],
+            &[],
+            &mut w,
+            &HookMap::new(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err, RpcError::MissingHook(3));
+    }
+
+    #[test]
+    fn ports_travel_out_of_band() {
+        let mut w = AnyWriter::new(WireFormat::Cdr);
+        let mut rights = Vec::new();
+        marshal(
+            &prog(vec![MOp::PutPort(Slot(0)), MOp::PutU32(Slot(1))]),
+            &[Value::Port(42), Value::U32(1)],
+            &[],
+            &mut w,
+            &HookMap::new(),
+            &mut rights,
+        )
+        .unwrap();
+        assert_eq!(rights, vec![42]);
+        let msg = w.into_bytes();
+        let mut out = vec![Value::Null, Value::Null];
+        let mut r = AnyReader::new(WireFormat::Cdr, &msg).unwrap();
+        unmarshal(
+            &prog(vec![MOp::GetPort(Slot(0)), MOp::GetU32(Slot(1))]),
+            &mut out,
+            &msg,
+            &mut r,
+            &HookMap::new(),
+            &mut vec![99u32].into_iter(),
+        )
+        .unwrap();
+        assert_eq!(out[0], Value::Port(99), "receiver-side name, translated");
+        assert_eq!(out[1], Value::U32(1));
+    }
+
+    #[test]
+    fn missing_right_reported() {
+        let msg = {
+            let w = AnyWriter::new(WireFormat::Cdr);
+            w.into_bytes()
+        };
+        let mut out = vec![Value::Null];
+        let mut r = AnyReader::new(WireFormat::Cdr, &msg).unwrap();
+        let err = unmarshal(
+            &prog(vec![MOp::GetPort(Slot(0))]),
+            &mut out,
+            &msg,
+            &mut r,
+            &HookMap::new(),
+            &mut std::iter::empty(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RpcError::Transport(_)));
+    }
+
+    #[test]
+    fn wrong_slot_kind_reported() {
+        let mut w = AnyWriter::new(WireFormat::Xdr);
+        let err = marshal(
+            &prog(vec![MOp::PutU32(Slot(0))]),
+            &[Value::Str("not a number".into())],
+            &[],
+            &mut w,
+            &HookMap::new(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RpcError::SlotKind { slot: 0, expected: "u32", .. }));
+    }
+
+    #[test]
+    fn fixed_bytes_length_enforced() {
+        let mut w = AnyWriter::new(WireFormat::Xdr);
+        let err = marshal(
+            &prog(vec![MOp::PutBytesFixed(Slot(0), 32)]),
+            &[Value::Bytes(vec![0; 16])],
+            &[],
+            &mut w,
+            &HookMap::new(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RpcError::Transport(_)));
+    }
+}

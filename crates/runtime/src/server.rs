@@ -1,0 +1,419 @@
+//! Server-side dispatch: unmarshal → work function → marshal.
+//!
+//! The work function runs *between* the two halves of the server stub, and
+//! the wire layout (payloads first) is what lets sink-mode presentations
+//! write reply payloads with zero buffering: a server whose presentation
+//! says `[dealloc(never)]` (or `[special]`) for an out payload receives a
+//! [`ReplySink`] positioned at exactly the right point in the reply
+//! message, and writes the payload bytes straight from its own storage —
+//! the pipe server marshals directly out of its circular buffer, which is
+//! the copy Figure 6 deletes.
+
+use crate::error::RpcError;
+use crate::hooks::HookMap;
+use crate::interp::{marshal, unmarshal};
+use crate::wire::{AnyReader, AnyWriter};
+use crate::Result;
+use flexrpc_core::program::{CompiledInterface, CompiledOp, SinkSpec, SlotMap};
+use flexrpc_core::value::Value;
+use flexrpc_marshal::WireFormat;
+
+/// A work function: reads arguments and writes results through
+/// [`ServerCall`], returning the operation's status word (0 = success).
+pub type OpHandler = Box<dyn FnMut(&mut ServerCall<'_, '_>) -> u32 + Send>;
+
+/// The reply-payload sink handed to work functions of sink-mode operations.
+pub struct ReplySink<'w> {
+    writer: &'w mut AnyWriter,
+    specs: &'w [SinkSpec],
+    next: usize,
+    written_lens: Vec<usize>,
+}
+
+impl<'w> ReplySink<'w> {
+    fn new(writer: &'w mut AnyWriter, specs: &'w [SinkSpec]) -> ReplySink<'w> {
+        ReplySink { writer, specs, next: 0, written_lens: Vec::new() }
+    }
+
+    /// Number of sink payloads this operation expects.
+    pub fn expected(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Writes the next sink payload from `data` (one copy: storage → wire).
+    pub fn put(&mut self, data: &[u8]) -> Result<()> {
+        if self.next >= self.specs.len() {
+            return Err(RpcError::SinkMisuse(format!(
+                "operation declares {} sink payload(s)",
+                self.specs.len()
+            )));
+        }
+        self.writer.put_bytes(data);
+        self.written_lens.push(data.len());
+        self.next += 1;
+        Ok(())
+    }
+
+    /// Writes the next sink payload by gathering segments through `f` —
+    /// used by the fbuf-backed pipe server to emit an aggregate's segments
+    /// without first concatenating them. `total` must be the exact payload
+    /// length; `f` is called once with a gather callback.
+    pub fn put_gather(
+        &mut self,
+        total: usize,
+        f: impl FnOnce(&mut dyn FnMut(&[u8])),
+    ) -> Result<()> {
+        if self.next >= self.specs.len() {
+            return Err(RpcError::SinkMisuse("no sink payload slot remaining".into()));
+        }
+        let win = self.writer.reserve_payload(total);
+        let mut off = 0usize;
+        self.writer.fill_window_with(win, |dst| {
+            let mut emit = |seg: &[u8]| {
+                let end = (off + seg.len()).min(dst.len());
+                if off < end {
+                    dst[off..end].copy_from_slice(&seg[..end - off]);
+                }
+                off += seg.len();
+            };
+            f(&mut emit);
+            off.min(dst.len())
+        })?;
+        self.written_lens.push(total);
+        self.next += 1;
+        Ok(())
+    }
+
+    /// Writes empty payloads for anything the work function skipped (the
+    /// error path: a failed read still produces a decodable reply).
+    fn finish(mut self) -> Result<Vec<usize>> {
+        while self.next < self.specs.len() {
+            self.put(&[])?;
+        }
+        Ok(self.written_lens)
+    }
+}
+
+impl std::fmt::Debug for ReplySink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReplySink({}/{} written)", self.next, self.specs.len())
+    }
+}
+
+/// Everything a work function can touch during one invocation.
+pub struct ServerCall<'a, 'w> {
+    /// The call frame (arguments unmarshalled, results to be set).
+    pub frame: &'a mut [Value],
+    /// The raw request message (resolves `Window` arguments).
+    pub request: &'a [u8],
+    /// The reply-payload sink (sink-mode operations only; see
+    /// [`ReplySink::expected`]).
+    pub sink: &'a mut ReplySink<'w>,
+    slots: &'a SlotMap,
+}
+
+impl ServerCall<'_, '_> {
+    /// Resolves a slot index by dotted name.
+    pub fn slot(&self, name: &str) -> Result<usize> {
+        self.slots
+            .slot(name)
+            .map(|s| s.0)
+            .ok_or_else(|| RpcError::NoSuchOp(format!("no slot named `{name}`")))
+    }
+
+    /// Reads a `u32` argument.
+    pub fn u32(&self, name: &str) -> Result<u32> {
+        let i = self.slot(name)?;
+        self.frame[i].as_u32().ok_or(RpcError::SlotKind {
+            slot: i,
+            expected: "u32",
+            found: self.frame[i].kind(),
+        })
+    }
+
+    /// Reads a `u64` argument.
+    pub fn u64(&self, name: &str) -> Result<u64> {
+        let i = self.slot(name)?;
+        self.frame[i].as_u64().ok_or(RpcError::SlotKind {
+            slot: i,
+            expected: "u64",
+            found: self.frame[i].kind(),
+        })
+    }
+
+    /// Reads a string argument.
+    pub fn str(&self, name: &str) -> Result<&str> {
+        let i = self.slot(name)?;
+        self.frame[i].as_str().ok_or(RpcError::SlotKind {
+            slot: i,
+            expected: "str",
+            found: self.frame[i].kind(),
+        })
+    }
+
+    /// Reads a byte-payload argument, resolving borrowed windows against
+    /// the request message (zero-copy for `[borrowed]` presentations).
+    pub fn bytes(&self, name: &str) -> Result<&[u8]> {
+        let i = self.slot(name)?;
+        self.frame[i].window_of(self.request).ok_or(RpcError::SlotKind {
+            slot: i,
+            expected: "bytes",
+            found: self.frame[i].kind(),
+        })
+    }
+
+    /// Sets a result slot.
+    pub fn set(&mut self, name: &str, v: Value) -> Result<()> {
+        let i = self.slot(name)?;
+        self.frame[i] = v;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ServerCall<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServerCall({} slots)", self.frame.len())
+    }
+}
+
+/// A dispatchable server: compiled programs + hooks + work functions.
+pub struct ServerInterface {
+    compiled: CompiledInterface,
+    format: WireFormat,
+    handlers: Vec<Option<OpHandler>>,
+    hooks: Vec<HookMap>,
+    /// Size of the largest reply produced so far — the writer's starting
+    /// capacity, so steady-state replies marshal without reallocating.
+    reply_cap: usize,
+}
+
+impl ServerInterface {
+    /// Creates a server for `compiled` (the *server-side* presentation's
+    /// compilation) speaking `format` on the wire.
+    pub fn new(compiled: CompiledInterface, format: WireFormat) -> ServerInterface {
+        let n = compiled.ops.len();
+        ServerInterface {
+            compiled,
+            format,
+            handlers: (0..n).map(|_| None).collect(),
+            hooks: vec![HookMap::new(); n],
+            reply_cap: 64,
+        }
+    }
+
+    /// The compiled interface (server presentation).
+    pub fn compiled(&self) -> &CompiledInterface {
+        &self.compiled
+    }
+
+    /// The wire format this server speaks.
+    pub fn format(&self) -> WireFormat {
+        self.format
+    }
+
+    /// Registers the work function for an operation by name.
+    pub fn on(
+        &mut self,
+        op: &str,
+        handler: impl FnMut(&mut ServerCall<'_, '_>) -> u32 + Send + 'static,
+    ) -> Result<()> {
+        let i = self
+            .compiled
+            .ops
+            .iter()
+            .position(|o| o.name == op)
+            .ok_or_else(|| RpcError::NoSuchOp(op.into()))?;
+        self.handlers[i] = Some(Box::new(handler));
+        Ok(())
+    }
+
+    /// Registers `[special]` hooks for an operation by name.
+    pub fn hooks_mut(&mut self, op: &str) -> Result<&mut HookMap> {
+        let i = self
+            .compiled
+            .ops
+            .iter()
+            .position(|o| o.name == op)
+            .ok_or_else(|| RpcError::NoSuchOp(op.into()))?;
+        Ok(&mut self.hooks[i])
+    }
+
+    /// Finds an operation index by Sun RPC procedure number (falls back to
+    /// the declaration index for dialects without numbering).
+    pub fn op_by_proc(&self, proc: u32) -> Option<usize> {
+        self.compiled
+            .ops
+            .iter()
+            .position(|o| o.opnum == Some(proc))
+            .or_else(|| {
+                if (proc as usize) < self.compiled.ops.len() {
+                    Some(proc as usize)
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// Dispatches one request: unmarshal, invoke, marshal.
+    ///
+    /// `rights_in`/`rights_out` are the out-of-band port rights, already
+    /// translated into this server's name space by the transport.
+    pub fn dispatch(
+        &mut self,
+        op_index: usize,
+        request: &[u8],
+        rights_in: &[u32],
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+    ) -> Result<()> {
+        let op: &CompiledOp = self
+            .compiled
+            .ops
+            .get(op_index)
+            .ok_or_else(|| RpcError::NoSuchOp(format!("op index {op_index}")))?;
+        let hooks = &self.hooks[op_index];
+        let mut frame = op.slots.new_frame();
+
+        let mut reader = AnyReader::new(self.format, request)?;
+        unmarshal(
+            &op.request_unmarshal,
+            &mut frame,
+            request,
+            &mut reader,
+            hooks,
+            &mut rights_in.iter().copied(),
+        )?;
+
+        let mut writer = AnyWriter::with_capacity(self.format, self.reply_cap);
+        let status = {
+            let mut sink = ReplySink::new(&mut writer, &op.sink_params);
+            let handler = self.handlers[op_index]
+                .as_mut()
+                .ok_or_else(|| RpcError::NoSuchOp(format!("no handler for `{}`", op.name)))?;
+            let mut call = ServerCall {
+                frame: &mut frame,
+                request,
+                sink: &mut sink,
+                slots: &op.slots,
+            };
+            let status = handler(&mut call);
+            sink.finish()?;
+            status
+        };
+
+        frame[op.status_slot().0] = Value::U32(status);
+        marshal(&op.reply_marshal, &frame, request, &mut writer, hooks, rights_out)?;
+        *reply = writer.into_bytes();
+        self.reply_cap = self.reply_cap.max(reply.len());
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ServerInterface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerInterface")
+            .field("interface", &self.compiled.interface)
+            .field("ops", &self.compiled.ops.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrpc_core::ir::fileio_example;
+    use flexrpc_core::present::InterfacePresentation;
+
+    fn compiled() -> CompiledInterface {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        CompiledInterface::compile(&m, iface, &pres).unwrap()
+    }
+
+    #[test]
+    fn dispatch_default_read() {
+        let mut srv = ServerInterface::new(compiled(), WireFormat::Cdr);
+        srv.on("read", |call| {
+            let count = call.u32("count").unwrap() as usize;
+            call.set("return", Value::Bytes(vec![0xAB; count])).unwrap();
+            0
+        })
+        .unwrap();
+
+        // Build a request by hand: CDR, payload-first layout → just count.
+        let mut w = AnyWriter::new(WireFormat::Cdr);
+        w.put_u32(5);
+        let request = w.into_bytes();
+
+        let mut reply = Vec::new();
+        srv.dispatch(0, &request, &[], &mut reply, &mut Vec::new()).unwrap();
+
+        let mut r = AnyReader::new(WireFormat::Cdr, &reply).unwrap();
+        assert_eq!(r.get_bytes_owned().unwrap(), vec![0xAB; 5]);
+        assert_eq!(r.get_u32().unwrap(), 0, "status");
+    }
+
+    #[test]
+    fn handler_status_reaches_wire() {
+        let mut srv = ServerInterface::new(compiled(), WireFormat::Cdr);
+        srv.on("read", |_| 7).unwrap();
+        let mut w = AnyWriter::new(WireFormat::Cdr);
+        w.put_u32(1);
+        let request = w.into_bytes();
+        let mut reply = Vec::new();
+        srv.dispatch(0, &request, &[], &mut reply, &mut Vec::new()).unwrap();
+        let mut r = AnyReader::new(WireFormat::Cdr, &reply).unwrap();
+        let _payload = r.get_bytes_owned().unwrap();
+        assert_eq!(r.get_u32().unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_handler_reported() {
+        let mut srv = ServerInterface::new(compiled(), WireFormat::Cdr);
+        let mut w = AnyWriter::new(WireFormat::Cdr);
+        w.put_u32(1);
+        let request = w.into_bytes();
+        let mut reply = Vec::new();
+        let err = srv.dispatch(0, &request, &[], &mut reply, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, RpcError::NoSuchOp(_)));
+    }
+
+    #[test]
+    fn bad_op_index_reported() {
+        let mut srv = ServerInterface::new(compiled(), WireFormat::Cdr);
+        let mut reply = Vec::new();
+        assert!(matches!(
+            srv.dispatch(9, &[], &[], &mut reply, &mut Vec::new()),
+            Err(RpcError::NoSuchOp(_))
+        ));
+    }
+
+    #[test]
+    fn op_by_proc_prefers_opnum() {
+        let mut ci = compiled();
+        ci.ops[1].opnum = Some(6);
+        let srv = ServerInterface::new(ci, WireFormat::Cdr);
+        assert_eq!(srv.op_by_proc(6), Some(1));
+        assert_eq!(srv.op_by_proc(0), Some(0), "index fallback");
+        assert_eq!(srv.op_by_proc(9), None);
+    }
+
+    #[test]
+    fn call_accessors_typecheck() {
+        let mut srv = ServerInterface::new(compiled(), WireFormat::Cdr);
+        srv.on("read", |call| {
+            assert!(call.u64("count").is_err(), "count is u32, not u64");
+            assert!(call.str("count").is_err());
+            assert!(call.slot("nonexistent").is_err());
+            call.set("return", Value::Bytes(vec![])).unwrap();
+            0
+        })
+        .unwrap();
+        let mut w = AnyWriter::new(WireFormat::Cdr);
+        w.put_u32(1);
+        let request = w.into_bytes();
+        let mut reply = Vec::new();
+        srv.dispatch(0, &request, &[], &mut reply, &mut Vec::new()).unwrap();
+    }
+}

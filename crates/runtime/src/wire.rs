@@ -1,0 +1,332 @@
+//! Format-erased wire writers and readers.
+//!
+//! Stub programs are wire-format-agnostic; the binding picks XDR (Sun
+//! back-end) or CDR (CORBA back-end) and the interpreter drives one of these
+//! enums. Enum dispatch keeps the zero-copy accessors' lifetimes intact
+//! (trait objects cannot return borrowed slices tied to the message).
+
+use flexrpc_marshal::buf::Window;
+use flexrpc_marshal::cdr::{CdrReader, CdrWriter};
+use flexrpc_marshal::xdr::{XdrReader, XdrWriter};
+use flexrpc_marshal::{MarshalError, WireFormat};
+
+type MResult<T> = core::result::Result<T, MarshalError>;
+
+/// A wire-format-erased message writer.
+#[derive(Debug)]
+pub enum AnyWriter {
+    /// Sun RPC XDR.
+    Xdr(XdrWriter),
+    /// CORBA-style CDR (native byte order).
+    Cdr(CdrWriter),
+}
+
+macro_rules! fwd_put {
+    ($($name:ident($ty:ty)),* $(,)?) => {
+        $(
+            /// Writes one primitive (dispatching on the wire format).
+            pub fn $name(&mut self, v: $ty) {
+                match self {
+                    AnyWriter::Xdr(w) => w.$name(v),
+                    AnyWriter::Cdr(w) => w.$name(v),
+                }
+            }
+        )*
+    };
+}
+
+impl AnyWriter {
+    /// Creates a writer for `format`.
+    pub fn new(format: WireFormat) -> AnyWriter {
+        match format {
+            WireFormat::Xdr => AnyWriter::Xdr(XdrWriter::new()),
+            WireFormat::Cdr => AnyWriter::Cdr(CdrWriter::native()),
+        }
+    }
+
+    /// Creates a writer with preallocated capacity.
+    pub fn with_capacity(format: WireFormat, cap: usize) -> AnyWriter {
+        match format {
+            WireFormat::Xdr => AnyWriter::Xdr(XdrWriter::with_capacity(cap)),
+            WireFormat::Cdr => AnyWriter::Cdr(CdrWriter::native_over(Vec::with_capacity(cap))),
+        }
+    }
+
+    /// Creates a writer reusing `buf`'s allocation (cleared first) — the
+    /// steady-state stub path allocates nothing.
+    pub fn over(format: WireFormat, buf: Vec<u8>) -> AnyWriter {
+        match format {
+            WireFormat::Xdr => AnyWriter::Xdr(XdrWriter::over_vec(buf)),
+            WireFormat::Cdr => AnyWriter::Cdr(CdrWriter::native_over(buf)),
+        }
+    }
+
+    fwd_put! {
+        put_u32(u32), put_i32(i32), put_u64(u64), put_i64(i64),
+        put_bool(bool), put_f64(f64),
+    }
+
+    /// Writes a wire string.
+    pub fn put_str(&mut self, s: &str) {
+        match self {
+            AnyWriter::Xdr(w) => w.put_string(s),
+            AnyWriter::Cdr(w) => w.put_string(s),
+        }
+    }
+
+    /// Writes a wire string from raw bytes (the `length_is` presentation).
+    ///
+    /// XDR strings are counted bytes so this is free; CDR strings carry a
+    /// NUL terminator which is appended here.
+    pub fn put_str_bytes(&mut self, bytes: &[u8]) {
+        match self {
+            AnyWriter::Xdr(w) => w.put_opaque(bytes),
+            AnyWriter::Cdr(w) => {
+                w.put_u32(bytes.len() as u32 + 1);
+                for &b in bytes {
+                    w.put_u8(b);
+                }
+                w.put_u8(0);
+            }
+        }
+    }
+
+    /// Writes a counted byte payload.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        match self {
+            AnyWriter::Xdr(w) => w.put_opaque(bytes),
+            AnyWriter::Cdr(w) => w.put_sequence(bytes),
+        }
+    }
+
+    /// Writes fixed-length opaque bytes (length checked by the caller).
+    pub fn put_bytes_fixed(&mut self, bytes: &[u8]) {
+        match self {
+            AnyWriter::Xdr(w) => w.put_opaque_fixed(bytes),
+            AnyWriter::Cdr(w) => {
+                for &b in bytes {
+                    w.put_u8(b);
+                }
+            }
+        }
+    }
+
+    /// Reserves a counted payload of exactly `len` bytes for in-place
+    /// filling by a `[special]` hook.
+    pub fn reserve_payload(&mut self, len: usize) -> Window {
+        match self {
+            AnyWriter::Xdr(w) => w.reserve_opaque(len),
+            AnyWriter::Cdr(w) => w.reserve_sequence(len),
+        }
+    }
+
+    /// Fills a window reserved by [`AnyWriter::reserve_payload`].
+    pub fn fill_window_with<F>(&mut self, w: Window, f: F) -> MResult<()>
+    where
+        F: FnOnce(&mut [u8]) -> usize,
+    {
+        match self {
+            AnyWriter::Xdr(wr) => wr.fill_window_with(w, f),
+            AnyWriter::Cdr(wr) => wr.fill_window_with(w, f),
+        }
+    }
+
+    /// Finishes the message.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unfilled reserve window (a stub-compiler bug, not user
+    /// input).
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            AnyWriter::Xdr(w) => w.into_bytes(),
+            AnyWriter::Cdr(w) => w.into_bytes(),
+        }
+    }
+}
+
+/// A wire-format-erased message reader borrowing from the message.
+#[derive(Debug)]
+pub enum AnyReader<'a> {
+    /// Sun RPC XDR.
+    Xdr(XdrReader<'a>),
+    /// CORBA-style CDR.
+    Cdr(CdrReader<'a>),
+}
+
+macro_rules! fwd_get {
+    ($($name:ident -> $ty:ty),* $(,)?) => {
+        $(
+            /// Reads one primitive (dispatching on the wire format).
+            pub fn $name(&mut self) -> MResult<$ty> {
+                match self {
+                    AnyReader::Xdr(r) => r.$name(),
+                    AnyReader::Cdr(r) => r.$name(),
+                }
+            }
+        )*
+    };
+}
+
+impl<'a> AnyReader<'a> {
+    /// Creates a reader over `msg` for `format`.
+    pub fn new(format: WireFormat, msg: &'a [u8]) -> MResult<AnyReader<'a>> {
+        Ok(match format {
+            WireFormat::Xdr => AnyReader::Xdr(XdrReader::new(msg)),
+            WireFormat::Cdr => AnyReader::Cdr(CdrReader::new(msg)?),
+        })
+    }
+
+    fwd_get! {
+        get_u32 -> u32, get_i32 -> i32, get_u64 -> u64, get_i64 -> i64,
+        get_bool -> bool, get_f64 -> f64,
+    }
+
+    /// Reads a wire string into an owned `String`.
+    pub fn get_str(&mut self) -> MResult<String> {
+        match self {
+            AnyReader::Xdr(r) => r.get_string(),
+            AnyReader::Cdr(r) => r.get_string(),
+        }
+    }
+
+    /// Reads a wire string as raw bytes (the `length_is` presentation — no
+    /// UTF-8 validation; CDR's NUL terminator is stripped).
+    pub fn get_str_bytes(&mut self) -> MResult<Vec<u8>> {
+        match self {
+            AnyReader::Xdr(r) => Ok(r.get_opaque_borrowed()?.to_vec()),
+            AnyReader::Cdr(r) => {
+                let raw = r.get_sequence_borrowed()?;
+                match raw.last() {
+                    Some(0) => Ok(raw[..raw.len() - 1].to_vec()),
+                    _ => Err(MarshalError::BadString),
+                }
+            }
+        }
+    }
+
+    /// Reads a counted payload, borrowing from the message.
+    pub fn get_bytes_borrowed(&mut self) -> MResult<&'a [u8]> {
+        match self {
+            AnyReader::Xdr(r) => r.get_opaque_borrowed(),
+            AnyReader::Cdr(r) => r.get_sequence_borrowed(),
+        }
+    }
+
+    /// Reads a counted payload into an owned vector.
+    pub fn get_bytes_owned(&mut self) -> MResult<Vec<u8>> {
+        Ok(self.get_bytes_borrowed()?.to_vec())
+    }
+
+    /// Reads fixed-length opaque bytes into an owned vector. Fixed opaque
+    /// fields are small (file handles), so an owned copy is the right
+    /// default on both formats; CDR additionally has no borrowed
+    /// fixed-array accessor.
+    pub fn get_bytes_fixed_owned(&mut self, len: usize) -> MResult<Vec<u8>> {
+        match self {
+            AnyReader::Xdr(r) => Ok(r.get_opaque_fixed(len)?.to_vec()),
+            AnyReader::Cdr(r) => {
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(r.get_u8()?);
+                }
+                Ok(v)
+            }
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        match self {
+            AnyReader::Xdr(r) => r.remaining(),
+            AnyReader::Cdr(r) => r.remaining(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(format: WireFormat) {
+        let mut w = AnyWriter::new(format);
+        w.put_u32(1);
+        w.put_i32(-2);
+        w.put_u64(3);
+        w.put_i64(-4);
+        w.put_bool(true);
+        w.put_f64(0.5);
+        w.put_str("hi");
+        w.put_str_bytes(b"raw");
+        w.put_bytes(&[9, 8, 7]);
+        w.put_bytes_fixed(&[1, 2, 3, 4]);
+        let bytes = w.into_bytes();
+
+        let mut r = AnyReader::new(format, &bytes).unwrap();
+        assert_eq!(r.get_u32().unwrap(), 1);
+        assert_eq!(r.get_i32().unwrap(), -2);
+        assert_eq!(r.get_u64().unwrap(), 3);
+        assert_eq!(r.get_i64().unwrap(), -4);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_f64().unwrap(), 0.5);
+        assert_eq!(r.get_str().unwrap(), "hi");
+        assert_eq!(r.get_str_bytes().unwrap(), b"raw");
+        assert_eq!(r.get_bytes_owned().unwrap(), vec![9, 8, 7]);
+        assert_eq!(r.get_bytes_fixed_owned(4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn xdr_roundtrip() {
+        roundtrip(WireFormat::Xdr);
+    }
+
+    #[test]
+    fn cdr_roundtrip() {
+        roundtrip(WireFormat::Cdr);
+    }
+
+    #[test]
+    fn str_and_str_bytes_share_wire_form() {
+        // The central interop property at the primitive level: a string
+        // written as a checked string decodes as raw bytes and vice versa.
+        for format in [WireFormat::Xdr, WireFormat::Cdr] {
+            let mut w = AnyWriter::new(format);
+            w.put_str("mixed");
+            w.put_str_bytes(b"modes");
+            let bytes = w.into_bytes();
+            let mut r = AnyReader::new(format, &bytes).unwrap();
+            assert_eq!(r.get_str_bytes().unwrap(), b"mixed");
+            assert_eq!(r.get_str().unwrap(), "modes");
+        }
+    }
+
+    #[test]
+    fn reserve_and_fill() {
+        for format in [WireFormat::Xdr, WireFormat::Cdr] {
+            let mut w = AnyWriter::new(format);
+            let win = w.reserve_payload(4);
+            w.put_u32(0xCAFE);
+            w.fill_window_with(win, |d| {
+                d.copy_from_slice(&[1, 2, 3, 4]);
+                4
+            })
+            .unwrap();
+            let bytes = w.into_bytes();
+            let mut r = AnyReader::new(format, &bytes).unwrap();
+            assert_eq!(r.get_bytes_owned().unwrap(), vec![1, 2, 3, 4]);
+            assert_eq!(r.get_u32().unwrap(), 0xCAFE);
+        }
+    }
+
+    #[test]
+    fn borrowed_payload_offsets_resolve() {
+        let mut w = AnyWriter::new(WireFormat::Xdr);
+        w.put_bytes(b"window-me");
+        let bytes = w.into_bytes();
+        let mut r = AnyReader::new(WireFormat::Xdr, &bytes).unwrap();
+        let s = r.get_bytes_borrowed().unwrap();
+        let off = s.as_ptr() as usize - bytes.as_ptr() as usize;
+        assert_eq!(&bytes[off..off + s.len()], b"window-me");
+    }
+}

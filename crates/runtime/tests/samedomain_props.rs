@@ -1,0 +1,138 @@
+//! Property tests over the same-domain negotiation, plus `inout` coverage
+//! for the marshalled paths.
+
+use flexrpc_core::annot::{apply_pdl, Attr, OpAnnot, ParamAnnot, PdlFile};
+use flexrpc_core::ir::{fileio_example, Dialect, Interface, Module, Operation, Param, ParamDir, Type};
+use flexrpc_core::present::InterfacePresentation;
+use flexrpc_core::program::CompiledInterface;
+use flexrpc_core::value::Value;
+use flexrpc_marshal::WireFormat;
+use flexrpc_runtime::samedomain::SameDomain;
+use flexrpc_runtime::transport::Loopback;
+use flexrpc_runtime::{ClientStub, ServerInterface};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn write_pdl(attrs: Vec<Attr>) -> PdlFile {
+    PdlFile {
+        interface: None,
+        iface_attrs: vec![],
+        types: vec![],
+        ops: vec![OpAnnot {
+            op: "write".into(),
+            op_attrs: vec![],
+            params: vec![ParamAnnot { param: "data".into(), attrs }],
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For every (trashable? × preserved?) pair and random payloads:
+    /// the server always observes exactly the client's bytes, and the
+    /// client's buffer survives whenever it did not declare [trashable] —
+    /// even against a server that mutates whenever it is allowed to.
+    #[test]
+    fn mutability_semantics_hold(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        trashable in any::<bool>(),
+        preserved in any::<bool>(),
+    ) {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        let base = InterfacePresentation::default_for(&m, iface).unwrap();
+        let client = if trashable {
+            apply_pdl(&m, iface, &base, &write_pdl(vec![Attr::Trashable])).unwrap()
+        } else {
+            base.clone()
+        };
+        let server = if preserved {
+            apply_pdl(&m, iface, &base, &write_pdl(vec![Attr::Preserved])).unwrap()
+        } else {
+            base.clone()
+        };
+
+        let mut sd = SameDomain::bind(&m, iface, &client, &server).unwrap();
+        let observed: Arc<Mutex<Vec<u8>>> = Arc::default();
+        let obs = Arc::clone(&observed);
+        sd.on("write", move |call| {
+            *obs.lock() = call.in_bytes("data").unwrap().to_vec();
+            // Mutate whenever the semantics allow it.
+            if let Ok(buf) = call.in_bytes_mut("data") {
+                for b in buf.iter_mut() {
+                    *b = b.wrapping_add(1);
+                }
+            }
+            0
+        })
+        .unwrap();
+
+        let mut frame = sd.new_frame("write").unwrap();
+        frame[0] = Value::Bytes(payload.clone());
+        sd.call("write", &mut frame).unwrap();
+
+        prop_assert_eq!(&*observed.lock(), &payload, "server sees the client's bytes");
+        if !trashable {
+            prop_assert_eq!(
+                frame[0].as_bytes().unwrap(),
+                &payload[..],
+                "client buffer intact unless it said [trashable]"
+            );
+        }
+        // The stub copied iff neither side relaxed.
+        let (copies, _, _) = sd.stats().snapshot();
+        prop_assert_eq!(copies > 0, !trashable && !preserved);
+    }
+}
+
+/// End-to-end `inout` parameter over the marshalled path: the value travels
+/// both ways through one slot.
+#[test]
+fn inout_param_roundtrips_over_loopback() {
+    let mut m = Module::new("acc", Dialect::Corba);
+    m.interfaces.push(Interface::new(
+        "Counter",
+        vec![Operation::new(
+            "bump",
+            vec![
+                Param::new("amount", ParamDir::In, Type::U32),
+                Param::new("value", ParamDir::InOut, Type::U32),
+                Param::new("tag", ParamDir::InOut, Type::octet_seq()),
+            ],
+            Type::Void,
+        )],
+    ));
+    let iface = m.interface("Counter").unwrap();
+    let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+    let compiled = CompiledInterface::compile(&m, iface, &pres).unwrap();
+
+    let mut srv = ServerInterface::new(compiled.clone(), WireFormat::Cdr);
+    srv.on("bump", |call| {
+        let amount = call.u32("amount").unwrap();
+        let value = call.u32("value").unwrap();
+        let mut tag = call.bytes("tag").unwrap().to_vec();
+        tag.reverse();
+        call.set("value", Value::U32(value + amount)).unwrap();
+        call.set("tag", Value::Bytes(tag)).unwrap();
+        0
+    })
+    .unwrap();
+    let server = Arc::new(Mutex::new(srv));
+    let mut client = ClientStub::new(compiled, WireFormat::Cdr, Box::new(Loopback::new(server)));
+
+    let mut frame = client.new_frame("bump").unwrap();
+    frame[0] = Value::U32(5);
+    frame[1] = Value::U32(37);
+    frame[2] = Value::Bytes(b"pal".to_vec());
+    client.call("bump", &mut frame).unwrap();
+    assert_eq!(frame[1], Value::U32(42), "inout scalar came back updated");
+    assert_eq!(frame[2].as_bytes().unwrap(), b"lap", "inout payload came back updated");
+
+    // Second call reuses the updated state, proving the frame is coherent.
+    frame[0] = Value::U32(8);
+    client.call("bump", &mut frame).unwrap();
+    assert_eq!(frame[1], Value::U32(50));
+    assert_eq!(frame[2].as_bytes().unwrap(), b"pal");
+}

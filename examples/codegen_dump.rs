@@ -1,0 +1,52 @@
+//! Stub-compiler driver: IDL + PDL in, Rust stubs out.
+//!
+//! Reads an interface (inline here; pass file paths to use your own) and an
+//! optional PDL file, and prints the generated Rust client/server stubs —
+//! the same output two different PDLs would turn into two differently
+//! shaped, wire-compatible APIs.
+//!
+//! Run with:
+//!   cargo run --example codegen_dump                  # built-in FileIO demo
+//!   cargo run --example codegen_dump -- iface.idl [presentation.pdl]
+
+use flexrpc::codegen::{generate, GenOptions};
+use flexrpc::core::annot::apply_pdl;
+use flexrpc::core::present::InterfacePresentation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (idl_src, pdl_src, name) = match args.as_slice() {
+        [] => (
+            flexrpc::pipes::FILEIO_IDL.to_owned(),
+            Some(flexrpc::pipes::DEALLOC_NEVER_PDL.to_owned()),
+            "fileio".to_owned(),
+        ),
+        [idl] => (std::fs::read_to_string(idl).expect("read IDL file"), None, idl.clone()),
+        [idl, pdl, ..] => (
+            std::fs::read_to_string(idl).expect("read IDL file"),
+            Some(std::fs::read_to_string(pdl).expect("read PDL file")),
+            idl.clone(),
+        ),
+    };
+
+    let module = flexrpc::idl::corba::parse(&name, &idl_src).unwrap_or_else(|e| {
+        // Fall back to the Sun front-end for .x files.
+        flexrpc::idl::sunrpc::parse(&name, &idl_src)
+            .unwrap_or_else(|e2| panic!("IDL parse failed:\n  as CORBA: {e}\n  as Sun: {e2}"))
+    });
+
+    for iface in &module.interfaces {
+        let mut pres = InterfacePresentation::default_for(&module, iface).expect("defaults");
+        if let Some(pdl_text) = &pdl_src {
+            let pdl = flexrpc::idl::pdl::parse(pdl_text).expect("PDL parses");
+            pres = apply_pdl(&module, iface, &pres, &pdl).expect("PDL applies");
+        }
+        match generate(&module, iface, &pres, &GenOptions::both()) {
+            Ok(code) => {
+                println!("// ==== interface {} ====", iface.name);
+                println!("{code}");
+            }
+            Err(e) => eprintln!("// interface {}: not generatable: {e}", iface.name),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Trust-matrix demo: §4.5's specialized transport as a program.
+//!
+//! Binds nine connections — one per (client trust × server trust) pair —
+//! and shows the combination signature the kernel compiled for each (how
+//! many register save/scrub/restore blocks the null-RPC path threads
+//! together), plus measured latency, plus the `[nonunique]` port-name
+//! experiment.
+//!
+//! Run with: `cargo run --release --example trust_matrix`
+
+use flexrpc::kernel::TrustLevel;
+use flexrpc_bench::{fig12::Cell, measure_ns, port::PortTransfer};
+use flexrpc::kernel::NameMode;
+
+fn main() {
+    println!("null RPC over the streamlined path, by declared trust:\n");
+    println!("{:28} {:>8} {:>10}", "client-trust / server-trust", "reg-ops", "ns/call");
+    for client in TrustLevel::ALL {
+        for server in TrustLevel::ALL {
+            let cell = Cell::new(client, server);
+            cell.null_rpc(); // Warm.
+            let ns = measure_ns(3, 3000, || cell.null_rpc());
+            println!(
+                "{:14} / {:11} {:>8} {:>10.0}",
+                client.label(),
+                server.label(),
+                cell.reg_ops(),
+                ns
+            );
+        }
+    }
+
+    println!("\nport-right transfer (the unique-name rule is presentation):\n");
+    for (label, mode) in [("unique (Mach default)", NameMode::Unique), ("[nonunique]", NameMode::NonUnique)] {
+        let t = PortTransfer::new(mode);
+        t.transfer_once();
+        let probes = t.probes_per_transfer();
+        let ns = measure_ns(3, 3000, || t.transfer_once());
+        println!("{label:24} {ns:>8.0} ns/transfer   ({probes} name-table probes)");
+    }
+}

@@ -1,0 +1,15 @@
+//! `flexrpc` — flexible-presentation RPC.
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+
+pub use flexrpc_codegen as codegen;
+pub use flexrpc_core as core;
+pub use flexrpc_fbufs as fbufs;
+pub use flexrpc_idl as idl;
+pub use flexrpc_kernel as kernel;
+pub use flexrpc_marshal as marshal;
+pub use flexrpc_net as net;
+pub use flexrpc_nfs as nfs;
+pub use flexrpc_pipes as pipes;
+pub use flexrpc_runtime as runtime;

@@ -1,0 +1,184 @@
+//! Whole-system integration: text in, bytes across simulated boundaries,
+//! values out — spanning every crate through the facade.
+
+use flexrpc::core::annot::apply_pdl;
+use flexrpc::core::present::{InterfacePresentation, Trust};
+use flexrpc::core::program::CompiledInterface;
+use flexrpc::core::value::Value;
+use flexrpc::kernel::{Kernel, NameMode};
+use flexrpc::marshal::WireFormat;
+use flexrpc::net::SimNet;
+use flexrpc::nfs::client::{ClientVariant, NfsClientHarness};
+use flexrpc::nfs::server::{serve_nfs, test_file};
+use flexrpc::pipes::fbuf::{FbufMode, FbufPipeHarness};
+use flexrpc::pipes::ipc::PipeIpcHarness;
+use flexrpc::pipes::server::ReadPresentation;
+use flexrpc::runtime::transport::{connect_kernel, serve_on_kernel};
+use flexrpc::runtime::{ClientStub, ServerInterface};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The complete pipeline from IDL/PDL *text* to an RPC over the kernel:
+/// parse → default presentation → annotate → compile → serve → bind → call.
+#[test]
+fn text_to_rpc_full_pipeline() {
+    let module = flexrpc::idl::corba::parse(
+        "kv",
+        r#"
+        interface KeyValue {
+            sequence<octet> get(in string key);
+            void put(in string key, in sequence<octet> value);
+        };
+        "#,
+    )
+    .expect("IDL parses");
+    let iface = module.interface("KeyValue").expect("declared");
+    let base = InterfacePresentation::default_for(&module, iface).expect("defaults");
+
+    // Server keeps its values in its own storage: Figure-5 style PDL.
+    let server_pdl = flexrpc::idl::pdl::parse(
+        "sequence<octet> [dealloc(never)] KeyValue_get(string key);",
+    )
+    .expect("PDL parses");
+    let server_pres = apply_pdl(&module, iface, &base, &server_pdl).expect("applies");
+
+    let server_compiled =
+        CompiledInterface::compile(&module, iface, &server_pres).expect("compiles");
+    let mut srv = ServerInterface::new(server_compiled, WireFormat::Cdr);
+    let store: Arc<Mutex<std::collections::HashMap<String, Vec<u8>>>> = Arc::default();
+    let st = Arc::clone(&store);
+    srv.on("put", move |call| {
+        let key = call.str("key").expect("key").to_owned();
+        let value = call.bytes("value").expect("value").to_vec();
+        st.lock().insert(key, value);
+        0
+    })
+    .expect("registers");
+    let st = Arc::clone(&store);
+    srv.on("get", move |call| {
+        let key = call.str("key").expect("key");
+        match st.lock().get(key) {
+            Some(v) => {
+                call.sink.put(v).expect("sink");
+                0
+            }
+            None => 2, // ENOENT-ish.
+        }
+    })
+    .expect("registers");
+
+    // Serve on a kernel port; bind a default-presentation client.
+    let kernel = Kernel::new();
+    let ct = kernel.create_task("client", 4096).expect("task");
+    let st_task = kernel.create_task("server", 4096).expect("task");
+    let server = Arc::new(Mutex::new(srv));
+    let port = serve_on_kernel(&kernel, st_task, Arc::clone(&server), Trust::None, NameMode::Unique)
+        .expect("serves");
+    let send = kernel.extract_send_right(st_task, port, ct).expect("right");
+
+    let client_compiled = CompiledInterface::compile(&module, iface, &base).expect("compiles");
+    let transport = connect_kernel(
+        &kernel,
+        ct,
+        send,
+        client_compiled.signature.hash(),
+        Trust::Leaky,
+        NameMode::Unique,
+    )
+    .expect("binds");
+    let mut client = ClientStub::new(client_compiled, WireFormat::Cdr, Box::new(transport));
+
+    let mut frame = client.new_frame("put").expect("frame");
+    frame[0] = Value::Str("flexible".into());
+    frame[1] = Value::Bytes(b"presentation".to_vec());
+    client.call("put", &mut frame).expect("put");
+
+    let mut frame = client.new_frame("get").expect("frame");
+    frame[0] = Value::Str("flexible".into());
+    client.call("get", &mut frame).expect("get");
+    assert_eq!(frame[1].as_bytes().expect("bytes"), b"presentation");
+
+    // A missing key surfaces through the exception path (CORBA default).
+    let mut frame = client.new_frame("get").expect("frame");
+    frame[0] = Value::Str("missing".into());
+    assert!(matches!(
+        client.call("get", &mut frame),
+        Err(flexrpc::runtime::RpcError::Remote(2))
+    ));
+}
+
+/// The figure-6 pipeline preserves the byte stream and its copy schedule.
+#[test]
+fn pipe_over_ipc_end_to_end() {
+    for mode in [
+        ReadPresentation::Default,
+        ReadPresentation::DeallocNever,
+        ReadPresentation::DeallocNeverWrapOptimized,
+    ] {
+        let mut h = PipeIpcHarness::new(4096, mode);
+        let (w, r) = h.transfer(128 * 1024, 2048).expect("transfer");
+        assert!(w >= 64 && r >= 64, "{mode:?}");
+    }
+}
+
+/// The figure-7 pipeline: fbuf transport in both presentations.
+#[test]
+fn pipe_over_fbufs_end_to_end() {
+    for mode in [FbufMode::Standard, FbufMode::Special] {
+        let mut h = FbufPipeHarness::new(8192, 4096, mode);
+        h.transfer(128 * 1024, 4096);
+    }
+}
+
+/// The figure-2 pipeline: all four NFS stub variants read the same bytes
+/// over the simulated Ethernet.
+#[test]
+fn nfs_over_simnet_end_to_end() {
+    let file_len = 128 * 1024;
+    let net = SimNet::new();
+    let ch = net.add_host("client");
+    let sh = net.add_host("server");
+    let store = serve_nfs(&net, sh);
+    let fh = store.lock().add_file(test_file(file_len, 3));
+    let mut h = NfsClientHarness::new(Arc::clone(&net), ch, sh, fh, file_len);
+    for v in ClientVariant::ALL {
+        h.read_file(v, file_len, 8192).expect("read");
+        assert_eq!(h.user_buffer(), test_file(file_len, 3), "{v:?}");
+    }
+}
+
+/// Cross-crate negative path: a client compiled against a *different*
+/// interface is refused at bind time by the signature check.
+#[test]
+fn contract_mismatch_refused_across_the_stack() {
+    let module = flexrpc::pipes::fileio_module();
+    let iface = module.interface("FileIO").expect("FileIO");
+    let pres = InterfacePresentation::default_for(&module, iface).expect("defaults");
+    let compiled = CompiledInterface::compile(&module, iface, &pres).expect("compiles");
+
+    let kernel = Kernel::new();
+    let ct = kernel.create_task("client", 4096).expect("task");
+    let st = kernel.create_task("server", 4096).expect("task");
+    let server =
+        Arc::new(Mutex::new(ServerInterface::new(compiled.clone(), WireFormat::Cdr)));
+    let port = serve_on_kernel(&kernel, st, server, Trust::None, NameMode::Unique).expect("serves");
+    let send = kernel.extract_send_right(st, port, ct).expect("right");
+
+    // A different interface's signature — e.g. SysLog's.
+    let other = flexrpc::core::ir::syslog_example();
+    let other_iface = other.interface("SysLog").expect("SysLog");
+    let other_sig = flexrpc::core::sig::WireSignature::of_interface(&other, other_iface)
+        .expect("signs")
+        .hash();
+    assert!(connect_kernel(&kernel, ct, send, other_sig, Trust::None, NameMode::Unique).is_err());
+    // The right contract binds.
+    assert!(connect_kernel(
+        &kernel,
+        ct,
+        send,
+        compiled.signature.hash(),
+        Trust::None,
+        NameMode::Unique
+    )
+    .is_ok());
+}

@@ -1,0 +1,165 @@
+//! Every code figure in the paper, parsed and applied verbatim.
+//!
+//! Figures 1, 3, 4, 5, 8 and 9 are listings, not measurements; this test
+//! file keeps them working as actual inputs to the toolchain, so the
+//! reproduction stays aligned with the paper's surface syntax.
+
+use flexrpc::core::annot::{apply_pdl, Attr};
+use flexrpc::core::present::{AllocSemantics, DeallocPolicy, InterfacePresentation, Trust};
+use flexrpc::core::ir::Type;
+
+/// Introduction: the CORBA SysLog fragment and both presentations.
+#[test]
+fn intro_syslog_and_alternate_presentation() {
+    let m = flexrpc::idl::corba::parse(
+        "syslog",
+        r#"
+        interface SysLog {
+            void write_msg(in string msg);
+        };
+        "#,
+    )
+    .expect("parses");
+    let iface = m.interface("SysLog").expect("declared");
+    let base = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    // "the following PDL file will cause the second presentation shown
+    // (the 'alternate' presentation) to be used instead":
+    let pdl = flexrpc::idl::pdl::parse(
+        "SysLog_write_msg(,, char *[length_is(length)] msg, int length);",
+    )
+    .expect("parses");
+    let pres = apply_pdl(&m, iface, &base, &pdl).expect("applies");
+    assert_eq!(
+        pres.op("write_msg").expect("op").params[0].length_is.as_deref(),
+        Some("length")
+    );
+}
+
+/// Figure 1: the Linux NFS client PDL declaration.
+#[test]
+fn figure_1_nfs_pdl() {
+    let pdl = flexrpc::idl::pdl::parse(flexrpc::nfs::FIG1_PDL).expect("parses");
+    assert_eq!(pdl.ops[0].op_attrs, vec![Attr::CommStatus]);
+    assert_eq!(pdl.ops[0].params[0].param, "data");
+    assert_eq!(pdl.ops[0].params[0].attrs, vec![Attr::Special]);
+    // It applies onto the actual `.x` protocol.
+    let m = flexrpc::nfs::nfs_module();
+    let iface = &m.interfaces[0];
+    let base = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    let pres = apply_pdl(&m, iface, &base, &pdl).expect("applies");
+    assert!(pres.op("NFSPROC_READ").expect("op").params[4].special);
+}
+
+/// Figure 3: the pipe server interface, in CORBA IDL.
+#[test]
+fn figure_3_pipe_interface() {
+    let m = flexrpc::idl::corba::parse(
+        "fileio",
+        r#"
+        interface FileIO {
+            sequence<octet> read(in unsigned long count);
+            void write(in sequence<octet> data);
+        };
+        "#,
+    )
+    .expect("parses");
+    let read = m.interface("FileIO").expect("FileIO").op("read").expect("read");
+    assert_eq!(read.ret, Type::octet_seq());
+}
+
+/// Figure 4: the default presentation is move semantics, stub-allocated.
+#[test]
+fn figure_4_default_presentation() {
+    let m = flexrpc::pipes::fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO");
+    let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    let read = pres.op("read").expect("read");
+    assert_eq!(read.result.alloc, AllocSemantics::StubAllocates);
+    assert_eq!(read.result.dealloc, DeallocPolicy::OnReturn);
+}
+
+/// Figure 5: the typedef re-declaration with [dealloc(never)], verbatim.
+#[test]
+fn figure_5_dealloc_never_pdl() {
+    let pdl = flexrpc::idl::pdl::parse(
+        r#"
+        typedef struct {
+            unsigned long _maximum;
+            unsigned long _length;
+            [dealloc(never)] char *_buffer;
+        } CORBA_SEQUENCE_char;
+        "#,
+    )
+    .expect("parses");
+    let m = flexrpc::pipes::fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO");
+    let base = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    let pres = apply_pdl(&m, iface, &base, &pdl).expect("applies");
+    assert_eq!(
+        pres.op("read").expect("read").result.dealloc,
+        DeallocPolicy::Never,
+        "the type-level annotation reaches the read result"
+    );
+}
+
+/// Figures 8 and 9: client trashable / server preserved PDLs.
+#[test]
+fn figures_8_and_9_mutability_pdls() {
+    let m = flexrpc::pipes::fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO");
+    let base = InterfacePresentation::default_for(&m, iface).expect("defaults");
+
+    let client_pdl = flexrpc::idl::pdl::parse(
+        "void FileIO_write(char *[trashable] data, unsigned long _length);",
+    )
+    .expect("parses");
+    let client = apply_pdl(&m, iface, &base, &client_pdl).expect("applies");
+    assert!(client.op("write").expect("write").params[0].trashable);
+
+    let server_pdl = flexrpc::idl::pdl::parse(
+        "void FileIO_write(char *[preserved] data, unsigned long _length);",
+    )
+    .expect("parses");
+    let server = apply_pdl(&m, iface, &base, &server_pdl).expect("applies");
+    assert!(server.op("write").expect("write").params[0].preserved);
+
+    // §4.4.1's rule, derived at bind time.
+    use flexrpc::core::compat::{in_param_action, InParamAction};
+    assert_eq!(
+        in_param_action(
+            &client.op("write").expect("write").params[0],
+            &base.op("write").expect("write").params[0],
+        ),
+        InParamAction::Borrow
+    );
+    assert_eq!(
+        in_param_action(
+            &base.op("write").expect("write").params[0],
+            &server.op("write").expect("write").params[0],
+        ),
+        InParamAction::Borrow
+    );
+    assert_eq!(
+        in_param_action(
+            &base.op("write").expect("write").params[0],
+            &base.op("write").expect("write").params[0],
+        ),
+        InParamAction::CopyInStub
+    );
+}
+
+/// §4.5: trust attributes at interface scope.
+#[test]
+fn trust_attribute_pdls() {
+    let m = flexrpc::pipes::fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO");
+    let base = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    for (text, expect) in [
+        ("interface FileIO [leaky];", Trust::Leaky),
+        ("interface FileIO [leaky, unprotected];", Trust::LeakyUnprotected),
+    ] {
+        let pdl = flexrpc::idl::pdl::parse(text).expect("parses");
+        let pres = apply_pdl(&m, iface, &base, &pdl).expect("applies");
+        assert_eq!(pres.trust, expect, "{text}");
+    }
+}
