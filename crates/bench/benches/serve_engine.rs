@@ -1,0 +1,35 @@
+//! Engine scaling: calls/sec of one serving engine as the client count and
+//! worker-pool size sweep. Complements the paper's single-pair figures
+//! with the multi-client serving dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexrpc_bench::serve;
+
+/// Calls per client per iteration — small, so Criterion's sample loop
+/// stays tractable with thread spawns inside.
+const CALLS: usize = 50;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_engine");
+    for workers in serve::WORKERS {
+        for clients in serve::CLIENTS {
+            group.throughput(Throughput::Elements((clients * CALLS) as u64));
+            group.bench_function(
+                BenchmarkId::new(format!("workers-{workers}"), format!("clients-{clients}")),
+                |b| {
+                    let engine = serve::build_engine(workers);
+                    b.iter(|| {
+                        let stubs: Vec<_> =
+                            (0..clients).map(|i| serve::client(&engine, i)).collect();
+                        serve::drive(stubs, CALLS);
+                    });
+                    engine.shutdown();
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -32,8 +32,12 @@ pub enum PipeStep {
 
 impl PipeStep {
     /// All steps in ladder order.
-    pub const ALL: [PipeStep; 4] =
-        [PipeStep::Baseline, PipeStep::DeallocNever, PipeStep::WrapOptimized, PipeStep::DirectWrite];
+    pub const ALL: [PipeStep; 4] = [
+        PipeStep::Baseline,
+        PipeStep::DeallocNever,
+        PipeStep::WrapOptimized,
+        PipeStep::DirectWrite,
+    ];
 
     /// Report label.
     pub fn label(self) -> &'static str {

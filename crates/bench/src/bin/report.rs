@@ -1,19 +1,19 @@
 //! Prints paper-style result rows for every measured figure.
 //!
 //! Usage: `report [figure...] [--json PATH]`
-//! where figure ∈ {fig2, fig6, fig7, fig10, fig11, fig12, port}; no
+//! where figure ∈ {fig2, fig6, fig7, fig10, fig11, fig12, port, ablate,
+//! serve}; no
 //! arguments runs everything. `--json` additionally writes the numbers as
 //! JSON (used to refresh EXPERIMENTS.md).
 
-use flexrpc_bench::{ablate, fig10, fig11, fig12, fig2, fig6, fig7, measure_ns, port};
+use flexrpc_bench::{ablate, fig10, fig11, fig12, fig2, fig6, fig7, measure_ns, port, serve};
 use flexrpc_kernel::{NameMode, TrustLevel};
 use flexrpc_nfs::client::ClientVariant;
 use flexrpc_pipes::fbuf::FbufMode;
 use flexrpc_pipes::server::ReadPresentation;
-use serde::Serialize;
 use std::collections::BTreeMap;
 
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct Report {
     /// figure → row label → value (ns or MB/s as noted per figure).
     figures: BTreeMap<String, BTreeMap<String, f64>>,
@@ -23,18 +23,46 @@ impl Report {
     fn put(&mut self, fig: &str, row: &str, value: f64) {
         self.figures.entry(fig.into()).or_default().insert(row.into(), value);
     }
+
+    /// Serializes as pretty-printed JSON. Keys are plain ASCII figure/row
+    /// labels and values finite f64s, so escaping only needs the basics.
+    fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::from("{\n  \"figures\": {");
+        for (fi, (fig, rows)) in self.figures.iter().enumerate() {
+            if fi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {{", esc(fig)));
+            for (ri, (row, value)) in rows.iter().enumerate() {
+                if ri > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n      \"{}\": {}", esc(row), value));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1).cloned());
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned());
     let selected: Vec<&str> = args
         .iter()
         .map(|s| s.as_str())
-        .filter(|s| s.starts_with("fig") || *s == "port" || *s == "ablate")
+        .filter(|s| s.starts_with("fig") || *s == "port" || *s == "ablate" || *s == "serve")
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
@@ -63,10 +91,12 @@ fn main() {
     if want("ablate") {
         run_ablate(&mut report);
     }
+    if want("serve") {
+        run_serve(&mut report);
+    }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&report).expect("serializes");
-        std::fs::write(&path, json).expect("json written");
+        std::fs::write(&path, report.to_json()).expect("json written");
         println!("\nwrote {path}");
     }
 }
@@ -161,13 +191,15 @@ fn run_fig6(report: &mut Report) {
         let (ns_default, ns_never) = measure_pair(
             15,
             4,
-            || { fig6::run(&mut h_default, total); },
-            || { fig6::run(&mut h_never, total); },
+            || {
+                fig6::run(&mut h_default, total);
+            },
+            || {
+                fig6::run(&mut h_never, total);
+            },
         );
-        let per_mode = [
-            total as f64 / (ns_default / 1e9) / 1e6,
-            total as f64 / (ns_never / 1e9) / 1e6,
-        ];
+        let per_mode =
+            [total as f64 / (ns_default / 1e9) / 1e6, total as f64 / (ns_never / 1e9) / 1e6];
         for (mode, mbs) in
             [ReadPresentation::Default, ReadPresentation::DeallocNever].iter().zip(per_mode)
         {
@@ -191,14 +223,9 @@ fn run_fig7(report: &mut Report) {
         let mut h_sp = fig7::harness(cap, FbufMode::Special);
         fig7::run(&mut h_std, total); // Warm-up.
         fig7::run(&mut h_sp, total);
-        let (ns_std, ns_sp) = measure_pair(
-            15,
-            4,
-            || fig7::run(&mut h_std, total),
-            || fig7::run(&mut h_sp, total),
-        );
-        let per_mode =
-            [total as f64 / (ns_std / 1e9) / 1e6, total as f64 / (ns_sp / 1e9) / 1e6];
+        let (ns_std, ns_sp) =
+            measure_pair(15, 4, || fig7::run(&mut h_std, total), || fig7::run(&mut h_sp, total));
+        let per_mode = [total as f64 / (ns_std / 1e9) / 1e6, total as f64 / (ns_sp / 1e9) / 1e6];
         for (mode, mbs) in [FbufMode::Standard, FbufMode::Special].iter().zip(per_mode) {
             println!("  {}K pipe, {:24} {:8.1} MB/s", cap / 1024, mode.label(), mbs);
             report.put("fig7", &format!("{}k-{}-mbps", cap / 1024, mode.label()), mbs);
@@ -220,10 +247,7 @@ fn run_fig7(report: &mut Report) {
 
 fn run_fig10(report: &mut Report) {
     println!("\n== Figure 10: same-domain 1KB in-param — mutability semantics (ns/call) ==");
-    println!(
-        "  {:32} {:>12} {:>12} {:>12}",
-        "group", "fixed-copy", "fixed-borrow", "flexible"
-    );
+    println!("  {:32} {:>12} {:>12} {:>12}", "group", "fixed-copy", "fixed-borrow", "flexible");
     for g in fig10::Group::ALL {
         let mut row = Vec::new();
         for system in fig10::System::ALL {
@@ -232,22 +256,13 @@ fn run_fig10(report: &mut Report) {
             row.push(ns);
             report.put("fig10", &format!("{}-{}", g.label(), system.label()), ns);
         }
-        println!(
-            "  {:32} {:>12.0} {:>12.0} {:>12.0}",
-            g.label(),
-            row[0],
-            row[1],
-            row[2]
-        );
+        println!("  {:32} {:>12.0} {:>12.0} {:>12.0}", g.label(), row[0], row[1], row[2]);
     }
 }
 
 fn run_fig11(report: &mut Report) {
     println!("\n== Figure 11: same-domain 1KB out-param — allocation semantics (ns/call) ==");
-    println!(
-        "  {:32} {:>14} {:>14} {:>12}",
-        "group", "server-alloc", "client-alloc", "flexible"
-    );
+    println!("  {:32} {:>14} {:>14} {:>12}", "group", "server-alloc", "client-alloc", "flexible");
     for g in fig11::Group::ALL {
         let mut row = Vec::new();
         for system in fig11::System::ALL {
@@ -256,13 +271,7 @@ fn run_fig11(report: &mut Report) {
             row.push(ns);
             report.put("fig11", &format!("{}-{}", g.label(), system.label()), ns);
         }
-        println!(
-            "  {:32} {:>14.0} {:>14.0} {:>12.0}",
-            g.label(),
-            row[0],
-            row[1],
-            row[2]
-        );
+        println!("  {:32} {:>14.0} {:>14.0} {:>12.0}", g.label(), row[0], row[1], row[2]);
     }
 }
 
@@ -288,13 +297,7 @@ fn run_fig12(report: &mut Report) {
                 corner.1 = ns;
             }
         }
-        println!(
-            "  {:28} {:>8.0} {:>10.0} {:>13.0}",
-            client.label(),
-            row[0],
-            row[1],
-            row[2]
-        );
+        println!("  {:28} {:>8.0} {:>10.0} {:>13.0}", client.label(), row[0], row[1], row[2]);
     }
     println!(
         "  no-trust → full-trust improvement: {:+.1}%  (paper: ~30%)",
@@ -314,12 +317,7 @@ fn run_ablate(report: &mut Report) {
         });
         let mbs = total as f64 / (ns / 1e9) / 1e6;
         let delta = prev.map(|p| format!("{:+.1}% vs previous", (mbs - p) / p * 100.0));
-        println!(
-            "  {:18} {:8.1} MB/s   {}",
-            step.label(),
-            mbs,
-            delta.unwrap_or_default()
-        );
+        println!("  {:18} {:8.1} MB/s   {}", step.label(), mbs, delta.unwrap_or_default());
         report.put("ablate", &format!("pipe-{}-mbps", step.label()), mbs);
         prev = Some(mbs);
     }
@@ -339,13 +337,7 @@ fn run_ablate(report: &mut Report) {
         );
         let a = measure_ns(5, 3000, || hard.call());
         let b = measure_ns(5, 3000, || soft.call());
-        println!(
-            "  {:>8} {:>12.0} {:>12.0} {:>7.1}%",
-            size,
-            a,
-            b,
-            (a - b) / a * 100.0
-        );
+        println!("  {:>8} {:>12.0} {:>12.0} {:>7.1}%", size, a, b, (a - b) / a * 100.0);
         report.put("ablate", &format!("trust-spread-{size}b-pct"), (a - b) / a * 100.0);
     }
     println!("  (the paper's closing claim: the faster/lighter the transfer, the more");
@@ -367,4 +359,29 @@ fn run_port(report: &mut Report) {
         "  [nonunique] improvement: {:+.1}%  (paper: 32.4µs → 24.7µs, 24%)",
         (vals[0] - vals[1]) / vals[0] * 100.0
     );
+}
+
+fn run_serve(report: &mut Report) {
+    println!("\n== Engine scaling: one engine, clients × workers (calls/s) ==");
+    println!(
+        "  {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "workers", "clients", "calls/s", "hit-rate", "programs"
+    );
+    for workers in serve::WORKERS {
+        for clients in serve::CLIENTS {
+            let r = serve::run(workers, clients, serve::CALLS_PER_CLIENT);
+            println!(
+                "  {:>8} {:>8} {:>12.0} {:>9.0}% {:>10}",
+                workers,
+                clients,
+                r.calls_per_sec,
+                r.cache_hit_rate * 100.0,
+                r.compilations
+            );
+            let cell = format!("w{workers}-c{clients}");
+            report.put("serve", &format!("{cell}-calls-per-sec"), r.calls_per_sec);
+            report.put("serve", &format!("{cell}-cache-hit-rate"), r.cache_hit_rate);
+        }
+    }
+    println!("  (each combination compiles once per engine; hit rate counts reused connections)");
 }

@@ -7,8 +7,8 @@
 //! (server copies by hand when it must modify — glue), and flexible
 //! presentation (`[trashable]`/`[preserved]` negotiated at bind time).
 
-use flexrpc_core::annot::{Attr, OpAnnot, ParamAnnot, PdlFile};
 use flexrpc_core::annot::apply_pdl;
+use flexrpc_core::annot::{Attr, OpAnnot, ParamAnnot, PdlFile};
 use flexrpc_core::present::InterfacePresentation;
 use flexrpc_core::value::Value;
 use flexrpc_pipes::fileio_module;

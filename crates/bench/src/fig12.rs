@@ -71,7 +71,11 @@ mod tests {
                 ops.push(((c, s), cell.reg_ops()));
             }
         }
-        let full = ops.iter().find(|(k, _)| *k == (TrustLevel::LeakyUnprotected, TrustLevel::LeakyUnprotected)).unwrap().1;
+        let full = ops
+            .iter()
+            .find(|(k, _)| *k == (TrustLevel::LeakyUnprotected, TrustLevel::LeakyUnprotected))
+            .unwrap()
+            .1;
         let none = ops.iter().find(|(k, _)| *k == (TrustLevel::None, TrustLevel::None)).unwrap().1;
         assert_eq!(full, 0);
         assert!(none > 0);

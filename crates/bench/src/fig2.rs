@@ -31,15 +31,14 @@ impl Fig2 {
         let server_host = net.add_host("hp700-bsd");
         let store = serve_nfs(&net, server_host);
         let fh: [u8; FHSIZE] = store.lock().add_file(test_file(file_len, 42));
-        let harness = NfsClientHarness::new(Arc::clone(&net), client_host, server_host, fh, file_len);
+        let harness =
+            NfsClientHarness::new(Arc::clone(&net), client_host, server_host, fh, file_len);
         Fig2 { net, harness }
     }
 
     /// Reads the whole file once with `variant`. Returns bytes read.
     pub fn run(&mut self, variant: ClientVariant, file_len: usize) -> usize {
-        self.harness
-            .read_file(variant, file_len, CHUNK)
-            .expect("read succeeds");
+        self.harness.read_file(variant, file_len, CHUNK).expect("read succeeds");
         file_len
     }
 

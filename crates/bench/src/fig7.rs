@@ -1,9 +1,9 @@
 //! Figure 7 — pipe throughput over fbufs (standard vs `[special]`), plus
 //! the monolithic BSD-pipe reference.
 
-pub use flexrpc_pipes::fbuf::{FbufMode, FbufPipeHarness};
 use flexrpc_kernel::{Kernel, TaskId, UserAddr};
 use flexrpc_pipes::bsd::BsdPipe;
+pub use flexrpc_pipes::fbuf::{FbufMode, FbufPipeHarness};
 use std::sync::Arc;
 
 /// Total bytes per measured run.

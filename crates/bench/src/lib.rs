@@ -13,6 +13,7 @@ pub mod fig2;
 pub mod fig6;
 pub mod fig7;
 pub mod port;
+pub mod serve;
 
 /// Measures `f` with a simple best-of-trimmed-mean loop (the `report`
 /// binary's clock; Criterion is used for the statically-defined benches).

@@ -55,9 +55,7 @@ impl PortTransfer {
 
     /// One RPC carrying one port right.
     pub fn transfer_once(&self) {
-        self.kernel
-            .ipc_call(&self.conn, &[], &[self.right])
-            .expect("transfer succeeds");
+        self.kernel.ipc_call(&self.conn, &[], &[self.right]).expect("transfer succeeds");
     }
 
     /// Name-table probes per transfer (the deterministic cost model).

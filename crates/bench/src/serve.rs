@@ -1,0 +1,147 @@
+//! Engine scaling — throughput of one serving engine as clients and
+//! workers sweep, with the program cache's hit rate alongside.
+//!
+//! The paper measures one client against one server at a time; this
+//! experiment measures what the engine adds: a fixed pool of workers
+//! serving many concurrent clients, all program combinations resolved
+//! through the shared cache. Each client thread runs synchronous `read`
+//! calls back-to-back; throughput is total completed calls over wall
+//! time. Clients alternate trust levels, so every run exercises at least
+//! two program combinations and the hit rate stays below 1.
+
+use flexrpc_core::present::{InterfacePresentation, Trust};
+use flexrpc_core::program::CompiledInterface;
+use flexrpc_core::value::Value;
+use flexrpc_engine::{ClientInfo, Engine, EngineConfig};
+use flexrpc_marshal::WireFormat;
+use flexrpc_pipes::fileio_module;
+use flexrpc_runtime::ClientStub;
+use std::sync::Arc;
+
+/// Client counts swept by the experiment.
+pub const CLIENTS: [usize; 3] = [1, 4, 8];
+/// Worker-pool sizes swept by the experiment.
+pub const WORKERS: [usize; 3] = [1, 4, 8];
+/// Synchronous calls each client issues per run (report binary).
+pub const CALLS_PER_CLIENT: usize = 400;
+/// Reply payload bytes per call.
+pub const READ_SIZE: usize = 1024;
+
+/// One run's results.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeRun {
+    /// Completed calls per second across all clients.
+    pub calls_per_sec: f64,
+    /// Program-cache hit rate at the end of the run.
+    pub cache_hit_rate: f64,
+    /// Programs compiled (distinct combinations seen).
+    pub compilations: u64,
+    /// Connections served.
+    pub connections: u64,
+}
+
+/// Starts an engine with `workers` workers serving an `echo` FileIO
+/// service whose `read` returns `count` fresh bytes.
+pub fn build_engine(workers: usize) -> Arc<Engine> {
+    let engine = Engine::start(EngineConfig { workers, queue_capacity: 4 * workers.max(1) });
+    engine
+        .register_service(
+            "echo",
+            fileio_module(),
+            "FileIO",
+            client_presentation(Trust::None),
+            WireFormat::Cdr,
+            |srv| {
+                srv.on("read", |call| {
+                    let count = call.u32("count").expect("count arg") as usize;
+                    call.set("return", Value::Bytes(vec![0u8; count])).expect("set");
+                    0
+                })
+                .expect("read registers");
+            },
+        )
+        .expect("service registers");
+    engine
+}
+
+fn client_presentation(trust: Trust) -> InterfacePresentation {
+    let m = fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO exists");
+    let mut pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    pres.trust = trust;
+    pres
+}
+
+/// Builds one connected client stub; even/odd clients use different trust,
+/// so runs with ≥2 clients resolve two program combinations.
+pub fn client(engine: &Arc<Engine>, index: usize) -> ClientStub {
+    let trust = if index.is_multiple_of(2) { Trust::None } else { Trust::Leaky };
+    let pres = client_presentation(trust);
+    let conn = engine.connect("echo", ClientInfo::of(&pres)).expect("connect");
+    let m = fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO exists");
+    let compiled = CompiledInterface::compile(&m, iface, &pres).expect("compiles");
+    ClientStub::new(compiled, WireFormat::Cdr, Box::new(conn))
+}
+
+/// Runs `calls` synchronous reads on each of `clients` pre-built stubs,
+/// concurrently; returns when every client finished.
+pub fn drive(stubs: Vec<ClientStub>, calls: usize) {
+    let handles: Vec<_> = stubs
+        .into_iter()
+        .map(|mut stub| {
+            std::thread::spawn(move || {
+                let mut frame = stub.new_frame("read").expect("frame");
+                for _ in 0..calls {
+                    frame[0] = Value::U32(READ_SIZE as u32);
+                    stub.call("read", &mut frame).expect("call succeeds");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client ok");
+    }
+}
+
+/// One full (workers, clients) cell: build, drive, read the counters.
+pub fn run(workers: usize, clients: usize, calls_per_client: usize) -> ServeRun {
+    let engine = build_engine(workers);
+    let stubs: Vec<_> = (0..clients).map(|i| client(&engine, i)).collect();
+    let t0 = std::time::Instant::now();
+    drive(stubs, calls_per_client);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    assert_eq!(stats.calls_served as usize, clients * calls_per_client);
+    let result = ServeRun {
+        calls_per_sec: stats.calls_served as f64 / elapsed,
+        cache_hit_rate: stats.cache_hit_rate(),
+        compilations: engine.cache().compilations(),
+        connections: stats.connections,
+    };
+    engine.shutdown();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_completes_and_shares_programs() {
+        for workers in [1, 4] {
+            for clients in [1, 8] {
+                let r = run(workers, clients, 20);
+                assert!(r.calls_per_sec > 0.0);
+                assert!(r.compilations <= 2, "at most two combinations");
+                if clients > 2 {
+                    assert!(
+                        r.compilations < r.connections,
+                        "cache must share programs across connections"
+                    );
+                    assert!(r.cache_hit_rate > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -126,36 +126,28 @@ fn run() -> Result<String, String> {
         let present = |pdl: &Option<flexrpc_core::annot::PdlFile>| -> Result<_, String> {
             match pdl {
                 None => Ok(base.clone()),
-                Some(p) => apply_pdl(&module, iface, &base, p)
-                    .map_err(|e| format!("{}: {e}", iface.name)),
+                Some(p) => {
+                    apply_pdl(&module, iface, &base, p).map_err(|e| format!("{}: {e}", iface.name))
+                }
             }
         };
         if split {
             let cpres = present(&client_pdl)?;
             let spres = present(&server_pdl)?;
             out.push_str("pub mod client_side {\n");
-            out.push_str(&indent(&generate(
-                &module,
-                iface,
-                &cpres,
-                &GenOptions { client: true, server: false },
-            )
-            .map_err(|e| e.to_string())?));
+            out.push_str(&indent(
+                &generate(&module, iface, &cpres, &GenOptions { client: true, server: false })
+                    .map_err(|e| e.to_string())?,
+            ));
             out.push_str("}\n\npub mod server_side {\n");
-            out.push_str(&indent(&generate(
-                &module,
-                iface,
-                &spres,
-                &GenOptions { client: false, server: true },
-            )
-            .map_err(|e| e.to_string())?));
+            out.push_str(&indent(
+                &generate(&module, iface, &spres, &GenOptions { client: false, server: true })
+                    .map_err(|e| e.to_string())?,
+            ));
             out.push_str("}\n");
         } else {
             let pres = present(&client_pdl)?;
-            let opts = GenOptions {
-                client: !args.server_only,
-                server: !args.client_only,
-            };
+            let opts = GenOptions { client: !args.server_only, server: !args.client_only };
             out.push_str(&generate(&module, iface, &pres, &opts).map_err(|e| e.to_string())?);
         }
     }

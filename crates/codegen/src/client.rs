@@ -7,7 +7,9 @@
 use crate::types::rust_type;
 use crate::{camel, snake};
 use flexrpc_core::ir::{Interface, Module, Operation, Param, ParamDir, Type, TypeBody};
-use flexrpc_core::present::{AllocSemantics, InterfacePresentation, OpPresentation, ParamPresentation};
+use flexrpc_core::present::{
+    AllocSemantics, InterfacePresentation, OpPresentation, ParamPresentation,
+};
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
 use flexrpc_core::{CoreError, Result};
 use std::fmt::Write as _;
@@ -69,9 +71,7 @@ fn scalar_pack(module: &Module, ty: &Type, expr: &str, slot: usize) -> Result<St
             // Enums pack as ordinals.
             format!("        frame[{slot}] = Value::U32({expr} as u32); // enum {n}\n")
         }
-        other => {
-            return Err(CoreError::Unsupported(format!("scalar pack for `{other}`")))
-        }
+        other => return Err(CoreError::Unsupported(format!("scalar pack for `{other}`"))),
     })
 }
 
@@ -216,9 +216,7 @@ fn piece_for_param(
                 arg: String::new(),
                 pack: String::new(),
                 ret_ty: Some("u32 /* port name */".into()),
-                unpack: Some(format!(
-                    "if let Value::Port(p) = frame[{slot}] {{ p }} else {{ 0 }}"
-                )),
+                unpack: Some(format!("if let Value::Port(p) = frame[{slot}] {{ p }} else {{ 0 }}")),
             });
         }
         Type::Named(name) => {
@@ -250,7 +248,7 @@ fn piece_for_param(
                             let (_, extract) = scalar_unpack(module, &f.ty, slot)?;
                             let _ = write!(build, "{}: {extract}, ", snake(&f.name));
                         }
-                        build.push_str("}");
+                        build.push('}');
                         pieces.push(SigPiece {
                             arg: String::new(),
                             pack: String::new(),
@@ -325,10 +323,8 @@ fn emit_method(
         pieces.extend(piece_for_param(module, op, &ret_param, &op_pres.result, cop)?);
     }
 
-    let args: Vec<&str> =
-        pieces.iter().map(|p| p.arg.as_str()).filter(|a| !a.is_empty()).collect();
-    let ret_tys: Vec<&str> =
-        pieces.iter().filter_map(|p| p.ret_ty.as_deref()).collect();
+    let args: Vec<&str> = pieces.iter().map(|p| p.arg.as_str()).filter(|a| !a.is_empty()).collect();
+    let ret_tys: Vec<&str> = pieces.iter().filter_map(|p| p.ret_ty.as_deref()).collect();
 
     let mut ret_tuple = match ret_tys.len() {
         0 => "()".to_owned(),
@@ -361,14 +357,10 @@ fn emit_method(
         out.push_str(&p.pack);
     }
     if cop.comm_status {
-        let _ = writeln!(
-            out,
-            "        let status = self.stub.call_index({}, &mut frame)?;",
-            cop.index
-        );
-    } else {
         let _ =
-            writeln!(out, "        self.stub.call_index({}, &mut frame)?;", cop.index);
+            writeln!(out, "        let status = self.stub.call_index({}, &mut frame)?;", cop.index);
+    } else {
+        let _ = writeln!(out, "        self.stub.call_index({}, &mut frame)?;", cop.index);
     }
     // In-place out-params (caller-allocated) restore first.
     for p in &pieces {
@@ -438,10 +430,7 @@ mod tests {
             ops: vec![OpAnnot {
                 op: "read".into(),
                 op_attrs: vec![],
-                params: vec![ParamAnnot {
-                    param: "return".into(),
-                    attrs: vec![Attr::AllocCaller],
-                }],
+                params: vec![ParamAnnot { param: "return".into(), attrs: vec![Attr::AllocCaller] }],
             }],
         };
         let s = gen(Some(pdl));

@@ -54,16 +54,8 @@ pub fn emit_server(
 }
 
 /// Whether an out parameter is sink-mode under this presentation.
-fn is_sink_param(
-    op: &Operation,
-    _op_pres: &OpPresentation,
-    cop: &CompiledOp,
-    p: &Param,
-) -> bool {
-    op.params
-        .iter()
-        .position(|q| q.name == p.name)
-        .is_some_and(|i| is_sink(cop, i))
+fn is_sink_param(op: &Operation, _op_pres: &OpPresentation, cop: &CompiledOp, p: &Param) -> bool {
+    op.params.iter().position(|q| q.name == p.name).is_some_and(|i| is_sink(cop, i))
 }
 
 fn slot_of(cop: &CompiledOp, name: &str) -> usize {
@@ -88,11 +80,8 @@ fn method_signature(
     let mut handle = |p: &Param, param_index: usize| -> Result<()> {
         let resolved = module.resolve(&p.ty)?.clone();
         let rname = if p.name == "return" { "ret".to_owned() } else { snake(&p.name) };
-        let ppres = if param_index == usize::MAX {
-            &op_pres.result
-        } else {
-            &op_pres.params[param_index]
-        };
+        let ppres =
+            if param_index == usize::MAX { &op_pres.result } else { &op_pres.params[param_index] };
         if p.dir.is_in() {
             if ppres.special {
                 // Consumed by the server-side hook; absent from the trait.
@@ -131,9 +120,7 @@ fn method_signature(
                         rets.push("Vec<u8>".into());
                     }
                 }
-                Type::Array(el, n) if **el == Type::Octet => {
-                    rets.push(format!("[u8; {n}]"))
-                }
+                Type::Array(el, n) if **el == Type::Octet => rets.push(format!("[u8; {n}]")),
                 Type::ObjRef => rets.push("u32".into()),
                 Type::Named(name)
                     if matches!(
@@ -165,12 +152,8 @@ fn method_signature(
         1 => rets[0].clone(),
         _ => format!("({})", rets.join(", ")),
     };
-    let arg_text =
-        if args.is_empty() { String::new() } else { format!(", {}", args.join(", ")) };
-    Ok(format!(
-        "{}(&mut self{arg_text}) -> core::result::Result<{ret_ty}, u32>",
-        snake(&op.name)
-    ))
+    let arg_text = if args.is_empty() { String::new() } else { format!(", {}", args.join(", ")) };
+    Ok(format!("{}(&mut self{arg_text}) -> core::result::Result<{ret_ty}, u32>", snake(&op.name)))
 }
 
 /// Emits one `srv.on(...)` registration closure.
@@ -181,10 +164,10 @@ fn emit_glue(
     cop: &CompiledOp,
     out: &mut String,
 ) -> Result<()> {
-    let uses_frame = op.params.iter().enumerate().any(|(i, p)| {
-        p.dir.is_in() && !op_pres.params[i].special
-    }) || op.params.iter().any(|p| p.dir.is_out() && !is_sink_param(op, op_pres, cop, p))
-        || (op.ret != Type::Void && !is_sink(cop, usize::MAX));
+    let uses_frame =
+        op.params.iter().enumerate().any(|(i, p)| p.dir.is_in() && !op_pres.params[i].special)
+            || op.params.iter().any(|p| p.dir.is_out() && !is_sink_param(op, op_pres, cop, p))
+            || (op.ret != Type::Void && !is_sink(cop, usize::MAX));
     // The closure only binds `call` visibly when the body touches it (sink
     // writes or frame/request access) — keeps emitted code warning-free.
     let call_name = if uses_frame || !cop.sink_params.is_empty() { "call" } else { "_call" };
@@ -255,10 +238,7 @@ fn emit_glue(
                     out,
                     "            let {rname}_v = core::mem::take(&mut frame[{slot}]);"
                 );
-                let _ = writeln!(
-                    out,
-                    "            let mut {rname} = [0u8; {n}];"
-                );
+                let _ = writeln!(out, "            let mut {rname} = [0u8; {n}];");
                 let _ = writeln!(
                     out,
                     "            if let Some(src) = {rname}_v.window_of(call.request) {{ if src.len() == {n} {{ {rname}.copy_from_slice(src); }} }}"
@@ -273,13 +253,9 @@ fn emit_glue(
                 call_args.push(rname);
             }
             Type::Named(name)
-                if matches!(
-                    module.typedef(name).map(|t| &t.body),
-                    Some(TypeBody::Struct(_))
-                ) =>
+                if matches!(module.typedef(name).map(|t| &t.body), Some(TypeBody::Struct(_))) =>
             {
-                let Some(TypeBody::Struct(fields)) = module.typedef(name).map(|t| &t.body)
-                else {
+                let Some(TypeBody::Struct(fields)) = module.typedef(name).map(|t| &t.body) else {
                     unreachable!("guard above");
                 };
                 let mut build = format!("            let {rname} = {} {{ ", camel(name));
@@ -316,29 +292,23 @@ fn emit_glue(
                     wants_sink = true;
                 } else {
                     let slot = slot_of(cop, &param.name);
-                    out_pieces.push(OutPiece {
-                        set: format!("frame[{slot}] = Value::Bytes(VAL);"),
-                    });
+                    out_pieces
+                        .push(OutPiece { set: format!("frame[{slot}] = Value::Bytes(VAL);") });
                 }
             }
             Type::Array(el, _n) if **el == Type::Octet => {
                 let slot = slot_of(cop, &param.name);
-                out_pieces.push(OutPiece {
-                    set: format!("frame[{slot}] = Value::Bytes(VAL.to_vec());"),
-                });
+                out_pieces
+                    .push(OutPiece { set: format!("frame[{slot}] = Value::Bytes(VAL.to_vec());") });
             }
             Type::ObjRef => {
                 let slot = slot_of(cop, &param.name);
                 out_pieces.push(OutPiece { set: format!("frame[{slot}] = Value::Port(VAL);") });
             }
             Type::Named(name)
-                if matches!(
-                    module.typedef(name).map(|t| &t.body),
-                    Some(TypeBody::Struct(_))
-                ) =>
+                if matches!(module.typedef(name).map(|t| &t.body), Some(TypeBody::Struct(_))) =>
             {
-                let Some(TypeBody::Struct(fields)) = module.typedef(name).map(|t| &t.body)
-                else {
+                let Some(TypeBody::Struct(fields)) = module.typedef(name).map(|t| &t.body) else {
                     unreachable!("guard above");
                 };
                 let mut set = String::new();
@@ -355,9 +325,7 @@ fn emit_glue(
             }
             _ => {
                 let slot = slot_of(cop, &param.name);
-                out_pieces.push(OutPiece {
-                    set: scalar_store(module, &param.ty, "VAL", slot)?,
-                });
+                out_pieces.push(OutPiece { set: scalar_store(module, &param.ty, "VAL", slot)? });
             }
         }
         Ok(())
@@ -466,9 +434,7 @@ mod tests {
     #[test]
     fn default_trait_signatures() {
         let s = gen(None);
-        assert!(s.contains(
-            "fn read(&mut self, count: u32) -> core::result::Result<Vec<u8>, u32>;"
-        ));
+        assert!(s.contains("fn read(&mut self, count: u32) -> core::result::Result<Vec<u8>, u32>;"));
         assert!(s.contains("fn write(&mut self, data: &[u8]) -> core::result::Result<(), u32>;"));
         assert!(s.contains("pub fn register_file_io"));
     }

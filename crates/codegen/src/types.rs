@@ -91,10 +91,7 @@ mod tests {
         assert_eq!(rust_type(&m, &Type::U32).unwrap(), "u32");
         assert_eq!(rust_type(&m, &Type::Str).unwrap(), "String");
         assert_eq!(rust_type(&m, &Type::octet_seq()).unwrap(), "Vec<u8>");
-        assert_eq!(
-            rust_type(&m, &Type::Array(Box::new(Type::Octet), 32)).unwrap(),
-            "[u8; 32]"
-        );
+        assert_eq!(rust_type(&m, &Type::Array(Box::new(Type::Octet), 32)).unwrap(), "[u8; 32]");
     }
 
     #[test]

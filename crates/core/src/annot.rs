@@ -234,23 +234,13 @@ impl PdlFile {
                         for attr in &ta.attrs {
                             // Best-effort: skip attributes inapplicable at
                             // this position (see `TypeAnnot` docs).
-                            let _ = apply_param_attr(
-                                attr,
-                                &target,
-                                p.dir,
-                                &mut op_pres.params[i],
-                            );
+                            let _ = apply_param_attr(attr, &target, p.dir, &mut op_pres.params[i]);
                         }
                     }
                 }
                 if op.ret != Type::Void && module.resolve(&op.ret)? == &target {
                     for attr in &ta.attrs {
-                        let _ = apply_param_attr(
-                            attr,
-                            &target,
-                            ParamDir::Out,
-                            &mut op_pres.result,
-                        );
+                        let _ = apply_param_attr(attr, &target, ParamDir::Out, &mut op_pres.result);
                     }
                 }
             }
@@ -319,9 +309,7 @@ fn apply_param_attr(
     // support the semantic attributes (`length_is`, `trashable`,
     // `preserved`).
     let seq = *resolved_ty == Type::Sequence(Box::new(Type::Octet));
-    let bad = |why: &str| {
-        Err(CoreError::BadAnnotation { attr: attr.spelling(), why: why.into() })
-    };
+    let bad = |why: &str| Err(CoreError::BadAnnotation { attr: attr.spelling(), why: why.into() });
     match attr {
         Attr::Special => {
             if !seq {
@@ -499,12 +487,8 @@ mod tests {
     #[test]
     fn trust_levels_at_interface_scope() {
         let (m, pres) = base();
-        let pdl = PdlFile {
-            interface: None,
-            iface_attrs: vec![Attr::Leaky],
-            ops: vec![],
-            types: vec![],
-        };
+        let pdl =
+            PdlFile { interface: None, iface_attrs: vec![Attr::Leaky], ops: vec![], types: vec![] };
         let out = apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).unwrap();
         assert_eq!(out.trust, Trust::Leaky);
 
@@ -521,8 +505,12 @@ mod tests {
     #[test]
     fn unprotected_without_leaky_rejected() {
         let (m, pres) = base();
-        let pdl =
-            PdlFile { interface: None, iface_attrs: vec![Attr::Unprotected], ops: vec![], types: vec![] };
+        let pdl = PdlFile {
+            interface: None,
+            iface_attrs: vec![Attr::Unprotected],
+            ops: vec![],
+            types: vec![],
+        };
         let err = apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).unwrap_err();
         assert!(matches!(err, CoreError::BadAnnotation { .. }));
     }
@@ -554,10 +542,7 @@ mod tests {
             }],
         };
         let out = apply_pdl(&m, iface, &pres, &pdl).unwrap();
-        assert_eq!(
-            out.op("write_msg").unwrap().params[0].length_is.as_deref(),
-            Some("length")
-        );
+        assert_eq!(out.op("write_msg").unwrap().params[0].length_is.as_deref(), Some("length"));
     }
 
     #[test]
@@ -583,11 +568,7 @@ mod tests {
         let (m, pres) = base();
         let snapshot = pres.clone();
         let pdl = fileio_pdl(vec![
-            OpAnnot {
-                op: "read".into(),
-                op_attrs: vec![Attr::CommStatus],
-                params: vec![],
-            },
+            OpAnnot { op: "read".into(), op_attrs: vec![Attr::CommStatus], params: vec![] },
             OpAnnot { op: "bogus".into(), ..Default::default() },
         ]);
         assert!(apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).is_err());

@@ -60,10 +60,9 @@ pub struct InCosts {
 pub fn in_fixed_costs(system: InFixedSystem, server_modifies: bool) -> InCosts {
     match system {
         InFixedSystem::AlwaysCopy => InCosts { stub_copies: 1, server_glue_copies: 0 },
-        InFixedSystem::AlwaysBorrow => InCosts {
-            stub_copies: 0,
-            server_glue_copies: if server_modifies { 1 } else { 0 },
-        },
+        InFixedSystem::AlwaysBorrow => {
+            InCosts { stub_copies: 0, server_glue_copies: if server_modifies { 1 } else { 0 } }
+        }
     }
 }
 
@@ -177,10 +176,7 @@ pub fn out_fixed_costs(
 }
 
 /// Copy/alloc schedule of the flexible system for the same groups.
-pub fn out_flexible_costs(
-    client_wants_own_buffer: bool,
-    server_has_own_buffer: bool,
-) -> OutCosts {
+pub fn out_flexible_costs(client_wants_own_buffer: bool, server_has_own_buffer: bool) -> OutCosts {
     let client = ParamPresentation {
         alloc: if client_wants_own_buffer {
             AllocSemantics::CallerAllocates
@@ -199,10 +195,7 @@ pub fn out_flexible_costs(
     };
     match out_param_action(&client, &server) {
         OutParamAction::DirectFill => OutCosts::default(),
-        OutParamAction::Donate => OutCosts {
-            stub_allocs: if server_has_own_buffer { 1 } else { 1 },
-            ..Default::default()
-        },
+        OutParamAction::Donate => OutCosts { stub_allocs: 1, ..Default::default() },
         OutParamAction::CopyInStub => OutCosts { stub_copies: 1, ..Default::default() },
     }
 }
@@ -252,8 +245,7 @@ mod tests {
         for client_needs in [false, true] {
             for server_mods in [false, true] {
                 let flex = in_flexible_costs(client_needs, server_mods).total_copies();
-                let copy =
-                    in_fixed_costs(InFixedSystem::AlwaysCopy, server_mods).total_copies();
+                let copy = in_fixed_costs(InFixedSystem::AlwaysCopy, server_mods).total_copies();
                 let borrow =
                     in_fixed_costs(InFixedSystem::AlwaysBorrow, server_mods).total_copies();
                 assert!(flex <= copy.min(borrow), "group ({client_needs},{server_mods})");
@@ -288,10 +280,7 @@ mod tests {
     #[test]
     fn out_action_matrix() {
         let caller = ParamPresentation { alloc: AllocSemantics::CallerAllocates, ..p() };
-        let keeps = ParamPresentation {
-            dealloc: crate::present::DeallocPolicy::Never,
-            ..p()
-        };
+        let keeps = ParamPresentation { dealloc: crate::present::DeallocPolicy::Never, ..p() };
         assert_eq!(out_param_action(&caller, &p()), OutParamAction::DirectFill);
         assert_eq!(out_param_action(&p(), &p()), OutParamAction::Donate);
         assert_eq!(out_param_action(&p(), &keeps), OutParamAction::Donate);

@@ -81,8 +81,7 @@ impl Type {
     /// True for types whose canonical form carries bulk payload bytes
     /// (`sequence<octet>`, `string`) rather than fixed-size scalars.
     pub fn is_payload(&self) -> bool {
-        matches!(self, Type::Str)
-            || matches!(self, Type::Sequence(el) if **el == Type::Octet)
+        matches!(self, Type::Str) || matches!(self, Type::Sequence(el) if **el == Type::Octet)
     }
 }
 
@@ -337,8 +336,7 @@ pub fn pretty_print(module: &Module) -> String {
             TypeBody::Union { arms, default } => {
                 let _ = writeln!(s, "union {} switch (unsigned long) {{", td.name);
                 for a in arms {
-                    let _ =
-                        writeln!(s, "    case {}: {} {};", a.case, a.field.ty, a.field.name);
+                    let _ = writeln!(s, "    case {}: {} {};", a.case, a.field.ty, a.field.name);
                 }
                 if let Some(d) = default {
                     let _ = writeln!(s, "    default: {} {};", d.ty, d.name);

@@ -47,7 +47,7 @@ pub enum DeallocPolicy {
 
 /// Trust one endpoint declares in the other (core-side mirror of the
 /// kernel's trust levels; the runtime maps between them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord, Hash)]
 pub enum Trust {
     /// No trust (default): full register protection.
     #[default]
@@ -91,7 +91,8 @@ impl ParamPresentation {
     /// `[special]` routine produces the bytes. Both compile to *sink mode*:
     /// the work function writes the payload directly into the reply message.
     pub fn is_server_sink(&self) -> bool {
-        self.dealloc == DeallocPolicy::Never || (self.special && self.alloc != AllocSemantics::CallerAllocates)
+        self.dealloc == DeallocPolicy::Never
+            || (self.special && self.alloc != AllocSemantics::CallerAllocates)
     }
 }
 
@@ -151,6 +152,18 @@ impl InterfacePresentation {
         self.ops.get(name)
     }
 
+    /// A process-internal identity for this presentation, used as a cache
+    /// key component (the serving engine's program cache keys compiled
+    /// programs by wire signature × presentation pair × trust).
+    ///
+    /// Hashes the canonical `Debug` rendering: two presentations fingerprint
+    /// equal iff they are structurally equal (`BTreeMap` ordering makes the
+    /// rendering canonical). Not a wire artifact — never compare
+    /// fingerprints across processes or versions.
+    pub fn fingerprint(&self) -> u64 {
+        crate::sig::fnv1a(format!("{self:?}").as_bytes())
+    }
+
     /// Mutable lookup (used by PDL application).
     pub fn op_mut(&mut self, name: &str) -> Option<&mut OpPresentation> {
         self.ops.get_mut(name)
@@ -177,11 +190,7 @@ fn default_op(module: &Module, op: &Operation) -> Result<OpPresentation> {
     if mig && module.resolve(&op.ret)? == &crate::ir::Type::octet_seq() {
         result.alloc = AllocSemantics::CallerAllocates;
     }
-    Ok(OpPresentation {
-        params,
-        result,
-        comm_status: module.dialect != Dialect::Corba,
-    })
+    Ok(OpPresentation { params, result, comm_status: module.dialect != Dialect::Corba })
 }
 
 /// Returns the indices of `op`'s parameters whose wire form is bulk payload
@@ -271,5 +280,22 @@ mod tests {
         assert!(pres.op("nope").is_none());
         pres.op_mut("read").unwrap().comm_status = true;
         assert!(pres.op("read").unwrap().comm_status);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structural_identity() {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        let a = InterfacePresentation::default_for(&m, iface).unwrap();
+        let b = InterfacePresentation::default_for(&m, iface).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal presentations");
+
+        let mut c = a.clone();
+        c.trust = Trust::LeakyUnprotected;
+        assert_ne!(a.fingerprint(), c.fingerprint(), "trust is part of identity");
+
+        let mut d = a.clone();
+        d.op_mut("read").unwrap().result.dealloc = DeallocPolicy::Never;
+        assert_ne!(a.fingerprint(), d.fingerprint(), "per-param attributes too");
     }
 }

@@ -336,10 +336,7 @@ impl CompiledInterface {
         let mut ops = Vec::with_capacity(iface.ops.len());
         for (index, op) in iface.ops.iter().enumerate() {
             let op_pres = pres.op(&op.name).ok_or_else(|| {
-                CoreError::BadPresentation(format!(
-                    "presentation lacks operation `{}`",
-                    op.name
-                ))
+                CoreError::BadPresentation(format!("presentation lacks operation `{}`", op.name))
             })?;
             ops.push(compile_op(module, op, index, op_pres)?);
         }
@@ -505,8 +502,7 @@ fn compile_op(
     // Payload section.
     for pp in &placed {
         for (field, slot) in &pp.fields {
-            let is_payload_field =
-                matches!(field.shape, FieldShape::Str | FieldShape::Payload);
+            let is_payload_field = matches!(field.shape, FieldShape::Str | FieldShape::Payload);
             if !is_payload_field {
                 continue;
             }
@@ -695,10 +691,7 @@ mod tests {
         assert_eq!(read.request_marshal.ops, vec![MOp::PutU32(Slot(0))]);
         assert_eq!(read.request_unmarshal.ops, vec![MOp::GetU32(Slot(0))]);
         // Reply: result payload, then status.
-        assert_eq!(
-            read.reply_marshal.ops,
-            vec![MOp::PutBytes(Slot(1)), MOp::PutU32(Slot(2))]
-        );
+        assert_eq!(read.reply_marshal.ops, vec![MOp::PutBytes(Slot(1)), MOp::PutU32(Slot(2))]);
         assert_eq!(
             read.reply_unmarshal.ops,
             vec![MOp::GetBytesOwned(Slot(1)), MOp::GetU32(Slot(2))]
@@ -750,10 +743,7 @@ mod tests {
             ops: vec![OpAnnot {
                 op: "read".into(),
                 op_attrs: vec![],
-                params: vec![ParamAnnot {
-                    param: "return".into(),
-                    attrs: vec![Attr::AllocCaller],
-                }],
+                params: vec![ParamAnnot { param: "return".into(), attrs: vec![Attr::AllocCaller] }],
             }],
         };
         let ci = compile_fileio(Some(pdl));
@@ -763,10 +753,7 @@ mod tests {
             vec![MOp::GetBytesInto(Slot(1)), MOp::GetU32(Slot(2))]
         );
         // Server side still buffers + marshals by default.
-        assert_eq!(
-            read.reply_marshal.ops,
-            vec![MOp::PutBytes(Slot(1)), MOp::PutU32(Slot(2))]
-        );
+        assert_eq!(read.reply_marshal.ops, vec![MOp::PutBytes(Slot(1)), MOp::PutU32(Slot(2))]);
     }
 
     #[test]

@@ -157,10 +157,8 @@ mod tests {
         // Same structure through a typedef → same signature.
         let m1 = fileio_example();
         let mut m2 = Module::new("fileio2", Dialect::Corba);
-        m2.typedefs.push(TypeDef {
-            name: "buffer".into(),
-            body: TypeBody::Alias(Type::octet_seq()),
-        });
+        m2.typedefs
+            .push(TypeDef { name: "buffer".into(), body: TypeBody::Alias(Type::octet_seq()) });
         m2.interfaces.push(Interface::new(
             "FileIO",
             vec![

@@ -29,10 +29,7 @@ pub fn validate(module: &Module) -> Result<()> {
                 let mut seen = HashSet::new();
                 for it in items {
                     if !seen.insert(it.as_str()) {
-                        return Err(CoreError::Duplicate {
-                            kind: "enumerator",
-                            name: it.clone(),
-                        });
+                        return Err(CoreError::Duplicate { kind: "enumerator", name: it.clone() });
                     }
                 }
                 if items.is_empty() {
@@ -143,30 +140,21 @@ mod tests {
     fn duplicate_interface_rejected() {
         let mut m = fileio_example();
         m.interfaces.push(Interface::new("FileIO", vec![]));
-        assert!(matches!(
-            validate(&m),
-            Err(CoreError::Duplicate { kind: "interface", .. })
-        ));
+        assert!(matches!(validate(&m), Err(CoreError::Duplicate { kind: "interface", .. })));
     }
 
     #[test]
     fn duplicate_operation_rejected() {
         let mut m = fileio_example();
         m.interfaces[0].ops.push(Operation::new("read", vec![], Type::Void));
-        assert!(matches!(
-            validate(&m),
-            Err(CoreError::Duplicate { kind: "operation", .. })
-        ));
+        assert!(matches!(validate(&m), Err(CoreError::Duplicate { kind: "operation", .. })));
     }
 
     #[test]
     fn duplicate_param_rejected() {
         let mut m = fileio_example();
         m.interfaces[0].ops[0].params.push(Param::new("count", ParamDir::In, Type::U32));
-        assert!(matches!(
-            validate(&m),
-            Err(CoreError::Duplicate { kind: "parameter", .. })
-        ));
+        assert!(matches!(validate(&m), Err(CoreError::Duplicate { kind: "parameter", .. })));
     }
 
     #[test]

@@ -52,10 +52,9 @@ fn wire_shape(op: &MOp) -> &'static str {
         MOp::PutI64(_) | MOp::GetI64(_) => "i64",
         MOp::PutBool(_) | MOp::GetBool(_) => "bool",
         MOp::PutF64(_) | MOp::GetF64(_) => "f64",
-        MOp::PutStr(_)
-        | MOp::PutStrFromBytes(_)
-        | MOp::GetStr(_)
-        | MOp::GetStrAsBytes(_) => "string",
+        MOp::PutStr(_) | MOp::PutStrFromBytes(_) | MOp::GetStr(_) | MOp::GetStrAsBytes(_) => {
+            "string"
+        }
         MOp::PutBytes(_)
         | MOp::PutBytesSpecial { .. }
         | MOp::GetBytesOwned(_)
@@ -79,9 +78,7 @@ fn reply_shapes(ci: &CompiledInterface, op_idx: usize, marshal_side: bool) -> Ve
     let op = &ci.ops[op_idx];
     let mut shapes = Vec::new();
     if marshal_side {
-        for _ in &op.sink_params {
-            shapes.push("payload");
-        }
+        shapes.extend(op.sink_params.iter().map(|_| "payload"));
         shapes.extend(op.reply_marshal.ops.iter().map(wire_shape));
     } else {
         shapes.extend(op.reply_unmarshal.ops.iter().map(wire_shape));

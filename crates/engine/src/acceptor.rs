@@ -1,0 +1,201 @@
+//! The network acceptor: engine-hosted Sun RPC services on [`SimNet`]
+//! hosts, with call pipelining (multiple outstanding XIDs per message).
+//!
+//! [`expose_on_net`] registers a host handler that accepts either a single
+//! call record or a *stream* of concatenated records — the Sun RPC analogue
+//! of a TCP connection with several calls in flight. Every record becomes a
+//! job on the engine queue, so the records of one batch execute across the
+//! worker pool concurrently; replies are re-framed in completion-wait order
+//! and the client matches them back to calls by XID.
+//!
+//! [`SunRpcPipeline`] is the matching client: it queues call records
+//! locally and ships them as one stream on [`SunRpcPipeline::flush`].
+
+use crate::engine::{CallTicket, ClientInfo, Engine, EngineError};
+use flexrpc_net::sunrpc::{self, AcceptStat, CallHeader};
+use flexrpc_net::{HostId, NetError, SimNet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Registers `service_name` as the Sun RPC program `(prog, vers)` on
+/// `host`, served by `engine`'s worker pool.
+///
+/// `client` describes the presentation half remote peers are assumed to
+/// speak (network peers marshal through the service's wire format; their
+/// binding is fixed at expose time, exactly one program combination per
+/// exposure). The combination resolves through the engine's program cache,
+/// so exposing the same service on several hosts compiles once.
+pub fn expose_on_net(
+    engine: &Arc<Engine>,
+    net: &Arc<SimNet>,
+    host: HostId,
+    service_name: &str,
+    prog: u32,
+    vers: u32,
+    client: ClientInfo,
+) -> Result<(), EngineError> {
+    let pool = engine.pool_for(service_name, client)?;
+    let compiled = pool.compiled();
+    let eng = Arc::clone(engine);
+    engine.counters().connections.fetch_add(1, Ordering::Relaxed);
+    net.register_service(host, move |stream| {
+        let records = sunrpc::split_records(stream).map_err(|e| e.to_string())?;
+        // Phase 1: decode and submit everything — all XIDs go outstanding
+        // before any reply is awaited, so one batch spreads across workers.
+        let mut outcomes: Vec<(u32, Outcome)> = Vec::with_capacity(records.len());
+        for record in records {
+            let (hdr, args) = match sunrpc::decode_call(record) {
+                Ok(x) => x,
+                Err(e) => return Err(format!("undecodable call in stream: {e}")),
+            };
+            outcomes.push((hdr.xid, submit_one(&eng, &pool, &compiled, hdr, args, prog, vers)));
+        }
+        // Phase 2: await and re-frame. Waiting in submit order is fine —
+        // execution already overlapped; XIDs let the client reorder freely.
+        let mut out = Vec::new();
+        for (xid, outcome) in outcomes {
+            match outcome {
+                Outcome::Immediate(stat) => {
+                    out.extend_from_slice(&sunrpc::encode_reply(xid, stat, &[]));
+                }
+                Outcome::Pending(ticket) => match ticket.wait() {
+                    Ok(reply) => out.extend_from_slice(&sunrpc::encode_reply(
+                        xid,
+                        AcceptStat::Success,
+                        &reply.body,
+                    )),
+                    Err(flexrpc_runtime::RpcError::Marshal(_)) => out.extend_from_slice(
+                        &sunrpc::encode_reply(xid, AcceptStat::GarbageArgs, &[]),
+                    ),
+                    Err(e) => return Err(format!("dispatch failed: {e}")),
+                },
+            }
+        }
+        Ok(out)
+    })?;
+    Ok(())
+}
+
+enum Outcome {
+    /// Rejected before dispatch (wrong program/version/procedure).
+    Immediate(AcceptStat),
+    /// Dispatched into the worker pool.
+    Pending(CallTicket),
+}
+
+fn submit_one(
+    engine: &Arc<Engine>,
+    pool: &Arc<crate::engine::ReplicaPool>,
+    compiled: &flexrpc_core::program::CompiledInterface,
+    hdr: CallHeader,
+    args: &[u8],
+    prog: u32,
+    vers: u32,
+) -> Outcome {
+    if hdr.prog != prog {
+        return Outcome::Immediate(AcceptStat::ProgUnavail);
+    }
+    if hdr.vers != vers {
+        return Outcome::Immediate(AcceptStat::ProgMismatch);
+    }
+    let op_index = compiled
+        .ops
+        .iter()
+        .position(|o| o.opnum == Some(hdr.proc))
+        .or_else(|| ((hdr.proc as usize) < compiled.ops.len()).then_some(hdr.proc as usize));
+    let Some(op_index) = op_index else {
+        return Outcome::Immediate(AcceptStat::ProcUnavail);
+    };
+    match engine.submit_to_pool(pool, op_index, args, &[]) {
+        Ok(ticket) => Outcome::Pending(ticket),
+        Err(_) => Outcome::Immediate(AcceptStat::ProcUnavail),
+    }
+}
+
+/// A pipelining Sun RPC client: queue several calls, flush them as one
+/// record stream, get every reply back matched by XID.
+pub struct SunRpcPipeline {
+    net: Arc<SimNet>,
+    from: HostId,
+    to: HostId,
+    prog: u32,
+    vers: u32,
+    next_xid: u32,
+    batch: Vec<u8>,
+    expected: Vec<u32>,
+}
+
+impl SunRpcPipeline {
+    /// Creates a pipeline to `(prog, vers)` served on `to`.
+    pub fn new(net: Arc<SimNet>, from: HostId, to: HostId, prog: u32, vers: u32) -> SunRpcPipeline {
+        SunRpcPipeline {
+            net,
+            from,
+            to,
+            prog,
+            vers,
+            next_xid: 1,
+            batch: Vec::new(),
+            expected: Vec::new(),
+        }
+    }
+
+    /// Queues one call locally, returning its XID. Nothing is sent until
+    /// [`SunRpcPipeline::flush`].
+    pub fn submit(&mut self, proc: u32, args: &[u8]) -> u32 {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        let hdr = CallHeader { xid, prog: self.prog, vers: self.vers, proc };
+        self.batch.extend_from_slice(&sunrpc::encode_call(hdr, args));
+        self.expected.push(xid);
+        xid
+    }
+
+    /// Calls currently queued.
+    pub fn outstanding(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// Ships the queued batch as one stream and returns each call's
+    /// `(status, results)` in XID submit order — regardless of the order
+    /// the server's workers completed them in.
+    pub fn flush(&mut self) -> flexrpc_net::Result<Vec<(AcceptStat, Vec<u8>)>> {
+        if self.expected.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = std::mem::take(&mut self.batch);
+        let expected = std::mem::take(&mut self.expected);
+        let mut reply_stream = Vec::new();
+        self.net.call(self.from, self.to, &batch, &mut reply_stream)?;
+        let records = sunrpc::split_records(&reply_stream)?;
+        if records.len() != expected.len() {
+            return Err(NetError::ServiceFailure(format!(
+                "pipeline: {} calls sent, {} replies received",
+                expected.len(),
+                records.len()
+            )));
+        }
+        // Index replies by XID, then return them in submit order.
+        let mut by_xid: std::collections::HashMap<u32, (AcceptStat, Vec<u8>)> = records
+            .iter()
+            .map(|rec| {
+                let (xid, stat, results) = sunrpc::decode_reply(rec)?;
+                Ok((xid, (stat, results.to_vec())))
+            })
+            .collect::<flexrpc_net::Result<_>>()?;
+        expected
+            .into_iter()
+            .map(|xid| {
+                by_xid
+                    .remove(&xid)
+                    .ok_or_else(|| NetError::ServiceFailure(format!("no reply for xid {xid}")))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for SunRpcPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SunRpcPipeline({} outstanding)", self.expected.len())
+    }
+}

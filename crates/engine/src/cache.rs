@@ -1,0 +1,200 @@
+//! The shared program cache: one compilation per *combination signature*.
+//!
+//! The paper's runtime compiles a stub program for each combination of
+//! wire contract, the two endpoints' presentations, and the trust they
+//! negotiate. A server facing many clients would recompile the same
+//! combination once per connection; the engine instead keys compiled
+//! [`CompiledInterface`]s by [`ProgramKey`] so every later connection with
+//! the same combination reuses the `Arc`'d program. Hit/miss counters make
+//! the reuse observable — the acceptance tests assert
+//! `compilations < connections`.
+
+use flexrpc_core::present::Trust;
+use flexrpc_core::program::CompiledInterface;
+use flexrpc_marshal::WireFormat;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The combination a compiled program is valid for. Two connections map to
+/// the same program exactly when every component matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProgramKey {
+    /// The wire contract (signature hash) both endpoints share.
+    pub signature: u64,
+    /// Fingerprint of the server-side presentation.
+    pub server_presentation: u64,
+    /// Fingerprint of the client-side presentation.
+    pub client_presentation: u64,
+    /// Trust the server declares in its clients.
+    pub server_trust: Trust,
+    /// Trust the client declares in the server.
+    pub client_trust: Trust,
+    /// Negotiated transfer syntax.
+    pub format: WireFormat,
+}
+
+/// Cache statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Lookups satisfied by an existing compilation.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Programs currently cached (== misses while nothing is evicted).
+    pub programs: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent map from combination keys to shared compilations.
+#[derive(Default)]
+pub struct ProgramCache {
+    programs: RwLock<HashMap<ProgramKey, Arc<CompiledInterface>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// Creates an empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Returns the program for `key`, compiling through `compile` only on
+    /// the first request for this combination. Concurrent first requests
+    /// serialize on the write lock so the combination still compiles
+    /// exactly once.
+    pub fn get_or_compile<E>(
+        &self,
+        key: ProgramKey,
+        compile: impl FnOnce() -> Result<CompiledInterface, E>,
+    ) -> Result<Arc<CompiledInterface>, E> {
+        if let Some(found) = self.programs.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        let mut programs = self.programs.write();
+        // Double-check: another thread may have compiled while we waited.
+        if let Some(found) = programs.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        let compiled = Arc::new(compile()?);
+        programs.insert(key, Arc::clone(&compiled));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(compiled)
+    }
+
+    /// Looks up without compiling.
+    pub fn get(&self, key: &ProgramKey) -> Option<Arc<CompiledInterface>> {
+        self.programs.read().get(key).map(Arc::clone)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            programs: self.programs.read().len(),
+        }
+    }
+
+    /// Total compilations performed (one per distinct combination).
+    pub fn compilations(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for ProgramCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(f, "ProgramCache({} programs, {} hits, {} misses)", s.programs, s.hits, s.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexrpc_core::ir::fileio_example;
+    use flexrpc_core::present::InterfacePresentation;
+
+    fn key(client_fp: u64, trust: Trust) -> ProgramKey {
+        ProgramKey {
+            signature: 0xABCD,
+            server_presentation: 1,
+            client_presentation: client_fp,
+            server_trust: Trust::None,
+            client_trust: trust,
+            format: WireFormat::Cdr,
+        }
+    }
+
+    fn compile_fileio() -> Result<CompiledInterface, flexrpc_core::CoreError> {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        let pres = InterfacePresentation::default_for(&m, iface)?;
+        CompiledInterface::compile(&m, iface, &pres)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ProgramCache::new();
+        let a = cache.get_or_compile(key(7, Trust::None), compile_fileio).unwrap();
+        let b = cache.get_or_compile(key(7, Trust::None), compile_fileio).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same combination shares one program");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.programs), (1, 1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn distinct_combinations_compile_separately() {
+        let cache = ProgramCache::new();
+        cache.get_or_compile(key(7, Trust::None), compile_fileio).unwrap();
+        cache.get_or_compile(key(8, Trust::None), compile_fileio).unwrap();
+        cache.get_or_compile(key(7, Trust::Leaky), compile_fileio).unwrap();
+        assert_eq!(cache.compilations(), 3);
+    }
+
+    #[test]
+    fn compile_failure_not_cached() {
+        let cache = ProgramCache::new();
+        let r: Result<_, String> = cache.get_or_compile(key(1, Trust::None), || Err("nope".into()));
+        assert!(r.is_err());
+        assert_eq!(cache.stats().programs, 0);
+        // A later successful compile for the same key still works.
+        cache.get_or_compile(key(1, Trust::None), compile_fileio).unwrap();
+        assert_eq!(cache.stats().programs, 1);
+    }
+
+    #[test]
+    fn concurrent_first_requests_compile_once() {
+        let cache = Arc::new(ProgramCache::new());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_compile(key(42, Trust::None), compile_fileio).unwrap()
+                })
+            })
+            .collect();
+        let programs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(cache.compilations(), 1, "racing threads share one compile");
+        assert!(programs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+}

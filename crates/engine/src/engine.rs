@@ -1,0 +1,531 @@
+//! The serving engine: acceptor, worker pool, replica pools, connections.
+//!
+//! One engine serves many clients across many services with a fixed pool
+//! of worker threads. Work arrives as [`Job`]s on a bounded queue — from
+//! same-domain clients through [`EngineConnection`] (a
+//! [`Transport`](flexrpc_runtime::transport::Transport) impl) or from the
+//! simulated network through [`crate::acceptor`] — and every job dispatches
+//! into a [`ServerInterface`] *replica* drawn from the pool for that
+//! connection's program combination.
+//!
+//! Replicas exist because dispatch needs `&mut self` (handlers are
+//! `FnMut`): rather than serializing all clients on one server lock, each
+//! combination keeps up to `workers` interchangeable server instances whose
+//! handlers capture the same `Arc`'d application state (file store, pipe
+//! ring), all sharing one compiled program from the [`ProgramCache`]. The
+//! expensive part — compilation — happens once per combination; the cheap
+//! part — a handler table — is replicated for parallelism.
+
+use crate::cache::{ProgramCache, ProgramKey};
+use crate::queue::BoundedQueue;
+use crate::stats::{EngineCounters, EngineStatsSnapshot};
+use flexrpc_core::ir::Module;
+use flexrpc_core::present::{InterfacePresentation, Trust};
+use flexrpc_core::program::{CompiledInterface, CompiledOp};
+use flexrpc_marshal::WireFormat;
+use flexrpc_runtime::transport::Transport;
+use flexrpc_runtime::{RpcError, ServerInterface};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Errors from engine control operations.
+#[derive(Debug)]
+pub enum EngineError {
+    /// No service registered under that name.
+    UnknownService(String),
+    /// A service with that name already exists.
+    DuplicateService(String),
+    /// The engine is shutting down.
+    Closed,
+    /// Program compilation failed for a combination.
+    Compile(flexrpc_core::CoreError),
+    /// The underlying network refused an operation.
+    Net(flexrpc_net::NetError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownService(n) => write!(f, "unknown service `{n}`"),
+            EngineError::DuplicateService(n) => write!(f, "service `{n}` already registered"),
+            EngineError::Closed => write!(f, "engine is shut down"),
+            EngineError::Compile(e) => write!(f, "program compilation failed: {e}"),
+            EngineError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<flexrpc_net::NetError> for EngineError {
+    fn from(e: flexrpc_net::NetError) -> EngineError {
+        EngineError::Net(e)
+    }
+}
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Job-queue capacity; pushes beyond it block (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig { workers: 4, queue_capacity: 64 }
+    }
+}
+
+/// What a connecting client declares about itself; with the service's own
+/// half it selects the program combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientInfo {
+    /// Fingerprint of the client's presentation
+    /// ([`InterfacePresentation::fingerprint`]).
+    pub presentation: u64,
+    /// Trust the client declares in the server.
+    pub trust: Trust,
+}
+
+impl ClientInfo {
+    /// Client info for a presentation value.
+    pub fn of(pres: &InterfacePresentation) -> ClientInfo {
+        ClientInfo { presentation: pres.fingerprint(), trust: pres.trust }
+    }
+}
+
+/// A finished call: reply body plus translated port rights.
+#[derive(Debug, Default)]
+pub struct Reply {
+    /// Marshalled reply bytes.
+    pub body: Vec<u8>,
+    /// Out-of-band port rights.
+    pub rights: Vec<u32>,
+}
+
+/// One-shot completion slot a submitter blocks on.
+struct ReplySlot {
+    state: Mutex<Option<flexrpc_runtime::Result<Reply>>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot { state: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn fill(&self, result: flexrpc_runtime::Result<Reply>) {
+        *self.state.lock() = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> flexrpc_runtime::Result<Reply> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            self.ready.wait(&mut state);
+        }
+    }
+}
+
+/// An in-flight call handle ([`EngineConnection::submit`]); redeem with
+/// [`CallTicket::wait`]. Dropping it abandons the reply (the worker still
+/// runs the call).
+#[must_use = "a submitted call completes, but its reply is lost unless waited on"]
+pub struct CallTicket {
+    slot: Arc<ReplySlot>,
+}
+
+impl CallTicket {
+    /// Blocks until the reply is ready.
+    pub fn wait(self) -> flexrpc_runtime::Result<Reply> {
+        self.slot.wait()
+    }
+}
+
+/// A unit of work: one dispatch against one replica pool.
+struct Job {
+    pool: Arc<ReplicaPool>,
+    op_index: usize,
+    request: Vec<u8>,
+    rights: Vec<u32>,
+    slot: Arc<ReplySlot>,
+}
+
+/// Interchangeable `ServerInterface` instances for one program combination.
+///
+/// All replicas share one compiled program and capture the same `Arc`'d
+/// application state; any worker may use any free replica.
+pub(crate) struct ReplicaPool {
+    compiled: Arc<CompiledInterface>,
+    replicas: Mutex<Vec<ServerInterface>>,
+    freed: Condvar,
+}
+
+impl ReplicaPool {
+    fn acquire(&self) -> ServerInterface {
+        let mut replicas = self.replicas.lock();
+        loop {
+            if let Some(r) = replicas.pop() {
+                return r;
+            }
+            // More workers than replicas should not happen (pools are sized
+            // to the worker count), but waiting keeps it correct if it does.
+            self.freed.wait(&mut replicas);
+        }
+    }
+
+    fn release(&self, replica: ServerInterface) {
+        self.replicas.lock().push(replica);
+        self.freed.notify_one();
+    }
+
+    /// The shared compilation (for building client stubs against it).
+    pub(crate) fn compiled(&self) -> Arc<CompiledInterface> {
+        Arc::clone(&self.compiled)
+    }
+}
+
+/// Builds one dispatch replica: register the service's work functions on a
+/// server created over the shared compilation. Called once per replica, so
+/// it must only capture `Arc`'d shared state.
+pub type ReplicaFactory = Box<dyn Fn(&mut ServerInterface) + Send + Sync>;
+
+/// A registered service: its contract, its server-side presentation, and
+/// the factory that wires work functions onto replicas.
+struct Service {
+    module: Module,
+    interface: String,
+    presentation: InterfacePresentation,
+    presentation_fingerprint: u64,
+    signature: u64,
+    format: WireFormat,
+    factory: ReplicaFactory,
+    /// Replica pools, one per program combination seen so far.
+    pools: RwLock<HashMap<ProgramKey, Arc<ReplicaPool>>>,
+}
+
+/// The concurrent serving engine. Create with [`Engine::start`]; it owns
+/// its worker threads until [`Engine::shutdown`] (or drop).
+pub struct Engine {
+    cfg: EngineConfig,
+    queue: Arc<BoundedQueue<Job>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    cache: ProgramCache,
+    services: RwLock<HashMap<String, Arc<Service>>>,
+    counters: EngineCounters,
+}
+
+impl Engine {
+    /// Starts an engine: spawns the worker pool, returns the shared handle.
+    pub fn start(cfg: EngineConfig) -> Arc<Engine> {
+        let engine = Arc::new(Engine {
+            cfg,
+            queue: Arc::new(BoundedQueue::new(cfg.queue_capacity)),
+            workers: Mutex::new(Vec::new()),
+            cache: ProgramCache::new(),
+            services: RwLock::new(HashMap::new()),
+            counters: EngineCounters::default(),
+        });
+        let mut workers = engine.workers.lock();
+        for i in 0..cfg.workers.max(1) {
+            let queue = Arc::clone(&engine.queue);
+            let eng = Arc::downgrade(&engine);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("flexrpc-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let mut replica = job.pool.acquire();
+                            let mut body = Vec::new();
+                            let mut rights_out = Vec::new();
+                            let result = replica
+                                .dispatch(
+                                    job.op_index,
+                                    &job.request,
+                                    &job.rights,
+                                    &mut body,
+                                    &mut rights_out,
+                                )
+                                .map(|()| Reply { body, rights: rights_out });
+                            job.pool.release(replica);
+                            if let Some(engine) = eng.upgrade() {
+                                engine.counters.job_finished(
+                                    job.request.len(),
+                                    result.as_ref().map_or(0, |r| r.body.len()),
+                                    result.is_ok(),
+                                );
+                            }
+                            job.slot.fill(result);
+                        }
+                    })
+                    .expect("worker thread spawns"),
+            );
+        }
+        drop(workers);
+        engine
+    }
+
+    /// Registers a service. `presentation` is the server's half of every
+    /// combination; `factory` wires work functions onto each replica and
+    /// must capture only `Arc`'d shared state.
+    pub fn register_service(
+        &self,
+        name: &str,
+        module: Module,
+        interface: &str,
+        presentation: InterfacePresentation,
+        format: WireFormat,
+        factory: impl Fn(&mut ServerInterface) + Send + Sync + 'static,
+    ) -> Result<(), EngineError> {
+        let iface = module.interface(interface).ok_or_else(|| {
+            EngineError::UnknownService(format!("{name}: no interface {interface}"))
+        })?;
+        let signature = flexrpc_core::sig::WireSignature::of_interface(&module, iface)
+            .map_err(EngineError::Compile)?
+            .hash();
+        let service = Arc::new(Service {
+            module: module.clone(),
+            interface: interface.to_owned(),
+            presentation_fingerprint: presentation.fingerprint(),
+            presentation,
+            signature,
+            format,
+            factory: Box::new(factory),
+            pools: RwLock::new(HashMap::new()),
+        });
+        let mut services = self.services.write();
+        if services.contains_key(name) {
+            return Err(EngineError::DuplicateService(name.to_owned()));
+        }
+        services.insert(name.to_owned(), service);
+        Ok(())
+    }
+
+    fn service(&self, name: &str) -> Result<Arc<Service>, EngineError> {
+        self.services
+            .read()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| EngineError::UnknownService(name.to_owned()))
+    }
+
+    /// Resolves (or lazily builds) the replica pool for one combination.
+    /// The compilation goes through the shared [`ProgramCache`]: the first
+    /// connection with a combination compiles, every later one reuses.
+    pub(crate) fn pool_for(
+        &self,
+        service_name: &str,
+        client: ClientInfo,
+    ) -> Result<Arc<ReplicaPool>, EngineError> {
+        let service = self.service(service_name)?;
+        let key = ProgramKey {
+            signature: service.signature,
+            server_presentation: service.presentation_fingerprint,
+            client_presentation: client.presentation,
+            server_trust: service.presentation.trust,
+            client_trust: client.trust,
+            format: service.format,
+        };
+        if let Some(pool) = service.pools.read().get(&key) {
+            // Count the cache hit the fast path would otherwise skip: the
+            // combination was looked up and served without compiling.
+            self.cache
+                .get_or_compile::<flexrpc_core::CoreError>(key, || {
+                    unreachable!("pool exists, program is cached")
+                })
+                .expect("cached");
+            return Ok(Arc::clone(pool));
+        }
+        let mut pools = service.pools.write();
+        if let Some(pool) = pools.get(&key) {
+            return Ok(Arc::clone(pool));
+        }
+        let compiled = self
+            .cache
+            .get_or_compile(key, || {
+                let iface = service
+                    .module
+                    .interface(&service.interface)
+                    .expect("validated at registration");
+                CompiledInterface::compile(&service.module, iface, &service.presentation)
+            })
+            .map_err(EngineError::Compile)?;
+        let replicas: Vec<ServerInterface> = (0..self.cfg.workers.max(1))
+            .map(|_| {
+                let mut replica =
+                    ServerInterface::new_shared(Arc::clone(&compiled), service.format);
+                (service.factory)(&mut replica);
+                replica
+            })
+            .collect();
+        let pool = Arc::new(ReplicaPool {
+            compiled,
+            replicas: Mutex::new(replicas),
+            freed: Condvar::new(),
+        });
+        pools.insert(key, Arc::clone(&pool));
+        Ok(pool)
+    }
+
+    /// Opens a same-domain connection to a service. The returned connection
+    /// implements [`Transport`], so a
+    /// [`ClientStub`](flexrpc_runtime::ClientStub) plugs straight in.
+    pub fn connect(
+        self: &Arc<Self>,
+        service_name: &str,
+        client: ClientInfo,
+    ) -> Result<EngineConnection, EngineError> {
+        let pool = self.pool_for(service_name, client)?;
+        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+        Ok(EngineConnection { engine: Arc::clone(self), pool })
+    }
+
+    /// Enqueues one dispatch; blocks while the queue is full.
+    fn enqueue(
+        &self,
+        pool: &Arc<ReplicaPool>,
+        op_index: usize,
+        request: Vec<u8>,
+        rights: Vec<u32>,
+    ) -> Result<CallTicket, EngineError> {
+        let slot = ReplySlot::new();
+        self.counters.job_enqueued();
+        let job =
+            Job { pool: Arc::clone(pool), op_index, request, rights, slot: Arc::clone(&slot) };
+        if self.queue.push(job).is_err() {
+            self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return Err(EngineError::Closed);
+        }
+        Ok(CallTicket { slot })
+    }
+
+    /// Submits into a specific pool (the acceptor's path).
+    pub(crate) fn submit_to_pool(
+        &self,
+        pool: &Arc<ReplicaPool>,
+        op_index: usize,
+        request: &[u8],
+        rights: &[u32],
+    ) -> Result<CallTicket, EngineError> {
+        self.enqueue(pool, op_index, request.to_vec(), rights.to_vec())
+    }
+
+    /// Live counters (crate-internal; external readers use [`Engine::stats`]).
+    pub(crate) fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    /// The shared program cache (hit/miss counters for tests and reports).
+    pub fn cache(&self) -> &ProgramCache {
+        &self.cache
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            calls_served: self.counters.calls_served.load(Ordering::Relaxed),
+            bytes_in: self.counters.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.counters.bytes_out.load(Ordering::Relaxed),
+            in_flight: self.counters.in_flight.load(Ordering::Relaxed),
+            peak_in_flight: self.counters.peak_in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue.len(),
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            dispatch_errors: self.counters.dispatch_errors.load(Ordering::Relaxed),
+            workers: self.cfg.workers.max(1),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Graceful shutdown: refuse new work, drain the queue, join workers.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let mut workers = self.workers.lock();
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.cfg.workers)
+            .field("services", &self.services.read().len())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+/// A same-domain client connection: submits jobs to the engine's queue and
+/// blocks on completion. Supports multiple outstanding calls (pipelining)
+/// through [`EngineConnection::submit`] / [`CallTicket::wait`].
+pub struct EngineConnection {
+    engine: Arc<Engine>,
+    pool: Arc<ReplicaPool>,
+}
+
+impl EngineConnection {
+    /// Starts a call without waiting for it — the same-domain analogue of
+    /// multiple outstanding XIDs. Submit several, then wait on the tickets.
+    pub fn submit(
+        &self,
+        op_index: usize,
+        request: &[u8],
+        rights: &[u32],
+    ) -> Result<CallTicket, EngineError> {
+        self.engine.enqueue(&self.pool, op_index, request.to_vec(), rights.to_vec())
+    }
+
+    /// The program this connection's combination compiled to (shared with
+    /// every other connection of the same combination).
+    pub fn program(&self) -> Arc<CompiledInterface> {
+        self.pool.compiled()
+    }
+
+    /// The engine this connection belongs to.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+}
+
+impl Transport for EngineConnection {
+    fn call(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+    ) -> flexrpc_runtime::Result<usize> {
+        let ticket = self
+            .submit(op.index, request, rights)
+            .map_err(|e| RpcError::Transport(e.to_string()))?;
+        let r = ticket.wait()?;
+        reply.clear();
+        reply.extend_from_slice(&r.body);
+        rights_out.clear();
+        rights_out.extend_from_slice(&r.rights);
+        Ok(0)
+    }
+}
+
+impl std::fmt::Debug for EngineConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EngineConnection({:?})", self.engine)
+    }
+}

@@ -1,0 +1,195 @@
+//! A bounded MPMC queue with blocking push (backpressure) and graceful
+//! close, built on a mutex + two condvars.
+//!
+//! The engine would use `crossbeam`'s channels here; this build runs
+//! without registry access, and the engine's needs — bounded, blocking,
+//! multi-producer multi-consumer, drainable close — fit in ~100 lines of
+//! std primitives, so the queue is hand-rolled instead of stubbed.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking queue shared between acceptors (producers) and the
+/// worker pool (consumers).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    /// Signalled when space frees up (wakes blocked producers).
+    not_full: Condvar,
+    /// Signalled when an item arrives or the queue closes (wakes consumers).
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full — this is the
+    /// engine's backpressure: a flooded engine slows its clients down
+    /// instead of buffering without bound. Returns the item back if the
+    /// queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut state);
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while empty. Returns `None` once
+    /// the queue is closed *and* drained — workers finish outstanding jobs
+    /// before exiting (graceful shutdown).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what remains.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued (a racy snapshot, for stats).
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoundedQueue(len={}, cap={})", self.len(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn push_blocks_until_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(2).is_ok());
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "second push must be blocked");
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3), "closed queue refuses new work");
+        assert_eq!(q.pop(), Some(1), "outstanding work still drains");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "then consumers see the end");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..100u64 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let mut expect: Vec<u64> =
+            (0..4u64).flat_map(|p| (0..100u64).map(move |i| p * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect, "every job consumed exactly once");
+    }
+}

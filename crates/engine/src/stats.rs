@@ -1,0 +1,73 @@
+//! Engine-level counters and point-in-time snapshots.
+
+use crate::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, updated by acceptors and workers.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Calls fully served (dispatched and replied).
+    pub calls_served: AtomicU64,
+    /// Request bytes copied into the engine.
+    pub bytes_in: AtomicU64,
+    /// Reply bytes copied out of the engine.
+    pub bytes_out: AtomicU64,
+    /// Jobs currently queued or executing.
+    pub in_flight: AtomicU64,
+    /// High-water mark of `in_flight`.
+    pub peak_in_flight: AtomicU64,
+    /// Connections accepted (same-domain and network exposures).
+    pub connections: AtomicU64,
+    /// Dispatches that returned an error to the client.
+    pub dispatch_errors: AtomicU64,
+}
+
+impl EngineCounters {
+    pub(crate) fn job_enqueued(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn job_finished(&self, bytes_in: usize, bytes_out: usize, ok: bool) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.calls_served.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes_out as u64, Ordering::Relaxed);
+        if !ok {
+            self.dispatch_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A consistent-enough snapshot of one engine's state (individual counters
+/// are read atomically; the set is racy, as stats snapshots are).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStatsSnapshot {
+    /// Calls fully served.
+    pub calls_served: u64,
+    /// Request bytes copied in.
+    pub bytes_in: u64,
+    /// Reply bytes copied out.
+    pub bytes_out: u64,
+    /// Jobs queued or executing right now.
+    pub in_flight: u64,
+    /// High-water mark of in-flight jobs.
+    pub peak_in_flight: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// Dispatches that failed.
+    pub dispatch_errors: u64,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Program-cache counters.
+    pub cache: CacheStats,
+}
+
+impl EngineStatsSnapshot {
+    /// Cache hit rate, for report tables.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}

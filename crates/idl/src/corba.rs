@@ -307,11 +307,9 @@ mod tests {
 
     #[test]
     fn out_and_inout_directions() {
-        let m = parse(
-            "d",
-            "interface T { void f(in long a, out sequence<octet> b, inout long c); };",
-        )
-        .unwrap();
+        let m =
+            parse("d", "interface T { void f(in long a, out sequence<octet> b, inout long c); };")
+                .unwrap();
         let dirs: Vec<ParamDir> = m.interfaces[0].ops[0].params.iter().map(|p| p.dir).collect();
         assert_eq!(dirs, vec![ParamDir::In, ParamDir::Out, ParamDir::InOut]);
     }

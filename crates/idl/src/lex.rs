@@ -106,11 +106,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>> {
             {
                 bump!();
             }
-            out.push(Spanned {
-                tok: Tok::Ident(src[start..i].to_owned()),
-                line: sl,
-                col: sc,
-            });
+            out.push(Spanned { tok: Tok::Ident(src[start..i].to_owned()), line: sl, col: sc });
             continue;
         }
         // Numbers.
@@ -178,6 +174,7 @@ impl TokStream {
     }
 
     /// Consumes and returns the current token.
+    #[allow(clippy::should_implement_trait)] // parser cursor, not an Iterator
     pub fn next(&mut self) -> Tok {
         let t = self.toks[self.pos].tok.clone();
         if self.pos + 1 < self.toks.len() {

@@ -38,7 +38,9 @@
 
 use crate::lex::TokStream;
 use crate::Result;
-use flexrpc_core::ir::{Dialect, Interface, Module, Operation, Param, ParamDir, Type, TypeBody, TypeDef};
+use flexrpc_core::ir::{
+    Dialect, Interface, Module, Operation, Param, ParamDir, Type, TypeBody, TypeDef,
+};
 
 /// Parses `.defs` source into a validated [`Module`].
 pub fn parse(name: &str, src: &str) -> Result<Module> {
@@ -227,19 +229,13 @@ mod tests {
         assert_eq!(read.params.len(), 2, "server port is addressing, not content");
         assert_eq!(read.params[0].name, "count");
         assert_eq!(read.params[1].dir, ParamDir::Out);
-        assert_eq!(
-            m.resolve(&read.params[1].ty).unwrap(),
-            &Type::octet_seq()
-        );
+        assert_eq!(m.resolve(&read.params[1].ty).unwrap(), &Type::octet_seq());
     }
 
     #[test]
     fn type_specs_lower() {
         let m = parse("pipe", PIPE_DEFS).unwrap();
-        assert_eq!(
-            m.typedef("buffer_t").unwrap().body,
-            TypeBody::Alias(Type::octet_seq())
-        );
+        assert_eq!(m.typedef("buffer_t").unwrap().body, TypeBody::Alias(Type::octet_seq()));
         assert_eq!(
             m.typedef("fixed_t").unwrap().body,
             TypeBody::Alias(Type::Array(Box::new(Type::Octet), 16))

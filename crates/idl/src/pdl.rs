@@ -132,15 +132,14 @@ fn parse_op_decl(ts: &mut TokStream) -> Result<OpAnnot> {
                 pending_ident = Some(ts.expect_ident("name")?);
             }
             other => {
-                return Err(ts.error(format!(
-                    "expected operation declaration, found {}",
-                    other.describe()
-                )))
+                return Err(
+                    ts.error(format!("expected operation declaration, found {}", other.describe()))
+                )
             }
         }
     }
-    let op_name = pending_ident
-        .ok_or_else(|| ts.error("operation re-declaration is missing a name"))?;
+    let op_name =
+        pending_ident.ok_or_else(|| ts.error("operation re-declaration is missing a name"))?;
     annot.op = op_name;
     if !result_attrs.is_empty() {
         annot.params.push(ParamAnnot { param: "return".into(), attrs: result_attrs });
@@ -179,10 +178,9 @@ fn parse_arg(ts: &mut TokStream) -> Result<Option<ParamAnnot>> {
                 ts.next();
             }
             other => {
-                return Err(ts.error(format!(
-                    "unexpected {} in argument declaration",
-                    other.describe()
-                )))
+                return Err(
+                    ts.error(format!("unexpected {} in argument declaration", other.describe()))
+                )
             }
         }
     }
@@ -213,10 +211,9 @@ fn parse_typedef_annot(ts: &mut TokStream) -> Result<TypeAnnot> {
                     ts.next();
                 }
                 other => {
-                    return Err(ts.error(format!(
-                        "unexpected {} in typedef field",
-                        other.describe()
-                    )))
+                    return Err(
+                        ts.error(format!("unexpected {} in typedef field", other.describe()))
+                    )
                 }
             }
         }
@@ -291,8 +288,7 @@ mod tests {
 
     #[test]
     fn paper_fig8_trashable_client() {
-        let f = parse("void FileIO_write(char *[trashable] data, unsigned long _length);")
-            .unwrap();
+        let f = parse("void FileIO_write(char *[trashable] data, unsigned long _length);").unwrap();
         assert_eq!(
             f.ops[0].params,
             vec![ParamAnnot { param: "data".into(), attrs: vec![Attr::Trashable] }]
@@ -301,23 +297,18 @@ mod tests {
 
     #[test]
     fn paper_fig9_preserved_server() {
-        let f = parse("void FileIO_write(char *[preserved] data, unsigned long _length);")
-            .unwrap();
+        let f = parse("void FileIO_write(char *[preserved] data, unsigned long _length);").unwrap();
         assert_eq!(f.ops[0].params[0].attrs, vec![Attr::Preserved]);
     }
 
     #[test]
     fn syslog_length_is() {
-        let f =
-            parse("SysLog_write_msg(,, char *[length_is(length)] msg, int length);").unwrap();
+        let f = parse("SysLog_write_msg(,, char *[length_is(length)] msg, int length);").unwrap();
         let op = &f.ops[0];
         assert_eq!(op.op, "SysLog_write_msg");
         assert_eq!(
             op.params,
-            vec![ParamAnnot {
-                param: "msg".into(),
-                attrs: vec![Attr::LengthIs("length".into())]
-            }]
+            vec![ParamAnnot { param: "msg".into(), attrs: vec![Attr::LengthIs("length".into())] }]
         );
     }
 
@@ -337,8 +328,8 @@ mod tests {
 
     #[test]
     fn result_attrs_after_return_type() {
-        let f = parse("sequence<octet> [dealloc(never)] FileIO_read(unsigned long count);")
-            .unwrap();
+        let f =
+            parse("sequence<octet> [dealloc(never)] FileIO_read(unsigned long count);").unwrap();
         let op = &f.ops[0];
         assert_eq!(op.op, "FileIO_read");
         assert_eq!(
@@ -406,19 +397,14 @@ mod tests {
     fn c_name_shims() {
         assert_eq!(type_from_c_name("CORBA_SEQUENCE_char"), Type::octet_seq());
         assert_eq!(type_from_c_name("CORBA_SEQUENCE_octet"), Type::octet_seq());
-        assert_eq!(
-            type_from_c_name("CORBA_SEQUENCE_long"),
-            Type::Sequence(Box::new(Type::I32))
-        );
+        assert_eq!(type_from_c_name("CORBA_SEQUENCE_long"), Type::Sequence(Box::new(Type::I32)));
         assert_eq!(type_from_c_name("fattr"), Type::Named("fattr".into()));
     }
 
     #[test]
     fn comments_in_pdl() {
-        let f = parse(
-            "// trust the unix server\ninterface Proc [leaky]; /* that's all */",
-        )
-        .unwrap();
+        let f =
+            parse("// trust the unix server\ninterface Proc [leaky]; /* that's all */").unwrap();
         assert_eq!(f.iface_attrs, vec![Attr::Leaky]);
     }
 }

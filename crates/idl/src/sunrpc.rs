@@ -61,9 +61,7 @@ impl Parser {
         } else if ts.eat_kw("typedef") {
             let decl = self.parse_declaration(ts)?;
             ts.expect_punct(';')?;
-            let name = decl
-                .name
-                .ok_or_else(|| ts.error("typedef requires a name"))?;
+            let name = decl.name.ok_or_else(|| ts.error("typedef requires a name"))?;
             module.typedefs.push(TypeDef { name, body: TypeBody::Alias(decl.ty) });
         } else if ts.eat_kw("struct") {
             let td = self.parse_struct(ts)?;
@@ -92,8 +90,7 @@ impl Parser {
         while !ts.eat_punct('}') {
             let decl = self.parse_declaration(ts)?;
             ts.expect_punct(';')?;
-            let fname =
-                decl.name.ok_or_else(|| ts.error("struct field requires a name"))?;
+            let fname = decl.name.ok_or_else(|| ts.error("struct field requires a name"))?;
             fields.push(Field { name: fname, ty: decl.ty });
         }
         ts.expect_punct(';')?;
@@ -510,11 +507,9 @@ mod tests {
 
     #[test]
     fn hex_program_numbers() {
-        let m = parse(
-            "h",
-            "program P { version V { void NULLPROC(void) = 0; } = 1; } = 0x20000001;",
-        )
-        .unwrap();
+        let m =
+            parse("h", "program P { version V { void NULLPROC(void) = 0; } = 1; } = 0x20000001;")
+                .unwrap();
         assert_eq!(m.interfaces[0].program, Some(0x20000001));
     }
 

@@ -32,12 +32,7 @@ fn scalar_type() -> impl Strategy<Value = Type> {
 }
 
 fn param_type() -> impl Strategy<Value = Type> {
-    prop_oneof![
-        scalar_type(),
-        Just(Type::Str),
-        Just(Type::octet_seq()),
-        Just(Type::ObjRef),
-    ]
+    prop_oneof![scalar_type(), Just(Type::Str), Just(Type::octet_seq()), Just(Type::ObjRef),]
 }
 
 fn dedup_names<T>(items: Vec<(String, T)>) -> Vec<(String, T)> {

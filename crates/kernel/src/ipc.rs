@@ -31,8 +31,7 @@ pub const MAX_BODY: usize = 256 * 1024;
 
 /// A server handler: runs with no kernel locks held and may re-enter the
 /// kernel. Returns the reply message or an application-defined failure code.
-pub type Handler =
-    Box<dyn FnMut(&Kernel, MsgIn<'_>) -> core::result::Result<MsgOut, u32> + Send>;
+pub type Handler = Box<dyn FnMut(&Kernel, MsgIn<'_>) -> core::result::Result<MsgOut, u32> + Send>;
 
 /// The request as seen by a server handler.
 #[derive(Debug)]
@@ -168,9 +167,7 @@ impl Kernel {
         task: TaskId,
         port_name: PortName,
         options: ServerOptions,
-        handler: impl FnMut(&Kernel, MsgIn<'_>) -> core::result::Result<MsgOut, u32>
-            + Send
-            + 'static,
+        handler: impl FnMut(&Kernel, MsgIn<'_>) -> core::result::Result<MsgOut, u32> + Send + 'static,
     ) -> Result<()> {
         if !self.is_receiver(task, port_name)? {
             return Err(KernelError::NotReceiver);
@@ -388,11 +385,7 @@ mod tests {
         let (k, client, _server, send) =
             setup_echo(ServerOptions { signature: Some(0xAAAA), ..Default::default() });
         let err = k
-            .ipc_bind(
-                client,
-                send,
-                BindOptions { signature: Some(0xBBBB), ..Default::default() },
-            )
+            .ipc_bind(client, send, BindOptions { signature: Some(0xBBBB), ..Default::default() })
             .unwrap_err();
         assert!(matches!(err, KernelError::SignatureMismatch { .. }));
         // Matching signatures bind fine.
@@ -409,10 +402,7 @@ mod tests {
         let b = k.create_task("b", 64).unwrap();
         let p = k.port_allocate(a).unwrap();
         let send = k.extract_send_right(a, p, b).unwrap();
-        assert!(matches!(
-            k.ipc_bind(b, send, BindOptions::default()),
-            Err(KernelError::NoServer)
-        ));
+        assert!(matches!(k.ipc_bind(b, send, BindOptions::default()), Err(KernelError::NoServer)));
     }
 
     #[test]
@@ -433,12 +423,9 @@ mod tests {
         let (k, _client, server, _send) = setup_echo(ServerOptions::default());
         // `setup_echo` registered on the server's port name 1; find it again.
         let err = k
-            .register_server(
-                server,
-                PortName(1),
-                ServerOptions::default(),
-                |_k, _m| Ok(MsgOut::default()),
-            )
+            .register_server(server, PortName(1), ServerOptions::default(), |_k, _m| {
+                Ok(MsgOut::default())
+            })
             .unwrap_err();
         assert_eq!(err, KernelError::ServerExists);
     }
@@ -448,10 +435,7 @@ mod tests {
         let (k, client, _server, send) = setup_echo(ServerOptions::default());
         let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
         let big = vec![0u8; MAX_BODY + 1];
-        assert!(matches!(
-            k.ipc_call(&conn, &big, &[]),
-            Err(KernelError::MsgTooLarge(_))
-        ));
+        assert!(matches!(k.ipc_call(&conn, &big, &[]), Err(KernelError::MsgTooLarge(_))));
     }
 
     #[test]
@@ -516,7 +500,11 @@ mod tests {
         assert_eq!(r1, r2, "unique mode coalesces to one name");
 
         let nonunique_conn = k
-            .ipc_bind(client, send, BindOptions { name_mode: NameMode::NonUnique, ..Default::default() })
+            .ipc_bind(
+                client,
+                send,
+                BindOptions { name_mode: NameMode::NonUnique, ..Default::default() },
+            )
             .unwrap();
         let r3 = k.ipc_call(&nonunique_conn, &[], &[]).unwrap().rights[0];
         let r4 = k.ipc_call(&nonunique_conn, &[], &[]).unwrap().rights[0];
@@ -525,10 +513,8 @@ mod tests {
 
     #[test]
     fn trust_pair_compiles_into_connection() {
-        let (k, client, _server, send) = setup_echo(ServerOptions {
-            trust_of_client: TrustLevel::Leaky,
-            ..Default::default()
-        });
+        let (k, client, _server, send) =
+            setup_echo(ServerOptions { trust_of_client: TrustLevel::Leaky, ..Default::default() });
         let strict = k.ipc_bind(client, send, BindOptions::default()).unwrap();
         let trusting = k
             .ipc_bind(

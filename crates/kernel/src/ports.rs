@@ -338,10 +338,7 @@ mod tests {
     #[test]
     fn deallocate_receive_right_refused() {
         let (k, a, _b, p) = setup();
-        assert!(matches!(
-            k.deallocate_right(a, p),
-            Err(KernelError::InsufficientRights(_))
-        ));
+        assert!(matches!(k.deallocate_right(a, p), Err(KernelError::InsufficientRights(_))));
     }
 
     #[test]

@@ -300,10 +300,7 @@ mod tests {
         let mut rf = RegisterFile::seeded();
         run_ops(&path.pre, &mut rf, &stats);
         run_ops(&path.post, &mut rf, &stats);
-        assert_eq!(
-            stats.snapshot().register_ops,
-            path.len() as u64
-        );
+        assert_eq!(stats.snapshot().register_ops, path.len() as u64);
     }
 
     #[test]

@@ -300,7 +300,8 @@ mod tests {
         let k = Kernel::new();
         let t = k.create_task("t", 64).unwrap();
         k.with_user_slice_mut(t, UserAddr(4), 4, |s| s.copy_from_slice(&[1, 2, 3, 4])).unwrap();
-        let sum = k.with_user_slice(t, UserAddr(4), 4, |s| s.iter().map(|&b| b as u32).sum::<u32>());
+        let sum =
+            k.with_user_slice(t, UserAddr(4), 4, |s| s.iter().map(|&b| b as u32).sum::<u32>());
         assert_eq!(sum.unwrap(), 10);
         assert!(k.with_user_slice(t, UserAddr(63), 2, |_| ()).is_err());
     }

@@ -1,7 +1,7 @@
 //! Property tests over the port name tables and the trust paths.
 
-use flexrpc_kernel::{Kernel, NameMode, PortName, TrustLevel};
 use flexrpc_kernel::regs::{run_ops, RegPath, RegisterFile};
+use flexrpc_kernel::{Kernel, NameMode, PortName, TrustLevel};
 use proptest::prelude::*;
 
 proptest! {

@@ -140,7 +140,7 @@ proptest! {
         // Encode something longer than `len`, truncate, and confirm that the
         // decode chain reports an error rather than fabricating data.
         let mut w = XdrWriter::new();
-        w.put_opaque(&vec![0xAB; 61]);
+        w.put_opaque(&[0xAB; 61]);
         let bytes = w.into_bytes();
         prop_assume!(len < bytes.len());
         let mut r = XdrReader::new(&bytes[..len]);

@@ -97,7 +97,12 @@ pub struct NetStats {
 }
 
 /// A service handler: consumes a request, produces a reply.
-pub type Service = Box<dyn FnMut(&[u8]) -> core::result::Result<Vec<u8>, String> + Send>;
+///
+/// Shared (`Arc`) and re-entrant (`Fn + Sync`) so any number of clients can
+/// be inside the same host's handler at once — the serving engine's
+/// acceptor depends on this. Handlers needing mutable state bring their own
+/// locks (and should hold them as briefly as possible).
+pub type Service = Arc<dyn Fn(&[u8]) -> core::result::Result<Vec<u8>, String> + Send + Sync>;
 
 struct HostState {
     #[allow(dead_code)] // Diagnostic field, reported by `host_name`.
@@ -158,11 +163,11 @@ impl SimNet {
     pub fn register_service(
         &self,
         host: HostId,
-        service: impl FnMut(&[u8]) -> core::result::Result<Vec<u8>, String> + Send + 'static,
+        service: impl Fn(&[u8]) -> core::result::Result<Vec<u8>, String> + Send + Sync + 'static,
     ) -> Result<()> {
         let mut hosts = self.hosts.lock();
         let h = hosts.get_mut(host.0).ok_or(NetError::NoSuchHost(host))?;
-        h.service = Some(Box::new(service));
+        h.service = Some(Arc::new(service));
         Ok(())
     }
 
@@ -212,19 +217,16 @@ impl SimNet {
         // The far side receives into its own buffer: a real copy, as the
         // receiving protocol stack would perform.
         let rx: Vec<u8> = request.to_vec();
-        // Take the handler out so it runs without the host lock held.
-        let mut service = {
-            let mut hosts = self.hosts.lock();
-            let h = hosts.get_mut(to.0).ok_or(NetError::NoSuchHost(to))?;
-            h.service.take().ok_or(NetError::NoService(to))?
+        // Clone the handler handle so it runs without the host lock held —
+        // concurrent callers can be inside the same service at once.
+        let service = {
+            let hosts = self.hosts.lock();
+            let h = hosts.get(to.0).ok_or(NetError::NoSuchHost(to))?;
+            Arc::clone(h.service.as_ref().ok_or(NetError::NoService(to))?)
         };
         let t0 = std::time::Instant::now();
         let result = service(&rx);
         self.stats.service_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        {
-            let mut hosts = self.hosts.lock();
-            hosts[to.0].service = Some(service);
-        }
         let reply = result.map_err(NetError::ServiceFailure)?;
         // Server-side processing + reply on the wire.
         self.wire_ns.fetch_add(self.cfg.server_ns, Ordering::Relaxed);
@@ -335,6 +337,38 @@ mod tests {
         assert_eq!(reply, vec![7, 7, 7]);
         net.call(c, s, &[9], &mut reply).unwrap();
         assert_eq!(reply, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn concurrent_calls_to_one_host() {
+        // The engine's acceptor multiplexes many clients onto one host;
+        // the handler handle must be shareable, not taken out per call.
+        let net = SimNet::new();
+        let s = net.add_host("server");
+        let clients: Vec<HostId> = (0..8).map(|i| net.add_host(&format!("c{i}"))).collect();
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let net = Arc::clone(&net);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut reply = Vec::new();
+                    for round in 0..50u8 {
+                        let req = [i as u8, round];
+                        net.call(c, s, &req, &mut reply).unwrap();
+                        assert_eq!(reply, req);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(net.stats().messages.load(Ordering::Relaxed), 8 * 50);
     }
 
     #[test]

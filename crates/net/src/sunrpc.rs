@@ -147,6 +147,35 @@ pub fn decode_call(msg: &[u8]) -> Result<(CallHeader, &[u8])> {
     Ok((CallHeader { xid, prog, vers, proc }, args))
 }
 
+/// Splits a stream of concatenated record-marked messages into individual
+/// messages (each slice *includes* its record mark, so it feeds straight
+/// into [`decode_call`]/[`decode_reply`]).
+///
+/// This is the receive half of call pipelining: a client with several
+/// outstanding XIDs concatenates whole call records into one stream, and
+/// the server peels them apart here — exactly how Sun RPC records stack up
+/// in a TCP byte stream.
+pub fn split_records(stream: &[u8]) -> Result<Vec<&[u8]>> {
+    let mut records = Vec::new();
+    let mut rest = stream;
+    while !rest.is_empty() {
+        if rest.len() < 4 {
+            return Err(proto_err("truncated record mark in stream"));
+        }
+        let mark = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
+        if mark & 0x8000_0000 == 0 {
+            return Err(proto_err("fragmented records not supported"));
+        }
+        let len = (mark & 0x7FFF_FFFF) as usize;
+        if rest.len() < 4 + len {
+            return Err(proto_err("record extends past end of stream"));
+        }
+        records.push(&rest[..4 + len]);
+        rest = &rest[4 + len..];
+    }
+    Ok(records)
+}
+
 /// Decodes a reply message, returning the XID, status, and result bytes.
 pub fn decode_reply(msg: &[u8]) -> Result<(u32, AcceptStat, &[u8])> {
     let mut r = XdrReader::new(msg);
@@ -237,6 +266,29 @@ mod tests {
         for cut in 0..msg.len() {
             let _ = decode_call(&msg[..cut]);
         }
+    }
+
+    #[test]
+    fn record_stream_splits_back_into_messages() {
+        let calls: Vec<Vec<u8>> = (0..5u32)
+            .map(|i| {
+                encode_call(
+                    CallHeader { xid: 100 + i, prog: 7, vers: 1, proc: i },
+                    &vec![i as u8; i as usize * 4],
+                )
+            })
+            .collect();
+        let stream: Vec<u8> = calls.iter().flatten().copied().collect();
+        let records = split_records(&stream).unwrap();
+        assert_eq!(records.len(), 5);
+        for (i, rec) in records.iter().enumerate() {
+            let (hdr, args) = decode_call(rec).unwrap();
+            assert_eq!(hdr.xid, 100 + i as u32);
+            assert_eq!(args.len(), i * 4);
+        }
+        assert!(split_records(&stream[..stream.len() - 1]).is_err(), "short tail");
+        assert!(split_records(&[0x80]).is_err(), "truncated mark");
+        assert_eq!(split_records(&[]).unwrap().len(), 0, "empty stream");
     }
 
     #[test]

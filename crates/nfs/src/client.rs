@@ -15,7 +15,7 @@
 //! stubs and automatically-generated stubs supporting the same
 //! presentation" is a checkable property here, not a hope.
 
-use crate::{nfs_module, Fattr, FIG1_PDL, FHSIZE, NFSPROC_READ, NFS_PROGRAM, NFS_VERSION};
+use crate::{nfs_module, Fattr, FHSIZE, FIG1_PDL, NFSPROC_READ, NFS_PROGRAM, NFS_VERSION};
 use flexrpc_core::annot::apply_pdl;
 use flexrpc_core::present::InterfacePresentation;
 use flexrpc_core::program::CompiledInterface;
@@ -128,7 +128,8 @@ impl NfsClientHarness {
 
         let conventional = {
             let compiled = CompiledInterface::compile(&m, iface, &base).expect("compiles");
-            let t = SunRpc::new(Arc::clone(&net), client_host, server_host, NFS_PROGRAM, NFS_VERSION);
+            let t =
+                SunRpc::new(Arc::clone(&net), client_host, server_host, NFS_PROGRAM, NFS_VERSION);
             ClientStub::new(compiled, WireFormat::Xdr, Box::new(t))
         };
 
@@ -141,7 +142,8 @@ impl NfsClientHarness {
             let pdl = flexrpc_idl::pdl::parse(FIG1_PDL).expect("figure 1 PDL parses");
             let pres = apply_pdl(&m, iface, &base, &pdl).expect("figure 1 PDL applies");
             let compiled = CompiledInterface::compile(&m, iface, &pres).expect("compiles");
-            let t = SunRpc::new(Arc::clone(&net), client_host, server_host, NFS_PROGRAM, NFS_VERSION);
+            let t =
+                SunRpc::new(Arc::clone(&net), client_host, server_host, NFS_PROGRAM, NFS_VERSION);
             let mut stub = ClientStub::new(compiled, WireFormat::Xdr, Box::new(t));
             // Param index 4 is `data`; register the copyout routine.
             stub.hooks_mut("NFSPROC_READ")
@@ -243,11 +245,7 @@ impl NfsClientHarness {
             // Point the copyout hook at this chunk's destination.
             *self.special_target.addr.lock() = self.user_buf.offset(offset);
         }
-        let read_index = stub
-            .compiled()
-            .op("NFSPROC_READ")
-            .expect("protocol has READ")
-            .index;
+        let read_index = stub.compiled().op("NFSPROC_READ").expect("protocol has READ").index;
         let status = stub.call_index(read_index, frame)?;
         if status != 0 {
             return Err(RpcError::Remote(status));
@@ -380,8 +378,7 @@ mod tests {
             h.read_file(variant, file_len, 8192).unwrap();
             let d = h.kernel().stats().snapshot().since(&before);
             assert_eq!(
-                d.bytes_copied_out,
-                file_len as u64,
+                d.bytes_copied_out, file_len as u64,
                 "{variant:?}: every byte is copied out to user space exactly once"
             );
         }
@@ -409,10 +406,7 @@ mod tests {
         let mut h = NfsClientHarness::new(net, ch, sh, [9u8; FHSIZE], 4096);
         for variant in ClientVariant::ALL {
             let err = h.read_file(variant, 4096, 4096).unwrap_err();
-            assert!(
-                matches!(err, RpcError::Remote(crate::NFSERR_STALE)),
-                "{variant:?}: {err}"
-            );
+            assert!(matches!(err, RpcError::Remote(crate::NFSERR_STALE)), "{variant:?}: {err}");
         }
     }
 

@@ -129,20 +129,37 @@ pub fn test_file(len: usize, seed: u8) -> Vec<u8> {
     (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
 }
 
+/// The NFS server's presentation (the defaults of its Sun dialect).
+pub fn nfs_presentation() -> InterfacePresentation {
+    let m = nfs_module();
+    let iface = &m.interfaces[0];
+    InterfacePresentation::default_for(&m, iface).expect("defaults")
+}
+
 /// Builds the NFS server and registers it on `host`. Returns the store so
 /// callers can add files.
 pub fn serve_nfs(net: &Arc<SimNet>, host: HostId) -> Arc<Mutex<FileStore>> {
     let m = nfs_module();
     let iface = &m.interfaces[0];
-    let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    let pres = nfs_presentation();
     let compiled = CompiledInterface::compile(&m, iface, &pres).expect("compiles");
     let mut srv = ServerInterface::new(compiled, WireFormat::Xdr);
-
     let store = Arc::new(Mutex::new(FileStore::new()));
+    register_nfs_handlers(&mut srv, &store);
+    serve_on_net(net, host, Arc::new(Mutex::new(srv)), NFS_PROGRAM, NFS_VERSION)
+        .expect("service registers");
+    store
+}
 
+/// Registers the NFS work functions on `srv`, backed by `store`.
+///
+/// Separated from compilation so a serving engine can build any number of
+/// dispatch replicas over one shared compilation and one shared store —
+/// handlers only capture the `Arc`'d store.
+pub fn register_nfs_handlers(srv: &mut ServerInterface, store: &Arc<Mutex<FileStore>>) {
     srv.on("NFSPROC_NULL", |_call| 0).expect("null registers");
 
-    let st = Arc::clone(&store);
+    let st = Arc::clone(store);
     srv.on("NFSPROC_GETATTR", move |call| {
         let fh = match call.bytes("file") {
             Ok(b) => b.to_vec(),
@@ -157,7 +174,7 @@ pub fn serve_nfs(net: &Arc<SimNet>, host: HostId) -> Arc<Mutex<FileStore>> {
     })
     .expect("getattr registers");
 
-    let st = Arc::clone(&store);
+    let st = Arc::clone(store);
     srv.on("NFSPROC_SETATTR", move |call| {
         let fh = match call.bytes("file") {
             Ok(b) => b.to_vec(),
@@ -184,7 +201,7 @@ pub fn serve_nfs(net: &Arc<SimNet>, host: HostId) -> Arc<Mutex<FileStore>> {
     })
     .expect("setattr registers");
 
-    let st = Arc::clone(&store);
+    let st = Arc::clone(store);
     srv.on("NFSPROC_LOOKUP", move |call| {
         let dir = match call.bytes("dir") {
             Ok(b) => b.to_vec(),
@@ -209,7 +226,7 @@ pub fn serve_nfs(net: &Arc<SimNet>, host: HostId) -> Arc<Mutex<FileStore>> {
     })
     .expect("lookup registers");
 
-    let st = Arc::clone(&store);
+    let st = Arc::clone(store);
     srv.on("NFSPROC_READ", move |call| {
         let fh = match call.bytes("file") {
             Ok(b) => b.to_vec(),
@@ -234,7 +251,7 @@ pub fn serve_nfs(net: &Arc<SimNet>, host: HostId) -> Arc<Mutex<FileStore>> {
     })
     .expect("read registers");
 
-    let st = Arc::clone(&store);
+    let st = Arc::clone(store);
     srv.on("NFSPROC_WRITE", move |call| {
         let fh = match call.bytes("file") {
             Ok(b) => b.to_vec(),
@@ -265,7 +282,7 @@ pub fn serve_nfs(net: &Arc<SimNet>, host: HostId) -> Arc<Mutex<FileStore>> {
     })
     .expect("write registers");
 
-    let st = Arc::clone(&store);
+    let st = Arc::clone(store);
     srv.on("NFSPROC_CREATE", move |call| {
         let dir = match call.bytes("dir") {
             Ok(b) => b.to_vec(),
@@ -294,7 +311,7 @@ pub fn serve_nfs(net: &Arc<SimNet>, host: HostId) -> Arc<Mutex<FileStore>> {
     })
     .expect("create registers");
 
-    let st = Arc::clone(&store);
+    let st = Arc::clone(store);
     srv.on("NFSPROC_REMOVE", move |call| {
         let dir = match call.bytes("dir") {
             Ok(b) => b.to_vec(),
@@ -314,10 +331,6 @@ pub fn serve_nfs(net: &Arc<SimNet>, host: HostId) -> Arc<Mutex<FileStore>> {
         }
     })
     .expect("remove registers");
-
-    serve_on_net(net, host, Arc::new(Mutex::new(srv)), NFS_PROGRAM, NFS_VERSION)
-        .expect("service registers");
-    store
 }
 
 #[cfg(test)]

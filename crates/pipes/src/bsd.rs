@@ -9,8 +9,8 @@
 use crate::circ::CircBuf;
 use crate::WOULDBLOCK;
 use flexrpc_kernel::regs::{run_ops, RegPath, RegisterFile};
-use flexrpc_kernel::{Kernel, KernelError, TaskId, TrustLevel};
 use flexrpc_kernel::UserAddr;
+use flexrpc_kernel::{Kernel, KernelError, TaskId, TrustLevel};
 use std::sync::Arc;
 
 /// An in-kernel pipe between two tasks.

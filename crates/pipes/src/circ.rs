@@ -157,7 +157,7 @@ mod tests {
         let mut step = 0usize;
         while got.len() < src.len() {
             step += 1;
-            if step % 3 != 0 && fed < src.len() {
+            if !step.is_multiple_of(3) && fed < src.len() {
                 fed += c.write(&src[fed..(fed + 7).min(src.len())]);
             } else {
                 got.extend_from_slice(&c.read_move(5));

@@ -18,7 +18,7 @@ use crate::WOULDBLOCK;
 use flexrpc_core::annot::apply_pdl;
 use flexrpc_core::present::InterfacePresentation;
 use flexrpc_fbufs::{Aggregate, Fbuf, FbufSystem, PathId};
-use flexrpc_kernel::ipc::{MsgOut, ServerOptions, BindOptions};
+use flexrpc_kernel::ipc::{BindOptions, MsgOut, ServerOptions};
 use flexrpc_kernel::regs::MSG_REGS;
 use flexrpc_kernel::{Connection, Kernel, TaskId, UserAddr};
 use std::sync::Arc;
@@ -91,7 +91,15 @@ impl FbufPipeServer {
         mode: FbufMode,
         cap: usize,
     ) -> FbufPipeServer {
-        FbufPipeServer { sys, path, task, mode, cap, circ: CircBuf::new(cap), queue: Aggregate::new() }
+        FbufPipeServer {
+            sys,
+            path,
+            task,
+            mode,
+            cap,
+            circ: CircBuf::new(cap),
+            queue: Aggregate::new(),
+        }
     }
 
     fn buffered(&self) -> usize {

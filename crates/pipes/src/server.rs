@@ -78,8 +78,6 @@ pub fn build_pipe_server(
     mode: ReadPresentation,
     format: WireFormat,
 ) -> (Arc<Mutex<ServerInterface>>, Arc<PipeServerStats>) {
-    use std::sync::atomic::Ordering;
-
     let m = fileio_module();
     let iface = m.interface("FileIO").expect("FileIO exists");
     let pres = server_presentation(mode);
@@ -88,8 +86,26 @@ pub fn build_pipe_server(
 
     let pipe = Arc::new(Mutex::new(CircBuf::new(cap)));
     let stats = Arc::new(PipeServerStats::default());
+    register_pipe_handlers(&mut srv, &pipe, &stats, mode);
+    (Arc::new(Mutex::new(srv)), stats)
+}
 
-    let p = Arc::clone(&pipe);
+/// Registers the pipe work functions on `srv`, backed by a shared ring and
+/// shared counters.
+///
+/// Separated from compilation so a serving engine can build many dispatch
+/// replicas over one shared compilation: every replica's handlers capture
+/// the same `Arc`'d ring, so concurrent dispatches serialize only on the
+/// ring mutex, exactly like concurrent writers on a Unix pipe.
+pub fn register_pipe_handlers(
+    srv: &mut ServerInterface,
+    pipe: &Arc<Mutex<CircBuf>>,
+    stats: &Arc<PipeServerStats>,
+    mode: ReadPresentation,
+) {
+    use std::sync::atomic::Ordering;
+
+    let p = Arc::clone(pipe);
     srv.on("write", move |call| {
         let data = call.bytes("data").expect("data arg");
         let mut pipe = p.lock();
@@ -102,8 +118,8 @@ pub fn build_pipe_server(
     })
     .expect("write registers");
 
-    let p = Arc::clone(&pipe);
-    let st = Arc::clone(&stats);
+    let p = Arc::clone(pipe);
+    let st = Arc::clone(stats);
     srv.on("read", move |call| {
         let count = call.u32("count").expect("count arg") as usize;
         let mut pipe = p.lock();
@@ -157,8 +173,6 @@ pub fn build_pipe_server(
         0
     })
     .expect("read registers");
-
-    (Arc::new(Mutex::new(srv)), stats)
 }
 
 #[cfg(test)]
@@ -243,7 +257,8 @@ mod tests {
 
     #[test]
     fn dealloc_never_skips_intermediate_copy() {
-        let (server, stats) = build_pipe_server(64, ReadPresentation::DeallocNever, WireFormat::Cdr);
+        let (server, stats) =
+            build_pipe_server(64, ReadPresentation::DeallocNever, WireFormat::Cdr);
         let mut client = client_for(server);
         write(&mut client, &[7; 32]);
         let (s, d) = read(&mut client, 32);

@@ -6,12 +6,12 @@
 //! reply presentation. Flow-control refusals must also agree with the
 //! model.
 
-use flexrpc_core::value::Value;
-use flexrpc_pipes::server::ReadPresentation;
-use flexrpc_pipes::{fileio_module, WOULDBLOCK};
 use flexrpc_core::present::InterfacePresentation;
 use flexrpc_core::program::CompiledInterface;
+use flexrpc_core::value::Value;
 use flexrpc_marshal::WireFormat;
+use flexrpc_pipes::server::ReadPresentation;
+use flexrpc_pipes::{fileio_module, WOULDBLOCK};
 use flexrpc_runtime::transport::Loopback;
 use flexrpc_runtime::{ClientStub, RpcError};
 use proptest::prelude::*;
@@ -42,8 +42,7 @@ impl Model {
 }
 
 fn client_for(mode: ReadPresentation, cap: usize) -> ClientStub {
-    let (server, _stats) =
-        flexrpc_pipes::server::build_pipe_server(cap, mode, WireFormat::Cdr);
+    let (server, _stats) = flexrpc_pipes::server::build_pipe_server(cap, mode, WireFormat::Cdr);
     let m = fileio_module();
     let iface = m.interface("FileIO").expect("FileIO");
     let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");

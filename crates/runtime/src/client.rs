@@ -9,11 +9,15 @@ use crate::Result;
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
 use flexrpc_core::value::Value;
 use flexrpc_marshal::WireFormat;
+use std::sync::Arc;
 
 /// A client binding: compiled programs (this endpoint's presentation), its
 /// `[special]` hooks, and a transport to the server.
+///
+/// As with [`crate::ServerInterface`], the compilation sits behind an
+/// [`Arc`] so fleets of stubs with the same presentation share one copy.
 pub struct ClientStub {
-    compiled: CompiledInterface,
+    compiled: Arc<CompiledInterface>,
     format: WireFormat,
     hooks: Vec<HookMap>,
     transport: Box<dyn Transport>,
@@ -30,6 +34,15 @@ impl ClientStub {
     /// Creates a stub over `transport`.
     pub fn new(
         compiled: CompiledInterface,
+        format: WireFormat,
+        transport: Box<dyn Transport>,
+    ) -> ClientStub {
+        ClientStub::new_shared(Arc::new(compiled), format, transport)
+    }
+
+    /// Creates a stub over an already-shared compilation.
+    pub fn new_shared(
+        compiled: Arc<CompiledInterface>,
         format: WireFormat,
         transport: Box<dyn Transport>,
     ) -> ClientStub {
@@ -123,9 +136,7 @@ impl ClientStub {
                 hooks,
                 &mut rights_out.iter().copied(),
             )?;
-            let status = frame[op.status_slot().0]
-                .as_u32()
-                .expect("status slot is always u32");
+            let status = frame[op.status_slot().0].as_u32().expect("status slot is always u32");
             if status != 0 && !op.comm_status {
                 return Err(RpcError::Remote(status));
             }

@@ -143,10 +143,16 @@ mod tests {
     fn registry_roundtrip() {
         let mut map = HookMap::new();
         assert!(map.is_empty());
-        map.set(0, send_hook(|_| 3, |_, d| {
-            d.copy_from_slice(b"abc");
-            3
-        }));
+        map.set(
+            0,
+            send_hook(
+                |_| 3,
+                |_, d| {
+                    d.copy_from_slice(b"abc");
+                    3
+                },
+            ),
+        );
         map.set_result(recv_hook(|_, _| {}));
         assert_eq!(map.len(), 2);
         assert!(map.get(0).is_some());
@@ -156,10 +162,13 @@ mod tests {
 
     #[test]
     fn fn_hook_dispatch() {
-        let hook = send_hook(|slots| slots.len(), |_, d| {
-            d.fill(9);
-            d.len()
-        });
+        let hook = send_hook(
+            |slots| slots.len(),
+            |_, d| {
+                d.fill(9);
+                d.len()
+            },
+        );
         let slots = vec![Value::U32(1), Value::U32(2)];
         assert_eq!(hook.put_len(&slots), 2);
         let mut buf = [0u8; 2];

@@ -74,9 +74,7 @@ pub fn marshal(
                 Some(bytes) if bytes.len() == *n as usize => w.put_bytes_fixed(bytes),
                 // An unset slot (error replies never filled it) marshals as
                 // zeros: failed calls still produce decodable messages.
-                Some(bytes) if bytes.is_empty() => {
-                    w.put_bytes_fixed(&vec![0u8; *n as usize])
-                }
+                Some([]) => w.put_bytes_fixed(&vec![0u8; *n as usize]),
                 Some(_) => {
                     return Err(RpcError::Transport(format!(
                         "fixed opaque field expects exactly {n} bytes"
@@ -322,10 +320,16 @@ mod tests {
     fn special_hooks_on_both_sides() {
         // Sender: hook produces payload from out-of-band state.
         let mut send_hooks = HookMap::new();
-        send_hooks.set(0, send_hook(|_| 4, |_, d| {
-            d.copy_from_slice(b"hook");
-            4
-        }));
+        send_hooks.set(
+            0,
+            send_hook(
+                |_| 4,
+                |_, d| {
+                    d.copy_from_slice(b"hook");
+                    4
+                },
+            ),
+        );
         let mut w = AnyWriter::new(WireFormat::Xdr);
         marshal(
             &prog(vec![MOp::PutBytesSpecial { slot: Slot(0), hook: 0 }]),
@@ -342,9 +346,12 @@ mod tests {
         let captured = Arc::new(Mutex::new(Vec::new()));
         let cap2 = Arc::clone(&captured);
         let mut recv_hooks = HookMap::new();
-        recv_hooks.set(0, recv_hook(move |_, payload| {
-            cap2.lock().unwrap().extend_from_slice(payload);
-        }));
+        recv_hooks.set(
+            0,
+            recv_hook(move |_, payload| {
+                cap2.lock().unwrap().extend_from_slice(payload);
+            }),
+        );
         let mut out = vec![Value::Null];
         let mut r = AnyReader::new(WireFormat::Xdr, &msg).unwrap();
         unmarshal(

@@ -109,11 +109,7 @@ impl SameDomain {
                 if !module.resolve(&p.ty)?.is_payload() {
                     continue;
                 }
-                let slot = cop
-                    .slots
-                    .slot(&p.name)
-                    .expect("payload params own a slot")
-                    .0;
+                let slot = cop.slots.slot(&p.name).expect("payload params own a slot").0;
                 let (cp, sp) = (&cpres.params[i], &spres.params[i]);
                 if p.dir.is_in() {
                     let action = in_param_action(cp, sp);
@@ -129,12 +125,15 @@ impl SameDomain {
             }
             if op.ret != Type::Void && module.resolve(&op.ret)?.is_payload() {
                 let slot = cop.slots.slot("return").expect("result slot").0;
-                outs.push(OutPlan {
-                    slot,
-                    action: out_param_action(&cpres.result, &spres.result),
-                });
+                outs.push(OutPlan { slot, action: out_param_action(&cpres.result, &spres.result) });
             }
-            ops.push(SdOp { name: op.name.clone(), slots: cop.slots.clone(), ins, outs, handler: None });
+            ops.push(SdOp {
+                name: op.name.clone(),
+                slots: cop.slots.clone(),
+                ins,
+                outs,
+                handler: None,
+            });
         }
         Ok(SameDomain { ops, stats: Arc::new(SdStats::default()), saved_scratch: Vec::new() })
     }
@@ -161,11 +160,8 @@ impl SameDomain {
 
     /// A fresh frame for an operation.
     pub fn new_frame(&self, op: &str) -> Result<Vec<Value>> {
-        let o = self
-            .ops
-            .iter()
-            .find(|o| o.name == op)
-            .ok_or_else(|| RpcError::NoSuchOp(op.into()))?;
+        let o =
+            self.ops.iter().find(|o| o.name == op).ok_or_else(|| RpcError::NoSuchOp(op.into()))?;
         Ok(o.slots.new_frame())
     }
 
@@ -182,10 +178,8 @@ impl SameDomain {
 
     /// Invokes by operation index.
     pub fn call_index(&mut self, idx: usize, frame: &mut [Value]) -> Result<u32> {
-        let o = self
-            .ops
-            .get_mut(idx)
-            .ok_or_else(|| RpcError::NoSuchOp(format!("op index {idx}")))?;
+        let o =
+            self.ops.get_mut(idx).ok_or_else(|| RpcError::NoSuchOp(format!("op index {idx}")))?;
 
         // In-plan: copy in the stub where negotiation demanded it, keeping
         // the client's original aside for restoration.
@@ -196,10 +190,10 @@ impl SameDomain {
                 if let Value::Bytes(b) = &frame[plan.slot] {
                     let copy = b.clone(); // The stub's protective copy.
                     SdStats::add_copy(&self.stats, copy.len());
-                    saved.push((plan.slot, std::mem::replace(
-                        &mut frame[plan.slot],
-                        Value::Bytes(copy),
-                    )));
+                    saved.push((
+                        plan.slot,
+                        std::mem::replace(&mut frame[plan.slot], Value::Bytes(copy)),
+                    ));
                 }
             }
         }
@@ -209,13 +203,8 @@ impl SameDomain {
                 .handler
                 .as_mut()
                 .ok_or_else(|| RpcError::NoSuchOp(format!("no handler for `{}`", o.name)))?;
-            let mut call = SdCall {
-                frame,
-                slots: &o.slots,
-                ins: &o.ins,
-                outs: &o.outs,
-                stats: &self.stats,
-            };
+            let mut call =
+                SdCall { frame, slots: &o.slots, ins: &o.ins, outs: &o.outs, stats: &self.stats };
             handler(&mut call)
         };
 
@@ -430,8 +419,7 @@ mod tests {
 
     #[test]
     fn trashable_skips_the_copy_and_trashes() {
-        let (m, c, s) =
-            presentations(vec![("write", "data", vec![Attr::Trashable])], vec![]);
+        let (m, c, s) = presentations(vec![("write", "data", vec![Attr::Trashable])], vec![]);
         let iface = m.interface("FileIO").unwrap();
         let mut sd = SameDomain::bind(&m, iface, &c, &s).unwrap();
         sd.on("write", |call| {
@@ -448,8 +436,7 @@ mod tests {
 
     #[test]
     fn preserved_server_refused_mutation() {
-        let (m, c, s) =
-            presentations(vec![], vec![("write", "data", vec![Attr::Preserved])]);
+        let (m, c, s) = presentations(vec![], vec![("write", "data", vec![Attr::Preserved])]);
         let iface = m.interface("FileIO").unwrap();
         let mut sd = SameDomain::bind(&m, iface, &c, &s).unwrap();
         sd.on("write", |call| {
@@ -466,8 +453,7 @@ mod tests {
 
     #[test]
     fn out_direct_fill_into_caller_buffer() {
-        let (m, c, s) =
-            presentations(vec![("read", "return", vec![Attr::AllocCaller])], vec![]);
+        let (m, c, s) = presentations(vec![("read", "return", vec![Attr::AllocCaller])], vec![]);
         let iface = m.interface("FileIO").unwrap();
         let mut sd = SameDomain::bind(&m, iface, &c, &s).unwrap();
         sd.on("read", |call| {
@@ -489,8 +475,7 @@ mod tests {
 
     #[test]
     fn out_donate_lends_server_storage_zero_copy() {
-        let (m, c, s) =
-            presentations(vec![], vec![("read", "return", vec![Attr::DeallocNever])]);
+        let (m, c, s) = presentations(vec![], vec![("read", "return", vec![Attr::DeallocNever])]);
         let iface = m.interface("FileIO").unwrap();
         let mut sd = SameDomain::bind(&m, iface, &c, &s).unwrap();
         let storage: Arc<[u8]> = Arc::from(&b"server-owned"[..]);

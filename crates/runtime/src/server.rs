@@ -17,6 +17,7 @@ use crate::Result;
 use flexrpc_core::program::{CompiledInterface, CompiledOp, SinkSpec, SlotMap};
 use flexrpc_core::value::Value;
 use flexrpc_marshal::WireFormat;
+use std::sync::Arc;
 
 /// A work function: reads arguments and writes results through
 /// [`ServerCall`], returning the operation's status word (0 = success).
@@ -177,8 +178,12 @@ impl std::fmt::Debug for ServerCall<'_, '_> {
 }
 
 /// A dispatchable server: compiled programs + hooks + work functions.
+///
+/// The compiled programs are held behind an [`Arc`] so many server
+/// instances — e.g. the serving engine's worker-pool replicas — can share
+/// one compilation instead of each paying for its own.
 pub struct ServerInterface {
-    compiled: CompiledInterface,
+    compiled: Arc<CompiledInterface>,
     format: WireFormat,
     handlers: Vec<Option<OpHandler>>,
     hooks: Vec<HookMap>,
@@ -191,6 +196,12 @@ impl ServerInterface {
     /// Creates a server for `compiled` (the *server-side* presentation's
     /// compilation) speaking `format` on the wire.
     pub fn new(compiled: CompiledInterface, format: WireFormat) -> ServerInterface {
+        ServerInterface::new_shared(Arc::new(compiled), format)
+    }
+
+    /// Creates a server over an already-shared compilation (no recompile,
+    /// no clone — the engine's program-cache path).
+    pub fn new_shared(compiled: Arc<CompiledInterface>, format: WireFormat) -> ServerInterface {
         let n = compiled.ops.len();
         ServerInterface {
             compiled,
@@ -204,6 +215,11 @@ impl ServerInterface {
     /// The compiled interface (server presentation).
     pub fn compiled(&self) -> &CompiledInterface {
         &self.compiled
+    }
+
+    /// The shared compilation handle (for building further replicas).
+    pub fn compiled_arc(&self) -> Arc<CompiledInterface> {
+        Arc::clone(&self.compiled)
     }
 
     /// The wire format this server speaks.
@@ -241,17 +257,13 @@ impl ServerInterface {
     /// Finds an operation index by Sun RPC procedure number (falls back to
     /// the declaration index for dialects without numbering).
     pub fn op_by_proc(&self, proc: u32) -> Option<usize> {
-        self.compiled
-            .ops
-            .iter()
-            .position(|o| o.opnum == Some(proc))
-            .or_else(|| {
-                if (proc as usize) < self.compiled.ops.len() {
-                    Some(proc as usize)
-                } else {
-                    None
-                }
-            })
+        self.compiled.ops.iter().position(|o| o.opnum == Some(proc)).or_else(|| {
+            if (proc as usize) < self.compiled.ops.len() {
+                Some(proc as usize)
+            } else {
+                None
+            }
+        })
     }
 
     /// Dispatches one request: unmarshal, invoke, marshal.
@@ -290,12 +302,8 @@ impl ServerInterface {
             let handler = self.handlers[op_index]
                 .as_mut()
                 .ok_or_else(|| RpcError::NoSuchOp(format!("no handler for `{}`", op.name)))?;
-            let mut call = ServerCall {
-                frame: &mut frame,
-                request,
-                sink: &mut sink,
-                slots: &op.slots,
-            };
+            let mut call =
+                ServerCall { frame: &mut frame, request, sink: &mut sink, slots: &op.slots };
             let status = handler(&mut call);
             sink.finish()?;
             status

@@ -108,9 +108,7 @@ impl Transport for KernelIpc {
         rights_out: &mut Vec<u32>,
     ) -> Result<usize> {
         if request.len() > MAX_BODY {
-            return Err(RpcError::Kernel(flexrpc_kernel::KernelError::MsgTooLarge(
-                request.len(),
-            )));
+            return Err(RpcError::Kernel(flexrpc_kernel::KernelError::MsgTooLarge(request.len())));
         }
         let mut regs = [0u64; MSG_REGS];
         regs[0] = op.index as u64;
@@ -242,8 +240,10 @@ impl Transport for SunRpc {
         let xid = self.next_xid;
         self.next_xid = self.next_xid.wrapping_add(1);
         let proc = op.opnum.unwrap_or(op.index as u32);
-        let msg =
-            sunrpc::encode_call(CallHeader { xid, prog: self.prog, vers: self.vers, proc }, request);
+        let msg = sunrpc::encode_call(
+            CallHeader { xid, prog: self.prog, vers: self.vers, proc },
+            request,
+        );
         // The framed reply lands directly in the caller's buffer — no
         // re-copy; the body offset is computed from the decoded frame.
         self.net.call(self.from, self.to, &msg, reply)?;

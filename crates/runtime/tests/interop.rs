@@ -9,16 +9,14 @@
 
 use flexrpc_core::annot::{apply_pdl, PdlFile};
 use flexrpc_core::ir::fileio_example;
+use flexrpc_core::ir::Module;
 use flexrpc_core::present::InterfacePresentation;
 use flexrpc_core::program::CompiledInterface;
 use flexrpc_core::value::Value;
-use flexrpc_core::ir::Module;
 use flexrpc_kernel::{Kernel, NameMode};
 use flexrpc_marshal::WireFormat;
 use flexrpc_net::SimNet;
-use flexrpc_runtime::transport::{
-    connect_kernel, serve_on_kernel, serve_on_net, Loopback, SunRpc,
-};
+use flexrpc_runtime::transport::{connect_kernel, serve_on_kernel, serve_on_net, Loopback, SunRpc};
 use flexrpc_runtime::{ClientStub, ServerInterface};
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -71,7 +69,12 @@ fn make_server(m: &Module, pdl: &str, format: WireFormat) -> Arc<Mutex<ServerInt
     Arc::new(Mutex::new(srv))
 }
 
-fn make_client(m: &Module, pdl: &str, format: WireFormat, server: Arc<Mutex<ServerInterface>>) -> ClientStub {
+fn make_client(
+    m: &Module,
+    pdl: &str,
+    format: WireFormat,
+    server: Arc<Mutex<ServerInterface>>,
+) -> ClientStub {
     let iface = m.interface("FileIO").unwrap();
     let pres = pres_from_pdl(m, pdl);
     let compiled = CompiledInterface::compile(m, iface, &pres).unwrap();
@@ -149,7 +152,11 @@ fn kernel_ipc_end_to_end_with_signature_check() {
     let client_task = k.create_task("client", 4096).unwrap();
     let server_task = k.create_task("server", 4096).unwrap();
 
-    let server = make_server(&m, "sequence<octet> [dealloc(never)] FileIO_read(unsigned long count);", WireFormat::Cdr);
+    let server = make_server(
+        &m,
+        "sequence<octet> [dealloc(never)] FileIO_read(unsigned long count);",
+        WireFormat::Cdr,
+    );
     let sig = server.lock().compiled().signature.hash();
     let port = serve_on_kernel(
         &k,
@@ -162,11 +169,25 @@ fn kernel_ipc_end_to_end_with_signature_check() {
     let send = k.extract_send_right(server_task, port, client_task).unwrap();
 
     // Signature mismatch is refused at bind time.
-    let bad = connect_kernel(&k, client_task, send, sig ^ 1, flexrpc_core::present::Trust::None, NameMode::Unique);
+    let bad = connect_kernel(
+        &k,
+        client_task,
+        send,
+        sig ^ 1,
+        flexrpc_core::present::Trust::None,
+        NameMode::Unique,
+    );
     assert!(bad.is_err(), "wrong contract must not bind");
 
-    let transport =
-        connect_kernel(&k, client_task, send, sig, flexrpc_core::present::Trust::None, NameMode::Unique).unwrap();
+    let transport = connect_kernel(
+        &k,
+        client_task,
+        send,
+        sig,
+        flexrpc_core::present::Trust::None,
+        NameMode::Unique,
+    )
+    .unwrap();
     let iface = m.interface("FileIO").unwrap();
     let pres = pres_from_pdl(&m, "");
     let compiled = CompiledInterface::compile(&m, iface, &pres).unwrap();
@@ -220,13 +241,11 @@ fn remote_status_surfaces_per_comm_status_presentation() {
     let server = Arc::new(Mutex::new(srv));
 
     // CORBA default: exception path.
-    let mut client = ClientStub::new(compiled, WireFormat::Cdr, Box::new(Loopback::new(Arc::clone(&server))));
+    let mut client =
+        ClientStub::new(compiled, WireFormat::Cdr, Box::new(Loopback::new(Arc::clone(&server))));
     let mut frame = client.new_frame("write").unwrap();
     frame[0] = Value::Bytes(vec![1]);
-    assert!(matches!(
-        client.call("write", &mut frame),
-        Err(flexrpc_runtime::RpcError::Remote(5))
-    ));
+    assert!(matches!(client.call("write", &mut frame), Err(flexrpc_runtime::RpcError::Remote(5))));
 
     // With [comm_status], the same failure is an ordinary return value.
     let pres = pres_from_pdl(&m, "[comm_status] void FileIO_write(char *data);");

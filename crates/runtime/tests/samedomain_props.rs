@@ -2,7 +2,9 @@
 //! for the marshalled paths.
 
 use flexrpc_core::annot::{apply_pdl, Attr, OpAnnot, ParamAnnot, PdlFile};
-use flexrpc_core::ir::{fileio_example, Dialect, Interface, Module, Operation, Param, ParamDir, Type};
+use flexrpc_core::ir::{
+    fileio_example, Dialect, Interface, Module, Operation, Param, ParamDir, Type,
+};
 use flexrpc_core::present::InterfacePresentation;
 use flexrpc_core::program::CompiledInterface;
 use flexrpc_core::value::Value;

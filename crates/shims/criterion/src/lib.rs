@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — groups, throughput
+//! annotation, `bench_function`, `Bencher::iter`, the `criterion_group!` /
+//! `criterion_main!` macros and `black_box` — with a simple median-of-samples
+//! timing loop. Statistical machinery (outlier classification, HTML reports)
+//! is intentionally absent; results print as one line per benchmark:
+//!
+//! ```text
+//! fig6_pipe_ipc/4k-default    median   41_532 ns/iter   (12.3 MiB/s)
+//! ```
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier (group-relative).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just a parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// The timing loop driver passed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median over several samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up.
+        black_box(f());
+        // Calibrate an iteration count that makes one sample ≥ ~1ms.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().as_nanos().max(1);
+        let iters = (1_000_000 / one).clamp(1, 10_000) as usize;
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility;
+    /// the shim's sampling is iteration-calibrated instead).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { median_ns: 0.0, samples: self.sample_size.min(15) };
+        let mut f = f;
+        f(&mut bencher);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("   ({:.1} MiB/s)", b as f64 / (bencher.median_ns / 1e9) / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("   ({:.0} elem/s)", e as f64 / (bencher.median_ns / 1e9))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:40} median {:>12.0} ns/iter{}",
+            format!("{}/{}", self.name, id.name),
+            bencher.median_ns,
+            rate
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts CLI args for API compatibility (filters are ignored).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, sample_size: 10, _parent: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let name = id.name.clone();
+        self.benchmark_group(name).bench_function(BenchmarkId::from_parameter(""), f);
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { median_ns: 0.0, samples: 3 };
+        b.iter(|| std::hint::black_box(41 + 1));
+        assert!(b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024)).sample_size(3);
+        g.bench_function(BenchmarkId::from_parameter("noop"), |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

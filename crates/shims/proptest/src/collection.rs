@@ -1,0 +1,70 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::rng::Rng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// Acceptable size arguments for [`vec`]: an exact length or a range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+/// Vectors of `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn length_in_range() {
+        let mut rng = Rng::from_name("vec");
+        let s = vec(any::<u8>(), 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_length() {
+        let mut rng = Rng::from_name("vec-exact");
+        let v = vec(any::<u8>(), 6).generate(&mut rng);
+        assert_eq!(v.len(), 6);
+    }
+}

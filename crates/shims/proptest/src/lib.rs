@@ -1,0 +1,204 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the proptest API the workspace's property tests use:
+//! `proptest!`, `prop_compose!`, `prop_oneof!`, the `prop_assert*` /
+//! `prop_assume!` macros, `any::<T>()`, `Just`, integer-range and
+//! string-pattern strategies, `prop::collection::vec`, `prop::array`,
+//! `prop::sample::Index`, and `prop::num::f64::NORMAL`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * Generation is driven by a deterministic splitmix64 stream seeded from
+//!   the test's module path and name — every run explores the same cases,
+//!   which is what an offline CI wants.
+//! * No shrinking: a failing case reports its inputs (`Debug`) and the case
+//!   number instead of a minimized counterexample.
+
+pub mod array;
+pub mod collection;
+pub mod num;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `prop::` namespace the prelude exposes (mirrors real proptest).
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::sample;
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Declares property tests. Supports the common form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in any::<u32>(), v in prop::collection::vec(any::<u8>(), 0..9)) {
+///         prop_assert!(x as usize + v.len() >= v.len());
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(bindings in strategies) { body }` into a
+/// `#[test]` runner. The `#[test]` attribute written in the source is
+/// captured by the leading meta repetition and re-emitted verbatim.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::rng::Rng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut rejected: u32 = 0;
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                let described = ::std::format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)*),
+                    $(&$arg),*
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => rejected += 1,
+                    Err($crate::test_runner::TestCaseError::Fail(why)) => panic!(
+                        "property `{}` failed at case {}/{}: {}\ninputs:{}",
+                        stringify!($name), case, cfg.cases, why, described
+                    ),
+                }
+            }
+            // A property that rejects everything tests nothing — flag it.
+            assert!(
+                rejected < cfg.cases,
+                "property `{}` rejected all {} cases",
+                stringify!($name),
+                cfg.cases
+            );
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Composes a named strategy function from sub-strategies:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn point()(x in any::<u32>(), y in any::<u32>()) -> (u32, u32) { (x, y) }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident $outer_args:tt
+        ($($field:ident in $strat:expr),* $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |rng: &mut $crate::rng::Rng| {
+                $(let $field = $crate::strategy::Strategy::generate(&$strat, rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property body (fails the case, not the
+/// process, so the runner can report the inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}: {}", l, r, ::std::format!($($fmt)*));
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{:?} == {:?}", l, r);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,40 @@
+//! Numeric strategies (`prop::num::f64::NORMAL`).
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::rng::Rng;
+    use crate::strategy::Strategy;
+
+    /// Only normal floats: finite, non-zero, non-subnormal — safe for
+    /// `PartialEq` round-trip assertions.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// The normal-floats strategy instance.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn always_normal() {
+            let mut rng = Rng::from_name("normal");
+            for _ in 0..500 {
+                assert!(NORMAL.generate(&mut rng).is_normal());
+            }
+        }
+    }
+}

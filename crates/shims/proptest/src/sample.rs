@@ -1,0 +1,39 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::rng::Rng;
+use crate::strategy::Arbitrary;
+
+/// A position drawn independently of any particular collection length;
+/// resolve it against a length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves this index against a collection of `len` elements.
+    /// Panics if `len` is zero (same contract as real proptest).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut Rng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_in_bounds() {
+        let mut rng = Rng::from_name("index");
+        for _ in 0..100 {
+            let i = Index::arbitrary(&mut rng);
+            assert!(i.index(7) < 7);
+            assert_eq!(i.index(1), 0);
+        }
+    }
+}

@@ -23,8 +23,7 @@ fn main() {
         let server_host = net.add_host("hp700-bsd");
         let store = serve_nfs(&net, server_host);
         let fh = store.lock().add_file(test_file(FILE_LEN, 7));
-        let mut h =
-            NfsClientHarness::new(Arc::clone(&net), client_host, server_host, fh, FILE_LEN);
+        let mut h = NfsClientHarness::new(Arc::clone(&net), client_host, server_host, fh, FILE_LEN);
 
         let wire0 = net.wire_ns();
         let t0 = Instant::now();

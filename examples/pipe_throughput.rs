@@ -35,10 +35,8 @@ fn main() {
         h.transfer(TOTAL, IO).expect("transfer");
         let dt = t0.elapsed();
         let d = h.kernel().stats().snapshot().since(&before);
-        let server_copies = h
-            .server_stats()
-            .intermediate_copy_bytes
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let server_copies =
+            h.server_stats().intermediate_copy_bytes.load(std::sync::atomic::Ordering::Relaxed);
         println!(
             "kernel-ipc {:16} {:8.1} MB/s   kernel copies {:3} MB, server re-buffering {:2} MB",
             mode.label(),

@@ -56,10 +56,9 @@ fn main() {
     // 5. A second client, same interface, *alternate* presentation from the
     //    paper's PDL: the message travels as raw bytes with an explicit
     //    length — the stub changes shape, the wire bytes do not.
-    let pdl = flexrpc::idl::pdl::parse(
-        "SysLog_write_msg(,, char *[length_is(length)] msg, int length);",
-    )
-    .expect("PDL parses");
+    let pdl =
+        flexrpc::idl::pdl::parse("SysLog_write_msg(,, char *[length_is(length)] msg, int length);")
+            .expect("PDL parses");
     let annotated = apply_pdl(&module, iface, &default_pres, &pdl).expect("applies");
     let compiled = CompiledInterface::compile(&module, iface, &annotated).expect("compiles");
     assert_eq!(
@@ -67,8 +66,7 @@ fn main() {
         client.compiled().signature.hash(),
         "presentation never changes the contract"
     );
-    let mut client2 =
-        ClientStub::new(compiled, WireFormat::Cdr, Box::new(Loopback::new(server)));
+    let mut client2 = ClientStub::new(compiled, WireFormat::Cdr, Box::new(Loopback::new(server)));
     let mut frame = client2.new_frame("write_msg").expect("frame");
     let raw: &[u8] = b"hello from the length_is presentation (no NUL scan)";
     frame[0] = Value::Bytes(raw.to_vec());
@@ -82,9 +80,6 @@ fn main() {
         &flexrpc::codegen::GenOptions { client: true, server: false },
     )
     .expect("generates");
-    let sig = code
-        .lines()
-        .find(|l| l.contains("pub fn write_msg"))
-        .expect("method emitted");
+    let sig = code.lines().find(|l| l.contains("pub fn write_msg")).expect("method emitted");
     println!("generated under length_is: {}", sig.trim());
 }

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example trust_matrix`
 
+use flexrpc::kernel::NameMode;
 use flexrpc::kernel::TrustLevel;
 use flexrpc_bench::{fig12::Cell, measure_ns, port::PortTransfer};
-use flexrpc::kernel::NameMode;
 
 fn main() {
     println!("null RPC over the streamlined path, by declared trust:\n");
@@ -31,7 +31,9 @@ fn main() {
     }
 
     println!("\nport-right transfer (the unique-name rule is presentation):\n");
-    for (label, mode) in [("unique (Mach default)", NameMode::Unique), ("[nonunique]", NameMode::NonUnique)] {
+    for (label, mode) in
+        [("unique (Mach default)", NameMode::Unique), ("[nonunique]", NameMode::NonUnique)]
+    {
         let t = PortTransfer::new(mode);
         t.transfer_once();
         let probes = t.probes_per_transfer();

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, and every workspace test.
+# Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check ==" >&2
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) ==" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test ==" >&2
+cargo test -q --workspace

@@ -5,6 +5,7 @@
 
 pub use flexrpc_codegen as codegen;
 pub use flexrpc_core as core;
+pub use flexrpc_engine as engine;
 pub use flexrpc_fbufs as fbufs;
 pub use flexrpc_idl as idl;
 pub use flexrpc_kernel as kernel;

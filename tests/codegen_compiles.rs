@@ -52,8 +52,11 @@ fn build() -> (ClientStub, Arc<Mutex<ServerInterface>>) {
 
     let client_compiled =
         CompiledInterface::compile(&module, iface, &base).expect("client compiles");
-    let client =
-        ClientStub::new(client_compiled, WireFormat::Cdr, Box::new(Loopback::new(Arc::clone(&server))));
+    let client = ClientStub::new(
+        client_compiled,
+        WireFormat::Cdr,
+        Box::new(Loopback::new(Arc::clone(&server))),
+    );
     (client, server)
 }
 
@@ -75,13 +78,9 @@ fn generated_file_is_fresh() {
     let base = InterfacePresentation::default_for(&module, iface).expect("defaults");
     let pdl = flexrpc::idl::pdl::parse(flexrpc::pipes::DEALLOC_NEVER_PDL).expect("parses");
     let pres = apply_pdl(&module, iface, &base, &pdl).expect("applies");
-    let code = flexrpc::codegen::generate(
-        &module,
-        iface,
-        &pres,
-        &flexrpc::codegen::GenOptions::both(),
-    )
-    .expect("generates");
+    let code =
+        flexrpc::codegen::generate(&module, iface, &pres, &flexrpc::codegen::GenOptions::both())
+            .expect("generates");
     let committed = include_str!("generated/fileio_dealloc_never.rs");
     assert_eq!(
         code, committed,

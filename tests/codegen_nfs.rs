@@ -216,13 +216,9 @@ fn nfs_generated_file_is_fresh() {
     let module = nfs_module();
     let iface = &module.interfaces[0];
     let pres = InterfacePresentation::default_for(&module, iface).expect("defaults");
-    let code = flexrpc::codegen::generate(
-        &module,
-        iface,
-        &pres,
-        &flexrpc::codegen::GenOptions::both(),
-    )
-    .expect("generates");
+    let code =
+        flexrpc::codegen::generate(&module, iface, &pres, &flexrpc::codegen::GenOptions::both())
+            .expect("generates");
     assert_eq!(
         code,
         include_str!("generated/nfs_default.rs"),

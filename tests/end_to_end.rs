@@ -36,10 +36,9 @@ fn text_to_rpc_full_pipeline() {
     let base = InterfacePresentation::default_for(&module, iface).expect("defaults");
 
     // Server keeps its values in its own storage: Figure-5 style PDL.
-    let server_pdl = flexrpc::idl::pdl::parse(
-        "sequence<octet> [dealloc(never)] KeyValue_get(string key);",
-    )
-    .expect("PDL parses");
+    let server_pdl =
+        flexrpc::idl::pdl::parse("sequence<octet> [dealloc(never)] KeyValue_get(string key);")
+            .expect("PDL parses");
     let server_pres = apply_pdl(&module, iface, &base, &server_pdl).expect("applies");
 
     let server_compiled =
@@ -72,8 +71,9 @@ fn text_to_rpc_full_pipeline() {
     let ct = kernel.create_task("client", 4096).expect("task");
     let st_task = kernel.create_task("server", 4096).expect("task");
     let server = Arc::new(Mutex::new(srv));
-    let port = serve_on_kernel(&kernel, st_task, Arc::clone(&server), Trust::None, NameMode::Unique)
-        .expect("serves");
+    let port =
+        serve_on_kernel(&kernel, st_task, Arc::clone(&server), Trust::None, NameMode::Unique)
+            .expect("serves");
     let send = kernel.extract_send_right(st_task, port, ct).expect("right");
 
     let client_compiled = CompiledInterface::compile(&module, iface, &base).expect("compiles");
@@ -101,10 +101,7 @@ fn text_to_rpc_full_pipeline() {
     // A missing key surfaces through the exception path (CORBA default).
     let mut frame = client.new_frame("get").expect("frame");
     frame[0] = Value::Str("missing".into());
-    assert!(matches!(
-        client.call("get", &mut frame),
-        Err(flexrpc::runtime::RpcError::Remote(2))
-    ));
+    assert!(matches!(client.call("get", &mut frame), Err(flexrpc::runtime::RpcError::Remote(2))));
 }
 
 /// The figure-6 pipeline preserves the byte stream and its copy schedule.
@@ -159,17 +156,15 @@ fn contract_mismatch_refused_across_the_stack() {
     let kernel = Kernel::new();
     let ct = kernel.create_task("client", 4096).expect("task");
     let st = kernel.create_task("server", 4096).expect("task");
-    let server =
-        Arc::new(Mutex::new(ServerInterface::new(compiled.clone(), WireFormat::Cdr)));
+    let server = Arc::new(Mutex::new(ServerInterface::new(compiled.clone(), WireFormat::Cdr)));
     let port = serve_on_kernel(&kernel, st, server, Trust::None, NameMode::Unique).expect("serves");
     let send = kernel.extract_send_right(st, port, ct).expect("right");
 
     // A different interface's signature — e.g. SysLog's.
     let other = flexrpc::core::ir::syslog_example();
     let other_iface = other.interface("SysLog").expect("SysLog");
-    let other_sig = flexrpc::core::sig::WireSignature::of_interface(&other, other_iface)
-        .expect("signs")
-        .hash();
+    let other_sig =
+        flexrpc::core::sig::WireSignature::of_interface(&other, other_iface).expect("signs").hash();
     assert!(connect_kernel(&kernel, ct, send, other_sig, Trust::None, NameMode::Unique).is_err());
     // The right contract binds.
     assert!(connect_kernel(

@@ -1,0 +1,102 @@
+//! Cross-crate: the serving engine through the `flexrpc` facade — one
+//! engine hosting both of the paper's applications (the pipe server and
+//! the NFS server) at once, each behind its own cached program.
+
+use flexrpc::core::present::InterfacePresentation;
+use flexrpc::engine::{expose_on_net, ClientInfo, Engine, EngineConfig};
+use flexrpc::marshal::WireFormat;
+use flexrpc::net::SimNet;
+use flexrpc::nfs::client::{ClientVariant, NfsClientHarness};
+use flexrpc::nfs::server::{nfs_presentation, register_nfs_handlers, test_file, FileStore};
+use flexrpc::nfs::{nfs_module, NFS_PROGRAM, NFS_VERSION};
+use flexrpc::pipes::circ::CircBuf;
+use flexrpc::pipes::fileio_module;
+use flexrpc::pipes::server::{
+    register_pipe_handlers, server_presentation, PipeServerStats, ReadPresentation,
+};
+use flexrpc::runtime::{ClientStub, RpcError};
+use flexrpc_core::value::Value;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn one_engine_hosts_pipes_and_nfs_together() {
+    let engine = Engine::start(EngineConfig { workers: 4, queue_capacity: 32 });
+
+    // Service 1: the pipe server, dealloc(never) presentation.
+    let ring = Arc::new(Mutex::new(CircBuf::new(1 << 16)));
+    let pipe_stats = Arc::new(PipeServerStats::default());
+    let (r, s) = (Arc::clone(&ring), Arc::clone(&pipe_stats));
+    engine
+        .register_service(
+            "pipe",
+            fileio_module(),
+            "FileIO",
+            server_presentation(ReadPresentation::DeallocNever),
+            WireFormat::Cdr,
+            move |srv| register_pipe_handlers(srv, &r, &s, ReadPresentation::DeallocNever),
+        )
+        .expect("pipe registers");
+
+    // Service 2: the NFS server, exposed over Sun RPC on the simulated net.
+    let store = Arc::new(Mutex::new(FileStore::new()));
+    let nfs = nfs_module();
+    let nfs_iface = nfs.interfaces[0].name.clone();
+    let st = Arc::clone(&store);
+    engine
+        .register_service("nfs", nfs, &nfs_iface, nfs_presentation(), WireFormat::Xdr, move |srv| {
+            register_nfs_handlers(srv, &st)
+        })
+        .expect("nfs registers");
+
+    let len = 16 * 1024;
+    let data = test_file(len, 3);
+    let fh = store.lock().add_file(data.clone());
+    let net = SimNet::new();
+    let client_host = net.add_host("client");
+    let server_host = net.add_host("server");
+    expose_on_net(
+        &engine,
+        &net,
+        server_host,
+        "nfs",
+        NFS_PROGRAM,
+        NFS_VERSION,
+        ClientInfo::of(&nfs_presentation()),
+    )
+    .expect("nfs exposes");
+
+    // Drive both applications against the same worker pool.
+    let nfs_thread = std::thread::spawn(move || {
+        let mut h = NfsClientHarness::new(net, client_host, server_host, fh, len);
+        h.read_file(ClientVariant::SpecialGenerated, len, 8192).expect("nfs read");
+        h.user_buffer()
+    });
+
+    let m = fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO exists");
+    let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    let conn = engine.connect("pipe", ClientInfo::of(&pres)).expect("connect");
+    let compiled =
+        flexrpc::core::program::CompiledInterface::compile(&m, iface, &pres).expect("compiles");
+    let mut pipe = ClientStub::new(compiled, WireFormat::Cdr, Box::new(conn));
+    let payload = vec![0xC3u8; 512];
+    let mut wf = pipe.new_frame("write").expect("frame");
+    wf[0] = Value::Bytes(payload.clone());
+    pipe.call("write", &mut wf).expect("write ok");
+    let mut rf = pipe.new_frame("read").expect("frame");
+    rf[0] = Value::U32(512);
+    match pipe.call("read", &mut rf) {
+        Ok(_) => {}
+        Err(RpcError::Remote(s)) => panic!("read blocked with status {s}"),
+        Err(e) => panic!("read failed: {e}"),
+    }
+    assert_eq!(rf[1], Value::Bytes(payload));
+
+    assert_eq!(nfs_thread.join().expect("nfs client ok"), data);
+    let stats = engine.stats();
+    assert!(stats.calls_served >= 4, "both applications were served");
+    assert_eq!(stats.cache.misses, 2, "one program per application combination");
+    assert_eq!(stats.dispatch_errors, 0);
+    engine.shutdown();
+}

@@ -5,8 +5,8 @@
 //! reproduction stays aligned with the paper's surface syntax.
 
 use flexrpc::core::annot::{apply_pdl, Attr};
-use flexrpc::core::present::{AllocSemantics, DeallocPolicy, InterfacePresentation, Trust};
 use flexrpc::core::ir::Type;
+use flexrpc::core::present::{AllocSemantics, DeallocPolicy, InterfacePresentation, Trust};
 
 /// Introduction: the CORBA SysLog fragment and both presentations.
 #[test]
@@ -24,15 +24,11 @@ fn intro_syslog_and_alternate_presentation() {
     let base = InterfacePresentation::default_for(&m, iface).expect("defaults");
     // "the following PDL file will cause the second presentation shown
     // (the 'alternate' presentation) to be used instead":
-    let pdl = flexrpc::idl::pdl::parse(
-        "SysLog_write_msg(,, char *[length_is(length)] msg, int length);",
-    )
-    .expect("parses");
+    let pdl =
+        flexrpc::idl::pdl::parse("SysLog_write_msg(,, char *[length_is(length)] msg, int length);")
+            .expect("parses");
     let pres = apply_pdl(&m, iface, &base, &pdl).expect("applies");
-    assert_eq!(
-        pres.op("write_msg").expect("op").params[0].length_is.as_deref(),
-        Some("length")
-    );
+    assert_eq!(pres.op("write_msg").expect("op").params[0].length_is.as_deref(), Some("length"));
 }
 
 /// Figure 1: the Linux NFS client PDL declaration.
