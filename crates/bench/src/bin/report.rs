@@ -2,11 +2,11 @@
 //!
 //! Usage: `report [figure...] [--json PATH]`
 //! where figure ∈ {fig2, fig6, fig7, fig10, fig11, fig12, port, ablate,
-//! serve}; no
+//! serve, shed}; no
 //! arguments runs everything. `--json` additionally writes the numbers as
 //! JSON (used to refresh EXPERIMENTS.md).
 
-use flexrpc_bench::{ablate, fig10, fig11, fig12, fig2, fig6, fig7, measure_ns, port, serve};
+use flexrpc_bench::{ablate, fig10, fig11, fig12, fig2, fig6, fig7, measure_ns, port, serve, shed};
 use flexrpc_kernel::{NameMode, TrustLevel};
 use flexrpc_nfs::client::ClientVariant;
 use flexrpc_pipes::fbuf::FbufMode;
@@ -62,7 +62,7 @@ fn main() {
     let selected: Vec<&str> = args
         .iter()
         .map(|s| s.as_str())
-        .filter(|s| s.starts_with("fig") || *s == "port" || *s == "ablate" || *s == "serve")
+        .filter(|s| s.starts_with("fig") || ["port", "ablate", "serve", "shed"].contains(s))
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
@@ -93,6 +93,9 @@ fn main() {
     }
     if want("serve") {
         run_serve(&mut report);
+    }
+    if want("shed") {
+        run_shed(&mut report);
     }
 
     if let Some(path) = json_path {
@@ -384,4 +387,34 @@ fn run_serve(report: &mut Report) {
         }
     }
     println!("  (each combination compiles once per engine; hit rate counts reused connections)");
+}
+
+fn run_shed(report: &mut Report) {
+    println!("\n== Admission control: open-loop load vs a high-water mark ==");
+    println!(
+        "  ({} workers, {} µs/call; queue sheds at {} deep)",
+        shed::WORKERS,
+        shed::SERVICE_US,
+        8 * shed::WORKERS
+    );
+    println!(
+        "  {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "load", "offered", "admitted", "shed-rate", "p99(µs)"
+    );
+    for load in shed::LOADS {
+        let r = shed::run(shed::WORKERS, shed::SERVICE_US, load, shed::OFFERED);
+        println!(
+            "  {:>7.1}x {:>9} {:>9} {:>9.1}% {:>10.0}",
+            load,
+            r.offered,
+            r.admitted,
+            r.shed_rate * 100.0,
+            r.p99_us
+        );
+        let cell = format!("{load}x");
+        report.put("shed", &format!("{cell}-shed-rate"), r.shed_rate);
+        report.put("shed", &format!("{cell}-p99-us"), r.p99_us);
+    }
+    println!("  (p99 covers admitted calls only: the mark bounds the backlog, so the");
+    println!("   tail stays queue-bound even past capacity instead of growing without limit)");
 }

@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod port;
 pub mod serve;
+pub mod shed;
 
 /// Measures `f` with a simple best-of-trimmed-mean loop (the `report`
 /// binary's clock; Criterion is used for the statically-defined benches).

@@ -12,7 +12,7 @@
 use flexrpc_core::present::{InterfacePresentation, Trust};
 use flexrpc_core::program::CompiledInterface;
 use flexrpc_core::value::Value;
-use flexrpc_engine::{ClientInfo, Engine, EngineConfig};
+use flexrpc_engine::{ClientInfo, Engine};
 use flexrpc_marshal::WireFormat;
 use flexrpc_pipes::fileio_module;
 use flexrpc_runtime::ClientStub;
@@ -43,7 +43,7 @@ pub struct ServeRun {
 /// Starts an engine with `workers` workers serving an `echo` FileIO
 /// service whose `read` returns `count` fresh bytes.
 pub fn build_engine(workers: usize) -> Arc<Engine> {
-    let engine = Engine::start(EngineConfig { workers, queue_capacity: 4 * workers.max(1) });
+    let engine = Engine::builder().workers(workers).queue_depth(4 * workers.max(1)).build();
     engine
         .register_service(
             "echo",
@@ -77,7 +77,7 @@ fn client_presentation(trust: Trust) -> InterfacePresentation {
 pub fn client(engine: &Arc<Engine>, index: usize) -> ClientStub {
     let trust = if index.is_multiple_of(2) { Trust::None } else { Trust::Leaky };
     let pres = client_presentation(trust);
-    let conn = engine.connect("echo", ClientInfo::of(&pres)).expect("connect");
+    let conn = engine.connect("echo").client(ClientInfo::of(&pres)).establish().expect("connect");
     let m = fileio_module();
     let iface = m.interface("FileIO").expect("FileIO exists");
     let compiled = CompiledInterface::compile(&m, iface, &pres).expect("compiles");

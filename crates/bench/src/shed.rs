@@ -1,0 +1,157 @@
+//! Admission control under overload — shed rate and tail latency as the
+//! offered load sweeps past engine capacity.
+//!
+//! An open-loop generator submits calls at a fixed rate (it does not wait
+//! for replies before sending the next, so queueing cannot throttle the
+//! arrival process — the regime where overload actually hurts). The
+//! engine runs with a high-water mark: submissions that find the queue at
+//! the mark are refused immediately with `Overloaded` instead of waiting.
+//! The experiment reports the shed rate and the p99 latency of *admitted*
+//! calls: with shedding, p99 stays near queue-bound even at 2× capacity;
+//! without it, latency would grow with the backlog.
+
+use flexrpc_core::present::{InterfacePresentation, Trust};
+use flexrpc_core::value::Value;
+use flexrpc_engine::{ClientInfo, Engine, EngineError};
+use flexrpc_marshal::WireFormat;
+use flexrpc_pipes::fileio_module;
+use flexrpc_runtime::wire::AnyWriter;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker-pool size used by the report binary.
+pub const WORKERS: usize = 4;
+/// Per-call service time (the handler holds a worker this long) in µs.
+pub const SERVICE_US: u64 = 200;
+/// Calls offered per load point (report binary).
+pub const OFFERED: usize = 1500;
+/// Offered-load factors swept, as multiples of engine capacity.
+pub const LOADS: [f64; 3] = [0.5, 1.0, 2.0];
+
+/// One load point's results.
+#[derive(Debug, Clone, Copy)]
+pub struct ShedRun {
+    /// Calls the generator offered.
+    pub offered: usize,
+    /// Calls admitted past the high-water mark.
+    pub admitted: usize,
+    /// Calls refused with `Overloaded` at submission.
+    pub shed: u64,
+    /// shed / offered.
+    pub shed_rate: f64,
+    /// 99th-percentile latency of admitted calls, microseconds
+    /// (submission to reply).
+    pub p99_us: f64,
+}
+
+fn presentation() -> InterfacePresentation {
+    let m = fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO exists");
+    let mut pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    pres.trust = Trust::None;
+    pres
+}
+
+/// Starts an engine whose `read` handler sleeps for `service_us` before
+/// replying — a stand-in for per-call work that holds a worker without
+/// monopolizing the CPU (the harness may run on a single core).
+fn build_engine(workers: usize, service_us: u64) -> Arc<Engine> {
+    let engine = Engine::builder()
+        .workers(workers)
+        .queue_depth(16 * workers.max(1))
+        .high_water(8 * workers.max(1))
+        .build();
+    engine
+        .register_service("shed", fileio_module(), "FileIO", presentation(), WireFormat::Cdr, {
+            move |srv| {
+                srv.on("read", move |call| {
+                    std::thread::sleep(Duration::from_micros(service_us));
+                    call.set("return", Value::Bytes(vec![0u8; 16])).expect("set");
+                    0
+                })
+                .expect("read registers");
+            }
+        })
+        .expect("service registers");
+    engine
+}
+
+/// Offers `offered` calls at `load` × capacity (capacity = workers /
+/// service time) and reports what was admitted, what was shed, and the
+/// admitted calls' p99 latency.
+pub fn run(workers: usize, service_us: u64, load: f64, offered: usize) -> ShedRun {
+    let engine = build_engine(workers, service_us);
+    let conn = engine
+        .connect("shed")
+        .client(ClientInfo::of(&presentation()))
+        .establish()
+        .expect("connect");
+    let op_index = conn.program().op("read").expect("read op").index;
+    let mut w = AnyWriter::new(WireFormat::Cdr);
+    w.put_u32(16);
+    let request = w.into_bytes();
+
+    // The reply collector runs alongside the generator so waiting on
+    // tickets never throttles the arrival process. Jobs finish in queue
+    // order, so FIFO waits return at (approximately) completion time.
+    let (tx, rx) = mpsc::channel::<(flexrpc_engine::CallTicket, Instant)>();
+    let collector = std::thread::spawn(move || {
+        let mut latencies_us: Vec<f64> = Vec::new();
+        while let Ok((ticket, t0)) = rx.recv() {
+            ticket.wait().expect("admitted call succeeds");
+            latencies_us.push(t0.elapsed().as_nanos() as f64 / 1e3);
+        }
+        latencies_us
+    });
+
+    // Open-loop pacing: targets are fixed offsets from the start, so a
+    // late wake-up is answered by a burst that restores the offered rate
+    // rather than quietly lowering it.
+    let period = Duration::from_nanos(service_us * 1000 / workers as u64).div_f64(load);
+    let mut shed = 0u64;
+    let start = Instant::now();
+    for i in 0..offered {
+        let target = start + period * i as u32;
+        if let Some(lead) = target.checked_duration_since(Instant::now()) {
+            std::thread::sleep(lead);
+        }
+        match conn.submit(op_index, &request, &[]) {
+            Ok(ticket) => tx.send((ticket, Instant::now())).expect("collector alive"),
+            Err(EngineError::Overloaded) => shed += 1,
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    }
+    drop(tx);
+    let mut latencies_us = collector.join().expect("collector ok");
+
+    let stats = engine.stats();
+    assert_eq!(stats.calls_shed, shed, "engine and generator agree on sheds");
+    engine.shutdown();
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let admitted = latencies_us.len();
+    let p99_us = if admitted == 0 { 0.0 } else { latencies_us[(admitted - 1) * 99 / 100] };
+    ShedRun { offered, admitted, shed, shed_rate: shed as f64 / offered as f64, p99_us }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overload_sheds_and_admitted_calls_complete() {
+        let r = run(2, 500, 3.0, 300);
+        assert_eq!(r.admitted + r.shed as usize, r.offered, "every call is accounted for");
+        assert!(r.shed > 0, "3x capacity must shed: {r:?}");
+        assert!(r.p99_us > 0.0);
+    }
+
+    #[test]
+    fn light_load_is_admitted_nearly_whole() {
+        let r = run(2, 500, 0.3, 300);
+        // Scheduling noise may shed a stray call; wholesale shedding at
+        // a third of capacity would mean admission is miscalibrated.
+        assert!(r.shed_rate < 0.2, "light load mostly admitted: {r:?}");
+    }
+}

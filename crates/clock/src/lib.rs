@@ -1,0 +1,157 @@
+//! Deterministic time and fault injection for the simulated substrates.
+//!
+//! Every blocking point in the stack (kernel IPC receive, simulated-net
+//! reply wait, engine queue dwell, same-domain call tickets) measures
+//! deadlines against a [`SimClock`]: a virtual nanosecond counter that
+//! only moves when the simulation charges it. Tests advance it by hand,
+//! the net substrate advances it per packet, and fault plans advance it
+//! to model a stalled peer — so a "1 ms deadline against a dead server"
+//! test is exact, not a race against the host scheduler.
+//!
+//! [`FaultInjector`] holds an ordered plan of per-call faults
+//! (drop / delay / duplicate the nth call) that the kernel and net
+//! transports consult on every message, letting retry and deadline
+//! policies be tested against induced failures deterministically.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A virtual clock counting simulated nanoseconds since start.
+///
+/// Shared (via `Arc`) by every substrate participating in one simulated
+/// world. It never advances on its own: `advance` is called by the
+/// simulation (wire charges, fault delays, retry backoff) or by tests.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    ns: AtomicU64,
+}
+
+impl SimClock {
+    pub fn new() -> Arc<SimClock> {
+        Arc::new(SimClock { ns: AtomicU64::new(0) })
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+
+    /// Advance the virtual clock by `ns` nanoseconds and return the new time.
+    pub fn advance_ns(&self, ns: u64) -> u64 {
+        self.ns.fetch_add(ns, Ordering::SeqCst) + ns
+    }
+
+    /// Advance by a [`std::time::Duration`] (saturating at u64 ns).
+    pub fn advance(&self, d: std::time::Duration) -> u64 {
+        self.advance_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// True if an absolute deadline (in sim-ns) has passed.
+    pub fn expired(&self, deadline_ns: u64) -> bool {
+        self.now_ns() > deadline_ns
+    }
+}
+
+/// One induced failure, applied to a single call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The message is lost: the transport reports a retryable drop error.
+    Drop,
+    /// The peer stalls: the sim clock advances by this many nanoseconds
+    /// before the call proceeds (deadlines may expire meanwhile).
+    Delay(u64),
+    /// The message is delivered twice (at-least-once delivery): the
+    /// server handler runs twice; the caller sees the second reply.
+    Duplicate,
+}
+
+/// A deterministic per-call fault plan: "on the nth call, do X".
+///
+/// Calls are numbered from 0 in arrival order at the transport that owns
+/// the injector. Each planned fault fires exactly once.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: Mutex<Vec<(u64, Fault)>>,
+    calls: AtomicU64,
+}
+
+impl FaultInjector {
+    pub fn new() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Schedule `fault` for the `nth` call (0-based) seen after now.
+    pub fn on_nth_call(&self, nth: u64, fault: Fault) {
+        self.plan.lock().push((self.calls.load(Ordering::SeqCst) + nth, fault));
+    }
+
+    /// Schedule `fault` for the next call.
+    pub fn on_next_call(&self, fault: Fault) {
+        self.on_nth_call(0, fault);
+    }
+
+    /// Record one call and return the fault planned for it, if any.
+    pub fn next_call(&self) -> Option<Fault> {
+        let n = self.calls.fetch_add(1, Ordering::SeqCst);
+        let mut plan = self.plan.lock();
+        let at = plan.iter().position(|(when, _)| *when == n)?;
+        Some(plan.swap_remove(at).1)
+    }
+
+    /// Number of calls observed so far.
+    pub fn calls_seen(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+}
+
+/// SplitMix64: a tiny, high-quality deterministic bit mixer.
+///
+/// Used for retry jitter — the backoff sequence for a given
+/// `(seed, attempt)` pair is a pure function, so tests can assert exact
+/// schedules and two clients with different seeds still de-correlate.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.advance_ns(5), 5);
+        assert_eq!(c.advance(std::time::Duration::from_micros(1)), 1005);
+        assert!(c.expired(1004));
+        assert!(!c.expired(1005), "deadline at exactly now has not passed");
+    }
+
+    #[test]
+    fn fault_plan_fires_once_on_the_right_call() {
+        let f = FaultInjector::new();
+        f.on_nth_call(1, Fault::Drop);
+        assert_eq!(f.next_call(), None);
+        assert_eq!(f.next_call(), Some(Fault::Drop));
+        assert_eq!(f.next_call(), None);
+        assert_eq!(f.calls_seen(), 3);
+    }
+
+    #[test]
+    fn fault_plan_is_relative_to_calls_already_seen() {
+        let f = FaultInjector::new();
+        f.next_call();
+        f.on_next_call(Fault::Duplicate);
+        assert_eq!(f.next_call(), Some(Fault::Duplicate));
+    }
+
+    #[test]
+    fn splitmix64_is_a_pure_function() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -41,6 +41,9 @@ pub enum Attr {
     AllocStub,
     /// `[comm_status]` — surface RPC status as an ordinary return code.
     CommStatus,
+    /// `[idempotent]` — the operation may safely execute more than once,
+    /// so runtime retry policies may resend it after transient failures.
+    Idempotent,
     /// `[nonunique]` — relax the unique-port-name rule for this reference.
     NonUnique,
     /// `[leaky]` — concede confidentiality to the peer.
@@ -63,6 +66,7 @@ impl Attr {
             Attr::AllocCaller => "alloc(caller)".into(),
             Attr::AllocStub => "alloc(stub)".into(),
             Attr::CommStatus => "comm_status".into(),
+            Attr::Idempotent => "idempotent".into(),
             Attr::NonUnique => "nonunique".into(),
             Attr::Leaky => "leaky".into(),
             Attr::Unprotected => "unprotected".into(),
@@ -181,6 +185,7 @@ impl PdlFile {
             for attr in &op_annot.op_attrs {
                 match attr {
                     Attr::CommStatus => op_pres.comm_status = true,
+                    Attr::Idempotent => op_pres.idempotent = true,
                     other => {
                         return Err(CoreError::BadAnnotation {
                             attr: other.spelling(),
@@ -374,7 +379,7 @@ fn apply_param_attr(
             }
             p.nonunique = true;
         }
-        Attr::CommStatus | Attr::Leaky | Attr::Unprotected => {
+        Attr::CommStatus | Attr::Idempotent | Attr::Leaky | Attr::Unprotected => {
             return bad("not a parameter-level attribute");
         }
     }
@@ -573,6 +578,26 @@ mod tests {
         ]);
         assert!(apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).is_err());
         assert_eq!(pres, snapshot, "failed apply must leave the base untouched");
+    }
+
+    #[test]
+    fn idempotent_is_op_level_and_sets_presentation() {
+        let (m, pres) = base();
+        let pdl = fileio_pdl(vec![OpAnnot {
+            op: "read".into(),
+            op_attrs: vec![Attr::Idempotent],
+            params: vec![],
+        }]);
+        let out = apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).unwrap();
+        assert!(out.op("read").unwrap().idempotent);
+        assert!(!out.op("write").unwrap().idempotent, "only the annotated op");
+        // As a parameter attribute it is rejected.
+        let pdl = fileio_pdl(vec![OpAnnot {
+            op: "write".into(),
+            op_attrs: vec![],
+            params: vec![ParamAnnot { param: "data".into(), attrs: vec![Attr::Idempotent] }],
+        }]);
+        assert!(apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).is_err());
     }
 
     #[test]

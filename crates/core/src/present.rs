@@ -106,6 +106,10 @@ pub struct OpPresentation {
     /// Surface the RPC/communication status as an ordinary return code
     /// (`[comm_status]`) instead of through the exception path.
     pub comm_status: bool,
+    /// The operation may safely execute more than once (`[idempotent]`);
+    /// retry policies refuse to resend operations without it. Like every
+    /// presentation attribute, this never changes the wire signature.
+    pub idempotent: bool,
 }
 
 /// Presentation of an entire interface, for one endpoint.
@@ -190,7 +194,13 @@ fn default_op(module: &Module, op: &Operation) -> Result<OpPresentation> {
     if mig && module.resolve(&op.ret)? == &crate::ir::Type::octet_seq() {
         result.alloc = AllocSemantics::CallerAllocates;
     }
-    Ok(OpPresentation { params, result, comm_status: module.dialect != Dialect::Corba })
+    Ok(OpPresentation {
+        params,
+        result,
+        comm_status: module.dialect != Dialect::Corba,
+        // No dialect promises idempotency by default; a PDL must say so.
+        idempotent: false,
+    })
 }
 
 /// Returns the indices of `op`'s parameters whose wire form is bulk payload

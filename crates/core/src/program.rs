@@ -304,6 +304,9 @@ pub struct CompiledOp {
     pub sink_params: Vec<SinkSpec>,
     /// Whether status surfaces as a return code (`[comm_status]`).
     pub comm_status: bool,
+    /// Whether the operation declared `[idempotent]` — the license a retry
+    /// policy needs before it may resend the call.
+    pub idempotent: bool,
 }
 
 impl CompiledOp {
@@ -565,6 +568,7 @@ fn compile_op(
         reply_unmarshal,
         sink_params,
         comm_status: pres.comm_status,
+        idempotent: pres.idempotent,
     })
 }
 

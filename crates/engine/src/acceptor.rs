@@ -12,8 +12,10 @@
 //! locally and ships them as one stream on [`SunRpcPipeline::flush`].
 
 use crate::engine::{CallTicket, ClientInfo, Engine, EngineError};
+use flexrpc_core::program::CompiledOp;
 use flexrpc_net::sunrpc::{self, AcceptStat, CallHeader};
 use flexrpc_net::{HostId, NetError, SimNet};
+use flexrpc_runtime::RetryPolicy;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -67,6 +69,18 @@ pub fn expose_on_net(
                     Err(flexrpc_runtime::RpcError::Marshal(_)) => out.extend_from_slice(
                         &sunrpc::encode_reply(xid, AcceptStat::GarbageArgs, &[]),
                     ),
+                    // Policy failures get a real reply (SYSTEM_ERR), not a
+                    // dead connection: the client can tell "server refused
+                    // under policy" from "server is broken" and back off.
+                    Err(
+                        flexrpc_runtime::RpcError::DeadlineExceeded
+                        | flexrpc_runtime::RpcError::Overloaded
+                        | flexrpc_runtime::RpcError::Cancelled,
+                    ) => out.extend_from_slice(&sunrpc::encode_reply(
+                        xid,
+                        AcceptStat::SystemErr,
+                        &[],
+                    )),
                     Err(e) => return Err(format!("dispatch failed: {e}")),
                 },
             }
@@ -108,12 +122,19 @@ fn submit_one(
     };
     match engine.submit_to_pool(pool, op_index, args, &[]) {
         Ok(ticket) => Outcome::Pending(ticket),
+        // Shed and shutdown are SYSTEM_ERR (RFC 1057's "server is having
+        // trouble"), distinct from the dispatch-table rejections above.
+        Err(EngineError::Overloaded | EngineError::Closed) => {
+            Outcome::Immediate(AcceptStat::SystemErr)
+        }
         Err(_) => Outcome::Immediate(AcceptStat::ProcUnavail),
     }
 }
 
 /// A pipelining Sun RPC client: queue several calls, flush them as one
-/// record stream, get every reply back matched by XID.
+/// record stream, get every reply back matched by XID. An optional
+/// [`RetryPolicy`] resends a batch lost in transit, with the idempotency
+/// license checked per-operation through [`SunRpcPipeline::submit_op`].
 pub struct SunRpcPipeline {
     net: Arc<SimNet>,
     from: HostId,
@@ -123,6 +144,7 @@ pub struct SunRpcPipeline {
     next_xid: u32,
     batch: Vec<u8>,
     expected: Vec<u32>,
+    retry: Option<RetryPolicy>,
 }
 
 impl SunRpcPipeline {
@@ -137,7 +159,21 @@ impl SunRpcPipeline {
             next_xid: 1,
             batch: Vec::new(),
             expected: Vec::new(),
+            retry: None,
         }
+    }
+
+    /// Attaches a retry policy: a flush whose transmission fails
+    /// transiently (e.g. the batch dropped in transit) is resent after the
+    /// policy's backoff, spent on the net's sim clock.
+    ///
+    /// Retrying resends *every* call in the batch, so calls queued through
+    /// [`SunRpcPipeline::submit_op`] are checked against their op's
+    /// `[idempotent]` declaration; raw [`SunRpcPipeline::submit`] bypasses
+    /// the check and the caller vouches for safety.
+    pub fn retry(mut self, policy: RetryPolicy) -> SunRpcPipeline {
+        self.retry = Some(policy);
+        self
     }
 
     /// Queues one call locally, returning its XID. Nothing is sent until
@@ -149,6 +185,22 @@ impl SunRpcPipeline {
         self.batch.extend_from_slice(&sunrpc::encode_call(hdr, args));
         self.expected.push(xid);
         xid
+    }
+
+    /// Queues a call by compiled operation, enforcing the idempotency
+    /// gate: with a retry policy attached, an op that did not declare
+    /// `[idempotent]` is refused here — before anything is sent — with
+    /// [`ErrorKind::ContractViolation`](flexrpc_runtime::ErrorKind).
+    pub fn submit_op(
+        &mut self,
+        op: &CompiledOp,
+        args: &[u8],
+    ) -> Result<u32, flexrpc_runtime::Error> {
+        if let Some(policy) = &self.retry {
+            policy.check_op(op)?;
+        }
+        let proc = op.opnum.unwrap_or(op.index as u32);
+        Ok(self.submit(proc, args))
     }
 
     /// Calls currently queued.
@@ -165,8 +217,27 @@ impl SunRpcPipeline {
         }
         let batch = std::mem::take(&mut self.batch);
         let expected = std::mem::take(&mut self.expected);
+        let max_attempts = self.retry.as_ref().map_or(1, |p| p.max_attempts());
+        let mut attempt = 1u32;
         let mut reply_stream = Vec::new();
-        self.net.call(self.from, self.to, &batch, &mut reply_stream)?;
+        loop {
+            reply_stream.clear();
+            match self.net.call(self.from, self.to, &batch, &mut reply_stream) {
+                Ok(()) => break,
+                Err(e) => {
+                    let transient = matches!(
+                        e,
+                        NetError::Dropped | NetError::NoService(_) | NetError::ServiceFailure(_)
+                    );
+                    if !transient || attempt >= max_attempts {
+                        return Err(e);
+                    }
+                    let policy = self.retry.as_ref().expect("attempts > 1 implies a policy");
+                    self.net.clock().advance_ns(policy.backoff_ns(attempt));
+                    attempt += 1;
+                }
+            }
+        }
         let records = sunrpc::split_records(&reply_stream)?;
         if records.len() != expected.len() {
             return Err(NetError::ServiceFailure(format!(

@@ -17,12 +17,14 @@
 //! part — a handler table — is replicated for parallelism.
 
 use crate::cache::{ProgramCache, ProgramKey};
-use crate::queue::BoundedQueue;
+use crate::queue::{BoundedQueue, PushRefusal};
 use crate::stats::{EngineCounters, EngineStatsSnapshot};
+use flexrpc_clock::SimClock;
 use flexrpc_core::ir::Module;
 use flexrpc_core::present::{InterfacePresentation, Trust};
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
 use flexrpc_marshal::WireFormat;
+use flexrpc_runtime::policy::{CallControl, CallOptions};
 use flexrpc_runtime::transport::Transport;
 use flexrpc_runtime::{RpcError, ServerInterface};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -30,6 +32,7 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Errors from engine control operations.
 #[derive(Debug)]
@@ -40,6 +43,8 @@ pub enum EngineError {
     DuplicateService(String),
     /// The engine is shutting down.
     Closed,
+    /// The engine shed the call at admission (queue above high water).
+    Overloaded,
     /// Program compilation failed for a combination.
     Compile(flexrpc_core::CoreError),
     /// The underlying network refused an operation.
@@ -52,6 +57,7 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownService(n) => write!(f, "unknown service `{n}`"),
             EngineError::DuplicateService(n) => write!(f, "service `{n}` already registered"),
             EngineError::Closed => write!(f, "engine is shut down"),
+            EngineError::Overloaded => write!(f, "engine overloaded: call shed at admission"),
             EngineError::Compile(e) => write!(f, "program compilation failed: {e}"),
             EngineError::Net(e) => write!(f, "network error: {e}"),
         }
@@ -66,18 +72,23 @@ impl From<flexrpc_net::NetError> for EngineError {
     }
 }
 
-/// Engine sizing knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct EngineConfig {
-    /// Worker threads draining the job queue.
-    pub workers: usize,
-    /// Job-queue capacity; pushes beyond it block (backpressure).
-    pub queue_capacity: usize,
-}
-
-impl Default for EngineConfig {
-    fn default() -> EngineConfig {
-        EngineConfig { workers: 4, queue_capacity: 64 }
+/// Engine failures fold into the unified taxonomy: shed at admission is
+/// [`Overloaded`](flexrpc_runtime::ErrorKind::Overloaded), shutdown is
+/// [`Cancelled`](flexrpc_runtime::ErrorKind::Cancelled), network trouble
+/// keeps its layer's classification, and registration/compile problems are
+/// fatal (no retry fixes a missing service).
+impl From<EngineError> for flexrpc_runtime::Error {
+    fn from(e: EngineError) -> flexrpc_runtime::Error {
+        use flexrpc_runtime::ErrorKind;
+        let kind = match &e {
+            EngineError::Overloaded => ErrorKind::Overloaded,
+            EngineError::Closed => ErrorKind::Cancelled,
+            EngineError::Net(n) => RpcError::Net(n.clone()).kind(),
+            EngineError::UnknownService(_)
+            | EngineError::DuplicateService(_)
+            | EngineError::Compile(_) => ErrorKind::Fatal,
+        };
+        flexrpc_runtime::Error::new(kind, e.to_string())
     }
 }
 
@@ -133,20 +144,51 @@ impl ReplySlot {
             self.ready.wait(&mut state);
         }
     }
+
+    /// Blocks until the reply is ready or the sim clock passes
+    /// `deadline_ns`. Sim time advances on other threads (faults, stalled
+    /// handlers being charged for), so the wait polls in short real-time
+    /// slices and re-checks the virtual clock on each wake.
+    fn wait_until(
+        &self,
+        clock: &SimClock,
+        deadline_ns: Option<u64>,
+    ) -> flexrpc_runtime::Result<Reply> {
+        let Some(deadline) = deadline_ns else { return self.wait() };
+        let mut state = self.state.lock();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            if clock.expired(deadline) {
+                return Err(RpcError::DeadlineExceeded);
+            }
+            let _ = self.ready.wait_for(&mut state, std::time::Duration::from_millis(1));
+        }
+    }
 }
 
 /// An in-flight call handle ([`EngineConnection::submit`]); redeem with
-/// [`CallTicket::wait`]. Dropping it abandons the reply (the worker still
-/// runs the call).
+/// [`CallTicket::wait`] or [`CallTicket::wait_until`]. Dropping it abandons
+/// the reply (the worker still runs the call).
 #[must_use = "a submitted call completes, but its reply is lost unless waited on"]
 pub struct CallTicket {
     slot: Arc<ReplySlot>,
+    clock: Arc<SimClock>,
 }
 
 impl CallTicket {
     /// Blocks until the reply is ready.
     pub fn wait(self) -> flexrpc_runtime::Result<Reply> {
         self.slot.wait()
+    }
+
+    /// Blocks until the reply is ready or the engine's sim clock passes
+    /// `deadline_ns` — the ticket-wait blocking point of deadline
+    /// enforcement: even a call stuck *executing* in a stalled handler
+    /// returns [`RpcError::DeadlineExceeded`] once the clock passes.
+    pub fn wait_until(self, deadline_ns: Option<u64>) -> flexrpc_runtime::Result<Reply> {
+        self.slot.wait_until(&self.clock, deadline_ns)
     }
 }
 
@@ -157,6 +199,9 @@ struct Job {
     request: Vec<u8>,
     rights: Vec<u32>,
     slot: Arc<ReplySlot>,
+    /// Absolute sim-clock deadline: the tighter of the caller's deadline
+    /// and the engine's queue-dwell limit, fixed at admission.
+    deadline_ns: Option<u64>,
 }
 
 /// Interchangeable `ServerInterface` instances for one program combination.
@@ -212,37 +257,100 @@ struct Service {
     pools: RwLock<HashMap<ProgramKey, Arc<ReplicaPool>>>,
 }
 
-/// The concurrent serving engine. Create with [`Engine::start`]; it owns
-/// its worker threads until [`Engine::shutdown`] (or drop).
-pub struct Engine {
-    cfg: EngineConfig,
-    queue: Arc<BoundedQueue<Job>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
-    cache: ProgramCache,
-    services: RwLock<HashMap<String, Arc<Service>>>,
-    counters: EngineCounters,
+/// Configures and starts an [`Engine`]: sizing knobs plus the robustness
+/// policy knobs (admission high-water mark, queue-dwell limit, shared sim
+/// clock). Obtain via [`Engine::builder`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    workers: usize,
+    queue_depth: usize,
+    high_water: Option<usize>,
+    dwell_limit_ns: Option<u64>,
+    clock: Option<Arc<SimClock>>,
 }
 
-impl Engine {
-    /// Starts an engine: spawns the worker pool, returns the shared handle.
-    pub fn start(cfg: EngineConfig) -> Arc<Engine> {
+impl Default for EngineBuilder {
+    fn default() -> EngineBuilder {
+        EngineBuilder {
+            workers: 4,
+            queue_depth: 64,
+            high_water: None,
+            dwell_limit_ns: None,
+            clock: None,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Worker threads draining the job queue (default 4, min 1).
+    pub fn workers(mut self, n: usize) -> EngineBuilder {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Job-queue capacity (default 64, min 1); pushes beyond it block
+    /// (backpressure) unless a high-water mark sheds first.
+    pub fn queue_depth(mut self, n: usize) -> EngineBuilder {
+        self.queue_depth = n.max(1);
+        self
+    }
+
+    /// Admission high-water mark: once this many jobs are queued, new
+    /// submissions fail fast with [`EngineError::Overloaded`] instead of
+    /// blocking. Unset by default (pure backpressure, never shed).
+    pub fn high_water(mut self, n: usize) -> EngineBuilder {
+        self.high_water = Some(n.max(1));
+        self
+    }
+
+    /// Queue-dwell limit: a job that waits longer than this for a worker
+    /// fails with `DeadlineExceeded` even if its caller set no deadline —
+    /// stale work is not worth starting. Unset by default.
+    pub fn dwell_limit(mut self, d: Duration) -> EngineBuilder {
+        self.dwell_limit_ns = Some(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        self
+    }
+
+    /// Shares a sim clock with the engine (deadlines and dwell limits are
+    /// measured on it). A fresh clock is created if none is supplied.
+    pub fn clock(mut self, clock: Arc<SimClock>) -> EngineBuilder {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Starts the engine: spawns the worker pool, returns the shared handle.
+    pub fn build(self) -> Arc<Engine> {
         let engine = Arc::new(Engine {
-            cfg,
-            queue: Arc::new(BoundedQueue::new(cfg.queue_capacity)),
+            workers_n: self.workers,
+            high_water: self.high_water,
+            dwell_limit_ns: self.dwell_limit_ns,
+            clock: self.clock.unwrap_or_default(),
+            queue: Arc::new(BoundedQueue::new(self.queue_depth)),
             workers: Mutex::new(Vec::new()),
             cache: ProgramCache::new(),
             services: RwLock::new(HashMap::new()),
             counters: EngineCounters::default(),
         });
         let mut workers = engine.workers.lock();
-        for i in 0..cfg.workers.max(1) {
+        for i in 0..engine.workers_n {
             let queue = Arc::clone(&engine.queue);
+            let clock = Arc::clone(&engine.clock);
             let eng = Arc::downgrade(&engine);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("flexrpc-worker-{i}"))
                     .spawn(move || {
                         while let Some(job) = queue.pop() {
+                            // Dwell check: work whose deadline passed while
+                            // queued is failed, not started — the client
+                            // has already given up on it.
+                            if job.deadline_ns.is_some_and(|d| clock.expired(d)) {
+                                if let Some(engine) = eng.upgrade() {
+                                    engine.counters.job_expired();
+                                }
+                                job.slot.fill(Err(RpcError::DeadlineExceeded));
+                                continue;
+                            }
                             let mut replica = job.pool.acquire();
                             let mut body = Vec::new();
                             let mut rights_out = Vec::new();
@@ -271,6 +379,33 @@ impl Engine {
         }
         drop(workers);
         engine
+    }
+}
+
+/// The concurrent serving engine. Create with [`Engine::builder`]; it owns
+/// its worker threads until [`Engine::shutdown`] (or drop).
+pub struct Engine {
+    workers_n: usize,
+    high_water: Option<usize>,
+    dwell_limit_ns: Option<u64>,
+    clock: Arc<SimClock>,
+    queue: Arc<BoundedQueue<Job>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    cache: ProgramCache,
+    services: RwLock<HashMap<String, Arc<Service>>>,
+    counters: EngineCounters,
+}
+
+impl Engine {
+    /// A builder with default sizing (4 workers, queue depth 64, no
+    /// shedding, no dwell limit, fresh clock).
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The sim clock deadlines and dwell limits are measured on.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
     }
 
     /// Registers a service. `presentation` is the server's half of every
@@ -358,7 +493,7 @@ impl Engine {
                 CompiledInterface::compile(&service.module, iface, &service.presentation)
             })
             .map_err(EngineError::Compile)?;
-        let replicas: Vec<ServerInterface> = (0..self.cfg.workers.max(1))
+        let replicas: Vec<ServerInterface> = (0..self.workers_n)
             .map(|_| {
                 let mut replica =
                     ServerInterface::new_shared(Arc::clone(&compiled), service.format);
@@ -375,39 +510,71 @@ impl Engine {
         Ok(pool)
     }
 
-    /// Opens a same-domain connection to a service. The returned connection
-    /// implements [`Transport`], so a
-    /// [`ClientStub`](flexrpc_runtime::ClientStub) plugs straight in.
-    pub fn connect(
-        self: &Arc<Self>,
-        service_name: &str,
-        client: ClientInfo,
-    ) -> Result<EngineConnection, EngineError> {
-        let pool = self.pool_for(service_name, client)?;
-        self.counters.connections.fetch_add(1, Ordering::Relaxed);
-        Ok(EngineConnection { engine: Arc::clone(self), pool })
+    /// Begins opening a same-domain connection to a service; finish with
+    /// [`ConnectBuilder::establish`]. The resulting connection implements
+    /// [`Transport`], so a [`ClientStub`](flexrpc_runtime::ClientStub)
+    /// plugs straight in.
+    pub fn connect(self: &Arc<Self>, service_name: &str) -> ConnectBuilder {
+        ConnectBuilder {
+            engine: Arc::clone(self),
+            service: service_name.to_owned(),
+            client: None,
+            options: CallOptions::default(),
+        }
     }
 
-    /// Enqueues one dispatch; blocks while the queue is full.
+    /// Enqueues one dispatch. With a high-water mark the push is
+    /// non-blocking and sheds with [`EngineError::Overloaded`]; otherwise
+    /// it blocks while the queue is full (backpressure). The job's
+    /// effective deadline is the tighter of the caller's and the engine's
+    /// dwell limit, both measured from now on the engine clock.
     fn enqueue(
         &self,
         pool: &Arc<ReplicaPool>,
         op_index: usize,
         request: Vec<u8>,
         rights: Vec<u32>,
+        deadline_ns: Option<u64>,
     ) -> Result<CallTicket, EngineError> {
+        let now = self.clock.now_ns();
+        let dwell_deadline = self.dwell_limit_ns.map(|d| now.saturating_add(d));
+        let deadline_ns = match (deadline_ns, dwell_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let slot = ReplySlot::new();
+        let ticket = CallTicket { slot: Arc::clone(&slot), clock: Arc::clone(&self.clock) };
+        // A deadline already in the past never enters the queue; the
+        // ticket comes back pre-failed so the caller's wait is uniform.
+        if deadline_ns.is_some_and(|d| self.clock.expired(d)) {
+            self.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            slot.fill(Err(RpcError::DeadlineExceeded));
+            return Ok(ticket);
+        }
         self.counters.job_enqueued();
-        let job =
-            Job { pool: Arc::clone(pool), op_index, request, rights, slot: Arc::clone(&slot) };
-        if self.queue.push(job).is_err() {
+        let job = Job { pool: Arc::clone(pool), op_index, request, rights, slot, deadline_ns };
+        if let Some(high_water) = self.high_water {
+            match self.queue.try_push(job, high_water) {
+                Ok(()) => {}
+                Err(PushRefusal::Full(_)) => {
+                    self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    self.counters.job_shed();
+                    return Err(EngineError::Overloaded);
+                }
+                Err(PushRefusal::Closed(_)) => {
+                    self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    return Err(EngineError::Closed);
+                }
+            }
+        } else if self.queue.push(job).is_err() {
             self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
             return Err(EngineError::Closed);
         }
-        Ok(CallTicket { slot })
+        Ok(ticket)
     }
 
-    /// Submits into a specific pool (the acceptor's path).
+    /// Submits into a specific pool (the acceptor's path). The engine's
+    /// dwell limit still applies even without a caller deadline.
     pub(crate) fn submit_to_pool(
         &self,
         pool: &Arc<ReplicaPool>,
@@ -415,7 +582,7 @@ impl Engine {
         request: &[u8],
         rights: &[u32],
     ) -> Result<CallTicket, EngineError> {
-        self.enqueue(pool, op_index, request.to_vec(), rights.to_vec())
+        self.enqueue(pool, op_index, request.to_vec(), rights.to_vec(), None)
     }
 
     /// Live counters (crate-internal; external readers use [`Engine::stats`]).
@@ -439,19 +606,68 @@ impl Engine {
             queue_depth: self.queue.len(),
             connections: self.counters.connections.load(Ordering::Relaxed),
             dispatch_errors: self.counters.dispatch_errors.load(Ordering::Relaxed),
-            workers: self.cfg.workers.max(1),
+            calls_shed: self.counters.calls_shed.load(Ordering::Relaxed),
+            calls_cancelled: self.counters.calls_cancelled.load(Ordering::Relaxed),
+            deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
+            workers: self.workers_n,
             cache: self.cache.stats(),
         }
     }
 
-    /// Graceful shutdown: refuse new work, drain the queue, join workers.
-    /// Idempotent; also runs on drop.
+    /// Graceful drain: refuse new work, fail every queued-but-unstarted
+    /// call with [`RpcError::Cancelled`] (its submitter learns immediately
+    /// rather than waiting on work that will never run), let executing
+    /// calls finish, join workers. Idempotent; also runs on drop.
     pub fn shutdown(&self) {
-        self.queue.close();
+        for job in self.queue.close() {
+            self.counters.job_cancelled();
+            job.slot.fill(Err(RpcError::Cancelled));
+        }
         let mut workers = self.workers.lock();
         for w in workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+/// In-progress [`Engine::connect`]: optionally override the client half of
+/// the combination and attach per-connection [`CallOptions`], then
+/// [`establish`](ConnectBuilder::establish).
+#[derive(Debug)]
+pub struct ConnectBuilder {
+    engine: Arc<Engine>,
+    service: String,
+    client: Option<ClientInfo>,
+    options: CallOptions,
+}
+
+impl ConnectBuilder {
+    /// The client's half of the program combination. Defaults to the
+    /// service's own presentation (a same-presentation binding).
+    pub fn client(mut self, client: ClientInfo) -> ConnectBuilder {
+        self.client = Some(client);
+        self
+    }
+
+    /// Per-connection call options: the deadline applies to every call
+    /// made through the connection (a call-level deadline overrides it);
+    /// the retry policy is consumed by [`ClientStub::call_with`]
+    /// (flexrpc_runtime::ClientStub) above the transport.
+    pub fn options(mut self, options: CallOptions) -> ConnectBuilder {
+        self.options = options;
+        self
+    }
+
+    /// Resolves the combination (compiling its program on first use) and
+    /// opens the connection.
+    pub fn establish(self) -> Result<EngineConnection, EngineError> {
+        let client = match self.client {
+            Some(c) => c,
+            None => ClientInfo::of(&self.engine.service(&self.service)?.presentation),
+        };
+        let pool = self.engine.pool_for(&self.service, client)?;
+        self.engine.counters.connections.fetch_add(1, Ordering::Relaxed);
+        Ok(EngineConnection { engine: self.engine, pool, options: self.options })
     }
 }
 
@@ -464,7 +680,7 @@ impl Drop for Engine {
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("workers", &self.cfg.workers)
+            .field("workers", &self.workers_n)
             .field("services", &self.services.read().len())
             .field("cache", &self.cache)
             .finish()
@@ -473,22 +689,48 @@ impl std::fmt::Debug for Engine {
 
 /// A same-domain client connection: submits jobs to the engine's queue and
 /// blocks on completion. Supports multiple outstanding calls (pipelining)
-/// through [`EngineConnection::submit`] / [`CallTicket::wait`].
+/// through [`EngineConnection::submit`] / [`CallTicket::wait`]. The
+/// connection's [`CallOptions`] deadline applies to every call on it.
 pub struct EngineConnection {
     engine: Arc<Engine>,
     pool: Arc<ReplicaPool>,
+    options: CallOptions,
 }
 
 impl EngineConnection {
     /// Starts a call without waiting for it — the same-domain analogue of
-    /// multiple outstanding XIDs. Submit several, then wait on the tickets.
+    /// multiple outstanding XIDs. Submit several, then wait on the
+    /// tickets. The connection's deadline (if any) is attached to the job.
     pub fn submit(
         &self,
         op_index: usize,
         request: &[u8],
         rights: &[u32],
     ) -> Result<CallTicket, EngineError> {
-        self.engine.enqueue(&self.pool, op_index, request.to_vec(), rights.to_vec())
+        self.submit_with(op_index, request, rights, self.connection_deadline())
+    }
+
+    /// [`EngineConnection::submit`] with an explicit absolute deadline on
+    /// the engine clock (overriding the connection's).
+    pub fn submit_with(
+        &self,
+        op_index: usize,
+        request: &[u8],
+        rights: &[u32],
+        deadline_ns: Option<u64>,
+    ) -> Result<CallTicket, EngineError> {
+        self.engine.enqueue(&self.pool, op_index, request.to_vec(), rights.to_vec(), deadline_ns)
+    }
+
+    /// The connection's default deadline resolved against the engine
+    /// clock, fresh for each call.
+    fn connection_deadline(&self) -> Option<u64> {
+        self.options.deadline_ns().map(|d| self.engine.clock.now_ns().saturating_add(d))
+    }
+
+    /// The per-connection call options.
+    pub fn options(&self) -> &CallOptions {
+        &self.options
     }
 
     /// The program this connection's combination compiled to (shared with
@@ -512,15 +754,38 @@ impl Transport for EngineConnection {
         reply: &mut Vec<u8>,
         rights_out: &mut Vec<u32>,
     ) -> flexrpc_runtime::Result<usize> {
-        let ticket = self
-            .submit(op.index, request, rights)
-            .map_err(|e| RpcError::Transport(e.to_string()))?;
-        let r = ticket.wait()?;
+        self.call_with(op, request, rights, reply, rights_out, &CallControl::none())
+    }
+
+    fn call_with(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+        ctl: &CallControl,
+    ) -> flexrpc_runtime::Result<usize> {
+        // The call-level deadline (already absolute) wins over the
+        // connection-level one; either bounds the queue dwell, the
+        // execution, and the ticket wait.
+        let deadline_ns = ctl.deadline_ns.or_else(|| self.connection_deadline());
+        let ticket =
+            self.submit_with(op.index, request, rights, deadline_ns).map_err(|e| match e {
+                EngineError::Overloaded => RpcError::Overloaded,
+                EngineError::Closed => RpcError::Cancelled,
+                other => RpcError::Transport(other.to_string()),
+            })?;
+        let r = ticket.wait_until(deadline_ns)?;
         reply.clear();
         reply.extend_from_slice(&r.body);
         rights_out.clear();
         rights_out.extend_from_slice(&r.rights);
         Ok(0)
+    }
+
+    fn clock(&self) -> Option<Arc<SimClock>> {
+        Some(Arc::clone(&self.engine.clock))
     }
 }
 

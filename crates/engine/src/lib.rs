@@ -35,7 +35,8 @@ pub mod stats;
 pub use acceptor::{expose_on_net, SunRpcPipeline};
 pub use cache::{CacheStats, ProgramCache, ProgramKey};
 pub use engine::{
-    CallTicket, ClientInfo, Engine, EngineConfig, EngineConnection, EngineError, Reply,
+    CallTicket, ClientInfo, ConnectBuilder, Engine, EngineBuilder, EngineConnection, EngineError,
+    Reply,
 };
 pub use stats::EngineStatsSnapshot;
 
@@ -93,9 +94,9 @@ mod tests {
 
     #[test]
     fn single_client_roundtrip() {
-        let engine = Engine::start(EngineConfig { workers: 2, queue_capacity: 8 });
+        let engine = Engine::builder().workers(2).queue_depth(8).build();
         register_echo(&engine, "echo");
-        let conn = engine.connect("echo", client_info(Trust::None)).unwrap();
+        let conn = engine.connect("echo").client(client_info(Trust::None)).establish().unwrap();
         let mut client = stub_for(conn);
         let mut frame = client.new_frame("read").unwrap();
         frame[0] = Value::U32(6);
@@ -109,10 +110,10 @@ mod tests {
 
     #[test]
     fn same_combination_compiles_once() {
-        let engine = Engine::start(EngineConfig::default());
+        let engine = Engine::builder().build();
         register_echo(&engine, "echo");
         for _ in 0..5 {
-            engine.connect("echo", client_info(Trust::None)).unwrap();
+            engine.connect("echo").client(client_info(Trust::None)).establish().unwrap();
         }
         let cache = engine.cache().stats();
         assert_eq!(cache.misses, 1, "one combination, one compile");
@@ -122,18 +123,18 @@ mod tests {
 
     #[test]
     fn distinct_trust_is_a_distinct_combination() {
-        let engine = Engine::start(EngineConfig::default());
+        let engine = Engine::builder().build();
         register_echo(&engine, "echo");
-        engine.connect("echo", client_info(Trust::None)).unwrap();
-        engine.connect("echo", client_info(Trust::LeakyUnprotected)).unwrap();
+        engine.connect("echo").client(client_info(Trust::None)).establish().unwrap();
+        engine.connect("echo").client(client_info(Trust::LeakyUnprotected)).establish().unwrap();
         assert_eq!(engine.cache().stats().misses, 2);
     }
 
     #[test]
     fn pipelined_submits_complete() {
-        let engine = Engine::start(EngineConfig { workers: 4, queue_capacity: 32 });
+        let engine = Engine::builder().workers(4).queue_depth(32).build();
         register_echo(&engine, "echo");
-        let conn = engine.connect("echo", client_info(Trust::None)).unwrap();
+        let conn = engine.connect("echo").client(client_info(Trust::None)).establish().unwrap();
         // Marshal a read(count=4) request by hand (CDR: payloads first —
         // read has none in its request — then scalars).
         let compiled = conn.program();
@@ -152,16 +153,16 @@ mod tests {
 
     #[test]
     fn unknown_service_rejected() {
-        let engine = Engine::start(EngineConfig::default());
+        let engine = Engine::builder().build();
         assert!(matches!(
-            engine.connect("ghost", client_info(Trust::None)),
+            engine.connect("ghost").client(client_info(Trust::None)).establish(),
             Err(EngineError::UnknownService(_))
         ));
     }
 
     #[test]
     fn duplicate_service_rejected() {
-        let engine = Engine::start(EngineConfig::default());
+        let engine = Engine::builder().build();
         register_echo(&engine, "echo");
         let err = engine.register_service(
             "echo",
@@ -176,9 +177,9 @@ mod tests {
 
     #[test]
     fn shutdown_refuses_new_work_but_drains() {
-        let engine = Engine::start(EngineConfig { workers: 1, queue_capacity: 8 });
+        let engine = Engine::builder().workers(1).queue_depth(8).build();
         register_echo(&engine, "echo");
-        let conn = engine.connect("echo", client_info(Trust::None)).unwrap();
+        let conn = engine.connect("echo").client(client_info(Trust::None)).establish().unwrap();
         engine.shutdown();
         let err = conn.submit(0, &[], &[]);
         assert!(matches!(err, Err(EngineError::Closed)));
@@ -186,11 +187,12 @@ mod tests {
 
     #[test]
     fn many_threads_one_engine() {
-        let engine = Engine::start(EngineConfig { workers: 4, queue_capacity: 16 });
+        let engine = Engine::builder().workers(4).queue_depth(16).build();
         register_echo(&engine, "echo");
         let handles: Vec<_> = (0..8)
             .map(|i| {
-                let conn = engine.connect("echo", client_info(Trust::None)).unwrap();
+                let conn =
+                    engine.connect("echo").client(client_info(Trust::None)).establish().unwrap();
                 std::thread::spawn(move || {
                     let mut client = stub_for(conn);
                     for round in 0..25u32 {

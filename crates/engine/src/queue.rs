@@ -14,6 +14,15 @@ struct State<T> {
     closed: bool,
 }
 
+/// Why [`BoundedQueue::try_push`] refused an item (the item rides back).
+#[derive(Debug)]
+pub enum PushRefusal<T> {
+    /// The queue is at or above the admission limit.
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
 /// A bounded blocking queue shared between acceptors (producers) and the
 /// worker pool (consumers).
 pub struct BoundedQueue<T> {
@@ -55,6 +64,23 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Enqueues `item` only if fewer than `limit` items are queued —
+    /// admission control's fast path: instead of blocking a producer, the
+    /// engine sheds load the moment its backlog crosses the high-water
+    /// mark. Never blocks.
+    pub fn try_push(&self, item: T, limit: usize) -> Result<(), PushRefusal<T>> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(PushRefusal::Closed(item));
+        }
+        if state.items.len() >= limit.min(self.capacity) {
+            return Err(PushRefusal::Full(item));
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Dequeues the oldest item, blocking while empty. Returns `None` once
     /// the queue is closed *and* drained — workers finish outstanding jobs
     /// before exiting (graceful shutdown).
@@ -72,13 +98,20 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Closes the queue: future pushes fail, consumers drain what remains.
-    pub fn close(&self) {
+    /// Closes the queue and returns every item that had not yet been
+    /// started: future pushes fail, blocked consumers wake to `None`, and
+    /// the caller decides the fate of the unstarted backlog (the engine
+    /// fails each one with `Cancelled` rather than silently running work
+    /// whose submitter is going away).
+    #[must_use = "unstarted items must be failed, not silently dropped"]
+    pub fn close(&self) -> Vec<T> {
         let mut state = self.state.lock();
         state.closed = true;
+        let unstarted: Vec<T> = state.items.drain(..).collect();
         drop(state);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+        unstarted
     }
 
     /// Items currently queued (a racy snapshot, for stats).
@@ -129,15 +162,27 @@ mod tests {
     }
 
     #[test]
-    fn close_drains_then_ends() {
+    fn close_returns_unstarted_items() {
         let q = BoundedQueue::new(8);
         q.push(1).unwrap();
         q.push(2).unwrap();
-        q.close();
+        assert_eq!(q.close(), vec![1, 2], "unstarted backlog comes back to the closer");
         assert_eq!(q.push(3), Err(3), "closed queue refuses new work");
-        assert_eq!(q.pop(), Some(1), "outstanding work still drains");
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), None, "then consumers see the end");
+        assert_eq!(q.pop(), None, "consumers see the end immediately");
+    }
+
+    #[test]
+    fn try_push_sheds_at_limit_without_blocking() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!(q.try_push(3, 3).is_ok(), "below the limit admits");
+        assert!(
+            matches!(q.try_push(4, 3), Err(PushRefusal::Full(4))),
+            "at the limit sheds instead of blocking"
+        );
+        let _ = q.close();
+        assert!(matches!(q.try_push(5, 3), Err(PushRefusal::Closed(5))));
     }
 
     #[test]
@@ -150,7 +195,7 @@ mod tests {
             })
             .collect();
         thread::sleep(std::time::Duration::from_millis(20));
-        q.close();
+        assert!(q.close().is_empty());
         for c in consumers {
             assert_eq!(c.join().unwrap(), None);
         }
@@ -184,8 +229,11 @@ mod tests {
         for p in producers {
             p.join().unwrap();
         }
-        q.close();
+        // Close may race the consumers for the tail of the queue; items it
+        // steals count as consumed too (the engine fails them explicitly).
+        let stolen = q.close();
         let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.extend(stolen);
         all.sort_unstable();
         let mut expect: Vec<u64> =
             (0..4u64).flat_map(|p| (0..100u64).map(move |i| p * 1000 + i)).collect();

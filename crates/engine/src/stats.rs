@@ -20,6 +20,12 @@ pub struct EngineCounters {
     pub connections: AtomicU64,
     /// Dispatches that returned an error to the client.
     pub dispatch_errors: AtomicU64,
+    /// Calls refused at admission (queue above high water).
+    pub calls_shed: AtomicU64,
+    /// Queued-but-unstarted calls failed by a graceful drain.
+    pub calls_cancelled: AtomicU64,
+    /// Calls whose deadline passed before a worker could start them.
+    pub deadline_expired: AtomicU64,
 }
 
 impl EngineCounters {
@@ -36,6 +42,24 @@ impl EngineCounters {
         if !ok {
             self.dispatch_errors.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// A call refused at admission — it was never enqueued, so `in_flight`
+    /// is untouched.
+    pub(crate) fn job_shed(&self) {
+        self.calls_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An enqueued job whose deadline expired before dispatch.
+    pub(crate) fn job_expired(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An enqueued job failed by shutdown before a worker started it.
+    pub(crate) fn job_cancelled(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.calls_cancelled.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -59,6 +83,12 @@ pub struct EngineStatsSnapshot {
     pub connections: u64,
     /// Dispatches that failed.
     pub dispatch_errors: u64,
+    /// Calls refused at admission (queue above high water).
+    pub calls_shed: u64,
+    /// Queued-but-unstarted calls failed by a graceful drain.
+    pub calls_cancelled: u64,
+    /// Calls whose deadline passed before a worker started them.
+    pub deadline_expired: u64,
     /// Worker threads serving the queue.
     pub workers: usize,
     /// Program-cache counters.
@@ -69,5 +99,19 @@ impl EngineStatsSnapshot {
     /// Cache hit rate, for report tables.
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()
+    }
+
+    /// Every call the engine was offered, whatever its fate.
+    pub fn calls_offered(&self) -> u64 {
+        self.calls_served + self.calls_shed + self.calls_cancelled + self.deadline_expired
+    }
+
+    /// Fraction of offered calls shed at admission.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.calls_offered();
+        if offered == 0 {
+            return 0.0;
+        }
+        self.calls_shed as f64 / offered as f64
     }
 }

@@ -15,7 +15,7 @@
 
 use flexrpc_core::present::{InterfacePresentation, Trust};
 use flexrpc_core::value::Value;
-use flexrpc_engine::{expose_on_net, ClientInfo, Engine, EngineConfig, SunRpcPipeline};
+use flexrpc_engine::{expose_on_net, ClientInfo, Engine, SunRpcPipeline};
 use flexrpc_marshal::WireFormat;
 use flexrpc_net::sunrpc::AcceptStat;
 use flexrpc_net::SimNet;
@@ -68,7 +68,7 @@ fn client_presentation(trust: Trust) -> InterfacePresentation {
 /// Builds a client stub over an engine connection for `service`.
 fn pipe_client(engine: &Arc<Engine>, service: &str, trust: Trust) -> ClientStub {
     let pres = client_presentation(trust);
-    let conn = engine.connect(service, ClientInfo::of(&pres)).expect("connect");
+    let conn = engine.connect(service).client(ClientInfo::of(&pres)).establish().expect("connect");
     let m = fileio_module();
     let iface = m.interface("FileIO").expect("FileIO exists");
     let compiled =
@@ -127,7 +127,7 @@ fn drain(client: &mut ClientStub, pattern: u8) -> usize {
 
 #[test]
 fn eight_clients_two_services_two_trusts_one_engine() {
-    let engine = Engine::start(EngineConfig { workers: 4, queue_capacity: 32 });
+    let engine = Engine::builder().workers(4).queue_depth(32).build();
     // Ring capacity exceeds each service's total traffic, so the
     // dealloc(never) ring never wraps and the paper's "no wrap, no copy"
     // fast path is the one under test.
@@ -196,7 +196,7 @@ fn eight_clients_two_services_two_trusts_one_engine() {
 /// four records of the batch are in flight at once.
 #[test]
 fn pipelined_batch_executes_concurrently() {
-    let engine = Engine::start(EngineConfig { workers: 4, queue_capacity: 16 });
+    let engine = Engine::builder().workers(4).queue_depth(16).build();
     let barrier = Arc::new(std::sync::Barrier::new(4));
     let b = Arc::clone(&barrier);
     engine
@@ -249,7 +249,7 @@ fn engine_hosted_nfs_serves_the_fig2_clients() {
     use flexrpc_nfs::server::{nfs_presentation, register_nfs_handlers, FileStore};
     use flexrpc_nfs::{nfs_module, NFS_PROGRAM, NFS_VERSION};
 
-    let engine = Engine::start(EngineConfig { workers: 2, queue_capacity: 16 });
+    let engine = Engine::builder().workers(2).queue_depth(16).build();
     let store = Arc::new(Mutex::new(FileStore::new()));
     let m = nfs_module();
     let iface_name = m.interfaces[0].name.clone();

@@ -1,0 +1,237 @@
+//! Robustness-layer acceptance tests for the engine: admission control
+//! (shedding at the high-water mark), queue-dwell deadlines, pre-failed
+//! tickets for dead-on-arrival deadlines, cancel-on-drain shutdown, and
+//! deadline enforcement while a call is stuck *executing*.
+//!
+//! Every deadline here is measured on the engine's deterministic sim
+//! clock: tests advance it explicitly, so expiry is exact, never a race
+//! against wall time. Real-time sleeps appear only to sequence threads
+//! (letting a worker pick up a job), never to define a deadline.
+
+use flexrpc_core::ir::fileio_example;
+use flexrpc_core::present::InterfacePresentation;
+use flexrpc_core::value::Value;
+use flexrpc_engine::{expose_on_net, ClientInfo, Engine, EngineBuilder, EngineError};
+use flexrpc_marshal::WireFormat;
+use flexrpc_net::sunrpc::AcceptStat;
+use flexrpc_net::{NetConfig, SimNet};
+use flexrpc_runtime::RpcError;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// A latch the test holds closed while calls pile up behind it.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock();
+        while !*open {
+            self.cv.wait(&mut open);
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+fn fileio_presentation() -> InterfacePresentation {
+    let m = fileio_example();
+    let iface = m.interface("FileIO").unwrap();
+    InterfacePresentation::default_for(&m, iface).unwrap()
+}
+
+/// Registers a FileIO service whose `read` blocks on `gate` before
+/// answering — a stalled server the tests control precisely.
+fn register_gated(engine: &Arc<Engine>, name: &str, gate: &Arc<Gate>) {
+    let gate = Arc::clone(gate);
+    engine
+        .register_service(
+            name,
+            fileio_example(),
+            "FileIO",
+            fileio_presentation(),
+            WireFormat::Cdr,
+            move |srv| {
+                let g = Arc::clone(&gate);
+                srv.on("read", move |call| {
+                    g.wait();
+                    let count = call.u32("count").unwrap() as usize;
+                    call.set("return", Value::Bytes(vec![0x5A; count])).unwrap();
+                    0
+                })
+                .unwrap();
+            },
+        )
+        .unwrap();
+}
+
+/// A CDR-marshalled `read(count)` request.
+fn read_request(count: u32) -> Vec<u8> {
+    let mut w = flexrpc_runtime::wire::AnyWriter::new(WireFormat::Cdr);
+    w.put_u32(count);
+    w.into_bytes()
+}
+
+fn gated_engine(builder: EngineBuilder) -> (Arc<Engine>, Arc<Gate>) {
+    let engine = builder.build();
+    let gate = Arc::new(Gate::default());
+    register_gated(&engine, "slow", &gate);
+    (engine, gate)
+}
+
+/// Waits (in real time) for the lone worker to pull the head job off the
+/// queue, so later submissions count queue dwell from a known state.
+fn settle() {
+    thread::sleep(Duration::from_millis(50));
+}
+
+#[test]
+fn queue_above_high_water_sheds_instead_of_blocking() {
+    let (engine, gate) = gated_engine(Engine::builder().workers(1).queue_depth(8).high_water(2));
+    let conn = engine.connect("slow").establish().unwrap();
+    let req = read_request(4);
+
+    let executing = conn.submit(0, &req, &[]).unwrap();
+    settle(); // worker now holds the first call at the gate
+    let queued: Vec<_> = (0..2).map(|_| conn.submit(0, &req, &[]).unwrap()).collect();
+    // The backlog is at the high-water mark: admission fails fast, the
+    // submitter is not blocked, and the engine keeps serving what it has.
+    assert!(matches!(conn.submit(0, &req, &[]), Err(EngineError::Overloaded)));
+    assert!(matches!(conn.submit(0, &req, &[]), Err(EngineError::Overloaded)));
+
+    gate.open();
+    assert!(executing.wait().is_ok());
+    for t in queued {
+        assert!(t.wait().is_ok(), "admitted calls still complete");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.calls_shed, 2);
+    assert_eq!(stats.calls_served, 3);
+    assert_eq!(stats.in_flight, 0);
+    assert!(stats.shed_rate() > 0.0);
+}
+
+#[test]
+fn queued_call_expires_at_the_dwell_limit() {
+    let (engine, gate) = gated_engine(
+        Engine::builder().workers(1).queue_depth(8).dwell_limit(Duration::from_millis(1)),
+    );
+    let conn = engine.connect("slow").establish().unwrap();
+    let req = read_request(4);
+
+    let executing = conn.submit(0, &req, &[]).unwrap();
+    settle(); // the first call is past its dwell check, stalled at the gate
+    let stale = conn.submit(0, &req, &[]).unwrap();
+    // 2 ms of virtual time pass while the job waits for the lone worker.
+    engine.clock().advance(Duration::from_millis(2));
+    gate.open();
+
+    assert!(executing.wait().is_ok(), "a started call is never expired retroactively");
+    assert!(matches!(stale.wait(), Err(RpcError::DeadlineExceeded)));
+    let stats = engine.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.calls_served, 1);
+    assert_eq!(stats.in_flight, 0);
+}
+
+#[test]
+fn dead_on_arrival_deadline_never_enters_the_queue() {
+    let (engine, gate) = gated_engine(Engine::builder().workers(1).queue_depth(8));
+    let conn = engine.connect("slow").establish().unwrap();
+    engine.clock().advance(Duration::from_millis(10));
+    let past = Some(engine.clock().now_ns() - 1_000_000);
+    let ticket = conn.submit_with(0, &read_request(4), &[], past).unwrap();
+    assert!(matches!(ticket.wait(), Err(RpcError::DeadlineExceeded)));
+    let stats = engine.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.in_flight, 0, "the job was refused at admission, not queued");
+    gate.open();
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_cancels_unstarted_work_and_finishes_started_work() {
+    let (engine, gate) = gated_engine(Engine::builder().workers(1).queue_depth(8));
+    let conn = engine.connect("slow").establish().unwrap();
+    let req = read_request(4);
+
+    let started = conn.submit(0, &req, &[]).unwrap();
+    settle(); // the worker owns the first call
+    let unstarted = conn.submit(0, &req, &[]).unwrap();
+
+    // Shutdown drains the queue immediately (failing the unstarted call),
+    // then blocks joining the worker still stuck at the gate.
+    let eng = Arc::clone(&engine);
+    let closer = thread::spawn(move || eng.shutdown());
+    assert!(
+        matches!(unstarted.wait(), Err(RpcError::Cancelled)),
+        "a queued-but-unstarted call learns of the drain immediately"
+    );
+    gate.open();
+    assert!(started.wait().is_ok(), "a started call runs to completion");
+    closer.join().unwrap();
+
+    let stats = engine.stats();
+    assert_eq!(stats.calls_cancelled, 1);
+    assert_eq!(stats.calls_served, 1);
+    assert_eq!(stats.in_flight, 0);
+}
+
+#[test]
+fn stalled_execution_trips_the_ticket_deadline() {
+    let (engine, gate) = gated_engine(Engine::builder().workers(1).queue_depth(8));
+    let conn = engine.connect("slow").establish().unwrap();
+    let deadline = Some(engine.clock().now_ns() + 1_000_000); // 1 ms
+    let ticket = conn.submit_with(0, &read_request(4), &[], deadline).unwrap();
+    settle(); // the call is *executing*, stuck inside the handler
+    engine.clock().advance(Duration::from_millis(2));
+    assert!(
+        matches!(ticket.wait_until(deadline), Err(RpcError::DeadlineExceeded)),
+        "a deadline fires even while the call is stuck executing"
+    );
+    gate.open();
+    engine.shutdown();
+}
+
+#[test]
+fn network_clients_see_shed_calls_as_system_err() {
+    let (engine, gate) = gated_engine(Engine::builder().workers(1).queue_depth(8).high_water(2));
+    let net = SimNet::with_config(NetConfig::default());
+    let server = net.add_host("server");
+    let client_host = net.add_host("client");
+    let pres = fileio_presentation();
+    expose_on_net(&engine, &net, server, "slow", 77, 1, ClientInfo::of(&pres)).unwrap();
+
+    // Eight pipelined calls hit a one-worker engine that admits at most
+    // two queued jobs: the overflow must come back as SYSTEM_ERR replies,
+    // not a torn connection.
+    let mut pipe =
+        flexrpc_engine::SunRpcPipeline::new(Arc::clone(&net), client_host, server, 77, 1);
+    let req = read_request(4);
+    for _ in 0..8 {
+        pipe.submit(0, &req);
+    }
+    let g = Arc::clone(&gate);
+    let opener = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(100));
+        g.open();
+    });
+    let replies = pipe.flush().unwrap();
+    opener.join().unwrap();
+
+    assert_eq!(replies.len(), 8, "every call got a reply");
+    let served = replies.iter().filter(|(s, _)| *s == AcceptStat::Success).count();
+    let shed = replies.iter().filter(|(s, _)| *s == AcceptStat::SystemErr).count();
+    assert_eq!(served + shed, 8);
+    assert!(served > 0, "the engine kept serving under overload");
+    assert!(shed > 0, "the overflow was shed");
+    assert_eq!(engine.stats().calls_shed as usize, shed);
+}

@@ -4,7 +4,7 @@
 
 use flexrpc_core::present::InterfacePresentation;
 use flexrpc_core::value::Value;
-use flexrpc_engine::{ClientInfo, Engine, EngineConfig};
+use flexrpc_engine::{ClientInfo, Engine};
 use flexrpc_kernel::Kernel;
 use flexrpc_marshal::WireFormat;
 use flexrpc_pipes::circ::CircBuf;
@@ -106,7 +106,7 @@ fn name_table_distinct_ports_distinct_names() {
 }
 
 fn pipe_engine(workers: usize, cap: usize) -> (Arc<Engine>, Arc<PipeServerStats>) {
-    let engine = Engine::start(EngineConfig { workers, queue_capacity: workers * 4 });
+    let engine = Engine::builder().workers(workers).queue_depth(workers * 4).build();
     let ring = Arc::new(Mutex::new(CircBuf::new(cap)));
     let stats = Arc::new(PipeServerStats::default());
     let (r, s) = (Arc::clone(&ring), Arc::clone(&stats));
@@ -127,7 +127,7 @@ fn pipe_client(engine: &Arc<Engine>) -> ClientStub {
     let m = fileio_module();
     let iface = m.interface("FileIO").expect("FileIO exists");
     let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
-    let conn = engine.connect("pipe", ClientInfo::of(&pres)).expect("connect");
+    let conn = engine.connect("pipe").client(ClientInfo::of(&pres)).establish().expect("connect");
     let compiled =
         flexrpc_core::program::CompiledInterface::compile(&m, iface, &pres).expect("compiles");
     ClientStub::new(compiled, WireFormat::Cdr, Box::new(conn))

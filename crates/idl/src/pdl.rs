@@ -100,6 +100,7 @@ fn parse_attr(ts: &mut TokStream) -> Result<Attr> {
         ("alloc", Some("caller")) => Ok(Attr::AllocCaller),
         ("alloc", Some("stub")) => Ok(Attr::AllocStub),
         ("comm_status", None) => Ok(Attr::CommStatus),
+        ("idempotent", None) => Ok(Attr::Idempotent),
         ("nonunique", None) => Ok(Attr::NonUnique),
         ("leaky", None) => Ok(Attr::Leaky),
         ("unprotected", None) => Ok(Attr::Unprotected),
@@ -266,6 +267,12 @@ mod tests {
             op.params,
             vec![ParamAnnot { param: "data".into(), attrs: vec![Attr::Special] }]
         );
+    }
+
+    #[test]
+    fn idempotent_op_attr_parses() {
+        let f = parse("[idempotent, comm_status] int FileIO_read(unsigned long count);").unwrap();
+        assert_eq!(f.ops[0].op_attrs, vec![Attr::Idempotent, Attr::CommStatus]);
     }
 
     #[test]

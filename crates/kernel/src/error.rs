@@ -44,6 +44,9 @@ pub enum KernelError {
     },
     /// The message body exceeds the streamlined path's size limit.
     MsgTooLarge(usize),
+    /// The message was lost in the IPC path (induced by fault injection).
+    /// Transient by construction: a retry sends a fresh message.
+    Dropped,
     /// The connection was shut down.
     ConnectionDead,
     /// The server handler reported an application-level failure.
@@ -67,6 +70,7 @@ impl fmt::Display for KernelError {
                 write!(f, "type signature mismatch: client {client:#x} vs server {server:#x}")
             }
             KernelError::MsgTooLarge(n) => write!(f, "message body of {n} bytes too large"),
+            KernelError::Dropped => write!(f, "message dropped in IPC path"),
             KernelError::ConnectionDead => write!(f, "connection is dead"),
             KernelError::ServerFailure(code) => write!(f, "server failure code {code}"),
         }

@@ -265,6 +265,19 @@ impl Kernel {
         let stats = self.stats();
         KernelStats::add(&stats.messages, 1);
 
+        // Consult the kernel's fault plan: drops lose the message before any
+        // transfer, delays model a stalled receiver by advancing the sim
+        // clock (deadline checks upstream see the time pass), duplicates
+        // deliver the message twice (the handler runs again below).
+        let fault = self.faults().next_call();
+        match fault {
+            Some(flexrpc_clock::Fault::Drop) => return Err(KernelError::Dropped),
+            Some(flexrpc_clock::Fault::Delay(ns)) => {
+                self.clock().advance_ns(ns);
+            }
+            Some(flexrpc_clock::Fault::Duplicate) | None => {}
+        }
+
         // Translate request rights into the server's name table.
         let mut server_rights = Vec::with_capacity(rights.len());
         for &name in rights {
@@ -298,6 +311,14 @@ impl Kernel {
         let msg = MsgIn { regs, body: served_body, rights: server_rights };
         let out = {
             let mut handler = conn.handler.lock();
+            if fault == Some(flexrpc_clock::Fault::Duplicate) {
+                // At-least-once delivery: the duplicate arrives first (rights
+                // travel only once — on the copy whose reply the caller
+                // sees). Its reply is lost; a failure is the server's answer
+                // to the duplicate, not to the call, so it is ignored too.
+                let dup = MsgIn { regs, body: served_body, rights: Vec::new() };
+                let _ = (handler)(self, dup);
+            }
             (handler)(self, msg).map_err(KernelError::ServerFailure)?
         };
 
@@ -537,6 +558,45 @@ mod tests {
         k.ipc_call(&strict, &[], &[]).unwrap();
         let strict_ops = k.stats().snapshot().since(&before).register_ops;
         assert_eq!(strict_ops, strict.reg_path().len() as u64);
+    }
+
+    #[test]
+    fn drop_fault_loses_one_call() {
+        let (k, client, _server, send) = setup_echo(ServerOptions::default());
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        k.faults().on_next_call(flexrpc_clock::Fault::Drop);
+        assert_eq!(k.ipc_call(&conn, b"x", &[]).unwrap_err(), KernelError::Dropped);
+        assert_eq!(k.ipc_call(&conn, b"x", &[]).unwrap().body, b"x");
+    }
+
+    #[test]
+    fn delay_fault_advances_kernel_clock() {
+        let (k, client, _server, send) = setup_echo(ServerOptions::default());
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        k.faults().on_next_call(flexrpc_clock::Fault::Delay(2_000_000));
+        let t0 = k.clock().now_ns();
+        k.ipc_call(&conn, b"x", &[]).unwrap();
+        assert_eq!(k.clock().now_ns(), t0 + 2_000_000);
+    }
+
+    #[test]
+    fn duplicate_fault_runs_handler_twice() {
+        let k = Kernel::new();
+        let client = k.create_task("client", 64).unwrap();
+        let server = k.create_task("server", 64).unwrap();
+        let port = k.port_allocate(server).unwrap();
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let h = std::sync::Arc::clone(&hits);
+        k.register_server(server, port, ServerOptions::default(), move |_k, m| {
+            h.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(MsgOut { regs: m.regs, body: m.body.to_vec(), rights: vec![] })
+        })
+        .unwrap();
+        let send = k.extract_send_right(server, port, client).unwrap();
+        let conn = k.ipc_bind(client, send, BindOptions::default()).unwrap();
+        k.faults().on_next_call(flexrpc_clock::Fault::Duplicate);
+        assert_eq!(k.ipc_call(&conn, b"dup", &[]).unwrap().body, b"dup");
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub use regs::TrustLevel;
 pub use stats::KernelStats;
 pub use task::{TaskId, UserAddr};
 
+use flexrpc_clock::{FaultInjector, SimClock};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -78,22 +79,46 @@ pub struct Kernel {
     pub(crate) ports: Mutex<PortTable>,
     pub(crate) servers: Mutex<HashMap<PortId, ServerEntry>>,
     stats: KernelStats,
+    clock: Arc<SimClock>,
+    faults: FaultInjector,
 }
 
 impl Kernel {
     /// Creates a fresh kernel with no tasks or ports.
     pub fn new() -> Arc<Kernel> {
+        Self::with_clock(SimClock::new())
+    }
+
+    /// Creates a kernel sharing a [`SimClock`] with other substrates.
+    ///
+    /// The kernel itself charges no virtual time for IPC (its work is real
+    /// CPU work) but induced [`flexrpc_clock::Fault::Delay`] faults advance
+    /// this clock, and deadline checks on calls through this kernel measure
+    /// against it.
+    pub fn with_clock(clock: Arc<SimClock>) -> Arc<Kernel> {
         Arc::new(Kernel {
             tasks: RwLock::new(Vec::new()),
             ports: Mutex::new(PortTable::new()),
             servers: Mutex::new(HashMap::new()),
             stats: KernelStats::new(),
+            clock,
+            faults: FaultInjector::new(),
         })
     }
 
     /// Global event counters (copies, probes, messages).
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+
+    /// The simulated clock deadlines on this kernel's IPC measure against.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The fault-injection plan consulted once per IPC call.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     pub(crate) fn task(&self, id: TaskId) -> Result<Arc<Task>> {

@@ -20,6 +20,7 @@
 
 pub mod sunrpc;
 
+use flexrpc_clock::{Fault, FaultInjector, SimClock};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +35,9 @@ pub enum NetError {
     NoService(HostId),
     /// The service handler failed with a protocol-level error.
     ServiceFailure(String),
+    /// The message was lost in transit (induced by fault injection).
+    /// Transient by construction: a retry sends a fresh message.
+    Dropped,
 }
 
 impl fmt::Display for NetError {
@@ -42,6 +46,7 @@ impl fmt::Display for NetError {
             NetError::NoSuchHost(h) => write!(f, "no such host {h:?}"),
             NetError::NoService(h) => write!(f, "no service registered on {h:?}"),
             NetError::ServiceFailure(why) => write!(f, "service failure: {why}"),
+            NetError::Dropped => write!(f, "message dropped in transit"),
         }
     }
 }
@@ -115,6 +120,8 @@ pub struct SimNet {
     cfg: NetConfig,
     hosts: Mutex<Vec<HostState>>,
     wire_ns: AtomicU64,
+    clock: Arc<SimClock>,
+    faults: FaultInjector,
     stats: NetStats,
 }
 
@@ -126,10 +133,18 @@ impl SimNet {
 
     /// Creates a network with explicit link parameters.
     pub fn with_config(cfg: NetConfig) -> Arc<SimNet> {
+        Self::with_clock(cfg, SimClock::new())
+    }
+
+    /// Creates a network sharing a [`SimClock`] with other substrates, so
+    /// deadlines measured elsewhere see time this network charges.
+    pub fn with_clock(cfg: NetConfig, clock: Arc<SimClock>) -> Arc<SimNet> {
         Arc::new(SimNet {
             cfg,
             hosts: Mutex::new(Vec::new()),
             wire_ns: AtomicU64::new(0),
+            clock,
+            faults: FaultInjector::new(),
             stats: NetStats::default(),
         })
     }
@@ -137,6 +152,18 @@ impl SimNet {
     /// The link configuration.
     pub fn config(&self) -> NetConfig {
         self.cfg
+    }
+
+    /// The simulated clock this network advances (wire charges, fault
+    /// delays). Deadline enforcement on calls over this network measures
+    /// against it.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The fault-injection plan consulted once per [`SimNet::call`].
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Wire-clock counters.
@@ -188,6 +215,7 @@ impl SimNet {
         let ns = packets * self.cfg.per_packet_ns
             + (payload as u64) * 1_000_000_000 / self.cfg.bandwidth_bps;
         self.wire_ns.fetch_add(ns, Ordering::Relaxed);
+        self.clock.advance_ns(ns);
         self.stats.packets.fetch_add(packets, Ordering::Relaxed);
         self.stats.bytes.fetch_add(payload as u64, Ordering::Relaxed);
     }
@@ -212,8 +240,20 @@ impl SimNet {
             }
         }
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        // Consult the fault plan before the wire: drops lose the message
+        // after it is charged (it left the client), delays model a stalled
+        // link or peer by advancing the sim clock, duplicates model
+        // at-least-once delivery by running the handler twice.
+        let fault = self.faults.next_call();
         // Request hits the wire.
         self.charge_wire(request.len());
+        match fault {
+            Some(Fault::Drop) => return Err(NetError::Dropped),
+            Some(Fault::Delay(ns)) => {
+                self.clock.advance_ns(ns);
+            }
+            Some(Fault::Duplicate) | None => {}
+        }
         // The far side receives into its own buffer: a real copy, as the
         // receiving protocol stack would perform.
         let rx: Vec<u8> = request.to_vec();
@@ -225,11 +265,17 @@ impl SimNet {
             Arc::clone(h.service.as_ref().ok_or(NetError::NoService(to))?)
         };
         let t0 = std::time::Instant::now();
-        let result = service(&rx);
+        let mut result = service(&rx);
+        if fault == Some(Fault::Duplicate) {
+            // The retransmitted copy arrives too; the caller sees the
+            // second reply (last-writer-wins, as UDP Sun RPC would).
+            result = service(&rx);
+        }
         self.stats.service_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let reply = result.map_err(NetError::ServiceFailure)?;
         // Server-side processing + reply on the wire.
         self.wire_ns.fetch_add(self.cfg.server_ns, Ordering::Relaxed);
+        self.clock.advance_ns(self.cfg.server_ns);
         self.charge_wire(reply.len());
         reply_into.clear();
         reply_into.extend_from_slice(&reply);
@@ -369,6 +415,62 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(net.stats().messages.load(Ordering::Relaxed), 8 * 50);
+    }
+
+    #[test]
+    fn wire_charges_advance_shared_clock() {
+        let clock = SimClock::new();
+        let net = SimNet::with_clock(NetConfig::default(), Arc::clone(&clock));
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+        let mut reply = Vec::new();
+        net.call(c, s, &[0u8; 100], &mut reply).unwrap();
+        assert_eq!(clock.now_ns(), net.wire_ns(), "clock sees exactly the wire charges");
+    }
+
+    #[test]
+    fn drop_fault_loses_one_message() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+        net.faults().on_next_call(Fault::Drop);
+        let mut reply = Vec::new();
+        assert_eq!(net.call(c, s, b"x", &mut reply).unwrap_err(), NetError::Dropped);
+        net.call(c, s, b"x", &mut reply).unwrap();
+        assert_eq!(reply, b"x");
+    }
+
+    #[test]
+    fn delay_fault_advances_clock_past_wire_charges() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+        net.faults().on_next_call(Fault::Delay(5_000_000));
+        let mut reply = Vec::new();
+        net.call(c, s, b"x", &mut reply).unwrap();
+        assert_eq!(net.clock().now_ns(), net.wire_ns() + 5_000_000);
+    }
+
+    #[test]
+    fn duplicate_fault_runs_handler_twice() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.register_service(s, move |req| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(req.to_vec())
+        })
+        .unwrap();
+        net.faults().on_next_call(Fault::Duplicate);
+        let mut reply = Vec::new();
+        net.call(c, s, b"x", &mut reply).unwrap();
+        assert_eq!(reply, b"x");
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum AcceptStat {
     ProcUnavail,
     /// Arguments undecodable.
     GarbageArgs,
+    /// Server-side failure unrelated to the arguments (RFC 1057
+    /// `SYSTEM_ERR`): the serving engine shed the call under load or
+    /// cancelled it during drain.
+    SystemErr,
 }
 
 impl AcceptStat {
@@ -38,6 +42,7 @@ impl AcceptStat {
             AcceptStat::ProgMismatch => 2,
             AcceptStat::ProcUnavail => 3,
             AcceptStat::GarbageArgs => 4,
+            AcceptStat::SystemErr => 5,
         }
     }
 
@@ -48,6 +53,7 @@ impl AcceptStat {
             2 => AcceptStat::ProgMismatch,
             3 => AcceptStat::ProcUnavail,
             4 => AcceptStat::GarbageArgs,
+            5 => AcceptStat::SystemErr,
             _ => return None,
         })
     }
@@ -253,6 +259,7 @@ mod tests {
             AcceptStat::ProgMismatch,
             AcceptStat::ProcUnavail,
             AcceptStat::GarbageArgs,
+            AcceptStat::SystemErr,
         ] {
             let msg = encode_reply(9, stat, &[]);
             let (_, got, _) = decode_reply(&msg).unwrap();

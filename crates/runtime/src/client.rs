@@ -1,8 +1,9 @@
 //! The client stub: marshal → transport → unmarshal.
 
-use crate::error::RpcError;
+use crate::error::{Error, ErrorKind, RpcError};
 use crate::hooks::HookMap;
 use crate::interp::{marshal, unmarshal};
+use crate::policy::{CallControl, CallOptions};
 use crate::transport::Transport;
 use crate::wire::{AnyReader, AnyWriter};
 use crate::Result;
@@ -100,8 +101,95 @@ impl ClientStub {
         self.call_index(i, frame)
     }
 
+    /// Invokes an operation by name under `options`: the deadline is
+    /// resolved against the transport's sim clock and enforced at every
+    /// blocking point; transient failures are retried per the policy —
+    /// but only if the operation's presentation declared `[idempotent]`.
+    ///
+    /// Returns the unified [`Error`] type: one taxonomy across transports.
+    pub fn call_with(
+        &mut self,
+        name: &str,
+        frame: &mut [Value],
+        options: &CallOptions,
+    ) -> core::result::Result<u32, Error> {
+        let i = self
+            .compiled
+            .ops
+            .iter()
+            .position(|o| o.name == name)
+            .ok_or_else(|| Error::from(RpcError::NoSuchOp(name.into())))?;
+        self.call_index_with(i, frame, options)
+    }
+
+    /// Invokes an operation by index under `options`.
+    pub fn call_index_with(
+        &mut self,
+        op_index: usize,
+        frame: &mut [Value],
+        options: &CallOptions,
+    ) -> core::result::Result<u32, Error> {
+        let op = self
+            .compiled
+            .ops
+            .get(op_index)
+            .ok_or_else(|| Error::from(RpcError::NoSuchOp(format!("op index {op_index}"))))?;
+        // Idempotency gate: a policy that could resend requires the op's
+        // license. Checked before the first send, not after a failure.
+        if let Some(policy) = options.retry_policy() {
+            policy.check_op(op)?;
+        }
+        let clock = self.transport.clock();
+        let deadline_ns = match (options.deadline_ns(), &clock) {
+            (Some(d), Some(c)) => Some(c.now_ns().saturating_add(d)),
+            (Some(_), None) => {
+                return Err(Error::new(
+                    ErrorKind::Fatal,
+                    "transport has no sim clock; deadlines cannot be enforced on it",
+                ))
+            }
+            (None, _) => None,
+        };
+        let ctl = CallControl { deadline_ns };
+        let max_attempts = options.retry_policy().map_or(1, |p| p.max_attempts());
+        let mut attempt = 1u32;
+        loop {
+            match self.call_once(op_index, frame, &ctl) {
+                Ok(status) => return Ok(status),
+                Err(e) => {
+                    if !e.is_retryable() || attempt >= max_attempts {
+                        return Err(e.into());
+                    }
+                    let policy = options.retry_policy().expect("attempts > 1 implies a policy");
+                    // Back off on the sim clock (the simulated world's
+                    // version of sleeping), then re-check the deadline:
+                    // backoff must not be spent past it.
+                    let backoff = policy.backoff_ns(attempt);
+                    if let Some(c) = &clock {
+                        c.advance_ns(backoff);
+                    }
+                    if let (Some(d), Some(c)) = (deadline_ns, &clock) {
+                        if c.now_ns() > d {
+                            return Err(RpcError::DeadlineExceeded.into());
+                        }
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
     /// Invokes an operation by index (the dispatch key).
     pub fn call_index(&mut self, op_index: usize, frame: &mut [Value]) -> Result<u32> {
+        self.call_once(op_index, frame, &CallControl::none())
+    }
+
+    fn call_once(
+        &mut self,
+        op_index: usize,
+        frame: &mut [Value],
+        ctl: &CallControl,
+    ) -> Result<u32> {
         let op = self
             .compiled
             .ops
@@ -116,13 +204,15 @@ impl ClientStub {
 
         let mut rights_out = Vec::new();
         let mut reply = std::mem::take(&mut self.reply_buf);
-        let off = match self.transport.call(op, &request, &rights, &mut reply, &mut rights_out) {
-            Ok(off) => off,
-            Err(e) => {
-                self.reply_buf = reply;
-                return Err(e);
-            }
-        };
+        let off =
+            match self.transport.call_with(op, &request, &rights, &mut reply, &mut rights_out, ctl)
+            {
+                Ok(off) => off,
+                Err(e) => {
+                    self.reply_buf = reply;
+                    return Err(e);
+                }
+            };
         self.reply_off = off;
 
         let result = (|| -> Result<u32> {

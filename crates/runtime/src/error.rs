@@ -1,4 +1,16 @@
 //! The runtime's unified error type.
+//!
+//! Two layers, by design:
+//!
+//! * [`RpcError`] is the runtime's *working* enum — crate-local error enums
+//!   ([`flexrpc_kernel::KernelError`], [`flexrpc_net::NetError`],
+//!   [`flexrpc_core::CoreError`], marshal errors) fold into it via `From`,
+//!   and internal code matches on its variants.
+//! * [`Error`] is the *public* unified type the facade re-exports as
+//!   `flexrpc::Error`: one [`ErrorKind`] taxonomy across every crate, with
+//!   retryability a method ([`Error::is_retryable`]) rather than a
+//!   match-on-variant guessing game. Every crate-local enum converts into
+//!   it via `From`, so application code handles exactly one error type.
 
 use core::fmt;
 
@@ -35,6 +47,15 @@ pub enum RpcError {
     SinkMisuse(String),
     /// Transport-level failure with no richer classification.
     Transport(String),
+    /// The call's deadline expired before a reply arrived (measured on the
+    /// deterministic sim clock).
+    DeadlineExceeded,
+    /// The serving engine shed the call at admission because its queue
+    /// crossed the high-water mark.
+    Overloaded,
+    /// The call was accepted but abandoned before execution — engine drain
+    /// fails queued-but-unstarted work with this instead of hanging.
+    Cancelled,
 }
 
 impl fmt::Display for RpcError {
@@ -52,11 +73,159 @@ impl fmt::Display for RpcError {
             RpcError::MissingHook(i) => write!(f, "no [special] hook registered for param {i}"),
             RpcError::SinkMisuse(why) => write!(f, "reply sink misused: {why}"),
             RpcError::Transport(why) => write!(f, "transport failure: {why}"),
+            RpcError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            RpcError::Overloaded => write!(f, "server overloaded, call shed"),
+            RpcError::Cancelled => write!(f, "call cancelled before execution"),
         }
     }
 }
 
+impl RpcError {
+    /// The unified taxonomy bucket this error falls into.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            // A fresh send may succeed: the message (or its server) was
+            // transiently unavailable, nothing about the call itself is bad.
+            RpcError::Kernel(
+                flexrpc_kernel::KernelError::Dropped
+                | flexrpc_kernel::KernelError::ConnectionDead
+                | flexrpc_kernel::KernelError::NoServer,
+            ) => ErrorKind::Retryable,
+            RpcError::Net(
+                flexrpc_net::NetError::Dropped
+                | flexrpc_net::NetError::NoService(_)
+                | flexrpc_net::NetError::ServiceFailure(_),
+            ) => ErrorKind::Retryable,
+            RpcError::Transport(_) => ErrorKind::Retryable,
+            // Contract violations: the endpoints disagree about the
+            // interface or its presentation — retrying cannot help, and the
+            // caller's binding needs fixing.
+            RpcError::Core(
+                flexrpc_core::CoreError::ContractViolation(_)
+                | flexrpc_core::CoreError::BadAnnotation { .. },
+            ) => ErrorKind::ContractViolation,
+            RpcError::Kernel(flexrpc_kernel::KernelError::SignatureMismatch { .. }) => {
+                ErrorKind::ContractViolation
+            }
+            RpcError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+            RpcError::Overloaded => ErrorKind::Overloaded,
+            RpcError::Cancelled => ErrorKind::Cancelled,
+            // Everything else (marshal failures, bad addresses, remote
+            // application statuses, slot misuse) is deterministic: the same
+            // call will fail the same way.
+            _ => ErrorKind::Fatal,
+        }
+    }
+
+    /// Whether a retry policy may resend after this error.
+    pub fn is_retryable(&self) -> bool {
+        self.kind() == ErrorKind::Retryable
+    }
+}
+
 impl std::error::Error for RpcError {}
+
+/// The unified error taxonomy: what a caller can *do* about a failure,
+/// independent of which crate produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Transient: a fresh attempt may succeed (dropped message, dead
+    /// connection, transport hiccup).
+    Retryable,
+    /// Deterministic: the same call will fail the same way.
+    Fatal,
+    /// The call's deadline expired before completion.
+    DeadlineExceeded,
+    /// The server shed the call at admission under load.
+    Overloaded,
+    /// The call was abandoned before execution (shutdown drain).
+    Cancelled,
+    /// The endpoints disagree about the interface contract or its
+    /// presentation; fix the binding, don't retry.
+    ContractViolation,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Retryable => "retryable",
+            ErrorKind::Fatal => "fatal",
+            ErrorKind::DeadlineExceeded => "deadline exceeded",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::ContractViolation => "contract violation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The one public error type: a taxonomy bucket plus a human-readable
+/// message retaining the crate-local detail. Re-exported as `flexrpc::Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    kind: ErrorKind,
+    message: String,
+}
+
+impl Error {
+    /// Builds an error in the given taxonomy bucket.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Error {
+        Error { kind, message: message.into() }
+    }
+
+    /// Which taxonomy bucket this error falls into.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// Whether a retry policy may resend after this error.
+    pub fn is_retryable(&self) -> bool {
+        self.kind == ErrorKind::Retryable
+    }
+
+    /// The human-readable detail.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<RpcError> for Error {
+    fn from(e: RpcError) -> Self {
+        Error { kind: e.kind(), message: e.to_string() }
+    }
+}
+
+impl From<flexrpc_marshal::MarshalError> for Error {
+    fn from(e: flexrpc_marshal::MarshalError) -> Self {
+        RpcError::from(e).into()
+    }
+}
+
+impl From<flexrpc_kernel::KernelError> for Error {
+    fn from(e: flexrpc_kernel::KernelError) -> Self {
+        RpcError::from(e).into()
+    }
+}
+
+impl From<flexrpc_net::NetError> for Error {
+    fn from(e: flexrpc_net::NetError) -> Self {
+        RpcError::from(e).into()
+    }
+}
+
+impl From<flexrpc_core::CoreError> for Error {
+    fn from(e: flexrpc_core::CoreError) -> Self {
+        RpcError::from(e).into()
+    }
+}
 
 impl From<flexrpc_marshal::MarshalError> for RpcError {
     fn from(e: flexrpc_marshal::MarshalError) -> Self {
@@ -94,5 +263,46 @@ mod tests {
         assert!(e.to_string().contains("kernel error"));
         let e = RpcError::SlotKind { slot: 2, expected: "bytes", found: "u32" };
         assert!(e.to_string().contains("slot 2"));
+    }
+
+    #[test]
+    fn taxonomy_classifies_each_layer() {
+        assert_eq!(RpcError::Net(flexrpc_net::NetError::Dropped).kind(), ErrorKind::Retryable);
+        assert_eq!(
+            RpcError::Kernel(flexrpc_kernel::KernelError::Dropped).kind(),
+            ErrorKind::Retryable
+        );
+        assert_eq!(RpcError::Transport("hiccup".into()).kind(), ErrorKind::Retryable);
+        assert_eq!(
+            RpcError::Marshal(flexrpc_marshal::MarshalError::BadBool(3)).kind(),
+            ErrorKind::Fatal
+        );
+        assert_eq!(RpcError::Remote(5).kind(), ErrorKind::Fatal);
+        assert_eq!(
+            RpcError::Kernel(flexrpc_kernel::KernelError::SignatureMismatch {
+                client: 1,
+                server: 2
+            })
+            .kind(),
+            ErrorKind::ContractViolation
+        );
+        assert_eq!(RpcError::DeadlineExceeded.kind(), ErrorKind::DeadlineExceeded);
+        assert_eq!(RpcError::Overloaded.kind(), ErrorKind::Overloaded);
+        assert_eq!(RpcError::Cancelled.kind(), ErrorKind::Cancelled);
+    }
+
+    #[test]
+    fn unified_error_from_every_crate_local_enum() {
+        let e: Error = flexrpc_net::NetError::Dropped.into();
+        assert!(e.is_retryable());
+        let e: Error = flexrpc_kernel::KernelError::NoServer.into();
+        assert!(e.is_retryable());
+        let e: Error = flexrpc_core::CoreError::ContractViolation("sig".into()).into();
+        assert_eq!(e.kind(), ErrorKind::ContractViolation);
+        let e: Error = flexrpc_marshal::MarshalError::BadBool(1).into();
+        assert!(!e.is_retryable());
+        let e: Error = RpcError::DeadlineExceeded.into();
+        assert_eq!(e.kind(), ErrorKind::DeadlineExceeded);
+        assert!(e.to_string().contains("deadline"));
     }
 }

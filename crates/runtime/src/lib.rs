@@ -25,14 +25,16 @@ pub mod client;
 pub mod error;
 pub mod hooks;
 pub mod interp;
+pub mod policy;
 pub mod samedomain;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use client::ClientStub;
-pub use error::RpcError;
+pub use error::{Error, ErrorKind, RpcError};
 pub use hooks::{HookMap, SpecialMarshal};
+pub use policy::{CallControl, CallOptions, RetryPolicy};
 pub use server::{ReplySink, ServerCall, ServerInterface};
 pub use transport::Transport;
 

@@ -1,0 +1,206 @@
+//! Per-call policies: deadlines and retries.
+//!
+//! The paper's thesis is that per-endpoint decisions belong in declarations
+//! compiled into the path, not hand-rolled at every call site. This module
+//! extends that to *robustness* policy: a [`CallOptions`] value carries the
+//! deadline and retry schedule for a call, the runtime enforces it at every
+//! blocking point against the deterministic sim clock, and the license to
+//! retry at all comes from the interface's PDL (`[idempotent]`) — the
+//! policy layer refuses to resend an operation whose presentation does not
+//! declare it safe to execute twice.
+
+use crate::error::{Error, ErrorKind};
+use flexrpc_clock::splitmix64;
+use flexrpc_core::program::CompiledOp;
+use std::time::Duration;
+
+/// A retry schedule: bounded attempts, exponential backoff, deterministic
+/// seeded jitter.
+///
+/// The backoff for attempt *n* (1-based; attempt 1 is the first *re*try) is
+/// `min(base * 2^(n-1), cap)` plus a jitter in `[0, backoff/2)` computed by
+/// hashing `(seed, n)` — a pure function, so a given seed always produces
+/// the same schedule (testable) while different seeds de-correlate clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base_ns: u64,
+    cap_ns: u64,
+    seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy allowing up to `max_attempts` total attempts (the first
+    /// send plus retries), 1 ms base backoff capped at 100 ms, seed 0.
+    pub fn new(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_ns: 1_000_000,
+            cap_ns: 100_000_000,
+            seed: 0,
+        }
+    }
+
+    /// Sets the base backoff (doubles per retry).
+    pub fn backoff(mut self, base: Duration) -> RetryPolicy {
+        self.base_ns = u64::try_from(base.as_nanos()).unwrap_or(u64::MAX);
+        self
+    }
+
+    /// Caps the exponential backoff.
+    pub fn backoff_cap(mut self, cap: Duration) -> RetryPolicy {
+        self.cap_ns = u64::try_from(cap.as_nanos()).unwrap_or(u64::MAX);
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// Total attempts allowed (first send included).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The deterministic backoff before retry number `attempt` (1-based),
+    /// in sim-clock nanoseconds.
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let exp = self.base_ns.saturating_mul(1u64 << attempt.saturating_sub(1).min(32));
+        let backoff = exp.min(self.cap_ns);
+        let jitter_range = backoff / 2;
+        if jitter_range == 0 {
+            return backoff;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(attempt as u64));
+        backoff + h % jitter_range
+    }
+
+    /// Checks this policy against an operation's presentation: retrying is
+    /// only legal for operations whose PDL declared `[idempotent]`.
+    ///
+    /// A policy of one attempt never resends, so it passes for any op.
+    pub fn check_op(&self, op: &CompiledOp) -> Result<(), Error> {
+        if self.max_attempts > 1 && !op.idempotent {
+            return Err(Error::new(
+                ErrorKind::ContractViolation,
+                format!(
+                    "operation `{}` is not declared [idempotent]; a retry policy may resend it",
+                    op.name
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Options governing one call (or every call on a connection): an optional
+/// deadline, measured on the sim clock from the moment the call starts and
+/// spanning all retry attempts, and an optional retry policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallOptions {
+    deadline: Option<Duration>,
+    retry: Option<RetryPolicy>,
+}
+
+impl CallOptions {
+    /// Sets the deadline: the call fails with
+    /// [`ErrorKind::DeadlineExceeded`] if the sim clock advances past
+    /// `start + d` before a reply is accepted.
+    pub fn deadline(mut self, d: Duration) -> CallOptions {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Attaches a retry policy. Whether the target operation permits
+    /// retries is checked when the options are bound to an op — eagerly via
+    /// [`CallOptions::retry_for`], or at the first call otherwise.
+    pub fn retry(mut self, policy: RetryPolicy) -> CallOptions {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Attaches a retry policy *bound to an operation*, rejecting the
+    /// combination at construction time if `op` did not declare
+    /// `[idempotent]`.
+    pub fn retry_for(self, policy: RetryPolicy, op: &CompiledOp) -> Result<CallOptions, Error> {
+        policy.check_op(op)?;
+        Ok(self.retry(policy))
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline_duration(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The configured deadline in nanoseconds, if any.
+    pub fn deadline_ns(&self) -> Option<u64> {
+        self.deadline.map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// The attached retry policy, if any.
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
+    }
+}
+
+/// Deadline context resolved against a transport's clock, handed down to
+/// [`crate::transport::Transport::call_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallControl {
+    /// Absolute sim-clock deadline in nanoseconds, if the call has one.
+    pub deadline_ns: Option<u64>,
+}
+
+impl CallControl {
+    /// A control block with no deadline.
+    pub fn none() -> CallControl {
+        CallControl::default()
+    }
+
+    /// True if `now_ns` is past the deadline.
+    pub fn expired(&self, now_ns: u64) -> bool {
+        self.deadline_ns.is_some_and(|d| now_ns > d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::new(10)
+            .backoff(Duration::from_millis(1))
+            .backoff_cap(Duration::from_millis(4))
+            .seed(7);
+        let b1 = p.backoff_ns(1);
+        let b2 = p.backoff_ns(2);
+        let b3 = p.backoff_ns(3);
+        let b9 = p.backoff_ns(9);
+        // Base value doubles; jitter adds at most half the base value.
+        assert!((1_000_000..1_500_000).contains(&b1), "{b1}");
+        assert!((2_000_000..3_000_000).contains(&b2), "{b2}");
+        assert!((4_000_000..6_000_000).contains(&b3), "cap reached: {b3}");
+        assert!((4_000_000..6_000_000).contains(&b9), "stays capped: {b9}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let a = RetryPolicy::new(5).seed(42);
+        let b = RetryPolicy::new(5).seed(42);
+        let c = RetryPolicy::new(5).seed(43);
+        let seq = |p: &RetryPolicy| (1..5).map(|n| p.backoff_ns(n)).collect::<Vec<_>>();
+        assert_eq!(seq(&a), seq(&b));
+        assert_ne!(seq(&a), seq(&c));
+    }
+
+    #[test]
+    fn control_expiry() {
+        let c = CallControl { deadline_ns: Some(100) };
+        assert!(!c.expired(100), "deadline instant itself has not passed");
+        assert!(c.expired(101));
+        assert!(!CallControl::none().expired(u64::MAX));
+    }
+}

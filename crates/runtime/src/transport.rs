@@ -15,8 +15,10 @@
 //! client's — incompatible contracts fail at bind, not at call.
 
 use crate::error::RpcError;
+use crate::policy::CallControl;
 use crate::server::ServerInterface;
 use crate::Result;
+use flexrpc_clock::{Fault, FaultInjector, SimClock};
 use flexrpc_core::present::Trust;
 use flexrpc_core::program::CompiledOp;
 use flexrpc_kernel::ipc::{BindOptions, MsgOut, ServerOptions, MAX_BODY};
@@ -43,6 +45,31 @@ pub trait Transport: Send {
         reply: &mut Vec<u8>,
         rights_out: &mut Vec<u32>,
     ) -> Result<usize>;
+
+    /// Like [`Transport::call`] but honoring a [`CallControl`] (absolute
+    /// sim-clock deadline). Transports with a clock check the deadline
+    /// before sending and after the reply lands — a reply that arrives
+    /// after the deadline is a [`RpcError::DeadlineExceeded`], exactly and
+    /// deterministically. The default ignores the control block (for
+    /// transports with no notion of time, e.g. test doubles).
+    fn call_with(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+        ctl: &CallControl,
+    ) -> Result<usize> {
+        let _ = ctl;
+        self.call(op, request, rights, reply, rights_out)
+    }
+
+    /// The sim clock this transport's world runs on, if it has one.
+    /// Deadlines are resolved against it and retry backoff advances it.
+    fn clock(&self) -> Option<Arc<SimClock>> {
+        None
+    }
 }
 
 /// Maps the core presentation's trust level onto the kernel's.
@@ -57,12 +84,26 @@ pub fn trust_to_kernel(t: Trust) -> TrustLevel {
 /// Direct in-process dispatch to a shared [`ServerInterface`].
 pub struct Loopback {
     server: Arc<Mutex<ServerInterface>>,
+    clock: Arc<SimClock>,
+    faults: Arc<FaultInjector>,
 }
 
 impl Loopback {
-    /// Wraps a server for direct dispatch.
+    /// Wraps a server for direct dispatch (private clock).
     pub fn new(server: Arc<Mutex<ServerInterface>>) -> Loopback {
-        Loopback { server }
+        Loopback::with_clock(server, SimClock::new())
+    }
+
+    /// Wraps a server, sharing a [`SimClock`] with the rest of the world.
+    pub fn with_clock(server: Arc<Mutex<ServerInterface>>, clock: Arc<SimClock>) -> Loopback {
+        Loopback { server, clock, faults: Arc::new(FaultInjector::new()) }
+    }
+
+    /// The fault plan consulted once per call (a stalled in-process server
+    /// is modeled as a `Delay` that advances the sim clock). Shared, so a
+    /// test can keep a handle after boxing the transport into a stub.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
     }
 }
 
@@ -75,8 +116,51 @@ impl Transport for Loopback {
         reply: &mut Vec<u8>,
         rights_out: &mut Vec<u32>,
     ) -> Result<usize> {
+        self.call_with(op, request, rights, reply, rights_out, &CallControl::none())
+    }
+
+    fn call_with(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+        ctl: &CallControl,
+    ) -> Result<usize> {
+        if ctl.expired(self.clock.now_ns()) {
+            return Err(RpcError::DeadlineExceeded);
+        }
+        let fault = self.faults.next_call();
+        match fault {
+            Some(Fault::Drop) => {
+                return Err(RpcError::Transport("message dropped (induced fault)".into()))
+            }
+            Some(Fault::Delay(ns)) => {
+                self.clock.advance_ns(ns);
+            }
+            Some(Fault::Duplicate) | None => {}
+        }
+        if fault == Some(Fault::Duplicate) {
+            let mut dup_reply = Vec::new();
+            let mut dup_rights = Vec::new();
+            let _ = self.server.lock().dispatch(
+                op.index,
+                request,
+                rights,
+                &mut dup_reply,
+                &mut dup_rights,
+            );
+        }
         self.server.lock().dispatch(op.index, request, rights, reply, rights_out)?;
+        if ctl.expired(self.clock.now_ns()) {
+            return Err(RpcError::DeadlineExceeded);
+        }
         Ok(0)
+    }
+
+    fn clock(&self) -> Option<Arc<SimClock>> {
+        Some(Arc::clone(&self.clock))
     }
 }
 
@@ -107,14 +191,35 @@ impl Transport for KernelIpc {
         reply: &mut Vec<u8>,
         rights_out: &mut Vec<u32>,
     ) -> Result<usize> {
+        self.call_with(op, request, rights, reply, rights_out, &CallControl::none())
+    }
+
+    fn call_with(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+        ctl: &CallControl,
+    ) -> Result<usize> {
         if request.len() > MAX_BODY {
             return Err(RpcError::Kernel(flexrpc_kernel::KernelError::MsgTooLarge(request.len())));
+        }
+        if ctl.expired(self.kernel.clock().now_ns()) {
+            return Err(RpcError::DeadlineExceeded);
         }
         let mut regs = [0u64; MSG_REGS];
         regs[0] = op.index as u64;
         let port_rights: Vec<PortName> = rights.iter().map(|&r| PortName(r)).collect();
         let (reply_regs, reply_rights) =
             self.kernel.ipc_call_into(&self.conn, regs, request, &port_rights, reply)?;
+        // The kernel's fault plan may have stalled the receive (a `Delay`
+        // advancing the sim clock); a reply landing past the deadline is a
+        // deadline miss, deterministically.
+        if ctl.expired(self.kernel.clock().now_ns()) {
+            return Err(RpcError::DeadlineExceeded);
+        }
         // regs[1] carries a server-side dispatch failure, if any.
         if reply_regs[1] != 0 {
             return Err(RpcError::Transport(format!(
@@ -125,6 +230,10 @@ impl Transport for KernelIpc {
         rights_out.clear();
         rights_out.extend(reply_rights.iter().map(|p| p.0));
         Ok(0)
+    }
+
+    fn clock(&self) -> Option<Arc<SimClock>> {
+        Some(Arc::clone(self.kernel.clock()))
     }
 }
 
@@ -232,10 +341,25 @@ impl Transport for SunRpc {
         reply: &mut Vec<u8>,
         rights_out: &mut Vec<u32>,
     ) -> Result<usize> {
+        self.call_with(op, request, rights, reply, rights_out, &CallControl::none())
+    }
+
+    fn call_with(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+        ctl: &CallControl,
+    ) -> Result<usize> {
         if !rights.is_empty() {
             return Err(RpcError::Transport(
                 "Sun RPC cannot carry port rights across the network".into(),
             ));
+        }
+        if ctl.expired(self.net.clock().now_ns()) {
+            return Err(RpcError::DeadlineExceeded);
         }
         let xid = self.next_xid;
         self.next_xid = self.next_xid.wrapping_add(1);
@@ -247,16 +371,28 @@ impl Transport for SunRpc {
         // The framed reply lands directly in the caller's buffer — no
         // re-copy; the body offset is computed from the decoded frame.
         self.net.call(self.from, self.to, &msg, reply)?;
+        // The net charged wire time (and any induced stall) to the sim
+        // clock; a reply landing past the deadline is a deadline miss.
+        if ctl.expired(self.net.clock().now_ns()) {
+            return Err(RpcError::DeadlineExceeded);
+        }
         let (rxid, stat, results) = sunrpc::decode_reply(reply)?;
         if rxid != xid {
             return Err(RpcError::Transport(format!("xid mismatch: {rxid} != {xid}")));
         }
-        if stat != AcceptStat::Success {
-            return Err(RpcError::Transport(format!("server rejected call: {stat:?}")));
+        match stat {
+            AcceptStat::Success => {}
+            // SYSTEM_ERR is how an overloaded engine sheds over the wire.
+            AcceptStat::SystemErr => return Err(RpcError::Overloaded),
+            other => return Err(RpcError::Transport(format!("server rejected call: {other:?}"))),
         }
         let offset = results.as_ptr() as usize - reply.as_ptr() as usize;
         rights_out.clear();
         Ok(offset)
+    }
+
+    fn clock(&self) -> Option<Arc<SimClock>> {
+        Some(Arc::clone(self.net.clock()))
     }
 }
 

@@ -12,3 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test ==" >&2
 cargo test -q --workspace
+
+# The examples are the documented API surface; an API redesign that
+# breaks them must fail here, not in a reader's terminal.
+for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix; do
+  echo "== example: $ex ==" >&2
+  cargo run -q --release --example "$ex" >/dev/null
+done

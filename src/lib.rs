@@ -2,7 +2,14 @@
 //!
 //! Facade crate re-exporting the whole workspace. See the README for the
 //! architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! For everyday use, `use flexrpc::prelude::*` pulls in the common
+//! surface: interface compilation, client/server bindings, the serving
+//! engine, and the per-call policy types ([`CallOptions`](prelude::CallOptions),
+//! [`RetryPolicy`](prelude::RetryPolicy)) with the unified
+//! [`Error`]/[`ErrorKind`] taxonomy.
 
+pub use flexrpc_clock as clock;
 pub use flexrpc_codegen as codegen;
 pub use flexrpc_core as core;
 pub use flexrpc_engine as engine;
@@ -14,3 +21,35 @@ pub use flexrpc_net as net;
 pub use flexrpc_nfs as nfs;
 pub use flexrpc_pipes as pipes;
 pub use flexrpc_runtime as runtime;
+
+// The unified error taxonomy, re-exported at the crate root: every layer's
+// failure folds into one `Error` with an `ErrorKind` that tells a caller
+// the only thing policy code needs — whether retrying can help.
+pub use flexrpc_runtime::{Error, ErrorKind};
+
+/// The common surface in one import: `use flexrpc::prelude::*`.
+///
+/// Everything a typical program touches — define an interface
+/// ([`corba`]/[`pdl`] + [`apply_pdl`]), compile it
+/// ([`CompiledInterface`]), bind it ([`ClientStub`], [`ServerInterface`],
+/// [`Loopback`]), serve it ([`Engine`]), and govern calls ([`CallOptions`],
+/// [`RetryPolicy`], [`Error`], [`ErrorKind`]) on the deterministic
+/// [`SimClock`].
+pub mod prelude {
+    pub use crate::core::annot::apply_pdl;
+    pub use crate::core::present::{InterfacePresentation, Trust};
+    pub use crate::core::program::{CompiledInterface, CompiledOp};
+    pub use crate::core::value::Value;
+    pub use crate::engine::{ClientInfo, Engine, EngineConnection};
+    pub use crate::idl::{corba, pdl};
+    pub use crate::marshal::WireFormat;
+    pub use crate::runtime::transport::Loopback;
+    pub use crate::runtime::{
+        CallOptions, ClientStub, Error, ErrorKind, RetryPolicy, ServerInterface,
+    };
+    pub use flexrpc_clock::SimClock;
+    // The synchronization handles server construction needs (a `Loopback`
+    // server lives behind `Arc<Mutex<..>>`).
+    pub use parking_lot::Mutex;
+    pub use std::sync::Arc;
+}

@@ -3,7 +3,7 @@
 //! the NFS server) at once, each behind its own cached program.
 
 use flexrpc::core::present::InterfacePresentation;
-use flexrpc::engine::{expose_on_net, ClientInfo, Engine, EngineConfig};
+use flexrpc::engine::{expose_on_net, ClientInfo, Engine};
 use flexrpc::marshal::WireFormat;
 use flexrpc::net::SimNet;
 use flexrpc::nfs::client::{ClientVariant, NfsClientHarness};
@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 #[test]
 fn one_engine_hosts_pipes_and_nfs_together() {
-    let engine = Engine::start(EngineConfig { workers: 4, queue_capacity: 32 });
+    let engine = Engine::builder().workers(4).queue_depth(32).build();
 
     // Service 1: the pipe server, dealloc(never) presentation.
     let ring = Arc::new(Mutex::new(CircBuf::new(1 << 16)));
@@ -76,7 +76,7 @@ fn one_engine_hosts_pipes_and_nfs_together() {
     let m = fileio_module();
     let iface = m.interface("FileIO").expect("FileIO exists");
     let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
-    let conn = engine.connect("pipe", ClientInfo::of(&pres)).expect("connect");
+    let conn = engine.connect("pipe").client(ClientInfo::of(&pres)).establish().expect("connect");
     let compiled =
         flexrpc::core::program::CompiledInterface::compile(&m, iface, &pres).expect("compiles");
     let mut pipe = ClientStub::new(compiled, WireFormat::Cdr, Box::new(conn));
