@@ -1,0 +1,49 @@
+//! Specialization A/B: the fused + presized call path against the plain
+//! threaded interpreter, on both measured transports, plus cache-lookup
+//! scaling of the sharded program cache across reader-thread counts.
+//!
+//! The `report fuse` rows come from the same drivers in
+//! [`flexrpc_bench::fuse`]; this bench gives them Criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexrpc_bench::fuse;
+use flexrpc_core::fuse::SpecializeOptions;
+use flexrpc_marshal::WireFormat;
+
+fn bench_call_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuse_specialize");
+    group.throughput(Throughput::Elements(1));
+    type Build = fn(SpecializeOptions, WireFormat) -> fuse::FuseRunner;
+    let cells: [(&str, Build); 2] = [
+        ("same-domain", fuse::FuseRunner::same_domain),
+        ("kernel-ipc", fuse::FuseRunner::kernel_ipc),
+    ];
+    for (transport, build) in cells {
+        for (variant, opts) in
+            [("fused", SpecializeOptions::default()), ("unfused", SpecializeOptions::none())]
+        {
+            group.bench_function(BenchmarkId::new(transport, variant), |b| {
+                let mut runner = build(opts, WireFormat::Cdr);
+                runner.call();
+                b.iter(|| runner.call());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cache_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuse_cache_lookup");
+    const LOOKUPS: usize = 10_000;
+    for threads in fuse::CACHE_THREADS {
+        group.throughput(Throughput::Elements((threads * LOOKUPS) as u64));
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let cache = fuse::filled_cache(16);
+            b.iter(|| fuse::scale_run(&cache, threads, LOOKUPS));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_call_path, bench_cache_lookup);
+criterion_main!(benches);

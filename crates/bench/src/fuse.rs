@@ -1,0 +1,217 @@
+//! Specialization experiment — op fusion + presize, A/B'd on the hot path.
+//!
+//! Three measurements back the "specialize the hot call path" claim:
+//!
+//! 1. **Dispatches per call** for the Figure 6 pipe-read signature
+//!    (`read(count: u32) -> sequence<octet>`): interpreter dispatches
+//!    across all four stub programs of one call, fused vs unfused. This is
+//!    the static count the fusion pass promises — no timer involved.
+//! 2. **Calls per second** through real stubs, fused vs unfused, on the
+//!    same-domain loopback transport and on the kernel-IPC transport. Both
+//!    sides of each A/B run identical handlers; only `SpecializeOptions`
+//!    differs.
+//! 3. **Cache-lookup scaling**: total lookups/s against one shared
+//!    [`ProgramCache`] as reader threads sweep, plus the contended-read
+//!    count — the sharded read-mostly design should scale near-linearly
+//!    and report (not suffer) contention.
+
+use flexrpc_core::fuse::SpecializeOptions;
+use flexrpc_core::present::{InterfacePresentation, Trust};
+use flexrpc_core::program::{CompiledInterface, CompiledOp};
+use flexrpc_core::value::Value;
+use flexrpc_engine::{ProgramCache, ProgramKey};
+use flexrpc_kernel::{Kernel, NameMode};
+use flexrpc_marshal::WireFormat;
+use flexrpc_pipes::fileio_module;
+use flexrpc_runtime::transport::{connect_kernel, serve_on_kernel, Loopback};
+use flexrpc_runtime::{ClientStub, ServerInterface};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Reply payload bytes per `read` call (small, so dispatch overhead — the
+/// thing fusion removes — is a visible fraction of the call).
+pub const READ_SIZE: usize = 64;
+
+/// Reader-thread counts swept by the cache-scaling measurement.
+pub const CACHE_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Compiles the FileIO interface with the given specialization.
+pub fn compile(opts: SpecializeOptions) -> CompiledInterface {
+    let m = fileio_module();
+    let iface = m.interface("FileIO").expect("FileIO exists");
+    let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    CompiledInterface::compile_with(&m, iface, &pres, opts).expect("compiles")
+}
+
+/// (threaded ops, interpreter dispatches) summed over all four programs of
+/// one compiled op — the per-call dispatch budget.
+pub fn dispatches_per_call(op: &CompiledOp) -> (usize, usize) {
+    let programs =
+        [&op.request_marshal, &op.request_unmarshal, &op.reply_marshal, &op.reply_unmarshal];
+    let ops = programs.iter().map(|p| p.ops.len()).sum();
+    let dispatches = programs.iter().map(|p| p.dispatch_count()).sum();
+    (ops, dispatches)
+}
+
+fn fileio_server(opts: SpecializeOptions, format: WireFormat) -> Arc<Mutex<ServerInterface>> {
+    let compiled = Arc::new(compile(opts));
+    let mut server = ServerInterface::new_shared(compiled, format);
+    server
+        .on("read", |call| {
+            let count = call.u32("count").expect("count arg") as usize;
+            call.set("return", Value::Bytes(vec![0u8; count])).expect("set");
+            0
+        })
+        .expect("read registers");
+    Arc::new(Mutex::new(server))
+}
+
+/// A ready-to-call `read` stub over one of the two measured transports.
+pub struct FuseRunner {
+    stub: ClientStub,
+    frame: Vec<Value>,
+}
+
+impl FuseRunner {
+    /// Same-domain: stub and server in one address space over [`Loopback`].
+    pub fn same_domain(opts: SpecializeOptions, format: WireFormat) -> FuseRunner {
+        let server = fileio_server(opts, format);
+        let stub = ClientStub::new(compile(opts), format, Box::new(Loopback::new(server)));
+        FuseRunner::finish(stub)
+    }
+
+    /// Kernel IPC: client and server tasks on the simulated kernel, the
+    /// message crossing the streamlined IPC path.
+    pub fn kernel_ipc(opts: SpecializeOptions, format: WireFormat) -> FuseRunner {
+        let kernel = Kernel::new();
+        let client_task = kernel.create_task("client", 1 << 16).expect("task");
+        let server_task = kernel.create_task("server", 1 << 16).expect("task");
+        let server = fileio_server(opts, format);
+        let port = serve_on_kernel(&kernel, server_task, server, Trust::None, NameMode::Unique)
+            .expect("serve");
+        let send = kernel.extract_send_right(server_task, port, client_task).expect("right");
+        let compiled = compile(opts);
+        let signature = compiled.signature.hash();
+        let transport =
+            connect_kernel(&kernel, client_task, send, signature, Trust::None, NameMode::Unique)
+                .expect("connect");
+        let stub = ClientStub::new(compiled, format, Box::new(transport));
+        FuseRunner::finish(stub)
+    }
+
+    fn finish(stub: ClientStub) -> FuseRunner {
+        let mut frame = stub.new_frame("read").expect("frame");
+        frame[0] = Value::U32(READ_SIZE as u32);
+        FuseRunner { stub, frame }
+    }
+
+    /// One synchronous `read` RPC.
+    pub fn call(&mut self) {
+        self.frame[0] = Value::U32(READ_SIZE as u32);
+        self.stub.call("read", &mut self.frame).expect("call succeeds");
+    }
+}
+
+/// Result of one cache-scaling cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheScale {
+    /// Total lookups per second across all threads.
+    pub lookups_per_sec: f64,
+    /// Contended snapshot reads observed during the run.
+    pub contended: u64,
+}
+
+fn scale_key(i: u64) -> ProgramKey {
+    ProgramKey {
+        signature: 0x5EED ^ i,
+        server_presentation: 1,
+        client_presentation: i,
+        server_trust: Trust::None,
+        client_trust: Trust::None,
+        format: WireFormat::Cdr,
+    }
+}
+
+/// Builds a cache pre-filled with `keys` compiled combinations.
+pub fn filled_cache(keys: u64) -> Arc<ProgramCache> {
+    let cache = Arc::new(ProgramCache::new());
+    for i in 0..keys {
+        cache
+            .get_or_compile::<flexrpc_core::CoreError>(scale_key(i), || {
+                Ok(compile(SpecializeOptions::default()))
+            })
+            .expect("compiles");
+    }
+    cache
+}
+
+/// Hammers `cache.get` from `threads` readers for `lookups_per_thread`
+/// iterations each; every lookup must hit.
+pub fn scale_run(
+    cache: &Arc<ProgramCache>,
+    threads: usize,
+    lookups_per_thread: usize,
+) -> CacheScale {
+    let keys = cache.stats().programs as u64;
+    let contended_before: u64 = cache.stats().shards.iter().map(|s| s.contended).sum();
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = Arc::clone(cache);
+            std::thread::spawn(move || {
+                for i in 0..lookups_per_thread {
+                    let key = scale_key(((t + i) as u64) % keys);
+                    assert!(cache.get(&key).is_some(), "pre-filled key hits");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("reader ok");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let contended_after: u64 = cache.stats().shards.iter().map(|s| s.contended).sum();
+    CacheScale {
+        lookups_per_sec: (threads * lookups_per_thread) as f64 / elapsed,
+        contended: contended_after - contended_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_read_fuses_at_least_thirty_percent() {
+        let fused = compile(SpecializeOptions::default());
+        let (ops, dispatches) = dispatches_per_call(fused.op("read").expect("read"));
+        assert!(ops > 0 && dispatches < ops);
+        let reduction = (ops - dispatches) as f64 / ops as f64;
+        assert!(reduction >= 0.30, "read fuses {ops} ops to {dispatches} dispatches");
+    }
+
+    #[test]
+    fn unfused_compile_keeps_one_dispatch_per_op() {
+        let plain = compile(SpecializeOptions::none());
+        let (ops, dispatches) = dispatches_per_call(plain.op("read").expect("read"));
+        assert_eq!(ops, dispatches);
+    }
+
+    #[test]
+    fn both_transports_run_fused_and_unfused() {
+        for opts in [SpecializeOptions::default(), SpecializeOptions::none()] {
+            for format in [WireFormat::Xdr, WireFormat::Cdr] {
+                FuseRunner::same_domain(opts, format).call();
+                FuseRunner::kernel_ipc(opts, format).call();
+            }
+        }
+    }
+
+    #[test]
+    fn cache_scale_all_hits() {
+        let cache = filled_cache(8);
+        let r = scale_run(&cache, 4, 200);
+        assert!(r.lookups_per_sec > 0.0);
+        assert_eq!(cache.stats().misses, 8, "scaling run never compiles");
+    }
+}

@@ -12,6 +12,7 @@ pub mod fig12;
 pub mod fig2;
 pub mod fig6;
 pub mod fig7;
+pub mod fuse;
 pub mod port;
 pub mod serve;
 pub mod shed;

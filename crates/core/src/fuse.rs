@@ -1,0 +1,439 @@
+//! Bind-time specialization of stub programs: op fusion and exact-size
+//! precomputation.
+//!
+//! A compiled [`StubProgram`] is threaded code — one interpreter dispatch
+//! (and often a `Value` round-trip) per field. This module adds the
+//! specialization step the paper's "combination signatures" imply: at bind
+//! time we know the whole op sequence and both wire formats' layout rules,
+//! so runs of adjacent fixed-size scalar ops can be collapsed into a single
+//! *fused block* with a precomputed field layout. The interpreter then
+//! executes one bulk op per block — one bounds check, one buffer extend,
+//! N `copy_from_slice`s — instead of N dispatches.
+//!
+//! Layout is precomputed per wire format family:
+//!
+//! * **packed** — XDR semantics: big-endian, no alignment, `bool` is a
+//!   4-byte 0/1 word. Offsets are position-independent.
+//! * **aligned** — CDR semantics: native order, natural alignment relative
+//!   to the message start (which includes the byte-order flag), `bool` is
+//!   one byte. Because padding depends on where the block starts, eight
+//!   layouts are precomputed — one per `start % 8` phase — and the
+//!   interpreter picks by the writer/reader position at runtime. All
+//!   alignment arithmetic is thereby constant-folded out of the call path.
+//!
+//! The companion [`SizeHint`] records the fixed-size wire footprint of a
+//! program plus the slots whose payload lengths must be added at runtime,
+//! so marshal buffers can reserve once instead of growing mid-message.
+
+use crate::program::{MOp, Slot, StubProgram};
+
+/// Which specialization passes to run at compile time.
+///
+/// Defaults to everything on; benches A/B individual passes by building
+/// explicit options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecializeOptions {
+    /// Coalesce adjacent fixed-size scalar ops into fused blocks.
+    pub fuse: bool,
+    /// Precompute exact/upper-bound wire sizes so buffers reserve once.
+    pub presize: bool,
+}
+
+impl Default for SpecializeOptions {
+    fn default() -> SpecializeOptions {
+        SpecializeOptions { fuse: true, presize: true }
+    }
+}
+
+impl SpecializeOptions {
+    /// No specialization at all: programs stay plain threaded code.
+    pub fn none() -> SpecializeOptions {
+        SpecializeOptions { fuse: false, presize: false }
+    }
+}
+
+/// The fixed-size scalar kinds a fused block can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarKind {
+    /// 4 bytes packed / 4-aligned.
+    U32,
+    /// 4 bytes packed / 4-aligned.
+    I32,
+    /// 8 bytes packed / 8-aligned.
+    U64,
+    /// 8 bytes packed / 8-aligned.
+    I64,
+    /// 4-byte word packed (XDR), 1 byte unaligned (CDR).
+    Bool,
+    /// 8 bytes packed / 8-aligned.
+    F64,
+}
+
+impl ScalarKind {
+    /// (size, alignment) under packed (XDR) rules — alignment is trivially 1
+    /// because XDR's 4-byte units never introduce padding between scalars.
+    fn packed_size(self) -> u32 {
+        match self {
+            ScalarKind::U32 | ScalarKind::I32 | ScalarKind::Bool => 4,
+            ScalarKind::U64 | ScalarKind::I64 | ScalarKind::F64 => 8,
+        }
+    }
+
+    /// (size, alignment) under aligned (CDR) rules.
+    fn aligned_size_align(self) -> (u32, u32) {
+        match self {
+            ScalarKind::U32 | ScalarKind::I32 => (4, 4),
+            ScalarKind::U64 | ScalarKind::I64 | ScalarKind::F64 => (8, 8),
+            ScalarKind::Bool => (1, 1),
+        }
+    }
+}
+
+/// One field of a fused block: the slot it moves and its scalar kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockField {
+    /// Frame slot read (marshal) or written (unmarshal).
+    pub slot: Slot,
+    /// Fixed-size kind, selecting width and encoding.
+    pub kind: ScalarKind,
+}
+
+/// A precomputed field layout for one block under one format family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Byte offset of each field from the block start (padding folded in).
+    pub offsets: Vec<u32>,
+    /// Total block length in bytes, padding included.
+    pub len: u32,
+    /// Sum of field sizes, padding excluded (payload accounting).
+    pub data_len: u32,
+}
+
+/// A run of adjacent fixed-size scalars with layouts for both format
+/// families precomputed at bind time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarBlock {
+    /// Fields in wire order.
+    pub fields: Vec<BlockField>,
+    /// Position-independent packed (XDR) layout.
+    pub packed: BlockLayout,
+    /// Aligned (CDR) layouts, one per `start_position % 8` phase.
+    pub aligned: [BlockLayout; 8],
+}
+
+impl ScalarBlock {
+    fn new(fields: Vec<BlockField>) -> ScalarBlock {
+        let packed = {
+            let mut offsets = Vec::with_capacity(fields.len());
+            let mut off = 0u32;
+            for f in &fields {
+                offsets.push(off);
+                off += f.kind.packed_size();
+            }
+            BlockLayout { offsets, len: off, data_len: off }
+        };
+        let aligned = std::array::from_fn(|phase| {
+            let phase = phase as u32;
+            let mut offsets = Vec::with_capacity(fields.len());
+            let mut abs = phase;
+            let mut data_len = 0u32;
+            for f in &fields {
+                let (size, align) = f.kind.aligned_size_align();
+                let at = abs.next_multiple_of(align);
+                offsets.push(at - phase);
+                abs = at + size;
+                data_len += size;
+            }
+            BlockLayout { offsets, len: abs - phase, data_len }
+        });
+        ScalarBlock { fields, packed, aligned }
+    }
+}
+
+/// One op of a fused program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FOp {
+    /// A single op executed exactly as the unfused interpreter would.
+    One(MOp),
+    /// An optional non-scalar head op followed by a fused scalar block
+    /// (index into [`FusedProgram::blocks`]). The head runs through the
+    /// same single-op path as [`FOp::One`]; the block runs as one bulk op.
+    Fused {
+        /// Non-scalar op preceding the block, if any.
+        head: Option<MOp>,
+        /// Index of the block in the owning program.
+        block: usize,
+    },
+}
+
+/// Fixed-size wire footprint of a program plus the slots whose runtime
+/// payload lengths complete the total — enough to reserve a marshal buffer
+/// once, up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeHint {
+    /// Exact fixed bytes under packed (XDR) rules.
+    pub fixed_packed: u32,
+    /// Upper-bound fixed bytes under aligned (CDR) rules (alignment padding
+    /// depends on runtime position, so each field budgets its worst case).
+    pub fixed_aligned: u32,
+    /// Slots whose payload length is added at call time (plus per-payload
+    /// length-word/padding overhead the runtime accounts for).
+    pub payload_slots: Vec<Slot>,
+}
+
+/// The specialized form of a [`StubProgram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedProgram {
+    /// Fused ops in execution order.
+    pub fops: Vec<FOp>,
+    /// Scalar blocks referenced by [`FOp::Fused`].
+    pub blocks: Vec<ScalarBlock>,
+    /// Op count of the source program (before/after bookkeeping).
+    pub source_ops: usize,
+    /// Exact-size precomputation, when the presize pass ran.
+    pub presize: Option<SizeHint>,
+}
+
+impl FusedProgram {
+    /// Interpreter dispatches one call through this program costs.
+    pub fn dispatch_count(&self) -> usize {
+        self.fops.len()
+    }
+}
+
+/// Classifies an op as a fixed-size scalar move, for both directions.
+fn scalar_kind(op: &MOp) -> Option<(Slot, ScalarKind)> {
+    match *op {
+        MOp::PutU32(s) | MOp::GetU32(s) => Some((s, ScalarKind::U32)),
+        MOp::PutI32(s) | MOp::GetI32(s) => Some((s, ScalarKind::I32)),
+        MOp::PutU64(s) | MOp::GetU64(s) => Some((s, ScalarKind::U64)),
+        MOp::PutI64(s) | MOp::GetI64(s) => Some((s, ScalarKind::I64)),
+        MOp::PutBool(s) | MOp::GetBool(s) => Some((s, ScalarKind::Bool)),
+        MOp::PutF64(s) | MOp::GetF64(s) => Some((s, ScalarKind::F64)),
+        _ => None,
+    }
+}
+
+/// Runs the specialization passes over a compiled op sequence. Returns
+/// `None` when every pass is disabled (the program stays plain).
+pub fn specialize(ops: &[MOp], opts: SpecializeOptions) -> Option<FusedProgram> {
+    if !opts.fuse && !opts.presize {
+        return None;
+    }
+    let presize = opts.presize.then(|| size_hint(ops));
+    let mut fops = Vec::new();
+    let mut blocks: Vec<ScalarBlock> = Vec::new();
+    let push_block = |blocks: &mut Vec<ScalarBlock>, run: &[MOp]| -> usize {
+        let fields = run
+            .iter()
+            .map(|op| {
+                let (slot, kind) = scalar_kind(op).expect("run contains only scalars");
+                BlockField { slot, kind }
+            })
+            .collect();
+        blocks.push(ScalarBlock::new(fields));
+        blocks.len() - 1
+    };
+    if opts.fuse {
+        let mut i = 0;
+        while i < ops.len() {
+            if scalar_kind(&ops[i]).is_some() {
+                // A scalar run with no head to attach to: fuse if ≥ 2.
+                let start = i;
+                while i < ops.len() && scalar_kind(&ops[i]).is_some() {
+                    i += 1;
+                }
+                if i - start >= 2 {
+                    let block = push_block(&mut blocks, &ops[start..i]);
+                    fops.push(FOp::Fused { head: None, block });
+                } else {
+                    fops.push(FOp::One(ops[start]));
+                }
+            } else {
+                // A non-scalar op absorbs any trailing scalar run, so e.g.
+                // `[PutBytes, PutU32]` costs one dispatch, not two.
+                let head = ops[i];
+                i += 1;
+                let start = i;
+                while i < ops.len() && scalar_kind(&ops[i]).is_some() {
+                    i += 1;
+                }
+                if i > start {
+                    let block = push_block(&mut blocks, &ops[start..i]);
+                    fops.push(FOp::Fused { head: Some(head), block });
+                } else {
+                    fops.push(FOp::One(head));
+                }
+            }
+        }
+    } else {
+        fops = ops.iter().map(|&op| FOp::One(op)).collect();
+    }
+    Some(FusedProgram { fops, blocks, source_ops: ops.len(), presize })
+}
+
+/// Computes the fixed-size wire footprint of a program.
+fn size_hint(ops: &[MOp]) -> SizeHint {
+    let mut fixed_packed = 0u32;
+    let mut fixed_aligned = 0u32;
+    let mut payload_slots = Vec::new();
+    for op in ops {
+        if let Some((_, kind)) = scalar_kind(op) {
+            fixed_packed += kind.packed_size();
+            let (size, align) = kind.aligned_size_align();
+            fixed_aligned += size + (align - 1);
+            continue;
+        }
+        match *op {
+            MOp::PutBytesFixed(_, n) | MOp::GetBytesFixed(_, n) => {
+                fixed_packed += n.next_multiple_of(4);
+                fixed_aligned += n + 4;
+            }
+            MOp::PutStr(s)
+            | MOp::PutStrFromBytes(s)
+            | MOp::PutBytes(s)
+            | MOp::GetStr(s)
+            | MOp::GetStrAsBytes(s)
+            | MOp::GetBytesOwned(s)
+            | MOp::GetBytesBorrowed(s)
+            | MOp::GetBytesInto(s) => payload_slots.push(s),
+            // Ports travel out-of-band; `[special]` payload lengths are
+            // decided by user hooks at call time — no static contribution.
+            _ => {}
+        }
+    }
+    SizeHint { fixed_packed, fixed_aligned, payload_slots }
+}
+
+/// Convenience: specialize every program of a [`StubProgram`] in place.
+pub fn specialize_program(prog: &mut StubProgram, opts: SpecializeOptions) {
+    prog.fused = specialize(&prog.ops, opts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fops(ops: Vec<MOp>, opts: SpecializeOptions) -> FusedProgram {
+        specialize(&ops, opts).expect("specialization on")
+    }
+
+    #[test]
+    fn scalar_run_fuses_to_one_block() {
+        let f = fops(
+            vec![MOp::PutU32(Slot(0)), MOp::PutU64(Slot(1)), MOp::PutBool(Slot(2))],
+            SpecializeOptions::default(),
+        );
+        assert_eq!(f.fops.len(), 1);
+        assert_eq!(f.source_ops, 3);
+        match f.fops[0] {
+            FOp::Fused { head: None, block } => {
+                assert_eq!(f.blocks[block].fields.len(), 3);
+            }
+            ref other => panic!("expected headless fused block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_head_absorbs_trailing_scalars() {
+        // The fig6 pipe-read reply shape: [PutBytes, PutU32].
+        let f =
+            fops(vec![MOp::PutBytes(Slot(1)), MOp::PutU32(Slot(2))], SpecializeOptions::default());
+        assert_eq!(f.fops.len(), 1);
+        match f.fops[0] {
+            FOp::Fused { head: Some(MOp::PutBytes(Slot(1))), block } => {
+                assert_eq!(
+                    f.blocks[block].fields,
+                    vec![BlockField { slot: Slot(2), kind: ScalarKind::U32 }]
+                );
+            }
+            ref other => panic!("expected headed fused block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_scalar_stays_unfused() {
+        let f = fops(vec![MOp::GetU32(Slot(0))], SpecializeOptions::default());
+        assert_eq!(f.fops, vec![FOp::One(MOp::GetU32(Slot(0)))]);
+        assert!(f.blocks.is_empty());
+    }
+
+    #[test]
+    fn adjacent_payloads_do_not_fuse_with_each_other() {
+        let f = fops(
+            vec![MOp::PutBytes(Slot(0)), MOp::PutBytes(Slot(1)), MOp::PutU32(Slot(2))],
+            SpecializeOptions::default(),
+        );
+        assert_eq!(f.fops.len(), 2);
+        assert_eq!(f.fops[0], FOp::One(MOp::PutBytes(Slot(0))));
+        assert!(matches!(f.fops[1], FOp::Fused { head: Some(MOp::PutBytes(Slot(1))), .. }));
+    }
+
+    #[test]
+    fn packed_layout_has_no_padding() {
+        let b = ScalarBlock::new(vec![
+            BlockField { slot: Slot(0), kind: ScalarKind::U32 },
+            BlockField { slot: Slot(1), kind: ScalarKind::U64 },
+            BlockField { slot: Slot(2), kind: ScalarKind::Bool },
+        ]);
+        assert_eq!(b.packed.offsets, vec![0, 4, 12]);
+        assert_eq!(b.packed.len, 16);
+        assert_eq!(b.packed.data_len, 16);
+    }
+
+    #[test]
+    fn aligned_layouts_fold_phase_dependent_padding() {
+        let b = ScalarBlock::new(vec![
+            BlockField { slot: Slot(0), kind: ScalarKind::U32 },
+            BlockField { slot: Slot(1), kind: ScalarKind::U64 },
+            BlockField { slot: Slot(2), kind: ScalarKind::Bool },
+        ]);
+        // Phase 0: u32 @0, u64 @8 (4 pad), bool @16.
+        assert_eq!(b.aligned[0].offsets, vec![0, 8, 16]);
+        assert_eq!(b.aligned[0].len, 17);
+        assert_eq!(b.aligned[0].data_len, 13);
+        // Phase 1 (CDR position 1, right after the order flag): u32 aligns
+        // to abs 4 → rel 3; u64 to abs 8 → rel 7; bool at abs 16 → rel 15.
+        assert_eq!(b.aligned[1].offsets, vec![3, 7, 15]);
+        assert_eq!(b.aligned[1].len, 16);
+        assert_eq!(b.aligned[1].data_len, 13);
+        // Phase 5: u32 → abs 8 → rel 3; u64 → abs 16 → rel 11; bool rel 19.
+        assert_eq!(b.aligned[5].offsets, vec![3, 11, 19]);
+        assert_eq!(b.aligned[5].len, 20);
+    }
+
+    #[test]
+    fn fuse_off_keeps_every_op_separate() {
+        let f = fops(
+            vec![MOp::PutU32(Slot(0)), MOp::PutU32(Slot(1))],
+            SpecializeOptions { fuse: false, presize: true },
+        );
+        assert_eq!(f.fops, vec![FOp::One(MOp::PutU32(Slot(0))), FOp::One(MOp::PutU32(Slot(1)))]);
+        assert!(f.blocks.is_empty());
+        assert!(f.presize.is_some());
+    }
+
+    #[test]
+    fn all_passes_off_returns_none() {
+        assert!(specialize(&[MOp::PutU32(Slot(0))], SpecializeOptions::none()).is_none());
+    }
+
+    #[test]
+    fn size_hint_counts_fixed_and_payload() {
+        let f = fops(
+            vec![
+                MOp::PutBytes(Slot(0)),
+                MOp::PutU32(Slot(1)),
+                MOp::PutU64(Slot(2)),
+                MOp::PutBytesFixed(Slot(3), 10),
+            ],
+            SpecializeOptions::default(),
+        );
+        let hint = f.presize.expect("presize on");
+        // Packed: 4 + 8 + round4(10) = 24 fixed bytes.
+        assert_eq!(hint.fixed_packed, 24);
+        // Aligned upper bound: (4+3) + (8+7) + (10+4) = 36.
+        assert_eq!(hint.fixed_aligned, 36);
+        assert_eq!(hint.payload_slots, vec![Slot(0)]);
+    }
+}

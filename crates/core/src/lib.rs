@@ -30,6 +30,7 @@
 pub mod annot;
 pub mod compat;
 pub mod error;
+pub mod fuse;
 pub mod ir;
 pub mod present;
 pub mod program;
@@ -38,6 +39,7 @@ pub mod validate;
 pub mod value;
 
 pub use error::CoreError;
+pub use fuse::SpecializeOptions;
 pub use ir::{Interface, Module, Operation, Param, ParamDir, Type};
 pub use present::{InterfacePresentation, OpPresentation, ParamPresentation};
 pub use program::{CompiledInterface, CompiledOp, StubProgram};

@@ -128,6 +128,19 @@ impl SlotMap {
     pub fn new_frame(&self) -> Vec<Value> {
         self.slots.iter().map(|s| s.kind.empty_value()).collect()
     }
+
+    /// Resets a used frame to the freshly initialized state, keeping the
+    /// array allocation (the steady-state dispatch path reuses one frame
+    /// per op instead of allocating per call).
+    pub fn reset_frame(&self, frame: &mut Vec<Value>) {
+        if frame.len() != self.slots.len() {
+            *frame = self.new_frame();
+            return;
+        }
+        for (v, s) in frame.iter_mut().zip(&self.slots) {
+            *v = s.kind.empty_value();
+        }
+    }
 }
 
 /// One marshal/unmarshal op. `Put*` ops write to the message from slots;
@@ -246,6 +259,9 @@ impl MOp {
 pub struct StubProgram {
     /// Ops in execution order.
     pub ops: Vec<MOp>,
+    /// The specialized (fused / presized) form, when the specialization
+    /// pass ran. `None` means the interpreter walks `ops` one by one.
+    pub fused: Option<crate::fuse::FusedProgram>,
 }
 
 impl StubProgram {
@@ -257,6 +273,22 @@ impl StubProgram {
     /// True if the program does nothing (e.g. a null RPC's body).
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// A program over `ops`, unspecialized.
+    pub fn from_ops(ops: Vec<MOp>) -> StubProgram {
+        StubProgram { ops, fused: None }
+    }
+
+    /// Interpreter dispatches one call through this program costs: the
+    /// fused op count when specialized, the raw op count otherwise.
+    pub fn dispatch_count(&self) -> usize {
+        self.fused.as_ref().map_or(self.ops.len(), |f| f.fops.len())
+    }
+
+    /// Runs the specialization passes over this program in place.
+    pub fn specialize(&mut self, opts: crate::fuse::SpecializeOptions) {
+        self.fused = crate::fuse::specialize(&self.ops, opts);
     }
 }
 
@@ -328,11 +360,28 @@ pub struct CompiledInterface {
 }
 
 impl CompiledInterface {
-    /// Compiles every operation of `iface` under `pres`.
+    /// Compiles every operation of `iface` under `pres`, with default
+    /// specialization (fusion + presize) applied to every program.
     pub fn compile(
         module: &Module,
         iface: &Interface,
         pres: &InterfacePresentation,
+    ) -> Result<CompiledInterface> {
+        CompiledInterface::compile_with(
+            module,
+            iface,
+            pres,
+            crate::fuse::SpecializeOptions::default(),
+        )
+    }
+
+    /// Compiles every operation of `iface` under `pres` with explicit
+    /// specialization options (benches A/B the passes through this).
+    pub fn compile_with(
+        module: &Module,
+        iface: &Interface,
+        pres: &InterfacePresentation,
+        opts: crate::fuse::SpecializeOptions,
     ) -> Result<CompiledInterface> {
         crate::validate::validate(module)?;
         let signature = WireSignature::of_interface(module, iface)?;
@@ -341,7 +390,12 @@ impl CompiledInterface {
             let op_pres = pres.op(&op.name).ok_or_else(|| {
                 CoreError::BadPresentation(format!("presentation lacks operation `{}`", op.name))
             })?;
-            ops.push(compile_op(module, op, index, op_pres)?);
+            let mut compiled = compile_op(module, op, index, op_pres)?;
+            compiled.request_marshal.specialize(opts);
+            compiled.request_unmarshal.specialize(opts);
+            compiled.reply_marshal.specialize(opts);
+            compiled.reply_unmarshal.specialize(opts);
+            ops.push(compiled);
         }
         Ok(CompiledInterface { interface: iface.name.clone(), ops, signature })
     }
@@ -941,6 +995,43 @@ mod tests {
             ci.op("null_fh").unwrap().request_marshal.ops,
             vec![MOp::PutBytesFixed(Slot(0), 32)]
         );
+    }
+
+    #[test]
+    fn compile_specializes_programs() {
+        let ci = compile_fileio(None);
+        let read = ci.op("read").unwrap();
+        let programs = [
+            &read.request_marshal,
+            &read.request_unmarshal,
+            &read.reply_marshal,
+            &read.reply_unmarshal,
+        ];
+        let before: usize = programs.iter().map(|p| p.ops.len()).sum();
+        let after: usize = programs.iter().map(|p| p.dispatch_count()).sum();
+        // The fig6 pipe-read signature: 6 threaded ops fuse to 4 dispatches
+        // (the payload op absorbs its trailing scalar on both reply sides).
+        assert_eq!((before, after), (6, 4));
+        for p in programs {
+            assert!(p.fused.is_some());
+        }
+    }
+
+    #[test]
+    fn compile_with_none_skips_specialization() {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        let ci = CompiledInterface::compile_with(
+            &m,
+            iface,
+            &pres,
+            crate::fuse::SpecializeOptions::none(),
+        )
+        .unwrap();
+        let read = ci.op("read").unwrap();
+        assert!(read.reply_marshal.fused.is_none());
+        assert_eq!(read.reply_marshal.dispatch_count(), read.reply_marshal.ops.len());
     }
 
     #[test]

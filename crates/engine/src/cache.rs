@@ -8,14 +8,30 @@
 //! the same combination reuses the `Arc`'d program. Hit/miss counters make
 //! the reuse observable — the acceptance tests assert
 //! `compilations < connections`.
+//!
+//! The cache is **sharded and read-mostly**: keys hash to one of
+//! [`SHARD_COUNT`] shards, and each shard publishes its map as an
+//! `Arc<HashMap>` snapshot behind an `RwLock` that is only ever held long
+//! enough to clone or swap the `Arc`. A hit therefore costs one `try_read`
+//! (uncontended in steady state — contention is counted per shard, not
+//! suffered silently), one `Arc` clone, and a hash lookup with no lock
+//! held; compilation serializes per shard on a separate publish mutex and
+//! installs a clone-on-publish copy of the map, so readers never wait
+//! behind a compile.
 
 use flexrpc_core::present::Trust;
 use flexrpc_core::program::CompiledInterface;
 use flexrpc_marshal::WireFormat;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of independent shards. A small power of two: the key space is
+/// tiny (one entry per live combination), so this bounds contention, not
+/// capacity.
+pub const SHARD_COUNT: usize = 8;
 
 /// The combination a compiled program is valid for. Two connections map to
 /// the same program exactly when every component matches.
@@ -35,6 +51,18 @@ pub struct ProgramKey {
     pub format: WireFormat,
 }
 
+/// Per-shard counter snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups this shard satisfied from its snapshot.
+    pub hits: u64,
+    /// Compilations this shard performed.
+    pub misses: u64,
+    /// Times the lock-free `try_read` lost to a concurrent publish and had
+    /// to fall back to a blocking read.
+    pub contended: u64,
+}
+
 /// Cache statistics snapshot.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheStats {
@@ -44,6 +72,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Programs currently cached (== misses while nothing is evicted).
     pub programs: usize,
+    /// Per-shard breakdown of the totals above.
+    pub shards: [ShardStats; SHARD_COUNT],
+    /// Threaded-code ops across all cached stub programs, before fusion.
+    pub source_ops: u64,
+    /// Interpreter dispatches across the same programs after fusion
+    /// (`== source_ops` when specialization is off).
+    pub fused_ops: u64,
 }
 
 impl CacheStats {
@@ -58,12 +93,65 @@ impl CacheStats {
     }
 }
 
+/// One cache shard: a published map snapshot plus its counters.
+#[derive(Default)]
+struct Shard {
+    /// The read-mostly map. Readers clone the `Arc` under a momentary
+    /// `try_read`; publishers swap in a rebuilt map under a momentary
+    /// `write`. Nobody holds this lock across a lookup or a compile.
+    map: RwLock<Arc<HashMap<ProgramKey, Arc<CompiledInterface>>>>,
+    /// Serializes compilations for this shard's keys so a racing first
+    /// request still compiles exactly once.
+    publish: Mutex<()>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl Shard {
+    /// Clones the current map snapshot; the lock is released before the
+    /// caller looks anything up.
+    fn snapshot(&self) -> Arc<HashMap<ProgramKey, Arc<CompiledInterface>>> {
+        match self.map.try_read() {
+            Some(g) => Arc::clone(&g),
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(&self.map.read())
+            }
+        }
+    }
+}
+
 /// A concurrent map from combination keys to shared compilations.
 #[derive(Default)]
 pub struct ProgramCache {
-    programs: RwLock<HashMap<ProgramKey, Arc<CompiledInterface>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    shards: [Shard; SHARD_COUNT],
+    /// Cumulative op counts over every program ever compiled here, for the
+    /// specialization report (before/after fusion).
+    source_ops: AtomicU64,
+    fused_ops: AtomicU64,
+}
+
+fn shard_index(key: &ProgramKey) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARD_COUNT
+}
+
+/// Sums threaded ops and post-fusion dispatches over all four programs of
+/// every procedure in a compiled interface.
+fn op_totals(ci: &CompiledInterface) -> (u64, u64) {
+    let mut source = 0u64;
+    let mut fused = 0u64;
+    for op in &ci.ops {
+        for p in
+            [&op.request_marshal, &op.request_unmarshal, &op.reply_marshal, &op.reply_unmarshal]
+        {
+            source += p.ops.len() as u64;
+            fused += p.dispatch_count() as u64;
+        }
+    }
+    (source, fused)
 }
 
 impl ProgramCache {
@@ -74,46 +162,67 @@ impl ProgramCache {
 
     /// Returns the program for `key`, compiling through `compile` only on
     /// the first request for this combination. Concurrent first requests
-    /// serialize on the write lock so the combination still compiles
-    /// exactly once.
+    /// for the same shard serialize on its publish mutex so the
+    /// combination still compiles exactly once; hits never touch a
+    /// write-capable lock.
     pub fn get_or_compile<E>(
         &self,
         key: ProgramKey,
         compile: impl FnOnce() -> Result<CompiledInterface, E>,
     ) -> Result<Arc<CompiledInterface>, E> {
-        if let Some(found) = self.programs.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[shard_index(&key)];
+        if let Some(found) = shard.snapshot().get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(found));
         }
-        let mut programs = self.programs.write();
-        // Double-check: another thread may have compiled while we waited.
-        if let Some(found) = programs.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let _publish = shard.publish.lock();
+        // Double-check: another thread may have published while we waited.
+        if let Some(found) = shard.snapshot().get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(found));
         }
         let compiled = Arc::new(compile()?);
-        programs.insert(key, Arc::clone(&compiled));
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (source, fused) = op_totals(&compiled);
+        self.source_ops.fetch_add(source, Ordering::Relaxed);
+        self.fused_ops.fetch_add(fused, Ordering::Relaxed);
+        // Clone-on-publish: rebuild outside the lock, swap under it.
+        let mut next = HashMap::clone(&shard.snapshot());
+        next.insert(key, Arc::clone(&compiled));
+        *shard.map.write() = Arc::new(next);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         Ok(compiled)
     }
 
-    /// Looks up without compiling.
+    /// Looks up without compiling (and without counting).
     pub fn get(&self, key: &ProgramKey) -> Option<Arc<CompiledInterface>> {
-        self.programs.read().get(key).map(Arc::clone)
+        let shard = &self.shards[shard_index(key)];
+        shard.snapshot().get(key).map(Arc::clone)
     }
 
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            programs: self.programs.read().len(),
+        let mut s = CacheStats {
+            hits: 0,
+            misses: 0,
+            programs: 0,
+            shards: [ShardStats::default(); SHARD_COUNT],
+            source_ops: self.source_ops.load(Ordering::Relaxed),
+            fused_ops: self.fused_ops.load(Ordering::Relaxed),
+        };
+        for (shard, out) in self.shards.iter().zip(s.shards.iter_mut()) {
+            out.hits = shard.hits.load(Ordering::Relaxed);
+            out.misses = shard.misses.load(Ordering::Relaxed);
+            out.contended = shard.contended.load(Ordering::Relaxed);
+            s.hits += out.hits;
+            s.misses += out.misses;
+            s.programs += shard.snapshot().len();
         }
+        s
     }
 
     /// Total compilations performed (one per distinct combination).
     pub fn compilations(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.misses.load(Ordering::Relaxed)).sum()
     }
 }
 
@@ -196,5 +305,59 @@ mod tests {
         let programs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(cache.compilations(), 1, "racing threads share one compile");
         assert!(programs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn shard_totals_match_rollup() {
+        let cache = ProgramCache::new();
+        for fp in 0..16 {
+            cache.get_or_compile(key(fp, Trust::None), compile_fileio).unwrap();
+            cache.get_or_compile(key(fp, Trust::None), compile_fileio).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.programs), (16, 16, 16));
+        assert_eq!(s.shards.iter().map(|p| p.hits).sum::<u64>(), s.hits);
+        assert_eq!(s.shards.iter().map(|p| p.misses).sum::<u64>(), s.misses);
+        assert!(
+            s.shards.iter().filter(|p| p.misses > 0).count() > 1,
+            "distinct keys spread across shards"
+        );
+    }
+
+    #[test]
+    fn op_counts_show_fusion() {
+        let cache = ProgramCache::new();
+        cache.get_or_compile(key(1, Trust::None), compile_fileio).unwrap();
+        let s = cache.stats();
+        assert!(s.source_ops > 0);
+        assert!(
+            s.fused_ops < s.source_ops,
+            "cached programs are fused: {} dispatches from {} ops",
+            s.fused_ops,
+            s.source_ops
+        );
+    }
+
+    #[test]
+    fn hit_path_takes_no_write_lock() {
+        // A reader holding the shard snapshot read lock must not block a
+        // concurrent hit — hits only ever try_read/read, never write.
+        let cache = Arc::new(ProgramCache::new());
+        cache.get_or_compile(key(5, Trust::None), compile_fileio).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert!(cache.get(&key(5, Trust::None)).is_some());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
     }
 }

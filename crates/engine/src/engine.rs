@@ -20,6 +20,7 @@ use crate::cache::{ProgramCache, ProgramKey};
 use crate::queue::{BoundedQueue, PushRefusal};
 use crate::stats::{EngineCounters, EngineStatsSnapshot};
 use flexrpc_clock::SimClock;
+use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_core::ir::Module;
 use flexrpc_core::present::{InterfacePresentation, Trust};
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
@@ -267,6 +268,7 @@ pub struct EngineBuilder {
     high_water: Option<usize>,
     dwell_limit_ns: Option<u64>,
     clock: Option<Arc<SimClock>>,
+    specialize: SpecializeOptions,
 }
 
 impl Default for EngineBuilder {
@@ -277,6 +279,7 @@ impl Default for EngineBuilder {
             high_water: None,
             dwell_limit_ns: None,
             clock: None,
+            specialize: SpecializeOptions::default(),
         }
     }
 }
@@ -318,6 +321,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Specialization passes applied to every program this engine compiles
+    /// (default: fusion + presize both on; benches A/B through this).
+    pub fn specialize(mut self, opts: SpecializeOptions) -> EngineBuilder {
+        self.specialize = opts;
+        self
+    }
+
     /// Starts the engine: spawns the worker pool, returns the shared handle.
     pub fn build(self) -> Arc<Engine> {
         let engine = Arc::new(Engine {
@@ -330,6 +340,7 @@ impl EngineBuilder {
             cache: ProgramCache::new(),
             services: RwLock::new(HashMap::new()),
             counters: EngineCounters::default(),
+            specialize: self.specialize,
         });
         let mut workers = engine.workers.lock();
         for i in 0..engine.workers_n {
@@ -394,6 +405,7 @@ pub struct Engine {
     cache: ProgramCache,
     services: RwLock<HashMap<String, Arc<Service>>>,
     counters: EngineCounters,
+    specialize: SpecializeOptions,
 }
 
 impl Engine {
@@ -490,7 +502,12 @@ impl Engine {
                     .module
                     .interface(&service.interface)
                     .expect("validated at registration");
-                CompiledInterface::compile(&service.module, iface, &service.presentation)
+                CompiledInterface::compile_with(
+                    &service.module,
+                    iface,
+                    &service.presentation,
+                    self.specialize,
+                )
             })
             .map_err(EngineError::Compile)?;
         let replicas: Vec<ServerInterface> = (0..self.workers_n)

@@ -180,6 +180,18 @@ fn eight_clients_two_services_two_trusts_one_engine() {
     assert_eq!(stats.dispatch_errors, 0);
     assert_eq!(stats.in_flight, 0);
 
+    // (b') Cached programs are specialized: fusion collapsed at least one
+    // run of adjacent ops somewhere in the cached compilations, so the
+    // engine's serving path runs fewer interpreter dispatches than the
+    // threaded op count.
+    assert!(stats.cache.source_ops > 0, "op totals are recorded");
+    assert!(
+        stats.cache.fused_ops < stats.cache.source_ops,
+        "cached programs must be fused: {} dispatches vs {} threaded ops",
+        stats.cache.fused_ops,
+        stats.cache.source_ops,
+    );
+
     // (c) The seed's dealloc(never) copy delta holds under concurrency:
     // the default service copied every byte its readers got; the
     // dealloc(never) service marshalled straight from the ring.

@@ -133,6 +133,28 @@ impl MsgBuf {
         self.data.resize(target, 0);
     }
 
+    /// Ensures capacity for at least `additional` more bytes (exact-size
+    /// presize: reserve once up front instead of growing mid-marshal).
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Appends a `len`-byte zeroed block at the tail and returns it mutably
+    /// so a fused bulk op can write every field in place. `payload_len` is
+    /// the portion counted as payload (field bytes; alignment padding
+    /// excluded), matching what per-op writes would have accounted.
+    pub fn append_block(&mut self, len: usize, payload_len: usize) -> &mut [u8] {
+        let offset = self.data.len();
+        self.data.resize(offset + len, 0);
+        self.bytes_written += payload_len as u64;
+        &mut self.data[offset..]
+    }
+
     /// Reserves a `len`-byte window at the tail for later direct filling.
     ///
     /// The window is zero-initialized so a message is never sent with
@@ -274,6 +296,25 @@ mod tests {
         assert_eq!(w.len(), 5);
         assert!(!w.is_empty());
         m.fill_window(w, &[0; 5]).unwrap();
+    }
+
+    #[test]
+    fn append_block_counts_payload_not_padding() {
+        let mut m = MsgBuf::new();
+        let block = m.append_block(16, 13);
+        assert_eq!(block.len(), 16);
+        block[0] = 0xAB;
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.bytes_written(), 13);
+        assert_eq!(m.as_slice()[0], 0xAB);
+    }
+
+    #[test]
+    fn reserve_preallocates() {
+        let mut m = MsgBuf::new();
+        m.reserve(1024);
+        assert!(m.capacity() >= 1024);
+        assert_eq!(m.len(), 0);
     }
 
     #[test]

@@ -179,6 +179,30 @@ impl CdrWriter {
         self.buf.bytes_written()
     }
 
+    /// The byte order this encoder emits.
+    pub fn order(&self) -> ByteOrder {
+        self.order
+    }
+
+    /// Current write offset from the start of the message (includes the
+    /// order flag, so fused blocks can select the matching phase layout).
+    pub fn position(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Ensures capacity for at least `additional` more bytes (presize).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Appends a zeroed block for a fused bulk write (see
+    /// [`MsgBuf::append_block`]). Callers pass the layout matching the
+    /// current [`CdrWriter::position`] phase — alignment padding is part of
+    /// the precomputed block, so no `pad_to` happens here.
+    pub fn append_block(&mut self, len: usize, payload_len: usize) -> &mut [u8] {
+        self.buf.append_block(len, payload_len)
+    }
+
     /// Finishes encoding, returning the message bytes.
     ///
     /// # Panics
@@ -247,6 +271,18 @@ impl<'a> CdrReader<'a> {
     /// Returns `true` when the whole message has been consumed.
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0
+    }
+
+    /// Current read offset from the start of the message (includes the
+    /// order flag; pairs with [`CdrWriter::position`] for phase selection).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes `n` raw bytes — the single prefix bounds check of a fused
+    /// block read.
+    pub fn take_block(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
     }
 
     fn align(&mut self, align: usize) -> Result<()> {

@@ -138,6 +138,23 @@ impl XdrWriter {
         self.buf.bytes_written()
     }
 
+    /// Current write offset from the start of the message.
+    pub fn position(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Ensures capacity for at least `additional` more bytes (presize).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Appends a zeroed block for a fused bulk write (see
+    /// [`MsgBuf::append_block`]). XDR layouts are packed, so callers pass
+    /// the position-independent block length.
+    pub fn append_block(&mut self, len: usize, payload_len: usize) -> &mut [u8] {
+        self.buf.append_block(len, payload_len)
+    }
+
     /// Finishes encoding, returning the message bytes.
     ///
     /// # Panics
@@ -199,6 +216,12 @@ impl<'a> XdrReader<'a> {
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Consumes `n` raw bytes — the single prefix bounds check of a fused
+    /// block read (per-field checks are folded away at bind time).
+    pub fn take_block(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
     }
 
     fn skip_pad(&mut self, payload: usize) -> Result<()> {

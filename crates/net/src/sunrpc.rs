@@ -7,7 +7,12 @@
 //! stub marshalled. Replies carry the XID, an accept status, and results.
 
 use crate::{NetError, Result};
-use flexrpc_marshal::xdr::{XdrReader, XdrWriter};
+use flexrpc_marshal::xdr::XdrReader;
+
+/// Rounds `n` up to the XDR 4-byte boundary.
+fn align_up4(n: usize) -> usize {
+    n.next_multiple_of(4)
+}
 
 /// RPC message types.
 const CALL: u32 = 0;
@@ -72,48 +77,67 @@ pub struct CallHeader {
     pub proc: u32,
 }
 
+/// Call header size after the record mark: XID, type, RPC version, prog,
+/// vers, proc, plus four null credential/verifier words.
+const CALL_HDR_WORDS: usize = 10;
+/// Reply header size after the record mark: XID, type, reply stat, null
+/// verifier (2 words), accept stat.
+const REPLY_HDR_WORDS: usize = 6;
+
 /// Encodes a call message: record mark + header + `args`.
 pub fn encode_call(hdr: CallHeader, args: &[u8]) -> Vec<u8> {
-    let mut w = XdrWriter::with_capacity(args.len() + 48);
-    // Record mark placeholder (patched below): last-fragment bit + length.
-    w.put_u32(0);
-    w.put_u32(hdr.xid);
-    w.put_u32(CALL);
-    w.put_u32(RPC_VERS);
-    w.put_u32(hdr.prog);
-    w.put_u32(hdr.vers);
-    w.put_u32(hdr.proc);
-    // Null credentials and verifier (flavor 0, length 0), per RFC 1057.
-    w.put_u32(0);
-    w.put_u32(0);
-    w.put_u32(0);
-    w.put_u32(0);
-    w.put_opaque_fixed(args);
-    let mut buf = w.into_bytes();
-    patch_record_mark(&mut buf);
+    encode_call_gather(hdr, &[args])
+}
+
+/// Encodes a call message by gathering `parts` straight into an exact-size
+/// frame.
+///
+/// Because every frame length is known before the first byte is written,
+/// the record mark is computed up front (no placeholder-then-patch pass)
+/// and the output vector is allocated once at its final size. Body slices —
+/// typically a stub's marshalled message, or a header plus a borrowed
+/// payload window — are spliced in place with no intermediate staging
+/// buffer, which is the record-marking path's half of the paper's "marshal
+/// directly into the transport buffer" discipline.
+pub fn encode_call_gather(hdr: CallHeader, parts: &[&[u8]]) -> Vec<u8> {
+    let body: usize = parts.iter().map(|p| p.len()).sum();
+    let padded = align_up4(body);
+    let total = 4 + CALL_HDR_WORDS * 4 + padded;
+    let mut buf = Vec::with_capacity(total);
+    let mark = 0x8000_0000u32 | (total - 4) as u32; // Last-fragment bit set.
+                                                    // Null credentials and verifier (flavor 0, length 0), per RFC 1057.
+    for word in [mark, hdr.xid, CALL, RPC_VERS, hdr.prog, hdr.vers, hdr.proc, 0, 0, 0, 0] {
+        buf.extend_from_slice(&word.to_be_bytes());
+    }
+    for p in parts {
+        buf.extend_from_slice(p);
+    }
+    buf.resize(total, 0); // Trailing pad to the 4-byte record boundary.
     buf
 }
 
 /// Encodes a reply message: record mark + header + `results`.
 pub fn encode_reply(xid: u32, stat: AcceptStat, results: &[u8]) -> Vec<u8> {
-    let mut w = XdrWriter::with_capacity(results.len() + 32);
-    w.put_u32(0); // Record mark placeholder.
-    w.put_u32(xid);
-    w.put_u32(REPLY);
-    w.put_u32(0); // MSG_ACCEPTED.
-    w.put_u32(0); // Null verifier flavor.
-    w.put_u32(0); // Null verifier length.
-    w.put_u32(stat.code());
-    w.put_opaque_fixed(results);
-    let mut buf = w.into_bytes();
-    patch_record_mark(&mut buf);
-    buf
+    encode_reply_gather(xid, stat, &[results])
 }
 
-fn patch_record_mark(buf: &mut [u8]) {
-    let len = (buf.len() - 4) as u32;
-    let mark = 0x8000_0000 | len; // Last-fragment bit set.
-    buf[..4].copy_from_slice(&mark.to_be_bytes());
+/// Encodes a reply message by gathering `parts` into an exact-size frame;
+/// see [`encode_call_gather`] for the single-allocation/no-patch scheme.
+pub fn encode_reply_gather(xid: u32, stat: AcceptStat, parts: &[&[u8]]) -> Vec<u8> {
+    let body: usize = parts.iter().map(|p| p.len()).sum();
+    let padded = align_up4(body);
+    let total = 4 + REPLY_HDR_WORDS * 4 + padded;
+    let mut buf = Vec::with_capacity(total);
+    let mark = 0x8000_0000u32 | (total - 4) as u32;
+    // MSG_ACCEPTED, then a null verifier, then the accept status.
+    for word in [mark, xid, REPLY, 0, 0, 0, stat.code()] {
+        buf.extend_from_slice(&word.to_be_bytes());
+    }
+    for p in parts {
+        buf.extend_from_slice(p);
+    }
+    buf.resize(total, 0);
+    buf
 }
 
 fn proto_err(why: &str) -> NetError {
@@ -296,6 +320,34 @@ mod tests {
         assert!(split_records(&stream[..stream.len() - 1]).is_err(), "short tail");
         assert!(split_records(&[0x80]).is_err(), "truncated mark");
         assert_eq!(split_records(&[]).unwrap().len(), 0, "empty stream");
+    }
+
+    #[test]
+    fn gather_encode_matches_single_buffer_encode() {
+        let hdr = CallHeader { xid: 3, prog: 100003, vers: 2, proc: 6 };
+        let whole = b"headerbytes-payload".to_vec();
+        let gathered = encode_call_gather(hdr, &[&whole[..12], &whole[12..]]);
+        assert_eq!(gathered, encode_call(hdr, &whole));
+        let reply = encode_reply_gather(3, AcceptStat::Success, &[&whole[..12], &whole[12..]]);
+        assert_eq!(reply, encode_reply(3, AcceptStat::Success, &whole));
+    }
+
+    #[test]
+    fn gather_encode_allocates_exact_size() {
+        // Unaligned body: 19 bytes pads to 20; frame lands in a single
+        // exactly-sized allocation with no placeholder patching.
+        let hdr = CallHeader { xid: 1, prog: 2, vers: 3, proc: 4 };
+        let call = encode_call_gather(hdr, &[&[7u8; 19]]);
+        assert_eq!(call.len(), call.capacity(), "no growth reallocation");
+        assert_eq!(call.len(), 4 + 40 + 20);
+        let (got, args) = decode_call(&call).unwrap();
+        assert_eq!(got, hdr);
+        assert_eq!(&args[..19], &[7u8; 19]);
+        assert_eq!(&args[19..], &[0], "trailing record pad");
+
+        let reply = encode_reply_gather(1, AcceptStat::Success, &[&[9u8; 5]]);
+        assert_eq!(reply.len(), reply.capacity());
+        assert_eq!(reply.len(), 4 + 24 + 8);
     }
 
     #[test]

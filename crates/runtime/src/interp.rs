@@ -5,16 +5,39 @@
 //! op; payload ops do bulk `memcpy` work (or none, for the borrowed/window
 //! forms), so the interpreter's copy schedule — not its dispatch — dominates
 //! exactly as it did for the paper's generated C stubs.
+//!
+//! Programs carrying a [`FusedProgram`] take the specialized path: fused
+//! scalar blocks execute as one buffer extend + N `copy_from_slice`s with a
+//! single prefix bounds check, using the block layout precomputed at bind
+//! time for the writer's wire format (and, for CDR, the block's start-phase
+//! alignment). Scalars move between slots and the block without the
+//! per-primitive writer dispatch or `Value` round-trips of the threaded
+//! path. An attached [`SizeHint`] reserves the marshal buffer once, up
+//! front, so fixed-size messages never reallocate mid-marshal.
 
 use crate::error::RpcError;
 use crate::hooks::HookMap;
 use crate::wire::{AnyReader, AnyWriter};
 use crate::Result;
+use flexrpc_core::fuse::{BlockField, FOp, ScalarBlock, ScalarKind, SizeHint};
 use flexrpc_core::program::{MOp, StubProgram};
 use flexrpc_core::value::Value;
+use flexrpc_marshal::cdr::ByteOrder;
+use flexrpc_marshal::MarshalError;
 
 fn kind_err(op: &MOp, found: &Value, expected: &'static str) -> RpcError {
     RpcError::SlotKind { slot: op.slot().0, expected, found: found.kind() }
+}
+
+fn kind_name(kind: ScalarKind) -> &'static str {
+    match kind {
+        ScalarKind::U32 => "u32",
+        ScalarKind::I32 => "i32",
+        ScalarKind::U64 => "u64",
+        ScalarKind::I64 => "i64",
+        ScalarKind::Bool => "bool",
+        ScalarKind::F64 => "f64",
+    }
 }
 
 /// Runs a marshal (Put) program: slots → writer.
@@ -30,69 +53,197 @@ pub fn marshal(
     hooks: &HookMap,
     rights_out: &mut Vec<u32>,
 ) -> Result<()> {
-    for op in &program.ops {
-        let v = &slots[op.slot().0];
-        match op {
-            MOp::PutU32(_) => match v {
-                Value::U32(x) => w.put_u32(*x),
-                Value::Bool(b) => w.put_u32(*b as u32),
-                other => return Err(kind_err(op, other, "u32")),
-            },
-            MOp::PutI32(_) => match v {
-                Value::I32(x) => w.put_i32(*x),
-                other => return Err(kind_err(op, other, "i32")),
-            },
-            MOp::PutU64(_) => match v {
-                Value::U64(x) => w.put_u64(*x),
-                other => return Err(kind_err(op, other, "u64")),
-            },
-            MOp::PutI64(_) => match v {
-                Value::I64(x) => w.put_i64(*x),
-                other => return Err(kind_err(op, other, "i64")),
-            },
-            MOp::PutBool(_) => match v {
-                Value::Bool(x) => w.put_bool(*x),
-                other => return Err(kind_err(op, other, "bool")),
-            },
-            MOp::PutF64(_) => match v {
-                Value::F64(x) => w.put_f64(*x),
-                other => return Err(kind_err(op, other, "f64")),
-            },
-            MOp::PutStr(_) => match v {
-                Value::Str(s) => w.put_str(s),
-                other => return Err(kind_err(op, other, "str")),
-            },
-            MOp::PutStrFromBytes(_) => match v.window_of(src_msg) {
-                Some(bytes) => w.put_str_bytes(bytes),
-                None => return Err(kind_err(op, v, "bytes")),
-            },
-            MOp::PutBytes(_) => match v.window_of(src_msg) {
-                Some(bytes) => w.put_bytes(bytes),
-                None => return Err(kind_err(op, v, "bytes")),
-            },
-            MOp::PutBytesFixed(_, n) => match v.window_of(src_msg) {
-                Some(bytes) if bytes.len() == *n as usize => w.put_bytes_fixed(bytes),
-                // An unset slot (error replies never filled it) marshals as
-                // zeros: failed calls still produce decodable messages.
-                Some([]) => w.put_bytes_fixed(&vec![0u8; *n as usize]),
-                Some(_) => {
-                    return Err(RpcError::Transport(format!(
-                        "fixed opaque field expects exactly {n} bytes"
-                    )))
+    if let Some(fused) = &program.fused {
+        if let Some(hint) = &fused.presize {
+            reserve_for(hint, slots, w);
+        }
+        for fop in &fused.fops {
+            match fop {
+                FOp::One(op) => exec_put(op, slots, src_msg, w, hooks, rights_out)?,
+                FOp::Fused { head, block } => {
+                    if let Some(op) = head {
+                        exec_put(op, slots, src_msg, w, hooks, rights_out)?;
+                    }
+                    put_block(&fused.blocks[*block], slots, w)?;
                 }
-                None => return Err(kind_err(op, v, "bytes")),
-            },
-            MOp::PutBytesSpecial { hook, .. } => {
-                let h = hooks.get(*hook).ok_or(RpcError::MissingHook(*hook))?.clone();
-                let len = h.put_len(slots);
-                let win = w.reserve_payload(len);
-                w.fill_window_with(win, |dst| h.put_fill(slots, dst))?;
             }
-            MOp::PutPort(_) => match v {
-                Value::Port(p) => rights_out.push(*p),
-                other => return Err(kind_err(op, other, "port")),
-            },
-            _ => unreachable!("Get op {op:?} in a marshal program is a compiler bug"),
+        }
+        return Ok(());
+    }
+    for op in &program.ops {
+        exec_put(op, slots, src_msg, w, hooks, rights_out)?;
+    }
+    Ok(())
+}
+
+/// Executes one Put op — shared by the threaded loop and fused heads, so
+/// the two paths cannot drift.
+#[inline]
+fn exec_put(
+    op: &MOp,
+    slots: &[Value],
+    src_msg: &[u8],
+    w: &mut AnyWriter,
+    hooks: &HookMap,
+    rights_out: &mut Vec<u32>,
+) -> Result<()> {
+    let v = &slots[op.slot().0];
+    match op {
+        MOp::PutU32(_) => match v {
+            Value::U32(x) => w.put_u32(*x),
+            Value::Bool(b) => w.put_u32(*b as u32),
+            other => return Err(kind_err(op, other, "u32")),
+        },
+        MOp::PutI32(_) => match v {
+            Value::I32(x) => w.put_i32(*x),
+            other => return Err(kind_err(op, other, "i32")),
+        },
+        MOp::PutU64(_) => match v {
+            Value::U64(x) => w.put_u64(*x),
+            other => return Err(kind_err(op, other, "u64")),
+        },
+        MOp::PutI64(_) => match v {
+            Value::I64(x) => w.put_i64(*x),
+            other => return Err(kind_err(op, other, "i64")),
+        },
+        MOp::PutBool(_) => match v {
+            Value::Bool(x) => w.put_bool(*x),
+            other => return Err(kind_err(op, other, "bool")),
+        },
+        MOp::PutF64(_) => match v {
+            Value::F64(x) => w.put_f64(*x),
+            other => return Err(kind_err(op, other, "f64")),
+        },
+        MOp::PutStr(_) => match v {
+            Value::Str(s) => w.put_str(s),
+            other => return Err(kind_err(op, other, "str")),
+        },
+        MOp::PutStrFromBytes(_) => match v.window_of(src_msg) {
+            Some(bytes) => w.put_str_bytes(bytes),
+            None => return Err(kind_err(op, v, "bytes")),
+        },
+        MOp::PutBytes(_) => match v.window_of(src_msg) {
+            Some(bytes) => w.put_bytes(bytes),
+            None => return Err(kind_err(op, v, "bytes")),
+        },
+        MOp::PutBytesFixed(_, n) => match v.window_of(src_msg) {
+            Some(bytes) if bytes.len() == *n as usize => w.put_bytes_fixed(bytes),
+            // An unset slot (error replies never filled it) marshals as
+            // zeros: failed calls still produce decodable messages.
+            Some([]) => w.put_bytes_fixed(&vec![0u8; *n as usize]),
+            Some(_) => {
+                return Err(RpcError::Transport(format!(
+                    "fixed opaque field expects exactly {n} bytes"
+                )))
+            }
+            None => return Err(kind_err(op, v, "bytes")),
+        },
+        MOp::PutBytesSpecial { hook, .. } => {
+            let h = hooks.get(*hook).ok_or(RpcError::MissingHook(*hook))?.clone();
+            let len = h.put_len(slots);
+            let win = w.reserve_payload(len);
+            w.fill_window_with(win, |dst| h.put_fill(slots, dst))?;
+        }
+        MOp::PutPort(_) => match v {
+            Value::Port(p) => rights_out.push(*p),
+            other => return Err(kind_err(op, other, "port")),
+        },
+        _ => unreachable!("Get op {op:?} in a marshal program is a compiler bug"),
+    }
+    Ok(())
+}
+
+/// Reserves the writer for the program's whole message: precomputed fixed
+/// bytes plus the runtime lengths of payload slots (with length-word and
+/// padding overhead budgeted per payload).
+fn reserve_for(hint: &SizeHint, slots: &[Value], w: &mut AnyWriter) {
+    let fixed = match w {
+        AnyWriter::Xdr(_) => hint.fixed_packed,
+        AnyWriter::Cdr(_) => hint.fixed_aligned,
+    } as usize;
+    let mut total = fixed;
+    for s in &hint.payload_slots {
+        // 8 covers the length word plus worst-case padding/NUL on either
+        // format; over-reserving by a few bytes is harmless.
+        total += 8 + slots[s.0].byte_len().unwrap_or(0);
+    }
+    w.reserve(total);
+}
+
+/// Executes one fused scalar block as a bulk write: one zeroed extend of
+/// the message, then a direct slot→offset store per field. Alignment was
+/// folded into the layout at bind time; nothing here pads or dispatches.
+fn put_block(blk: &ScalarBlock, slots: &[Value], w: &mut AnyWriter) -> Result<()> {
+    // A one-field block (a scalar merged behind a variable-size head) has
+    // no bulk work to batch — the writer's native primitive is the layout.
+    if let [f] = blk.fields.as_slice() {
+        return put_one_scalar(f, slots, w);
+    }
+    let (layout, big, bool_word, dst) = match w {
+        AnyWriter::Xdr(xw) => {
+            let layout = &blk.packed;
+            (layout, true, true, xw.append_block(layout.len as usize, layout.data_len as usize))
+        }
+        AnyWriter::Cdr(cw) => {
+            let layout = &blk.aligned[cw.position() % 8];
+            let big = cw.order() == ByteOrder::Big;
+            (layout, big, false, cw.append_block(layout.len as usize, layout.data_len as usize))
+        }
+    };
+    for (f, &off) in blk.fields.iter().zip(&layout.offsets) {
+        let off = off as usize;
+        macro_rules! store {
+            ($x:expr) => {{
+                let raw = if big { $x.to_be_bytes() } else { $x.to_le_bytes() };
+                dst[off..off + raw.len()].copy_from_slice(&raw);
+            }};
+        }
+        match (f.kind, &slots[f.slot.0]) {
+            (ScalarKind::U32, Value::U32(x)) => store!(*x),
+            // Same coercion the threaded PutU32 applies (enum-like bools).
+            (ScalarKind::U32, Value::Bool(b)) => store!(*b as u32),
+            (ScalarKind::I32, Value::I32(x)) => store!(*x),
+            (ScalarKind::U64, Value::U64(x)) => store!(*x),
+            (ScalarKind::I64, Value::I64(x)) => store!(*x),
+            (ScalarKind::F64, Value::F64(x)) => store!(x.to_bits()),
+            (ScalarKind::Bool, Value::Bool(b)) => {
+                if bool_word {
+                    store!(*b as u32)
+                } else {
+                    dst[off] = *b as u8;
+                }
+            }
+            (kind, other) => {
+                return Err(RpcError::SlotKind {
+                    slot: f.slot.0,
+                    expected: kind_name(kind),
+                    found: other.kind(),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a single block field through the writer's own scalar primitive
+/// (identical bytes to the threaded op, without the block layout detour).
+#[inline]
+fn put_one_scalar(f: &BlockField, slots: &[Value], w: &mut AnyWriter) -> Result<()> {
+    match (f.kind, &slots[f.slot.0]) {
+        (ScalarKind::U32, Value::U32(x)) => w.put_u32(*x),
+        // Same coercion the threaded PutU32 applies (enum-like bools).
+        (ScalarKind::U32, Value::Bool(b)) => w.put_u32(*b as u32),
+        (ScalarKind::I32, Value::I32(x)) => w.put_i32(*x),
+        (ScalarKind::U64, Value::U64(x)) => w.put_u64(*x),
+        (ScalarKind::I64, Value::I64(x)) => w.put_i64(*x),
+        (ScalarKind::F64, Value::F64(x)) => w.put_f64(*x),
+        (ScalarKind::Bool, Value::Bool(b)) => w.put_bool(*b),
+        (kind, other) => {
+            return Err(RpcError::SlotKind {
+                slot: f.slot.0,
+                expected: kind_name(kind),
+                found: other.kind(),
+            })
         }
     }
     Ok(())
@@ -110,62 +261,177 @@ pub fn unmarshal(
     hooks: &HookMap,
     rights_in: &mut dyn Iterator<Item = u32>,
 ) -> Result<()> {
-    for op in &program.ops {
-        let slot = op.slot().0;
-        match op {
-            MOp::GetU32(_) => slots[slot] = Value::U32(r.get_u32()?),
-            MOp::GetI32(_) => slots[slot] = Value::I32(r.get_i32()?),
-            MOp::GetU64(_) => slots[slot] = Value::U64(r.get_u64()?),
-            MOp::GetI64(_) => slots[slot] = Value::I64(r.get_i64()?),
-            MOp::GetBool(_) => slots[slot] = Value::Bool(r.get_bool()?),
-            MOp::GetF64(_) => slots[slot] = Value::F64(r.get_f64()?),
-            MOp::GetStr(_) => slots[slot] = Value::Str(r.get_str()?),
-            MOp::GetStrAsBytes(_) => slots[slot] = Value::Bytes(r.get_str_bytes()?),
-            MOp::GetBytesOwned(_) => slots[slot] = Value::Bytes(r.get_bytes_owned()?),
-            MOp::GetBytesBorrowed(_) => {
-                let s = r.get_bytes_borrowed()?;
-                let off = s.as_ptr() as usize - msg.as_ptr() as usize;
-                slots[slot] = Value::Window { off, len: s.len() };
-            }
-            MOp::GetBytesInto(_) => {
-                let src = r.get_bytes_borrowed()?;
-                match &mut slots[slot] {
-                    Value::Bytes(dst) => {
-                        if src.len() > dst.capacity().max(dst.len()) {
-                            return Err(RpcError::Marshal(
-                                flexrpc_marshal::MarshalError::LengthOutOfRange {
-                                    claimed: src.len(),
-                                    max: dst.capacity().max(dst.len()),
-                                },
-                            ));
-                        }
-                        // Fill the caller's buffer in place: no allocation.
-                        dst.clear();
-                        dst.extend_from_slice(src);
+    if let Some(fused) = &program.fused {
+        for fop in &fused.fops {
+            match fop {
+                FOp::One(op) => exec_get_specialized(op, slots, msg, r, hooks, rights_in)?,
+                FOp::Fused { head, block } => {
+                    if let Some(op) = head {
+                        exec_get_specialized(op, slots, msg, r, hooks, rights_in)?;
                     }
-                    other => {
-                        let found = other.kind();
-                        return Err(RpcError::SlotKind { slot, expected: "bytes", found });
-                    }
+                    get_block(&fused.blocks[*block], slots, r)?;
                 }
             }
-            MOp::GetBytesSpecial { hook, .. } => {
-                let h = hooks.get(*hook).ok_or(RpcError::MissingHook(*hook))?.clone();
-                let payload = r.get_bytes_borrowed()?;
-                h.get(slots, payload);
-                slots[slot] = Value::U32(payload.len() as u32);
-            }
-            MOp::GetBytesFixed(_, n) => {
-                slots[slot] = Value::Bytes(r.get_bytes_fixed_owned(*n as usize)?)
-            }
-            MOp::GetPort(_) => {
-                let p = rights_in
-                    .next()
-                    .ok_or_else(|| RpcError::Transport("missing port right".into()))?;
-                slots[slot] = Value::Port(p);
-            }
-            _ => unreachable!("Put op {op:?} in an unmarshal program is a compiler bug"),
         }
+        return Ok(());
+    }
+    for op in &program.ops {
+        exec_get(op, slots, msg, r, hooks, rights_in)?;
+    }
+    Ok(())
+}
+
+/// Executes one Get op on the specialized path. Identical to [`exec_get`]
+/// except that `GetBytesOwned` refills the slot's existing buffer when the
+/// frame already holds one — in steady state a reused frame receives its
+/// payload with zero allocations, the same buffer-recycling the paper's
+/// annotated stubs perform. The resulting `Value` is bit-for-bit what the
+/// threaded op produces.
+#[inline]
+fn exec_get_specialized(
+    op: &MOp,
+    slots: &mut [Value],
+    msg: &[u8],
+    r: &mut AnyReader<'_>,
+    hooks: &HookMap,
+    rights_in: &mut dyn Iterator<Item = u32>,
+) -> Result<()> {
+    if let MOp::GetBytesOwned(slot) = op {
+        let src = r.get_bytes_borrowed()?;
+        match &mut slots[slot.0] {
+            Value::Bytes(dst) => {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
+            other => *other = Value::Bytes(src.to_vec()),
+        }
+        return Ok(());
+    }
+    exec_get(op, slots, msg, r, hooks, rights_in)
+}
+
+/// Executes one Get op — shared by the threaded loop and fused heads.
+#[inline]
+fn exec_get(
+    op: &MOp,
+    slots: &mut [Value],
+    msg: &[u8],
+    r: &mut AnyReader<'_>,
+    hooks: &HookMap,
+    rights_in: &mut dyn Iterator<Item = u32>,
+) -> Result<()> {
+    let slot = op.slot().0;
+    match op {
+        MOp::GetU32(_) => slots[slot] = Value::U32(r.get_u32()?),
+        MOp::GetI32(_) => slots[slot] = Value::I32(r.get_i32()?),
+        MOp::GetU64(_) => slots[slot] = Value::U64(r.get_u64()?),
+        MOp::GetI64(_) => slots[slot] = Value::I64(r.get_i64()?),
+        MOp::GetBool(_) => slots[slot] = Value::Bool(r.get_bool()?),
+        MOp::GetF64(_) => slots[slot] = Value::F64(r.get_f64()?),
+        MOp::GetStr(_) => slots[slot] = Value::Str(r.get_str()?),
+        MOp::GetStrAsBytes(_) => slots[slot] = Value::Bytes(r.get_str_bytes()?),
+        MOp::GetBytesOwned(_) => slots[slot] = Value::Bytes(r.get_bytes_owned()?),
+        MOp::GetBytesBorrowed(_) => {
+            let s = r.get_bytes_borrowed()?;
+            let off = s.as_ptr() as usize - msg.as_ptr() as usize;
+            slots[slot] = Value::Window { off, len: s.len() };
+        }
+        MOp::GetBytesInto(_) => {
+            let src = r.get_bytes_borrowed()?;
+            match &mut slots[slot] {
+                Value::Bytes(dst) => {
+                    if src.len() > dst.capacity().max(dst.len()) {
+                        return Err(RpcError::Marshal(
+                            flexrpc_marshal::MarshalError::LengthOutOfRange {
+                                claimed: src.len(),
+                                max: dst.capacity().max(dst.len()),
+                            },
+                        ));
+                    }
+                    // Fill the caller's buffer in place: no allocation.
+                    dst.clear();
+                    dst.extend_from_slice(src);
+                }
+                other => {
+                    let found = other.kind();
+                    return Err(RpcError::SlotKind { slot, expected: "bytes", found });
+                }
+            }
+        }
+        MOp::GetBytesSpecial { hook, .. } => {
+            let h = hooks.get(*hook).ok_or(RpcError::MissingHook(*hook))?.clone();
+            let payload = r.get_bytes_borrowed()?;
+            h.get(slots, payload);
+            slots[slot] = Value::U32(payload.len() as u32);
+        }
+        MOp::GetBytesFixed(_, n) => {
+            slots[slot] = Value::Bytes(r.get_bytes_fixed_owned(*n as usize)?)
+        }
+        MOp::GetPort(_) => {
+            let p =
+                rights_in.next().ok_or_else(|| RpcError::Transport("missing port right".into()))?;
+            slots[slot] = Value::Port(p);
+        }
+        _ => unreachable!("Put op {op:?} in an unmarshal program is a compiler bug"),
+    }
+    Ok(())
+}
+
+/// Executes one fused scalar block as a bulk read: a single prefix bounds
+/// check consumes the whole block, then each field decodes straight into
+/// its slot. Scalar `Value`s are plain copies — no heap work happens here.
+fn get_block(blk: &ScalarBlock, slots: &mut [Value], r: &mut AnyReader<'_>) -> Result<()> {
+    // One-field blocks decode through the reader's native primitive (same
+    // bytes, same error behavior, no layout detour).
+    if let [f] = blk.fields.as_slice() {
+        slots[f.slot.0] = match f.kind {
+            ScalarKind::U32 => Value::U32(r.get_u32()?),
+            ScalarKind::I32 => Value::I32(r.get_i32()?),
+            ScalarKind::U64 => Value::U64(r.get_u64()?),
+            ScalarKind::I64 => Value::I64(r.get_i64()?),
+            ScalarKind::F64 => Value::F64(r.get_f64()?),
+            ScalarKind::Bool => Value::Bool(r.get_bool()?),
+        };
+        return Ok(());
+    }
+    let (layout, big, bool_word, src) = match r {
+        AnyReader::Xdr(xr) => {
+            let layout = &blk.packed;
+            (layout, true, true, xr.take_block(layout.len as usize)?)
+        }
+        AnyReader::Cdr(cr) => {
+            let layout = &blk.aligned[cr.position() % 8];
+            let big = cr.order() == ByteOrder::Big;
+            (layout, big, false, cr.take_block(layout.len as usize)?)
+        }
+    };
+    for (f, &off) in blk.fields.iter().zip(&layout.offsets) {
+        let off = off as usize;
+        macro_rules! load {
+            ($ty:ty, $n:expr) => {{
+                let raw: [u8; $n] = src[off..off + $n].try_into().expect("layout bounds");
+                if big {
+                    <$ty>::from_be_bytes(raw)
+                } else {
+                    <$ty>::from_le_bytes(raw)
+                }
+            }};
+        }
+        slots[f.slot.0] = match f.kind {
+            ScalarKind::U32 => Value::U32(load!(u32, 4)),
+            ScalarKind::I32 => Value::I32(load!(i32, 4)),
+            ScalarKind::U64 => Value::U64(load!(u64, 8)),
+            ScalarKind::I64 => Value::I64(load!(i64, 8)),
+            ScalarKind::F64 => Value::F64(f64::from_bits(load!(u64, 8))),
+            ScalarKind::Bool => {
+                let v = if bool_word { load!(u32, 4) } else { src[off] as u32 };
+                match v {
+                    0 => Value::Bool(false),
+                    1 => Value::Bool(true),
+                    v => return Err(MarshalError::BadBool(v).into()),
+                }
+            }
+        };
     }
     Ok(())
 }
@@ -174,13 +440,20 @@ pub fn unmarshal(
 mod tests {
     use super::*;
     use crate::hooks::{recv_hook, send_hook};
+    use flexrpc_core::fuse::SpecializeOptions;
     use flexrpc_core::program::Slot;
     use flexrpc_marshal::WireFormat;
     use std::sync::Arc;
     use std::sync::Mutex;
 
     fn prog(ops: Vec<MOp>) -> StubProgram {
-        StubProgram { ops }
+        StubProgram::from_ops(ops)
+    }
+
+    fn fused_prog(ops: Vec<MOp>) -> StubProgram {
+        let mut p = StubProgram::from_ops(ops);
+        p.specialize(SpecializeOptions::default());
+        p
     }
 
     #[test]
@@ -217,6 +490,212 @@ mod tests {
                 .unwrap();
             assert_eq!(out, slots);
         }
+    }
+
+    #[test]
+    fn fused_wire_bytes_match_unfused() {
+        // A program mixing payloads, every scalar kind, and a fused tail —
+        // the fused path must be byte-identical on both formats.
+        let ops = vec![
+            MOp::PutBytes(Slot(0)),
+            MOp::PutU32(Slot(1)),
+            MOp::PutBool(Slot(2)),
+            MOp::PutU64(Slot(3)),
+            MOp::PutI32(Slot(4)),
+            MOp::PutF64(Slot(5)),
+            MOp::PutI64(Slot(6)),
+        ];
+        let slots = vec![
+            Value::Bytes(b"abc".to_vec()),
+            Value::U32(0xAABB),
+            Value::Bool(true),
+            Value::U64(1 << 40),
+            Value::I32(-3),
+            Value::F64(2.25),
+            Value::I64(-(1 << 33)),
+        ];
+        for format in [WireFormat::Xdr, WireFormat::Cdr] {
+            let mut w_plain = AnyWriter::new(format);
+            marshal(
+                &prog(ops.clone()),
+                &slots,
+                &[],
+                &mut w_plain,
+                &HookMap::new(),
+                &mut Vec::new(),
+            )
+            .unwrap();
+            let plain = w_plain.into_bytes();
+
+            let p = fused_prog(ops.clone());
+            assert!(p.dispatch_count() < p.ops.len(), "fusion engaged");
+            let mut w_fused = AnyWriter::new(format);
+            marshal(&p, &slots, &[], &mut w_fused, &HookMap::new(), &mut Vec::new()).unwrap();
+            assert_eq!(w_fused.into_bytes(), plain, "{format:?} fused bytes differ");
+        }
+    }
+
+    #[test]
+    fn fused_unmarshal_matches_unfused() {
+        let put_ops = vec![
+            MOp::PutBytes(Slot(0)),
+            MOp::PutU32(Slot(1)),
+            MOp::PutBool(Slot(2)),
+            MOp::PutF64(Slot(3)),
+        ];
+        let get_ops = vec![
+            MOp::GetBytesOwned(Slot(0)),
+            MOp::GetU32(Slot(1)),
+            MOp::GetBool(Slot(2)),
+            MOp::GetF64(Slot(3)),
+        ];
+        let slots =
+            vec![Value::Bytes(b"xyz".to_vec()), Value::U32(9), Value::Bool(false), Value::F64(0.5)];
+        for format in [WireFormat::Xdr, WireFormat::Cdr] {
+            let mut w = AnyWriter::new(format);
+            marshal(
+                &fused_prog(put_ops.clone()),
+                &slots,
+                &[],
+                &mut w,
+                &HookMap::new(),
+                &mut Vec::new(),
+            )
+            .unwrap();
+            let msg = w.into_bytes();
+
+            let mut plain_out = vec![Value::Null; 4];
+            let mut r = AnyReader::new(format, &msg).unwrap();
+            unmarshal(
+                &prog(get_ops.clone()),
+                &mut plain_out,
+                &msg,
+                &mut r,
+                &HookMap::new(),
+                &mut std::iter::empty(),
+            )
+            .unwrap();
+            assert_eq!(r.remaining(), 0);
+
+            let mut fused_out = vec![Value::Null; 4];
+            let mut r = AnyReader::new(format, &msg).unwrap();
+            unmarshal(
+                &fused_prog(get_ops.clone()),
+                &mut fused_out,
+                &msg,
+                &mut r,
+                &HookMap::new(),
+                &mut std::iter::empty(),
+            )
+            .unwrap();
+            assert_eq!(r.remaining(), 0, "{format:?} fused read consumed everything");
+            assert_eq!(fused_out, plain_out);
+            assert_eq!(fused_out, slots);
+        }
+    }
+
+    #[test]
+    fn fused_block_rejects_bad_bool() {
+        for format in [WireFormat::Xdr, WireFormat::Cdr] {
+            let mut w = AnyWriter::new(format);
+            // Write a 2 where the bool belongs (valid u32, invalid bool).
+            marshal(
+                &prog(vec![MOp::PutU32(Slot(0)), MOp::PutU32(Slot(1))]),
+                &[Value::U32(1), Value::U32(7)],
+                &[],
+                &mut w,
+                &HookMap::new(),
+                &mut Vec::new(),
+            )
+            .unwrap();
+            let msg = {
+                // CDR bools are 1 byte: build the message from matching puts.
+                let mut w = AnyWriter::new(format);
+                marshal(
+                    &prog(vec![MOp::PutU32(Slot(0)), MOp::PutBool(Slot(1))]),
+                    &[Value::U32(1), Value::Bool(true)],
+                    &[],
+                    &mut w,
+                    &HookMap::new(),
+                    &mut Vec::new(),
+                )
+                .unwrap();
+                let mut bytes = w.into_bytes();
+                // Corrupt the bool byte (last byte on XDR word and CDR octet).
+                let last = bytes.len() - 1;
+                bytes[last] = 2;
+                bytes
+            };
+            let mut out = vec![Value::Null; 2];
+            let mut r = AnyReader::new(format, &msg).unwrap();
+            let err = unmarshal(
+                &fused_prog(vec![MOp::GetU32(Slot(0)), MOp::GetBool(Slot(1))]),
+                &mut out,
+                &msg,
+                &mut r,
+                &HookMap::new(),
+                &mut std::iter::empty(),
+            )
+            .unwrap_err();
+            assert!(matches!(err, RpcError::Marshal(MarshalError::BadBool(2))), "{format:?}");
+        }
+    }
+
+    #[test]
+    fn fused_block_truncation_detected_up_front() {
+        let mut w = AnyWriter::new(WireFormat::Xdr);
+        marshal(
+            &prog(vec![MOp::PutU32(Slot(0))]),
+            &[Value::U32(5)],
+            &[],
+            &mut w,
+            &HookMap::new(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let msg = w.into_bytes();
+        // The fused block wants u32 + u64 = 12 bytes; only 4 are present,
+        // and the single prefix check reports it before any slot changes.
+        let mut out = vec![Value::Null; 2];
+        let mut r = AnyReader::new(WireFormat::Xdr, &msg).unwrap();
+        let err = unmarshal(
+            &fused_prog(vec![MOp::GetU32(Slot(0)), MOp::GetU64(Slot(1))]),
+            &mut out,
+            &msg,
+            &mut r,
+            &HookMap::new(),
+            &mut std::iter::empty(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RpcError::Marshal(MarshalError::Truncated { .. })));
+        assert_eq!(out[0], Value::Null, "no partial decode past the prefix check");
+    }
+
+    #[test]
+    fn fused_block_reports_slot_kind_mismatch() {
+        let mut w = AnyWriter::new(WireFormat::Xdr);
+        let err = marshal(
+            &fused_prog(vec![MOp::PutU32(Slot(0)), MOp::PutU64(Slot(1))]),
+            &[Value::U32(1), Value::Str("wrong".into())],
+            &[],
+            &mut w,
+            &HookMap::new(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RpcError::SlotKind { slot: 1, expected: "u64", .. }));
+    }
+
+    #[test]
+    fn presize_reserves_exact_fixed_size() {
+        // A fixed-size program must land in one allocation: capacity after
+        // marshal covers the message with no growth reallocation.
+        let p = fused_prog(vec![MOp::PutU32(Slot(0)), MOp::PutU64(Slot(1))]);
+        let mut w = AnyWriter::over(WireFormat::Xdr, Vec::new());
+        marshal(&p, &[Value::U32(1), Value::U64(2)], &[], &mut w, &HookMap::new(), &mut Vec::new())
+            .unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 12);
     }
 
     #[test]

@@ -187,9 +187,12 @@ pub struct ServerInterface {
     format: WireFormat,
     handlers: Vec<Option<OpHandler>>,
     hooks: Vec<HookMap>,
-    /// Size of the largest reply produced so far — the writer's starting
-    /// capacity, so steady-state replies marshal without reallocating.
+    /// Largest reply-buffer capacity reached so far — the writer's starting
+    /// capacity, so steady-state replies marshal (and presize-reserve)
+    /// without reallocating.
     reply_cap: usize,
+    /// Per-op scratch frames, reset and reused across dispatches.
+    frames: Vec<Vec<Value>>,
 }
 
 impl ServerInterface {
@@ -209,6 +212,7 @@ impl ServerInterface {
             handlers: (0..n).map(|_| None).collect(),
             hooks: vec![HookMap::new(); n],
             reply_cap: 64,
+            frames: vec![Vec::new(); n],
         }
     }
 
@@ -278,41 +282,64 @@ impl ServerInterface {
         reply: &mut Vec<u8>,
         rights_out: &mut Vec<u32>,
     ) -> Result<()> {
-        let op: &CompiledOp = self
-            .compiled
-            .ops
-            .get(op_index)
-            .ok_or_else(|| RpcError::NoSuchOp(format!("op index {op_index}")))?;
+        if op_index >= self.compiled.ops.len() {
+            return Err(RpcError::NoSuchOp(format!("op index {op_index}")));
+        }
+        // The reply marshals into the caller's buffer and the call frame is
+        // this op's reused scratch: a warm fixed-size dispatch allocates
+        // nothing.
+        let mut buf = std::mem::take(reply);
+        buf.clear();
+        buf.reserve(self.reply_cap);
+        let mut writer = AnyWriter::over(self.format, buf);
+        let mut frame = std::mem::take(&mut self.frames[op_index]);
+        let result =
+            self.dispatch_into(op_index, request, rights_in, &mut writer, rights_out, &mut frame);
+        self.frames[op_index] = frame;
+        *reply = writer.into_bytes();
+        self.reply_cap = self.reply_cap.max(reply.capacity());
+        if result.is_err() {
+            reply.clear();
+        }
+        result
+    }
+
+    fn dispatch_into(
+        &mut self,
+        op_index: usize,
+        request: &[u8],
+        rights_in: &[u32],
+        writer: &mut AnyWriter,
+        rights_out: &mut Vec<u32>,
+        frame: &mut Vec<Value>,
+    ) -> Result<()> {
+        let op: &CompiledOp = &self.compiled.ops[op_index];
         let hooks = &self.hooks[op_index];
-        let mut frame = op.slots.new_frame();
+        op.slots.reset_frame(frame);
 
         let mut reader = AnyReader::new(self.format, request)?;
         unmarshal(
             &op.request_unmarshal,
-            &mut frame,
+            frame,
             request,
             &mut reader,
             hooks,
             &mut rights_in.iter().copied(),
         )?;
 
-        let mut writer = AnyWriter::with_capacity(self.format, self.reply_cap);
         let status = {
-            let mut sink = ReplySink::new(&mut writer, &op.sink_params);
+            let mut sink = ReplySink::new(writer, &op.sink_params);
             let handler = self.handlers[op_index]
                 .as_mut()
                 .ok_or_else(|| RpcError::NoSuchOp(format!("no handler for `{}`", op.name)))?;
-            let mut call =
-                ServerCall { frame: &mut frame, request, sink: &mut sink, slots: &op.slots };
+            let mut call = ServerCall { frame, request, sink: &mut sink, slots: &op.slots };
             let status = handler(&mut call);
             sink.finish()?;
             status
         };
 
         frame[op.status_slot().0] = Value::U32(status);
-        marshal(&op.reply_marshal, &frame, request, &mut writer, hooks, rights_out)?;
-        *reply = writer.into_bytes();
-        self.reply_cap = self.reply_cap.max(reply.len());
+        marshal(&op.reply_marshal, frame, request, writer, hooks, rights_out)?;
         Ok(())
     }
 }

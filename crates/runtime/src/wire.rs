@@ -111,6 +111,16 @@ impl AnyWriter {
         }
     }
 
+    /// Ensures capacity for at least `additional` more bytes (used by the
+    /// fused path's exact-size presize: one reservation, no mid-marshal
+    /// growth).
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            AnyWriter::Xdr(w) => w.reserve(additional),
+            AnyWriter::Cdr(w) => w.reserve(additional),
+        }
+    }
+
     /// Reserves a counted payload of exactly `len` bytes for in-place
     /// filling by a `[special]` hook.
     pub fn reserve_payload(&mut self, len: usize) -> Window {

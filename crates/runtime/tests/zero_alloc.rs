@@ -1,0 +1,158 @@
+//! Steady-state allocation audit for the specialized call path.
+//!
+//! A fused, presized, fixed-size call (all-scalar signature) must make
+//! **zero** heap allocations per call once the stub's scratch buffers are
+//! warm: the request marshals into the reused request buffer (reserved
+//! exactly once by the size hint), the echo transport refills the reused
+//! reply buffer, and the fused unmarshal decodes scalars straight into the
+//! frame. This is the paper's "no hidden allocation in generated stubs"
+//! property, asserted with a counting global allocator.
+
+use flexrpc_core::fuse::SpecializeOptions;
+use flexrpc_core::ir::{Dialect, Interface, Module, Operation, Param, ParamDir, Type};
+use flexrpc_core::present::InterfacePresentation;
+use flexrpc_core::program::{CompiledInterface, CompiledOp};
+use flexrpc_core::value::Value;
+use flexrpc_marshal::WireFormat;
+use flexrpc_runtime::policy::CallControl;
+use flexrpc_runtime::{ClientStub, ServerInterface, Transport};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates verbatim to the system allocator; the counter is the
+// only addition.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, n) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+/// An all-scalar (fixed-size) operation: `scale(a: u32, b: u64, on: bool)
+/// -> u32`.
+fn fixed_module() -> Module {
+    let op = Operation::new(
+        "scale",
+        vec![
+            Param { name: "a".into(), dir: ParamDir::In, ty: Type::U32 },
+            Param { name: "b".into(), dir: ParamDir::In, ty: Type::U64 },
+            Param { name: "on".into(), dir: ParamDir::In, ty: Type::Bool },
+        ],
+        Type::U32,
+    );
+    let mut m = Module::new("fixed", Dialect::Corba);
+    m.interfaces.push(Interface::new("Fixed", vec![op]));
+    m
+}
+
+fn compile(opts: SpecializeOptions) -> CompiledInterface {
+    let m = fixed_module();
+    let iface = m.interface("Fixed").expect("interface");
+    let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    CompiledInterface::compile_with(&m, iface, &pres, opts).expect("compiles")
+}
+
+/// In-process transport: dispatches straight into a `ServerInterface`,
+/// reusing the caller's reply buffer. No queues, no copies beyond the
+/// server's own marshal — the minimal harness around the stub code under
+/// audit.
+struct Inline {
+    server: Arc<Mutex<ServerInterface>>,
+}
+
+impl Transport for Inline {
+    fn call(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+    ) -> flexrpc_runtime::Result<usize> {
+        self.server
+            .lock()
+            .expect("server lock")
+            .dispatch(op.index, request, rights, reply, rights_out)?;
+        Ok(0)
+    }
+
+    fn call_with(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+        _ctl: &CallControl,
+    ) -> flexrpc_runtime::Result<usize> {
+        self.call(op, request, rights, reply, rights_out)
+    }
+}
+
+fn stub(opts: SpecializeOptions, format: WireFormat) -> ClientStub {
+    let mut server = ServerInterface::new(compile(opts), format);
+    server
+        .on("scale", |call| {
+            let a = call.u32("a").expect("a");
+            call.set("return", Value::U32(a * 2)).expect("return");
+            0
+        })
+        .expect("registers");
+    ClientStub::new(
+        compile(opts),
+        format,
+        Box::new(Inline { server: Arc::new(Mutex::new(server)) }),
+    )
+}
+
+#[test]
+fn fused_fixed_size_call_allocates_nothing_when_warm() {
+    for format in [WireFormat::Xdr, WireFormat::Cdr] {
+        let mut stub = stub(SpecializeOptions::default(), format);
+        let mut frame = stub.new_frame("scale").expect("frame");
+        frame[0] = Value::U32(21);
+        frame[1] = Value::U64(7);
+        frame[2] = Value::Bool(true);
+
+        // Warm-up: scratch buffers reach steady-state capacity.
+        for _ in 0..16 {
+            let status = stub.call("scale", &mut frame).expect("call");
+            assert_eq!(status, 0);
+        }
+
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..100 {
+            stub.call("scale", &mut frame).expect("call");
+        }
+        let delta = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            delta, 0,
+            "fused fixed-size call allocated {delta} times over 100 warm calls on {format:?}"
+        );
+        assert_eq!(frame[3], Value::U32(42), "result survives the audit loop");
+    }
+}
+
+#[test]
+fn warm_call_allocation_audit_is_meaningful() {
+    // Sanity-check the counter itself: an allocating workload must trip it.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let v = std::hint::black_box(vec![0u8; 4096]);
+    drop(v);
+    assert!(ALLOCS.load(Ordering::Relaxed) > before, "counting allocator is live");
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the report-binary experiments that back EXPERIMENTS.md and leaves
+# their numbers as JSON at the repo root:
+#
+#   BENCH_fuse.json   — specialization A/B (fusion + presize) and the
+#                       sharded program-cache scaling sweep
+#   BENCH_serve.json  — the serving-engine worker × client sweep
+#
+# Run from anywhere inside the repo. Pass --check to also enforce the
+# specialization gate (fused ≥ unfused on both transports).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK=()
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=(--check)
+fi
+
+cargo build -q --release -p flexrpc-bench --bin report
+
+echo "== report fuse ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- fuse --json BENCH_fuse.json "${CHECK[@]}"
+
+echo "== report serve ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- serve --json BENCH_serve.json
+
+echo "wrote BENCH_fuse.json and BENCH_serve.json" >&2

@@ -13,6 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test ==" >&2
 cargo test -q --workspace
 
+# Criterion benches must at least compile — they share drivers with the
+# report binary, so a drifted API breaks here instead of at bench time.
+echo "== cargo bench --no-run ==" >&2
+cargo bench --no-run -q
+
+# The specialization gate: fused programs must dispatch less and run at
+# least as fast as the threaded interpreter on both measured transports.
+echo "== report fuse --check ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- fuse --check
+
 # The examples are the documented API surface; an API redesign that
 # breaks them must fail here, not in a reader's terminal.
 for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix; do
