@@ -2,14 +2,15 @@
 //!
 //! Usage: `report [figure...] [--json PATH] [--check]`
 //! where figure ∈ {fig2, fig6, fig7, fig10, fig11, fig12, port, ablate,
-//! serve, shed, fuse}; no
+//! serve, shed, fuse, failover}; no
 //! arguments runs everything. `--json` additionally writes the numbers as
 //! JSON (used to refresh EXPERIMENTS.md). `--check` exits nonzero if a
-//! figure's acceptance bar is missed (used by CI for `fuse`: the fused
-//! path must not lose to the unfused one).
+//! figure's acceptance bar is missed (used by CI for `fuse` — the fused
+//! path must not lose to the unfused one — and for `failover`: exact
+//! duplicate suppression and bounded, deterministic recovery).
 
 use flexrpc_bench::{
-    ablate, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, serve, shed,
+    ablate, failover, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, serve, shed,
 };
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_kernel::{NameMode, TrustLevel};
@@ -68,7 +69,10 @@ fn main() {
     let selected: Vec<&str> = args
         .iter()
         .map(|s| s.as_str())
-        .filter(|s| s.starts_with("fig") || ["port", "ablate", "serve", "shed", "fuse"].contains(s))
+        .filter(|s| {
+            s.starts_with("fig")
+                || ["port", "ablate", "serve", "shed", "fuse", "failover"].contains(s)
+        })
         .collect();
     let check = args.iter().any(|a| a == "--check");
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
@@ -106,6 +110,9 @@ fn main() {
     }
     if want("fuse") {
         run_fuse(&mut report, check);
+    }
+    if want("failover") {
+        run_failover(&mut report, check);
     }
 
     if let Some(path) = json_path {
@@ -182,6 +189,69 @@ fn run_fuse(report: &mut Report, check: bool) {
         );
         report.put("fuse", &format!("cache-{threads}t-lookups-per-sec"), r.lookups_per_sec);
     }
+
+    if check {
+        if failures.is_empty() {
+            println!("  check: ok");
+        } else {
+            for f in &failures {
+                eprintln!("  check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_failover(report: &mut Report, check: bool) {
+    let mut failures = Vec::new();
+
+    println!("\n== Failure model: reply-loss storm under at-most-once ==");
+    let s = failover::storm(failover::STORM_CALLS, failover::CLOSE_EVERY);
+    println!(
+        "  {} calls, every {}rd reply lost: {} executions, {} suppressions (hit rate {:.3})",
+        s.calls,
+        failover::CLOSE_EVERY,
+        s.executions,
+        s.suppressions,
+        s.hit_rate
+    );
+    report.put("failover", "storm-calls", s.calls as f64);
+    report.put("failover", "storm-faults", s.faults as f64);
+    report.put("failover", "storm-suppressions", s.suppressions as f64);
+    report.put("failover", "storm-hit-rate", s.hit_rate);
+    report.put("failover", "storm-duplicate-executions", s.executions as f64 - s.calls as f64);
+    if s.executions != s.calls as u64 {
+        failures.push(format!(
+            "storm executed {} times for {} logical calls (duplicates slipped the cache)",
+            s.executions, s.calls
+        ));
+    }
+    if s.suppressions != s.faults as u64 {
+        failures.push(format!("storm suppressed {} of {} lost replies", s.suppressions, s.faults));
+    }
+
+    println!("\n== Failure model: supervised failover, same-domain -> Sun RPC standby ==");
+    println!("  {:>10} {:>14} {:>12}", "crash-at", "recovery(ns)", "dup-execs");
+    for crash_at in failover::CRASH_POINTS {
+        let r = failover::failover_once(crash_at);
+        println!("  {:>10} {:>14} {:>12}", r.crash_at, r.recovery_ns, r.duplicate_executions);
+        report.put("failover", &format!("recovery-ns-crash-at-{crash_at}"), r.recovery_ns as f64);
+        if r.duplicate_executions != 0 {
+            failures.push(format!(
+                "crash at {} caused {} duplicate executions",
+                crash_at, r.duplicate_executions
+            ));
+        }
+        if r.recovery_ns == 0 || r.recovery_ns > failover::RECOVERY_BOUND_NS {
+            failures.push(format!(
+                "crash at {} recovered in {} ns (bound {} ns)",
+                crash_at,
+                r.recovery_ns,
+                failover::RECOVERY_BOUND_NS
+            ));
+        }
+    }
+    println!("  (sim-time numbers: deterministic, so the bound is exact, not statistical)");
 
     if check {
         if failures.is_empty() {

@@ -64,6 +64,25 @@ pub enum Fault {
     /// The message is delivered twice (at-least-once delivery): the
     /// server handler runs twice; the caller sees the second reply.
     Duplicate,
+    /// The server crashes *before* executing the call: the request is
+    /// lost, the connection reports [`Disconnected`], and the injector
+    /// enters a down state — every subsequent call fails the same way
+    /// until the scheduled restart time passes on the [`SimClock`]
+    /// (or [`FaultInjector::restore`] is called). `restart_after_ns`
+    /// is relative to the crash instant; `None` means no restart.
+    ///
+    /// [`Disconnected`]: Fault::Crash
+    Crash {
+        /// Sim-time delay until the server comes back, if ever.
+        restart_after_ns: Option<u64>,
+    },
+    /// The connection closes *after* the server executed the call but
+    /// before the reply reaches the client: the handler ran (and an
+    /// at-most-once server cached the reply), yet the caller sees a
+    /// disconnect. A retry against a reply cache must be suppressed;
+    /// without one it would re-execute. One-shot — the connection
+    /// itself stays usable for the next call.
+    Close,
 }
 
 /// A deterministic per-call fault plan: "on the nth call, do X".
@@ -74,6 +93,10 @@ pub enum Fault {
 pub struct FaultInjector {
     plan: Mutex<Vec<(u64, Fault)>>,
     calls: AtomicU64,
+    /// Crash down-state: `Some(restart_at)` while the peer is down.
+    /// `restart_at = Some(t)` schedules a restart once the sim clock
+    /// passes `t`; `None` means down until [`FaultInjector::restore`].
+    down: Mutex<Option<Option<u64>>>,
 }
 
 impl FaultInjector {
@@ -97,6 +120,48 @@ impl FaultInjector {
         let mut plan = self.plan.lock();
         let at = plan.iter().position(|(when, _)| *when == n)?;
         Some(plan.swap_remove(at).1)
+    }
+
+    /// Record one call with crash bookkeeping: while the injector is in
+    /// the down state every call fails with [`Fault::Crash`] (restart
+    /// pending), and a planned crash entering the down state schedules
+    /// its restart at `now_ns + restart_after_ns`. Transports that model
+    /// a killable peer call this instead of [`FaultInjector::next_call`],
+    /// passing the current sim time.
+    pub fn next_call_at(&self, now_ns: u64) -> Option<Fault> {
+        let n = self.calls.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut down = self.down.lock();
+            match *down {
+                Some(Some(restart_at)) if now_ns >= restart_at => *down = None,
+                Some(_) => return Some(Fault::Crash { restart_after_ns: None }),
+                None => {}
+            }
+        }
+        let fault = {
+            let mut plan = self.plan.lock();
+            let at = plan.iter().position(|(when, _)| *when == n)?;
+            plan.swap_remove(at).1
+        };
+        if let Fault::Crash { restart_after_ns } = fault {
+            *self.down.lock() = Some(restart_after_ns.map(|d| now_ns + d));
+        }
+        Some(fault)
+    }
+
+    /// True while the injector's peer is crashed and has not restarted
+    /// (as of `now_ns`). Does not consume a call.
+    pub fn is_down(&self, now_ns: u64) -> bool {
+        match *self.down.lock() {
+            Some(Some(restart_at)) => now_ns < restart_at,
+            Some(None) => true,
+            None => false,
+        }
+    }
+
+    /// Clear the crash down-state immediately (an operator restart).
+    pub fn restore(&self) {
+        *self.down.lock() = None;
     }
 
     /// Number of calls observed so far.
@@ -147,6 +212,41 @@ mod tests {
         f.next_call();
         f.on_next_call(Fault::Duplicate);
         assert_eq!(f.next_call(), Some(Fault::Duplicate));
+    }
+
+    #[test]
+    fn crash_enters_down_state_until_scheduled_restart() {
+        let f = FaultInjector::new();
+        f.on_next_call(Fault::Crash { restart_after_ns: Some(1_000) });
+        // Call 0 at t=100: crash fires, restart scheduled for t=1100.
+        assert_eq!(f.next_call_at(100), Some(Fault::Crash { restart_after_ns: Some(1_000) }));
+        assert!(f.is_down(500));
+        // Still down before the restart time: every call crashes.
+        assert!(matches!(f.next_call_at(1_099), Some(Fault::Crash { .. })));
+        // Past the restart: back up, plan empty, calls succeed.
+        assert!(!f.is_down(1_100));
+        assert_eq!(f.next_call_at(1_100), None);
+        assert_eq!(f.calls_seen(), 3);
+    }
+
+    #[test]
+    fn crash_without_restart_stays_down_until_restored() {
+        let f = FaultInjector::new();
+        f.on_next_call(Fault::Crash { restart_after_ns: None });
+        assert!(matches!(f.next_call_at(0), Some(Fault::Crash { .. })));
+        assert!(matches!(f.next_call_at(u64::MAX), Some(Fault::Crash { .. })));
+        f.restore();
+        assert_eq!(f.next_call_at(0), None);
+    }
+
+    #[test]
+    fn close_is_one_shot_and_leaves_the_injector_up() {
+        let f = FaultInjector::new();
+        f.on_nth_call(1, Fault::Close);
+        assert_eq!(f.next_call_at(0), None);
+        assert_eq!(f.next_call_at(0), Some(Fault::Close));
+        assert!(!f.is_down(0));
+        assert_eq!(f.next_call_at(0), None);
     }
 
     #[test]

@@ -56,6 +56,20 @@ impl WireSignature {
     pub fn hash(&self) -> u64 {
         self.hash
     }
+
+    /// The *combination* signature of one negotiated binding: the wire
+    /// contract plus both endpoints' presentation fingerprints. Two
+    /// bindings with equal combination signatures compiled identical stub
+    /// programs, so a failover rebind whose combination signature matches
+    /// a cached one can reuse the compilation outright — rebinding is
+    /// cheap because this value is cheap to compare.
+    pub fn combination(&self, client_fingerprint: u64, server_fingerprint: u64) -> u64 {
+        let mut bytes = [0u8; 24];
+        bytes[..8].copy_from_slice(&self.hash.to_le_bytes());
+        bytes[8..16].copy_from_slice(&client_fingerprint.to_le_bytes());
+        bytes[16..].copy_from_slice(&server_fingerprint.to_le_bytes());
+        fnv1a(&bytes)
+    }
 }
 
 impl fmt::Display for WireSignature {
@@ -140,6 +154,20 @@ pub fn fnv1a(data: &[u8]) -> u64 {
 mod tests {
     use super::*;
     use crate::ir::{fileio_example, Dialect, Field, Module, Param, ParamDir, TypeDef};
+
+    #[test]
+    fn combination_signature_separates_presentations_not_contracts() {
+        let m = fileio_example();
+        let iface = &m.interfaces[0];
+        let sig = WireSignature::of_interface(&m, iface).unwrap();
+        // Same contract, same endpoint fingerprints → same combination.
+        assert_eq!(sig.combination(1, 2), sig.combination(1, 2));
+        // Either endpoint re-presenting changes the combination...
+        assert_ne!(sig.combination(1, 2), sig.combination(3, 2));
+        assert_ne!(sig.combination(1, 2), sig.combination(1, 3));
+        // ...and the two sides are not interchangeable.
+        assert_ne!(sig.combination(1, 2), sig.combination(2, 1));
+    }
     use crate::ir::{Interface, Operation};
 
     fn sig(m: &Module, iface: &str) -> WireSignature {

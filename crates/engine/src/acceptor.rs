@@ -15,6 +15,7 @@ use crate::engine::{CallTicket, ClientInfo, Engine, EngineError};
 use flexrpc_core::program::CompiledOp;
 use flexrpc_net::sunrpc::{self, AcceptStat, CallHeader};
 use flexrpc_net::{HostId, NetError, SimNet};
+use flexrpc_runtime::policy::CallTag;
 use flexrpc_runtime::RetryPolicy;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -46,11 +47,13 @@ pub fn expose_on_net(
         // before any reply is awaited, so one batch spreads across workers.
         let mut outcomes: Vec<(u32, Outcome)> = Vec::with_capacity(records.len());
         for record in records {
-            let (hdr, args) = match sunrpc::decode_call(record) {
+            let (hdr, tag, args) = match sunrpc::decode_call_tagged(record) {
                 Ok(x) => x,
                 Err(e) => return Err(format!("undecodable call in stream: {e}")),
             };
-            outcomes.push((hdr.xid, submit_one(&eng, &pool, &compiled, hdr, args, prog, vers)));
+            let tag = tag.map(|(binding, seq)| CallTag { binding, seq });
+            outcomes
+                .push((hdr.xid, submit_one(&eng, &pool, &compiled, hdr, tag, args, (prog, vers))));
         }
         // Phase 2: await and re-frame. Waiting in submit order is fine —
         // execution already overlapped; XIDs let the client reorder freely.
@@ -102,9 +105,9 @@ fn submit_one(
     pool: &Arc<crate::engine::ReplicaPool>,
     compiled: &flexrpc_core::program::CompiledInterface,
     hdr: CallHeader,
+    tag: Option<CallTag>,
     args: &[u8],
-    prog: u32,
-    vers: u32,
+    (prog, vers): (u32, u32),
 ) -> Outcome {
     if hdr.prog != prog {
         return Outcome::Immediate(AcceptStat::ProgUnavail);
@@ -120,13 +123,18 @@ fn submit_one(
     let Some(op_index) = op_index else {
         return Outcome::Immediate(AcceptStat::ProcUnavail);
     };
-    match engine.submit_to_pool(pool, op_index, args, &[]) {
+    match engine.submit_to_pool(pool, op_index, args, &[], tag) {
         Ok(ticket) => Outcome::Pending(ticket),
-        // Shed and shutdown are SYSTEM_ERR (RFC 1057's "server is having
-        // trouble"), distinct from the dispatch-table rejections above.
-        Err(EngineError::Overloaded | EngineError::Closed) => {
-            Outcome::Immediate(AcceptStat::SystemErr)
-        }
+        // Shed, shutdown, induced failures, and an open breaker are all
+        // SYSTEM_ERR (RFC 1057's "server is having trouble"), distinct from
+        // the dispatch-table rejections above.
+        Err(
+            EngineError::Overloaded
+            | EngineError::Closed
+            | EngineError::Dropped
+            | EngineError::Disconnected(_)
+            | EngineError::Unhealthy,
+        ) => Outcome::Immediate(AcceptStat::SystemErr),
         Err(_) => Outcome::Immediate(AcceptStat::ProcUnavail),
     }
 }

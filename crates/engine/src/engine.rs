@@ -16,16 +16,18 @@
 //! expensive part — compilation — happens once per combination; the cheap
 //! part — a handler table — is replicated for parallelism.
 
+use crate::breaker::CircuitBreaker;
 use crate::cache::{ProgramCache, ProgramKey};
 use crate::queue::{BoundedQueue, PushRefusal};
 use crate::stats::{EngineCounters, EngineStatsSnapshot};
-use flexrpc_clock::SimClock;
+use flexrpc_clock::{Fault, FaultInjector, SimClock};
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_core::ir::Module;
 use flexrpc_core::present::{InterfacePresentation, Trust};
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
 use flexrpc_marshal::WireFormat;
-use flexrpc_runtime::policy::{CallControl, CallOptions};
+use flexrpc_runtime::policy::{CallControl, CallOptions, CallTag};
+use flexrpc_runtime::replycache::ReplyCache;
 use flexrpc_runtime::transport::Transport;
 use flexrpc_runtime::{RpcError, ServerInterface};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -50,6 +52,14 @@ pub enum EngineError {
     Compile(flexrpc_core::CoreError),
     /// The underlying network refused an operation.
     Net(flexrpc_net::NetError),
+    /// The submission was lost (induced fault); a resend may succeed.
+    Dropped,
+    /// The engine's server process crashed (induced fault): the binding is
+    /// gone until the scheduled restart.
+    Disconnected(String),
+    /// The circuit breaker is open: the engine judged itself sick and
+    /// refuses admission so clients fail over instead of piling on.
+    Unhealthy,
 }
 
 impl std::fmt::Display for EngineError {
@@ -61,6 +71,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Overloaded => write!(f, "engine overloaded: call shed at admission"),
             EngineError::Compile(e) => write!(f, "program compilation failed: {e}"),
             EngineError::Net(e) => write!(f, "network error: {e}"),
+            EngineError::Dropped => write!(f, "submission dropped (induced fault)"),
+            EngineError::Disconnected(why) => write!(f, "engine connection lost: {why}"),
+            EngineError::Unhealthy => write!(f, "engine circuit breaker open"),
         }
     }
 }
@@ -85,6 +98,10 @@ impl From<EngineError> for flexrpc_runtime::Error {
             EngineError::Overloaded => ErrorKind::Overloaded,
             EngineError::Closed => ErrorKind::Cancelled,
             EngineError::Net(n) => RpcError::Net(n.clone()).kind(),
+            EngineError::Dropped => ErrorKind::Retryable,
+            // A crashed engine and an open breaker read the same to a
+            // supervisor: this binding is gone, fail over.
+            EngineError::Disconnected(_) | EngineError::Unhealthy => ErrorKind::Disconnected,
             EngineError::UnknownService(_)
             | EngineError::DuplicateService(_)
             | EngineError::Compile(_) => ErrorKind::Fatal,
@@ -203,6 +220,11 @@ struct Job {
     /// Absolute sim-clock deadline: the tighter of the caller's deadline
     /// and the engine's queue-dwell limit, fixed at admission.
     deadline_ns: Option<u64>,
+    /// At-most-once identity, consulted against the engine's reply cache.
+    tag: Option<CallTag>,
+    /// Induced `Close` fault: execute (and cache) normally, then lose the
+    /// reply — the submitter sees a disconnect.
+    close_after: bool,
 }
 
 /// Interchangeable `ServerInterface` instances for one program combination.
@@ -269,6 +291,8 @@ pub struct EngineBuilder {
     dwell_limit_ns: Option<u64>,
     clock: Option<Arc<SimClock>>,
     specialize: SpecializeOptions,
+    amo_ttl: Option<Duration>,
+    breaker: Option<(u32, u64)>,
 }
 
 impl Default for EngineBuilder {
@@ -280,6 +304,8 @@ impl Default for EngineBuilder {
             dwell_limit_ns: None,
             clock: None,
             specialize: SpecializeOptions::default(),
+            amo_ttl: None,
+            breaker: None,
         }
     }
 }
@@ -328,19 +354,41 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables at-most-once semantics: a reply cache with this TTL
+    /// (measured on the engine clock) suppresses duplicate executions of
+    /// tagged calls. Off by default.
+    pub fn at_most_once(mut self, ttl: Duration) -> EngineBuilder {
+        self.amo_ttl = Some(ttl);
+        self
+    }
+
+    /// Installs a circuit breaker: `threshold` consecutive dispatch
+    /// failures trip it open, refusing admission with
+    /// [`EngineError::Unhealthy`] until `cooldown` of sim time passes and
+    /// a probe call succeeds. Off by default.
+    pub fn breaker(mut self, threshold: u32, cooldown: Duration) -> EngineBuilder {
+        self.breaker = Some((threshold, u64::try_from(cooldown.as_nanos()).unwrap_or(u64::MAX)));
+        self
+    }
+
     /// Starts the engine: spawns the worker pool, returns the shared handle.
     pub fn build(self) -> Arc<Engine> {
+        let clock = self.clock.unwrap_or_default();
+        let reply_cache = self.amo_ttl.map(|ttl| ReplyCache::new(Arc::clone(&clock), ttl));
         let engine = Arc::new(Engine {
             workers_n: self.workers,
             high_water: self.high_water,
             dwell_limit_ns: self.dwell_limit_ns,
-            clock: self.clock.unwrap_or_default(),
+            clock,
             queue: Arc::new(BoundedQueue::new(self.queue_depth)),
             workers: Mutex::new(Vec::new()),
             cache: ProgramCache::new(),
             services: RwLock::new(HashMap::new()),
             counters: EngineCounters::default(),
             specialize: self.specialize,
+            faults: FaultInjector::new(),
+            reply_cache,
+            breaker: self.breaker.map(|(t, c)| CircuitBreaker::new(t, c)),
         });
         let mut workers = engine.workers.lock();
         for i in 0..engine.workers_n {
@@ -366,10 +414,11 @@ impl EngineBuilder {
                             let mut body = Vec::new();
                             let mut rights_out = Vec::new();
                             let result = replica
-                                .dispatch(
+                                .dispatch_tagged(
                                     job.op_index,
                                     &job.request,
                                     &job.rights,
+                                    job.tag,
                                     &mut body,
                                     &mut rights_out,
                                 )
@@ -381,8 +430,20 @@ impl EngineBuilder {
                                     result.as_ref().map_or(0, |r| r.body.len()),
                                     result.is_ok(),
                                 );
+                                if let Some(b) = &engine.breaker {
+                                    b.record(result.is_ok(), clock.now_ns());
+                                }
                             }
-                            job.slot.fill(result);
+                            // An induced Close: the call executed (and an
+                            // at-most-once engine cached its reply), but the
+                            // reply is lost on the way back.
+                            if job.close_after {
+                                job.slot.fill(Err(RpcError::Disconnected(
+                                    "engine connection closed before reply".into(),
+                                )));
+                            } else {
+                                job.slot.fill(result);
+                            }
                         }
                     })
                     .expect("worker thread spawns"),
@@ -406,6 +467,12 @@ pub struct Engine {
     services: RwLock<HashMap<String, Arc<Service>>>,
     counters: EngineCounters,
     specialize: SpecializeOptions,
+    /// Induced failures at admission (crash/close/drop/delay/duplicate).
+    faults: FaultInjector,
+    /// At-most-once reply cache, if [`EngineBuilder::at_most_once`] set.
+    reply_cache: Option<Arc<ReplyCache>>,
+    /// Admission health gate, if [`EngineBuilder::breaker`] set.
+    breaker: Option<CircuitBreaker>,
 }
 
 impl Engine {
@@ -515,6 +582,11 @@ impl Engine {
                 let mut replica =
                     ServerInterface::new_shared(Arc::clone(&compiled), service.format);
                 (service.factory)(&mut replica);
+                // All replicas share the engine's one reply cache: a retry
+                // may land on a different replica than the original.
+                if let Some(cache) = &self.reply_cache {
+                    replica.set_reply_cache(Arc::clone(cache));
+                }
                 replica
             })
             .collect();
@@ -552,7 +624,31 @@ impl Engine {
         request: Vec<u8>,
         rights: Vec<u32>,
         deadline_ns: Option<u64>,
+        tag: Option<CallTag>,
     ) -> Result<CallTicket, EngineError> {
+        // Health gate first: an open breaker refuses before any work or
+        // fault accounting happens, so clients fail over immediately.
+        if let Some(b) = &self.breaker {
+            if !b.allow(self.clock.now_ns()) {
+                return Err(EngineError::Unhealthy);
+            }
+        }
+        // Induced faults are applied at admission — the point where both
+        // the same-domain path and the network acceptor path converge.
+        let mut close_after = false;
+        let mut duplicate = false;
+        match self.faults.next_call_at(self.clock.now_ns()) {
+            None => {}
+            Some(Fault::Crash { .. }) => {
+                return Err(EngineError::Disconnected("engine process crashed".into()));
+            }
+            Some(Fault::Drop) => return Err(EngineError::Dropped),
+            Some(Fault::Delay(ns)) => {
+                self.clock.advance_ns(ns);
+            }
+            Some(Fault::Close) => close_after = true,
+            Some(Fault::Duplicate) => duplicate = true,
+        }
         let now = self.clock.now_ns();
         let dwell_deadline = self.dwell_limit_ns.map(|d| now.saturating_add(d));
         let deadline_ns = match (deadline_ns, dwell_deadline) {
@@ -568,8 +664,41 @@ impl Engine {
             slot.fill(Err(RpcError::DeadlineExceeded));
             return Ok(ticket);
         }
+        if duplicate {
+            // Duplicated delivery: a shadow copy of the job runs first and
+            // its reply is discarded. Under at-most-once the shadow records
+            // into the reply cache and the real job replays from it — one
+            // handler execution even though the queue saw the call twice.
+            self.counters.job_enqueued();
+            let shadow = Job {
+                pool: Arc::clone(pool),
+                op_index,
+                request: request.clone(),
+                rights: rights.clone(),
+                slot: ReplySlot::new(),
+                deadline_ns,
+                tag,
+                close_after: false,
+            };
+            self.push_job(shadow)?;
+        }
         self.counters.job_enqueued();
-        let job = Job { pool: Arc::clone(pool), op_index, request, rights, slot, deadline_ns };
+        let job = Job {
+            pool: Arc::clone(pool),
+            op_index,
+            request,
+            rights,
+            slot,
+            deadline_ns,
+            tag,
+            close_after,
+        };
+        self.push_job(job)?;
+        Ok(ticket)
+    }
+
+    /// Pushes one job, honoring the high-water shed policy.
+    fn push_job(&self, job: Job) -> Result<(), EngineError> {
         if let Some(high_water) = self.high_water {
             match self.queue.try_push(job, high_water) {
                 Ok(()) => {}
@@ -587,7 +716,7 @@ impl Engine {
             self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
             return Err(EngineError::Closed);
         }
-        Ok(ticket)
+        Ok(())
     }
 
     /// Submits into a specific pool (the acceptor's path). The engine's
@@ -598,8 +727,9 @@ impl Engine {
         op_index: usize,
         request: &[u8],
         rights: &[u32],
+        tag: Option<CallTag>,
     ) -> Result<CallTicket, EngineError> {
-        self.enqueue(pool, op_index, request.to_vec(), rights.to_vec(), None)
+        self.enqueue(pool, op_index, request.to_vec(), rights.to_vec(), None, tag)
     }
 
     /// Live counters (crate-internal; external readers use [`Engine::stats`]).
@@ -612,8 +742,20 @@ impl Engine {
         &self.cache
     }
 
+    /// The engine's fault injector: plan crashes, closes, drops, delays
+    /// against admission (tests and the failover experiment).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// The at-most-once reply cache, if enabled.
+    pub fn reply_cache(&self) -> Option<&Arc<ReplyCache>> {
+        self.reply_cache.as_ref()
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> EngineStatsSnapshot {
+        let breaker = self.breaker.as_ref().map(|b| b.stats()).unwrap_or_default();
         EngineStatsSnapshot {
             calls_served: self.counters.calls_served.load(Ordering::Relaxed),
             bytes_in: self.counters.bytes_in.load(Ordering::Relaxed),
@@ -628,6 +770,11 @@ impl Engine {
             deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
             workers: self.workers_n,
             cache: self.cache.stats(),
+            reply_cache: self.reply_cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            breaker_trips: breaker.trips,
+            breaker_probes: breaker.probes,
+            breaker_recoveries: breaker.recoveries,
+            breaker_open: breaker.open,
         }
     }
 
@@ -736,7 +883,27 @@ impl EngineConnection {
         rights: &[u32],
         deadline_ns: Option<u64>,
     ) -> Result<CallTicket, EngineError> {
-        self.engine.enqueue(&self.pool, op_index, request.to_vec(), rights.to_vec(), deadline_ns)
+        self.submit_tagged(op_index, request, rights, deadline_ns, None)
+    }
+
+    /// [`EngineConnection::submit_with`] carrying an at-most-once tag for
+    /// the engine's reply cache.
+    pub fn submit_tagged(
+        &self,
+        op_index: usize,
+        request: &[u8],
+        rights: &[u32],
+        deadline_ns: Option<u64>,
+        tag: Option<CallTag>,
+    ) -> Result<CallTicket, EngineError> {
+        self.engine.enqueue(
+            &self.pool,
+            op_index,
+            request.to_vec(),
+            rights.to_vec(),
+            deadline_ns,
+            tag,
+        )
     }
 
     /// The connection's default deadline resolved against the engine
@@ -787,12 +954,20 @@ impl Transport for EngineConnection {
         // connection-level one; either bounds the queue dwell, the
         // execution, and the ticket wait.
         let deadline_ns = ctl.deadline_ns.or_else(|| self.connection_deadline());
-        let ticket =
-            self.submit_with(op.index, request, rights, deadline_ns).map_err(|e| match e {
+        let ticket = self.submit_tagged(op.index, request, rights, deadline_ns, ctl.tag).map_err(
+            |e| match e {
                 EngineError::Overloaded => RpcError::Overloaded,
                 EngineError::Closed => RpcError::Cancelled,
+                EngineError::Dropped => {
+                    RpcError::Transport("submission dropped (induced fault)".into())
+                }
+                EngineError::Disconnected(why) => RpcError::Disconnected(why),
+                EngineError::Unhealthy => {
+                    RpcError::Disconnected("engine circuit breaker open".into())
+                }
                 other => RpcError::Transport(other.to_string()),
-            })?;
+            },
+        )?;
         let r = ticket.wait_until(deadline_ns)?;
         reply.clear();
         reply.extend_from_slice(&r.body);

@@ -27,12 +27,14 @@
 //!   [`acceptor::SunRpcPipeline`] client.
 
 pub mod acceptor;
+pub mod breaker;
 pub mod cache;
 pub mod engine;
 pub mod queue;
 pub mod stats;
 
 pub use acceptor::{expose_on_net, SunRpcPipeline};
+pub use breaker::{BreakerStats, CircuitBreaker};
 pub use cache::{CacheStats, ProgramCache, ProgramKey};
 pub use engine::{
     CallTicket, ClientInfo, ConnectBuilder, Engine, EngineBuilder, EngineConnection, EngineError,

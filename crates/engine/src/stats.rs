@@ -1,6 +1,7 @@
 //! Engine-level counters and point-in-time snapshots.
 
 use crate::cache::CacheStats;
+use flexrpc_runtime::replycache::ReplyCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Live counters, updated by acceptors and workers.
@@ -93,6 +94,16 @@ pub struct EngineStatsSnapshot {
     pub workers: usize,
     /// Program-cache counters.
     pub cache: CacheStats,
+    /// At-most-once reply-cache counters (all zero when disabled).
+    pub reply_cache: ReplyCacheStats,
+    /// Circuit-breaker trips (closed/half-open → open).
+    pub breaker_trips: u64,
+    /// Circuit-breaker probes admitted while half-open.
+    pub breaker_probes: u64,
+    /// Circuit-breaker recoveries (probe succeeded, breaker closed).
+    pub breaker_recoveries: u64,
+    /// True while the breaker refuses admission.
+    pub breaker_open: bool,
 }
 
 impl EngineStatsSnapshot {

@@ -268,14 +268,18 @@ impl Kernel {
         // Consult the kernel's fault plan: drops lose the message before any
         // transfer, delays model a stalled receiver by advancing the sim
         // clock (deadline checks upstream see the time pass), duplicates
-        // deliver the message twice (the handler runs again below).
-        let fault = self.faults().next_call();
+        // deliver the message twice (the handler runs again below). Crashes
+        // kill the server task before it receives (the port is dead until
+        // the scheduled restart); closes shut the connection down after the
+        // handler ran but before the reply message is sent.
+        let fault = self.faults().next_call_at(self.clock().now_ns());
         match fault {
             Some(flexrpc_clock::Fault::Drop) => return Err(KernelError::Dropped),
             Some(flexrpc_clock::Fault::Delay(ns)) => {
                 self.clock().advance_ns(ns);
             }
-            Some(flexrpc_clock::Fault::Duplicate) | None => {}
+            Some(flexrpc_clock::Fault::Crash { .. }) => return Err(KernelError::ConnectionDead),
+            Some(flexrpc_clock::Fault::Duplicate | flexrpc_clock::Fault::Close) | None => {}
         }
 
         // Translate request rights into the server's name table.
@@ -326,6 +330,13 @@ impl Kernel {
         {
             let mut rf = conn.regs.lock();
             run_ops(&conn.reg_path.post, &mut rf, stats);
+        }
+
+        if fault == Some(flexrpc_clock::Fault::Close) {
+            // The connection was torn down between the handler completing
+            // and the reply send: the server's work (and any reply-cache
+            // entry) survives, but this caller never hears back.
+            return Err(KernelError::ConnectionDead);
         }
 
         if out.body.len() > MAX_BODY {

@@ -38,6 +38,10 @@ pub enum NetError {
     /// The message was lost in transit (induced by fault injection).
     /// Transient by construction: a retry sends a fresh message.
     Dropped,
+    /// The peer crashed or the stream closed: the binding to this host is
+    /// gone. Not transient — resending on the same stream cannot succeed;
+    /// the client must rebind (possibly to a different endpoint).
+    Disconnected(String),
 }
 
 impl fmt::Display for NetError {
@@ -47,6 +51,7 @@ impl fmt::Display for NetError {
             NetError::NoService(h) => write!(f, "no service registered on {h:?}"),
             NetError::ServiceFailure(why) => write!(f, "service failure: {why}"),
             NetError::Dropped => write!(f, "message dropped in transit"),
+            NetError::Disconnected(why) => write!(f, "peer disconnected: {why}"),
         }
     }
 }
@@ -243,8 +248,11 @@ impl SimNet {
         // Consult the fault plan before the wire: drops lose the message
         // after it is charged (it left the client), delays model a stalled
         // link or peer by advancing the sim clock, duplicates model
-        // at-least-once delivery by running the handler twice.
-        let fault = self.faults.next_call();
+        // at-least-once delivery by running the handler twice. Crashes kill
+        // the server before it executes (and keep it down until its
+        // scheduled sim-time restart); closes lose the stream after the
+        // server executed but before the reply arrives.
+        let fault = self.faults.next_call_at(self.clock.now_ns());
         // Request hits the wire.
         self.charge_wire(request.len());
         match fault {
@@ -252,7 +260,19 @@ impl SimNet {
             Some(Fault::Delay(ns)) => {
                 self.clock.advance_ns(ns);
             }
-            Some(Fault::Duplicate) | None => {}
+            Some(Fault::Crash { .. }) => {
+                // The server died before reading the request: nothing
+                // executed, the stream is gone.
+                return Err(NetError::Disconnected(format!(
+                    "server {} crashed",
+                    self.host_name(to).unwrap_or_else(|_| format!("{to:?}"))
+                )));
+            }
+            Some(Fault::Duplicate) => {
+                // The retransmitted copy traverses the wire too.
+                self.charge_wire(request.len());
+            }
+            Some(Fault::Close) | None => {}
         }
         // The far side receives into its own buffer: a real copy, as the
         // receiving protocol stack would perform.
@@ -276,6 +296,12 @@ impl SimNet {
         // Server-side processing + reply on the wire.
         self.wire_ns.fetch_add(self.cfg.server_ns, Ordering::Relaxed);
         self.clock.advance_ns(self.cfg.server_ns);
+        if fault == Some(Fault::Close) {
+            // The stream closed after the server executed: the work is done
+            // (an at-most-once server has the reply cached) but this client
+            // never sees it. The reply never reaches the wire.
+            return Err(NetError::Disconnected("stream closed before reply".into()));
+        }
         self.charge_wire(reply.len());
         reply_into.clear();
         reply_into.extend_from_slice(&reply);
@@ -470,6 +496,79 @@ mod tests {
         let mut reply = Vec::new();
         net.call(c, s, b"x", &mut reply).unwrap();
         assert_eq!(reply, b"x");
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn duplicate_fault_charges_the_wire_for_both_copies() {
+        let baseline = {
+            let net = SimNet::new();
+            let c = net.add_host("c");
+            let s = net.add_host("s");
+            net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+            let mut reply = Vec::new();
+            net.call(c, s, &[0u8; 400], &mut reply).unwrap();
+            net.wire_ns()
+        };
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+        net.faults().on_next_call(Fault::Duplicate);
+        let mut reply = Vec::new();
+        net.call(c, s, &[0u8; 400], &mut reply).unwrap();
+        assert!(
+            net.wire_ns() > baseline,
+            "the retransmitted request must cost wire time on top of the clean call"
+        );
+    }
+
+    #[test]
+    fn crash_fault_kills_the_host_until_restart() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("server-b");
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.register_service(s, move |req| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(req.to_vec())
+        })
+        .unwrap();
+        net.faults().on_next_call(Fault::Crash { restart_after_ns: Some(50_000_000) });
+        let mut reply = Vec::new();
+        // The crashed call and every call before the restart disconnect;
+        // the handler never runs.
+        let e = net.call(c, s, b"x", &mut reply).unwrap_err();
+        assert!(matches!(e, NetError::Disconnected(ref w) if w.contains("server-b")), "{e}");
+        assert!(matches!(net.call(c, s, b"x", &mut reply), Err(NetError::Disconnected(_))));
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "a crashed server executes nothing");
+        // Past the scheduled restart the host serves again.
+        net.clock().advance_ns(60_000_000);
+        net.call(c, s, b"x", &mut reply).unwrap();
+        assert_eq!(reply, b"x");
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn close_fault_executes_then_loses_the_reply() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.register_service(s, move |req| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(req.to_vec())
+        })
+        .unwrap();
+        net.faults().on_next_call(Fault::Close);
+        let mut reply = Vec::new();
+        assert!(matches!(net.call(c, s, b"x", &mut reply), Err(NetError::Disconnected(_))));
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "the handler ran before the stream died");
+        // One-shot: the next call completes.
+        net.call(c, s, b"y", &mut reply).unwrap();
+        assert_eq!(reply, b"y");
         assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 

@@ -80,6 +80,13 @@ pub struct CallHeader {
 /// Call header size after the record mark: XID, type, RPC version, prog,
 /// vers, proc, plus four null credential/verifier words.
 const CALL_HDR_WORDS: usize = 10;
+/// Credential flavor carrying a flexrpc at-most-once call tag: 16 opaque
+/// bytes of (client binding id, sequence number), both big-endian u64.
+/// Riding the RFC 1057 credential field keeps the tag out of the argument
+/// bytes, so tagged and untagged frames decode with the same body layout.
+pub const CRED_FLAVOR_AMO: u32 = 0x464C_5250; // "FLRP"
+/// Byte length of the at-most-once credential body.
+const CRED_AMO_LEN: u32 = 16;
 /// Reply header size after the record mark: XID, type, reply stat, null
 /// verifier (2 words), accept stat.
 const REPLY_HDR_WORDS: usize = 6;
@@ -100,14 +107,33 @@ pub fn encode_call(hdr: CallHeader, args: &[u8]) -> Vec<u8> {
 /// buffer, which is the record-marking path's half of the paper's "marshal
 /// directly into the transport buffer" discipline.
 pub fn encode_call_gather(hdr: CallHeader, parts: &[&[u8]]) -> Vec<u8> {
+    encode_call_tagged(hdr, None, parts)
+}
+
+/// Encodes a call message, optionally carrying an at-most-once call tag
+/// `(binding id, sequence number)` in the credential field. `None` emits
+/// the classic null-credential frame byte-for-byte. Same exact-size,
+/// no-patch scheme as [`encode_call_gather`].
+pub fn encode_call_tagged(hdr: CallHeader, tag: Option<(u64, u64)>, parts: &[&[u8]]) -> Vec<u8> {
     let body: usize = parts.iter().map(|p| p.len()).sum();
     let padded = align_up4(body);
-    let total = 4 + CALL_HDR_WORDS * 4 + padded;
+    let cred_words = if tag.is_some() { CRED_AMO_LEN as usize / 4 } else { 0 };
+    let total = 4 + (CALL_HDR_WORDS + cred_words) * 4 + padded;
     let mut buf = Vec::with_capacity(total);
     let mark = 0x8000_0000u32 | (total - 4) as u32; // Last-fragment bit set.
-                                                    // Null credentials and verifier (flavor 0, length 0), per RFC 1057.
-    for word in [mark, hdr.xid, CALL, RPC_VERS, hdr.prog, hdr.vers, hdr.proc, 0, 0, 0, 0] {
+    for word in [mark, hdr.xid, CALL, RPC_VERS, hdr.prog, hdr.vers, hdr.proc] {
         buf.extend_from_slice(&word.to_be_bytes());
+    }
+    match tag {
+        // Null credentials and verifier (flavor 0, length 0), per RFC 1057.
+        None => buf.extend_from_slice(&[0u8; 16]),
+        Some((binding, seq)) => {
+            buf.extend_from_slice(&CRED_FLAVOR_AMO.to_be_bytes());
+            buf.extend_from_slice(&CRED_AMO_LEN.to_be_bytes());
+            buf.extend_from_slice(&binding.to_be_bytes());
+            buf.extend_from_slice(&seq.to_be_bytes());
+            buf.extend_from_slice(&[0u8; 8]); // Null verifier.
+        }
     }
     for p in parts {
         buf.extend_from_slice(p);
@@ -145,7 +171,21 @@ fn proto_err(why: &str) -> NetError {
 }
 
 /// Decodes a call message, returning the header and the argument bytes.
+/// An at-most-once credential, if present, is tolerated and dropped — use
+/// [`decode_call_tagged`] to recover it.
 pub fn decode_call(msg: &[u8]) -> Result<(CallHeader, &[u8])> {
+    let (hdr, _tag, args) = decode_call_tagged(msg)?;
+    Ok((hdr, args))
+}
+
+/// A decoded call: header, at-most-once tag `(binding id, sequence
+/// number)` if the credential carries one, and the argument bytes.
+pub type TaggedCall<'a> = (CallHeader, Option<(u64, u64)>, &'a [u8]);
+
+/// Decodes a call message, returning the header, the at-most-once call
+/// tag `(binding id, sequence number)` if the credential carries one, and
+/// the argument bytes.
+pub fn decode_call_tagged(msg: &[u8]) -> Result<TaggedCall<'_>> {
     let mut r = XdrReader::new(msg);
     let mark = r.get_u32().map_err(|_| proto_err("truncated record mark"))?;
     if mark & 0x8000_0000 == 0 {
@@ -166,15 +206,26 @@ pub fn decode_call(msg: &[u8]) -> Result<(CallHeader, &[u8])> {
     let prog = r.get_u32().map_err(|_| proto_err("truncated prog"))?;
     let vers = r.get_u32().map_err(|_| proto_err("truncated vers"))?;
     let proc = r.get_u32().map_err(|_| proto_err("truncated proc"))?;
-    for what in ["cred flavor", "cred length", "verf flavor", "verf length"] {
-        let v = r.get_u32().map_err(|_| proto_err("truncated credentials"))?;
+    let cred_flavor = r.get_u32().map_err(|_| proto_err("truncated credentials"))?;
+    let cred_len = r.get_u32().map_err(|_| proto_err("truncated credentials"))?;
+    let tag = match (cred_flavor, cred_len) {
+        (0, 0) => None,
+        (CRED_FLAVOR_AMO, CRED_AMO_LEN) => {
+            let hi = r.get_u64().map_err(|_| proto_err("truncated call tag"))?;
+            let lo = r.get_u64().map_err(|_| proto_err("truncated call tag"))?;
+            Some((hi, lo))
+        }
+        _ => return Err(proto_err("unsupported credential flavor")),
+    };
+    for what in ["verf flavor", "verf length"] {
+        let v = r.get_u32().map_err(|_| proto_err("truncated verifier"))?;
         if v != 0 {
             return Err(proto_err(&format!("non-null {what} not supported")));
         }
     }
     let args_len = r.remaining();
     let args = r.get_opaque_fixed(args_len).expect("remaining bytes");
-    Ok((CallHeader { xid, prog, vers, proc }, args))
+    Ok((CallHeader { xid, prog, vers, proc }, tag, args))
 }
 
 /// Splits a stream of concatenated record-marked messages into individual
@@ -348,6 +399,38 @@ mod tests {
         let reply = encode_reply_gather(1, AcceptStat::Success, &[&[9u8; 5]]);
         assert_eq!(reply.len(), reply.capacity());
         assert_eq!(reply.len(), 4 + 24 + 8);
+    }
+
+    #[test]
+    fn tagged_call_roundtrips_binding_and_seq() {
+        let hdr = CallHeader { xid: 9, prog: 100003, vers: 2, proc: 1 };
+        let msg = encode_call_tagged(hdr, Some((0xDEAD_BEEF_0000_0001, 42)), &[b"payload"]);
+        let (got, tag, args) = decode_call_tagged(&msg).unwrap();
+        assert_eq!(got, hdr);
+        assert_eq!(tag, Some((0xDEAD_BEEF_0000_0001, 42)));
+        assert_eq!(&args[..7], b"payload");
+        // The untagged decoder tolerates the credential and drops the tag.
+        let (got2, args2) = decode_call(&msg).unwrap();
+        assert_eq!(got2, hdr);
+        assert_eq!(args2, args);
+    }
+
+    #[test]
+    fn untagged_encode_is_byte_identical_to_classic() {
+        let hdr = CallHeader { xid: 3, prog: 7, vers: 1, proc: 2 };
+        assert_eq!(encode_call_tagged(hdr, None, &[b"abc"]), encode_call(hdr, b"abc"));
+        let (_, tag, _) = decode_call_tagged(&encode_call(hdr, b"abc")).unwrap();
+        assert_eq!(tag, None);
+    }
+
+    #[test]
+    fn unknown_credential_flavor_still_rejected() {
+        let hdr = CallHeader { xid: 1, prog: 2, vers: 3, proc: 4 };
+        let mut msg = encode_call(hdr, &[]);
+        // Patch the cred flavor word (offset: mark + 6 header words).
+        let off = 4 + 6 * 4;
+        msg[off..off + 4].copy_from_slice(&0x1234_5678u32.to_be_bytes());
+        assert!(decode_call(&msg).is_err());
     }
 
     #[test]

@@ -3,14 +3,30 @@
 use crate::error::{Error, ErrorKind, RpcError};
 use crate::hooks::HookMap;
 use crate::interp::{marshal, unmarshal};
-use crate::policy::{CallControl, CallOptions};
+use crate::policy::{CallControl, CallOptions, CallTag};
 use crate::transport::Transport;
 use crate::wire::{AnyReader, AnyWriter};
 use crate::Result;
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
 use flexrpc_core::value::Value;
 use flexrpc_marshal::WireFormat;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide allocator of client binding ids for at-most-once tagging.
+/// Ids start at 1 so 0 can mean "untagged" on wires that lack an option
+/// type (kernel registers).
+static NEXT_BINDING: AtomicU64 = AtomicU64::new(1);
+
+/// At-most-once call numbering: the binding id plus the next sequence
+/// number to issue. Sequence numbers advance per *logical* call — retry
+/// attempts of one call reuse its tag, which is what lets the server's
+/// reply cache recognise them.
+#[derive(Debug, Clone, Copy)]
+struct AmoState {
+    binding: u64,
+    next_seq: u64,
+}
 
 /// A client binding: compiled programs (this endpoint's presentation), its
 /// `[special]` hooks, and a transport to the server.
@@ -29,6 +45,8 @@ pub struct ClientStub {
     reply_off: usize,
     /// Scratch request buffer, reused across calls.
     request_buf: Vec<u8>,
+    /// At-most-once numbering, if enabled on this binding.
+    amo: Option<AmoState>,
 }
 
 impl ClientStub {
@@ -56,12 +74,42 @@ impl ClientStub {
             reply_buf: Vec::new(),
             reply_off: 0,
             request_buf: Vec::new(),
+            amo: None,
         }
+    }
+
+    /// Enables at-most-once execution on this binding: every policy-driven
+    /// call carries a fresh [`CallTag`] (process-unique binding id plus a
+    /// per-call sequence number), the server's reply cache suppresses
+    /// duplicate executions, and in exchange *any* operation may retry —
+    /// including after a disconnect — not just `[idempotent]` ones.
+    pub fn enable_at_most_once(&mut self) {
+        self.amo =
+            Some(AmoState { binding: NEXT_BINDING.fetch_add(1, Ordering::Relaxed), next_seq: 0 });
+    }
+
+    /// Resumes at-most-once numbering from a previous binding — the
+    /// supervisor's rebind path, so a replayed call keeps the tag the dead
+    /// connection issued and the standby's (or restarted primary's) cache
+    /// still recognises it.
+    pub fn resume_at_most_once(&mut self, binding: u64, next_seq: u64) {
+        self.amo = Some(AmoState { binding, next_seq });
+    }
+
+    /// The at-most-once numbering state `(binding id, next sequence)`,
+    /// if enabled. What a supervisor carries across a rebind.
+    pub fn at_most_once_state(&self) -> Option<(u64, u64)> {
+        self.amo.map(|a| (a.binding, a.next_seq))
     }
 
     /// The compiled interface (client presentation).
     pub fn compiled(&self) -> &CompiledInterface {
         &self.compiled
+    }
+
+    /// The sim clock of this stub's transport world, if it has one.
+    pub fn clock(&self) -> Option<Arc<flexrpc_clock::SimClock>> {
+        self.transport.clock()
     }
 
     /// Looks up a compiled operation by name.
@@ -134,10 +182,14 @@ impl ClientStub {
             .ops
             .get(op_index)
             .ok_or_else(|| Error::from(RpcError::NoSuchOp(format!("op index {op_index}"))))?;
-        // Idempotency gate: a policy that could resend requires the op's
-        // license. Checked before the first send, not after a failure.
+        // Retry license: `[idempotent]` as declared, or the binding's
+        // at-most-once mode (the server's reply cache makes a resend
+        // observationally one execution). Checked before the first send,
+        // not after a failure. A per-call `at_least_once` opt-out falls
+        // back to the declared contract.
+        let tagged = self.amo.is_some() && !options.is_at_least_once();
         if let Some(policy) = options.retry_policy() {
-            policy.check_op(op)?;
+            policy.check_op_with(op, tagged)?;
         }
         let clock = self.transport.clock();
         let deadline_ns = match (options.deadline_ns(), &clock) {
@@ -150,14 +202,32 @@ impl ClientStub {
             }
             (None, _) => None,
         };
-        let ctl = CallControl { deadline_ns };
+        // One tag per *logical* call: every retry attempt below reuses it,
+        // so the server can tell a resend from a new call.
+        let tag = if tagged {
+            self.amo.as_mut().map(|a| {
+                let t = CallTag { binding: a.binding, seq: a.next_seq };
+                a.next_seq += 1;
+                t
+            })
+        } else {
+            None
+        };
+        let ctl = CallControl { deadline_ns, tag };
         let max_attempts = options.retry_policy().map_or(1, |p| p.max_attempts());
         let mut attempt = 1u32;
         loop {
             match self.call_once(op_index, frame, &ctl) {
                 Ok(status) => return Ok(status),
                 Err(e) => {
-                    if !e.is_retryable() || attempt >= max_attempts {
+                    // A disconnect is not retryable in general (the channel
+                    // is gone), but a tagged call may resend: if the server
+                    // executed before the connection died, the reply cache
+                    // answers; if it crashed first, nothing executed. Either
+                    // way at-most-once holds.
+                    let may_retry =
+                        e.is_retryable() || (tag.is_some() && e.kind() == ErrorKind::Disconnected);
+                    if !may_retry || attempt >= max_attempts {
                         return Err(e.into());
                     }
                     let policy = options.retry_policy().expect("attempts > 1 implies a policy");

@@ -56,6 +56,11 @@ pub enum RpcError {
     /// The call was accepted but abandoned before execution — engine drain
     /// fails queued-but-unstarted work with this instead of hanging.
     Cancelled,
+    /// The connection to the server died (crash, close, or circuit-breaker
+    /// trip). Distinct from [`RpcError::Transport`]: the *binding* is gone,
+    /// not just one message, so recovery means rebinding (possibly to a
+    /// different endpoint) rather than resending on the same channel.
+    Disconnected(String),
 }
 
 impl fmt::Display for RpcError {
@@ -76,6 +81,7 @@ impl fmt::Display for RpcError {
             RpcError::DeadlineExceeded => write!(f, "deadline exceeded"),
             RpcError::Overloaded => write!(f, "server overloaded, call shed"),
             RpcError::Cancelled => write!(f, "call cancelled before execution"),
+            RpcError::Disconnected(why) => write!(f, "connection lost: {why}"),
         }
     }
 }
@@ -87,9 +93,7 @@ impl RpcError {
             // A fresh send may succeed: the message (or its server) was
             // transiently unavailable, nothing about the call itself is bad.
             RpcError::Kernel(
-                flexrpc_kernel::KernelError::Dropped
-                | flexrpc_kernel::KernelError::ConnectionDead
-                | flexrpc_kernel::KernelError::NoServer,
+                flexrpc_kernel::KernelError::Dropped | flexrpc_kernel::KernelError::NoServer,
             ) => ErrorKind::Retryable,
             RpcError::Net(
                 flexrpc_net::NetError::Dropped
@@ -97,6 +101,12 @@ impl RpcError {
                 | flexrpc_net::NetError::ServiceFailure(_),
             ) => ErrorKind::Retryable,
             RpcError::Transport(_) => ErrorKind::Retryable,
+            // The binding itself died: resending on this channel is futile,
+            // but a supervisor can rebind (same or different endpoint) and
+            // an at-most-once binding may replay through the reply cache.
+            RpcError::Kernel(flexrpc_kernel::KernelError::ConnectionDead)
+            | RpcError::Net(flexrpc_net::NetError::Disconnected(_))
+            | RpcError::Disconnected(_) => ErrorKind::Disconnected,
             // Contract violations: the endpoints disagree about the
             // interface or its presentation — retrying cannot help, and the
             // caller's binding needs fixing.
@@ -143,6 +153,10 @@ pub enum ErrorKind {
     /// The endpoints disagree about the interface contract or its
     /// presentation; fix the binding, don't retry.
     ContractViolation,
+    /// The connection to the server is gone (crash, close, breaker trip).
+    /// Not retryable on the same channel; a supervisor may rebind to a
+    /// fallback endpoint, and an at-most-once binding may safely replay.
+    Disconnected,
 }
 
 impl fmt::Display for ErrorKind {
@@ -154,6 +168,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::Cancelled => "cancelled",
             ErrorKind::ContractViolation => "contract violation",
+            ErrorKind::Disconnected => "disconnected",
         };
         f.write_str(s)
     }
@@ -289,6 +304,22 @@ mod tests {
         assert_eq!(RpcError::DeadlineExceeded.kind(), ErrorKind::DeadlineExceeded);
         assert_eq!(RpcError::Overloaded.kind(), ErrorKind::Overloaded);
         assert_eq!(RpcError::Cancelled.kind(), ErrorKind::Cancelled);
+    }
+
+    #[test]
+    fn disconnection_is_its_own_kind_at_every_layer() {
+        // A dead connection is not "retryable" — resending on the same
+        // channel cannot succeed; only a rebind can.
+        let e = RpcError::Kernel(flexrpc_kernel::KernelError::ConnectionDead);
+        assert_eq!(e.kind(), ErrorKind::Disconnected);
+        assert!(!e.is_retryable());
+        let e = RpcError::Net(flexrpc_net::NetError::Disconnected("host b".into()));
+        assert_eq!(e.kind(), ErrorKind::Disconnected);
+        let e = RpcError::Disconnected("peer crashed".into());
+        assert_eq!(e.kind(), ErrorKind::Disconnected);
+        assert!(e.to_string().contains("connection lost"));
+        let e: Error = RpcError::Disconnected("peer crashed".into()).into();
+        assert_eq!(e.kind(), ErrorKind::Disconnected);
     }
 
     #[test]

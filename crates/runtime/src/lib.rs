@@ -26,16 +26,20 @@ pub mod error;
 pub mod hooks;
 pub mod interp;
 pub mod policy;
+pub mod replycache;
 pub mod samedomain;
 pub mod server;
+pub mod supervisor;
 pub mod transport;
 pub mod wire;
 
 pub use client::ClientStub;
 pub use error::{Error, ErrorKind, RpcError};
 pub use hooks::{HookMap, SpecialMarshal};
-pub use policy::{CallControl, CallOptions, RetryPolicy};
+pub use policy::{CallControl, CallOptions, CallTag, RetryPolicy};
+pub use replycache::{ReplyCache, ReplyCacheStats};
 pub use server::{ReplySink, ServerCall, ServerInterface};
+pub use supervisor::{Supervisor, SupervisorStats};
 pub use transport::Transport;
 
 /// Result alias for runtime operations.

@@ -82,7 +82,15 @@ impl RetryPolicy {
     ///
     /// A policy of one attempt never resends, so it passes for any op.
     pub fn check_op(&self, op: &CompiledOp) -> Result<(), Error> {
-        if self.max_attempts > 1 && !op.idempotent {
+        self.check_op_with(op, false)
+    }
+
+    /// Like [`RetryPolicy::check_op`], but when the binding advertises
+    /// at-most-once execution (`at_most_once = true`) *any* operation may
+    /// retry: the server's reply cache suppresses re-execution, so a resend
+    /// is observationally a single execution even without `[idempotent]`.
+    pub fn check_op_with(&self, op: &CompiledOp, at_most_once: bool) -> Result<(), Error> {
+        if self.max_attempts > 1 && !op.idempotent && !at_most_once {
             return Err(Error::new(
                 ErrorKind::ContractViolation,
                 format!(
@@ -102,6 +110,7 @@ impl RetryPolicy {
 pub struct CallOptions {
     deadline: Option<Duration>,
     retry: Option<RetryPolicy>,
+    at_least_once: bool,
 }
 
 impl CallOptions {
@@ -143,6 +152,34 @@ impl CallOptions {
     pub fn retry_policy(&self) -> Option<&RetryPolicy> {
         self.retry.as_ref()
     }
+
+    /// Opts this call out of at-most-once duplicate suppression even on a
+    /// binding that advertises it: the call carries no tag, the server
+    /// caches nothing, and retry legality falls back to `[idempotent]`.
+    /// The escape hatch for ops that *want* at-least-once execution
+    /// semantics (e.g. increment-style counters measured by the caller).
+    pub fn at_least_once(mut self) -> CallOptions {
+        self.at_least_once = true;
+        self
+    }
+
+    /// True if this call opted out of at-most-once suppression.
+    pub fn is_at_least_once(&self) -> bool {
+        self.at_least_once
+    }
+}
+
+/// The at-most-once identity of one logical call: which client binding
+/// issued it and its sequence number on that binding. Retries of the same
+/// logical call reuse the tag, so the server's reply cache can recognise
+/// them; distinct logical calls never share one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallTag {
+    /// Process-unique id of the client binding (survives rebinds when a
+    /// supervisor resumes the same logical session on a new endpoint).
+    pub binding: u64,
+    /// Sequence number of the logical call on that binding.
+    pub seq: u64,
 }
 
 /// Deadline context resolved against a transport's clock, handed down to
@@ -151,6 +188,9 @@ impl CallOptions {
 pub struct CallControl {
     /// Absolute sim-clock deadline in nanoseconds, if the call has one.
     pub deadline_ns: Option<u64>,
+    /// At-most-once identity, if the binding tags calls for the server's
+    /// reply cache. Stable across retry attempts of one logical call.
+    pub tag: Option<CallTag>,
 }
 
 impl CallControl {
@@ -198,7 +238,7 @@ mod tests {
 
     #[test]
     fn control_expiry() {
-        let c = CallControl { deadline_ns: Some(100) };
+        let c = CallControl { deadline_ns: Some(100), tag: None };
         assert!(!c.expired(100), "deadline instant itself has not passed");
         assert!(c.expired(101));
         assert!(!CallControl::none().expired(u64::MAX));

@@ -1,0 +1,176 @@
+//! Server-side at-most-once reply cache.
+//!
+//! Classic RPC duplicate suppression (Birrell & Nelson): the server keeps
+//! the reply of each completed call keyed by the caller's
+//! [`CallTag`] — (client binding id, sequence number) — and answers a
+//! retransmitted or retried call from the cache instead of re-executing
+//! the handler. This is what licenses retrying *non*-idempotent
+//! operations: a resend is observationally one execution.
+//!
+//! Entries expire after a TTL measured on the deterministic [`SimClock`]
+//! (a client that waits longer than the TTL between attempts is back to
+//! at-least-once, as real reply caches are). Eviction happens on the
+//! *record* path; the *replay* (cache-hit) path does a single map lookup
+//! and a copy into the caller's reused buffers — zero heap allocations
+//! once those buffers are warm, preserving the runtime's steady-state
+//! allocation guarantee.
+
+use crate::policy::CallTag;
+use flexrpc_clock::SimClock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+struct CachedReply {
+    reply: Vec<u8>,
+    rights: Vec<u32>,
+    /// Absolute sim-time at which this entry stops suppressing.
+    expires_ns: u64,
+}
+
+/// Counters describing the cache's effect on execution semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplyCacheStats {
+    /// Tagged calls whose handler actually ran (cache misses).
+    pub executions: u64,
+    /// Tagged calls answered from the cache (handler *not* run).
+    pub suppressions: u64,
+    /// Entries removed because their TTL passed.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: u64,
+}
+
+/// A TTL-bounded map from [`CallTag`] to the completed reply bytes.
+///
+/// Shared (`Arc`) between the transport/server glue that consults it and
+/// the test or supervisor that reads its counters. Per-binding isolation
+/// is structural: the binding id is part of the key, so two clients can
+/// never see each other's replies even with colliding sequence numbers.
+pub struct ReplyCache {
+    clock: Arc<SimClock>,
+    ttl_ns: u64,
+    entries: Mutex<HashMap<CallTag, CachedReply>>,
+    executions: AtomicU64,
+    suppressions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ReplyCache {
+    /// Creates a cache whose entries expire `ttl` after being recorded,
+    /// measured on `clock`.
+    pub fn new(clock: Arc<SimClock>, ttl: Duration) -> Arc<ReplyCache> {
+        Arc::new(ReplyCache {
+            clock,
+            ttl_ns: u64::try_from(ttl.as_nanos()).unwrap_or(u64::MAX),
+            entries: Mutex::new(HashMap::new()),
+            executions: AtomicU64::new(0),
+            suppressions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// Answers a duplicate: if `tag` has a live cached reply, copies it
+    /// into `reply`/`rights_out` (cleared first) and returns `true` — the
+    /// handler must not run. An expired entry is evicted and misses.
+    pub fn replay(&self, tag: CallTag, reply: &mut Vec<u8>, rights_out: &mut Vec<u32>) -> bool {
+        let mut map = self.entries.lock().expect("reply cache lock");
+        let Some(entry) = map.get(&tag) else { return false };
+        if self.clock.expired(entry.expires_ns) {
+            map.remove(&tag);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        reply.clear();
+        reply.extend_from_slice(&entry.reply);
+        rights_out.clear();
+        rights_out.extend_from_slice(&entry.rights);
+        self.suppressions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Records the reply of a freshly executed call and counts the
+    /// execution. Expired entries are swept here, off the hit path.
+    pub fn record(&self, tag: CallTag, reply: &[u8], rights: &[u32]) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now_ns();
+        let expires_ns = now.saturating_add(self.ttl_ns);
+        let mut map = self.entries.lock().expect("reply cache lock");
+        let before = map.len();
+        map.retain(|_, e| now <= e.expires_ns);
+        let swept = before - map.len();
+        if swept > 0 {
+            self.evictions.fetch_add(swept as u64, Ordering::Relaxed);
+        }
+        map.insert(tag, CachedReply { reply: reply.to_vec(), rights: rights.to_vec(), expires_ns });
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ReplyCacheStats {
+        ReplyCacheStats {
+            executions: self.executions.load(Ordering::Relaxed),
+            suppressions: self.suppressions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("reply cache lock").len() as u64,
+        }
+    }
+
+    /// The configured TTL in nanoseconds.
+    pub fn ttl_ns(&self) -> u64 {
+        self.ttl_ns
+    }
+
+    /// The clock entries expire against.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(binding: u64, seq: u64) -> CallTag {
+        CallTag { binding, seq }
+    }
+
+    #[test]
+    fn replay_hits_only_the_recording_binding() {
+        let cache = ReplyCache::new(SimClock::new(), Duration::from_secs(1));
+        cache.record(tag(1, 0), b"reply-a", &[7]);
+        let (mut r, mut rr) = (Vec::new(), Vec::new());
+        assert!(cache.replay(tag(1, 0), &mut r, &mut rr));
+        assert_eq!(r, b"reply-a");
+        assert_eq!(rr, vec![7]);
+        // Same seq, different binding: structurally isolated.
+        assert!(!cache.replay(tag(2, 0), &mut r, &mut rr));
+        let s = cache.stats();
+        assert_eq!((s.executions, s.suppressions), (1, 1));
+    }
+
+    #[test]
+    fn ttl_eviction_forces_re_execution() {
+        let clock = SimClock::new();
+        let cache = ReplyCache::new(Arc::clone(&clock), Duration::from_millis(1));
+        cache.record(tag(1, 0), b"x", &[]);
+        let (mut r, mut rr) = (Vec::new(), Vec::new());
+        clock.advance_ns(1_000_001);
+        assert!(!cache.replay(tag(1, 0), &mut r, &mut rr), "expired entry must miss");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn record_sweeps_expired_entries() {
+        let clock = SimClock::new();
+        let cache = ReplyCache::new(Arc::clone(&clock), Duration::from_millis(1));
+        cache.record(tag(1, 0), b"x", &[]);
+        cache.record(tag(1, 1), b"y", &[]);
+        clock.advance_ns(2_000_000);
+        cache.record(tag(1, 2), b"z", &[]);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "only the fresh entry survives the sweep");
+        assert_eq!(s.evictions, 2);
+    }
+}

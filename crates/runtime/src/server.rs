@@ -193,6 +193,9 @@ pub struct ServerInterface {
     reply_cap: usize,
     /// Per-op scratch frames, reset and reused across dispatches.
     frames: Vec<Vec<Value>>,
+    /// At-most-once reply cache, consulted by [`ServerInterface::dispatch_tagged`]
+    /// when the transport delivers a call tag. `None` = at-least-once.
+    reply_cache: Option<std::sync::Arc<crate::replycache::ReplyCache>>,
 }
 
 impl ServerInterface {
@@ -213,7 +216,19 @@ impl ServerInterface {
             hooks: vec![HookMap::new(); n],
             reply_cap: 64,
             frames: vec![Vec::new(); n],
+            reply_cache: None,
         }
+    }
+
+    /// Enables at-most-once execution: tagged calls record their replies
+    /// in `cache` and duplicates replay from it instead of re-executing.
+    pub fn set_reply_cache(&mut self, cache: std::sync::Arc<crate::replycache::ReplyCache>) {
+        self.reply_cache = Some(cache);
+    }
+
+    /// The attached reply cache, if at-most-once is enabled.
+    pub fn reply_cache(&self) -> Option<&std::sync::Arc<crate::replycache::ReplyCache>> {
+        self.reply_cache.as_ref()
     }
 
     /// The compiled interface (server presentation).
@@ -302,6 +317,32 @@ impl ServerInterface {
             reply.clear();
         }
         result
+    }
+
+    /// Like [`ServerInterface::dispatch`], but honouring at-most-once
+    /// semantics when both a reply cache is attached and the call carries a
+    /// [`CallTag`]: a duplicate of an already-completed call replays the
+    /// cached reply without running the handler; a fresh call executes and
+    /// records its reply. Untagged calls (or servers without a cache) fall
+    /// through to plain at-least-once dispatch.
+    pub fn dispatch_tagged(
+        &mut self,
+        op_index: usize,
+        request: &[u8],
+        rights_in: &[u32],
+        tag: Option<crate::policy::CallTag>,
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+    ) -> Result<()> {
+        let (Some(tag), Some(cache)) = (tag, self.reply_cache.clone()) else {
+            return self.dispatch(op_index, request, rights_in, reply, rights_out);
+        };
+        if cache.replay(tag, reply, rights_out) {
+            return Ok(());
+        }
+        self.dispatch(op_index, request, rights_in, reply, rights_out)?;
+        cache.record(tag, reply, rights_out);
+        Ok(())
     }
 
     fn dispatch_into(

@@ -1,0 +1,234 @@
+//! Connection supervision: failover rebind with renegotiated presentation.
+//!
+//! The paper's bind-time negotiation makes a broken binding *cheap to
+//! re-establish*: all the per-connection cleverness (combination
+//! signatures, specialized stubs, copy elision) was derived from the two
+//! endpoints' declarations, so deriving it again against a different
+//! endpoint — even one on a completely different transport with different
+//! negotiated semantics — is just another bind. The [`Supervisor`]
+//! exploits that: it owns a prioritized list of endpoint factories (e.g.
+//! same-domain primary, Sun RPC standby), watches every call for
+//! [`ErrorKind::Disconnected`], and on disconnect re-runs bind-time
+//! negotiation down the list and replays the failed call.
+//!
+//! Replay is licensed the same way retry is: the operation declared
+//! `[idempotent]`, or the binding runs at-most-once (the failed call's
+//! tag is reused, so a server that already executed it — a restarted
+//! primary with a live reply cache — suppresses the duplicate).
+
+use crate::client::ClientStub;
+use crate::error::{Error, ErrorKind};
+use crate::policy::CallOptions;
+use flexrpc_core::value::Value;
+
+/// One way to (re-)establish a binding: runs the full bind-time
+/// negotiation against a fixed endpoint and returns a ready stub.
+/// `FnMut` so a factory can hold warm state (a shared program cache, a
+/// connection pool slot) across rebinds.
+pub type EndpointFactory = Box<dyn FnMut() -> Result<ClientStub, Error> + Send>;
+
+/// Counters describing supervision activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Disconnects observed on supervised calls.
+    pub disconnects: u64,
+    /// Successful rebinds (endpoint factories that produced a stub).
+    pub rebinds: u64,
+    /// Failed calls replayed on a fresh binding.
+    pub replays: u64,
+    /// Disconnect-to-recovered-reply latency of the most recent failover,
+    /// in sim-clock nanoseconds (0 if the transports have no clock).
+    pub recovery_ns_last: u64,
+    /// The largest recovery latency seen.
+    pub recovery_ns_max: u64,
+}
+
+/// Builds a [`Supervisor`] from a prioritized endpoint list.
+#[derive(Default)]
+pub struct SupervisorBuilder {
+    endpoints: Vec<EndpointFactory>,
+}
+
+impl SupervisorBuilder {
+    pub fn new() -> SupervisorBuilder {
+        SupervisorBuilder::default()
+    }
+
+    /// Appends an endpoint. The first registered is the primary; later
+    /// ones are standbys tried in order on disconnect.
+    pub fn endpoint(
+        mut self,
+        factory: impl FnMut() -> Result<ClientStub, Error> + Send + 'static,
+    ) -> SupervisorBuilder {
+        self.endpoints.push(Box::new(factory));
+        self
+    }
+
+    /// Binds the primary (falling down the list if it refuses) and
+    /// returns the running supervisor.
+    pub fn connect(self) -> Result<Supervisor, Error> {
+        let mut endpoints = self.endpoints;
+        if endpoints.is_empty() {
+            return Err(Error::new(ErrorKind::Fatal, "supervisor needs at least one endpoint"));
+        }
+        let mut last = None;
+        for (i, factory) in endpoints.iter_mut().enumerate() {
+            match factory() {
+                Ok(stub) => {
+                    return Ok(Supervisor {
+                        endpoints,
+                        current: i,
+                        stub,
+                        stats: SupervisorStats { rebinds: 1, ..SupervisorStats::default() },
+                    })
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("non-empty endpoint list"))
+    }
+}
+
+/// A supervised client binding: calls go to the current endpoint; a
+/// disconnect triggers failover down the endpoint list and a licensed
+/// replay of the failed call.
+pub struct Supervisor {
+    endpoints: Vec<EndpointFactory>,
+    current: usize,
+    stub: ClientStub,
+    stats: SupervisorStats,
+}
+
+impl Supervisor {
+    /// Starts building a supervisor.
+    pub fn builder() -> SupervisorBuilder {
+        SupervisorBuilder::new()
+    }
+
+    /// The currently bound stub (e.g. to enable at-most-once or register
+    /// hooks before the first call).
+    pub fn stub_mut(&mut self) -> &mut ClientStub {
+        &mut self.stub
+    }
+
+    /// The currently bound stub, immutably.
+    pub fn stub(&self) -> &ClientStub {
+        &self.stub
+    }
+
+    /// Index of the endpoint currently bound (0 = primary).
+    pub fn current_endpoint(&self) -> usize {
+        self.current
+    }
+
+    /// Supervision counters.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// A fresh call frame for an operation on the current binding.
+    pub fn new_frame(&self, name: &str) -> Result<Vec<Value>, Error> {
+        self.stub.new_frame(name).map_err(Error::from)
+    }
+
+    /// Invokes an operation under `options`, failing over on disconnect.
+    ///
+    /// The current stub handles same-endpoint retries itself (its retry
+    /// policy, which under at-most-once may resend through the server's
+    /// reply cache). Only when the binding is truly gone — the stub
+    /// returned [`ErrorKind::Disconnected`] — does the supervisor rebind
+    /// and replay.
+    pub fn call_with(
+        &mut self,
+        name: &str,
+        frame: &mut [Value],
+        options: &CallOptions,
+    ) -> Result<u32, Error> {
+        match self.stub.call_with(name, frame, options) {
+            Ok(status) => Ok(status),
+            Err(e) if e.kind() == ErrorKind::Disconnected => {
+                self.failover_and_replay(name, frame, options, e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn failover_and_replay(
+        &mut self,
+        name: &str,
+        frame: &mut [Value],
+        options: &CallOptions,
+        error: Error,
+    ) -> Result<u32, Error> {
+        self.stats.disconnects += 1;
+        // Replay license: `[idempotent]`, or an at-most-once tag that the
+        // replay will reuse. Without either, surface the disconnect — the
+        // caller decides whether a duplicate execution is acceptable.
+        let idempotent = self.stub.op(name).map(|o| o.idempotent).unwrap_or(false);
+        let amo = self.stub.at_most_once_state();
+        let tagged = amo.is_some() && !options.is_at_least_once();
+        if !idempotent && !tagged {
+            return Err(error);
+        }
+        let t0 = self.stub.clock().map_or(0, |c| c.now_ns());
+        let n = self.endpoints.len();
+        let mut last = error;
+        for step in 1..=n {
+            let next = (self.current + step) % n;
+            let mut stub = match (self.endpoints[next])() {
+                Ok(s) => s,
+                Err(e) => {
+                    last = e;
+                    continue;
+                }
+            };
+            self.stats.rebinds += 1;
+            if let Some((binding, next_seq)) = amo {
+                // The failed logical call already consumed a sequence
+                // number; rewind by one so the replay carries the *same*
+                // tag — a server that executed before the disconnect (a
+                // restarted primary with a warm reply cache) answers from
+                // cache instead of running the handler again.
+                let resume_seq = if tagged { next_seq.saturating_sub(1) } else { next_seq };
+                stub.resume_at_most_once(binding, resume_seq);
+            }
+            self.stats.replays += 1;
+            match stub.call_with(name, frame, options) {
+                Ok(status) => {
+                    if let Some(c) = stub.clock() {
+                        let dt = c.now_ns().saturating_sub(t0);
+                        self.stats.recovery_ns_last = dt;
+                        self.stats.recovery_ns_max = self.stats.recovery_ns_max.max(dt);
+                    }
+                    self.current = next;
+                    self.stub = stub;
+                    return Ok(status);
+                }
+                Err(e) if e.kind() == ErrorKind::Disconnected => {
+                    // This endpoint is down too; keep walking the list.
+                    self.stats.disconnects += 1;
+                    last = e;
+                }
+                Err(e) => {
+                    // The new binding works but the call failed on its own
+                    // terms (remote status, marshal, deadline): adopt the
+                    // binding and surface the error.
+                    self.current = next;
+                    self.stub = stub;
+                    return Err(e);
+                }
+            }
+        }
+        Err(last)
+    }
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("endpoints", &self.endpoints.len())
+            .field("current", &self.current)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

@@ -131,7 +131,7 @@ impl Transport for Loopback {
         if ctl.expired(self.clock.now_ns()) {
             return Err(RpcError::DeadlineExceeded);
         }
-        let fault = self.faults.next_call();
+        let fault = self.faults.next_call_at(self.clock.now_ns());
         match fault {
             Some(Fault::Drop) => {
                 return Err(RpcError::Transport("message dropped (induced fault)".into()))
@@ -139,20 +139,35 @@ impl Transport for Loopback {
             Some(Fault::Delay(ns)) => {
                 self.clock.advance_ns(ns);
             }
-            Some(Fault::Duplicate) | None => {}
+            Some(Fault::Crash { .. }) => {
+                // The server object is gone before dispatch: nothing
+                // executes until the injector's scheduled restart passes.
+                return Err(RpcError::Disconnected("loopback server crashed".into()));
+            }
+            Some(Fault::Duplicate | Fault::Close) | None => {}
         }
         if fault == Some(Fault::Duplicate) {
             let mut dup_reply = Vec::new();
             let mut dup_rights = Vec::new();
-            let _ = self.server.lock().dispatch(
+            let _ = self.server.lock().dispatch_tagged(
                 op.index,
                 request,
                 rights,
+                ctl.tag,
                 &mut dup_reply,
                 &mut dup_rights,
             );
         }
-        self.server.lock().dispatch(op.index, request, rights, reply, rights_out)?;
+        self.server
+            .lock()
+            .dispatch_tagged(op.index, request, rights, ctl.tag, reply, rights_out)?;
+        if fault == Some(Fault::Close) {
+            // The server executed (and an at-most-once server cached the
+            // reply), but the connection died before the reply returned.
+            reply.clear();
+            rights_out.clear();
+            return Err(RpcError::Disconnected("loopback connection closed before reply".into()));
+        }
         if ctl.expired(self.clock.now_ns()) {
             return Err(RpcError::DeadlineExceeded);
         }
@@ -211,6 +226,12 @@ impl Transport for KernelIpc {
         }
         let mut regs = [0u64; MSG_REGS];
         regs[0] = op.index as u64;
+        // At-most-once tag rides in registers 2 and 3 (binding ids start at
+        // 1, so binding 0 means "untagged" without an option encoding).
+        if let Some(tag) = ctl.tag {
+            regs[2] = tag.binding;
+            regs[3] = tag.seq;
+        }
         let port_rights: Vec<PortName> = rights.iter().map(|&r| PortName(r)).collect();
         let (reply_regs, reply_rights) =
             self.kernel.ipc_call_into(&self.conn, regs, request, &port_rights, reply)?;
@@ -276,11 +297,21 @@ pub fn serve_on_kernel_direct(
     let srv = Arc::clone(&server);
     kernel.register_server(task, port, options, move |_k, msg| {
         let op_index = msg.regs[0] as usize;
+        // Registers 2/3 carry the at-most-once tag (binding 0 = untagged).
+        let tag = (msg.regs[2] != 0)
+            .then(|| crate::policy::CallTag { binding: msg.regs[2], seq: msg.regs[3] });
         let rights: Vec<u32> = msg.rights.iter().map(|p| p.0).collect();
         let mut reply = Vec::new();
         let mut rights_out = Vec::new();
         let mut out_regs = msg.regs;
-        match srv.lock().dispatch(op_index, msg.body, &rights, &mut reply, &mut rights_out) {
+        match srv.lock().dispatch_tagged(
+            op_index,
+            msg.body,
+            &rights,
+            tag,
+            &mut reply,
+            &mut rights_out,
+        ) {
             Ok(()) => out_regs[1] = 0,
             Err(_) => out_regs[1] = 1,
         }
@@ -364,9 +395,13 @@ impl Transport for SunRpc {
         let xid = self.next_xid;
         self.next_xid = self.next_xid.wrapping_add(1);
         let proc = op.opnum.unwrap_or(op.index as u32);
-        let msg = sunrpc::encode_call(
+        // XIDs stay per-attempt (they match replies to requests on the
+        // stream); the at-most-once identity travels in the credential,
+        // stable across retries of one logical call.
+        let msg = sunrpc::encode_call_tagged(
             CallHeader { xid, prog: self.prog, vers: self.vers, proc },
-            request,
+            ctl.tag.map(|t| (t.binding, t.seq)),
+            &[request],
         );
         // The framed reply lands directly in the caller's buffer — no
         // re-copy; the body offset is computed from the decoded frame.
@@ -406,10 +441,11 @@ pub fn serve_on_net(
     vers: u32,
 ) -> Result<()> {
     net.register_service(host, move |msg| {
-        let (hdr, args) = match sunrpc::decode_call(msg) {
+        let (hdr, wire_tag, args) = match sunrpc::decode_call_tagged(msg) {
             Ok(x) => x,
             Err(e) => return Err(format!("undecodable call: {e}")),
         };
+        let tag = wire_tag.map(|(binding, seq)| crate::policy::CallTag { binding, seq });
         if hdr.prog != prog {
             return Ok(sunrpc::encode_reply(hdr.xid, AcceptStat::ProgUnavail, &[]));
         }
@@ -422,7 +458,7 @@ pub fn serve_on_net(
         };
         let mut reply = Vec::new();
         let mut rights_out = Vec::new();
-        match srv.dispatch(op_index, args, &[], &mut reply, &mut rights_out) {
+        match srv.dispatch_tagged(op_index, args, &[], tag, &mut reply, &mut rights_out) {
             Ok(()) => Ok(sunrpc::encode_reply(hdr.xid, AcceptStat::Success, &reply)),
             Err(RpcError::Marshal(_)) => {
                 Ok(sunrpc::encode_reply(hdr.xid, AcceptStat::GarbageArgs, &[]))

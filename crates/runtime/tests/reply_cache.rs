@@ -1,0 +1,196 @@
+//! At-most-once semantics through the full stack: a tagged retry after a
+//! lost reply is answered from the server's reply cache — the handler runs
+//! exactly once — while TTL expiry and per-binding isolation bound what
+//! the cache may ever answer for.
+
+use flexrpc_clock::Fault;
+use flexrpc_core::ir::Module;
+use flexrpc_core::present::InterfacePresentation;
+use flexrpc_core::program::CompiledInterface;
+use flexrpc_core::value::Value;
+use flexrpc_marshal::WireFormat;
+use flexrpc_runtime::replycache::ReplyCache;
+use flexrpc_runtime::transport::Loopback;
+use flexrpc_runtime::{CallOptions, ClientStub, ErrorKind, RetryPolicy, ServerInterface};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn counter_module() -> Module {
+    flexrpc_idl::corba::parse(
+        "counter",
+        r#"
+        interface Counter {
+            unsigned long add(in unsigned long x);
+        };
+        "#,
+    )
+    .expect("IDL parses")
+}
+
+fn compiled(m: &Module) -> CompiledInterface {
+    let iface = m.interface("Counter").expect("declared");
+    let pres = InterfacePresentation::default_for(m, iface).expect("defaults");
+    CompiledInterface::compile(m, iface, &pres).expect("compiles")
+}
+
+/// A deliberately *non*-idempotent server: `add` mutates a running total.
+/// Re-executing a retried call would corrupt it — exactly what the reply
+/// cache must prevent.
+struct World {
+    client: ClientStub,
+    cache: Arc<ReplyCache>,
+    executions: Arc<AtomicU64>,
+    clock: Arc<flexrpc_clock::SimClock>,
+    faults: Arc<flexrpc_clock::FaultInjector>,
+    total: Arc<AtomicU64>,
+}
+
+fn world(ttl: Duration) -> World {
+    let m = counter_module();
+    let clock = flexrpc_clock::SimClock::new();
+    let cache = ReplyCache::new(Arc::clone(&clock), ttl);
+    let executions = Arc::new(AtomicU64::new(0));
+    let total = Arc::new(AtomicU64::new(0));
+
+    let mut srv = ServerInterface::new(compiled(&m), WireFormat::Cdr);
+    srv.set_reply_cache(Arc::clone(&cache));
+    let (ex, tot) = (Arc::clone(&executions), Arc::clone(&total));
+    srv.on("add", move |call| {
+        ex.fetch_add(1, Ordering::SeqCst);
+        let x = call.u32("x").expect("x") as u64;
+        let new = tot.fetch_add(x, Ordering::SeqCst) + x;
+        call.set("return", Value::U32(new as u32)).expect("return");
+        0
+    })
+    .expect("registers");
+
+    let transport = Loopback::with_clock(Arc::new(Mutex::new(srv)), Arc::clone(&clock));
+    let faults = Arc::clone(transport.faults());
+    let mut client = ClientStub::new(compiled(&m), WireFormat::Cdr, Box::new(transport));
+    client.enable_at_most_once();
+    World { client, cache, executions, clock, faults, total }
+}
+
+fn options() -> CallOptions {
+    CallOptions::default().retry(RetryPolicy::new(3).backoff(Duration::from_millis(1)).seed(11))
+}
+
+fn add(w: &mut World, x: u32, opts: &CallOptions) -> Result<u32, flexrpc_runtime::Error> {
+    let mut frame = w.client.new_frame("add").expect("frame");
+    frame[0] = Value::U32(x);
+    w.client.call_with("add", &mut frame, opts)?;
+    Ok(frame[1].as_u32().expect("return slot"))
+}
+
+/// The headline at-most-once guarantee: the reply is lost after the server
+/// executed, the tagged retry is answered from the cache, and the
+/// (non-idempotent) handler ran exactly once.
+#[test]
+fn lost_reply_retry_is_suppressed_exactly_once() {
+    let mut w = world(Duration::from_secs(1));
+    w.faults.on_next_call(Fault::Close);
+    let result = add(&mut w, 5, &options()).expect("retry recovered through the cache");
+    assert_eq!(result, 5);
+    assert_eq!(w.executions.load(Ordering::SeqCst), 1, "handler ran exactly once");
+    assert_eq!(w.total.load(Ordering::SeqCst), 5, "state mutated exactly once");
+    let s = w.cache.stats();
+    assert_eq!(s.executions, 1);
+    assert!(s.suppressions >= 1, "the resend was answered from the cache");
+}
+
+/// Duplicated delivery (the at-least-once failure mode) under at-most-once:
+/// the duplicate dispatch is recognised by its tag and suppressed.
+#[test]
+fn duplicated_delivery_executes_once_under_at_most_once() {
+    let mut w = world(Duration::from_secs(1));
+    w.faults.on_next_call(Fault::Duplicate);
+    let result = add(&mut w, 7, &options()).expect("call succeeds");
+    assert_eq!(result, 7);
+    assert_eq!(w.executions.load(Ordering::SeqCst), 1, "duplicate suppressed");
+    assert_eq!(w.cache.stats().suppressions, 1);
+}
+
+/// A resend arriving after the TTL is *not* suppressed: the cache forgot,
+/// the handler re-executes — at-most-once degrades to at-least-once, as
+/// every real reply cache does, and the counters say so.
+#[test]
+fn ttl_eviction_forces_re_execution() {
+    let mut w = world(Duration::from_millis(1));
+    assert_eq!(add(&mut w, 3, &options()).expect("first call"), 3);
+    assert_eq!(w.executions.load(Ordering::SeqCst), 1);
+
+    // Replay the same logical call (same tag) after the TTL has passed.
+    let (binding, next_seq) = w.client.at_most_once_state().expect("amo enabled");
+    w.client.resume_at_most_once(binding, next_seq - 1);
+    w.clock.advance_ns(2_000_000);
+    assert_eq!(add(&mut w, 3, &options()).expect("re-executed"), 6, "total mutated twice");
+    assert_eq!(w.executions.load(Ordering::SeqCst), 2, "expired entry no longer suppresses");
+    assert!(w.cache.stats().evictions >= 1);
+}
+
+/// Binding ids partition the cache: a second client reusing the same
+/// sequence numbers can never be answered with the first client's replies.
+#[test]
+fn bindings_are_isolated_in_the_cache() {
+    let mut w = world(Duration::from_secs(1));
+    assert_eq!(add(&mut w, 10, &options()).expect("first client"), 10);
+
+    // A second stub against the same server state, fresh binding id,
+    // sequence numbers starting at 0 just like the first client's.
+    let m = counter_module();
+    let mut srv = ServerInterface::new(compiled(&m), WireFormat::Cdr);
+    srv.set_reply_cache(Arc::clone(&w.cache));
+    let (ex, tot) = (Arc::clone(&w.executions), Arc::clone(&w.total));
+    srv.on("add", move |call| {
+        ex.fetch_add(1, Ordering::SeqCst);
+        let x = call.u32("x").expect("x") as u64;
+        let new = tot.fetch_add(x, Ordering::SeqCst) + x;
+        call.set("return", Value::U32(new as u32)).expect("return");
+        0
+    })
+    .expect("registers");
+    let transport = Loopback::with_clock(Arc::new(Mutex::new(srv)), Arc::clone(&w.clock));
+    let mut second = ClientStub::new(compiled(&m), WireFormat::Cdr, Box::new(transport));
+    second.enable_at_most_once();
+
+    let mut frame = second.new_frame("add").expect("frame");
+    frame[0] = Value::U32(20);
+    second.call_with("add", &mut frame, &options()).expect("second client");
+    assert_eq!(frame[1].as_u32().expect("return"), 30, "executed, not answered from binding 1");
+    assert_eq!(w.executions.load(Ordering::SeqCst), 2, "both calls executed");
+    assert_eq!(w.cache.stats().suppressions, 0, "no cross-binding hit");
+}
+
+/// The per-call `at_least_once` opt-out drops the tag: the cache is never
+/// consulted, and without the tag a disconnect is not retried — the
+/// declared (non-idempotent) contract is back in force.
+#[test]
+fn at_least_once_opt_out_bypasses_the_cache() {
+    let mut w = world(Duration::from_secs(1));
+    w.faults.on_next_call(Fault::Close);
+    let opts = CallOptions::default().at_least_once();
+    let err = add(&mut w, 9, &opts).expect_err("lost reply surfaces without a tag");
+    assert_eq!(err.kind(), ErrorKind::Disconnected);
+    assert_eq!(w.executions.load(Ordering::SeqCst), 1, "the server did execute");
+    let s = w.cache.stats();
+    assert_eq!((s.executions, s.suppressions), (0, 0), "untagged calls never touch the cache");
+}
+
+/// At-most-once lifts the `[idempotent]`-only retry restriction: the op
+/// here never declared `[idempotent]`, yet a retry policy binds to it —
+/// while the same policy on the same op is refused once tagging is opted
+/// out.
+#[test]
+fn tagging_licenses_retry_where_the_contract_alone_would_not() {
+    let mut w = world(Duration::from_secs(1));
+    // With the binding tagged, the policy is accepted and absorbs a drop.
+    w.faults.on_next_call(Fault::Drop);
+    assert_eq!(add(&mut w, 2, &options()).expect("retry under amo"), 2);
+
+    // Same stub, per-call opt-out: the idempotency gate is back.
+    let opts = options().at_least_once();
+    let err = add(&mut w, 2, &opts).expect_err("refused before sending");
+    assert_eq!(err.kind(), ErrorKind::ContractViolation);
+}

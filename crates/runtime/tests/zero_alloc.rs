@@ -22,6 +22,15 @@ use std::sync::{Arc, Mutex};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+/// The counter is process-global, so concurrently running audit tests
+/// would see each other's allocations; every test in this file serializes
+/// on this lock.
+static AUDIT: Mutex<()> = Mutex::new(());
+
+fn audit_guard() -> std::sync::MutexGuard<'static, ()> {
+    AUDIT.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 struct Counting;
 
 // SAFETY: delegates verbatim to the system allocator; the counter is the
@@ -122,6 +131,7 @@ fn stub(opts: SpecializeOptions, format: WireFormat) -> ClientStub {
 
 #[test]
 fn fused_fixed_size_call_allocates_nothing_when_warm() {
+    let _guard = audit_guard();
     for format in [WireFormat::Xdr, WireFormat::Cdr] {
         let mut stub = stub(SpecializeOptions::default(), format);
         let mut frame = stub.new_frame("scale").expect("frame");
@@ -150,9 +160,61 @@ fn fused_fixed_size_call_allocates_nothing_when_warm() {
 
 #[test]
 fn warm_call_allocation_audit_is_meaningful() {
+    let _guard = audit_guard();
     // Sanity-check the counter itself: an allocating workload must trip it.
     let before = ALLOCS.load(Ordering::Relaxed);
     let v = std::hint::black_box(vec![0u8; 4096]);
     drop(v);
     assert!(ALLOCS.load(Ordering::Relaxed) > before, "counting allocator is live");
+}
+
+/// The at-most-once *cache-hit* path — tag lookup plus a copy into the
+/// caller's reused buffers — allocates nothing once those buffers are
+/// warm. Duplicate suppression must not cost the steady-state allocation
+/// guarantee the specialized call path established.
+#[test]
+fn reply_cache_hit_allocates_nothing_when_warm() {
+    use flexrpc_runtime::policy::CallTag;
+    use flexrpc_runtime::replycache::ReplyCache;
+
+    let _guard = audit_guard();
+    let mut server = ServerInterface::new(compile(SpecializeOptions::default()), WireFormat::Cdr);
+    let cache = ReplyCache::new(flexrpc_clock::SimClock::new(), std::time::Duration::from_secs(1));
+    server.set_reply_cache(Arc::clone(&cache));
+    server
+        .on("scale", |call| {
+            let a = call.u32("a").expect("a");
+            call.set("return", Value::U32(a * 2)).expect("return");
+            0
+        })
+        .expect("registers");
+
+    // Marshal one valid request by hand (CDR, all scalars).
+    let mut w = flexrpc_runtime::wire::AnyWriter::new(WireFormat::Cdr);
+    w.put_u32(21);
+    w.put_u64(7);
+    w.put_bool(true);
+    let request = w.into_bytes();
+
+    let tag = CallTag { binding: 1, seq: 0 };
+    let mut reply = Vec::new();
+    let mut rights_out = Vec::new();
+    // First tagged dispatch executes and records; a few more warm the
+    // reply buffer to steady-state capacity.
+    for _ in 0..16 {
+        server
+            .dispatch_tagged(0, &request, &[], Some(tag), &mut reply, &mut rights_out)
+            .expect("dispatch");
+    }
+    assert_eq!(cache.stats().executions, 1, "only the first dispatch ran the handler");
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        server
+            .dispatch_tagged(0, &request, &[], Some(tag), &mut reply, &mut rights_out)
+            .expect("replay");
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "cache-hit path allocated {delta} times over 100 warm replays");
+    assert_eq!(cache.stats().suppressions, 115, "every repeat was answered from the cache");
 }

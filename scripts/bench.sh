@@ -2,9 +2,11 @@
 # Runs the report-binary experiments that back EXPERIMENTS.md and leaves
 # their numbers as JSON at the repo root:
 #
-#   BENCH_fuse.json   — specialization A/B (fusion + presize) and the
-#                       sharded program-cache scaling sweep
-#   BENCH_serve.json  — the serving-engine worker × client sweep
+#   BENCH_fuse.json     — specialization A/B (fusion + presize) and the
+#                         sharded program-cache scaling sweep
+#   BENCH_serve.json    — the serving-engine worker × client sweep
+#   BENCH_failover.json — duplicate suppression under a reply-loss storm
+#                         and supervised-failover recovery latency
 #
 # Run from anywhere inside the repo. Pass --check to also enforce the
 # specialization gate (fused ≥ unfused on both transports).
@@ -24,4 +26,7 @@ cargo run -q --release -p flexrpc-bench --bin report -- fuse --json BENCH_fuse.j
 echo "== report serve ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- serve --json BENCH_serve.json
 
-echo "wrote BENCH_fuse.json and BENCH_serve.json" >&2
+echo "== report failover ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- failover --json BENCH_failover.json "${CHECK[@]}"
+
+echo "wrote BENCH_fuse.json, BENCH_serve.json, and BENCH_failover.json" >&2

@@ -23,6 +23,12 @@ cargo bench --no-run -q
 echo "== report fuse --check ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- fuse --check
 
+# The failure-model gate: under a reply-loss storm every retried call is
+# answered from the reply cache (zero duplicate executions), and supervised
+# failover recovers within its deterministic sim-time bound.
+echo "== report failover --check ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- failover --check
+
 # The examples are the documented API surface; an API redesign that
 # breaks them must fail here, not in a reader's terminal.
 for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix; do

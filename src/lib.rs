@@ -40,14 +40,15 @@ pub mod prelude {
     pub use crate::core::present::{InterfacePresentation, Trust};
     pub use crate::core::program::{CompiledInterface, CompiledOp};
     pub use crate::core::value::Value;
-    pub use crate::engine::{ClientInfo, Engine, EngineConnection};
+    pub use crate::engine::{BreakerStats, ClientInfo, Engine, EngineConnection};
     pub use crate::idl::{corba, pdl};
     pub use crate::marshal::WireFormat;
     pub use crate::runtime::transport::Loopback;
     pub use crate::runtime::{
-        CallOptions, ClientStub, Error, ErrorKind, RetryPolicy, ServerInterface,
+        CallOptions, CallTag, ClientStub, Error, ErrorKind, ReplyCache, ReplyCacheStats,
+        RetryPolicy, ServerInterface, Supervisor, SupervisorStats,
     };
-    pub use flexrpc_clock::SimClock;
+    pub use flexrpc_clock::{Fault, FaultInjector, SimClock};
     // The synchronization handles server construction needs (a `Loopback`
     // server lives behind `Arc<Mutex<..>>`).
     pub use parking_lot::Mutex;
