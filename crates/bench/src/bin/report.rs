@@ -2,15 +2,17 @@
 //!
 //! Usage: `report [figure...] [--json PATH] [--check]`
 //! where figure ∈ {fig2, fig6, fig7, fig10, fig11, fig12, port, ablate,
-//! serve, shed, fuse, failover}; no
+//! serve, shed, fuse, failover, trace}; no
 //! arguments runs everything. `--json` additionally writes the numbers as
 //! JSON (used to refresh EXPERIMENTS.md). `--check` exits nonzero if a
 //! figure's acceptance bar is missed (used by CI for `fuse` — the fused
-//! path must not lose to the unfused one — and for `failover`: exact
-//! duplicate suppression and bounded, deterministic recovery).
+//! path must not lose to the unfused one — for `failover`: exact duplicate
+//! suppression and bounded, deterministic recovery — and for `trace`:
+//! byte-identical deterministic exports and a bounded tracing overhead).
 
 use flexrpc_bench::{
     ablate, failover, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, serve, shed,
+    trace,
 };
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_kernel::{NameMode, TrustLevel};
@@ -71,7 +73,7 @@ fn main() {
         .map(|s| s.as_str())
         .filter(|s| {
             s.starts_with("fig")
-                || ["port", "ablate", "serve", "shed", "fuse", "failover"].contains(s)
+                || ["port", "ablate", "serve", "shed", "fuse", "failover", "trace"].contains(s)
         })
         .collect();
     let check = args.iter().any(|a| a == "--check");
@@ -113,6 +115,9 @@ fn main() {
     }
     if want("failover") {
         run_failover(&mut report, check);
+    }
+    if want("trace") {
+        run_trace(&mut report, check);
     }
 
     if let Some(path) = json_path {
@@ -252,6 +257,96 @@ fn run_failover(report: &mut Report, check: bool) {
         }
     }
     println!("  (sim-time numbers: deterministic, so the bound is exact, not statistical)");
+
+    if check {
+        if failures.is_empty() {
+            println!("  check: ok");
+        } else {
+            for f in &failures {
+                eprintln!("  check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_trace(report: &mut Report, check: bool) {
+    use flexrpc_trace::Stage;
+    let mut failures = Vec::new();
+
+    println!("\n== Observability: per-stage breakdown, read({}B reply), CDR ==", trace::READ_SIZE);
+    println!(
+        "  {:12} {:>10} {:>10} {:>10} {:>14}",
+        "transport", "marshal", "wire", "unmarshal", "marshal-share"
+    );
+    for path in [trace::Path::SameDomain, trace::Path::SunRpc] {
+        let b = trace::wall_breakdown(path);
+        let per_call = |stage: Stage| b.totals[stage as usize] as f64 / trace::CALLS as f64;
+        println!(
+            "  {:12} {:>8.0}ns {:>8.0}ns {:>8.0}ns {:>13.1}%",
+            path.label(),
+            per_call(Stage::Marshal),
+            per_call(Stage::Transport),
+            per_call(Stage::Unmarshal),
+            b.marshal_share * 100.0
+        );
+        for stage in [Stage::Marshal, Stage::Transport, Stage::Unmarshal] {
+            report.put(
+                "trace",
+                &format!("{}-{}-ns-per-call", path.label(), stage.name()),
+                per_call(stage),
+            );
+        }
+        report.put(
+            "trace",
+            &format!("{}-marshal-share-pct", path.label()),
+            b.marshal_share * 100.0,
+        );
+    }
+    println!("  (wall-clock spans; the wire column includes the far side's dispatch)");
+
+    // Determinism: the same sim-clock workload, twice, must export the
+    // exact same bytes — and its wire time is a number, not a measurement.
+    let (stream_a, wire_ns) = trace::sim_run(64);
+    let (stream_b, _) = trace::sim_run(64);
+    let identical = stream_a == stream_b && !stream_a.is_empty();
+    println!(
+        "  sunrpc sim wire time {wire_ns:.0} ns/call (exact); runs byte-identical: {identical}"
+    );
+    report.put("trace", "sunrpc-sim-wire-ns-per-call", wire_ns);
+    if !identical {
+        failures.push("two identical sim runs exported different trace streams".to_string());
+    }
+
+    println!("\n== Observability: tracing overhead, same-domain read ==");
+    let mut traced = trace::TraceRunner::new(trace::Path::SameDomain, true);
+    let mut plain = trace::TraceRunner::new(trace::Path::SameDomain, false);
+    for _ in 0..200 {
+        traced.call();
+        plain.call();
+    }
+    let (mut ns_plain, mut ns_traced, mut overhead) =
+        measure_paired_ratio(41, 2000, || plain.call(), || traced.call());
+    if overhead > trace::OVERHEAD_BOUND {
+        // The true cost is a few nanoseconds per span; one noisy run
+        // shouldn't fail the gate. Re-measure once with more rounds.
+        (ns_plain, ns_traced, overhead) =
+            measure_paired_ratio(81, 3000, || plain.call(), || traced.call());
+    }
+    println!(
+        "  untraced {ns_plain:>8.0} ns/call   traced {ns_traced:>8.0} ns/call   overhead {:.3}x (bound {:.2}x)",
+        overhead,
+        trace::OVERHEAD_BOUND
+    );
+    report.put("trace", "samedomain-untraced-ns-per-call", ns_plain);
+    report.put("trace", "samedomain-traced-ns-per-call", ns_traced);
+    report.put("trace", "samedomain-overhead-ratio", overhead);
+    if overhead > trace::OVERHEAD_BOUND {
+        failures.push(format!(
+            "tracing overhead {overhead:.3}x exceeds the {:.2}x bound",
+            trace::OVERHEAD_BOUND
+        ));
+    }
 
     if check {
         if failures.is_empty() {

@@ -17,7 +17,7 @@ use flexrpc_net::sunrpc::{self, AcceptStat, CallHeader};
 use flexrpc_net::{HostId, NetError, SimNet};
 use flexrpc_runtime::policy::CallTag;
 use flexrpc_runtime::RetryPolicy;
-use std::sync::atomic::Ordering;
+use flexrpc_trace::{SharedCallTrace, Stage};
 use std::sync::Arc;
 
 /// Registers `service_name` as the Sun RPC program `(prog, vers)` on
@@ -40,7 +40,7 @@ pub fn expose_on_net(
     let pool = engine.pool_for(service_name, client)?;
     let compiled = pool.compiled();
     let eng = Arc::clone(engine);
-    engine.counters().connections.fetch_add(1, Ordering::Relaxed);
+    engine.counters().connections.inc();
     net.register_service(host, move |stream| {
         let records = sunrpc::split_records(stream).map_err(|e| e.to_string())?;
         // Phase 1: decode and submit everything — all XIDs go outstanding
@@ -153,6 +153,7 @@ pub struct SunRpcPipeline {
     batch: Vec<u8>,
     expected: Vec<u32>,
     retry: Option<RetryPolicy>,
+    trace: Option<SharedCallTrace>,
 }
 
 impl SunRpcPipeline {
@@ -168,7 +169,22 @@ impl SunRpcPipeline {
             batch: Vec::new(),
             expected: Vec::new(),
             retry: None,
+            trace: None,
         }
+    }
+
+    /// Attaches a span trace on the net's sim clock: each flush records a
+    /// [`Stage::Transport`] span (detail = batch size in bytes) and each
+    /// transient resend a [`Stage::Retry`] span covering its backoff
+    /// (detail = attempt number).
+    pub fn traced(mut self, trace: SharedCallTrace) -> SunRpcPipeline {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached span trace, if any.
+    pub fn trace(&self) -> Option<&SharedCallTrace> {
+        self.trace.as_ref()
     }
 
     /// Attaches a retry policy: a flush whose transmission fails
@@ -226,11 +242,17 @@ impl SunRpcPipeline {
         let batch = std::mem::take(&mut self.batch);
         let expected = std::mem::take(&mut self.expected);
         let max_attempts = self.retry.as_ref().map_or(1, |p| p.max_attempts());
+        let flush_call = self.trace.as_ref().map(|t| t.begin_call());
         let mut attempt = 1u32;
         let mut reply_stream = Vec::new();
         loop {
             reply_stream.clear();
-            match self.net.call(self.from, self.to, &batch, &mut reply_stream) {
+            let send_start = self.trace.as_ref().map_or(0, |t| t.now_ns());
+            let outcome = self.net.call(self.from, self.to, &batch, &mut reply_stream);
+            if let (Some(t), Some(call)) = (&self.trace, flush_call) {
+                t.record(call, Stage::Transport, send_start, t.now_ns(), batch.len() as u64);
+            }
+            match outcome {
                 Ok(()) => break,
                 Err(e) => {
                     let transient = matches!(
@@ -241,7 +263,11 @@ impl SunRpcPipeline {
                         return Err(e);
                     }
                     let policy = self.retry.as_ref().expect("attempts > 1 implies a policy");
+                    let backoff_start = self.trace.as_ref().map_or(0, |t| t.now_ns());
                     self.net.clock().advance_ns(policy.backoff_ns(attempt));
+                    if let (Some(t), Some(call)) = (&self.trace, flush_call) {
+                        t.record(call, Stage::Retry, backoff_start, t.now_ns(), attempt as u64);
+                    }
                     attempt += 1;
                 }
             }

@@ -9,8 +9,8 @@
 //! deterministic [`SimClock`] time passed in by the engine, so breaker
 //! behavior is exactly reproducible in tests.
 
+use flexrpc_trace::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
@@ -40,9 +40,9 @@ pub struct CircuitBreaker {
     threshold: u32,
     cooldown_ns: u64,
     state: Mutex<State>,
-    trips: AtomicU64,
-    probes: AtomicU64,
-    recoveries: AtomicU64,
+    trips: Counter,
+    probes: Counter,
+    recoveries: Counter,
 }
 
 impl CircuitBreaker {
@@ -53,10 +53,18 @@ impl CircuitBreaker {
             threshold: threshold.max(1),
             cooldown_ns,
             state: Mutex::new(State::Closed { consecutive: 0 }),
-            trips: AtomicU64::new(0),
-            probes: AtomicU64::new(0),
-            recoveries: AtomicU64::new(0),
+            trips: Counter::detached(),
+            probes: Counter::detached(),
+            recoveries: Counter::detached(),
         }
+    }
+
+    /// Adopts the breaker's counters into `registry` as `breaker.trip`,
+    /// `breaker.probe`, and `breaker.recovery`.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("breaker.trip", &self.trips);
+        registry.adopt_counter("breaker.probe", &self.probes);
+        registry.adopt_counter("breaker.recovery", &self.recoveries);
     }
 
     /// Admission gate: may a call proceed at sim time `now_ns`?
@@ -68,7 +76,7 @@ impl CircuitBreaker {
             State::Open { since } => {
                 if now_ns >= since.saturating_add(self.cooldown_ns) {
                     *state = State::HalfOpen;
-                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    self.probes.inc();
                     true
                 } else {
                     false
@@ -87,7 +95,7 @@ impl CircuitBreaker {
                 let consecutive = consecutive + 1;
                 if consecutive >= self.threshold {
                     *state = State::Open { since: now_ns };
-                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    self.trips.inc();
                 } else {
                     *state = State::Closed { consecutive };
                 }
@@ -96,11 +104,11 @@ impl CircuitBreaker {
             // restarts the cooldown from now).
             (State::HalfOpen, true) => {
                 *state = State::Closed { consecutive: 0 };
-                self.recoveries.fetch_add(1, Ordering::Relaxed);
+                self.recoveries.inc();
             }
             (State::HalfOpen, false) => {
                 *state = State::Open { since: now_ns };
-                self.trips.fetch_add(1, Ordering::Relaxed);
+                self.trips.inc();
             }
             // Late results from calls admitted before a trip: no-ops.
             (State::Open { .. }, _) => {}
@@ -119,9 +127,9 @@ impl CircuitBreaker {
     /// Point-in-time counters.
     pub fn stats(&self) -> BreakerStats {
         BreakerStats {
-            trips: self.trips.load(Ordering::Relaxed),
-            probes: self.probes.load(Ordering::Relaxed),
-            recoveries: self.recoveries.load(Ordering::Relaxed),
+            trips: self.trips.get(),
+            probes: self.probes.get(),
+            recoveries: self.recoveries.get(),
             open: !matches!(*self.state.lock(), State::Closed { .. }),
         }
     }

@@ -22,6 +22,7 @@
 use flexrpc_core::present::Trust;
 use flexrpc_core::program::CompiledInterface;
 use flexrpc_marshal::WireFormat;
+use flexrpc_trace::{Counter, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -110,12 +111,14 @@ struct Shard {
 
 impl Shard {
     /// Clones the current map snapshot; the lock is released before the
-    /// caller looks anything up.
-    fn snapshot(&self) -> Arc<HashMap<ProgramKey, Arc<CompiledInterface>>> {
+    /// caller looks anything up. `rollup` is the cache-wide contention
+    /// counter, bumped in step with this shard's.
+    fn snapshot(&self, rollup: &Counter) -> Arc<HashMap<ProgramKey, Arc<CompiledInterface>>> {
         match self.map.try_read() {
             Some(g) => Arc::clone(&g),
             None => {
                 self.contended.fetch_add(1, Ordering::Relaxed);
+                rollup.inc();
                 Arc::clone(&self.map.read())
             }
         }
@@ -130,6 +133,11 @@ pub struct ProgramCache {
     /// specialization report (before/after fusion).
     source_ops: AtomicU64,
     fused_ops: AtomicU64,
+    /// Registry-adoptable rollups of the per-shard counters, bumped in
+    /// step with them (`cache.hit` / `cache.miss` / `cache.contended`).
+    hits_total: Counter,
+    misses_total: Counter,
+    contended_total: Counter,
 }
 
 fn shard_index(key: &ProgramKey) -> usize {
@@ -171,14 +179,16 @@ impl ProgramCache {
         compile: impl FnOnce() -> Result<CompiledInterface, E>,
     ) -> Result<Arc<CompiledInterface>, E> {
         let shard = &self.shards[shard_index(&key)];
-        if let Some(found) = shard.snapshot().get(&key) {
+        if let Some(found) = shard.snapshot(&self.contended_total).get(&key) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits_total.inc();
             return Ok(Arc::clone(found));
         }
         let _publish = shard.publish.lock();
         // Double-check: another thread may have published while we waited.
-        if let Some(found) = shard.snapshot().get(&key) {
+        if let Some(found) = shard.snapshot(&self.contended_total).get(&key) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits_total.inc();
             return Ok(Arc::clone(found));
         }
         let compiled = Arc::new(compile()?);
@@ -186,17 +196,26 @@ impl ProgramCache {
         self.source_ops.fetch_add(source, Ordering::Relaxed);
         self.fused_ops.fetch_add(fused, Ordering::Relaxed);
         // Clone-on-publish: rebuild outside the lock, swap under it.
-        let mut next = HashMap::clone(&shard.snapshot());
+        let mut next = HashMap::clone(&shard.snapshot(&self.contended_total));
         next.insert(key, Arc::clone(&compiled));
         *shard.map.write() = Arc::new(next);
         shard.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses_total.inc();
         Ok(compiled)
     }
 
-    /// Looks up without compiling (and without counting).
+    /// Looks up without compiling (and without counting hits or misses).
     pub fn get(&self, key: &ProgramKey) -> Option<Arc<CompiledInterface>> {
         let shard = &self.shards[shard_index(key)];
-        shard.snapshot().get(key).map(Arc::clone)
+        shard.snapshot(&self.contended_total).get(key).map(Arc::clone)
+    }
+
+    /// Adopts the cache-wide rollup counters into `registry` as
+    /// `cache.hit`, `cache.miss`, and `cache.contended`.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("cache.hit", &self.hits_total);
+        registry.adopt_counter("cache.miss", &self.misses_total);
+        registry.adopt_counter("cache.contended", &self.contended_total);
     }
 
     /// Current statistics.
@@ -215,7 +234,7 @@ impl ProgramCache {
             out.contended = shard.contended.load(Ordering::Relaxed);
             s.hits += out.hits;
             s.misses += out.misses;
-            s.programs += shard.snapshot().len();
+            s.programs += shard.snapshot(&self.contended_total).len();
         }
         s
     }

@@ -30,9 +30,9 @@ use flexrpc_runtime::policy::{CallControl, CallOptions, CallTag};
 use flexrpc_runtime::replycache::ReplyCache;
 use flexrpc_runtime::transport::Transport;
 use flexrpc_runtime::{RpcError, ServerInterface};
+use flexrpc_trace::{Histogram, MetricsRegistry, SharedCallTrace, Stage};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -225,6 +225,12 @@ struct Job {
     /// Induced `Close` fault: execute (and cache) normally, then lose the
     /// reply — the submitter sees a disconnect.
     close_after: bool,
+    /// Sim time the job entered the queue (dwell accounting).
+    enqueue_ns: u64,
+    /// Span trace of the submitting connection, if it asked for one: the
+    /// worker records the Enqueue (queue dwell) and Dispatch spans of this
+    /// logical call into it.
+    trace: Option<(SharedCallTrace, u64)>,
 }
 
 /// Interchangeable `ServerInterface` instances for one program combination.
@@ -389,7 +395,18 @@ impl EngineBuilder {
             faults: FaultInjector::new(),
             reply_cache,
             breaker: self.breaker.map(|(t, c)| CircuitBreaker::new(t, c)),
+            metrics: Arc::new(MetricsRegistry::new()),
+            dwell_ns: Histogram::detached(),
         });
+        // The registry adopts every live counter the engine owns, so
+        // `engine.metrics().snapshot()` and `engine.stats()` read the same
+        // cells.
+        engine.counters.register_into(&engine.metrics);
+        engine.cache.register_metrics(&engine.metrics);
+        if let Some(b) = &engine.breaker {
+            b.register_metrics(&engine.metrics);
+        }
+        engine.metrics.adopt_histogram("engine.dwell_ns", &engine.dwell_ns);
         let mut workers = engine.workers.lock();
         for i in 0..engine.workers_n {
             let queue = Arc::clone(&engine.queue);
@@ -410,6 +427,13 @@ impl EngineBuilder {
                                 job.slot.fill(Err(RpcError::DeadlineExceeded));
                                 continue;
                             }
+                            let started_ns = clock.now_ns();
+                            if let Some(engine) = eng.upgrade() {
+                                engine.dwell_ns.record(started_ns.saturating_sub(job.enqueue_ns));
+                            }
+                            if let Some((t, call)) = &job.trace {
+                                t.record(*call, Stage::Enqueue, job.enqueue_ns, started_ns, 0);
+                            }
                             let mut replica = job.pool.acquire();
                             let mut body = Vec::new();
                             let mut rights_out = Vec::new();
@@ -424,6 +448,15 @@ impl EngineBuilder {
                                 )
                                 .map(|()| Reply { body, rights: rights_out });
                             job.pool.release(replica);
+                            if let Some((t, call)) = &job.trace {
+                                t.record(
+                                    *call,
+                                    Stage::Dispatch,
+                                    started_ns,
+                                    clock.now_ns(),
+                                    job.op_index as u64,
+                                );
+                            }
                             if let Some(engine) = eng.upgrade() {
                                 engine.counters.job_finished(
                                     job.request.len(),
@@ -473,6 +506,12 @@ pub struct Engine {
     reply_cache: Option<Arc<ReplyCache>>,
     /// Admission health gate, if [`EngineBuilder::breaker`] set.
     breaker: Option<CircuitBreaker>,
+    /// The unified metrics plane: every engine counter, the program cache
+    /// rollups, the breaker counters, and the dwell histogram under stable
+    /// dotted names.
+    metrics: Arc<MetricsRegistry>,
+    /// Sim-time nanoseconds jobs spend queued before a worker starts them.
+    dwell_ns: Histogram,
 }
 
 impl Engine {
@@ -617,6 +656,7 @@ impl Engine {
     /// it blocks while the queue is full (backpressure). The job's
     /// effective deadline is the tighter of the caller's and the engine's
     /// dwell limit, both measured from now on the engine clock.
+    #[allow(clippy::too_many_arguments)]
     fn enqueue(
         &self,
         pool: &Arc<ReplicaPool>,
@@ -625,6 +665,7 @@ impl Engine {
         rights: Vec<u32>,
         deadline_ns: Option<u64>,
         tag: Option<CallTag>,
+        trace: Option<&SharedCallTrace>,
     ) -> Result<CallTicket, EngineError> {
         // Health gate first: an open breaker refuses before any work or
         // fault accounting happens, so clients fail over immediately.
@@ -660,7 +701,7 @@ impl Engine {
         // A deadline already in the past never enters the queue; the
         // ticket comes back pre-failed so the caller's wait is uniform.
         if deadline_ns.is_some_and(|d| self.clock.expired(d)) {
-            self.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            self.counters.deadline_expired.inc();
             slot.fill(Err(RpcError::DeadlineExceeded));
             return Ok(ticket);
         }
@@ -669,6 +710,7 @@ impl Engine {
             // its reply is discarded. Under at-most-once the shadow records
             // into the reply cache and the real job replays from it — one
             // handler execution even though the queue saw the call twice.
+            // The shadow is invisible to the submitter's trace.
             self.counters.job_enqueued();
             let shadow = Job {
                 pool: Arc::clone(pool),
@@ -679,6 +721,8 @@ impl Engine {
                 deadline_ns,
                 tag,
                 close_after: false,
+                enqueue_ns: now,
+                trace: None,
             };
             self.push_job(shadow)?;
         }
@@ -692,6 +736,8 @@ impl Engine {
             deadline_ns,
             tag,
             close_after,
+            enqueue_ns: now,
+            trace: trace.map(|t| (t.clone(), t.begin_call())),
         };
         self.push_job(job)?;
         Ok(ticket)
@@ -703,17 +749,17 @@ impl Engine {
             match self.queue.try_push(job, high_water) {
                 Ok(()) => {}
                 Err(PushRefusal::Full(_)) => {
-                    self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    self.counters.in_flight.sub(1);
                     self.counters.job_shed();
                     return Err(EngineError::Overloaded);
                 }
                 Err(PushRefusal::Closed(_)) => {
-                    self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    self.counters.in_flight.sub(1);
                     return Err(EngineError::Closed);
                 }
             }
         } else if self.queue.push(job).is_err() {
-            self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+            self.counters.in_flight.sub(1);
             return Err(EngineError::Closed);
         }
         Ok(())
@@ -729,7 +775,7 @@ impl Engine {
         rights: &[u32],
         tag: Option<CallTag>,
     ) -> Result<CallTicket, EngineError> {
-        self.enqueue(pool, op_index, request.to_vec(), rights.to_vec(), None, tag)
+        self.enqueue(pool, op_index, request.to_vec(), rights.to_vec(), None, tag, None)
     }
 
     /// Live counters (crate-internal; external readers use [`Engine::stats`]).
@@ -753,21 +799,29 @@ impl Engine {
         self.reply_cache.as_ref()
     }
 
+    /// The engine's unified metrics plane: counter and histogram handles
+    /// under stable dotted names (`engine.*`, `cache.*`, `breaker.*`), for
+    /// JSON export and for adopting further components (e.g. a supervisor)
+    /// into one snapshot.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> EngineStatsSnapshot {
         let breaker = self.breaker.as_ref().map(|b| b.stats()).unwrap_or_default();
         EngineStatsSnapshot {
-            calls_served: self.counters.calls_served.load(Ordering::Relaxed),
-            bytes_in: self.counters.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.counters.bytes_out.load(Ordering::Relaxed),
-            in_flight: self.counters.in_flight.load(Ordering::Relaxed),
-            peak_in_flight: self.counters.peak_in_flight.load(Ordering::Relaxed),
+            calls_served: self.counters.calls_served.get(),
+            bytes_in: self.counters.bytes_in.get(),
+            bytes_out: self.counters.bytes_out.get(),
+            in_flight: self.counters.in_flight.get(),
+            peak_in_flight: self.counters.peak_in_flight.get(),
             queue_depth: self.queue.len(),
-            connections: self.counters.connections.load(Ordering::Relaxed),
-            dispatch_errors: self.counters.dispatch_errors.load(Ordering::Relaxed),
-            calls_shed: self.counters.calls_shed.load(Ordering::Relaxed),
-            calls_cancelled: self.counters.calls_cancelled.load(Ordering::Relaxed),
-            deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
+            connections: self.counters.connections.get(),
+            dispatch_errors: self.counters.dispatch_errors.get(),
+            calls_shed: self.counters.calls_shed.get(),
+            calls_cancelled: self.counters.calls_cancelled.get(),
+            deadline_expired: self.counters.deadline_expired.get(),
             workers: self.workers_n,
             cache: self.cache.stats(),
             reply_cache: self.reply_cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
@@ -823,15 +877,37 @@ impl ConnectBuilder {
     }
 
     /// Resolves the combination (compiling its program on first use) and
-    /// opens the connection.
+    /// opens the connection. When the options asked for tracing
+    /// ([`CallOptions::traced`]), the connection carries a
+    /// [`SharedCallTrace`] on the engine clock: establishment records a
+    /// [`Stage::Bind`] span (plus [`Stage::Specialize`] when this
+    /// combination compiled rather than hit the program cache), and every
+    /// later call records its queue-dwell and dispatch spans into it.
     pub fn establish(self) -> Result<EngineConnection, EngineError> {
+        let trace = self.options.is_traced().then(|| {
+            SharedCallTrace::sim(
+                flexrpc_runtime::DEFAULT_TRACE_CAPACITY,
+                Arc::clone(&self.engine.clock),
+            )
+        });
+        let bind_call = trace.as_ref().map(|t| t.begin_call());
+        let bind_start = self.engine.clock.now_ns();
+        let compilations_before = self.engine.cache.compilations();
         let client = match self.client {
             Some(c) => c,
             None => ClientInfo::of(&self.engine.service(&self.service)?.presentation),
         };
         let pool = self.engine.pool_for(&self.service, client)?;
-        self.engine.counters.connections.fetch_add(1, Ordering::Relaxed);
-        Ok(EngineConnection { engine: self.engine, pool, options: self.options })
+        if let (Some(t), Some(call)) = (&trace, bind_call) {
+            let now = self.engine.clock.now_ns();
+            let compiled = self.engine.cache.compilations() - compilations_before;
+            t.record(call, Stage::Bind, bind_start, now, compiled);
+            if compiled > 0 {
+                t.record(call, Stage::Specialize, bind_start, now, compiled);
+            }
+        }
+        self.engine.counters.connections.inc();
+        Ok(EngineConnection { engine: self.engine, pool, options: self.options, trace })
     }
 }
 
@@ -859,6 +935,9 @@ pub struct EngineConnection {
     engine: Arc<Engine>,
     pool: Arc<ReplicaPool>,
     options: CallOptions,
+    /// Server-side span trace for this connection's calls, present when
+    /// the connection was established with [`CallOptions::traced`].
+    trace: Option<SharedCallTrace>,
 }
 
 impl EngineConnection {
@@ -903,6 +982,7 @@ impl EngineConnection {
             rights.to_vec(),
             deadline_ns,
             tag,
+            self.trace.as_ref(),
         )
     }
 
@@ -926,6 +1006,12 @@ impl EngineConnection {
     /// The engine this connection belongs to.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+
+    /// The connection's server-side span trace (bind, queue dwell,
+    /// dispatch), if established with [`CallOptions::traced`].
+    pub fn trace(&self) -> Option<&SharedCallTrace> {
+        self.trace.as_ref()
     }
 }
 

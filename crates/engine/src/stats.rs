@@ -1,66 +1,85 @@
 //! Engine-level counters and point-in-time snapshots.
+//!
+//! The counters are [`flexrpc_trace::Counter`] handles — shared atomic
+//! cells that an engine's [`flexrpc_trace::MetricsRegistry`] adopts under
+//! the unified `engine.*` names, so `engine.stats()` and a registry
+//! snapshot read the very same cells and can never disagree.
 
 use crate::cache::CacheStats;
 use flexrpc_runtime::replycache::ReplyCacheStats;
-use std::sync::atomic::{AtomicU64, Ordering};
+use flexrpc_trace::{Counter, MetricsRegistry};
 
 /// Live counters, updated by acceptors and workers.
 #[derive(Debug, Default)]
 pub struct EngineCounters {
     /// Calls fully served (dispatched and replied).
-    pub calls_served: AtomicU64,
+    pub calls_served: Counter,
     /// Request bytes copied into the engine.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: Counter,
     /// Reply bytes copied out of the engine.
-    pub bytes_out: AtomicU64,
+    pub bytes_out: Counter,
     /// Jobs currently queued or executing.
-    pub in_flight: AtomicU64,
+    pub in_flight: Counter,
     /// High-water mark of `in_flight`.
-    pub peak_in_flight: AtomicU64,
+    pub peak_in_flight: Counter,
     /// Connections accepted (same-domain and network exposures).
-    pub connections: AtomicU64,
+    pub connections: Counter,
     /// Dispatches that returned an error to the client.
-    pub dispatch_errors: AtomicU64,
+    pub dispatch_errors: Counter,
     /// Calls refused at admission (queue above high water).
-    pub calls_shed: AtomicU64,
+    pub calls_shed: Counter,
     /// Queued-but-unstarted calls failed by a graceful drain.
-    pub calls_cancelled: AtomicU64,
+    pub calls_cancelled: Counter,
     /// Calls whose deadline passed before a worker could start them.
-    pub deadline_expired: AtomicU64,
+    pub deadline_expired: Counter,
 }
 
 impl EngineCounters {
+    /// Adopts every counter into `registry` under its `engine.*` name.
+    pub fn register_into(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("engine.calls_served", &self.calls_served);
+        registry.adopt_counter("engine.bytes_in", &self.bytes_in);
+        registry.adopt_counter("engine.bytes_out", &self.bytes_out);
+        registry.adopt_counter("engine.in_flight", &self.in_flight);
+        registry.adopt_counter("engine.peak_in_flight", &self.peak_in_flight);
+        registry.adopt_counter("engine.connections", &self.connections);
+        registry.adopt_counter("engine.dispatch_errors", &self.dispatch_errors);
+        registry.adopt_counter("engine.shed", &self.calls_shed);
+        registry.adopt_counter("engine.cancelled", &self.calls_cancelled);
+        registry.adopt_counter("engine.expired", &self.deadline_expired);
+    }
+
     pub(crate) fn job_enqueued(&self) {
-        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+        let now = self.in_flight.add(1);
+        self.peak_in_flight.raise_to(now);
     }
 
     pub(crate) fn job_finished(&self, bytes_in: usize, bytes_out: usize, ok: bool) {
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
-        self.calls_served.fetch_add(1, Ordering::Relaxed);
-        self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
-        self.bytes_out.fetch_add(bytes_out as u64, Ordering::Relaxed);
+        self.in_flight.sub(1);
+        self.calls_served.inc();
+        self.bytes_in.add(bytes_in as u64);
+        self.bytes_out.add(bytes_out as u64);
         if !ok {
-            self.dispatch_errors.fetch_add(1, Ordering::Relaxed);
+            self.dispatch_errors.inc();
         }
     }
 
     /// A call refused at admission — it was never enqueued, so `in_flight`
     /// is untouched.
     pub(crate) fn job_shed(&self) {
-        self.calls_shed.fetch_add(1, Ordering::Relaxed);
+        self.calls_shed.inc();
     }
 
     /// An enqueued job whose deadline expired before dispatch.
     pub(crate) fn job_expired(&self) {
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
-        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.sub(1);
+        self.deadline_expired.inc();
     }
 
     /// An enqueued job failed by shutdown before a worker started it.
     pub(crate) fn job_cancelled(&self) {
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
-        self.calls_cancelled.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.sub(1);
+        self.calls_cancelled.inc();
     }
 }
 

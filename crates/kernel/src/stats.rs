@@ -6,27 +6,30 @@
 //! benches measure wall-clock time. Counters are monotonically increasing
 //! atomics so they can be read concurrently with IPC activity.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use flexrpc_trace::{Counter, MetricsRegistry};
 
-/// Monotonic counters of simulated-kernel events.
+/// Monotonic counters of simulated-kernel events. Each is a
+/// registry-adoptable [`Counter`] handle, so a metrics plane can absorb
+/// them under `kernel.*` names ([`KernelStats::register_metrics`]) while
+/// the kernel keeps updating the same cells.
 #[derive(Debug, Default)]
 pub struct KernelStats {
     /// Bytes moved from a user arena into kernel space (`copyin`).
-    pub bytes_copied_in: AtomicU64,
+    pub bytes_copied_in: Counter,
     /// Bytes moved from kernel space into a user arena (`copyout`).
-    pub bytes_copied_out: AtomicU64,
+    pub bytes_copied_out: Counter,
     /// Bytes moved directly between two user arenas (the streamlined path).
-    pub bytes_copied_user_to_user: AtomicU64,
+    pub bytes_copied_user_to_user: Counter,
     /// IPC messages sent over the streamlined path.
-    pub messages: AtomicU64,
+    pub messages: Counter,
     /// Port rights transferred between tasks.
-    pub rights_transferred: AtomicU64,
+    pub rights_transferred: Counter,
     /// Hash-table probes performed by port-name translation (the cost the
     /// `[nonunique]` presentation removes).
-    pub name_table_probes: AtomicU64,
+    pub name_table_probes: Counter,
     /// Individual register save/restore/scrub operations performed by the
     /// trust-parameterized path.
-    pub register_ops: AtomicU64,
+    pub register_ops: Counter,
 }
 
 impl KernelStats {
@@ -36,20 +39,31 @@ impl KernelStats {
     }
 
     #[inline]
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    pub(crate) fn add(counter: &Counter, n: u64) {
+        counter.add(n);
+    }
+
+    /// Adopts every counter into `registry` under its `kernel.*` name.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("kernel.bytes_copied_in", &self.bytes_copied_in);
+        registry.adopt_counter("kernel.bytes_copied_out", &self.bytes_copied_out);
+        registry.adopt_counter("kernel.bytes_copied_user_to_user", &self.bytes_copied_user_to_user);
+        registry.adopt_counter("kernel.message", &self.messages);
+        registry.adopt_counter("kernel.rights_transferred", &self.rights_transferred);
+        registry.adopt_counter("kernel.name_table_probe", &self.name_table_probes);
+        registry.adopt_counter("kernel.register_op", &self.register_ops);
     }
 
     /// Snapshot of all counters, for before/after deltas in tests.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            bytes_copied_in: self.bytes_copied_in.load(Ordering::Relaxed),
-            bytes_copied_out: self.bytes_copied_out.load(Ordering::Relaxed),
-            bytes_copied_user_to_user: self.bytes_copied_user_to_user.load(Ordering::Relaxed),
-            messages: self.messages.load(Ordering::Relaxed),
-            rights_transferred: self.rights_transferred.load(Ordering::Relaxed),
-            name_table_probes: self.name_table_probes.load(Ordering::Relaxed),
-            register_ops: self.register_ops.load(Ordering::Relaxed),
+            bytes_copied_in: self.bytes_copied_in.get(),
+            bytes_copied_out: self.bytes_copied_out.get(),
+            bytes_copied_user_to_user: self.bytes_copied_user_to_user.get(),
+            messages: self.messages.get(),
+            rights_transferred: self.rights_transferred.get(),
+            name_table_probes: self.name_table_probes.get(),
+            register_ops: self.register_ops.get(),
         }
     }
 }

@@ -21,6 +21,7 @@
 pub mod sunrpc;
 
 use flexrpc_clock::{Fault, FaultInjector, SimClock};
+use flexrpc_trace::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -91,19 +92,32 @@ impl Default for NetConfig {
     }
 }
 
-/// Wire-clock counters.
+/// Wire-clock counters: registry-adoptable [`Counter`] handles, so a
+/// metrics plane can absorb them under `net.*` names
+/// ([`NetStats::register_metrics`]) while the network keeps updating the
+/// same cells.
 #[derive(Debug, Default)]
 pub struct NetStats {
     /// Messages carried.
-    pub messages: AtomicU64,
+    pub messages: Counter,
     /// Packets charged.
-    pub packets: AtomicU64,
+    pub packets: Counter,
     /// Payload bytes carried.
-    pub bytes: AtomicU64,
+    pub bytes: Counter,
     /// Real CPU nanoseconds spent inside service handlers (the far side's
     /// processing). Lets harnesses report *client* processing time the way
     /// the paper's Figure 2 does: measured total minus this.
-    pub service_ns: AtomicU64,
+    pub service_ns: Counter,
+}
+
+impl NetStats {
+    /// Adopts every counter into `registry` under its `net.*` name.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("net.message", &self.messages);
+        registry.adopt_counter("net.packet", &self.packets);
+        registry.adopt_counter("net.bytes", &self.bytes);
+        registry.adopt_counter("net.service_ns", &self.service_ns);
+    }
 }
 
 /// A service handler: consumes a request, produces a reply.
@@ -212,7 +226,7 @@ impl SimNet {
 
     /// Accumulated real CPU time spent inside service handlers.
     pub fn service_ns(&self) -> u64 {
-        self.stats.service_ns.load(Ordering::Relaxed)
+        self.stats.service_ns.get()
     }
 
     fn charge_wire(&self, payload: usize) {
@@ -221,8 +235,8 @@ impl SimNet {
             + (payload as u64) * 1_000_000_000 / self.cfg.bandwidth_bps;
         self.wire_ns.fetch_add(ns, Ordering::Relaxed);
         self.clock.advance_ns(ns);
-        self.stats.packets.fetch_add(packets, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(payload as u64, Ordering::Relaxed);
+        self.stats.packets.add(packets);
+        self.stats.bytes.add(payload as u64);
     }
 
     /// Sends `request` from `from` to `to`, runs the service, and writes the
@@ -244,7 +258,7 @@ impl SimNet {
                 return Err(NetError::NoSuchHost(from));
             }
         }
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.messages.inc();
         // Consult the fault plan before the wire: drops lose the message
         // after it is charged (it left the client), delays model a stalled
         // link or peer by advancing the sim clock, duplicates model
@@ -291,7 +305,7 @@ impl SimNet {
             // second reply (last-writer-wins, as UDP Sun RPC would).
             result = service(&rx);
         }
-        self.stats.service_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stats.service_ns.add(t0.elapsed().as_nanos() as u64);
         let reply = result.map_err(NetError::ServiceFailure)?;
         // Server-side processing + reply on the wire.
         self.wire_ns.fetch_add(self.cfg.server_ns, Ordering::Relaxed);
@@ -363,7 +377,7 @@ mod tests {
         let big = net.wire_ns() - small;
         assert!(big > small, "8000 bytes must cost more than 100");
         // 8000 bytes at MTU 1500 = 6 packets.
-        assert_eq!(net.stats().packets.load(Ordering::Relaxed), 1 + 6 + 2);
+        assert_eq!(net.stats().packets.get(), 1 + 6 + 2);
     }
 
     #[test]
@@ -440,7 +454,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(net.stats().messages.load(Ordering::Relaxed), 8 * 50);
+        assert_eq!(net.stats().messages.get(), 8 * 50);
     }
 
     #[test]

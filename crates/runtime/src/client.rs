@@ -10,8 +10,13 @@ use crate::Result;
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
 use flexrpc_core::value::Value;
 use flexrpc_marshal::WireFormat;
+use flexrpc_trace::{CallTrace, Stage, TimeSource};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Ring capacity used when tracing is switched on lazily by the first
+/// call made under [`CallOptions::traced`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
 
 /// Process-wide allocator of client binding ids for at-most-once tagging.
 /// Ids start at 1 so 0 can mean "untagged" on wires that lack an option
@@ -47,6 +52,10 @@ pub struct ClientStub {
     request_buf: Vec<u8>,
     /// At-most-once numbering, if enabled on this binding.
     amo: Option<AmoState>,
+    /// Per-connection span trace, installed on the first call made under
+    /// [`CallOptions::traced`] (or eagerly via [`ClientStub::enable_trace`]).
+    /// Boxed so untraced stubs pay one pointer.
+    tracer: Option<Box<CallTrace>>,
 }
 
 impl ClientStub {
@@ -75,7 +84,38 @@ impl ClientStub {
             reply_off: 0,
             request_buf: Vec::new(),
             amo: None,
+            tracer: None,
         }
+    }
+
+    /// Enables span tracing on this binding with a ring of `capacity`
+    /// events. Timestamps come from the transport's sim clock
+    /// (deterministic); a transport with no clock records structure-only
+    /// spans (all timestamps 0). Calls record spans only when made under
+    /// [`CallOptions::traced`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        let time = match self.transport.clock() {
+            Some(c) => TimeSource::Sim(c),
+            None => TimeSource::Disabled,
+        };
+        self.enable_trace_with(capacity, time);
+    }
+
+    /// Enables span tracing with an explicit [`TimeSource`] — e.g.
+    /// [`TimeSource::wall`] to profile real elapsed time on paths the
+    /// simulation does not charge (explicitly non-deterministic).
+    pub fn enable_trace_with(&mut self, capacity: usize, time: TimeSource) {
+        self.tracer = Some(Box::new(CallTrace::new(capacity, time)));
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&CallTrace> {
+        self.tracer.as_deref()
+    }
+
+    /// Detaches and returns the trace, disabling further recording.
+    pub fn take_trace(&mut self) -> Option<Box<CallTrace>> {
+        self.tracer.take()
     }
 
     /// Enables at-most-once execution on this binding: every policy-driven
@@ -214,10 +254,17 @@ impl ClientStub {
             None
         };
         let ctl = CallControl { deadline_ns, tag };
+        // Tracing: one logical call number spans all retry attempts. Asked
+        // for but never enabled → install a default-capacity ring now.
+        if options.is_traced() && self.tracer.is_none() {
+            self.enable_trace(DEFAULT_TRACE_CAPACITY);
+        }
+        let trace_call =
+            if options.is_traced() { self.tracer.as_mut().map(|t| t.begin_call()) } else { None };
         let max_attempts = options.retry_policy().map_or(1, |p| p.max_attempts());
         let mut attempt = 1u32;
         loop {
-            match self.call_once(op_index, frame, &ctl) {
+            match self.call_once(op_index, frame, &ctl, trace_call) {
                 Ok(status) => return Ok(status),
                 Err(e) => {
                     // A disconnect is not retryable in general (the channel
@@ -235,8 +282,18 @@ impl ClientStub {
                     // version of sleeping), then re-check the deadline:
                     // backoff must not be spent past it.
                     let backoff = policy.backoff_ns(attempt);
+                    let t0 = match (&self.tracer, trace_call) {
+                        (Some(t), Some(_)) => t.now_ns(),
+                        _ => 0,
+                    };
                     if let Some(c) = &clock {
                         c.advance_ns(backoff);
+                    }
+                    // The retry span covers the backoff window; detail is
+                    // the attempt number that failed.
+                    if let (Some(t), Some(call)) = (self.tracer.as_mut(), trace_call) {
+                        let t1 = t.now_ns();
+                        t.record(call, Stage::Retry, t0, t1, attempt as u64);
                     }
                     if let (Some(d), Some(c)) = (deadline_ns, &clock) {
                         if c.now_ns() > d {
@@ -251,7 +308,7 @@ impl ClientStub {
 
     /// Invokes an operation by index (the dispatch key).
     pub fn call_index(&mut self, op_index: usize, frame: &mut [Value]) -> Result<u32> {
-        self.call_once(op_index, frame, &CallControl::none())
+        self.call_once(op_index, frame, &CallControl::none(), None)
     }
 
     fn call_once(
@@ -259,6 +316,7 @@ impl ClientStub {
         op_index: usize,
         frame: &mut [Value],
         ctl: &CallControl,
+        trace_call: Option<u64>,
     ) -> Result<u32> {
         let op = self
             .compiled
@@ -267,22 +325,41 @@ impl ClientStub {
             .ok_or_else(|| RpcError::NoSuchOp(format!("op index {op_index}")))?;
         let hooks = &self.hooks[op_index];
 
+        // Stage boundaries share timestamps: four clock reads cover the
+        // three client-side spans. Untraced calls take none.
+        let mut mark = match (&self.tracer, trace_call) {
+            (Some(t), Some(_)) => t.now_ns(),
+            _ => 0,
+        };
+
         let mut writer = AnyWriter::over(self.format, std::mem::take(&mut self.request_buf));
         let mut rights = Vec::new();
         marshal(&op.request_marshal, frame, &[], &mut writer, hooks, &mut rights)?;
         let request = writer.into_bytes();
 
+        if let (Some(t), Some(call)) = (self.tracer.as_mut(), trace_call) {
+            let now = t.now_ns();
+            t.record(call, Stage::Marshal, mark, now, request.len() as u64);
+            mark = now;
+        }
+
         let mut rights_out = Vec::new();
         let mut reply = std::mem::take(&mut self.reply_buf);
-        let off =
-            match self.transport.call_with(op, &request, &rights, &mut reply, &mut rights_out, ctl)
-            {
-                Ok(off) => off,
-                Err(e) => {
-                    self.reply_buf = reply;
-                    return Err(e);
-                }
-            };
+        let outcome =
+            self.transport.call_with(op, &request, &rights, &mut reply, &mut rights_out, ctl);
+        if let (Some(t), Some(call)) = (self.tracer.as_mut(), trace_call) {
+            let now = t.now_ns();
+            let bytes = outcome.as_ref().map_or(0, |off| (reply.len() - off) as u64);
+            t.record(call, Stage::Transport, mark, now, bytes);
+            mark = now;
+        }
+        let off = match outcome {
+            Ok(off) => off,
+            Err(e) => {
+                self.reply_buf = reply;
+                return Err(e);
+            }
+        };
         self.reply_off = off;
 
         let result = (|| -> Result<u32> {
@@ -302,6 +379,11 @@ impl ClientStub {
             }
             Ok(status)
         })();
+
+        if let (Some(t), Some(call)) = (self.tracer.as_mut(), trace_call) {
+            let now = t.now_ns();
+            t.record(call, Stage::Unmarshal, mark, now, op_index as u64);
+        }
         // NOTE: `Window` out-values reference `reply_buf`; they are only
         // valid until the next call on this stub. Borrowed client
         // presentations must consume them before re-calling — same rule as

@@ -33,7 +33,7 @@ pub mod supervisor;
 pub mod transport;
 pub mod wire;
 
-pub use client::ClientStub;
+pub use client::{ClientStub, DEFAULT_TRACE_CAPACITY};
 pub use error::{Error, ErrorKind, RpcError};
 pub use hooks::{HookMap, SpecialMarshal};
 pub use policy::{CallControl, CallOptions, CallTag, RetryPolicy};

@@ -111,6 +111,7 @@ pub struct CallOptions {
     deadline: Option<Duration>,
     retry: Option<RetryPolicy>,
     at_least_once: bool,
+    traced: bool,
 }
 
 impl CallOptions {
@@ -166,6 +167,21 @@ impl CallOptions {
     /// True if this call opted out of at-most-once suppression.
     pub fn is_at_least_once(&self) -> bool {
         self.at_least_once
+    }
+
+    /// Enables per-call span tracing: the binding records fixed-stage
+    /// spans (marshal, transport, unmarshal, retry, …) into its
+    /// pre-allocated trace ring, stamped on the deterministic sim clock
+    /// where the transport has one. The recording path allocates nothing;
+    /// connections that never ask pay only an untaken branch.
+    pub fn traced(mut self) -> CallOptions {
+        self.traced = true;
+        self
+    }
+
+    /// True if calls under these options record trace spans.
+    pub fn is_traced(&self) -> bool {
+        self.traced
     }
 }
 

@@ -196,6 +196,9 @@ pub struct ServerInterface {
     /// At-most-once reply cache, consulted by [`ServerInterface::dispatch_tagged`]
     /// when the transport delivers a call tag. `None` = at-least-once.
     reply_cache: Option<std::sync::Arc<crate::replycache::ReplyCache>>,
+    /// Span trace for server-side dispatch, shared with whoever serves this
+    /// interface (an engine worker, a kernel/net serve loop).
+    tracer: Option<flexrpc_trace::SharedCallTrace>,
 }
 
 impl ServerInterface {
@@ -217,7 +220,20 @@ impl ServerInterface {
             reply_cap: 64,
             frames: vec![Vec::new(); n],
             reply_cache: None,
+            tracer: None,
         }
+    }
+
+    /// Attaches a shared span trace: every dispatch records a
+    /// [`Stage::Dispatch`](flexrpc_trace::Stage) span (detail = op index)
+    /// stamped on the trace's time source.
+    pub fn set_tracer(&mut self, tracer: flexrpc_trace::SharedCallTrace) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached span trace, if any.
+    pub fn tracer(&self) -> Option<&flexrpc_trace::SharedCallTrace> {
+        self.tracer.as_ref()
     }
 
     /// Enables at-most-once execution: tagged calls record their replies
@@ -308,8 +324,12 @@ impl ServerInterface {
         buf.reserve(self.reply_cap);
         let mut writer = AnyWriter::over(self.format, buf);
         let mut frame = std::mem::take(&mut self.frames[op_index]);
+        let t0 = self.tracer.as_ref().map(|t| (t.begin_call(), t.now_ns()));
         let result =
             self.dispatch_into(op_index, request, rights_in, &mut writer, rights_out, &mut frame);
+        if let (Some(t), Some((call, start))) = (&self.tracer, t0) {
+            t.record(call, flexrpc_trace::Stage::Dispatch, start, t.now_ns(), op_index as u64);
+        }
         self.frames[op_index] = frame;
         *reply = writer.into_bytes();
         self.reply_cap = self.reply_cap.max(reply.capacity());

@@ -20,6 +20,7 @@ use crate::client::ClientStub;
 use crate::error::{Error, ErrorKind};
 use crate::policy::CallOptions;
 use flexrpc_core::value::Value;
+use flexrpc_trace::{Counter, Histogram, MetricsRegistry, SharedCallTrace, Stage};
 
 /// One way to (re-)establish a binding: runs the full bind-time
 /// negotiation against a fixed endpoint and returns a ready stub.
@@ -27,7 +28,8 @@ use flexrpc_core::value::Value;
 /// connection pool slot) across rebinds.
 pub type EndpointFactory = Box<dyn FnMut() -> Result<ClientStub, Error> + Send>;
 
-/// Counters describing supervision activity.
+/// Counters describing supervision activity (a point-in-time copy of the
+/// supervisor's registry-backed counters; see [`Supervisor::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SupervisorStats {
     /// Disconnects observed on supervised calls.
@@ -41,6 +43,30 @@ pub struct SupervisorStats {
     pub recovery_ns_last: u64,
     /// The largest recovery latency seen.
     pub recovery_ns_max: u64,
+}
+
+/// The supervisor's live counters: registry-adoptable handles under the
+/// `supervisor.*` names. [`SupervisorStats`] is a snapshot of these.
+#[derive(Debug, Clone, Default)]
+struct SupervisorCounters {
+    disconnects: Counter,
+    rebinds: Counter,
+    replays: Counter,
+    recovery_ns_last: Counter,
+    recovery_ns_max: Counter,
+    recovery_ns: Histogram,
+}
+
+impl SupervisorCounters {
+    fn snapshot(&self) -> SupervisorStats {
+        SupervisorStats {
+            disconnects: self.disconnects.get(),
+            rebinds: self.rebinds.get(),
+            replays: self.replays.get(),
+            recovery_ns_last: self.recovery_ns_last.get(),
+            recovery_ns_max: self.recovery_ns_max.get(),
+        }
+    }
 }
 
 /// Builds a [`Supervisor`] from a prioritized endpoint list.
@@ -75,12 +101,9 @@ impl SupervisorBuilder {
         for (i, factory) in endpoints.iter_mut().enumerate() {
             match factory() {
                 Ok(stub) => {
-                    return Ok(Supervisor {
-                        endpoints,
-                        current: i,
-                        stub,
-                        stats: SupervisorStats { rebinds: 1, ..SupervisorStats::default() },
-                    })
+                    let counters = SupervisorCounters::default();
+                    counters.rebinds.inc();
+                    return Ok(Supervisor { endpoints, current: i, stub, counters, tracer: None });
                 }
                 Err(e) => last = Some(e),
             }
@@ -96,7 +119,8 @@ pub struct Supervisor {
     endpoints: Vec<EndpointFactory>,
     current: usize,
     stub: ClientStub,
-    stats: SupervisorStats,
+    counters: SupervisorCounters,
+    tracer: Option<SharedCallTrace>,
 }
 
 impl Supervisor {
@@ -121,9 +145,37 @@ impl Supervisor {
         self.current
     }
 
-    /// Supervision counters.
+    /// Supervision counters (a point-in-time copy of the registry-backed
+    /// handles).
     pub fn stats(&self) -> SupervisorStats {
-        self.stats
+        self.counters.snapshot()
+    }
+
+    /// Adopts this supervisor's counters into `registry` under the
+    /// `supervisor.*` names (`supervisor.disconnect`, `supervisor.rebind`,
+    /// `supervisor.replay`, `supervisor.recovery_ns_last`,
+    /// `supervisor.recovery_ns_max`, plus the `supervisor.recovery_ns`
+    /// latency histogram).
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("supervisor.disconnect", &self.counters.disconnects);
+        registry.adopt_counter("supervisor.rebind", &self.counters.rebinds);
+        registry.adopt_counter("supervisor.replay", &self.counters.replays);
+        registry.adopt_counter("supervisor.recovery_ns_last", &self.counters.recovery_ns_last);
+        registry.adopt_counter("supervisor.recovery_ns_max", &self.counters.recovery_ns_max);
+        registry.adopt_histogram("supervisor.recovery_ns", &self.counters.recovery_ns);
+    }
+
+    /// Attaches a shared span trace: failover episodes record
+    /// [`Stage::Failover`] (disconnect → recovered reply), each rebind a
+    /// [`Stage::Bind`] span, and each replayed call a [`Stage::Replay`]
+    /// span (detail = endpoint index tried).
+    pub fn set_tracer(&mut self, tracer: SharedCallTrace) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached span trace, if any.
+    pub fn tracer(&self) -> Option<&SharedCallTrace> {
+        self.tracer.as_ref()
     }
 
     /// A fresh call frame for an operation on the current binding.
@@ -160,7 +212,7 @@ impl Supervisor {
         options: &CallOptions,
         error: Error,
     ) -> Result<u32, Error> {
-        self.stats.disconnects += 1;
+        self.counters.disconnects.inc();
         // Replay license: `[idempotent]`, or an at-most-once tag that the
         // replay will reuse. Without either, surface the disconnect — the
         // caller decides whether a duplicate execution is acceptable.
@@ -171,10 +223,13 @@ impl Supervisor {
             return Err(error);
         }
         let t0 = self.stub.clock().map_or(0, |c| c.now_ns());
+        let failover_call = self.tracer.as_ref().map(|t| t.begin_call());
+        let fo_start = self.tracer.as_ref().map_or(0, |t| t.now_ns());
         let n = self.endpoints.len();
         let mut last = error;
         for step in 1..=n {
             let next = (self.current + step) % n;
+            let bind_start = self.tracer.as_ref().map_or(0, |t| t.now_ns());
             let mut stub = match (self.endpoints[next])() {
                 Ok(s) => s,
                 Err(e) => {
@@ -182,7 +237,10 @@ impl Supervisor {
                     continue;
                 }
             };
-            self.stats.rebinds += 1;
+            self.counters.rebinds.inc();
+            if let (Some(t), Some(call)) = (&self.tracer, failover_call) {
+                t.record(call, Stage::Bind, bind_start, t.now_ns(), next as u64);
+            }
             if let Some((binding, next_seq)) = amo {
                 // The failed logical call already consumed a sequence
                 // number; rewind by one so the replay carries the *same*
@@ -192,13 +250,22 @@ impl Supervisor {
                 let resume_seq = if tagged { next_seq.saturating_sub(1) } else { next_seq };
                 stub.resume_at_most_once(binding, resume_seq);
             }
-            self.stats.replays += 1;
-            match stub.call_with(name, frame, options) {
+            self.counters.replays.inc();
+            let replay_start = self.tracer.as_ref().map_or(0, |t| t.now_ns());
+            let outcome = stub.call_with(name, frame, options);
+            if let (Some(t), Some(call)) = (&self.tracer, failover_call) {
+                t.record(call, Stage::Replay, replay_start, t.now_ns(), next as u64);
+            }
+            match outcome {
                 Ok(status) => {
                     if let Some(c) = stub.clock() {
                         let dt = c.now_ns().saturating_sub(t0);
-                        self.stats.recovery_ns_last = dt;
-                        self.stats.recovery_ns_max = self.stats.recovery_ns_max.max(dt);
+                        self.counters.recovery_ns_last.set(dt);
+                        self.counters.recovery_ns_max.raise_to(dt);
+                        self.counters.recovery_ns.record(dt);
+                    }
+                    if let (Some(t), Some(call)) = (&self.tracer, failover_call) {
+                        t.record(call, Stage::Failover, fo_start, t.now_ns(), next as u64);
                     }
                     self.current = next;
                     self.stub = stub;
@@ -206,7 +273,7 @@ impl Supervisor {
                 }
                 Err(e) if e.kind() == ErrorKind::Disconnected => {
                     // This endpoint is down too; keep walking the list.
-                    self.stats.disconnects += 1;
+                    self.counters.disconnects.inc();
                     last = e;
                 }
                 Err(e) => {
@@ -228,7 +295,7 @@ impl std::fmt::Debug for Supervisor {
         f.debug_struct("Supervisor")
             .field("endpoints", &self.endpoints.len())
             .field("current", &self.current)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }

@@ -158,6 +158,42 @@ fn fused_fixed_size_call_allocates_nothing_when_warm() {
     }
 }
 
+/// The *traced* warm path allocates nothing either: spans record into the
+/// pre-allocated ring by plain stores, so asking for observability never
+/// costs an allocation per call. (The tracer itself — ring plus box — is
+/// allocated once, on the first traced call, inside the warm-up loop.)
+#[test]
+fn traced_fused_call_allocates_nothing_when_warm() {
+    use flexrpc_runtime::policy::CallOptions;
+
+    let _guard = audit_guard();
+    let mut stub = stub(SpecializeOptions::default(), WireFormat::Cdr);
+    let options = CallOptions::default().traced();
+    let mut frame = stub.new_frame("scale").expect("frame");
+    frame[0] = Value::U32(21);
+    frame[1] = Value::U64(7);
+    frame[2] = Value::Bool(true);
+
+    // Warm-up: installs the tracer (one-time allocations) and brings the
+    // scratch buffers to steady-state capacity.
+    for _ in 0..16 {
+        let status = stub.call_with("scale", &mut frame, &options).expect("call");
+        assert_eq!(status, 0);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        stub.call_with("scale", &mut frame, &options).expect("call");
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "traced warm call allocated {delta} times over 100 calls");
+
+    let trace = stub.trace().expect("tracer installed");
+    // Marshal, transport, and unmarshal spans for each of the 116 calls.
+    assert_eq!(trace.ring().total(), 116 * 3, "three spans per traced call");
+    assert_eq!(frame[3], Value::U32(42), "result survives the audit loop");
+}
+
 #[test]
 fn warm_call_allocation_audit_is_meaningful() {
     let _guard = audit_guard();

@@ -1,0 +1,400 @@
+//! The unified metrics plane: named counters and log2 histograms behind
+//! one registry, with a hand-rolled JSON snapshot.
+//!
+//! Design rule: components own their handles, the registry owns the
+//! *names*. A [`Counter`] is an `Arc<AtomicU64>`; a component creates it
+//! (or keeps one it always had) and the registry *adopts* the same handle
+//! under a stable dotted name. Old stats accessors keep reading the same
+//! storage, so nothing double-counts and no existing test changes
+//! semantics — the registry is a view, not a copy.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared monotonic (or gauge-style, via [`Counter::sub`]) counter.
+/// Cloning shares the underlying cell. All operations are relaxed atomics:
+/// counters are statistics, not synchronization.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter not (yet) registered anywhere.
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n`, returning the updated value (watermark call sites pair
+    /// this with [`Counter::raise_to`]).
+    #[inline]
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed).wrapping_add(n)
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts `n` (gauge-style counters: in-flight, queue depth).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `v` (watermark counters).
+    #[inline]
+    pub fn raise_to(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value (last-observation counters).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// True if both handles share one cell (registration checks in tests).
+    pub fn same_cell(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Number of histogram buckets: one for 0, one per power of two of `u64`.
+const HIST_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCells {
+    /// `buckets[0]` counts zeros; `buckets[i]` (i ≥ 1) counts values in
+    /// `[2^(i-1), 2^i)`.
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-size log2-bucketed histogram. Recording is three relaxed
+/// atomic adds and a `leading_zeros` — no float math, no allocation —
+/// which is all a hot path can afford and all a latency distribution
+/// needs at order-of-magnitude resolution.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramCells {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh histogram not (yet) registered anywhere.
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index for `value`: 0 for 0, else `floor(log2) + 1`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The smallest value landing in bucket `index`.
+    pub fn bucket_floor(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.buckets[Histogram::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values (mean = sum / count).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// True if both handles share the same cells.
+    pub fn same_cells(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// A point-in-time copy (non-empty buckets only).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((Histogram::bucket_floor(i), n))
+            })
+            .collect();
+        HistogramSnapshot { count: self.count(), sum: self.sum(), buckets }
+    }
+}
+
+/// A point-in-time histogram copy: `(bucket floor, count)` pairs in
+/// ascending floor order, plus totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded at snapshot time.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `(smallest value in bucket, observations)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The mean observation, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The registry: stable dotted names → live handles. Registration is
+/// adoption — the registry clones the handle's `Arc`, so reads through a
+/// snapshot see exactly what the owning component sees.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, creating it detached-from-nothing if this
+    /// is the first request. Cloned handles share the cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters.lock().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Registers an *existing* counter handle under `name` (the component
+    /// keeps its handle; the registry shares the cell). Re-adopting a name
+    /// rebinds it.
+    pub fn adopt_counter(&self, name: &str, counter: &Counter) {
+        self.counters.lock().insert(name.to_string(), counter.clone());
+    }
+
+    /// The histogram named `name`, creating it on first request.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms.lock().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Registers an existing histogram handle under `name`.
+    pub fn adopt_histogram(&self, name: &str, histogram: &Histogram) {
+        self.histograms.lock().insert(name.to_string(), histogram.clone());
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry: plain values, ordered by name
+/// (`BTreeMap`), so JSON export is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter's value at snapshot time (0 if never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram's snapshot, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Hand-rolled JSON:
+    /// `{"counters":{"name":value,…},"histograms":{"name":{"count":…,"sum":…,"buckets":[[floor,count],…]},…}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(name), value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                escape(name),
+                h.count,
+                h.sum
+            );
+            for (j, (floor, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{floor},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (names are dotted identifiers in practice,
+/// but the exporter must never emit malformed JSON).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_through_the_registry() {
+        let reg = MetricsRegistry::new();
+        let mine = Counter::detached();
+        mine.add(3);
+        reg.adopt_counter("engine.shed", &mine);
+        let theirs = reg.counter("engine.shed");
+        assert!(mine.same_cell(&theirs));
+        theirs.add(2);
+        assert_eq!(mine.get(), 5);
+        assert_eq!(reg.snapshot().counter("engine.shed"), 5);
+        assert_eq!(reg.snapshot().counter("never.registered"), 0);
+    }
+
+    #[test]
+    fn counter_gauge_ops() {
+        let c = Counter::detached();
+        c.add(10);
+        c.sub(4);
+        assert_eq!(c.get(), 6);
+        c.raise_to(3);
+        assert_eq!(c.get(), 6, "raise_to never lowers");
+        c.raise_to(9);
+        assert_eq!(c.get(), 9);
+        c.set(1);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+        assert_eq!(Histogram::bucket_floor(11), 1024);
+        // Floors and indices agree.
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_floor(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_totals() {
+        let h = Histogram::detached();
+        for v in [0u64, 1, 1, 2, 100, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1104);
+        assert_eq!(snap.mean(), 184);
+        let total: u64 = snap.buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, snap.count, "bucket counts sum to event count");
+        assert_eq!(snap.buckets[0], (0, 1), "one zero observation");
+        assert_eq!(snap.buckets[1], (1, 2), "two ones");
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_wellformed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").add(1);
+        let h = reg.histogram("lat.ns");
+        h.record(5);
+        h.record(9);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.first\":1,\"b.second\":2},\
+             \"histograms\":{\"lat.ns\":{\"count\":2,\"sum\":14,\"buckets\":[[4,1],[8,1]]}}}"
+        );
+        assert_eq!(json, reg.snapshot().to_json(), "stable across snapshots");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain.name"), "plain.name");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("a\nb"), "a\\u000ab");
+    }
+}

@@ -1,0 +1,154 @@
+//! Trace exporters: JSON-lines for machine diffing, chrome://tracing
+//! (trace-event format) for timeline rendering.
+//!
+//! Both sinks format integers only — timestamps stay exact nanoseconds (or
+//! exact microseconds with a fixed 3-digit nanosecond remainder for the
+//! Chrome format, which speaks microseconds), so a deterministic trace
+//! exports to a byte-identical string every run.
+
+use crate::span::TraceEvent;
+use std::fmt::Write as _;
+
+/// Something trace events can be drained into. `track` groups events from
+/// one recorder (a connection, the engine, a supervisor) onto one timeline
+/// row; events arrive oldest first within a track.
+pub trait TraceSink {
+    /// Receives one event on `track`.
+    fn event(&mut self, track: u64, ev: &TraceEvent);
+}
+
+/// One JSON object per line per event — the diff-friendly export, and the
+/// byte stream the determinism test compares.
+#[derive(Debug, Default)]
+pub struct JsonLinesSink {
+    buf: String,
+}
+
+impl JsonLinesSink {
+    /// An empty sink.
+    pub fn new() -> JsonLinesSink {
+        JsonLinesSink::default()
+    }
+
+    /// The accumulated lines.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the sink, returning the accumulated lines.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+impl TraceSink for JsonLinesSink {
+    fn event(&mut self, track: u64, ev: &TraceEvent) {
+        let _ = writeln!(
+            self.buf,
+            "{{\"track\":{},\"call\":{},\"stage\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"dur_ns\":{},\"detail\":{}}}",
+            track,
+            ev.call,
+            ev.stage.name(),
+            ev.start_ns,
+            ev.end_ns,
+            ev.dur_ns(),
+            ev.detail,
+        );
+    }
+}
+
+/// The Chrome trace-event format (`chrome://tracing`, Perfetto): a JSON
+/// array of complete (`"ph":"X"`) events. Load the output file directly in
+/// `chrome://tracing` and each track renders as one timeline row with the
+/// call's stages as nested spans.
+#[derive(Debug)]
+pub struct ChromeTraceSink {
+    buf: String,
+    any: bool,
+}
+
+impl Default for ChromeTraceSink {
+    fn default() -> ChromeTraceSink {
+        ChromeTraceSink { buf: String::from("[\n"), any: false }
+    }
+}
+
+impl ChromeTraceSink {
+    /// An empty sink.
+    pub fn new() -> ChromeTraceSink {
+        ChromeTraceSink::default()
+    }
+
+    /// Closes the JSON array and returns the document.
+    pub fn into_string(self) -> String {
+        let mut buf = self.buf;
+        buf.push_str("\n]\n");
+        buf
+    }
+}
+
+/// Formats nanoseconds as exact decimal microseconds (`123.456`): integer
+/// math only, so export is deterministic.
+fn write_us(buf: &mut String, ns: u64) {
+    let _ = write!(buf, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn event(&mut self, track: u64, ev: &TraceEvent) {
+        if self.any {
+            self.buf.push_str(",\n");
+        }
+        self.any = true;
+        let _ = write!(
+            self.buf,
+            "{{\"name\":\"{}\",\"cat\":\"rpc\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":",
+            ev.stage.name(),
+            track,
+        );
+        write_us(&mut self.buf, ev.start_ns);
+        self.buf.push_str(",\"dur\":");
+        write_us(&mut self.buf, ev.dur_ns());
+        let _ = write!(self.buf, ",\"args\":{{\"call\":{},\"detail\":{}}}}}", ev.call, ev.detail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+
+    fn ev(call: u64, stage: Stage, start: u64, end: u64, detail: u64) -> TraceEvent {
+        TraceEvent { call, stage, start_ns: start, end_ns: end, detail }
+    }
+
+    #[test]
+    fn json_lines_format() {
+        let mut sink = JsonLinesSink::new();
+        sink.event(7, &ev(0, Stage::Marshal, 100, 250, 64));
+        assert_eq!(
+            sink.as_str(),
+            "{\"track\":7,\"call\":0,\"stage\":\"marshal\",\"start_ns\":100,\
+             \"end_ns\":250,\"dur_ns\":150,\"detail\":64}\n"
+        );
+    }
+
+    #[test]
+    fn chrome_format_is_a_json_array_of_complete_events() {
+        let mut sink = ChromeTraceSink::new();
+        sink.event(1, &ev(0, Stage::Marshal, 1500, 2750, 64));
+        sink.event(1, &ev(0, Stage::Transport, 2750, 10_000, 0));
+        let doc = sink.into_string();
+        assert!(doc.starts_with("[\n"));
+        assert!(doc.ends_with("\n]\n"));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":1.500,\"dur\":1.250"), "exact µs with ns remainder: {doc}");
+        assert!(doc.contains("\"name\":\"transport\""));
+        assert_eq!(doc.matches("},\n{").count(), 1, "events comma-separated");
+    }
+
+    #[test]
+    fn empty_chrome_trace_is_valid() {
+        let doc = ChromeTraceSink::new().into_string();
+        assert_eq!(doc, "[\n\n]\n");
+    }
+}

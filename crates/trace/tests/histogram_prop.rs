@@ -1,0 +1,51 @@
+//! Property: across arbitrary value sequences, a histogram's per-bucket
+//! counts always sum to the number of recorded events, the sum matches,
+//! and every value lands in the bucket whose range contains it.
+
+use flexrpc_trace::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bucket_counts_sum_to_event_count(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let h = Histogram::detached();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let bucket_total: u64 = snap.buckets.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, snap.count);
+        let expected_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expected_sum);
+    }
+
+    #[test]
+    fn every_value_lands_in_its_log2_bucket(v in any::<u64>()) {
+        let i = Histogram::bucket_index(v);
+        let floor = Histogram::bucket_floor(i);
+        prop_assert!(floor <= v || (v == 0 && floor == 0));
+        if i < 64 {
+            let next_floor = Histogram::bucket_floor(i + 1);
+            prop_assert!(v < next_floor, "value {} below next bucket floor {}", v, next_floor);
+        }
+        // Recording exactly one value fills exactly that bucket.
+        let h = Histogram::detached();
+        h.record(v);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets.as_slice(), &[(floor, 1)]);
+    }
+
+    #[test]
+    fn small_value_mixes_keep_totals(zeros in 0u64..50, ones in 0u64..50, big in 0u64..50) {
+        let h = Histogram::detached();
+        for _ in 0..zeros { h.record(0); }
+        for _ in 0..ones { h.record(1); }
+        for _ in 0..big { h.record(1 << 40); }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, zeros + ones + big);
+        let bucket_total: u64 = snap.buckets.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, snap.count);
+        prop_assert_eq!(snap.sum, ones + big * (1 << 40));
+    }
+}

@@ -7,9 +7,11 @@
 #   BENCH_serve.json    — the serving-engine worker × client sweep
 #   BENCH_failover.json — duplicate suppression under a reply-loss storm
 #                         and supervised-failover recovery latency
+#   BENCH_trace.json    — per-stage call breakdown, deterministic wire
+#                         time, and the tracing-overhead ratio
 #
 # Run from anywhere inside the repo. Pass --check to also enforce the
-# specialization gate (fused ≥ unfused on both transports).
+# acceptance gates (fuse, failover, trace).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,4 +31,21 @@ cargo run -q --release -p flexrpc-bench --bin report -- serve --json BENCH_serve
 echo "== report failover ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- failover --json BENCH_failover.json "${CHECK[@]}"
 
-echo "wrote BENCH_fuse.json, BENCH_serve.json, and BENCH_failover.json" >&2
+echo "== report trace ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- trace --json BENCH_trace.json "${CHECK[@]}"
+
+# Every expected artifact must exist and be non-empty — a figure silently
+# skipped (e.g. by a typo in the selection list above) fails here, loudly,
+# instead of leaving EXPERIMENTS.md citing a stale file.
+missing=0
+for f in BENCH_fuse.json BENCH_serve.json BENCH_failover.json BENCH_trace.json; do
+  if [[ ! -s "$f" ]]; then
+    echo "ERROR: expected artifact $f is missing or empty" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  exit 1
+fi
+
+echo "wrote BENCH_fuse.json, BENCH_serve.json, BENCH_failover.json, and BENCH_trace.json" >&2

@@ -29,9 +29,14 @@ cargo run -q --release -p flexrpc-bench --bin report -- fuse --check
 echo "== report failover --check ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- failover --check
 
+# The observability gate: two identical sim runs export byte-identical
+# trace streams, and tracing a same-domain call costs at most 5%.
+echo "== report trace --check ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- trace --check
+
 # The examples are the documented API surface; an API redesign that
 # breaks them must fail here, not in a reader's terminal.
-for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix; do
+for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix trace_failover; do
   echo "== example: $ex ==" >&2
   cargo run -q --release --example "$ex" >/dev/null
 done

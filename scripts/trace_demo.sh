@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the traced supervised-failover example and leaves a Chrome-loadable
+# trace at target/trace.json: healthy calls on the engine primary, the
+# crash, the rebind to the Sun RPC standby, and the licensed replay — all
+# on deterministic sim-clock timestamps. Load the file in chrome://tracing
+# or https://ui.perfetto.dev.
+#
+# Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q --release --example trace_failover
+
+if [[ ! -s target/trace.json ]]; then
+  echo "ERROR: example did not write target/trace.json" >&2
+  exit 1
+fi

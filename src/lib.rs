@@ -21,6 +21,7 @@ pub use flexrpc_net as net;
 pub use flexrpc_nfs as nfs;
 pub use flexrpc_pipes as pipes;
 pub use flexrpc_runtime as runtime;
+pub use flexrpc_trace as trace;
 
 // The unified error taxonomy, re-exported at the crate root: every layer's
 // failure folds into one `Error` with an `ErrorKind` that tells a caller
@@ -47,6 +48,10 @@ pub mod prelude {
     pub use crate::runtime::{
         CallOptions, CallTag, ClientStub, Error, ErrorKind, ReplyCache, ReplyCacheStats,
         RetryPolicy, ServerInterface, Supervisor, SupervisorStats,
+    };
+    pub use crate::trace::{
+        CallTrace, ChromeTraceSink, Counter, Histogram, JsonLinesSink, MetricsRegistry,
+        MetricsSnapshot, SharedCallTrace, Stage, TimeSource, TraceSink,
     };
     pub use flexrpc_clock::{Fault, FaultInjector, SimClock};
     // The synchronization handles server construction needs (a `Loopback`
