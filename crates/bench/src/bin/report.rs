@@ -2,17 +2,21 @@
 //!
 //! Usage: `report [figure...] [--json PATH] [--check]`
 //! where figure ∈ {fig2, fig6, fig7, fig10, fig11, fig12, port, ablate,
-//! serve, shed, fuse, failover, trace}; no
+//! serve, shed, fuse, failover, trace, stream}; no
 //! arguments runs everything. `--json` additionally writes the numbers as
-//! JSON (used to refresh EXPERIMENTS.md). `--check` exits nonzero if a
+//! JSON (used to refresh EXPERIMENTS.md), together with a snapshot of the
+//! metrics registry the experiments populated (counters and log2
+//! histograms). `--check` exits nonzero if a
 //! figure's acceptance bar is missed (used by CI for `fuse` — the fused
 //! path must not lose to the unfused one — for `failover`: exact duplicate
-//! suppression and bounded, deterministic recovery — and for `trace`:
-//! byte-identical deterministic exports and a bounded tracing overhead).
+//! suppression and bounded, deterministic recovery — for `trace`:
+//! byte-identical deterministic exports and a bounded tracing overhead —
+//! and for `stream`: deterministic credit stalls that hit their closed-form
+//! prediction and zero lost or duplicated frames under injected `Close`).
 
 use flexrpc_bench::{
     ablate, failover, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, serve, shed,
-    trace,
+    stream, trace,
 };
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_kernel::{NameMode, TrustLevel};
@@ -20,12 +24,15 @@ use flexrpc_marshal::WireFormat;
 use flexrpc_nfs::client::ClientVariant;
 use flexrpc_pipes::fbuf::FbufMode;
 use flexrpc_pipes::server::ReadPresentation;
+use flexrpc_trace::{MetricsRegistry, MetricsSnapshot};
 use std::collections::BTreeMap;
 
 #[derive(Default)]
 struct Report {
     /// figure → row label → value (ns or MB/s as noted per figure).
     figures: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Snapshot of the metrics registry the experiments populated.
+    metrics: Option<MetricsSnapshot>,
 }
 
 impl Report {
@@ -60,7 +67,33 @@ impl Report {
             }
             out.push_str("\n    }");
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  }");
+        if let Some(snap) = &self.metrics {
+            out.push_str(",\n  \"metrics\": {\n    \"counters\": {");
+            for (i, (name, value)) in snap.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n      \"{}\": {}", esc(name), value));
+            }
+            out.push_str("\n    },\n    \"histograms\": {");
+            for (i, (name, h)) in snap.histograms.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let buckets: Vec<String> =
+                    h.buckets.iter().map(|(lo, n)| format!("[{lo}, {n}]")).collect();
+                out.push_str(&format!(
+                    "\n      \"{}\": {{ \"count\": {}, \"sum\": {}, \"buckets\": [{}] }}",
+                    esc(name),
+                    h.count,
+                    h.sum,
+                    buckets.join(", ")
+                ));
+            }
+            out.push_str("\n    }\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -73,13 +106,15 @@ fn main() {
         .map(|s| s.as_str())
         .filter(|s| {
             s.starts_with("fig")
-                || ["port", "ablate", "serve", "shed", "fuse", "failover", "trace"].contains(s)
+                || ["port", "ablate", "serve", "shed", "fuse", "failover", "trace", "stream"]
+                    .contains(s)
         })
         .collect();
     let check = args.iter().any(|a| a == "--check");
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
     let mut report = Report::default();
+    let metrics = MetricsRegistry::new();
     if want("fig2") {
         run_fig2(&mut report);
     }
@@ -119,7 +154,14 @@ fn main() {
     if want("trace") {
         run_trace(&mut report, check);
     }
+    if want("stream") {
+        run_stream(&mut report, &metrics, check);
+    }
 
+    let snap = metrics.snapshot();
+    if !snap.counters.is_empty() || !snap.histograms.is_empty() {
+        report.metrics = Some(snap);
+    }
     if let Some(path) = json_path {
         std::fs::write(&path, report.to_json()).expect("json written");
         println!("\nwrote {path}");
@@ -354,6 +396,116 @@ fn run_trace(report: &mut Report, check: bool) {
         } else {
             for f in &failures {
                 eprintln!("  check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_stream(report: &mut Report, metrics: &MetricsRegistry, check: bool) {
+    let mut failures = Vec::new();
+
+    let cfg = stream::feed_config();
+    println!("\n== Streams: broadcast edit feed — [stream] publisher, [oneway] fan-out ==");
+    let t0 = std::time::Instant::now();
+    let r = stream::edit_feed(Some(metrics));
+    let wall_ms = t0.elapsed().as_nanos() as f64 / 1e6;
+    println!(
+        "  {} subscribers × {} edits (window {} = min({}, {}), reply lost every {}th frame)",
+        r.subscribers, r.edits, r.window, cfg.client_window, cfg.server_window, cfg.close_every
+    );
+    println!(
+        "  {} callbacks in {:.3} sim-ms: {:.0} callbacks/sim-s  ({:.0}/wall-s, {wall_ms:.1} ms)",
+        r.callbacks_delivered,
+        r.sim_ns as f64 / 1e6,
+        r.callbacks_per_sec,
+        r.callbacks_delivered as f64 / (wall_ms / 1e3)
+    );
+    println!(
+        "  lost {}  duplicated {}  executions {}  credit stalls {} ({} sim-ns waited)",
+        r.lost, r.duplicated, r.executions, r.credit_stalls, r.credits_waited_ns
+    );
+    report.put("stream", "editfeed-subscribers", r.subscribers as f64);
+    report.put("stream", "editfeed-window", r.window as f64);
+    report.put("stream", "editfeed-callbacks-delivered", r.callbacks_delivered as f64);
+    report.put("stream", "editfeed-callbacks-per-sim-sec", r.callbacks_per_sec);
+    report.put(
+        "stream",
+        "editfeed-callbacks-per-wall-sec",
+        r.callbacks_delivered as f64 / (wall_ms / 1e3),
+    );
+    report.put("stream", "editfeed-lost", r.lost as f64);
+    report.put("stream", "editfeed-duplicated", r.duplicated as f64);
+    report.put("stream", "editfeed-credit-stalls", r.credit_stalls as f64);
+    report.put("stream", "editfeed-credits-waited-ns", r.credits_waited_ns as f64);
+    if r.lost != 0 || r.duplicated != 0 {
+        failures.push(format!("edit feed lost {} / duplicated {} frames", r.lost, r.duplicated));
+    }
+    if r.executions != r.edits as u64 {
+        failures.push(format!("edit feed executed {} times for {} edits", r.executions, r.edits));
+    }
+    if r.callbacks_delivered != (r.edits * r.subscribers) as u64 {
+        failures.push(format!(
+            "edit feed delivered {} callbacks, expected {}",
+            r.callbacks_delivered,
+            r.edits * r.subscribers
+        ));
+    }
+    if r.window != cfg.client_window.min(cfg.server_window) {
+        failures.push(format!("edit feed negotiated window {}, expected the minimum", r.window));
+    }
+    let rerun = stream::edit_feed(None);
+    let deterministic = rerun == r;
+    println!("  rerun identical: {deterministic}  (sim-time numbers, no noise)");
+    if !deterministic {
+        failures.push("two identical edit-feed runs disagreed".to_string());
+    }
+
+    println!("\n== Streams: remote file service — credit stalls and at-most-once writes ==");
+    let e = stream::file_exact();
+    println!(
+        "  fault-free: {} frames, window {}, drain {} ns — stalled {} sim-ns (predicted {})",
+        e.frames,
+        e.window,
+        stream::FILE_DRAIN_NS,
+        e.credits_waited_ns,
+        e.predicted_stall_ns
+    );
+    report.put("stream", "file-exact-waited-ns", e.credits_waited_ns as f64);
+    report.put("stream", "file-exact-predicted-ns", e.predicted_stall_ns as f64);
+    if e.credits_waited_ns != e.predicted_stall_ns {
+        failures.push(format!(
+            "fault-free stall {} ns missed the closed form {} ns",
+            e.credits_waited_ns, e.predicted_stall_ns
+        ));
+    }
+    if e.sim_ns != e.frames as u64 * stream::FILE_DRAIN_NS {
+        failures.push(format!(
+            "drained stream occupied {} sim-ns, expected frames*drain = {}",
+            e.sim_ns,
+            e.frames as u64 * stream::FILE_DRAIN_NS
+        ));
+    }
+    let f = stream::file_faulted();
+    println!(
+        "  reply-loss: {} Close faults over {} frames — contents identical: {}, {} executions",
+        f.faults, f.frames, f.contents_ok, f.executions
+    );
+    report.put("stream", "file-faulted-close-faults", f.faults as f64);
+    report.put("stream", "file-faulted-executions", f.executions as f64);
+    if !f.contents_ok || f.executions != f.frames as u64 {
+        failures.push(format!(
+            "faulted file stream: contents_ok={}, {} executions for {} frames",
+            f.contents_ok, f.executions, f.frames
+        ));
+    }
+
+    if check {
+        if failures.is_empty() {
+            println!("  check: ok");
+        } else {
+            for fail in &failures {
+                eprintln!("  check FAILED: {fail}");
             }
             std::process::exit(1);
         }

@@ -17,6 +17,7 @@ pub mod fuse;
 pub mod port;
 pub mod serve;
 pub mod shed;
+pub mod stream;
 pub mod trace;
 
 /// Measures `f` with a simple best-of-trimmed-mean loop (the `report`

@@ -14,7 +14,7 @@
 //! [`CoreError::BadAnnotation`] or [`CoreError::ContractViolation`].
 
 use crate::ir::{Interface, Module, ParamDir, Type};
-use crate::present::{AllocSemantics, DeallocPolicy, InterfacePresentation, Trust};
+use crate::present::{AllocSemantics, CallShape, DeallocPolicy, InterfacePresentation, Trust};
 use crate::{CoreError, Result};
 
 /// One presentation attribute, as spelled inside `[...]` in a PDL file.
@@ -50,6 +50,12 @@ pub enum Attr {
     Leaky,
     /// `[unprotected]` — concede integrity too (requires `leaky`).
     Unprotected,
+    /// `[oneway]` — fire-and-forget notification: the caller never waits
+    /// for a reply. Requires a void result and no out-direction parameters.
+    Oneway,
+    /// `[stream(window)]` — credit-based flow-controlled frame stream with
+    /// the given declared window. Same shape requirements as `oneway`.
+    Stream(u32),
 }
 
 impl Attr {
@@ -70,6 +76,8 @@ impl Attr {
             Attr::NonUnique => "nonunique".into(),
             Attr::Leaky => "leaky".into(),
             Attr::Unprotected => "unprotected".into(),
+            Attr::Oneway => "oneway".into(),
+            Attr::Stream(w) => format!("stream({w})"),
         }
     }
 }
@@ -186,6 +194,20 @@ impl PdlFile {
                 match attr {
                     Attr::CommStatus => op_pres.comm_status = true,
                     Attr::Idempotent => op_pres.idempotent = true,
+                    Attr::Oneway => {
+                        check_shape_target(attr, op, op_pres)?;
+                        op_pres.call_shape = CallShape::Oneway;
+                    }
+                    Attr::Stream(window) => {
+                        if *window == 0 {
+                            return Err(CoreError::BadAnnotation {
+                                attr: attr.spelling(),
+                                why: "stream window must be at least 1".into(),
+                            });
+                        }
+                        check_shape_target(attr, op, op_pres)?;
+                        op_pres.call_shape = CallShape::Stream { window: *window };
+                    }
                     other => {
                         return Err(CoreError::BadAnnotation {
                             attr: other.spelling(),
@@ -252,6 +274,37 @@ impl PdlFile {
         }
         Ok(())
     }
+}
+
+/// A non-unary call shape only fits operations that never return anything:
+/// the caller stops waiting for a reply, so any result or out-direction
+/// parameter would silently vanish — a wire-contract change, which PDL
+/// application must reject, not paper over.
+fn check_shape_target(
+    attr: &Attr,
+    op: &crate::ir::Operation,
+    op_pres: &crate::present::OpPresentation,
+) -> Result<()> {
+    let bad = |why: String| Err(CoreError::BadAnnotation { attr: attr.spelling(), why });
+    if op.ret != Type::Void {
+        return bad(format!(
+            "operation `{}` returns a value; only void operations can drop the reply wait",
+            op.name
+        ));
+    }
+    if let Some(p) = op.params.iter().find(|p| p.dir.is_out()) {
+        return bad(format!(
+            "operation `{}` has out-direction parameter `{}`; a one-way/stream call has no reply to carry it",
+            op.name, p.name
+        ));
+    }
+    if op_pres.call_shape != CallShape::Unary {
+        return bad(format!(
+            "operation `{}` already declared call shape `{:?}`",
+            op.name, op_pres.call_shape
+        ));
+    }
+    Ok(())
 }
 
 // Small extension so error messages can name the op without borrowing fights.
@@ -379,7 +432,12 @@ fn apply_param_attr(
             }
             p.nonunique = true;
         }
-        Attr::CommStatus | Attr::Idempotent | Attr::Leaky | Attr::Unprotected => {
+        Attr::CommStatus
+        | Attr::Idempotent
+        | Attr::Leaky
+        | Attr::Unprotected
+        | Attr::Oneway
+        | Attr::Stream(_) => {
             return bad("not a parameter-level attribute");
         }
     }
@@ -615,5 +673,75 @@ mod tests {
     fn spelling_roundtrip() {
         assert_eq!(Attr::DeallocNever.spelling(), "dealloc(never)");
         assert_eq!(Attr::LengthIs("n".into()).spelling(), "length_is(n)");
+        assert_eq!(Attr::Oneway.spelling(), "oneway");
+        assert_eq!(Attr::Stream(64).spelling(), "stream(64)");
+    }
+
+    #[test]
+    fn oneway_and_stream_set_call_shape() {
+        let (m, pres) = base();
+        let pdl = fileio_pdl(vec![OpAnnot {
+            op: "write".into(),
+            op_attrs: vec![Attr::Stream(16)],
+            params: vec![],
+        }]);
+        let out = apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).unwrap();
+        assert_eq!(out.op("write").unwrap().call_shape, CallShape::Stream { window: 16 });
+        assert_eq!(out.op("read").unwrap().call_shape, CallShape::Unary, "only the annotated op");
+
+        let pdl = fileio_pdl(vec![OpAnnot {
+            op: "write".into(),
+            op_attrs: vec![Attr::Oneway],
+            params: vec![],
+        }]);
+        let out = apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).unwrap();
+        assert_eq!(out.op("write").unwrap().call_shape, CallShape::Oneway);
+    }
+
+    #[test]
+    fn call_shape_rejects_value_returning_ops() {
+        // `read` returns sequence<octet>: dropping the reply wait would
+        // lose the result, which is a wire-contract change.
+        let (m, pres) = base();
+        for attr in [Attr::Oneway, Attr::Stream(8)] {
+            let pdl = fileio_pdl(vec![OpAnnot {
+                op: "read".into(),
+                op_attrs: vec![attr],
+                params: vec![],
+            }]);
+            let err = apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).unwrap_err();
+            assert!(matches!(err, CoreError::BadAnnotation { .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn call_shape_rejects_zero_window_and_redeclaration() {
+        let (m, pres) = base();
+        let pdl = fileio_pdl(vec![OpAnnot {
+            op: "write".into(),
+            op_attrs: vec![Attr::Stream(0)],
+            params: vec![],
+        }]);
+        let err = apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).unwrap_err();
+        assert!(matches!(err, CoreError::BadAnnotation { .. }));
+
+        let pdl = fileio_pdl(vec![OpAnnot {
+            op: "write".into(),
+            op_attrs: vec![Attr::Oneway, Attr::Stream(8)],
+            params: vec![],
+        }]);
+        let err = apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).unwrap_err();
+        assert!(matches!(err, CoreError::BadAnnotation { .. }), "shape declared twice");
+    }
+
+    #[test]
+    fn call_shape_is_op_level_only() {
+        let (m, pres) = base();
+        let pdl = fileio_pdl(vec![OpAnnot {
+            op: "write".into(),
+            op_attrs: vec![],
+            params: vec![ParamAnnot { param: "data".into(), attrs: vec![Attr::Stream(4)] }],
+        }]);
+        assert!(apply_pdl(&m, m.interface("FileIO").unwrap(), &pres, &pdl).is_err());
     }
 }

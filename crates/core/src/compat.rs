@@ -9,7 +9,7 @@
 //! pure functions are that derivation; `flexrpc-runtime` evaluates them once
 //! at bind time and bakes the result into the binding.
 
-use crate::present::{AllocSemantics, ParamPresentation};
+use crate::present::{AllocSemantics, CallShape, ParamPresentation};
 
 /// What the binding must do with an `in`-direction payload parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,6 +200,28 @@ pub fn out_flexible_costs(client_wants_own_buffer: bool, server_has_own_buffer: 
     }
 }
 
+/// Negotiates the effective call shape of one operation from the two
+/// endpoints' independently declared shapes, exactly as allocation matching
+/// above: each side states what it expects, the binding derives the
+/// contract once at bind time.
+///
+/// Both unary → unary. Both one-way → one-way. Both streaming → a stream
+/// whose effective window is the *min* of the two declarations (neither
+/// side can be forced to buffer more frames than it offered). A mismatch —
+/// one side expecting a reply the other will never send, or frames the
+/// other will not flow-control — is a contract violation, so the bind
+/// fails: `None`.
+pub fn negotiate_call_shape(client: CallShape, server: CallShape) -> Option<CallShape> {
+    match (client, server) {
+        (CallShape::Unary, CallShape::Unary) => Some(CallShape::Unary),
+        (CallShape::Oneway, CallShape::Oneway) => Some(CallShape::Oneway),
+        (CallShape::Stream { window: a }, CallShape::Stream { window: b }) => {
+            Some(CallShape::Stream { window: a.min(b) })
+        }
+        _ => None,
+    }
+}
+
 impl OutCosts {
     /// Total buffer-sized copies, whoever performs them.
     pub fn total_copies(&self) -> u32 {
@@ -322,6 +344,27 @@ mod tests {
         assert_eq!(flex, 1);
         assert_eq!(sa, flex + 1, "CORBA-fixed also re-buffers on the server side");
         assert_eq!(ca, flex);
+    }
+
+    #[test]
+    fn call_shape_negotiation_matrix() {
+        use CallShape::*;
+        assert_eq!(negotiate_call_shape(Unary, Unary), Some(Unary));
+        assert_eq!(negotiate_call_shape(Oneway, Oneway), Some(Oneway));
+        assert_eq!(
+            negotiate_call_shape(Stream { window: 8 }, Stream { window: 32 }),
+            Some(Stream { window: 8 }),
+            "effective window is the min of the declarations"
+        );
+        assert_eq!(
+            negotiate_call_shape(Stream { window: 32 }, Stream { window: 8 }),
+            Some(Stream { window: 8 })
+        );
+        // Any shape mismatch fails the bind.
+        assert_eq!(negotiate_call_shape(Unary, Oneway), None);
+        assert_eq!(negotiate_call_shape(Oneway, Unary), None);
+        assert_eq!(negotiate_call_shape(Unary, Stream { window: 4 }), None);
+        assert_eq!(negotiate_call_shape(Stream { window: 4 }, Oneway), None);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod value;
 pub use error::CoreError;
 pub use fuse::SpecializeOptions;
 pub use ir::{Interface, Module, Operation, Param, ParamDir, Type};
-pub use present::{InterfacePresentation, OpPresentation, ParamPresentation};
+pub use present::{CallShape, InterfacePresentation, OpPresentation, ParamPresentation};
 pub use program::{CompiledInterface, CompiledOp, StubProgram};
 pub use sig::WireSignature;
 pub use value::Value;

@@ -96,6 +96,45 @@ impl ParamPresentation {
     }
 }
 
+/// The call model of one operation — another contract term negotiated at
+/// bind time from interface annotations, exactly like allocation or trust.
+/// The wire encoding of one message never changes; what changes is whether
+/// the caller waits for a reply and how many messages may be in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum CallShape {
+    /// Ordinary request/reply (the default everywhere).
+    #[default]
+    Unary,
+    /// `[oneway]`: fire-and-forget notification. No reply slot is
+    /// allocated and the caller never waits on an XID; at-most-once tags
+    /// are still honored so duplicates are suppressed server-side.
+    Oneway,
+    /// `[stream(window)]`: a credit-based flow-controlled frame stream.
+    /// The sender may have at most `window` unconsumed frames outstanding;
+    /// the receiver replenishes credits as it drains.
+    Stream {
+        /// Maximum unconsumed frames in flight, as declared (≥ 1). The
+        /// *effective* window is negotiated at bind time: the min of the
+        /// two endpoints' declarations.
+        window: u32,
+    },
+}
+
+impl CallShape {
+    /// True for any non-unary shape.
+    pub fn is_streaming(&self) -> bool {
+        !matches!(self, CallShape::Unary)
+    }
+
+    /// The declared window for stream shapes (`None` otherwise).
+    pub fn window(&self) -> Option<u32> {
+        match self {
+            CallShape::Stream { window } => Some(*window),
+            _ => None,
+        }
+    }
+}
+
 /// Presentation attributes of one operation.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct OpPresentation {
@@ -110,6 +149,10 @@ pub struct OpPresentation {
     /// retry policies refuse to resend operations without it. Like every
     /// presentation attribute, this never changes the wire signature.
     pub idempotent: bool,
+    /// The call model (`[oneway]` / `[stream(window)]`). Part of the
+    /// presentation fingerprint, so bindings with different shapes compile
+    /// to distinct cached programs.
+    pub call_shape: CallShape,
 }
 
 /// Presentation of an entire interface, for one endpoint.
@@ -200,6 +243,9 @@ fn default_op(module: &Module, op: &Operation) -> Result<OpPresentation> {
         comm_status: module.dialect != Dialect::Corba,
         // No dialect promises idempotency by default; a PDL must say so.
         idempotent: false,
+        // Every dialect defaults to request/reply; `[oneway]` / `[stream]`
+        // must be declared.
+        call_shape: CallShape::Unary,
     })
 }
 
@@ -307,5 +353,26 @@ mod tests {
         let mut d = a.clone();
         d.op_mut("read").unwrap().result.dealloc = DeallocPolicy::Never;
         assert_ne!(a.fingerprint(), d.fingerprint(), "per-param attributes too");
+
+        let mut e = a.clone();
+        e.op_mut("write").unwrap().call_shape = CallShape::Stream { window: 8 };
+        assert_ne!(a.fingerprint(), e.fingerprint(), "call shape is part of identity");
+        let mut f = a.clone();
+        f.op_mut("write").unwrap().call_shape = CallShape::Stream { window: 16 };
+        assert_ne!(e.fingerprint(), f.fingerprint(), "window width too");
+    }
+
+    #[test]
+    fn call_shape_defaults_and_accessors() {
+        let m = fileio_example();
+        let iface = m.interface("FileIO").unwrap();
+        let pres = InterfacePresentation::default_for(&m, iface).unwrap();
+        assert_eq!(pres.op("read").unwrap().call_shape, CallShape::Unary);
+        assert!(!CallShape::Unary.is_streaming());
+        assert!(CallShape::Oneway.is_streaming());
+        assert!(CallShape::Stream { window: 4 }.is_streaming());
+        assert_eq!(CallShape::Unary.window(), None);
+        assert_eq!(CallShape::Oneway.window(), None);
+        assert_eq!(CallShape::Stream { window: 4 }.window(), Some(4));
     }
 }

@@ -339,6 +339,11 @@ pub struct CompiledOp {
     /// Whether the operation declared `[idempotent]` — the license a retry
     /// policy needs before it may resend the call.
     pub idempotent: bool,
+    /// The declared call shape (`[oneway]` / `[stream(window)]`). Reply
+    /// programs are still compiled — the wire contract is unchanged — but
+    /// the runtime consults this to pick the notify/stream paths and to
+    /// negotiate the effective window at bind time.
+    pub call_shape: crate::present::CallShape,
 }
 
 impl CompiledOp {
@@ -623,6 +628,7 @@ fn compile_op(
         sink_params,
         comm_status: pres.comm_status,
         idempotent: pres.idempotent,
+        call_shape: pres.call_shape,
     })
 }
 

@@ -21,9 +21,10 @@ use crate::cache::{ProgramCache, ProgramKey};
 use crate::queue::{BoundedQueue, PushRefusal};
 use crate::stats::{EngineCounters, EngineStatsSnapshot};
 use flexrpc_clock::{Fault, FaultInjector, SimClock};
+use flexrpc_core::compat::negotiate_call_shape;
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_core::ir::Module;
-use flexrpc_core::present::{InterfacePresentation, Trust};
+use flexrpc_core::present::{CallShape, InterfacePresentation, Trust};
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
 use flexrpc_marshal::WireFormat;
 use flexrpc_runtime::policy::{CallControl, CallOptions, CallTag};
@@ -60,6 +61,11 @@ pub enum EngineError {
     /// The circuit breaker is open: the engine judged itself sick and
     /// refuses admission so clients fail over instead of piling on.
     Unhealthy,
+    /// Bind-time call-shape negotiation failed: the two ends declare
+    /// incompatible shapes for an operation (e.g. `[oneway]` against
+    /// unary, or `[stream]` against `[oneway]`). Fix the presentations;
+    /// no retry helps.
+    ShapeMismatch(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -74,6 +80,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Dropped => write!(f, "submission dropped (induced fault)"),
             EngineError::Disconnected(why) => write!(f, "engine connection lost: {why}"),
             EngineError::Unhealthy => write!(f, "engine circuit breaker open"),
+            EngineError::ShapeMismatch(why) => write!(f, "call-shape mismatch: {why}"),
         }
     }
 }
@@ -102,6 +109,7 @@ impl From<EngineError> for flexrpc_runtime::Error {
             // A crashed engine and an open breaker read the same to a
             // supervisor: this binding is gone, fail over.
             EngineError::Disconnected(_) | EngineError::Unhealthy => ErrorKind::Disconnected,
+            EngineError::ShapeMismatch(_) => ErrorKind::ContractViolation,
             EngineError::UnknownService(_)
             | EngineError::DuplicateService(_)
             | EngineError::Compile(_) => ErrorKind::Fatal,
@@ -647,6 +655,7 @@ impl Engine {
             engine: Arc::clone(self),
             service: service_name.to_owned(),
             client: None,
+            client_shapes: None,
             options: CallOptions::default(),
         }
     }
@@ -856,6 +865,9 @@ pub struct ConnectBuilder {
     engine: Arc<Engine>,
     service: String,
     client: Option<ClientInfo>,
+    /// The client's per-operation call shapes, when it declared a full
+    /// presentation — the client half of bind-time shape negotiation.
+    client_shapes: Option<Vec<(String, CallShape)>>,
     options: CallOptions,
 }
 
@@ -864,6 +876,19 @@ impl ConnectBuilder {
     /// service's own presentation (a same-presentation binding).
     pub fn client(mut self, client: ClientInfo) -> ConnectBuilder {
         self.client = Some(client);
+        self
+    }
+
+    /// Declares the client's full presentation: sets the combination's
+    /// client half *and* submits its per-operation call shapes (`[oneway]`,
+    /// `[stream(N)]`) for bind-time negotiation. Establishment fails with
+    /// [`EngineError::ShapeMismatch`] if the two ends disagree on any
+    /// operation's shape; stream windows settle to the minimum of the two
+    /// declarations ([`negotiate_call_shape`]).
+    pub fn client_presentation(mut self, pres: &InterfacePresentation) -> ConnectBuilder {
+        self.client = Some(ClientInfo::of(pres));
+        self.client_shapes =
+            Some(pres.ops.iter().map(|(name, op)| (name.clone(), op.call_shape)).collect());
         self
     }
 
@@ -898,6 +923,33 @@ impl ConnectBuilder {
             None => ClientInfo::of(&self.engine.service(&self.service)?.presentation),
         };
         let pool = self.engine.pool_for(&self.service, client)?;
+        // Shape negotiation is part of the bind, not of any call: every
+        // operation's effective shape (and stream window) is settled here,
+        // once, deterministically. A client that declared no shapes accepts
+        // the server's — the same-presentation binding the default client
+        // half already implies.
+        let shapes: HashMap<String, CallShape> = match &self.client_shapes {
+            None => pool.compiled().ops.iter().map(|o| (o.name.clone(), o.call_shape)).collect(),
+            Some(client_shapes) => {
+                let mut negotiated = HashMap::new();
+                for (name, client_shape) in client_shapes {
+                    let server_shape =
+                        pool.compiled().op(name).map(|o| o.call_shape).unwrap_or_default();
+                    match negotiate_call_shape(*client_shape, server_shape) {
+                        Some(shape) => {
+                            negotiated.insert(name.clone(), shape);
+                        }
+                        None => {
+                            return Err(EngineError::ShapeMismatch(format!(
+                                "operation `{name}`: client declares {client_shape:?}, \
+                                 server declares {server_shape:?}"
+                            )))
+                        }
+                    }
+                }
+                negotiated
+            }
+        };
         if let (Some(t), Some(call)) = (&trace, bind_call) {
             let now = self.engine.clock.now_ns();
             let compiled = self.engine.cache.compilations() - compilations_before;
@@ -907,7 +959,7 @@ impl ConnectBuilder {
             }
         }
         self.engine.counters.connections.inc();
-        Ok(EngineConnection { engine: self.engine, pool, options: self.options, trace })
+        Ok(EngineConnection { engine: self.engine, pool, options: self.options, trace, shapes })
     }
 }
 
@@ -938,6 +990,10 @@ pub struct EngineConnection {
     /// Server-side span trace for this connection's calls, present when
     /// the connection was established with [`CallOptions::traced`].
     trace: Option<SharedCallTrace>,
+    /// Per-operation call shapes settled at bind time
+    /// ([`ConnectBuilder::client_presentation`]). Stream windows here are
+    /// the *negotiated* minima, not either end's declaration.
+    shapes: HashMap<String, CallShape>,
 }
 
 impl EngineConnection {
@@ -1013,6 +1069,26 @@ impl EngineConnection {
     pub fn trace(&self) -> Option<&SharedCallTrace> {
         self.trace.as_ref()
     }
+
+    /// The call shape settled for `op` at bind time: both ends' shape
+    /// declarations reconciled, stream windows at their negotiated minimum.
+    /// `None` for an operation the bind never saw.
+    pub fn negotiated_shape(&self, op: &str) -> Option<CallShape> {
+        self.shapes.get(op).copied()
+    }
+}
+
+/// Folds engine admission failures into the runtime's error taxonomy —
+/// shared by the unary and one-way transport paths.
+fn admission_error(e: EngineError) -> RpcError {
+    match e {
+        EngineError::Overloaded => RpcError::Overloaded,
+        EngineError::Closed => RpcError::Cancelled,
+        EngineError::Dropped => RpcError::Transport("submission dropped (induced fault)".into()),
+        EngineError::Disconnected(why) => RpcError::Disconnected(why),
+        EngineError::Unhealthy => RpcError::Disconnected("engine circuit breaker open".into()),
+        other => RpcError::Transport(other.to_string()),
+    }
 }
 
 impl Transport for EngineConnection {
@@ -1040,26 +1116,33 @@ impl Transport for EngineConnection {
         // connection-level one; either bounds the queue dwell, the
         // execution, and the ticket wait.
         let deadline_ns = ctl.deadline_ns.or_else(|| self.connection_deadline());
-        let ticket = self.submit_tagged(op.index, request, rights, deadline_ns, ctl.tag).map_err(
-            |e| match e {
-                EngineError::Overloaded => RpcError::Overloaded,
-                EngineError::Closed => RpcError::Cancelled,
-                EngineError::Dropped => {
-                    RpcError::Transport("submission dropped (induced fault)".into())
-                }
-                EngineError::Disconnected(why) => RpcError::Disconnected(why),
-                EngineError::Unhealthy => {
-                    RpcError::Disconnected("engine circuit breaker open".into())
-                }
-                other => RpcError::Transport(other.to_string()),
-            },
-        )?;
+        let ticket = self
+            .submit_tagged(op.index, request, rights, deadline_ns, ctl.tag)
+            .map_err(admission_error)?;
         let r = ticket.wait_until(deadline_ns)?;
         reply.clear();
         reply.extend_from_slice(&r.body);
         rights_out.clear();
         rights_out.extend_from_slice(&r.rights);
         Ok(0)
+    }
+
+    fn send_oneway(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        ctl: &CallControl,
+    ) -> flexrpc_runtime::Result<()> {
+        // Admission happens synchronously (the fault plan and shed policy
+        // still apply), but nobody waits on the ticket: the job runs, its
+        // reply evaporates — the same-domain form of a datagram.
+        let deadline_ns = ctl.deadline_ns.or_else(|| self.connection_deadline());
+        let ticket = self
+            .submit_tagged(op.index, request, rights, deadline_ns, ctl.tag)
+            .map_err(admission_error)?;
+        drop(ticket);
+        Ok(())
     }
 
     fn clock(&self) -> Option<Arc<SimClock>> {

@@ -20,15 +20,31 @@
 
 use crate::lex::{Tok, TokStream};
 use crate::Result;
+use flexrpc_core::annot::{Attr, OpAnnot, PdlFile};
 use flexrpc_core::ir::{
     Dialect, Field, Interface, Module, Operation, Param, ParamDir, Type, TypeBody, TypeDef,
 };
 
 /// Parses CORBA IDL source into a validated [`Module`].
 pub fn parse(name: &str, src: &str) -> Result<Module> {
+    parse_impl(name, src, None)
+}
+
+/// Parses CORBA IDL that may carry presentation attributes on operations:
+/// bracketed blocks (`[stream(64)] void write(...)`) and CORBA's native
+/// `oneway` keyword, which maps onto the same `[oneway]` attribute. The
+/// attributes come back as a separate [`PdlFile`]; the [`Module`] is
+/// byte-identical to what the unannotated grammar would produce.
+pub fn parse_annotated(name: &str, src: &str) -> Result<(Module, PdlFile)> {
+    let mut pdl = PdlFile::default();
+    let module = parse_impl(name, src, Some(&mut pdl))?;
+    Ok((module, pdl))
+}
+
+fn parse_impl(name: &str, src: &str, annots: Option<&mut PdlFile>) -> Result<Module> {
     let mut ts = TokStream::new(src)?;
     let mut module = Module::new(name, Dialect::Corba);
-    parse_definitions(&mut ts, &mut module, false)?;
+    parse_definitions(&mut ts, &mut module, false, annots)?;
     if !ts.at_eof() {
         return Err(ts.error(format!("unexpected {}", ts.peek().describe())));
     }
@@ -37,7 +53,12 @@ pub fn parse(name: &str, src: &str) -> Result<Module> {
     Ok(module)
 }
 
-fn parse_definitions(ts: &mut TokStream, module: &mut Module, nested: bool) -> Result<()> {
+fn parse_definitions(
+    ts: &mut TokStream,
+    module: &mut Module,
+    nested: bool,
+    mut annots: Option<&mut PdlFile>,
+) -> Result<()> {
     loop {
         if ts.at_eof() {
             if nested {
@@ -51,11 +72,11 @@ fn parse_definitions(ts: &mut TokStream, module: &mut Module, nested: bool) -> R
         if ts.eat_kw("module") {
             let _name = ts.expect_ident("module name")?;
             ts.expect_punct('{')?;
-            parse_definitions(ts, module, true)?;
+            parse_definitions(ts, module, true, annots.as_deref_mut())?;
             ts.expect_punct('}')?;
             ts.expect_punct(';')?;
         } else if ts.eat_kw("interface") {
-            let iface = parse_interface(ts)?;
+            let iface = parse_interface(ts, annots.as_deref_mut())?;
             module.interfaces.push(iface);
         } else if ts.eat_kw("typedef") {
             let ty = parse_type(ts)?;
@@ -77,18 +98,30 @@ fn parse_definitions(ts: &mut TokStream, module: &mut Module, nested: bool) -> R
     }
 }
 
-fn parse_interface(ts: &mut TokStream) -> Result<Interface> {
+fn parse_interface(ts: &mut TokStream, mut annots: Option<&mut PdlFile>) -> Result<Interface> {
     let name = ts.expect_ident("interface name")?;
     ts.expect_punct('{')?;
     let mut ops = Vec::new();
     while !ts.eat_punct('}') {
-        ops.push(parse_operation(ts)?);
+        ops.push(parse_operation(ts, annots.as_deref_mut())?);
     }
     ts.expect_punct(';')?;
     Ok(Interface::new(&name, ops))
 }
 
-fn parse_operation(ts: &mut TokStream) -> Result<Operation> {
+fn parse_operation(ts: &mut TokStream, annots: Option<&mut PdlFile>) -> Result<Operation> {
+    let mut op_attrs = Vec::new();
+    if annots.is_some() {
+        // Annotated mode: a bracketed attribute block, and/or CORBA's own
+        // `oneway` keyword (which is the same contract term spelled the
+        // OMG way).
+        if *ts.peek() == Tok::Punct('[') {
+            op_attrs = crate::pdl::parse_attr_block(ts)?;
+        }
+        if ts.eat_kw("oneway") {
+            op_attrs.push(Attr::Oneway);
+        }
+    }
     let ret = parse_type(ts)?;
     let name = ts.expect_ident("operation name")?;
     ts.expect_punct('(')?;
@@ -103,6 +136,11 @@ fn parse_operation(ts: &mut TokStream) -> Result<Operation> {
         }
     }
     ts.expect_punct(';')?;
+    if !op_attrs.is_empty() {
+        if let Some(pdl) = annots {
+            pdl.ops.push(OpAnnot { op: name.clone(), op_attrs, params: vec![] });
+        }
+    }
     Ok(Operation::new(&name, params, ret))
 }
 
@@ -366,6 +404,55 @@ mod tests {
         let reparsed = parse("round", &printed).unwrap();
         assert_eq!(m.typedefs, reparsed.typedefs);
         assert_eq!(m.interfaces, reparsed.interfaces);
+    }
+
+    #[test]
+    fn annotated_operations_split_into_module_and_pdl() {
+        let (m, pdl) = parse_annotated(
+            "feed",
+            r#"
+            interface Feed {
+                oneway void notify(in string text);
+                [stream(32)] void write(in sequence<octet> data);
+                sequence<octet> read(in unsigned long count);
+            };
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.interfaces[0].ops.len(), 3, "module carries the full contract");
+        assert_eq!(pdl.ops.len(), 2);
+        assert_eq!(pdl.ops[0].op, "notify");
+        assert_eq!(pdl.ops[0].op_attrs, vec![Attr::Oneway]);
+        assert_eq!(pdl.ops[1].op, "write");
+        assert_eq!(pdl.ops[1].op_attrs, vec![Attr::Stream(32)]);
+        // The unannotated grammar produces an identical module.
+        let plain = parse(
+            "feed",
+            r#"
+            interface Feed {
+                void notify(in string text);
+                void write(in sequence<octet> data);
+                sequence<octet> read(in unsigned long count);
+            };
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.interfaces, plain.interfaces);
+    }
+
+    #[test]
+    fn annotated_stream_errors_suggest_spelling() {
+        let err = parse_annotated("bad", "interface F { [stream] void w(in sequence<octet> d); };")
+            .unwrap_err();
+        assert!(err.msg.contains("did you mean `[stream(N)]`"), "{}", err.msg);
+    }
+
+    #[test]
+    fn plain_grammar_rejects_attr_blocks_and_oneway() {
+        assert!(parse("p", "interface F { [oneway] void f(in long x); };").is_err());
+        // `oneway` is only a keyword in annotated mode; plain mode sees an
+        // unresolved type name.
+        assert!(parse("p", "interface F { oneway void f(in long x); };").is_err());
     }
 
     #[test]

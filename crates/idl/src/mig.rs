@@ -36,14 +36,30 @@
 //!   caller-allocated out buffers) is applied by
 //!   `InterfacePresentation::default_for` via [`Dialect::Mig`].
 
-use crate::lex::TokStream;
+use crate::lex::{Tok, TokStream};
 use crate::Result;
+use flexrpc_core::annot::{Attr, OpAnnot, PdlFile};
 use flexrpc_core::ir::{
     Dialect, Interface, Module, Operation, Param, ParamDir, Type, TypeBody, TypeDef,
 };
 
 /// Parses `.defs` source into a validated [`Module`].
 pub fn parse(name: &str, src: &str) -> Result<Module> {
+    parse_impl(name, src, None)
+}
+
+/// Parses `.defs` source that may carry bracketed presentation attributes
+/// before `routine`/`simpleroutine` declarations. In this mode every
+/// `simpleroutine` also contributes an `[oneway]` annotation — that is
+/// exactly what MIG's one-way send semantics mean — so the returned
+/// [`PdlFile`] captures the call shape the `.defs` author already declared.
+pub fn parse_annotated(name: &str, src: &str) -> Result<(Module, PdlFile)> {
+    let mut pdl = PdlFile::default();
+    let module = parse_impl(name, src, Some(&mut pdl))?;
+    Ok((module, pdl))
+}
+
+fn parse_impl(name: &str, src: &str, mut annots: Option<&mut PdlFile>) -> Result<Module> {
     let mut ts = TokStream::new(src)?;
     let mut module = Module::new(name, Dialect::Mig);
 
@@ -55,14 +71,29 @@ pub fn parse(name: &str, src: &str) -> Result<Module> {
     let mut ops = Vec::new();
     let mut next_id = base as u32;
     while !ts.at_eof() {
+        let mut op_attrs = if annots.is_some() && *ts.peek() == Tok::Punct('[') {
+            crate::pdl::parse_attr_block(&mut ts)?
+        } else {
+            Vec::new()
+        };
         if ts.eat_kw("type") {
+            if !op_attrs.is_empty() {
+                return Err(ts.error("attribute block must precede a routine declaration"));
+            }
             let td = parse_typedef(&mut ts)?;
             module.typedefs.push(td);
         } else if ts.eat_kw("skip") {
+            if !op_attrs.is_empty() {
+                return Err(ts.error("attribute block must precede a routine declaration"));
+            }
             ts.expect_punct(';')?;
             next_id += 1;
         } else if ts.eat_kw("routine") || {
             if ts.eat_kw("simpleroutine") {
+                // MIG's `simpleroutine` *is* a one-way declaration.
+                if annots.is_some() && !op_attrs.contains(&Attr::Oneway) {
+                    op_attrs.push(Attr::Oneway);
+                }
                 true
             } else {
                 return Err(ts.error(format!(
@@ -73,6 +104,11 @@ pub fn parse(name: &str, src: &str) -> Result<Module> {
         } {
             let op = parse_routine(&mut ts, next_id)?;
             next_id += 1;
+            if !op_attrs.is_empty() {
+                if let Some(pdl) = annots.as_deref_mut() {
+                    pdl.ops.push(OpAnnot { op: op.name.clone(), op_attrs, params: vec![] });
+                }
+            }
             ops.push(op);
         }
     }
@@ -272,6 +308,52 @@ mod tests {
         let poke = m.interfaces[0].op("pipe_poke").unwrap();
         assert_eq!(poke.ret, Type::Void);
         assert_eq!(poke.params.len(), 1);
+    }
+
+    #[test]
+    fn annotated_defs_split_into_module_and_pdl() {
+        let (m, pdl) = parse_annotated(
+            "pipe",
+            r#"
+            subsystem pipe 2400;
+            type buffer_t = array[*:8192] of char;
+
+            [stream(16)] routine pipe_write(
+                server : mach_port_t;
+                data   : buffer_t);
+
+            simpleroutine pipe_poke(
+                server : mach_port_t;
+                code   : int);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.interfaces[0].ops.len(), 2);
+        assert_eq!(pdl.ops.len(), 2);
+        assert_eq!(pdl.ops[0].op, "pipe_write");
+        assert_eq!(pdl.ops[0].op_attrs, vec![Attr::Stream(16)]);
+        // simpleroutine is MIG's spelling of [oneway].
+        assert_eq!(pdl.ops[1].op, "pipe_poke");
+        assert_eq!(pdl.ops[1].op_attrs, vec![Attr::Oneway]);
+    }
+
+    #[test]
+    fn annotated_stream_errors_suggest_spelling() {
+        let err = parse_annotated(
+            "bad",
+            "subsystem s 1;\n[stream] simpleroutine poke(server: mach_port_t; code: int);",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("did you mean `[stream(N)]`"), "{}", err.msg);
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn attr_block_must_precede_a_routine() {
+        let err = parse_annotated("bad", "subsystem s 1;\n[oneway] skip;").unwrap_err();
+        assert!(err.msg.contains("must precede a routine"), "{}", err.msg);
+        // And the classic grammar rejects blocks entirely.
+        assert!(parse("bad", "subsystem s 1;\n[oneway] simpleroutine p(c: int);").is_err());
     }
 
     #[test]

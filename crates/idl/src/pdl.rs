@@ -35,6 +35,7 @@
 //! } CORBA_SEQUENCE_char;
 //! ```
 
+use crate::diag::ParseError;
 use crate::lex::{Tok, TokStream};
 use crate::Result;
 use flexrpc_core::annot::{Attr, OpAnnot, ParamAnnot, PdlFile, TypeAnnot};
@@ -66,8 +67,11 @@ pub fn parse(src: &str) -> Result<PdlFile> {
     Ok(file)
 }
 
-/// Parses `[attr, attr, ...]`.
-fn parse_attr_block(ts: &mut TokStream) -> Result<Vec<Attr>> {
+/// Parses `[attr, attr, ...]`. Shared by every front-end that accepts
+/// bracketed presentation attributes (`.x`, CORBA IDL, and MIG `.defs`
+/// annotated variants reuse it, so all four grammars spell attributes —
+/// and report attribute errors — identically).
+pub(crate) fn parse_attr_block(ts: &mut TokStream) -> Result<Vec<Attr>> {
     ts.expect_punct('[')?;
     let mut attrs = Vec::new();
     loop {
@@ -80,33 +84,100 @@ fn parse_attr_block(ts: &mut TokStream) -> Result<Vec<Attr>> {
     Ok(attrs)
 }
 
+/// An attribute argument: identifiers (`alloc(caller)`) or numbers
+/// (`stream(64)`).
+enum AttrArg {
+    Ident(String),
+    Num(u64),
+}
+
+impl AttrArg {
+    fn describe(&self) -> String {
+        match self {
+            AttrArg::Ident(s) => s.clone(),
+            AttrArg::Num(n) => n.to_string(),
+        }
+    }
+}
+
 fn parse_attr(ts: &mut TokStream) -> Result<Attr> {
+    // The attribute name's own position anchors attribute-shape
+    // diagnostics (by the time the error is detected the cursor sits past
+    // the closing bracket).
+    let (line, col) = ts.pos();
     let name = ts.expect_ident("attribute name")?;
     let arg = if ts.eat_punct('(') {
-        let a = ts.expect_ident("attribute argument")?;
+        let a = match ts.next() {
+            Tok::Ident(s) => AttrArg::Ident(s),
+            Tok::Num(n) => AttrArg::Num(n),
+            other => {
+                return Err(
+                    ts.error(format!("expected attribute argument, found {}", other.describe()))
+                )
+            }
+        };
         ts.expect_punct(')')?;
         Some(a)
     } else {
         None
     };
-    match (name.as_str(), arg.as_deref()) {
-        ("special", None) => Ok(Attr::Special),
-        ("length_is", Some(p)) => Ok(Attr::LengthIs(p.to_owned())),
-        ("dealloc", Some("never")) => Ok(Attr::DeallocNever),
-        ("dealloc", Some("on_return")) => Ok(Attr::DeallocOnReturn),
-        ("trashable", None) => Ok(Attr::Trashable),
-        ("preserved", None) => Ok(Attr::Preserved),
-        ("borrowed", None) => Ok(Attr::Borrowed),
-        ("alloc", Some("caller")) => Ok(Attr::AllocCaller),
-        ("alloc", Some("stub")) => Ok(Attr::AllocStub),
-        ("comm_status", None) => Ok(Attr::CommStatus),
-        ("idempotent", None) => Ok(Attr::Idempotent),
-        ("nonunique", None) => Ok(Attr::NonUnique),
-        ("leaky", None) => Ok(Attr::Leaky),
-        ("unprotected", None) => Ok(Attr::Unprotected),
-        (n, Some(a)) => Err(ts.error(format!("unknown presentation attribute `{n}({a})`"))),
-        (n, None) => Err(ts.error(format!("unknown presentation attribute `{n}`"))),
+    let ident_arg = match &arg {
+        Some(AttrArg::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    match (name.as_str(), ident_arg) {
+        ("special", None) if arg.is_none() => return Ok(Attr::Special),
+        ("length_is", Some(p)) => return Ok(Attr::LengthIs(p.to_owned())),
+        ("dealloc", Some("never")) => return Ok(Attr::DeallocNever),
+        ("dealloc", Some("on_return")) => return Ok(Attr::DeallocOnReturn),
+        ("trashable", None) if arg.is_none() => return Ok(Attr::Trashable),
+        ("preserved", None) if arg.is_none() => return Ok(Attr::Preserved),
+        ("borrowed", None) if arg.is_none() => return Ok(Attr::Borrowed),
+        ("alloc", Some("caller")) => return Ok(Attr::AllocCaller),
+        ("alloc", Some("stub")) => return Ok(Attr::AllocStub),
+        ("comm_status", None) if arg.is_none() => return Ok(Attr::CommStatus),
+        ("idempotent", None) if arg.is_none() => return Ok(Attr::Idempotent),
+        ("nonunique", None) if arg.is_none() => return Ok(Attr::NonUnique),
+        ("leaky", None) if arg.is_none() => return Ok(Attr::Leaky),
+        ("unprotected", None) if arg.is_none() => return Ok(Attr::Unprotected),
+        ("oneway", None) if arg.is_none() => return Ok(Attr::Oneway),
+        _ => {}
     }
+    if name == "stream" {
+        // `[stream]` needs its window; every malformed variant points at
+        // the attribute and suggests the correct spelling.
+        return match arg {
+            Some(AttrArg::Num(n)) if (1..=u64::from(u32::MAX)).contains(&n) => {
+                Ok(Attr::Stream(n as u32))
+            }
+            Some(AttrArg::Num(n)) => Err(ParseError::suggest(
+                format!("`[stream({n})]` window must be between 1 and {}", u32::MAX),
+                "[stream(N)]",
+                line,
+                col,
+            )),
+            Some(AttrArg::Ident(a)) => Err(ParseError::suggest(
+                format!("`[stream({a})]` window must be a number"),
+                "[stream(N)]",
+                line,
+                col,
+            )),
+            None => Err(ParseError::suggest(
+                "`[stream]` is missing its window",
+                "[stream(N)]",
+                line,
+                col,
+            )),
+        };
+    }
+    Err(match arg {
+        Some(a) => ParseError::at(
+            format!("unknown presentation attribute `{name}({})`", a.describe()),
+            line,
+            col,
+        ),
+        None => ParseError::at(format!("unknown presentation attribute `{name}`"), line, col),
+    })
 }
 
 /// Parses one C-prototype-style operation re-declaration.
@@ -372,6 +443,50 @@ mod tests {
     fn unknown_attribute_reported() {
         let err = parse("void f([zero_copy] char *x);").unwrap_err();
         assert!(err.msg.contains("zero_copy"));
+    }
+
+    #[test]
+    fn oneway_and_stream_op_attrs_parse() {
+        let f = parse("[oneway] void Feed_notify(char *text);").unwrap();
+        assert_eq!(f.ops[0].op_attrs, vec![Attr::Oneway]);
+        let f = parse("[stream(64), idempotent] void File_write(char *data);").unwrap();
+        assert_eq!(f.ops[0].op_attrs, vec![Attr::Stream(64), Attr::Idempotent]);
+        // Hex windows work like every other numeric literal.
+        let f = parse("[stream(0x20)] void File_write(char *data);").unwrap();
+        assert_eq!(f.ops[0].op_attrs, vec![Attr::Stream(32)]);
+    }
+
+    #[test]
+    fn stream_missing_window_suggests_spelling() {
+        let err = parse("[stream] void File_write(char *data);").unwrap_err();
+        assert!(err.msg.contains("missing its window"), "{}", err.msg);
+        assert!(err.msg.contains("did you mean `[stream(N)]`"), "{}", err.msg);
+        // The span points at the attribute itself, not the token after the
+        // block ends.
+        assert_eq!((err.line, err.col), (1, 2));
+    }
+
+    #[test]
+    fn stream_malformed_window_suggests_spelling() {
+        let err = parse("[stream(wide)] void File_write(char *data);").unwrap_err();
+        assert!(err.msg.contains("must be a number"), "{}", err.msg);
+        assert!(err.msg.contains("did you mean `[stream(N)]`"), "{}", err.msg);
+
+        let err = parse("[stream(0)] void File_write(char *data);").unwrap_err();
+        assert!(err.msg.contains("between 1 and"), "{}", err.msg);
+        assert!(err.msg.contains("did you mean `[stream(N)]`"), "{}", err.msg);
+
+        let err = parse("void f([stream] char *x);").unwrap_err();
+        assert!(err.msg.contains("did you mean `[stream(N)]`"), "param position too: {}", err.msg);
+        assert_eq!((err.line, err.col), (1, 9));
+    }
+
+    #[test]
+    fn attr_arg_on_argless_attribute_rejected() {
+        let err = parse("[oneway(3)] void f(char *x);").unwrap_err();
+        assert!(err.msg.contains("oneway(3)"), "{}", err.msg);
+        let err = parse("[special(7)] void f(char *x);").unwrap_err();
+        assert!(err.msg.contains("special(7)"), "{}", err.msg);
     }
 
     #[test]

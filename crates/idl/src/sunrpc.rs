@@ -20,6 +20,7 @@
 
 use crate::lex::{Tok, TokStream};
 use crate::Result;
+use flexrpc_core::annot::{OpAnnot, PdlFile};
 use flexrpc_core::ir::{
     Dialect, Field, Interface, Module, Operation, Param, ParamDir, Type, TypeBody, TypeDef,
     UnionArm,
@@ -28,8 +29,23 @@ use std::collections::HashMap;
 
 /// Parses `.x` source into a validated [`Module`].
 pub fn parse(name: &str, src: &str) -> Result<Module> {
+    parse_impl(name, src, None)
+}
+
+/// Parses `.x` source that may carry bracketed presentation attributes
+/// before procedure declarations (`[oneway] void POKE(...) = 3;`). The
+/// attributes never reach the [`Module`] — they come back as a separate
+/// [`PdlFile`], keeping the wire contract and its annotations in distinct
+/// artifacts exactly as the paper's toolchain does.
+pub fn parse_annotated(name: &str, src: &str) -> Result<(Module, PdlFile)> {
+    let mut pdl = PdlFile::default();
+    let module = parse_impl(name, src, Some(&mut pdl))?;
+    Ok((module, pdl))
+}
+
+fn parse_impl(name: &str, src: &str, annots: Option<&mut PdlFile>) -> Result<Module> {
     let mut ts = TokStream::new(src)?;
-    let mut p = Parser { consts: HashMap::new() };
+    let mut p = Parser { consts: HashMap::new(), annots };
     let mut module = Module::new(name, Dialect::Sun);
     while !ts.at_eof() {
         p.parse_definition(&mut ts, &mut module)?;
@@ -39,9 +55,12 @@ pub fn parse(name: &str, src: &str) -> Result<Module> {
     Ok(module)
 }
 
-struct Parser {
+struct Parser<'a> {
     /// `const` values and enumerators, for array bounds and case labels.
     consts: HashMap<String, u64>,
+    /// Where procedure attribute blocks land in annotated mode; `None`
+    /// keeps the classic grammar, which rejects them.
+    annots: Option<&'a mut PdlFile>,
 }
 
 /// An XDR declaration: a type specifier applied through a declarator.
@@ -50,7 +69,7 @@ struct Decl {
     ty: Type,
 }
 
-impl Parser {
+impl Parser<'_> {
     fn parse_definition(&mut self, ts: &mut TokStream, module: &mut Module) -> Result<()> {
         if ts.eat_kw("const") {
             let name = ts.expect_ident("constant name")?;
@@ -189,6 +208,13 @@ impl Parser {
     }
 
     fn parse_proc(&mut self, ts: &mut TokStream) -> Result<Operation> {
+        // Annotated mode: a bracketed attribute block before the procedure
+        // (shared grammar and diagnostics with the PDL front-end).
+        let op_attrs = if self.annots.is_some() && *ts.peek() == Tok::Punct('[') {
+            crate::pdl::parse_attr_block(ts)?
+        } else {
+            Vec::new()
+        };
         let ret = self.parse_type_specifier(ts)?;
         // Result declarators like `opaque res<>` are not rpcgen syntax; the
         // result is always a plain type specifier.
@@ -219,6 +245,11 @@ impl Parser {
         ts.expect_punct('=')?;
         let opnum = ts.expect_num()?;
         ts.expect_punct(';')?;
+        if !op_attrs.is_empty() {
+            if let Some(pdl) = self.annots.as_deref_mut() {
+                pdl.ops.push(OpAnnot { op: name.clone(), op_attrs, params: vec![] });
+            }
+        }
         Ok(Operation { name, opnum: Some(opnum as u32), params, ret })
     }
 
@@ -511,6 +542,50 @@ mod tests {
             parse("h", "program P { version V { void NULLPROC(void) = 0; } = 1; } = 0x20000001;")
                 .unwrap();
         assert_eq!(m.interfaces[0].program, Some(0x20000001));
+    }
+
+    #[test]
+    fn annotated_procs_split_into_module_and_pdl() {
+        use flexrpc_core::annot::Attr;
+        let (m, pdl) = parse_annotated(
+            "feed",
+            r#"
+            typedef opaque chunk<>;
+            program FEED {
+                version FEED_V1 {
+                    [oneway] void FEED_NOTIFY(chunk text) = 1;
+                    [stream(64), idempotent] void FEED_WRITE(chunk data) = 2;
+                    void FEED_SYNC(void) = 3;
+                } = 1;
+            } = 400100;
+            "#,
+        )
+        .unwrap();
+        // The wire contract is identical to an unannotated parse.
+        assert_eq!(m.interfaces[0].ops.len(), 3);
+        assert_eq!(m.interfaces[0].op("FEED_NOTIFY").unwrap().ret, Type::Void);
+        // Annotations come back separately, only for annotated procs.
+        assert_eq!(pdl.ops.len(), 2);
+        assert_eq!(pdl.ops[0].op, "FEED_NOTIFY");
+        assert_eq!(pdl.ops[0].op_attrs, vec![Attr::Oneway]);
+        assert_eq!(pdl.ops[1].op_attrs, vec![Attr::Stream(64), Attr::Idempotent]);
+    }
+
+    #[test]
+    fn annotated_stream_missing_window_suggests() {
+        let err = parse_annotated(
+            "bad",
+            "program P { version V { [stream] void W(unsigned int x) = 1; } = 1; } = 1;",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("did you mean `[stream(N)]`"), "{}", err.msg);
+    }
+
+    #[test]
+    fn classic_grammar_still_rejects_attr_blocks() {
+        let err = parse("bad", "program P { version V { [oneway] void W(void) = 1; } = 1; } = 1;")
+            .unwrap_err();
+        assert!(err.msg.contains("expected"), "{}", err.msg);
     }
 
     #[test]

@@ -239,6 +239,52 @@ impl SimNet {
         self.stats.bytes.add(payload as u64);
     }
 
+    /// Sends `request` from `from` to `to` with no reply channel: the wire
+    /// and far-side charges accrue, the service runs, and whatever it
+    /// produces is discarded. One-way datagram semantics, deterministically:
+    ///
+    /// * `Drop` and `Crash` faults lose the message silently — the sender
+    ///   has no reply to miss, so it sees `Ok` (only local binding errors
+    ///   surface). `Duplicate` runs the handler twice, as resent UDP would.
+    /// * `Close` is a no-op for a one-way send: there is no reply to lose.
+    ///
+    /// Used by the `[oneway]` call shape: no XID allocated, no reply wait.
+    pub fn send(&self, from: HostId, to: HostId, request: &[u8]) -> Result<()> {
+        let service = {
+            let hosts = self.hosts.lock();
+            if hosts.get(from.0).is_none() {
+                return Err(NetError::NoSuchHost(from));
+            }
+            let h = hosts.get(to.0).ok_or(NetError::NoSuchHost(to))?;
+            Arc::clone(h.service.as_ref().ok_or(NetError::NoService(to))?)
+        };
+        self.stats.messages.inc();
+        let fault = self.faults.next_call_at(self.clock.now_ns());
+        // The request hits the wire whether or not it arrives.
+        self.charge_wire(request.len());
+        match fault {
+            Some(Fault::Drop) | Some(Fault::Crash { .. }) => return Ok(()),
+            Some(Fault::Delay(ns)) => {
+                self.clock.advance_ns(ns);
+            }
+            Some(Fault::Duplicate) => self.charge_wire(request.len()),
+            Some(Fault::Close) | None => {}
+        }
+        let rx: Vec<u8> = request.to_vec();
+        let t0 = std::time::Instant::now();
+        let mut result = service(&rx);
+        if fault == Some(Fault::Duplicate) {
+            result = service(&rx);
+        }
+        self.stats.service_ns.add(t0.elapsed().as_nanos() as u64);
+        // Far-side processing is charged; the handler's product (reply or
+        // failure) evaporates — the sender has no channel to learn of it.
+        self.wire_ns.fetch_add(self.cfg.server_ns, Ordering::Relaxed);
+        self.clock.advance_ns(self.cfg.server_ns);
+        let _ = result;
+        Ok(())
+    }
+
     /// Sends `request` from `from` to `to`, runs the service, and writes the
     /// reply into `reply_into` (cleared first).
     ///
@@ -584,6 +630,49 @@ mod tests {
         net.call(c, s, b"y", &mut reply).unwrap();
         assert_eq!(reply, b"y");
         assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn one_way_send_runs_handler_and_charges_wire() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.register_service(s, move |req| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(req.to_vec())
+        })
+        .unwrap();
+        net.send(c, s, &[0u8; 100]).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // One wire traversal (request only) plus the server charge: strictly
+        // cheaper than a call, which also puts the reply on the wire.
+        let one_way = net.wire_ns();
+        let mut reply = Vec::new();
+        net.call(c, s, &[0u8; 100], &mut reply).unwrap();
+        assert!(net.wire_ns() - one_way > one_way - net.cfg.server_ns);
+        assert!(net.send(c, HostId(9), b"x").is_err(), "binding errors still surface");
+    }
+
+    #[test]
+    fn one_way_send_swallows_delivery_faults() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.register_service(s, move |req| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(req.to_vec())
+        })
+        .unwrap();
+        net.faults().on_next_call(Fault::Drop);
+        net.send(c, s, b"x").unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "a dropped one-way message never executes");
+        net.faults().on_next_call(Fault::Duplicate);
+        net.send(c, s, b"x").unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "a duplicated one-way message executes twice");
     }
 
     #[test]

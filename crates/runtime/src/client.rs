@@ -7,6 +7,7 @@ use crate::policy::{CallControl, CallOptions, CallTag};
 use crate::transport::Transport;
 use crate::wire::{AnyReader, AnyWriter};
 use crate::Result;
+use flexrpc_core::present::CallShape;
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
 use flexrpc_core::value::Value;
 use flexrpc_marshal::WireFormat;
@@ -323,6 +324,16 @@ impl ClientStub {
             .ops
             .get(op_index)
             .ok_or_else(|| RpcError::NoSuchOp(format!("op index {op_index}")))?;
+        // A `[oneway]` op has no reply to wait for; the unary entry point
+        // would block forever on a real wire. (`[stream]` ops do ride the
+        // unary exchange — each frame is one tagged call, and the reply
+        // carries the credit back.)
+        if op.call_shape == CallShape::Oneway {
+            return Err(RpcError::ShapeMisuse(format!(
+                "operation `{}` is [oneway]; use `notify` for it",
+                op.name
+            )));
+        }
         let hooks = &self.hooks[op_index];
 
         // Stage boundaries share timestamps: four clock reads cover the
@@ -396,6 +407,112 @@ impl ClientStub {
     /// The raw bytes of the last reply body (resolves `Window` out-values).
     pub fn last_reply(&self) -> &[u8] {
         &self.reply_buf[self.reply_off..]
+    }
+
+    /// Sends a `[oneway]` notification by name: the in-slots of `frame` are
+    /// marshalled and delivered with **no reply wait** — no reply slot is
+    /// allocated, no XID is matched, and the call returns as soon as the
+    /// transport accepts the message. The operation's presentation must
+    /// declare `[oneway]`; anything else is a [`RpcError::ShapeMisuse`].
+    pub fn notify(&mut self, name: &str, frame: &mut [Value]) -> Result<()> {
+        let i = self
+            .compiled
+            .ops
+            .iter()
+            .position(|o| o.name == name)
+            .ok_or_else(|| RpcError::NoSuchOp(name.into()))?;
+        self.notify_once(i, frame, &CallControl::none(), None)
+    }
+
+    /// Sends a `[oneway]` notification under `options`: the deadline is
+    /// resolved against the transport's sim clock and checked before the
+    /// send; an at-most-once binding tags the notification (a duplicated
+    /// datagram executes once — the server's reply cache suppresses the
+    /// copy even though no reply travels back). Retry policies do not
+    /// apply — with no reply there is no observable failure to retry on.
+    pub fn notify_with(
+        &mut self,
+        name: &str,
+        frame: &mut [Value],
+        options: &CallOptions,
+    ) -> core::result::Result<(), Error> {
+        let i = self
+            .compiled
+            .ops
+            .iter()
+            .position(|o| o.name == name)
+            .ok_or_else(|| Error::from(RpcError::NoSuchOp(name.into())))?;
+        let clock = self.transport.clock();
+        let deadline_ns = match (options.deadline_ns(), &clock) {
+            (Some(d), Some(c)) => Some(c.now_ns().saturating_add(d)),
+            (Some(_), None) => {
+                return Err(Error::new(
+                    ErrorKind::Fatal,
+                    "transport has no sim clock; deadlines cannot be enforced on it",
+                ))
+            }
+            (None, _) => None,
+        };
+        let tag = if self.amo.is_some() && !options.is_at_least_once() {
+            self.amo.as_mut().map(|a| {
+                let t = CallTag { binding: a.binding, seq: a.next_seq };
+                a.next_seq += 1;
+                t
+            })
+        } else {
+            None
+        };
+        let ctl = CallControl { deadline_ns, tag };
+        if options.is_traced() && self.tracer.is_none() {
+            self.enable_trace(DEFAULT_TRACE_CAPACITY);
+        }
+        let trace_call =
+            if options.is_traced() { self.tracer.as_mut().map(|t| t.begin_call()) } else { None };
+        self.notify_once(i, frame, &ctl, trace_call)?;
+        Ok(())
+    }
+
+    fn notify_once(
+        &mut self,
+        op_index: usize,
+        frame: &mut [Value],
+        ctl: &CallControl,
+        trace_call: Option<u64>,
+    ) -> Result<()> {
+        let op = self
+            .compiled
+            .ops
+            .get(op_index)
+            .ok_or_else(|| RpcError::NoSuchOp(format!("op index {op_index}")))?;
+        if op.call_shape != CallShape::Oneway {
+            return Err(RpcError::ShapeMisuse(format!(
+                "operation `{}` is {:?}, not [oneway]; use `call` for it",
+                op.name, op.call_shape
+            )));
+        }
+        let hooks = &self.hooks[op_index];
+
+        let mut mark = match (&self.tracer, trace_call) {
+            (Some(t), Some(_)) => t.now_ns(),
+            _ => 0,
+        };
+        let mut writer = AnyWriter::over(self.format, std::mem::take(&mut self.request_buf));
+        let mut rights = Vec::new();
+        marshal(&op.request_marshal, frame, &[], &mut writer, hooks, &mut rights)?;
+        let request = writer.into_bytes();
+        if let (Some(t), Some(call)) = (self.tracer.as_mut(), trace_call) {
+            let now = t.now_ns();
+            t.record(call, Stage::Marshal, mark, now, request.len() as u64);
+            mark = now;
+        }
+
+        let outcome = self.transport.send_oneway(op, &request, &rights, ctl);
+        if let (Some(t), Some(call)) = (self.tracer.as_mut(), trace_call) {
+            let now = t.now_ns();
+            t.record(call, Stage::Notify, mark, now, request.len() as u64);
+        }
+        self.request_buf = request;
+        outcome
     }
 }
 

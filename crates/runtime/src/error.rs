@@ -45,6 +45,10 @@ pub enum RpcError {
     /// The server work function misused the reply sink (wrong order, or a
     /// sink payload written twice).
     SinkMisuse(String),
+    /// A call-shape misuse: the operation's negotiated shape (unary,
+    /// `[oneway]`, `[stream(N)]`) does not admit the entry point used —
+    /// e.g. `notify` on a unary op, or `call` on a one-way op.
+    ShapeMisuse(String),
     /// Transport-level failure with no richer classification.
     Transport(String),
     /// The call's deadline expired before a reply arrived (measured on the
@@ -77,6 +81,7 @@ impl fmt::Display for RpcError {
             }
             RpcError::MissingHook(i) => write!(f, "no [special] hook registered for param {i}"),
             RpcError::SinkMisuse(why) => write!(f, "reply sink misused: {why}"),
+            RpcError::ShapeMisuse(why) => write!(f, "call-shape misuse: {why}"),
             RpcError::Transport(why) => write!(f, "transport failure: {why}"),
             RpcError::DeadlineExceeded => write!(f, "deadline exceeded"),
             RpcError::Overloaded => write!(f, "server overloaded, call shed"),
@@ -117,6 +122,9 @@ impl RpcError {
             RpcError::Kernel(flexrpc_kernel::KernelError::SignatureMismatch { .. }) => {
                 ErrorKind::ContractViolation
             }
+            // Using the wrong entry point for an op's call shape is a
+            // binding-level disagreement, not a transient fault.
+            RpcError::ShapeMisuse(_) => ErrorKind::ContractViolation,
             RpcError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
             RpcError::Overloaded => ErrorKind::Overloaded,
             RpcError::Cancelled => ErrorKind::Cancelled,

@@ -65,6 +65,28 @@ pub trait Transport: Send {
         self.call(op, request, rights, reply, rights_out)
     }
 
+    /// Delivers a `[oneway]` request: no reply slot is allocated and no
+    /// reply is waited for. At-most-once tags in `ctl` still travel with
+    /// the message, so a duplicated notification is suppressed by the
+    /// server's reply cache exactly like a duplicated call.
+    ///
+    /// The default routes through [`Transport::call_with`] and discards the
+    /// reply — correct for any transport, merely not cheaper. Transports
+    /// with a genuine datagram path (the simulated Ethernet, in-process
+    /// dispatch) override this to skip the reply machinery entirely.
+    fn send_oneway(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        ctl: &CallControl,
+    ) -> Result<()> {
+        let mut reply = Vec::new();
+        let mut rights_out = Vec::new();
+        self.call_with(op, request, rights, &mut reply, &mut rights_out, ctl)?;
+        Ok(())
+    }
+
     /// The sim clock this transport's world runs on, if it has one.
     /// Deadlines are resolved against it and retry backoff advances it.
     fn clock(&self) -> Option<Arc<SimClock>> {
@@ -172,6 +194,53 @@ impl Transport for Loopback {
             return Err(RpcError::DeadlineExceeded);
         }
         Ok(0)
+    }
+
+    fn send_oneway(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        ctl: &CallControl,
+    ) -> Result<()> {
+        if ctl.expired(self.clock.now_ns()) {
+            return Err(RpcError::DeadlineExceeded);
+        }
+        let fault = self.faults.next_call_at(self.clock.now_ns());
+        match fault {
+            // A one-way message has no reply to miss: drops and crashes
+            // lose it silently, exactly as the datagram would be lost.
+            Some(Fault::Drop) | Some(Fault::Crash { .. }) => return Ok(()),
+            Some(Fault::Delay(ns)) => {
+                self.clock.advance_ns(ns);
+            }
+            Some(Fault::Duplicate | Fault::Close) | None => {}
+        }
+        let mut reply = Vec::new();
+        let mut rights_out = Vec::new();
+        if fault == Some(Fault::Duplicate) {
+            let _ = self.server.lock().dispatch_tagged(
+                op.index,
+                request,
+                rights,
+                ctl.tag,
+                &mut reply,
+                &mut rights_out,
+            );
+            reply.clear();
+            rights_out.clear();
+        }
+        // Dispatch failures evaporate too: the sender has no channel to
+        // learn of them (the server's own diagnostics do).
+        let _ = self.server.lock().dispatch_tagged(
+            op.index,
+            request,
+            rights,
+            ctl.tag,
+            &mut reply,
+            &mut rights_out,
+        );
+        Ok(())
     }
 
     fn clock(&self) -> Option<Arc<SimClock>> {
@@ -424,6 +493,35 @@ impl Transport for SunRpc {
         let offset = results.as_ptr() as usize - reply.as_ptr() as usize;
         rights_out.clear();
         Ok(offset)
+    }
+
+    fn send_oneway(
+        &mut self,
+        op: &CompiledOp,
+        request: &[u8],
+        rights: &[u32],
+        ctl: &CallControl,
+    ) -> Result<()> {
+        if !rights.is_empty() {
+            return Err(RpcError::Transport(
+                "Sun RPC cannot carry port rights across the network".into(),
+            ));
+        }
+        if ctl.expired(self.net.clock().now_ns()) {
+            return Err(RpcError::DeadlineExceeded);
+        }
+        let proc = op.opnum.unwrap_or(op.index as u32);
+        // XID 0 marks "no reply expected": nothing will ever match it, and
+        // the client allocates no reply-wait state. The at-most-once tag
+        // still rides in the credential, so a duplicated notification is
+        // deduplicated by the server's reply cache.
+        let msg = sunrpc::encode_call_tagged(
+            CallHeader { xid: 0, prog: self.prog, vers: self.vers, proc },
+            ctl.tag.map(|t| (t.binding, t.seq)),
+            &[request],
+        );
+        self.net.send(self.from, self.to, &msg)?;
+        Ok(())
     }
 
     fn clock(&self) -> Option<Arc<SimClock>> {

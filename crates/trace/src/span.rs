@@ -35,11 +35,20 @@ pub enum Stage {
     Replay = 8,
     /// A supervisor failover episode: disconnect detected → standby serving.
     Failover = 9,
+    /// A one-way notification send: marshal + transmit, no reply wait
+    /// (detail = request bytes).
+    Notify = 10,
+    /// A stream sender stalled waiting for credit to return
+    /// (detail = credits outstanding when the wait began).
+    CreditWait = 11,
+    /// One flow-controlled stream frame, send through acknowledgment
+    /// (detail = frame sequence number on its stream).
+    StreamFrame = 12,
 }
 
 impl Stage {
     /// Number of stages (histogram/accumulator array size).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 13;
 
     /// Every stage, in id order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -53,6 +62,9 @@ impl Stage {
         Stage::Retry,
         Stage::Replay,
         Stage::Failover,
+        Stage::Notify,
+        Stage::CreditWait,
+        Stage::StreamFrame,
     ];
 
     /// The stage's stable lowercase name (what exporters emit).
@@ -68,6 +80,9 @@ impl Stage {
             Stage::Retry => "retry",
             Stage::Replay => "replay",
             Stage::Failover => "failover",
+            Stage::Notify => "notify",
+            Stage::CreditWait => "credit_wait",
+            Stage::StreamFrame => "stream_frame",
         }
     }
 }
@@ -476,7 +491,10 @@ mod tests {
                 "unmarshal",
                 "retry",
                 "replay",
-                "failover"
+                "failover",
+                "notify",
+                "credit_wait",
+                "stream_frame"
             ]
         );
         for (i, s) in Stage::ALL.iter().enumerate() {

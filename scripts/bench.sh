@@ -9,9 +9,12 @@
 #                         and supervised-failover recovery latency
 #   BENCH_trace.json    — per-stage call breakdown, deterministic wire
 #                         time, and the tracing-overhead ratio
+#   BENCH_stream.json   — edit-feed fan-out throughput (1000 [oneway]
+#                         subscribers), credit-stall determinism, and
+#                         at-most-once file-stream writes
 #
 # Run from anywhere inside the repo. Pass --check to also enforce the
-# acceptance gates (fuse, failover, trace).
+# acceptance gates (fuse, failover, trace, stream).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,11 +37,14 @@ cargo run -q --release -p flexrpc-bench --bin report -- failover --json BENCH_fa
 echo "== report trace ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- trace --json BENCH_trace.json "${CHECK[@]}"
 
+echo "== report stream ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- stream --json BENCH_stream.json "${CHECK[@]}"
+
 # Every expected artifact must exist and be non-empty — a figure silently
 # skipped (e.g. by a typo in the selection list above) fails here, loudly,
 # instead of leaving EXPERIMENTS.md citing a stale file.
 missing=0
-for f in BENCH_fuse.json BENCH_serve.json BENCH_failover.json BENCH_trace.json; do
+for f in BENCH_fuse.json BENCH_serve.json BENCH_failover.json BENCH_trace.json BENCH_stream.json; do
   if [[ ! -s "$f" ]]; then
     echo "ERROR: expected artifact $f is missing or empty" >&2
     missing=1
@@ -48,4 +54,4 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 
-echo "wrote BENCH_fuse.json, BENCH_serve.json, BENCH_failover.json, and BENCH_trace.json" >&2
+echo "wrote BENCH_fuse.json, BENCH_serve.json, BENCH_failover.json, BENCH_trace.json, and BENCH_stream.json" >&2

@@ -34,9 +34,15 @@ cargo run -q --release -p flexrpc-bench --bin report -- failover --check
 echo "== report trace --check ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- trace --check
 
+# The streaming gate: credit stalls are deterministic and hit their
+# closed-form prediction, and no frame is lost or duplicated when replies
+# are dropped mid-stream (at-most-once holds for [stream] and callbacks).
+echo "== report stream --check ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- stream --check
+
 # The examples are the documented API surface; an API redesign that
 # breaks them must fail here, not in a reader's terminal.
-for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix trace_failover; do
+for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix trace_failover edit_feed; do
   echo "== example: $ex ==" >&2
   cargo run -q --release --example "$ex" >/dev/null
 done

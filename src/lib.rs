@@ -21,6 +21,7 @@ pub use flexrpc_net as net;
 pub use flexrpc_nfs as nfs;
 pub use flexrpc_pipes as pipes;
 pub use flexrpc_runtime as runtime;
+pub use flexrpc_stream as stream;
 pub use flexrpc_trace as trace;
 
 // The unified error taxonomy, re-exported at the crate root: every layer's
@@ -49,6 +50,7 @@ pub mod prelude {
         CallOptions, CallTag, ClientStub, Error, ErrorKind, ReplyCache, ReplyCacheStats,
         RetryPolicy, ServerInterface, Supervisor, SupervisorStats,
     };
+    pub use crate::stream::{CallbackChannel, CreditWindow, StreamSender};
     pub use crate::trace::{
         CallTrace, ChromeTraceSink, Counter, Histogram, JsonLinesSink, MetricsRegistry,
         MetricsSnapshot, SharedCallTrace, Stage, TimeSource, TraceSink,
