@@ -2,21 +2,23 @@
 //!
 //! Usage: `report [figure...] [--json PATH] [--check]`
 //! where figure ∈ {fig2, fig6, fig7, fig10, fig11, fig12, port, ablate,
-//! serve, shed, fuse, failover, trace, stream}; no
+//! serve, shed, fuse, failover, trace, stream, qos}; no
 //! arguments runs everything. `--json` additionally writes the numbers as
-//! JSON (used to refresh EXPERIMENTS.md), together with a snapshot of the
-//! metrics registry the experiments populated (counters and log2
-//! histograms). `--check` exits nonzero if a
+//! JSON (schema 2; used to refresh EXPERIMENTS.md), together with a
+//! snapshot of the metrics registry the experiments populated (counters
+//! and log2 histograms). `--check` exits nonzero if a
 //! figure's acceptance bar is missed (used by CI for `fuse` — the fused
 //! path must not lose to the unfused one — for `failover`: exact duplicate
 //! suppression and bounded, deterministic recovery — for `trace`:
 //! byte-identical deterministic exports and a bounded tracing overhead —
-//! and for `stream`: deterministic credit stalls that hit their closed-form
-//! prediction and zero lost or duplicated frames under injected `Close`).
+//! for `stream`: deterministic credit stalls that hit their closed-form
+//! prediction and zero lost or duplicated frames under injected `Close` —
+//! and for `qos`: per-tenant isolation under a 10× noisy-neighbor storm
+//! and exactly-once execution across a live policy swap + rebind).
 
 use flexrpc_bench::{
-    ablate, failover, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, serve, shed,
-    stream, trace,
+    ablate, failover, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, qos, serve,
+    shed, stream, trace,
 };
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_kernel::{NameMode, TrustLevel};
@@ -53,7 +55,10 @@ impl Report {
                 })
                 .collect()
         }
-        let mut out = String::from("{\n  \"figures\": {");
+        // Schema 2: adds the top-level version marker and the `qos`
+        // figure; metric counter names moved to the unified
+        // `<component>.<event>` registry naming.
+        let mut out = String::from("{\n  \"schema\": 2,\n  \"figures\": {");
         for (fi, (fig, rows)) in self.figures.iter().enumerate() {
             if fi > 0 {
                 out.push(',');
@@ -106,7 +111,7 @@ fn main() {
         .map(|s| s.as_str())
         .filter(|s| {
             s.starts_with("fig")
-                || ["port", "ablate", "serve", "shed", "fuse", "failover", "trace", "stream"]
+                || ["port", "ablate", "serve", "shed", "fuse", "failover", "trace", "stream", "qos"]
                     .contains(s)
         })
         .collect();
@@ -156,6 +161,9 @@ fn main() {
     }
     if want("stream") {
         run_stream(&mut report, &metrics, check);
+    }
+    if want("qos") {
+        run_qos(&mut report, check);
     }
 
     let snap = metrics.snapshot();
@@ -506,6 +514,112 @@ fn run_stream(report: &mut Report, metrics: &MetricsRegistry, check: bool) {
         } else {
             for fail in &failures {
                 eprintln!("  check FAILED: {fail}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_qos(report: &mut Report, check: bool) {
+    let mut failures = Vec::new();
+
+    println!("\n== Multi-tenant QoS: noisy neighbor at 10x, weighted-fair drain ==");
+    let r = qos::noisy_neighbor();
+    println!(
+        "  A offered {} against quota {}: admitted {}, shed {} (charged to A)",
+        r.offered_a,
+        qos::QUOTA_A,
+        r.admitted_a,
+        r.shed_a
+    );
+    println!(
+        "  B offered {}: admitted {}, shed {}, served {}",
+        qos::OFFERED_B,
+        r.admitted_b,
+        r.shed_b,
+        r.served_b
+    );
+    println!(
+        "  dwell (sim-ns): A mean {}  B mean {}  B p99 ceiling {} (bound {})",
+        r.a_dwell_mean_ns,
+        r.b_dwell_mean_ns,
+        r.b_dwell_p99_ns,
+        qos::DWELL_BOUND_NS
+    );
+    report.put("qos", "a-offered", r.offered_a as f64);
+    report.put("qos", "a-admitted", r.admitted_a as f64);
+    report.put("qos", "a-shed", r.shed_a as f64);
+    report.put("qos", "b-admitted", r.admitted_b as f64);
+    report.put("qos", "b-shed", r.shed_b as f64);
+    report.put("qos", "b-served", r.served_b as f64);
+    report.put("qos", "a-dwell-mean-ns", r.a_dwell_mean_ns as f64);
+    report.put("qos", "b-dwell-mean-ns", r.b_dwell_mean_ns as f64);
+    report.put("qos", "b-dwell-p99-ns", r.b_dwell_p99_ns as f64);
+    report.put("qos", "b-dwell-bound-ns", qos::DWELL_BOUND_NS as f64);
+    if r.b_dwell_p99_ns > qos::DWELL_BOUND_NS {
+        failures.push(format!(
+            "B's p99 dwell {} sim-ns exceeds the bound {}",
+            r.b_dwell_p99_ns,
+            qos::DWELL_BOUND_NS
+        ));
+    }
+    if r.shed_b != 0 {
+        failures.push(format!("A's storm shed {} of B's calls", r.shed_b));
+    }
+    if r.shed_a != (qos::OFFERED_A - qos::QUOTA_A) as u64 || r.engine_shed != r.shed_a {
+        failures.push(format!(
+            "A shed {} (engine {}), expected exactly its overflow {}",
+            r.shed_a,
+            r.engine_shed,
+            qos::OFFERED_A - qos::QUOTA_A
+        ));
+    }
+    if r.served_b != qos::OFFERED_B as u64 {
+        failures.push(format!("B had {} of {} calls served", r.served_b, qos::OFFERED_B));
+    }
+    let rerun = qos::noisy_neighbor();
+    let deterministic = rerun == r;
+    println!("  rerun identical: {deterministic}  (sim-time numbers, no noise)");
+    if !deterministic {
+        failures.push("two identical noisy-neighbor runs disagreed".to_string());
+    }
+
+    println!("\n== Multi-tenant QoS: live policy swap + rebind under load ==");
+    println!(
+        "  {:>10} {:>12} {:>6} {:>11} {:>8}",
+        "rebind-at", "executions", "lost", "duplicated", "rebinds"
+    );
+    for rebind_at in qos::REBIND_POINTS {
+        let r = qos::rebind_under_load(rebind_at, qos::REBIND_CALLS);
+        println!(
+            "  {:>10} {:>12} {:>6} {:>11} {:>8}",
+            r.rebind_at, r.executions, r.lost, r.duplicated, r.rebinds
+        );
+        report.put("qos", &format!("rebind-at-{rebind_at}-lost"), r.lost as f64);
+        report.put("qos", &format!("rebind-at-{rebind_at}-duplicated"), r.duplicated as f64);
+        if r.lost != 0 || r.duplicated != 0 || r.executions != qos::REBIND_CALLS as u64 {
+            failures.push(format!(
+                "rebind at {} executed {} of {} calls ({} lost, {} duplicated)",
+                r.rebind_at,
+                r.executions,
+                qos::REBIND_CALLS,
+                r.lost,
+                r.duplicated
+            ));
+        }
+        if r.rebinds != 1 {
+            failures.push(format!("rebind at {} counted {} rebinds", r.rebind_at, r.rebinds));
+        }
+    }
+    println!("  (a swapped tenant policy and a renegotiated combination, mid-backlog,");
+    println!("   cost zero lost and zero duplicated non-idempotent executions)");
+
+    if check {
+        if failures.is_empty() {
+            println!("  check: ok");
+        } else {
+            for f in &failures {
+                eprintln!("  check FAILED: {f}");
             }
             std::process::exit(1);
         }

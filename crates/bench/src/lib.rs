@@ -15,6 +15,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fuse;
 pub mod port;
+pub mod qos;
 pub mod serve;
 pub mod shed;
 pub mod stream;

@@ -12,7 +12,7 @@
 
 use flexrpc_core::present::{InterfacePresentation, Trust};
 use flexrpc_core::value::Value;
-use flexrpc_engine::{ClientInfo, Engine, EngineError};
+use flexrpc_engine::{ClientInfo, Engine, EngineError, Policy};
 use flexrpc_marshal::WireFormat;
 use flexrpc_pipes::fileio_module;
 use flexrpc_runtime::wire::AnyWriter;
@@ -60,7 +60,7 @@ fn build_engine(workers: usize, service_us: u64) -> Arc<Engine> {
     let engine = Engine::builder()
         .workers(workers)
         .queue_depth(16 * workers.max(1))
-        .high_water(8 * workers.max(1))
+        .policy(Policy::new().high_water(8 * workers.max(1)))
         .build();
     engine
         .register_service("shed", fileio_module(), "FileIO", presentation(), WireFormat::Cdr, {

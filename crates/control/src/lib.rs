@@ -1,0 +1,32 @@
+//! # flexrpc-control — the multi-tenant control plane
+//!
+//! The paper's bind-time negotiation hoists *presentation* decisions out
+//! of hand-written stubs into a shared runtime; *RPC as a Managed System
+//! Service* (mRPC) extends the argument to *operational* decisions. This
+//! crate is that manager for flexrpc engines:
+//!
+//! * [`Policy`] — one composable value holding every operational knob
+//!   (weighted-fair share, per-tenant quota, aggregate high water, dwell
+//!   limit, deadline default, breaker arming, retry license), replacing
+//!   the scattered per-builder flags.
+//! * [`PolicyHandle`] — a live, versioned handle; [`PolicyHandle::swap`]
+//!   redirects all subsequent admissions without draining anything.
+//! * [`ControlPlane`] — the shared manager mapping [`TenantId`]s to
+//!   handles and per-tenant metrics (`tenant.<id>.*` in the unified
+//!   registry), attachable to any number of engines.
+//! * [`WfqQueue`] — the start-time fair queue that replaces the engine's
+//!   single FIFO: per-tenant lanes, weight-proportional drain, quota
+//!   sheds charged to the offender, aggregate high water as a backstop.
+//!
+//! The queue is generic and engine-agnostic; the engine crate plugs its
+//! `Job` type in. Everything here is deterministic given a deterministic
+//! submission order — scheduling tags are virtual time, not wall time.
+
+pub mod plane;
+pub mod policy;
+pub mod wfq;
+
+pub use flexrpc_runtime::TenantId;
+pub use plane::{ControlPlane, TenantMetrics};
+pub use policy::{Policy, PolicyHandle};
+pub use wfq::{WfqQueue, WfqRefusal, QUANTUM};

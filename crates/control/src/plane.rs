@@ -1,0 +1,282 @@
+//! The shared control-plane manager.
+//!
+//! A [`ControlPlane`] owns operational policy for every connection of the
+//! engines attached to it: the map from [`TenantId`] to live
+//! [`PolicyHandle`], the template policy unseen tenants start from, and
+//! the per-tenant metrics (admitted/served/shed/expired counters plus a
+//! queue-dwell histogram) that make a noisy neighbor *visible* before it
+//! becomes someone else's latency. One plane can serve several engines —
+//! hoisting policy out of individual connections into a shared manager is
+//! the mRPC move the tentpole is named for.
+
+use crate::policy::{Policy, PolicyHandle};
+use flexrpc_runtime::TenantId;
+use flexrpc_trace::{Counter, Histogram, MetricsRegistry};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-tenant observability: counter cells and the dwell histogram,
+/// adopted into every attached registry under `tenant.<id>.*` names.
+pub struct TenantMetrics {
+    /// Calls admitted to the queue.
+    pub admitted: Counter,
+    /// Calls shed against this tenant's own quota.
+    pub shed: Counter,
+    /// Calls dispatched to a worker.
+    pub served: Counter,
+    /// Calls expired in the queue (dwell or deadline).
+    pub expired: Counter,
+    /// Queue dwell per served call, sim-time nanoseconds (log2 buckets).
+    pub dwell_ns: Histogram,
+}
+
+impl TenantMetrics {
+    fn detached() -> TenantMetrics {
+        TenantMetrics {
+            admitted: Counter::detached(),
+            shed: Counter::detached(),
+            served: Counter::detached(),
+            expired: Counter::detached(),
+            dwell_ns: Histogram::detached(),
+        }
+    }
+
+    fn register_into(&self, tenant: TenantId, registry: &MetricsRegistry) {
+        registry.adopt_counter(&format!("tenant.{tenant}.admitted"), &self.admitted);
+        registry.adopt_counter(&format!("tenant.{tenant}.shed"), &self.shed);
+        registry.adopt_counter(&format!("tenant.{tenant}.served"), &self.served);
+        registry.adopt_counter(&format!("tenant.{tenant}.expired"), &self.expired);
+        registry.adopt_histogram(&format!("tenant.{tenant}.dwell_ns"), &self.dwell_ns);
+    }
+}
+
+struct Tenants {
+    handles: HashMap<TenantId, PolicyHandle>,
+    metrics: HashMap<TenantId, Arc<TenantMetrics>>,
+}
+
+/// The shared manager owning per-tenant policy and metrics.
+///
+/// Engines attach to a plane at build time (`Engine::builder().control(..)`)
+/// and consult it on every admission; operators hold [`PolicyHandle`]s and
+/// swap policies live. Unknown tenants are materialised on first use from
+/// the plane's default template, so declaring a tenant is optional — the
+/// anonymous default tenant preserves single-queue behavior.
+pub struct ControlPlane {
+    tenants: RwLock<Tenants>,
+    default_template: RwLock<Arc<Policy>>,
+    /// Registries of the engines attached to this plane; new tenants'
+    /// metrics are adopted into each.
+    registries: Mutex<Vec<Arc<MetricsRegistry>>>,
+    /// Live policy swaps across all tenants.
+    swaps: Counter,
+    /// Live connection rebinds (re-negotiations) performed under this
+    /// plane's policies.
+    rebinds: Counter,
+}
+
+impl ControlPlane {
+    /// A plane whose unseen tenants start from the neutral policy.
+    pub fn new() -> Arc<ControlPlane> {
+        ControlPlane::with_default_policy(Policy::new())
+    }
+
+    /// A plane whose unseen tenants start from `template`.
+    pub fn with_default_policy(template: Policy) -> Arc<ControlPlane> {
+        Arc::new(ControlPlane {
+            tenants: RwLock::new(Tenants { handles: HashMap::new(), metrics: HashMap::new() }),
+            default_template: RwLock::new(Arc::new(template)),
+            registries: Mutex::new(Vec::new()),
+            swaps: Counter::detached(),
+            rebinds: Counter::detached(),
+        })
+    }
+
+    /// Replaces the template unseen tenants start from. Existing tenants
+    /// keep their handles.
+    pub fn set_default_policy(&self, template: Policy) {
+        *self.default_template.write() = Arc::new(template);
+    }
+
+    /// Registers `tenant` under an explicit starting `policy`, returning
+    /// its live handle. Re-registering an existing tenant swaps its
+    /// policy (counted as a swap) rather than minting a second handle.
+    pub fn register(&self, tenant: TenantId, policy: Policy) -> PolicyHandle {
+        {
+            let tenants = self.tenants.read();
+            if let Some(h) = tenants.handles.get(&tenant) {
+                let h = h.clone();
+                drop(tenants);
+                h.swap(policy);
+                self.swaps.inc();
+                return h;
+            }
+        }
+        self.materialise(tenant, Some(policy))
+    }
+
+    /// The live handle for `tenant`, creating it from the default
+    /// template on first sight.
+    pub fn tenant(&self, tenant: TenantId) -> PolicyHandle {
+        {
+            let tenants = self.tenants.read();
+            if let Some(h) = tenants.handles.get(&tenant) {
+                return h.clone();
+            }
+        }
+        self.materialise(tenant, None)
+    }
+
+    /// Swaps `tenant`'s policy live, materialising the tenant if needed.
+    /// Returns the handle's new version.
+    pub fn swap(&self, tenant: TenantId, policy: Policy) -> u64 {
+        let h = self.tenant(tenant);
+        let v = h.swap(policy);
+        self.swaps.inc();
+        v
+    }
+
+    /// The current policy for `tenant` — what an engine loads at
+    /// admission time (one map read + one `Arc` bump).
+    pub fn policy_for(&self, tenant: TenantId) -> Arc<Policy> {
+        self.tenant(tenant).load()
+    }
+
+    /// The metrics cells for `tenant`, materialising on first sight.
+    pub fn metrics_for(&self, tenant: TenantId) -> Arc<TenantMetrics> {
+        {
+            let tenants = self.tenants.read();
+            if let Some(m) = tenants.metrics.get(&tenant) {
+                return Arc::clone(m);
+            }
+        }
+        self.materialise(tenant, None);
+        Arc::clone(self.tenants.read().metrics.get(&tenant).expect("just materialised"))
+    }
+
+    /// Attaches an engine's registry: plane-level counters and every
+    /// tenant's cells (current and future) are adopted into it.
+    pub fn attach_registry(&self, registry: &Arc<MetricsRegistry>) {
+        registry.adopt_counter("control.swaps", &self.swaps);
+        registry.adopt_counter("control.rebinds", &self.rebinds);
+        let tenants = self.tenants.read();
+        for (t, m) in &tenants.metrics {
+            m.register_into(*t, registry);
+        }
+        for (t, h) in &tenants.handles {
+            registry.adopt_counter(&format!("tenant.{t}.policy_swaps"), h.swap_counter());
+        }
+        drop(tenants);
+        self.registries.lock().push(Arc::clone(registry));
+    }
+
+    /// Counts one live connection rebind performed under this plane.
+    pub fn note_rebind(&self) {
+        self.rebinds.inc();
+    }
+
+    /// Tenants materialised so far.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.read().handles.len()
+    }
+
+    /// Total live policy swaps.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.get()
+    }
+
+    /// Total live rebinds noted.
+    pub fn rebind_count(&self) -> u64 {
+        self.rebinds.get()
+    }
+
+    fn materialise(&self, tenant: TenantId, policy: Option<Policy>) -> PolicyHandle {
+        let template = Arc::clone(&self.default_template.read());
+        let mut tenants = self.tenants.write();
+        // Double-check under the write lock: another thread may have won.
+        if let Some(h) = tenants.handles.get(&tenant) {
+            return h.clone();
+        }
+        let handle = PolicyHandle::new(tenant, policy.unwrap_or_else(|| Policy::clone(&template)));
+        let metrics = Arc::new(TenantMetrics::detached());
+        for registry in self.registries.lock().iter() {
+            metrics.register_into(tenant, registry);
+            registry.adopt_counter(&format!("tenant.{tenant}.policy_swaps"), handle.swap_counter());
+        }
+        tenants.handles.insert(tenant, handle.clone());
+        tenants.metrics.insert(tenant, metrics);
+        handle
+    }
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("tenants", &self.tenant_count())
+            .field("swaps", &self.swap_count())
+            .field("rebinds", &self.rebind_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unseen_tenants_start_from_the_template() {
+        let plane = ControlPlane::with_default_policy(Policy::new().weight(5));
+        assert_eq!(plane.policy_for(TenantId(3)).weight_value(), 5);
+        assert_eq!(plane.tenant_count(), 1);
+    }
+
+    #[test]
+    fn register_then_swap_is_live_through_old_handles() {
+        let plane = ControlPlane::new();
+        let h = plane.register(TenantId(1), Policy::new().quota(8));
+        assert_eq!(h.load().quota_value(), Some(8));
+        plane.swap(TenantId(1), Policy::new().quota(2));
+        assert_eq!(h.load().quota_value(), Some(2), "old handle sees the swap");
+        assert_eq!(plane.swap_count(), 1);
+        assert_eq!(h.version(), 2);
+    }
+
+    #[test]
+    fn tenant_metrics_adopted_into_attached_registries() {
+        let plane = ControlPlane::new();
+        let registry = Arc::new(MetricsRegistry::new());
+        plane.attach_registry(&registry);
+        let m = plane.metrics_for(TenantId(9));
+        m.admitted.add(3);
+        m.shed.inc();
+        m.dwell_ns.record(1_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("tenant.9.admitted"), 3);
+        assert_eq!(snap.counter("tenant.9.shed"), 1);
+        assert_eq!(snap.histogram("tenant.9.dwell_ns").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn tenants_created_before_attach_register_too() {
+        let plane = ControlPlane::new();
+        let m = plane.metrics_for(TenantId(4));
+        m.served.add(2);
+        let registry = Arc::new(MetricsRegistry::new());
+        plane.attach_registry(&registry);
+        assert_eq!(registry.snapshot().counter("tenant.4.served"), 2);
+    }
+
+    #[test]
+    fn deadline_default_survives_swap_cycles() {
+        let plane = ControlPlane::new();
+        let h = plane.register(TenantId(2), Policy::new().deadline(Duration::from_millis(5)));
+        for _ in 0..3 {
+            let p = Policy::clone(&h.load());
+            h.swap(p);
+        }
+        assert_eq!(h.load().deadline_ns(), Some(5_000_000));
+        assert_eq!(h.version(), 4);
+    }
+}

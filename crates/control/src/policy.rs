@@ -1,0 +1,262 @@
+//! First-class operational policy.
+//!
+//! The paper hoists *presentation* decisions out of hand-written stubs
+//! into annotated interface definitions resolved at bind time; this
+//! module does the same for *operational* decisions. Every knob that used
+//! to be a scattered builder flag — admission high-water, queue-dwell
+//! limit, breaker thresholds, default deadlines, retry licensing — plus
+//! the new tenancy knobs (scheduling weight, per-tenant quota) composes
+//! into one [`Policy`] value. Policies are plain data: they can be built,
+//! compared, stored, and — via [`PolicyHandle`] — swapped **live** on a
+//! running engine without touching established connections.
+
+use flexrpc_runtime::{RetryPolicy, TenantId};
+use flexrpc_trace::Counter;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One composable bundle of operational policy.
+///
+/// A `Policy` plays two roles depending on where it is installed:
+///
+/// * **Engine-level** (via `Engine::builder().policy(..)`): `high_water`
+///   is the *aggregate* backstop across all tenants, `dwell_limit` /
+///   `breaker` govern the whole engine.
+/// * **Tenant-level** (via a control plane's [`PolicyHandle`]): `weight`
+///   sets the tenant's weighted-fair share, `quota` bounds how many of
+///   its calls may be queued at once (excess is shed against *this*
+///   tenant, not the engine), `dwell_limit` / `deadline` override the
+///   engine defaults for this tenant's calls, and `retry` is the retry
+///   schedule connections under this policy inherit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    weight: u32,
+    quota: Option<usize>,
+    high_water: Option<usize>,
+    dwell_limit_ns: Option<u64>,
+    deadline_ns: Option<u64>,
+    breaker: Option<(u32, u64)>,
+    retry: Option<RetryPolicy>,
+}
+
+impl Default for Policy {
+    fn default() -> Policy {
+        Policy {
+            weight: 1,
+            quota: None,
+            high_water: None,
+            dwell_limit_ns: None,
+            deadline_ns: None,
+            breaker: None,
+            retry: None,
+        }
+    }
+}
+
+impl Policy {
+    /// The neutral policy: weight 1, no quota, no backstop, no limits.
+    pub fn new() -> Policy {
+        Policy::default()
+    }
+
+    /// Sets the weighted-fair scheduling share (minimum 1). A tenant with
+    /// weight 3 drains three calls for every one of a weight-1 tenant
+    /// while both are backlogged.
+    pub fn weight(mut self, w: u32) -> Policy {
+        self.weight = w.max(1);
+        self
+    }
+
+    /// Caps how many of this tenant's calls may be queued at once.
+    /// Submissions past the quota are shed immediately (`Overloaded`),
+    /// charged to this tenant's own shed counter — the mechanism that
+    /// keeps one storming tenant from consuming the shared queue.
+    pub fn quota(mut self, max_queued: usize) -> Policy {
+        self.quota = Some(max_queued);
+        self
+    }
+
+    /// Aggregate admission backstop: with more than `limit` calls queued
+    /// engine-wide, further submissions are shed regardless of tenant.
+    /// The engine-level successor of the old `high_water` builder knob.
+    pub fn high_water(mut self, limit: usize) -> Policy {
+        self.high_water = Some(limit);
+        self
+    }
+
+    /// Bounds queue dwell: a call still queued `limit` after submission
+    /// is expired instead of dispatched.
+    pub fn dwell_limit(mut self, limit: Duration) -> Policy {
+        self.dwell_limit_ns = Some(u64::try_from(limit.as_nanos()).unwrap_or(u64::MAX));
+        self
+    }
+
+    /// Default per-call deadline for calls that did not set their own.
+    pub fn deadline(mut self, d: Duration) -> Policy {
+        self.deadline_ns = Some(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        self
+    }
+
+    /// Arms the engine's circuit breaker: `threshold` consecutive
+    /// dispatch failures trip it open for `cooldown` of sim time.
+    pub fn breaker(mut self, threshold: u32, cooldown: Duration) -> Policy {
+        self.breaker = Some((threshold, u64::try_from(cooldown.as_nanos()).unwrap_or(u64::MAX)));
+        self
+    }
+
+    /// Default retry license connections under this policy inherit.
+    pub fn retry(mut self, policy: RetryPolicy) -> Policy {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The weighted-fair share.
+    pub fn weight_value(&self) -> u32 {
+        self.weight
+    }
+
+    /// The per-tenant queued-call quota, if bounded.
+    pub fn quota_value(&self) -> Option<usize> {
+        self.quota
+    }
+
+    /// The aggregate high-water backstop, if bounded.
+    pub fn high_water_value(&self) -> Option<usize> {
+        self.high_water
+    }
+
+    /// The queue-dwell limit in nanoseconds, if bounded.
+    pub fn dwell_limit_ns(&self) -> Option<u64> {
+        self.dwell_limit_ns
+    }
+
+    /// The default deadline in nanoseconds, if set.
+    pub fn deadline_ns(&self) -> Option<u64> {
+        self.deadline_ns
+    }
+
+    /// The breaker arming `(threshold, cooldown_ns)`, if armed.
+    pub fn breaker_config(&self) -> Option<(u32, u64)> {
+        self.breaker
+    }
+
+    /// The default retry policy, if set.
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
+    }
+}
+
+/// A live, shared handle to one tenant's [`Policy`].
+///
+/// The handle is the unit of *live swap*: the engine loads the current
+/// policy through it at every admission, so [`PolicyHandle::swap`]
+/// redirects all subsequent scheduling/quota/deadline decisions without
+/// draining the engine or touching established connections. Clones share
+/// the same cell. Swaps are cheap (one `Arc` store) and versioned, so a
+/// caller can tell whether a connection has observed the latest policy.
+#[derive(Clone)]
+pub struct PolicyHandle {
+    tenant: TenantId,
+    cell: Arc<PolicyCell>,
+}
+
+struct PolicyCell {
+    policy: RwLock<Arc<Policy>>,
+    version: AtomicU64,
+    swaps: Counter,
+}
+
+impl PolicyHandle {
+    /// A handle for `tenant` starting at `policy`, version 1.
+    pub fn new(tenant: TenantId, policy: Policy) -> PolicyHandle {
+        PolicyHandle {
+            tenant,
+            cell: Arc::new(PolicyCell {
+                policy: RwLock::new(Arc::new(policy)),
+                version: AtomicU64::new(1),
+                swaps: Counter::detached(),
+            }),
+        }
+    }
+
+    /// The tenant this handle governs.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The current policy (one atomic ref-count bump; admission-path
+    /// cheap).
+    pub fn load(&self) -> Arc<Policy> {
+        Arc::clone(&self.cell.policy.read())
+    }
+
+    /// Replaces the policy **live**: every admission after the store sees
+    /// the new value; calls already queued keep the scheduling tags they
+    /// were admitted under (they are never dropped by a swap). Returns
+    /// the new version number.
+    pub fn swap(&self, policy: Policy) -> u64 {
+        *self.cell.policy.write() = Arc::new(policy);
+        self.cell.swaps.inc();
+        self.cell.version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The monotonic policy version (1 = as constructed).
+    pub fn version(&self) -> u64 {
+        self.cell.version.load(Ordering::Relaxed)
+    }
+
+    /// The swap counter cell (adopted by the control plane's registry).
+    pub(crate) fn swap_counter(&self) -> &Counter {
+        &self.cell.swaps
+    }
+}
+
+impl std::fmt::Debug for PolicyHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyHandle")
+            .field("tenant", &self.tenant)
+            .field("version", &self.version())
+            .field("policy", &*self.load())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_and_reads_back() {
+        let p = Policy::new()
+            .weight(4)
+            .quota(16)
+            .high_water(256)
+            .dwell_limit(Duration::from_millis(5))
+            .deadline(Duration::from_millis(50))
+            .breaker(3, Duration::from_millis(10));
+        assert_eq!(p.weight_value(), 4);
+        assert_eq!(p.quota_value(), Some(16));
+        assert_eq!(p.high_water_value(), Some(256));
+        assert_eq!(p.dwell_limit_ns(), Some(5_000_000));
+        assert_eq!(p.deadline_ns(), Some(50_000_000));
+        assert_eq!(p.breaker_config(), Some((3, 10_000_000)));
+    }
+
+    #[test]
+    fn weight_floor_is_one() {
+        assert_eq!(Policy::new().weight(0).weight_value(), 1);
+    }
+
+    #[test]
+    fn swap_is_visible_through_clones_and_versions() {
+        let h = PolicyHandle::new(TenantId(7), Policy::new().weight(1));
+        let h2 = h.clone();
+        assert_eq!(h.version(), 1);
+        let v = h.swap(Policy::new().weight(9));
+        assert_eq!(v, 2);
+        assert_eq!(h2.load().weight_value(), 9, "clones share the cell");
+        assert_eq!(h2.version(), 2);
+    }
+}

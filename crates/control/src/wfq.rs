@@ -1,0 +1,394 @@
+//! A weighted-fair bounded MPMC queue (start-time fair queuing).
+//!
+//! Each tenant owns a FIFO *lane*; every admitted item receives a virtual
+//! start tag `S = max(virtual_now, lane.last_finish)` and advances the
+//! lane's finish to `S + QUANTUM / weight`. Consumers always dequeue the
+//! item with the smallest start tag (ties broken by tenant id, so the
+//! order is total and deterministic), and the queue's virtual clock jumps
+//! to the tag of the item in service. This is Goyal's start-time fair
+//! queuing: while several lanes stay backlogged, each drains in
+//! proportion to its weight, within one quantum of the ideal fluid
+//! schedule — a tenant at 10× offered load gets 10× *shed*, not 10×
+//! service.
+//!
+//! Admission enforces three bounds, in order: a per-tenant `quota` (shed
+//! immediately, charged to that tenant), an optional aggregate
+//! `high_water` backstop (shed, charged to the aggregate), and the hard
+//! `capacity` (blocking backpressure, as [the engine's old bounded
+//! queue](https://en.wikipedia.org/wiki/Fair_queuing) did).
+
+use flexrpc_runtime::TenantId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Scaled cost of one call at weight 1. Large enough that integer
+/// division by any sane weight keeps plenty of resolution (weight 1000
+/// still leaves ~1000 distinguishable steps per call).
+pub const QUANTUM: u64 = 1 << 20;
+
+/// One tenant's FIFO lane plus its fair-queuing state.
+struct Lane<T> {
+    /// Queued items with their start tags (FIFO within the lane, so tags
+    /// are non-decreasing front to back).
+    items: VecDeque<(u64, T)>,
+    /// Virtual finish tag of the lane's last admitted item.
+    last_finish: u64,
+}
+
+struct State<T> {
+    lanes: BTreeMap<TenantId, Lane<T>>,
+    /// The queue's virtual clock: the start tag of the item most recently
+    /// dequeued. Only advances on dequeue, so items admitted while the
+    /// consumer is busy all compete from the same baseline.
+    virtual_now: u64,
+    /// Items across all lanes.
+    total: usize,
+    closed: bool,
+}
+
+/// Why [`WfqQueue::try_push`] refused an item (the item rides back).
+#[derive(Debug)]
+pub enum WfqRefusal<T> {
+    /// The submitting tenant is at its own quota — shed against that
+    /// tenant, other lanes unaffected.
+    Quota(T),
+    /// The aggregate backstop (high water or capacity) is reached.
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+/// A bounded weighted-fair queue shared between submitters (producers)
+/// and a worker pool (consumers).
+pub struct WfqQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    /// Signalled when space frees up (wakes blocked producers).
+    not_full: Condvar,
+    /// Signalled when an item arrives or the queue closes (wakes consumers).
+    not_empty: Condvar,
+}
+
+impl<T> WfqQueue<T> {
+    /// Creates a queue holding at most `capacity` items across all lanes
+    /// (min 1).
+    pub fn new(capacity: usize) -> WfqQueue<T> {
+        WfqQueue {
+            state: Mutex::new(State {
+                lanes: BTreeMap::new(),
+                virtual_now: 0,
+                total: 0,
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn admit(state: &mut State<T>, tenant: TenantId, weight: u32, item: T) {
+        let lane = state
+            .lanes
+            .entry(tenant)
+            .or_insert_with(|| Lane { items: VecDeque::new(), last_finish: 0 });
+        let start = state.virtual_now.max(lane.last_finish);
+        lane.last_finish = start + QUANTUM / u64::from(weight.max(1));
+        lane.items.push_back((start, item));
+        state.total += 1;
+    }
+
+    /// Enqueues `item` on `tenant`'s lane at `weight`, blocking while the
+    /// queue is at capacity (backpressure). A `quota` bound is checked
+    /// *without* blocking: a tenant at its own limit is refused
+    /// immediately — its storm must not slow other tenants' producers
+    /// down. Returns the item on refusal.
+    pub fn push(
+        &self,
+        item: T,
+        tenant: TenantId,
+        weight: u32,
+        quota: Option<usize>,
+    ) -> Result<(), WfqRefusal<T>> {
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return Err(WfqRefusal::Closed(item));
+            }
+            if let Some(q) = quota {
+                let queued = state.lanes.get(&tenant).map_or(0, |l| l.items.len());
+                if queued >= q.max(1) {
+                    return Err(WfqRefusal::Quota(item));
+                }
+            }
+            if state.total < self.capacity {
+                Self::admit(&mut state, tenant, weight, item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut state);
+        }
+    }
+
+    /// Enqueues `item` only if `tenant` is under `quota` *and* the
+    /// aggregate backlog is under `high_water` — admission control's fast
+    /// path. Never blocks; the refusal says which bound was hit, so the
+    /// shed is charged to the right party.
+    pub fn try_push(
+        &self,
+        item: T,
+        tenant: TenantId,
+        weight: u32,
+        quota: Option<usize>,
+        high_water: usize,
+    ) -> Result<(), WfqRefusal<T>> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(WfqRefusal::Closed(item));
+        }
+        if let Some(q) = quota {
+            let queued = state.lanes.get(&tenant).map_or(0, |l| l.items.len());
+            if queued >= q.max(1) {
+                return Err(WfqRefusal::Quota(item));
+            }
+        }
+        if state.total >= high_water.min(self.capacity) {
+            return Err(WfqRefusal::Full(item));
+        }
+        Self::admit(&mut state, tenant, weight, item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the item with the smallest start tag (ties: lowest tenant
+    /// id), blocking while empty. Returns `None` once the queue is closed
+    /// *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            let next = state
+                .lanes
+                .iter()
+                .filter_map(|(t, lane)| lane.items.front().map(|(tag, _)| (*tag, *t)))
+                .min();
+            if let Some((tag, tenant)) = next {
+                let lane = state.lanes.get_mut(&tenant).expect("lane with a head exists");
+                let (_, item) = lane.items.pop_front().expect("head exists");
+                state.total -= 1;
+                state.virtual_now = state.virtual_now.max(tag);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Closes the queue and returns every item that had not yet been
+    /// started, in dequeue (fair) order: future pushes fail, blocked
+    /// consumers wake to `None`, and the caller decides the fate of the
+    /// unstarted backlog.
+    #[must_use = "unstarted items must be failed, not silently dropped"]
+    pub fn close(&self) -> Vec<T> {
+        let mut state = self.state.lock();
+        state.closed = true;
+        let mut unstarted = Vec::with_capacity(state.total);
+        loop {
+            let next = state
+                .lanes
+                .iter()
+                .filter_map(|(t, lane)| lane.items.front().map(|(tag, _)| (*tag, *t)))
+                .min();
+            let Some((_, tenant)) = next else { break };
+            let lane = state.lanes.get_mut(&tenant).expect("lane with a head exists");
+            let (_, item) = lane.items.pop_front().expect("head exists");
+            unstarted.push(item);
+        }
+        state.total = 0;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        unstarted
+    }
+
+    /// Items currently queued across all lanes (a racy snapshot).
+    pub fn len(&self) -> usize {
+        self.state.lock().total
+    }
+
+    /// Items currently queued on `tenant`'s lane (a racy snapshot).
+    pub fn lane_len(&self, tenant: TenantId) -> usize {
+        self.state.lock().lanes.get(&tenant).map_or(0, |l| l.items.len())
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for WfqQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WfqQueue(len={}, cap={})", self.len(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    const T1: TenantId = TenantId(1);
+    const T2: TenantId = TenantId(2);
+
+    #[test]
+    fn single_lane_is_fifo() {
+        let q = WfqQueue::new(8);
+        for i in 0..5 {
+            q.push(i, T1, 1, None).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn equal_weights_interleave() {
+        let q = WfqQueue::new(16);
+        for i in 0..4 {
+            q.push(("a", i), T1, 1, None).unwrap();
+        }
+        for i in 0..4 {
+            q.push(("b", i), T2, 1, None).unwrap();
+        }
+        let order: Vec<_> = (0..8).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(
+            order,
+            vec![("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2), ("a", 3), ("b", 3)],
+            "equal backlogged lanes alternate even though one arrived entirely first"
+        );
+    }
+
+    #[test]
+    fn weights_bias_the_drain() {
+        let q = WfqQueue::new(32);
+        for i in 0..9 {
+            q.push(("heavy", i), T1, 3, None).unwrap();
+        }
+        for i in 0..3 {
+            q.push(("light", i), T2, 1, None).unwrap();
+        }
+        // In every window of 4 dequeues while both lanes are backlogged,
+        // the weight-3 lane gets 3 and the weight-1 lane gets 1.
+        let order: Vec<_> = (0..12).map(|_| q.pop().unwrap()).collect();
+        for w in 0..3 {
+            let window = &order[w * 4..w * 4 + 4];
+            let heavy = window.iter().filter(|(t, _)| *t == "heavy").count();
+            assert_eq!(heavy, 3, "window {w}: {window:?}");
+        }
+    }
+
+    #[test]
+    fn quota_sheds_only_the_offender() {
+        let q = WfqQueue::new(32);
+        for i in 0..4 {
+            q.push(i, T1, 1, Some(4)).unwrap();
+        }
+        assert!(
+            matches!(q.push(99, T1, 1, Some(4)), Err(WfqRefusal::Quota(99))),
+            "fifth item busts the quota"
+        );
+        q.push(100, T2, 1, Some(4)).unwrap();
+        assert_eq!(q.lane_len(T1), 4);
+        assert_eq!(q.lane_len(T2), 1);
+    }
+
+    #[test]
+    fn high_water_backstop_sheds_everyone() {
+        let q = WfqQueue::new(32);
+        q.try_push(1, T1, 1, None, 2).unwrap();
+        q.try_push(2, T2, 1, None, 2).unwrap();
+        assert!(matches!(q.try_push(3, T1, 1, None, 2), Err(WfqRefusal::Full(3))));
+        assert!(matches!(q.try_push(3, T2, 1, None, 2), Err(WfqRefusal::Full(3))));
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_until_space() {
+        let q = Arc::new(WfqQueue::new(1));
+        q.push(1, T1, 1, None).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(2, T1, 1, None).is_ok());
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "second push must be blocked");
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_returns_unstarted_in_fair_order() {
+        let q = WfqQueue::new(8);
+        q.push("a0", T1, 1, None).unwrap();
+        q.push("a1", T1, 1, None).unwrap();
+        q.push("b0", T2, 1, None).unwrap();
+        assert_eq!(q.close(), vec!["a0", "b0", "a1"]);
+        assert!(matches!(q.push("x", T1, 1, None), Err(WfqRefusal::Closed("x"))));
+        assert_eq!(q.pop(), None, "consumers see the end immediately");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(WfqQueue::<u32>::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert!(q.close().is_empty());
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q = Arc::new(WfqQueue::new(4));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..100u64 {
+                        q.push(p * 1000 + i, TenantId(p), (p + 1) as u32, None).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let stolen = q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.extend(stolen);
+        all.sort_unstable();
+        let mut expect: Vec<u64> =
+            (0..4u64).flat_map(|p| (0..100u64).map(move |i| p * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect, "every job consumed exactly once");
+    }
+}

@@ -1,0 +1,110 @@
+//! Properties of weighted-fair dequeue order.
+//!
+//! With every lane continuously backlogged (all items admitted before the
+//! first dequeue), start-time fair queuing guarantees each tenant's
+//! service tracks its weight within one quantum: over any window of
+//! `sum(weights)` consecutive dequeues, tenant *i* receives `weight_i ± 1`
+//! slots, and cumulative normalized service (`served / weight`) never
+//! diverges between tenants by more than one round. FIFO order within a
+//! lane is absolute.
+
+use flexrpc_control::{TenantId, WfqQueue};
+use proptest::prelude::*;
+
+/// Drains a fully backlogged queue, returning the dequeue order as
+/// `(tenant index, per-tenant sequence number)`.
+fn drain_order(weights: &[u32], per_lane: usize) -> Vec<(usize, usize)> {
+    let q = WfqQueue::new(weights.len() * per_lane + 1);
+    for (t, &w) in weights.iter().enumerate() {
+        for i in 0..per_lane {
+            q.push((t, i), TenantId(t as u64 + 1), w, None).unwrap();
+        }
+    }
+    (0..weights.len() * per_lane).map(|_| q.pop().unwrap()).collect()
+}
+
+proptest! {
+    #[test]
+    fn windows_of_one_round_respect_weights(
+        weights in prop::collection::vec(1u32..6, 2..5),
+        rounds in 2usize..6,
+    ) {
+        let total_weight: u32 = weights.iter().sum();
+        // Give every lane enough backlog to stay backlogged through all
+        // complete rounds: weight_i items drain per round.
+        let per_lane = (*weights.iter().max().unwrap() as usize) * rounds;
+        let order = drain_order(&weights, per_lane);
+
+        // While all lanes are backlogged (the first `rounds - 1` full
+        // windows are safely inside that regime), each window of
+        // `total_weight` dequeues gives tenant i its weight ± 1.
+        for w in 0..rounds - 1 {
+            let window = &order[w * total_weight as usize..(w + 1) * total_weight as usize];
+            for (t, &wt) in weights.iter().enumerate() {
+                let got = window.iter().filter(|(tt, _)| *tt == t).count() as i64;
+                let want = wt as i64;
+                prop_assert!(
+                    (got - want).abs() <= 1,
+                    "window {}: tenant {} got {} slots, weight {} (order {:?})",
+                    w, t, got, wt, window
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_normalized_service_stays_within_one_round(
+        weights in prop::collection::vec(1u32..6, 2..5),
+    ) {
+        let rounds = 4usize;
+        let per_lane = (*weights.iter().max().unwrap() as usize) * rounds;
+        let order = drain_order(&weights, per_lane);
+        let backlogged_prefix = weights.iter().map(|&w| w as usize).sum::<usize>() * (rounds - 1);
+
+        let mut served = vec![0u64; weights.len()];
+        for &(t, _) in &order[..backlogged_prefix] {
+            served[t] += 1;
+            // Normalized service: served_i / weight_i, compared by
+            // cross-multiplication to stay in integers. Bound: one round.
+            for i in 0..weights.len() {
+                for j in 0..weights.len() {
+                    let (si, wi) = (served[i], u64::from(weights[i]));
+                    let (sj, wj) = (served[j], u64::from(weights[j]));
+                    // |si/wi - sj/wj| <= 1/wi + 1/wj (one quantum per
+                    // lane), cross-multiplied: |si*wj - sj*wi| <= wi + wj.
+                    let diff = (si * wj) as i128 - (sj * wi) as i128;
+                    prop_assert!(
+                        diff.abs() <= (wi + wj) as i128,
+                        "lag between {} and {} exceeds bound: served {:?} weights {:?}",
+                        i, j, served, weights
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_within_every_lane(
+        weights in prop::collection::vec(1u32..6, 2..5),
+    ) {
+        let per_lane = 8usize;
+        let order = drain_order(&weights, per_lane);
+        let mut next = vec![0usize; weights.len()];
+        for (t, i) in order {
+            prop_assert_eq!(i, next[t], "lane {} dequeued out of order", t);
+            next[t] += 1;
+        }
+        for (t, n) in next.iter().enumerate() {
+            prop_assert_eq!(*n, per_lane, "lane {} not fully drained", t);
+        }
+    }
+
+    #[test]
+    fn drain_order_is_deterministic(
+        weights in prop::collection::vec(1u32..6, 2..5),
+    ) {
+        let a = drain_order(&weights, 6);
+        let b = drain_order(&weights, 6);
+        prop_assert_eq!(a, b);
+    }
+}

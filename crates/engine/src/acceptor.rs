@@ -51,7 +51,9 @@ pub fn expose_on_net(
                 Ok(x) => x,
                 Err(e) => return Err(format!("undecodable call in stream: {e}")),
             };
-            let tag = tag.map(|(binding, seq)| CallTag { binding, seq });
+            let tag = tag.map(|(binding, seq, tenant)| {
+                CallTag::for_tenant(binding, seq, flexrpc_runtime::TenantId(tenant))
+            });
             outcomes
                 .push((hdr.xid, submit_one(&eng, &pool, &compiled, hdr, tag, args, (prog, vers))));
         }

@@ -1,8 +1,8 @@
 //! The serving engine: acceptor, worker pool, replica pools, connections.
 //!
 //! One engine serves many clients across many services with a fixed pool
-//! of worker threads. Work arrives as [`Job`]s on a bounded queue — from
-//! same-domain clients through [`EngineConnection`] (a
+//! of worker threads. Work arrives as [`Job`]s on a weighted-fair queue —
+//! from same-domain clients through [`EngineConnection`] (a
 //! [`Transport`](flexrpc_runtime::transport::Transport) impl) or from the
 //! simulated network through [`crate::acceptor`] — and every job dispatches
 //! into a [`ServerInterface`] *replica* drawn from the pool for that
@@ -15,23 +15,31 @@
 //! ring), all sharing one compiled program from the [`ProgramCache`]. The
 //! expensive part — compilation — happens once per combination; the cheap
 //! part — a handler table — is replicated for parallelism.
+//!
+//! Operational policy is owned by a [`ControlPlane`]: every submission
+//! carries a [`TenantId`], admission consults that tenant's live
+//! [`Policy`] (weight, quota, dwell/deadline overrides), and the queue
+//! drains lanes in weighted-fair order. The engine's own [`Policy`]
+//! (high-water backstop, default dwell limit, breaker) is swappable live
+//! via [`Engine::swap_policy`]; a connection's program combination is
+//! swappable live via [`EngineConnection::rebind`].
 
 use crate::breaker::CircuitBreaker;
 use crate::cache::{ProgramCache, ProgramKey};
-use crate::queue::{BoundedQueue, PushRefusal};
 use crate::stats::{EngineCounters, EngineStatsSnapshot};
 use flexrpc_clock::{Fault, FaultInjector, SimClock};
+use flexrpc_control::{ControlPlane, Policy, PolicyHandle, TenantMetrics, WfqQueue, WfqRefusal};
 use flexrpc_core::compat::negotiate_call_shape;
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_core::ir::Module;
 use flexrpc_core::present::{CallShape, InterfacePresentation, Trust};
 use flexrpc_core::program::{CompiledInterface, CompiledOp};
 use flexrpc_marshal::WireFormat;
-use flexrpc_runtime::policy::{CallControl, CallOptions, CallTag};
+use flexrpc_runtime::policy::{CallControl, CallOptions, CallTag, TenantId};
 use flexrpc_runtime::replycache::ReplyCache;
 use flexrpc_runtime::transport::Transport;
 use flexrpc_runtime::{RpcError, ServerInterface};
-use flexrpc_trace::{Histogram, MetricsRegistry, SharedCallTrace, Stage};
+use flexrpc_trace::{Counter, Histogram, MetricsRegistry, SharedCallTrace, Stage};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -47,7 +55,9 @@ pub enum EngineError {
     DuplicateService(String),
     /// The engine is shutting down.
     Closed,
-    /// The engine shed the call at admission (queue above high water).
+    /// The engine shed the call at admission: either the submitting
+    /// tenant is over its own quota, or the aggregate backlog is above
+    /// the engine policy's high-water backstop.
     Overloaded,
     /// Program compilation failed for a combination.
     Compile(flexrpc_core::CoreError),
@@ -226,10 +236,15 @@ struct Job {
     rights: Vec<u32>,
     slot: Arc<ReplySlot>,
     /// Absolute sim-clock deadline: the tighter of the caller's deadline
-    /// and the engine's queue-dwell limit, fixed at admission.
+    /// and the effective queue-dwell limit, fixed at admission.
     deadline_ns: Option<u64>,
     /// At-most-once identity, consulted against the engine's reply cache.
     tag: Option<CallTag>,
+    /// The tenant this call was admitted under (per-tenant accounting).
+    tenant: TenantId,
+    /// The tenant's metric cells, resolved once at admission so the
+    /// worker never touches the control plane's maps.
+    tenant_metrics: Arc<TenantMetrics>,
     /// Induced `Close` fault: execute (and cache) normally, then lose the
     /// reply — the submitter sees a disconnect.
     close_after: bool,
@@ -294,19 +309,19 @@ struct Service {
     pools: RwLock<HashMap<ProgramKey, Arc<ReplicaPool>>>,
 }
 
-/// Configures and starts an [`Engine`]: sizing knobs plus the robustness
-/// policy knobs (admission high-water mark, queue-dwell limit, shared sim
-/// clock). Obtain via [`Engine::builder`].
+/// Configures and starts an [`Engine`]: sizing knobs, the engine-level
+/// [`Policy`] (aggregate high water, default dwell limit, breaker), and
+/// the [`ControlPlane`] that owns per-tenant policy. Obtain via
+/// [`Engine::builder`].
 #[derive(Debug)]
 pub struct EngineBuilder {
     workers: usize,
     queue_depth: usize,
-    high_water: Option<usize>,
-    dwell_limit_ns: Option<u64>,
     clock: Option<Arc<SimClock>>,
     specialize: SpecializeOptions,
     amo_ttl: Option<Duration>,
-    breaker: Option<(u32, u64)>,
+    policy: Policy,
+    control: Option<Arc<ControlPlane>>,
 }
 
 impl Default for EngineBuilder {
@@ -314,12 +329,11 @@ impl Default for EngineBuilder {
         EngineBuilder {
             workers: 4,
             queue_depth: 64,
-            high_water: None,
-            dwell_limit_ns: None,
             clock: None,
             specialize: SpecializeOptions::default(),
             amo_ttl: None,
-            breaker: None,
+            policy: Policy::new(),
+            control: None,
         }
     }
 }
@@ -332,25 +346,52 @@ impl EngineBuilder {
     }
 
     /// Job-queue capacity (default 64, min 1); pushes beyond it block
-    /// (backpressure) unless a high-water mark sheds first.
+    /// (backpressure) unless the engine policy's high-water mark or a
+    /// tenant's quota sheds first.
     pub fn queue_depth(mut self, n: usize) -> EngineBuilder {
         self.queue_depth = n.max(1);
         self
     }
 
-    /// Admission high-water mark: once this many jobs are queued, new
-    /// submissions fail fast with [`EngineError::Overloaded`] instead of
-    /// blocking. Unset by default (pure backpressure, never shed).
-    pub fn high_water(mut self, n: usize) -> EngineBuilder {
-        self.high_water = Some(n.max(1));
+    /// The engine-level [`Policy`]: aggregate admission high water,
+    /// default queue-dwell limit, breaker arming. Replaces the former
+    /// `high_water` / `dwell_limit` / `breaker` knobs with one composable
+    /// value; swap it later, live, with [`Engine::swap_policy`].
+    pub fn policy(mut self, policy: Policy) -> EngineBuilder {
+        self.policy = policy;
         self
     }
 
-    /// Queue-dwell limit: a job that waits longer than this for a worker
-    /// fails with `DeadlineExceeded` even if its caller set no deadline —
-    /// stale work is not worth starting. Unset by default.
+    /// Attaches a shared [`ControlPlane`]: per-tenant policy handles and
+    /// metrics are resolved through it at every admission, and the
+    /// engine's registry adopts its `control.*` / `tenant.*` cells. A
+    /// private plane is created when none is supplied.
+    pub fn control(mut self, plane: Arc<ControlPlane>) -> EngineBuilder {
+        self.control = Some(plane);
+        self
+    }
+
+    /// Admission high-water mark.
+    #[deprecated(note = "compose `Policy::new().high_water(n)` and pass it to \
+                         `EngineBuilder::policy`")]
+    pub fn high_water(mut self, n: usize) -> EngineBuilder {
+        self.policy = std::mem::take(&mut self.policy).high_water(n.max(1));
+        self
+    }
+
+    /// Queue-dwell limit.
+    #[deprecated(note = "compose `Policy::new().dwell_limit(d)` and pass it to \
+                         `EngineBuilder::policy`")]
     pub fn dwell_limit(mut self, d: Duration) -> EngineBuilder {
-        self.dwell_limit_ns = Some(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        self.policy = std::mem::take(&mut self.policy).dwell_limit(d);
+        self
+    }
+
+    /// Circuit breaker arming.
+    #[deprecated(note = "compose `Policy::new().breaker(threshold, cooldown)` and pass it \
+                         to `EngineBuilder::policy`")]
+    pub fn breaker(mut self, threshold: u32, cooldown: Duration) -> EngineBuilder {
+        self.policy = std::mem::take(&mut self.policy).breaker(threshold, cooldown);
         self
     }
 
@@ -376,25 +417,18 @@ impl EngineBuilder {
         self
     }
 
-    /// Installs a circuit breaker: `threshold` consecutive dispatch
-    /// failures trip it open, refusing admission with
-    /// [`EngineError::Unhealthy`] until `cooldown` of sim time passes and
-    /// a probe call succeeds. Off by default.
-    pub fn breaker(mut self, threshold: u32, cooldown: Duration) -> EngineBuilder {
-        self.breaker = Some((threshold, u64::try_from(cooldown.as_nanos()).unwrap_or(u64::MAX)));
-        self
-    }
-
     /// Starts the engine: spawns the worker pool, returns the shared handle.
     pub fn build(self) -> Arc<Engine> {
         let clock = self.clock.unwrap_or_default();
         let reply_cache = self.amo_ttl.map(|ttl| ReplyCache::new(Arc::clone(&clock), ttl));
+        let breaker = self.policy.breaker_config().map(|(t, c)| CircuitBreaker::new(t, c));
+        let control = self.control.unwrap_or_else(ControlPlane::new);
         let engine = Arc::new(Engine {
             workers_n: self.workers,
-            high_water: self.high_water,
-            dwell_limit_ns: self.dwell_limit_ns,
+            policy: RwLock::new(Arc::new(self.policy)),
+            control,
             clock,
-            queue: Arc::new(BoundedQueue::new(self.queue_depth)),
+            queue: Arc::new(WfqQueue::new(self.queue_depth)),
             workers: Mutex::new(Vec::new()),
             cache: ProgramCache::new(),
             services: RwLock::new(HashMap::new()),
@@ -402,19 +436,27 @@ impl EngineBuilder {
             specialize: self.specialize,
             faults: FaultInjector::new(),
             reply_cache,
-            breaker: self.breaker.map(|(t, c)| CircuitBreaker::new(t, c)),
+            breaker,
             metrics: Arc::new(MetricsRegistry::new()),
             dwell_ns: Histogram::detached(),
+            rebinds: Counter::detached(),
         });
-        // The registry adopts every live counter the engine owns, so
-        // `engine.metrics().snapshot()` and `engine.stats()` read the same
-        // cells.
+        // The registry adopts every live counter the engine owns — its
+        // own, the program cache's, the breaker's, the reply cache's, and
+        // the control plane's per-tenant cells — so
+        // `engine.metrics().snapshot()` and `engine.stats()` read the
+        // same cells.
         engine.counters.register_into(&engine.metrics);
         engine.cache.register_metrics(&engine.metrics);
         if let Some(b) = &engine.breaker {
             b.register_metrics(&engine.metrics);
         }
+        if let Some(c) = &engine.reply_cache {
+            c.register_metrics(&engine.metrics);
+        }
         engine.metrics.adopt_histogram("engine.dwell_ns", &engine.dwell_ns);
+        engine.metrics.adopt_counter("engine.rebinds", &engine.rebinds);
+        engine.control.attach_registry(&engine.metrics);
         let mut workers = engine.workers.lock();
         for i in 0..engine.workers_n {
             let queue = Arc::clone(&engine.queue);
@@ -432,13 +474,17 @@ impl EngineBuilder {
                                 if let Some(engine) = eng.upgrade() {
                                     engine.counters.job_expired();
                                 }
+                                job.tenant_metrics.expired.inc();
                                 job.slot.fill(Err(RpcError::DeadlineExceeded));
                                 continue;
                             }
                             let started_ns = clock.now_ns();
+                            let dwell = started_ns.saturating_sub(job.enqueue_ns);
                             if let Some(engine) = eng.upgrade() {
-                                engine.dwell_ns.record(started_ns.saturating_sub(job.enqueue_ns));
+                                engine.dwell_ns.record(dwell);
                             }
+                            job.tenant_metrics.served.inc();
+                            job.tenant_metrics.dwell_ns.record(dwell);
                             if let Some((t, call)) = &job.trace {
                                 t.record(*call, Stage::Enqueue, job.enqueue_ns, started_ns, 0);
                             }
@@ -499,10 +545,14 @@ impl EngineBuilder {
 /// its worker threads until [`Engine::shutdown`] (or drop).
 pub struct Engine {
     workers_n: usize,
-    high_water: Option<usize>,
-    dwell_limit_ns: Option<u64>,
+    /// The engine-level aggregate policy (high water, default dwell
+    /// limit). Swappable live; the breaker below was armed from the
+    /// policy the engine was built with.
+    policy: RwLock<Arc<Policy>>,
+    /// The control plane owning per-tenant policy and metrics.
+    control: Arc<ControlPlane>,
     clock: Arc<SimClock>,
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<WfqQueue<Job>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     cache: ProgramCache,
     services: RwLock<HashMap<String, Arc<Service>>>,
@@ -512,19 +562,23 @@ pub struct Engine {
     faults: FaultInjector,
     /// At-most-once reply cache, if [`EngineBuilder::at_most_once`] set.
     reply_cache: Option<Arc<ReplyCache>>,
-    /// Admission health gate, if [`EngineBuilder::breaker`] set.
+    /// Admission health gate, armed from the build-time policy's
+    /// [`Policy::breaker`] config.
     breaker: Option<CircuitBreaker>,
     /// The unified metrics plane: every engine counter, the program cache
-    /// rollups, the breaker counters, and the dwell histogram under stable
+    /// rollups, the breaker counters, the reply cache, the control
+    /// plane's per-tenant cells, and the dwell histogram under stable
     /// dotted names.
     metrics: Arc<MetricsRegistry>,
     /// Sim-time nanoseconds jobs spend queued before a worker starts them.
     dwell_ns: Histogram,
+    /// Live connection rebinds ([`EngineConnection::rebind`]).
+    rebinds: Counter,
 }
 
 impl Engine {
-    /// A builder with default sizing (4 workers, queue depth 64, no
-    /// shedding, no dwell limit, fresh clock).
+    /// A builder with default sizing (4 workers, queue depth 64, neutral
+    /// policy, private control plane, fresh clock).
     pub fn builder() -> EngineBuilder {
         EngineBuilder::default()
     }
@@ -532,6 +586,26 @@ impl Engine {
     /// The sim clock deadlines and dwell limits are measured on.
     pub fn clock(&self) -> &Arc<SimClock> {
         &self.clock
+    }
+
+    /// The control plane owning per-tenant policy for this engine.
+    pub fn control(&self) -> &Arc<ControlPlane> {
+        &self.control
+    }
+
+    /// The engine-level aggregate policy currently in force.
+    pub fn policy(&self) -> Arc<Policy> {
+        Arc::clone(&self.policy.read())
+    }
+
+    /// Replaces the engine-level policy **live**: every admission after
+    /// the store sees the new high water and dwell limit; queued jobs
+    /// keep the deadlines they were admitted under. The breaker's arming
+    /// is fixed at build time (swapping does not re-arm it). Returns the
+    /// policy that was in force.
+    pub fn swap_policy(&self, policy: Policy) -> Arc<Policy> {
+        let mut slot = self.policy.write();
+        std::mem::replace(&mut *slot, Arc::new(policy))
     }
 
     /// Registers a service. `presentation` is the server's half of every
@@ -657,14 +731,20 @@ impl Engine {
             client: None,
             client_shapes: None,
             options: CallOptions::default(),
+            tenant: TenantId::DEFAULT,
         }
     }
 
-    /// Enqueues one dispatch. With a high-water mark the push is
-    /// non-blocking and sheds with [`EngineError::Overloaded`]; otherwise
-    /// it blocks while the queue is full (backpressure). The job's
-    /// effective deadline is the tighter of the caller's and the engine's
-    /// dwell limit, both measured from now on the engine clock.
+    /// Enqueues one dispatch through per-tenant admission control.
+    ///
+    /// The effective tenant is the tag's (when it carries a non-default
+    /// one — the acceptor path, where tenancy rides the wire credential)
+    /// or the connection's. Its live [`Policy`] decides the weighted-fair
+    /// share, the quota (excess shed as [`EngineError::Overloaded`],
+    /// charged to this tenant), and dwell/deadline overrides; the engine
+    /// policy's high water is the aggregate backstop. With a high water
+    /// set the push never blocks; without one it blocks at queue capacity
+    /// (backpressure), though a quota refusal still returns immediately.
     #[allow(clippy::too_many_arguments)]
     fn enqueue(
         &self,
@@ -674,6 +754,7 @@ impl Engine {
         rights: Vec<u32>,
         deadline_ns: Option<u64>,
         tag: Option<CallTag>,
+        tenant: TenantId,
         trace: Option<&SharedCallTrace>,
     ) -> Result<CallTicket, EngineError> {
         // Health gate first: an open breaker refuses before any work or
@@ -683,6 +764,10 @@ impl Engine {
                 return Err(EngineError::Unhealthy);
             }
         }
+        let tenant = tag.map(|t| t.tenant).filter(|t| !t.is_default()).unwrap_or(tenant);
+        let tenant_policy = self.control.policy_for(tenant);
+        let tenant_metrics = self.control.metrics_for(tenant);
+        let engine_policy = self.policy();
         // Induced faults are applied at admission — the point where both
         // the same-domain path and the network acceptor path converge.
         let mut close_after = false;
@@ -700,7 +785,12 @@ impl Engine {
             Some(Fault::Duplicate) => duplicate = true,
         }
         let now = self.clock.now_ns();
-        let dwell_deadline = self.dwell_limit_ns.map(|d| now.saturating_add(d));
+        // The tenant's dwell limit overrides the engine default; the
+        // tenant's deadline default applies only when the caller set none.
+        let dwell_limit = tenant_policy.dwell_limit_ns().or(engine_policy.dwell_limit_ns());
+        let dwell_deadline = dwell_limit.map(|d| now.saturating_add(d));
+        let deadline_ns =
+            deadline_ns.or_else(|| tenant_policy.deadline_ns().map(|d| now.saturating_add(d)));
         let deadline_ns = match (deadline_ns, dwell_deadline) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -711,9 +801,13 @@ impl Engine {
         // ticket comes back pre-failed so the caller's wait is uniform.
         if deadline_ns.is_some_and(|d| self.clock.expired(d)) {
             self.counters.deadline_expired.inc();
+            tenant_metrics.expired.inc();
             slot.fill(Err(RpcError::DeadlineExceeded));
             return Ok(ticket);
         }
+        let weight = tenant_policy.weight_value();
+        let quota = tenant_policy.quota_value();
+        let high_water = engine_policy.high_water_value();
         if duplicate {
             // Duplicated delivery: a shadow copy of the job runs first and
             // its reply is discarded. Under at-most-once the shadow records
@@ -729,11 +823,13 @@ impl Engine {
                 slot: ReplySlot::new(),
                 deadline_ns,
                 tag,
+                tenant,
+                tenant_metrics: Arc::clone(&tenant_metrics),
                 close_after: false,
                 enqueue_ns: now,
                 trace: None,
             };
-            self.push_job(shadow)?;
+            self.push_job(shadow, weight, quota, high_water)?;
         }
         self.counters.job_enqueued();
         let job = Job {
@@ -744,38 +840,53 @@ impl Engine {
             slot,
             deadline_ns,
             tag,
+            tenant,
+            tenant_metrics,
             close_after,
             enqueue_ns: now,
             trace: trace.map(|t| (t.clone(), t.begin_call())),
         };
-        self.push_job(job)?;
+        self.push_job(job, weight, quota, high_water)?;
         Ok(ticket)
     }
 
-    /// Pushes one job, honoring the high-water shed policy.
-    fn push_job(&self, job: Job) -> Result<(), EngineError> {
-        if let Some(high_water) = self.high_water {
-            match self.queue.try_push(job, high_water) {
-                Ok(()) => {}
-                Err(PushRefusal::Full(_)) => {
-                    self.counters.in_flight.sub(1);
-                    self.counters.job_shed();
-                    return Err(EngineError::Overloaded);
-                }
-                Err(PushRefusal::Closed(_)) => {
-                    self.counters.in_flight.sub(1);
-                    return Err(EngineError::Closed);
-                }
+    /// Pushes one job onto its tenant's lane, honoring the tenant quota
+    /// and the engine policy's aggregate high water. A shed is charged to
+    /// the submitting tenant's own counter as well as the engine's.
+    fn push_job(
+        &self,
+        job: Job,
+        weight: u32,
+        quota: Option<usize>,
+        high_water: Option<usize>,
+    ) -> Result<(), EngineError> {
+        let tenant = job.tenant;
+        let tenant_metrics = Arc::clone(&job.tenant_metrics);
+        let pushed = match high_water {
+            Some(hw) => self.queue.try_push(job, tenant, weight, quota, hw),
+            None => self.queue.push(job, tenant, weight, quota),
+        };
+        match pushed {
+            Ok(()) => {
+                tenant_metrics.admitted.inc();
+                Ok(())
             }
-        } else if self.queue.push(job).is_err() {
-            self.counters.in_flight.sub(1);
-            return Err(EngineError::Closed);
+            Err(WfqRefusal::Quota(_)) | Err(WfqRefusal::Full(_)) => {
+                self.counters.in_flight.sub(1);
+                self.counters.job_shed();
+                tenant_metrics.shed.inc();
+                Err(EngineError::Overloaded)
+            }
+            Err(WfqRefusal::Closed(_)) => {
+                self.counters.in_flight.sub(1);
+                Err(EngineError::Closed)
+            }
         }
-        Ok(())
     }
 
-    /// Submits into a specific pool (the acceptor's path). The engine's
-    /// dwell limit still applies even without a caller deadline.
+    /// Submits into a specific pool (the acceptor's path). Tenancy rides
+    /// the tag when the wire credential carried one; the dwell limit
+    /// still applies even without a caller deadline.
     pub(crate) fn submit_to_pool(
         &self,
         pool: &Arc<ReplicaPool>,
@@ -784,7 +895,16 @@ impl Engine {
         rights: &[u32],
         tag: Option<CallTag>,
     ) -> Result<CallTicket, EngineError> {
-        self.enqueue(pool, op_index, request.to_vec(), rights.to_vec(), None, tag, None)
+        self.enqueue(
+            pool,
+            op_index,
+            request.to_vec(),
+            rights.to_vec(),
+            None,
+            tag,
+            TenantId::DEFAULT,
+            None,
+        )
     }
 
     /// Live counters (crate-internal; external readers use [`Engine::stats`]).
@@ -809,36 +929,32 @@ impl Engine {
     }
 
     /// The engine's unified metrics plane: counter and histogram handles
-    /// under stable dotted names (`engine.*`, `cache.*`, `breaker.*`), for
-    /// JSON export and for adopting further components (e.g. a supervisor)
-    /// into one snapshot.
+    /// under stable dotted names (`engine.*`, `cache.*`, `breaker.*`,
+    /// `replycache.*`, `control.*`, `tenant.<id>.*`), for JSON export and
+    /// for adopting further components (e.g. a supervisor) into one
+    /// snapshot.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
     }
 
-    /// Point-in-time statistics.
+    /// Live connection rebinds performed on this engine.
+    pub fn rebind_count(&self) -> u64 {
+        self.rebinds.get()
+    }
+
+    /// Point-in-time statistics, reconstructed from the unified metrics
+    /// snapshot — the registry is the single source of truth; only the
+    /// structural parts (queue depth, worker count, cache layout, the
+    /// breaker's derived open/closed state) are read directly.
     pub fn stats(&self) -> EngineStatsSnapshot {
-        let breaker = self.breaker.as_ref().map(|b| b.stats()).unwrap_or_default();
-        EngineStatsSnapshot {
-            calls_served: self.counters.calls_served.get(),
-            bytes_in: self.counters.bytes_in.get(),
-            bytes_out: self.counters.bytes_out.get(),
-            in_flight: self.counters.in_flight.get(),
-            peak_in_flight: self.counters.peak_in_flight.get(),
-            queue_depth: self.queue.len(),
-            connections: self.counters.connections.get(),
-            dispatch_errors: self.counters.dispatch_errors.get(),
-            calls_shed: self.counters.calls_shed.get(),
-            calls_cancelled: self.counters.calls_cancelled.get(),
-            deadline_expired: self.counters.deadline_expired.get(),
-            workers: self.workers_n,
-            cache: self.cache.stats(),
-            reply_cache: self.reply_cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
-            breaker_trips: breaker.trips,
-            breaker_probes: breaker.probes,
-            breaker_recoveries: breaker.recoveries,
-            breaker_open: breaker.open,
-        }
+        let snapshot = self.metrics.snapshot();
+        EngineStatsSnapshot::from_metrics(
+            &snapshot,
+            self.queue.len(),
+            self.workers_n,
+            self.cache.stats(),
+            self.breaker.as_ref().is_some_and(|b| b.is_open(self.clock.now_ns())),
+        )
     }
 
     /// Graceful drain: refuse new work, fail every queued-but-unstarted
@@ -858,7 +974,8 @@ impl Engine {
 }
 
 /// In-progress [`Engine::connect`]: optionally override the client half of
-/// the combination and attach per-connection [`CallOptions`], then
+/// the combination, pick the tenant the connection submits as, and attach
+/// per-connection [`CallOptions`], then
 /// [`establish`](ConnectBuilder::establish).
 #[derive(Debug)]
 pub struct ConnectBuilder {
@@ -869,6 +986,7 @@ pub struct ConnectBuilder {
     /// presentation — the client half of bind-time shape negotiation.
     client_shapes: Option<Vec<(String, CallShape)>>,
     options: CallOptions,
+    tenant: TenantId,
 }
 
 impl ConnectBuilder {
@@ -901,6 +1019,29 @@ impl ConnectBuilder {
         self
     }
 
+    /// The tenant this connection submits as: every call is scheduled on
+    /// that tenant's weighted-fair lane under its quota. Defaults to the
+    /// anonymous tenant (id 0), which preserves single-queue behavior.
+    pub fn tenant(mut self, tenant: TenantId) -> ConnectBuilder {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Binds the connection to a tenant's live [`PolicyHandle`]: sets the
+    /// tenant, and inherits the policy's current retry license into the
+    /// connection's options when they carry none. Later
+    /// [`PolicyHandle::swap`]s keep applying — admission loads the policy
+    /// live — but the retry license is fixed at this call.
+    pub fn policy(mut self, handle: &PolicyHandle) -> ConnectBuilder {
+        self.tenant = handle.tenant();
+        if self.options.retry_policy().is_none() {
+            if let Some(r) = handle.load().retry_policy() {
+                self.options = std::mem::take(&mut self.options).retry(r.clone());
+            }
+        }
+        self
+    }
+
     /// Resolves the combination (compiling its program on first use) and
     /// opens the connection. When the options asked for tracing
     /// ([`CallOptions::traced`]), the connection carries a
@@ -928,28 +1069,7 @@ impl ConnectBuilder {
         // once, deterministically. A client that declared no shapes accepts
         // the server's — the same-presentation binding the default client
         // half already implies.
-        let shapes: HashMap<String, CallShape> = match &self.client_shapes {
-            None => pool.compiled().ops.iter().map(|o| (o.name.clone(), o.call_shape)).collect(),
-            Some(client_shapes) => {
-                let mut negotiated = HashMap::new();
-                for (name, client_shape) in client_shapes {
-                    let server_shape =
-                        pool.compiled().op(name).map(|o| o.call_shape).unwrap_or_default();
-                    match negotiate_call_shape(*client_shape, server_shape) {
-                        Some(shape) => {
-                            negotiated.insert(name.clone(), shape);
-                        }
-                        None => {
-                            return Err(EngineError::ShapeMismatch(format!(
-                                "operation `{name}`: client declares {client_shape:?}, \
-                                 server declares {server_shape:?}"
-                            )))
-                        }
-                    }
-                }
-                negotiated
-            }
-        };
+        let shapes = negotiate_shapes(&pool, self.client_shapes.as_deref())?;
         if let (Some(t), Some(call)) = (&trace, bind_call) {
             let now = self.engine.clock.now_ns();
             let compiled = self.engine.cache.compilations() - compilations_before;
@@ -959,7 +1079,45 @@ impl ConnectBuilder {
             }
         }
         self.engine.counters.connections.inc();
-        Ok(EngineConnection { engine: self.engine, pool, options: self.options, trace, shapes })
+        Ok(EngineConnection {
+            engine: self.engine,
+            service: self.service,
+            tenant: self.tenant,
+            bind: RwLock::new(Binding { pool, shapes }),
+            options: self.options,
+            trace,
+        })
+    }
+}
+
+/// Reconciles the two ends' per-operation call shapes against the
+/// server's compiled declarations — shared by [`ConnectBuilder::establish`]
+/// and [`EngineConnection::rebind`].
+fn negotiate_shapes(
+    pool: &ReplicaPool,
+    client_shapes: Option<&[(String, CallShape)]>,
+) -> Result<HashMap<String, CallShape>, EngineError> {
+    let compiled = pool.compiled();
+    match client_shapes {
+        None => Ok(compiled.ops.iter().map(|o| (o.name.clone(), o.call_shape)).collect()),
+        Some(client_shapes) => {
+            let mut negotiated = HashMap::new();
+            for (name, client_shape) in client_shapes {
+                let server_shape = compiled.op(name).map(|o| o.call_shape).unwrap_or_default();
+                match negotiate_call_shape(*client_shape, server_shape) {
+                    Some(shape) => {
+                        negotiated.insert(name.clone(), shape);
+                    }
+                    None => {
+                        return Err(EngineError::ShapeMismatch(format!(
+                            "operation `{name}`: client declares {client_shape:?}, \
+                             server declares {server_shape:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(negotiated)
+        }
     }
 }
 
@@ -975,25 +1133,39 @@ impl std::fmt::Debug for Engine {
             .field("workers", &self.workers_n)
             .field("services", &self.services.read().len())
             .field("cache", &self.cache)
+            .field("control", &self.control)
             .finish()
     }
+}
+
+/// The live half of a connection that [`EngineConnection::rebind`] swaps:
+/// the replica pool (combination) and the shapes settled against it.
+struct Binding {
+    pool: Arc<ReplicaPool>,
+    /// Per-operation call shapes settled at bind (or rebind) time.
+    /// Stream windows here are the *negotiated* minima, not either end's
+    /// declaration.
+    shapes: HashMap<String, CallShape>,
 }
 
 /// A same-domain client connection: submits jobs to the engine's queue and
 /// blocks on completion. Supports multiple outstanding calls (pipelining)
 /// through [`EngineConnection::submit`] / [`CallTicket::wait`]. The
-/// connection's [`CallOptions`] deadline applies to every call on it.
+/// connection's [`CallOptions`] deadline applies to every call on it; its
+/// tenant decides whose weighted-fair lane the calls ride.
 pub struct EngineConnection {
     engine: Arc<Engine>,
-    pool: Arc<ReplicaPool>,
+    service: String,
+    tenant: TenantId,
+    /// The combination currently bound — swapped live by
+    /// [`EngineConnection::rebind`] without draining in-flight calls
+    /// (each queued job holds its own `Arc` to the pool it was admitted
+    /// against).
+    bind: RwLock<Binding>,
     options: CallOptions,
     /// Server-side span trace for this connection's calls, present when
     /// the connection was established with [`CallOptions::traced`].
     trace: Option<SharedCallTrace>,
-    /// Per-operation call shapes settled at bind time
-    /// ([`ConnectBuilder::client_presentation`]). Stream windows here are
-    /// the *negotiated* minima, not either end's declaration.
-    shapes: HashMap<String, CallShape>,
 }
 
 impl EngineConnection {
@@ -1031,15 +1203,47 @@ impl EngineConnection {
         deadline_ns: Option<u64>,
         tag: Option<CallTag>,
     ) -> Result<CallTicket, EngineError> {
+        let pool = Arc::clone(&self.bind.read().pool);
         self.engine.enqueue(
-            &self.pool,
+            &pool,
             op_index,
             request.to_vec(),
             rights.to_vec(),
             deadline_ns,
             tag,
+            self.tenant,
             self.trace.as_ref(),
         )
+    }
+
+    /// Re-runs bind-time negotiation **live**: resolves the combination
+    /// for `pres` (compiling its program on first use, through the shared
+    /// cache), re-negotiates every operation's call shape, and swaps the
+    /// connection's binding in one store. In-flight calls are untouched —
+    /// each queued job holds its own `Arc` to the pool it was admitted
+    /// against and completes there; every submission after the swap runs
+    /// the new combination. On any failure (unknown service, compile
+    /// error, shape mismatch) the old binding stays in force.
+    pub fn rebind(&self, pres: &InterfacePresentation) -> Result<(), EngineError> {
+        let bind_call = self.trace.as_ref().map(|t| t.begin_call());
+        let bind_start = self.engine.clock.now_ns();
+        let compilations_before = self.engine.cache.compilations();
+        let pool = self.engine.pool_for(&self.service, ClientInfo::of(pres))?;
+        let client_shapes: Vec<(String, CallShape)> =
+            pres.ops.iter().map(|(name, op)| (name.clone(), op.call_shape)).collect();
+        let shapes = negotiate_shapes(&pool, Some(&client_shapes))?;
+        *self.bind.write() = Binding { pool, shapes };
+        if let (Some(t), Some(call)) = (&self.trace, bind_call) {
+            let now = self.engine.clock.now_ns();
+            let compiled = self.engine.cache.compilations() - compilations_before;
+            t.record(call, Stage::Bind, bind_start, now, compiled);
+            if compiled > 0 {
+                t.record(call, Stage::Specialize, bind_start, now, compiled);
+            }
+        }
+        self.engine.rebinds.inc();
+        self.engine.control.note_rebind();
+        Ok(())
     }
 
     /// The connection's default deadline resolved against the engine
@@ -1053,10 +1257,16 @@ impl EngineConnection {
         &self.options
     }
 
+    /// The tenant this connection submits as.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
     /// The program this connection's combination compiled to (shared with
-    /// every other connection of the same combination).
+    /// every other connection of the same combination). After a
+    /// [`rebind`](EngineConnection::rebind), the new combination's.
     pub fn program(&self) -> Arc<CompiledInterface> {
-        self.pool.compiled()
+        self.bind.read().pool.compiled()
     }
 
     /// The engine this connection belongs to.
@@ -1074,7 +1284,7 @@ impl EngineConnection {
     /// declarations reconciled, stream windows at their negotiated minimum.
     /// `None` for an operation the bind never saw.
     pub fn negotiated_shape(&self, op: &str) -> Option<CallShape> {
-        self.shapes.get(op).copied()
+        self.bind.read().shapes.get(op).copied()
     }
 }
 

@@ -40,6 +40,7 @@ pub use engine::{
     CallTicket, ClientInfo, ConnectBuilder, Engine, EngineBuilder, EngineConnection, EngineError,
     Reply,
 };
+pub use flexrpc_control::{ControlPlane, Policy, PolicyHandle, TenantId, TenantMetrics};
 pub use stats::EngineStatsSnapshot;
 
 #[cfg(test)]

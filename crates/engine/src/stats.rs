@@ -7,7 +7,7 @@
 
 use crate::cache::CacheStats;
 use flexrpc_runtime::replycache::ReplyCacheStats;
-use flexrpc_trace::{Counter, MetricsRegistry};
+use flexrpc_trace::{Counter, MetricsRegistry, MetricsSnapshot};
 
 /// Live counters, updated by acceptors and workers.
 #[derive(Debug, Default)]
@@ -126,6 +126,40 @@ pub struct EngineStatsSnapshot {
 }
 
 impl EngineStatsSnapshot {
+    /// Reconstructs the snapshot from the unified registry — the single
+    /// source of truth for every counter. Only structural state comes in
+    /// as arguments: the instantaneous queue depth and worker count, the
+    /// cache's layout-bearing stats (shards, program count), and the
+    /// breaker's derived open/closed state, none of which are counters.
+    pub fn from_metrics(
+        m: &MetricsSnapshot,
+        queue_depth: usize,
+        workers: usize,
+        cache: CacheStats,
+        breaker_open: bool,
+    ) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            calls_served: m.counter("engine.calls_served"),
+            bytes_in: m.counter("engine.bytes_in"),
+            bytes_out: m.counter("engine.bytes_out"),
+            in_flight: m.counter("engine.in_flight"),
+            peak_in_flight: m.counter("engine.peak_in_flight"),
+            queue_depth,
+            connections: m.counter("engine.connections"),
+            dispatch_errors: m.counter("engine.dispatch_errors"),
+            calls_shed: m.counter("engine.shed"),
+            calls_cancelled: m.counter("engine.cancelled"),
+            deadline_expired: m.counter("engine.expired"),
+            workers,
+            cache,
+            reply_cache: ReplyCacheStats::from_metrics(m),
+            breaker_trips: m.counter("breaker.trip"),
+            breaker_probes: m.counter("breaker.probe"),
+            breaker_recoveries: m.counter("breaker.recovery"),
+            breaker_open,
+        }
+    }
+
     /// Cache hit rate, for report tables.
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()

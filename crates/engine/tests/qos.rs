@@ -1,0 +1,328 @@
+//! Multi-tenant QoS acceptance tests: weighted-fair isolation under a
+//! noisy-neighbor storm, quota sheds charged to the offender, and live
+//! policy swaps redirecting admission without a drain.
+//!
+//! Determinism: a *plug* call occupies the lone worker behind a gate
+//! while every contending call is submitted at frozen sim time, so all
+//! weighted-fair tags are assigned against `virtual_now == 0` and the
+//! dequeue order is a pure function of (tenant, weight, sequence) — no
+//! race against wall time. Handlers advance the sim clock by a fixed
+//! `SERVICE_NS` per call, so queue dwell is exact arithmetic.
+
+use flexrpc_core::ir::fileio_example;
+use flexrpc_core::present::InterfacePresentation;
+use flexrpc_core::value::Value;
+use flexrpc_engine::{ControlPlane, Engine, EngineError, Policy, TenantId};
+use flexrpc_marshal::WireFormat;
+use flexrpc_runtime::wire::AnyWriter;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sim-time cost of one call: a power of two, so log2 dwell buckets
+/// resolve queue positions exactly.
+const SERVICE_NS: u64 = 1 << 10;
+
+const TENANT_A: TenantId = TenantId(1);
+const TENANT_B: TenantId = TenantId(2);
+const TENANT_PLUG: TenantId = TenantId(3);
+
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock();
+        while !*open {
+            self.cv.wait(&mut open);
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+fn fileio_presentation() -> InterfacePresentation {
+    let m = fileio_example();
+    let iface = m.interface("FileIO").unwrap();
+    InterfacePresentation::default_for(&m, iface).unwrap()
+}
+
+fn read_request(count: u32) -> Vec<u8> {
+    let mut w = AnyWriter::new(WireFormat::Cdr);
+    w.put_u32(count);
+    w.into_bytes()
+}
+
+/// One worker, a deep queue, and a `read` handler that blocks on `gate`
+/// once (the plug call) and then charges `SERVICE_NS` of sim time per
+/// call. Returns the engine and the gate.
+fn plugged_engine(plane: &Arc<ControlPlane>) -> (Arc<Engine>, Arc<Gate>) {
+    let engine = Engine::builder().workers(1).queue_depth(4096).control(Arc::clone(plane)).build();
+    let gate = Arc::new(Gate::default());
+    let clock = Arc::clone(engine.clock());
+    let g = Arc::clone(&gate);
+    engine
+        .register_service(
+            "qos",
+            fileio_example(),
+            "FileIO",
+            fileio_presentation(),
+            WireFormat::Cdr,
+            move |srv| {
+                let gate = Arc::clone(&g);
+                let clock = Arc::clone(&clock);
+                srv.on("read", move |call| {
+                    // Only the plug call (count == 0) blocks; the storm
+                    // and victim calls just charge service time.
+                    let count = call.u32("count").unwrap();
+                    if count == 0 {
+                        gate.wait();
+                    }
+                    clock.advance(Duration::from_nanos(SERVICE_NS));
+                    call.set("return", Value::Bytes(vec![0x5A; count as usize])).unwrap();
+                    0
+                })
+                .unwrap();
+            },
+        )
+        .unwrap();
+    (engine, gate)
+}
+
+/// Waits (in real time) for the lone worker to pull the plug call off the
+/// queue, so every later submission queues behind it at sim time 0.
+fn settle() {
+    std::thread::sleep(Duration::from_millis(50));
+}
+
+/// The highest value that *could* have been recorded into the histogram,
+/// from its top non-empty log2 bucket (exclusive ceiling).
+fn dwell_ceiling(snapshot: &flexrpc_trace::MetricsSnapshot, name: &str) -> u64 {
+    let h = snapshot.histogram(name).expect("histogram registered");
+    let floor = h.buckets.iter().map(|(f, _)| *f).max().unwrap_or(0);
+    if floor == 0 {
+        1
+    } else {
+        floor * 2
+    }
+}
+
+/// Tenant A storms at 6× tenant B's load with a quota of 64; both run at
+/// weight 1. Weighted-fair dequeue alternates the two backlogged lanes,
+/// so B's worst dwell tracks *B's own* backlog (≈ 2 × 16 calls), not A's
+/// — under the old FIFO queue B's last call would sit behind all 64 of
+/// A's (dwell ≥ 80 × SERVICE_NS, one log2 bucket higher). A's excess is
+/// shed against its own quota; B sheds nothing.
+#[test]
+fn noisy_neighbor_cannot_move_victims_dwell() {
+    let plane = ControlPlane::new();
+    plane.register(TENANT_A, Policy::new().weight(1).quota(64));
+    plane.register(TENANT_B, Policy::new().weight(1));
+    let (engine, gate) = plugged_engine(&plane);
+    let conn_plug = engine.connect("qos").tenant(TENANT_PLUG).establish().unwrap();
+    let conn_a = engine.connect("qos").tenant(TENANT_A).establish().unwrap();
+    let conn_b = engine.connect("qos").tenant(TENANT_B).establish().unwrap();
+
+    let plug = conn_plug.submit(0, &read_request(0), &[]).unwrap();
+    settle(); // the worker now holds the plug; sim time is frozen at 0
+
+    // The storm: 96 calls against a quota of 64 — 32 must shed, charged
+    // to A. Then the victim's steady 16.
+    let mut a_tickets = Vec::new();
+    let mut a_shed = 0u64;
+    for _ in 0..96 {
+        match conn_a.submit(0, &read_request(1), &[]) {
+            Ok(t) => a_tickets.push(t),
+            Err(EngineError::Overloaded) => a_shed += 1,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    let b_tickets: Vec<_> =
+        (0..16).map(|_| conn_b.submit(0, &read_request(1), &[]).unwrap()).collect();
+    assert_eq!(a_shed, 32, "the storm's excess is shed at admission");
+
+    gate.open();
+    assert!(plug.wait().is_ok());
+    for t in a_tickets {
+        assert!(t.wait().is_ok());
+    }
+    for t in b_tickets {
+        assert!(t.wait().is_ok());
+    }
+
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.counter("tenant.1.admitted"), 64);
+    assert_eq!(snap.counter("tenant.1.shed"), 32, "shed charged to the offender");
+    assert_eq!(snap.counter("tenant.2.admitted"), 16);
+    assert_eq!(snap.counter("tenant.2.shed"), 0, "the victim shed nothing");
+    assert_eq!(snap.counter("tenant.2.served"), 16);
+    assert_eq!(snap.counter("engine.shed"), 32);
+
+    // Equal weights alternate the lanes: B's 16th call dequeues at
+    // position 32, so its dwell is exactly 32 × SERVICE_NS = 2^15 —
+    // bucket ceiling 2^16. FIFO would start it at 80 × SERVICE_NS
+    // (≈ 2^16.3), a bucket higher.
+    let b_worst = dwell_ceiling(&snap, "tenant.2.dwell_ns");
+    assert!(
+        b_worst <= 1 << 16,
+        "victim dwell ceiling {b_worst} exceeds the weighted-fair bound {}",
+        1u64 << 16
+    );
+    engine.shutdown();
+}
+
+/// Raising a tenant's weight shifts the drain ratio: at weight 3 vs 1,
+/// the heavy lane takes three of every four slots while both lanes are
+/// backlogged, so the light lane's last call drains near the end.
+#[test]
+fn weights_divide_the_drain_deterministically() {
+    let plane = ControlPlane::new();
+    plane.register(TENANT_A, Policy::new().weight(3));
+    plane.register(TENANT_B, Policy::new().weight(1));
+    let (engine, gate) = plugged_engine(&plane);
+    let conn_plug = engine.connect("qos").tenant(TENANT_PLUG).establish().unwrap();
+    let conn_a = engine.connect("qos").tenant(TENANT_A).establish().unwrap();
+    let conn_b = engine.connect("qos").tenant(TENANT_B).establish().unwrap();
+
+    let plug = conn_plug.submit(0, &read_request(0), &[]).unwrap();
+    settle();
+    let a: Vec<_> = (0..16).map(|_| conn_a.submit(0, &read_request(1), &[]).unwrap()).collect();
+    let b: Vec<_> = (0..16).map(|_| conn_b.submit(0, &read_request(1), &[]).unwrap()).collect();
+
+    gate.open();
+    assert!(plug.wait().is_ok());
+    for t in a.into_iter().chain(b) {
+        assert!(t.wait().is_ok());
+    }
+
+    // Equal backlogs, unequal weights: while both lanes are backlogged
+    // the drain gives A three of every four slots, so A's 16 calls are
+    // done by position 22 (mean dwell ≈ 11.3 × SERVICE_NS) while B's
+    // tail waits out the full drain (mean ≈ 21.7 × SERVICE_NS). At
+    // equal weights both means would be ≈ 16.5 × SERVICE_NS.
+    let snap = engine.metrics().snapshot();
+    let a_mean = snap.histogram("tenant.1.dwell_ns").unwrap().mean();
+    let b_mean = snap.histogram("tenant.2.dwell_ns").unwrap().mean();
+    assert!(
+        a_mean * 3 < b_mean * 2,
+        "weight 3 must drain markedly faster than weight 1 (A mean {a_mean}, B mean {b_mean})"
+    );
+    engine.shutdown();
+}
+
+/// A live `PolicyHandle::swap` applies to the very next admission: the
+/// tenant's quota is tightened mid-storm without touching the engine,
+/// the connection, or the calls already queued.
+#[test]
+fn policy_swap_applies_to_subsequent_admissions() {
+    let plane = ControlPlane::new();
+    let handle = plane.register(TENANT_A, Policy::new().quota(8));
+    let (engine, gate) = plugged_engine(&plane);
+    let conn_plug = engine.connect("qos").tenant(TENANT_PLUG).establish().unwrap();
+    let conn = engine.connect("qos").tenant(TENANT_A).establish().unwrap();
+
+    let plug = conn_plug.submit(0, &read_request(0), &[]).unwrap();
+    settle();
+    let first: Vec<_> = (0..8).map(|_| conn.submit(0, &read_request(1), &[]).unwrap()).collect();
+    assert!(
+        matches!(conn.submit(0, &read_request(1), &[]), Err(EngineError::Overloaded)),
+        "quota 8 is exhausted"
+    );
+
+    // Tighten to 4: already-queued calls are untouched (8 remain), and
+    // the lane stays over the new bound, so admissions keep shedding.
+    assert_eq!(handle.swap(Policy::new().quota(4)), 2);
+    assert!(matches!(conn.submit(0, &read_request(1), &[]), Err(EngineError::Overloaded)));
+
+    // Widen to 16: the next submission is admitted immediately.
+    plane.swap(TENANT_A, Policy::new().quota(16));
+    let extra = conn.submit(0, &read_request(1), &[]).unwrap();
+
+    gate.open();
+    assert!(plug.wait().is_ok());
+    for t in first.into_iter().chain([extra]) {
+        assert!(t.wait().is_ok());
+    }
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.counter("tenant.1.admitted"), 9);
+    assert_eq!(snap.counter("tenant.1.shed"), 2);
+    assert_eq!(snap.counter("tenant.1.policy_swaps"), 2);
+    // The plane-level counter tracks swaps *through the plane*; the
+    // direct handle swap shows up only on the tenant's own counter.
+    assert_eq!(snap.counter("control.swaps"), 1);
+    engine.shutdown();
+}
+
+/// The anonymous default tenant preserves pre-tenancy behavior: no
+/// quota, weight 1, one lane — and the engine policy's high water still
+/// sheds as the aggregate backstop.
+#[test]
+fn default_tenant_keeps_single_queue_semantics() {
+    let engine =
+        Engine::builder().workers(1).queue_depth(8).policy(Policy::new().high_water(2)).build();
+    let gate = Arc::new(Gate::default());
+    let clock = Arc::clone(engine.clock());
+    let g = Arc::clone(&gate);
+    engine
+        .register_service(
+            "qos",
+            fileio_example(),
+            "FileIO",
+            fileio_presentation(),
+            WireFormat::Cdr,
+            move |srv| {
+                let gate = Arc::clone(&g);
+                let clock = Arc::clone(&clock);
+                srv.on("read", move |call| {
+                    gate.wait();
+                    clock.advance(Duration::from_nanos(SERVICE_NS));
+                    call.set("return", Value::Bytes(Vec::new())).unwrap();
+                    0
+                })
+                .unwrap();
+            },
+        )
+        .unwrap();
+    let conn = engine.connect("qos").establish().unwrap();
+    assert_eq!(conn.tenant(), TenantId::DEFAULT);
+
+    let executing = conn.submit(0, &read_request(0), &[]).unwrap();
+    settle();
+    let queued: Vec<_> = (0..2).map(|_| conn.submit(0, &read_request(0), &[]).unwrap()).collect();
+    assert!(matches!(conn.submit(0, &read_request(0), &[]), Err(EngineError::Overloaded)));
+
+    gate.open();
+    assert!(executing.wait().is_ok());
+    for t in queued {
+        assert!(t.wait().is_ok());
+    }
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.counter("tenant.0.admitted"), 3);
+    assert_eq!(snap.counter("tenant.0.shed"), 1, "backstop sheds charge the submitter");
+    assert_eq!(snap.counter("engine.shed"), 1);
+    engine.shutdown();
+}
+
+/// The deprecated builder knobs still work — they forward into the
+/// engine-level `Policy` — so existing callers keep compiling (with a
+/// deprecation warning) until they migrate.
+#[test]
+#[allow(deprecated)]
+fn deprecated_knobs_forward_into_the_policy() {
+    let builder = Engine::builder()
+        .high_water(7)
+        .dwell_limit(Duration::from_millis(3))
+        .breaker(5, Duration::from_millis(9));
+    let engine = builder.build();
+    let policy = engine.policy();
+    assert_eq!(policy.high_water_value(), Some(7));
+    assert_eq!(policy.dwell_limit_ns(), Some(3_000_000));
+    assert_eq!(policy.breaker_config(), Some((5, 9_000_000)));
+    engine.shutdown();
+}

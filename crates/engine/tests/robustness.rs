@@ -11,7 +11,7 @@
 use flexrpc_core::ir::fileio_example;
 use flexrpc_core::present::InterfacePresentation;
 use flexrpc_core::value::Value;
-use flexrpc_engine::{expose_on_net, ClientInfo, Engine, EngineBuilder, EngineError};
+use flexrpc_engine::{expose_on_net, ClientInfo, Engine, EngineBuilder, EngineError, Policy};
 use flexrpc_marshal::WireFormat;
 use flexrpc_net::sunrpc::AcceptStat;
 use flexrpc_net::{NetConfig, SimNet};
@@ -95,7 +95,9 @@ fn settle() {
 
 #[test]
 fn queue_above_high_water_sheds_instead_of_blocking() {
-    let (engine, gate) = gated_engine(Engine::builder().workers(1).queue_depth(8).high_water(2));
+    let (engine, gate) = gated_engine(
+        Engine::builder().workers(1).queue_depth(8).policy(Policy::new().high_water(2)),
+    );
     let conn = engine.connect("slow").establish().unwrap();
     let req = read_request(4);
 
@@ -122,7 +124,10 @@ fn queue_above_high_water_sheds_instead_of_blocking() {
 #[test]
 fn queued_call_expires_at_the_dwell_limit() {
     let (engine, gate) = gated_engine(
-        Engine::builder().workers(1).queue_depth(8).dwell_limit(Duration::from_millis(1)),
+        Engine::builder()
+            .workers(1)
+            .queue_depth(8)
+            .policy(Policy::new().dwell_limit(Duration::from_millis(1))),
     );
     let conn = engine.connect("slow").establish().unwrap();
     let req = read_request(4);
@@ -203,7 +208,9 @@ fn stalled_execution_trips_the_ticket_deadline() {
 
 #[test]
 fn network_clients_see_shed_calls_as_system_err() {
-    let (engine, gate) = gated_engine(Engine::builder().workers(1).queue_depth(8).high_water(2));
+    let (engine, gate) = gated_engine(
+        Engine::builder().workers(1).queue_depth(8).policy(Policy::new().high_water(2)),
+    );
     let net = SimNet::with_config(NetConfig::default());
     let server = net.add_host("server");
     let client_host = net.add_host("client");

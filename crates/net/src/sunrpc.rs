@@ -80,13 +80,18 @@ pub struct CallHeader {
 /// Call header size after the record mark: XID, type, RPC version, prog,
 /// vers, proc, plus four null credential/verifier words.
 const CALL_HDR_WORDS: usize = 10;
-/// Credential flavor carrying a flexrpc at-most-once call tag: 16 opaque
-/// bytes of (client binding id, sequence number), both big-endian u64.
-/// Riding the RFC 1057 credential field keeps the tag out of the argument
-/// bytes, so tagged and untagged frames decode with the same body layout.
+/// Credential flavor carrying a flexrpc at-most-once call tag: 24 opaque
+/// bytes of (client binding id, sequence number, tenant id), all
+/// big-endian u64. Riding the RFC 1057 credential field keeps the tag out
+/// of the argument bytes, so tagged and untagged frames decode with the
+/// same body layout.
 pub const CRED_FLAVOR_AMO: u32 = 0x464C_5250; // "FLRP"
-/// Byte length of the at-most-once credential body.
-const CRED_AMO_LEN: u32 = 16;
+/// Byte length of the at-most-once credential body (with tenancy).
+const CRED_AMO_LEN: u32 = 24;
+/// Pre-tenancy credential body length (binding + seq only); still decoded,
+/// charging the call to the default tenant, so an old client can talk to a
+/// new server across a rolling upgrade.
+const CRED_AMO_LEN_V1: u32 = 16;
 /// Reply header size after the record mark: XID, type, reply stat, null
 /// verifier (2 words), accept stat.
 const REPLY_HDR_WORDS: usize = 6;
@@ -111,10 +116,14 @@ pub fn encode_call_gather(hdr: CallHeader, parts: &[&[u8]]) -> Vec<u8> {
 }
 
 /// Encodes a call message, optionally carrying an at-most-once call tag
-/// `(binding id, sequence number)` in the credential field. `None` emits
-/// the classic null-credential frame byte-for-byte. Same exact-size,
-/// no-patch scheme as [`encode_call_gather`].
-pub fn encode_call_tagged(hdr: CallHeader, tag: Option<(u64, u64)>, parts: &[&[u8]]) -> Vec<u8> {
+/// `(binding id, sequence number, tenant id)` in the credential field.
+/// `None` emits the classic null-credential frame byte-for-byte. Same
+/// exact-size, no-patch scheme as [`encode_call_gather`].
+pub fn encode_call_tagged(
+    hdr: CallHeader,
+    tag: Option<(u64, u64, u64)>,
+    parts: &[&[u8]],
+) -> Vec<u8> {
     let body: usize = parts.iter().map(|p| p.len()).sum();
     let padded = align_up4(body);
     let cred_words = if tag.is_some() { CRED_AMO_LEN as usize / 4 } else { 0 };
@@ -127,11 +136,12 @@ pub fn encode_call_tagged(hdr: CallHeader, tag: Option<(u64, u64)>, parts: &[&[u
     match tag {
         // Null credentials and verifier (flavor 0, length 0), per RFC 1057.
         None => buf.extend_from_slice(&[0u8; 16]),
-        Some((binding, seq)) => {
+        Some((binding, seq, tenant)) => {
             buf.extend_from_slice(&CRED_FLAVOR_AMO.to_be_bytes());
             buf.extend_from_slice(&CRED_AMO_LEN.to_be_bytes());
             buf.extend_from_slice(&binding.to_be_bytes());
             buf.extend_from_slice(&seq.to_be_bytes());
+            buf.extend_from_slice(&tenant.to_be_bytes());
             buf.extend_from_slice(&[0u8; 8]); // Null verifier.
         }
     }
@@ -179,12 +189,14 @@ pub fn decode_call(msg: &[u8]) -> Result<(CallHeader, &[u8])> {
 }
 
 /// A decoded call: header, at-most-once tag `(binding id, sequence
-/// number)` if the credential carries one, and the argument bytes.
-pub type TaggedCall<'a> = (CallHeader, Option<(u64, u64)>, &'a [u8]);
+/// number, tenant id)` if the credential carries one, and the argument
+/// bytes.
+pub type TaggedCall<'a> = (CallHeader, Option<(u64, u64, u64)>, &'a [u8]);
 
 /// Decodes a call message, returning the header, the at-most-once call
-/// tag `(binding id, sequence number)` if the credential carries one, and
-/// the argument bytes.
+/// tag `(binding id, sequence number, tenant id)` if the credential
+/// carries one (pre-tenancy 16-byte credentials decode with tenant 0),
+/// and the argument bytes.
 pub fn decode_call_tagged(msg: &[u8]) -> Result<TaggedCall<'_>> {
     let mut r = XdrReader::new(msg);
     let mark = r.get_u32().map_err(|_| proto_err("truncated record mark"))?;
@@ -211,9 +223,15 @@ pub fn decode_call_tagged(msg: &[u8]) -> Result<TaggedCall<'_>> {
     let tag = match (cred_flavor, cred_len) {
         (0, 0) => None,
         (CRED_FLAVOR_AMO, CRED_AMO_LEN) => {
-            let hi = r.get_u64().map_err(|_| proto_err("truncated call tag"))?;
-            let lo = r.get_u64().map_err(|_| proto_err("truncated call tag"))?;
-            Some((hi, lo))
+            let binding = r.get_u64().map_err(|_| proto_err("truncated call tag"))?;
+            let seq = r.get_u64().map_err(|_| proto_err("truncated call tag"))?;
+            let tenant = r.get_u64().map_err(|_| proto_err("truncated call tag"))?;
+            Some((binding, seq, tenant))
+        }
+        (CRED_FLAVOR_AMO, CRED_AMO_LEN_V1) => {
+            let binding = r.get_u64().map_err(|_| proto_err("truncated call tag"))?;
+            let seq = r.get_u64().map_err(|_| proto_err("truncated call tag"))?;
+            Some((binding, seq, 0))
         }
         _ => return Err(proto_err("unsupported credential flavor")),
     };
@@ -404,15 +422,40 @@ mod tests {
     #[test]
     fn tagged_call_roundtrips_binding_and_seq() {
         let hdr = CallHeader { xid: 9, prog: 100003, vers: 2, proc: 1 };
-        let msg = encode_call_tagged(hdr, Some((0xDEAD_BEEF_0000_0001, 42)), &[b"payload"]);
+        let msg = encode_call_tagged(hdr, Some((0xDEAD_BEEF_0000_0001, 42, 7)), &[b"payload"]);
         let (got, tag, args) = decode_call_tagged(&msg).unwrap();
         assert_eq!(got, hdr);
-        assert_eq!(tag, Some((0xDEAD_BEEF_0000_0001, 42)));
+        assert_eq!(tag, Some((0xDEAD_BEEF_0000_0001, 42, 7)));
         assert_eq!(&args[..7], b"payload");
         // The untagged decoder tolerates the credential and drops the tag.
         let (got2, args2) = decode_call(&msg).unwrap();
         assert_eq!(got2, hdr);
         assert_eq!(args2, args);
+    }
+
+    #[test]
+    fn legacy_16_byte_credential_decodes_as_default_tenant() {
+        let hdr = CallHeader { xid: 9, prog: 100003, vers: 2, proc: 1 };
+        // Hand-build a pre-tenancy frame: flavor FLRP, 16-byte body.
+        let body = b"payload";
+        let padded = body.len().next_multiple_of(4);
+        let total = 4 + (10 + 4) * 4 + padded;
+        let mut msg = Vec::new();
+        let mark = 0x8000_0000u32 | (total - 4) as u32;
+        for word in [mark, hdr.xid, 0, 2, hdr.prog, hdr.vers, hdr.proc] {
+            msg.extend_from_slice(&word.to_be_bytes());
+        }
+        msg.extend_from_slice(&CRED_FLAVOR_AMO.to_be_bytes());
+        msg.extend_from_slice(&16u32.to_be_bytes());
+        msg.extend_from_slice(&77u64.to_be_bytes());
+        msg.extend_from_slice(&3u64.to_be_bytes());
+        msg.extend_from_slice(&[0u8; 8]); // Null verifier.
+        msg.extend_from_slice(body);
+        msg.resize(total, 0);
+        let (got, tag, args) = decode_call_tagged(&msg).unwrap();
+        assert_eq!(got, hdr);
+        assert_eq!(tag, Some((77, 3, 0)), "legacy cred lands in the default tenant");
+        assert_eq!(&args[..7], b"payload");
     }
 
     #[test]

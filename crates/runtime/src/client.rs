@@ -3,7 +3,7 @@
 use crate::error::{Error, ErrorKind, RpcError};
 use crate::hooks::HookMap;
 use crate::interp::{marshal, unmarshal};
-use crate::policy::{CallControl, CallOptions, CallTag};
+use crate::policy::{CallControl, CallOptions, CallTag, TenantId};
 use crate::transport::Transport;
 use crate::wire::{AnyReader, AnyWriter};
 use crate::Result;
@@ -53,6 +53,8 @@ pub struct ClientStub {
     request_buf: Vec<u8>,
     /// At-most-once numbering, if enabled on this binding.
     amo: Option<AmoState>,
+    /// The tenant every tag issued by this binding is charged to.
+    tenant: TenantId,
     /// Per-connection span trace, installed on the first call made under
     /// [`CallOptions::traced`] (or eagerly via [`ClientStub::enable_trace`]).
     /// Boxed so untraced stubs pay one pointer.
@@ -85,8 +87,22 @@ impl ClientStub {
             reply_off: 0,
             request_buf: Vec::new(),
             amo: None,
+            tenant: TenantId::DEFAULT,
             tracer: None,
         }
+    }
+
+    /// Declares the tenant this binding's calls are charged to: every
+    /// [`CallTag`] it issues carries the id, so a tenant-aware server
+    /// (the engine's control plane) accounts queueing and quota against
+    /// the right lane. Defaults to [`TenantId::DEFAULT`].
+    pub fn set_tenant(&mut self, tenant: TenantId) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant this binding charges its calls to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Enables span tracing on this binding with a ring of `capacity`
@@ -245,9 +261,10 @@ impl ClientStub {
         };
         // One tag per *logical* call: every retry attempt below reuses it,
         // so the server can tell a resend from a new call.
+        let tenant = self.tenant;
         let tag = if tagged {
             self.amo.as_mut().map(|a| {
-                let t = CallTag { binding: a.binding, seq: a.next_seq };
+                let t = CallTag::for_tenant(a.binding, a.next_seq, tenant);
                 a.next_seq += 1;
                 t
             })
@@ -453,9 +470,10 @@ impl ClientStub {
             }
             (None, _) => None,
         };
+        let tenant = self.tenant;
         let tag = if self.amo.is_some() && !options.is_at_least_once() {
             self.amo.as_mut().map(|a| {
-                let t = CallTag { binding: a.binding, seq: a.next_seq };
+                let t = CallTag::for_tenant(a.binding, a.next_seq, tenant);
                 a.next_seq += 1;
                 t
             })

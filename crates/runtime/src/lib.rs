@@ -36,7 +36,7 @@ pub mod wire;
 pub use client::{ClientStub, DEFAULT_TRACE_CAPACITY};
 pub use error::{Error, ErrorKind, RpcError};
 pub use hooks::{HookMap, SpecialMarshal};
-pub use policy::{CallControl, CallOptions, CallTag, RetryPolicy};
+pub use policy::{CallControl, CallOptions, CallTag, RetryPolicy, TenantId};
 pub use replycache::{ReplyCache, ReplyCacheStats};
 pub use server::{ReplySink, ServerCall, ServerInterface};
 pub use supervisor::{Supervisor, SupervisorStats};

@@ -185,17 +185,91 @@ impl CallOptions {
     }
 }
 
+/// The tenant a call is charged to. Tenants are the unit of operational
+/// policy in the control plane: each one owns a weighted-fair queue lane,
+/// an admission quota, and its own shed/served/dwell metrics, so one hot
+/// tenant is shed against its own budget instead of starving the rest.
+///
+/// `TenantId::DEFAULT` (zero) is the anonymous tenant: connections that
+/// never declared an identity all share its lane, which preserves the
+/// pre-tenancy single-queue behavior exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(pub u64);
+
+impl TenantId {
+    /// The anonymous tenant shared by all undeclared traffic.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// The raw id (what rides the wire credential / kernel registers).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// True for the anonymous tenant.
+    pub fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// The at-most-once identity of one logical call: which client binding
 /// issued it and its sequence number on that binding. Retries of the same
 /// logical call reuse the tag, so the server's reply cache can recognise
 /// them; distinct logical calls never share one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The tag also carries the call's [`TenantId`] so the engine can charge
+/// queueing and quota decisions to the right lane even for calls that
+/// arrive over a network acceptor. Tenancy is deliberately *excluded* from
+/// equality and hashing: the reply cache must recognise a replayed tag as
+/// the same logical call even if a failover re-issued it through a
+/// connection with different tenancy metadata.
+#[derive(Debug, Clone, Copy)]
 pub struct CallTag {
     /// Process-unique id of the client binding (survives rebinds when a
     /// supervisor resumes the same logical session on a new endpoint).
     pub binding: u64,
     /// Sequence number of the logical call on that binding.
     pub seq: u64,
+    /// The tenant this call is charged to.
+    pub tenant: TenantId,
+}
+
+impl CallTag {
+    /// A tag for the anonymous tenant.
+    pub fn new(binding: u64, seq: u64) -> CallTag {
+        CallTag { binding, seq, tenant: TenantId::DEFAULT }
+    }
+
+    /// A tag charged to `tenant`.
+    pub fn for_tenant(binding: u64, seq: u64, tenant: TenantId) -> CallTag {
+        CallTag { binding, seq, tenant }
+    }
+
+    /// The same logical tag re-charged to `tenant`.
+    pub fn with_tenant(mut self, tenant: TenantId) -> CallTag {
+        self.tenant = tenant;
+        self
+    }
+}
+
+impl PartialEq for CallTag {
+    fn eq(&self, other: &CallTag) -> bool {
+        self.binding == other.binding && self.seq == other.seq
+    }
+}
+
+impl Eq for CallTag {}
+
+impl std::hash::Hash for CallTag {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.binding.hash(state);
+        self.seq.hash(state);
+    }
 }
 
 /// Deadline context resolved against a transport's clock, handed down to

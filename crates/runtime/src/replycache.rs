@@ -17,8 +17,8 @@
 
 use crate::policy::CallTag;
 use flexrpc_clock::SimClock;
+use flexrpc_trace::{Counter, MetricsRegistry, MetricsSnapshot};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -42,6 +42,20 @@ pub struct ReplyCacheStats {
     pub entries: u64,
 }
 
+impl ReplyCacheStats {
+    /// Reconstructs the stats from a unified registry snapshot — the
+    /// single observable-state surface. Requires the cache to have been
+    /// registered via [`ReplyCache::register_metrics`].
+    pub fn from_metrics(m: &MetricsSnapshot) -> ReplyCacheStats {
+        ReplyCacheStats {
+            executions: m.counter("replycache.execution"),
+            suppressions: m.counter("replycache.suppression"),
+            evictions: m.counter("replycache.eviction"),
+            entries: m.counter("replycache.entries"),
+        }
+    }
+}
+
 /// A TTL-bounded map from [`CallTag`] to the completed reply bytes.
 ///
 /// Shared (`Arc`) between the transport/server glue that consults it and
@@ -52,9 +66,11 @@ pub struct ReplyCache {
     clock: Arc<SimClock>,
     ttl_ns: u64,
     entries: Mutex<HashMap<CallTag, CachedReply>>,
-    executions: AtomicU64,
-    suppressions: AtomicU64,
-    evictions: AtomicU64,
+    executions: Counter,
+    suppressions: Counter,
+    evictions: Counter,
+    /// Gauge tracking `entries.len()` so the registry snapshot sees it.
+    entry_gauge: Counter,
 }
 
 impl ReplyCache {
@@ -65,10 +81,22 @@ impl ReplyCache {
             clock,
             ttl_ns: u64::try_from(ttl.as_nanos()).unwrap_or(u64::MAX),
             entries: Mutex::new(HashMap::new()),
-            executions: AtomicU64::new(0),
-            suppressions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            executions: Counter::detached(),
+            suppressions: Counter::detached(),
+            evictions: Counter::detached(),
+            entry_gauge: Counter::detached(),
         })
+    }
+
+    /// Adopts the cache's counters into `registry` as
+    /// `replycache.execution`, `replycache.suppression`,
+    /// `replycache.eviction`, and the live-entry gauge
+    /// `replycache.entries`.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter("replycache.execution", &self.executions);
+        registry.adopt_counter("replycache.suppression", &self.suppressions);
+        registry.adopt_counter("replycache.eviction", &self.evictions);
+        registry.adopt_counter("replycache.entries", &self.entry_gauge);
     }
 
     /// Answers a duplicate: if `tag` has a live cached reply, copies it
@@ -79,21 +107,22 @@ impl ReplyCache {
         let Some(entry) = map.get(&tag) else { return false };
         if self.clock.expired(entry.expires_ns) {
             map.remove(&tag);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
+            self.entry_gauge.set(map.len() as u64);
             return false;
         }
         reply.clear();
         reply.extend_from_slice(&entry.reply);
         rights_out.clear();
         rights_out.extend_from_slice(&entry.rights);
-        self.suppressions.fetch_add(1, Ordering::Relaxed);
+        self.suppressions.inc();
         true
     }
 
     /// Records the reply of a freshly executed call and counts the
     /// execution. Expired entries are swept here, off the hit path.
     pub fn record(&self, tag: CallTag, reply: &[u8], rights: &[u32]) {
-        self.executions.fetch_add(1, Ordering::Relaxed);
+        self.executions.inc();
         let now = self.clock.now_ns();
         let expires_ns = now.saturating_add(self.ttl_ns);
         let mut map = self.entries.lock().expect("reply cache lock");
@@ -101,17 +130,19 @@ impl ReplyCache {
         map.retain(|_, e| now <= e.expires_ns);
         let swept = before - map.len();
         if swept > 0 {
-            self.evictions.fetch_add(swept as u64, Ordering::Relaxed);
+            self.evictions.add(swept as u64);
         }
         map.insert(tag, CachedReply { reply: reply.to_vec(), rights: rights.to_vec(), expires_ns });
+        self.entry_gauge.set(map.len() as u64);
     }
 
-    /// Current counters.
+    /// Current counters — the same cells a [`MetricsRegistry`] snapshot
+    /// reads after [`ReplyCache::register_metrics`].
     pub fn stats(&self) -> ReplyCacheStats {
         ReplyCacheStats {
-            executions: self.executions.load(Ordering::Relaxed),
-            suppressions: self.suppressions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            executions: self.executions.get(),
+            suppressions: self.suppressions.get(),
+            evictions: self.evictions.get(),
             entries: self.entries.lock().expect("reply cache lock").len() as u64,
         }
     }
@@ -132,7 +163,7 @@ mod tests {
     use super::*;
 
     fn tag(binding: u64, seq: u64) -> CallTag {
-        CallTag { binding, seq }
+        CallTag::new(binding, seq)
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::client::ClientStub;
 use crate::error::{Error, ErrorKind};
 use crate::policy::CallOptions;
 use flexrpc_core::value::Value;
-use flexrpc_trace::{Counter, Histogram, MetricsRegistry, SharedCallTrace, Stage};
+use flexrpc_trace::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, SharedCallTrace, Stage};
 
 /// One way to (re-)establish a binding: runs the full bind-time
 /// negotiation against a fixed endpoint and returns a ready stub.
@@ -43,6 +43,22 @@ pub struct SupervisorStats {
     pub recovery_ns_last: u64,
     /// The largest recovery latency seen.
     pub recovery_ns_max: u64,
+}
+
+impl SupervisorStats {
+    /// Reconstructs the stats from a unified registry snapshot — the
+    /// collapsed read path for code that holds a
+    /// [`MetricsRegistry`] the supervisor was
+    /// [registered](Supervisor::register_metrics) into.
+    pub fn from_metrics(m: &MetricsSnapshot) -> SupervisorStats {
+        SupervisorStats {
+            disconnects: m.counter("supervisor.disconnect"),
+            rebinds: m.counter("supervisor.rebind"),
+            replays: m.counter("supervisor.replay"),
+            recovery_ns_last: m.counter("supervisor.recovery_ns_last"),
+            recovery_ns_max: m.counter("supervisor.recovery_ns_max"),
+        }
+    }
 }
 
 /// The supervisor's live counters: registry-adoptable handles under the
@@ -181,6 +197,32 @@ impl Supervisor {
     /// A fresh call frame for an operation on the current binding.
     pub fn new_frame(&self, name: &str) -> Result<Vec<Value>, Error> {
         self.stub.new_frame(name).map_err(Error::from)
+    }
+
+    /// Re-runs bind-time negotiation against the *current* endpoint
+    /// **live** — a policy-driven rebind rather than a failure-driven
+    /// one (a presentation changed, an operator swapped a policy, and
+    /// the binding should be re-derived). The
+    /// fresh stub carries the at-most-once state forward unchanged: no
+    /// call failed, so the sequence is *not* rewound, and the tenant
+    /// identity is preserved — duplicate suppression stays continuous
+    /// across the swap. On factory failure the old binding stays bound.
+    pub fn rebind(&mut self) -> Result<(), Error> {
+        let rebind_call = self.tracer.as_ref().map(|t| t.begin_call());
+        let bind_start = self.tracer.as_ref().map_or(0, |t| t.now_ns());
+        let amo = self.stub.at_most_once_state();
+        let tenant = self.stub.tenant();
+        let mut stub = (self.endpoints[self.current])()?;
+        if let Some((binding, next_seq)) = amo {
+            stub.resume_at_most_once(binding, next_seq);
+        }
+        stub.set_tenant(tenant);
+        self.counters.rebinds.inc();
+        if let (Some(t), Some(call)) = (&self.tracer, rebind_call) {
+            t.record(call, Stage::Bind, bind_start, t.now_ns(), self.current as u64);
+        }
+        self.stub = stub;
+        Ok(())
     }
 
     /// Invokes an operation under `options`, failing over on disconnect.

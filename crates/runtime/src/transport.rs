@@ -296,10 +296,12 @@ impl Transport for KernelIpc {
         let mut regs = [0u64; MSG_REGS];
         regs[0] = op.index as u64;
         // At-most-once tag rides in registers 2 and 3 (binding ids start at
-        // 1, so binding 0 means "untagged" without an option encoding).
+        // 1, so binding 0 means "untagged" without an option encoding);
+        // register 4 carries the tenant the call is charged to.
         if let Some(tag) = ctl.tag {
             regs[2] = tag.binding;
             regs[3] = tag.seq;
+            regs[4] = tag.tenant.as_u64();
         }
         let port_rights: Vec<PortName> = rights.iter().map(|&r| PortName(r)).collect();
         let (reply_regs, reply_rights) =
@@ -366,9 +368,15 @@ pub fn serve_on_kernel_direct(
     let srv = Arc::clone(&server);
     kernel.register_server(task, port, options, move |_k, msg| {
         let op_index = msg.regs[0] as usize;
-        // Registers 2/3 carry the at-most-once tag (binding 0 = untagged).
-        let tag = (msg.regs[2] != 0)
-            .then(|| crate::policy::CallTag { binding: msg.regs[2], seq: msg.regs[3] });
+        // Registers 2/3 carry the at-most-once tag (binding 0 = untagged);
+        // register 4 the tenant it is charged to.
+        let tag = (msg.regs[2] != 0).then(|| {
+            crate::policy::CallTag::for_tenant(
+                msg.regs[2],
+                msg.regs[3],
+                crate::policy::TenantId(msg.regs[4]),
+            )
+        });
         let rights: Vec<u32> = msg.rights.iter().map(|p| p.0).collect();
         let mut reply = Vec::new();
         let mut rights_out = Vec::new();
@@ -469,7 +477,7 @@ impl Transport for SunRpc {
         // stable across retries of one logical call.
         let msg = sunrpc::encode_call_tagged(
             CallHeader { xid, prog: self.prog, vers: self.vers, proc },
-            ctl.tag.map(|t| (t.binding, t.seq)),
+            ctl.tag.map(|t| (t.binding, t.seq, t.tenant.as_u64())),
             &[request],
         );
         // The framed reply lands directly in the caller's buffer — no
@@ -517,7 +525,7 @@ impl Transport for SunRpc {
         // deduplicated by the server's reply cache.
         let msg = sunrpc::encode_call_tagged(
             CallHeader { xid: 0, prog: self.prog, vers: self.vers, proc },
-            ctl.tag.map(|t| (t.binding, t.seq)),
+            ctl.tag.map(|t| (t.binding, t.seq, t.tenant.as_u64())),
             &[request],
         );
         self.net.send(self.from, self.to, &msg)?;
@@ -543,7 +551,9 @@ pub fn serve_on_net(
             Ok(x) => x,
             Err(e) => return Err(format!("undecodable call: {e}")),
         };
-        let tag = wire_tag.map(|(binding, seq)| crate::policy::CallTag { binding, seq });
+        let tag = wire_tag.map(|(binding, seq, tenant)| {
+            crate::policy::CallTag::for_tenant(binding, seq, crate::policy::TenantId(tenant))
+        });
         if hdr.prog != prog {
             return Ok(sunrpc::encode_reply(hdr.xid, AcceptStat::ProgUnavail, &[]));
         }

@@ -232,7 +232,7 @@ fn reply_cache_hit_allocates_nothing_when_warm() {
     w.put_bool(true);
     let request = w.into_bytes();
 
-    let tag = CallTag { binding: 1, seq: 0 };
+    let tag = CallTag::new(1, 0);
     let mut reply = Vec::new();
     let mut rights_out = Vec::new();
     // First tagged dispatch executes and records; a few more warm the

@@ -12,9 +12,12 @@
 #   BENCH_stream.json   — edit-feed fan-out throughput (1000 [oneway]
 #                         subscribers), credit-stall determinism, and
 #                         at-most-once file-stream writes
+#   BENCH_qos.json      — per-tenant isolation under a 10× noisy-neighbor
+#                         storm and exactly-once execution across a live
+#                         policy swap + combination rebind
 #
 # Run from anywhere inside the repo. Pass --check to also enforce the
-# acceptance gates (fuse, failover, trace, stream).
+# acceptance gates (fuse, failover, trace, stream, qos).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,11 +43,15 @@ cargo run -q --release -p flexrpc-bench --bin report -- trace --json BENCH_trace
 echo "== report stream ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- stream --json BENCH_stream.json "${CHECK[@]}"
 
+echo "== report qos ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- qos --json BENCH_qos.json "${CHECK[@]}"
+
 # Every expected artifact must exist and be non-empty — a figure silently
 # skipped (e.g. by a typo in the selection list above) fails here, loudly,
 # instead of leaving EXPERIMENTS.md citing a stale file.
 missing=0
-for f in BENCH_fuse.json BENCH_serve.json BENCH_failover.json BENCH_trace.json BENCH_stream.json; do
+for f in BENCH_fuse.json BENCH_serve.json BENCH_failover.json BENCH_trace.json \
+         BENCH_stream.json BENCH_qos.json; do
   if [[ ! -s "$f" ]]; then
     echo "ERROR: expected artifact $f is missing or empty" >&2
     missing=1
@@ -54,4 +61,5 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 
-echo "wrote BENCH_fuse.json, BENCH_serve.json, BENCH_failover.json, BENCH_trace.json, and BENCH_stream.json" >&2
+echo "wrote BENCH_fuse.json, BENCH_serve.json, BENCH_failover.json, BENCH_trace.json," \
+     "BENCH_stream.json, and BENCH_qos.json" >&2

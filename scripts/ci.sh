@@ -40,6 +40,13 @@ cargo run -q --release -p flexrpc-bench --bin report -- trace --check
 echo "== report stream --check ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- stream --check
 
+# The multi-tenant QoS gate: a 10× noisy neighbor cannot move the victim
+# tenant's p99 queue dwell past its weighted-fair bound (the offender's
+# excess is shed against its own quota), and a live policy swap plus
+# combination rebind on a loaded connection loses and duplicates nothing.
+echo "== report qos --check ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- qos --check
+
 # The examples are the documented API surface; an API redesign that
 # breaks them must fail here, not in a reader's terminal.
 for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix trace_failover edit_feed; do

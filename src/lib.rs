@@ -11,6 +11,7 @@
 
 pub use flexrpc_clock as clock;
 pub use flexrpc_codegen as codegen;
+pub use flexrpc_control as control;
 pub use flexrpc_core as core;
 pub use flexrpc_engine as engine;
 pub use flexrpc_fbufs as fbufs;
@@ -38,6 +39,7 @@ pub use flexrpc_runtime::{Error, ErrorKind};
 /// [`RetryPolicy`], [`Error`], [`ErrorKind`]) on the deterministic
 /// [`SimClock`].
 pub mod prelude {
+    pub use crate::control::{ControlPlane, Policy, PolicyHandle, TenantMetrics, WfqQueue};
     pub use crate::core::annot::apply_pdl;
     pub use crate::core::present::{InterfacePresentation, Trust};
     pub use crate::core::program::{CompiledInterface, CompiledOp};
@@ -48,7 +50,7 @@ pub mod prelude {
     pub use crate::runtime::transport::Loopback;
     pub use crate::runtime::{
         CallOptions, CallTag, ClientStub, Error, ErrorKind, ReplyCache, ReplyCacheStats,
-        RetryPolicy, ServerInterface, Supervisor, SupervisorStats,
+        RetryPolicy, ServerInterface, Supervisor, SupervisorStats, TenantId,
     };
     pub use crate::stream::{CallbackChannel, CreditWindow, StreamSender};
     pub use crate::trace::{

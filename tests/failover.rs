@@ -262,7 +262,10 @@ fn restarted_primary_suppresses_the_replayed_call() {
 /// over), and after the sim-time cooldown one probe closes it again.
 #[test]
 fn breaker_trips_probes_and_recovers_on_sim_time() {
-    let engine = Engine::builder().workers(1).breaker(3, Duration::from_millis(1)).build();
+    let engine = Engine::builder()
+        .workers(1)
+        .policy(Policy::new().breaker(3, Duration::from_millis(1)))
+        .build();
     let executions = Arc::new(AtomicU64::new(0));
     register_counter(&engine, Arc::clone(&executions), Arc::new(AtomicU64::new(0)));
     let conn = engine.connect("counter").establish().expect("connects");
