@@ -17,8 +17,8 @@
 //! and exactly-once execution across a live policy swap + rebind).
 
 use flexrpc_bench::{
-    ablate, failover, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, qos, serve,
-    shed, stream, trace,
+    ablate, failover, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, qos, scale,
+    serve, shed, stream, trace,
 };
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_kernel::{NameMode, TrustLevel};
@@ -111,8 +111,11 @@ fn main() {
         .map(|s| s.as_str())
         .filter(|s| {
             s.starts_with("fig")
-                || ["port", "ablate", "serve", "shed", "fuse", "failover", "trace", "stream", "qos"]
-                    .contains(s)
+                || [
+                    "port", "ablate", "serve", "shed", "fuse", "failover", "trace", "stream",
+                    "qos", "scale",
+                ]
+                .contains(s)
         })
         .collect();
     let check = args.iter().any(|a| a == "--check");
@@ -164,6 +167,9 @@ fn main() {
     }
     if want("qos") {
         run_qos(&mut report, check);
+    }
+    if want("scale") {
+        run_scale(&mut report, check);
     }
 
     let snap = metrics.snapshot();
@@ -931,27 +937,138 @@ fn run_port(report: &mut Report) {
 
 fn run_serve(report: &mut Report) {
     println!("\n== Engine scaling: one engine, clients × workers (calls/s) ==");
+    println!("  (seeded client interleave — rerun noise comes from the box, not the schedule)");
     println!(
-        "  {:>8} {:>8} {:>12} {:>10} {:>10}",
-        "workers", "clients", "calls/s", "hit-rate", "programs"
+        "  {:>8} {:>8} {:>12} {:>8} {:>10} {:>10}",
+        "workers", "clients", "calls/s", "vs-w1", "hit-rate", "programs"
     );
+    // w1 baselines per client count, filled on the first (workers=1) pass:
+    // every cell is also reported as a speedup ratio against its client
+    // count's one-worker cell, which is far more stable run-to-run than
+    // the absolute calls/s on a shared box.
+    let mut baseline: BTreeMap<usize, f64> = BTreeMap::new();
     for workers in serve::WORKERS {
         for clients in serve::CLIENTS {
             let r = serve::run(workers, clients, serve::CALLS_PER_CLIENT);
+            let base = *baseline.entry(clients).or_insert(r.calls_per_sec);
+            let speedup = r.calls_per_sec / base;
             println!(
-                "  {:>8} {:>8} {:>12.0} {:>9.0}% {:>10}",
+                "  {:>8} {:>8} {:>12.0} {:>7.2}x {:>9.0}% {:>10}",
                 workers,
                 clients,
                 r.calls_per_sec,
+                speedup,
                 r.cache_hit_rate * 100.0,
                 r.compilations
             );
             let cell = format!("w{workers}-c{clients}");
             report.put("serve", &format!("{cell}-calls-per-sec"), r.calls_per_sec);
+            report.put("serve", &format!("{cell}-speedup-vs-w1"), speedup);
             report.put("serve", &format!("{cell}-cache-hit-rate"), r.cache_hit_rate);
         }
     }
     println!("  (each combination compiles once per engine; hit rate counts reused connections)");
+}
+
+fn run_scale(report: &mut Report, check: bool) {
+    let mut failures = Vec::new();
+    let sweep = scale::worker_sweep();
+    println!("\n== Shard scaling: per-core shards, stealing, inline dispatch ==");
+    println!(
+        "  ({} clients; blocking {} calls/client inline-eligible, pipelined {}x{} tagged)",
+        scale::CLIENTS,
+        scale::CALLS_PER_CLIENT,
+        scale::BATCHES,
+        scale::BATCH
+    );
+    println!(
+        "  {:>8} {:>14} {:>14} {:>8} {:>8}",
+        "workers", "blocking c/s", "pipelined c/s", "inline", "steals"
+    );
+    let mut cells = Vec::new();
+    for &w in &sweep {
+        let r = scale::run(w, scale::CLIENTS, scale::CALLS_PER_CLIENT);
+        println!(
+            "  {:>8} {:>14.0} {:>14.0} {:>8} {:>8}",
+            w, r.blocking_cps, r.pipelined_cps, r.inline_calls, r.steals
+        );
+        report.put("scale", &format!("w{w}-blocking-calls-per-sec"), r.blocking_cps);
+        report.put("scale", &format!("w{w}-pipelined-calls-per-sec"), r.pipelined_cps);
+        report.put("scale", &format!("w{w}-inline-calls"), r.inline_calls as f64);
+        report.put("scale", &format!("w{w}-steals"), r.steals as f64);
+        if r.inline_calls as usize != scale::CLIENTS * scale::CALLS_PER_CLIENT {
+            failures.push(format!(
+                "w{w}: {} of {} blocking calls dispatched inline",
+                r.inline_calls,
+                scale::CLIENTS * scale::CALLS_PER_CLIENT
+            ));
+        }
+        cells.push(r);
+    }
+    // Gate 1: blocking throughput monotone non-decreasing (within the
+    // noise tolerance) from one worker up to the core count.
+    let mut best = 0.0f64;
+    for r in &cells {
+        if r.blocking_cps < best * scale::MONO_TOLERANCE {
+            failures.push(format!(
+                "w{} blocking throughput {:.0} regressed below {:.0}% of the best earlier cell {:.0}",
+                r.workers,
+                r.blocking_cps,
+                scale::MONO_TOLERANCE * 100.0,
+                best
+            ));
+        }
+        best = best.max(r.blocking_cps);
+    }
+    // Gate 2: the fixed 8-worker cell (measured even on smaller boxes —
+    // the inline path carries it) must clear the absolute floor.
+    let gate =
+        cells.iter().find(|r| r.workers == scale::GATE_WORKERS).copied().unwrap_or_else(|| {
+            scale::run(scale::GATE_WORKERS, scale::CLIENTS, scale::CALLS_PER_CLIENT)
+        });
+    if !sweep.contains(&scale::GATE_WORKERS) {
+        println!(
+            "  {:>8} {:>14.0} {:>14.0} {:>8} {:>8}   (gate cell)",
+            gate.workers, gate.blocking_cps, gate.pipelined_cps, gate.inline_calls, gate.steals
+        );
+        report.put(
+            "scale",
+            &format!("w{}-blocking-calls-per-sec", scale::GATE_WORKERS),
+            gate.blocking_cps,
+        );
+        report.put(
+            "scale",
+            &format!("w{}-pipelined-calls-per-sec", scale::GATE_WORKERS),
+            gate.pipelined_cps,
+        );
+        report.put("scale", &format!("w{}-steals", scale::GATE_WORKERS), gate.steals as f64);
+    }
+    report.put("scale", "floor-calls-per-sec", scale::FLOOR_CPS);
+    println!(
+        "  w{} blocking cell: {:.0} calls/s against the {:.0} floor",
+        scale::GATE_WORKERS,
+        gate.blocking_cps,
+        scale::FLOOR_CPS
+    );
+    if gate.blocking_cps < scale::FLOOR_CPS {
+        failures.push(format!(
+            "w{} blocking throughput {:.0} calls/s under the {:.0} floor",
+            scale::GATE_WORKERS,
+            gate.blocking_cps,
+            scale::FLOOR_CPS
+        ));
+    }
+
+    if check {
+        if failures.is_empty() {
+            println!("  check: ok");
+        } else {
+            for f in &failures {
+                eprintln!("  check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_shed(report: &mut Report) {

@@ -16,6 +16,7 @@ pub mod fig7;
 pub mod fuse;
 pub mod port;
 pub mod qos;
+pub mod scale;
 pub mod serve;
 pub mod shed;
 pub mod stream;

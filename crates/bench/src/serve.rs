@@ -26,6 +26,11 @@ pub const WORKERS: [usize; 3] = [1, 4, 8];
 pub const CALLS_PER_CLIENT: usize = 400;
 /// Reply payload bytes per call.
 pub const READ_SIZE: usize = 1024;
+/// Seed for the deterministic client interleave schedule: every run of a
+/// cell yields at the same seeded call indices, so the worker/client
+/// interleave — the dominant noise source in this experiment — is the
+/// same schedule run to run instead of whatever the OS happened to do.
+pub const SEED: u64 = 0x5EED_C0DE;
 
 /// One run's results.
 #[derive(Debug, Clone, Copy)]
@@ -84,17 +89,36 @@ pub fn client(engine: &Arc<Engine>, index: usize) -> ClientStub {
     ClientStub::new(compiled, WireFormat::Cdr, Box::new(conn))
 }
 
+/// `splitmix64` step — the repo's stock seedable generator (no rand dep).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Runs `calls` synchronous reads on each of `clients` pre-built stubs,
 /// concurrently; returns when every client finished.
+///
+/// Each client yields the CPU at call indices drawn from a per-client
+/// stream seeded by [`SEED`] — a fixed interleave schedule, so repeated
+/// runs of a cell contend at the same points instead of wherever the OS
+/// scheduler happened to preempt.
 pub fn drive(stubs: Vec<ClientStub>, calls: usize) {
     let handles: Vec<_> = stubs
         .into_iter()
-        .map(|mut stub| {
+        .enumerate()
+        .map(|(index, mut stub)| {
             std::thread::spawn(move || {
+                let mut rng = SEED ^ (index as u64).wrapping_mul(0xA076_1D64_78BD_642F);
                 let mut frame = stub.new_frame("read").expect("frame");
                 for _ in 0..calls {
                     frame[0] = Value::U32(READ_SIZE as u32);
                     stub.call("read", &mut frame).expect("call succeeds");
+                    if splitmix(&mut rng).is_multiple_of(8) {
+                        std::thread::yield_now();
+                    }
                 }
             })
         })

@@ -29,4 +29,4 @@ pub mod wfq;
 pub use flexrpc_runtime::TenantId;
 pub use plane::{ControlPlane, TenantMetrics};
 pub use policy::{Policy, PolicyHandle};
-pub use wfq::{WfqQueue, WfqRefusal, QUANTUM};
+pub use wfq::{WfqGroup, WfqQueue, WfqRefusal, QUANTUM};

@@ -8,8 +8,13 @@
 //! worker pool concurrently; replies are re-framed in completion-wait order
 //! and the client matches them back to calls by XID.
 //!
-//! [`SunRpcPipeline`] is the matching client: it queues call records
-//! locally and ships them as one stream on [`SunRpcPipeline::flush`].
+//! [`SunRpcPipeline`] is the matching client: it queues calls locally and
+//! gather-encodes everything pending into one record stream on
+//! [`SunRpcPipeline::flush`] — adaptive batching with no nagle delay
+//! (whatever is ready ships immediately, coalesced). The acceptor's reply
+//! half mirrors it: each batch's replies are gather-encoded straight into
+//! a single outgoing stream, marshalled body slices spliced behind their
+//! record marks with no intermediate per-reply frame.
 
 use crate::engine::{CallTicket, ClientInfo, Engine, EngineError};
 use flexrpc_core::program::CompiledOp;
@@ -59,20 +64,28 @@ pub fn expose_on_net(
         }
         // Phase 2: await and re-frame. Waiting in submit order is fine —
         // execution already overlapped; XIDs let the client reorder freely.
+        // Every reply is gather-encoded straight into the one outgoing
+        // stream: the marshalled body slice is spliced behind its record
+        // mark in place, with no per-reply staging frame, and the whole
+        // batch leaves as a single write.
         let mut out = Vec::new();
         for (xid, outcome) in outcomes {
             match outcome {
                 Outcome::Immediate(stat) => {
-                    out.extend_from_slice(&sunrpc::encode_reply(xid, stat, &[]));
+                    sunrpc::encode_reply_gather_into(&mut out, xid, stat, &[]);
                 }
                 Outcome::Pending(ticket) => match ticket.wait() {
-                    Ok(reply) => out.extend_from_slice(&sunrpc::encode_reply(
+                    Ok(reply) => sunrpc::encode_reply_gather_into(
+                        &mut out,
                         xid,
                         AcceptStat::Success,
-                        &reply.body,
-                    )),
-                    Err(flexrpc_runtime::RpcError::Marshal(_)) => out.extend_from_slice(
-                        &sunrpc::encode_reply(xid, AcceptStat::GarbageArgs, &[]),
+                        &[&reply.body],
+                    ),
+                    Err(flexrpc_runtime::RpcError::Marshal(_)) => sunrpc::encode_reply_gather_into(
+                        &mut out,
+                        xid,
+                        AcceptStat::GarbageArgs,
+                        &[],
                     ),
                     // Policy failures get a real reply (SYSTEM_ERR), not a
                     // dead connection: the client can tell "server refused
@@ -81,11 +94,9 @@ pub fn expose_on_net(
                         flexrpc_runtime::RpcError::DeadlineExceeded
                         | flexrpc_runtime::RpcError::Overloaded
                         | flexrpc_runtime::RpcError::Cancelled,
-                    ) => out.extend_from_slice(&sunrpc::encode_reply(
-                        xid,
-                        AcceptStat::SystemErr,
-                        &[],
-                    )),
+                    ) => {
+                        sunrpc::encode_reply_gather_into(&mut out, xid, AcceptStat::SystemErr, &[])
+                    }
                     Err(e) => return Err(format!("dispatch failed: {e}")),
                 },
             }
@@ -152,8 +163,10 @@ pub struct SunRpcPipeline {
     prog: u32,
     vers: u32,
     next_xid: u32,
-    batch: Vec<u8>,
-    expected: Vec<u32>,
+    /// Calls queued since the last flush, kept as (header, argument
+    /// bytes) pairs — encoding is deferred so the whole batch can be
+    /// gathered into one record stream at flush time.
+    pending: Vec<(CallHeader, Vec<u8>)>,
     retry: Option<RetryPolicy>,
     trace: Option<SharedCallTrace>,
 }
@@ -168,8 +181,7 @@ impl SunRpcPipeline {
             prog,
             vers,
             next_xid: 1,
-            batch: Vec::new(),
-            expected: Vec::new(),
+            pending: Vec::new(),
             retry: None,
             trace: None,
         }
@@ -208,8 +220,7 @@ impl SunRpcPipeline {
         let xid = self.next_xid;
         self.next_xid = self.next_xid.wrapping_add(1);
         let hdr = CallHeader { xid, prog: self.prog, vers: self.vers, proc };
-        self.batch.extend_from_slice(&sunrpc::encode_call(hdr, args));
-        self.expected.push(xid);
+        self.pending.push((hdr, args.to_vec()));
         xid
     }
 
@@ -231,18 +242,28 @@ impl SunRpcPipeline {
 
     /// Calls currently queued.
     pub fn outstanding(&self) -> usize {
-        self.expected.len()
+        self.pending.len()
     }
 
     /// Ships the queued batch as one stream and returns each call's
     /// `(status, results)` in XID submit order — regardless of the order
     /// the server's workers completed them in.
+    ///
+    /// Adaptive batching, nagle-free: nothing is delayed waiting for more
+    /// calls — whatever is queued *right now* is coalesced. Every pending
+    /// record is gather-encoded into one stream here (no per-call frame
+    /// vector) and the stream goes out as a single write.
     pub fn flush(&mut self) -> flexrpc_net::Result<Vec<(AcceptStat, Vec<u8>)>> {
-        if self.expected.is_empty() {
+        if self.pending.is_empty() {
             return Ok(Vec::new());
         }
-        let batch = std::mem::take(&mut self.batch);
-        let expected = std::mem::take(&mut self.expected);
+        let pending = std::mem::take(&mut self.pending);
+        let mut batch = Vec::new();
+        let mut expected = Vec::with_capacity(pending.len());
+        for (hdr, args) in &pending {
+            sunrpc::encode_call_tagged_into(&mut batch, *hdr, None, &[args]);
+            expected.push(hdr.xid);
+        }
         let max_attempts = self.retry.as_ref().map_or(1, |p| p.max_attempts());
         let flush_call = self.trace.as_ref().map(|t| t.begin_call());
         let mut attempt = 1u32;
@@ -303,6 +324,6 @@ impl SunRpcPipeline {
 
 impl std::fmt::Debug for SunRpcPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SunRpcPipeline({} outstanding)", self.expected.len())
+        write!(f, "SunRpcPipeline({} outstanding)", self.pending.len())
     }
 }

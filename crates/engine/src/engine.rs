@@ -26,9 +26,12 @@
 
 use crate::breaker::CircuitBreaker;
 use crate::cache::{ProgramCache, ProgramKey};
+use crate::slot::ReplySlot;
 use crate::stats::{EngineCounters, EngineStatsSnapshot};
 use flexrpc_clock::{Fault, FaultInjector, SimClock};
-use flexrpc_control::{ControlPlane, Policy, PolicyHandle, TenantMetrics, WfqQueue, WfqRefusal};
+use flexrpc_control::{
+    ControlPlane, Policy, PolicyHandle, TenantMetrics, WfqGroup, WfqQueue, WfqRefusal,
+};
 use flexrpc_core::compat::negotiate_call_shape;
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_core::ir::Module;
@@ -155,66 +158,22 @@ pub struct Reply {
     pub rights: Vec<u32>,
 }
 
-/// One-shot completion slot a submitter blocks on.
-struct ReplySlot {
-    state: Mutex<Option<flexrpc_runtime::Result<Reply>>>,
-    ready: Condvar,
-}
-
-impl ReplySlot {
-    fn new() -> Arc<ReplySlot> {
-        Arc::new(ReplySlot { state: Mutex::new(None), ready: Condvar::new() })
-    }
-
-    fn fill(&self, result: flexrpc_runtime::Result<Reply>) {
-        *self.state.lock() = Some(result);
-        self.ready.notify_all();
-    }
-
-    fn wait(&self) -> flexrpc_runtime::Result<Reply> {
-        let mut state = self.state.lock();
-        loop {
-            if let Some(result) = state.take() {
-                return result;
-            }
-            self.ready.wait(&mut state);
-        }
-    }
-
-    /// Blocks until the reply is ready or the sim clock passes
-    /// `deadline_ns`. Sim time advances on other threads (faults, stalled
-    /// handlers being charged for), so the wait polls in short real-time
-    /// slices and re-checks the virtual clock on each wake.
-    fn wait_until(
-        &self,
-        clock: &SimClock,
-        deadline_ns: Option<u64>,
-    ) -> flexrpc_runtime::Result<Reply> {
-        let Some(deadline) = deadline_ns else { return self.wait() };
-        let mut state = self.state.lock();
-        loop {
-            if let Some(result) = state.take() {
-                return result;
-            }
-            if clock.expired(deadline) {
-                return Err(RpcError::DeadlineExceeded);
-            }
-            let _ = self.ready.wait_for(&mut state, std::time::Duration::from_millis(1));
-        }
-    }
-}
+/// The engine's one-shot completion slot: the lock-free
+/// [`ReplySlot`](crate::slot::ReplySlot) carrying a call's result.
+type Completion = ReplySlot<flexrpc_runtime::Result<Reply>>;
 
 /// An in-flight call handle ([`EngineConnection::submit`]); redeem with
 /// [`CallTicket::wait`] or [`CallTicket::wait_until`]. Dropping it abandons
 /// the reply (the worker still runs the call).
 #[must_use = "a submitted call completes, but its reply is lost unless waited on"]
 pub struct CallTicket {
-    slot: Arc<ReplySlot>,
+    slot: Arc<Completion>,
     clock: Arc<SimClock>,
 }
 
 impl CallTicket {
-    /// Blocks until the reply is ready.
+    /// Blocks until the reply is ready. The warm wait is lock-free: one
+    /// atomic load when the worker already published.
     pub fn wait(self) -> flexrpc_runtime::Result<Reply> {
         self.slot.wait()
     }
@@ -222,9 +181,58 @@ impl CallTicket {
     /// Blocks until the reply is ready or the engine's sim clock passes
     /// `deadline_ns` — the ticket-wait blocking point of deadline
     /// enforcement: even a call stuck *executing* in a stalled handler
-    /// returns [`RpcError::DeadlineExceeded`] once the clock passes.
+    /// returns [`RpcError::DeadlineExceeded`] once the clock passes. Sim
+    /// time advances on other threads, so the park is sliced and the
+    /// virtual clock re-checked on each wake.
     pub fn wait_until(self, deadline_ns: Option<u64>) -> flexrpc_runtime::Result<Reply> {
-        self.slot.wait_until(&self.clock, deadline_ns)
+        match deadline_ns {
+            None => self.slot.wait(),
+            Some(d) => self
+                .slot
+                .wait_deadline(|| self.clock.expired(d))
+                .unwrap_or(Err(RpcError::DeadlineExceeded)),
+        }
+    }
+}
+
+/// Wakes parked workers when work arrives anywhere in the shard set.
+///
+/// Producers bump a sequence under the mutex and `notify_one` — a single
+/// job wakes a single worker, not the herd. Workers read the epoch
+/// *before* scanning the shards and park only if it has not moved since,
+/// so a push that lands mid-scan can never be missed.
+struct SubmitSignal {
+    seq: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl SubmitSignal {
+    fn new() -> SubmitSignal {
+        SubmitSignal { seq: Mutex::new(0), ready: Condvar::new() }
+    }
+
+    fn epoch(&self) -> u64 {
+        *self.seq.lock()
+    }
+
+    /// One unit of work arrived: wake exactly one parked worker.
+    fn bump(&self) {
+        *self.seq.lock() += 1;
+        self.ready.notify_one();
+    }
+
+    /// Shutdown: every parked worker must wake to observe the close.
+    fn bump_all(&self) {
+        *self.seq.lock() += 1;
+        self.ready.notify_all();
+    }
+
+    /// Parks until the epoch moves past `seen`.
+    fn wait_past(&self, seen: u64) {
+        let mut seq = self.seq.lock();
+        while *seq == seen {
+            self.ready.wait(&mut seq);
+        }
     }
 }
 
@@ -234,7 +242,7 @@ struct Job {
     op_index: usize,
     request: Vec<u8>,
     rights: Vec<u32>,
-    slot: Arc<ReplySlot>,
+    slot: Arc<Completion>,
     /// Absolute sim-clock deadline: the tighter of the caller's deadline
     /// and the effective queue-dwell limit, fixed at admission.
     deadline_ns: Option<u64>,
@@ -254,6 +262,23 @@ struct Job {
     /// worker records the Enqueue (queue dwell) and Dispatch spans of this
     /// logical call into it.
     trace: Option<(SharedCallTrace, u64)>,
+}
+
+/// The outcome of the shared admission preamble ([`Engine::admit`]):
+/// everything both the queue path and the inline path need to proceed.
+struct Admission {
+    tenant: TenantId,
+    tenant_metrics: Arc<TenantMetrics>,
+    weight: u32,
+    quota: Option<usize>,
+    high_water: Option<usize>,
+    /// The effective absolute deadline: caller's, tenant default, and
+    /// dwell bound reconciled.
+    deadline_ns: Option<u64>,
+    close_after: bool,
+    duplicate: bool,
+    /// Sim time at admission (post any induced delay).
+    now: u64,
 }
 
 /// Interchangeable `ServerInterface` instances for one program combination.
@@ -417,18 +442,33 @@ impl EngineBuilder {
         self
     }
 
-    /// Starts the engine: spawns the worker pool, returns the shared handle.
+    /// Starts the engine: spawns one worker per shard, returns the shared
+    /// handle.
     pub fn build(self) -> Arc<Engine> {
         let clock = self.clock.unwrap_or_default();
         let reply_cache = self.amo_ttl.map(|ttl| ReplyCache::new(Arc::clone(&clock), ttl));
         let breaker = self.policy.breaker_config().map(|(t, c)| CircuitBreaker::new(t, c));
         let control = self.control.unwrap_or_else(ControlPlane::new);
+        // One shard (queue + worker + stats cell) per worker. Every shard
+        // keeps the full `queue_depth` as its blocking bound — a tenant's
+        // whole lane lives on its home shard, so its backpressure
+        // threshold matches the old single queue exactly — while the
+        // shared group makes the policy's `high_water` an aggregate
+        // backstop across the set.
+        let group = Arc::new(WfqGroup::default());
+        let shards: Vec<Arc<WfqQueue<Job>>> = (0..self.workers)
+            .map(|_| Arc::new(WfqQueue::with_group(self.queue_depth, Arc::clone(&group))))
+            .collect();
+        let shard_served: Vec<Counter> = (0..self.workers).map(|_| Counter::detached()).collect();
         let engine = Arc::new(Engine {
             workers_n: self.workers,
             policy: RwLock::new(Arc::new(self.policy)),
             control,
             clock,
-            queue: Arc::new(WfqQueue::new(self.queue_depth)),
+            shards,
+            group,
+            signal: Arc::new(SubmitSignal::new()),
+            shard_served,
             workers: Mutex::new(Vec::new()),
             cache: ProgramCache::new(),
             services: RwLock::new(HashMap::new()),
@@ -456,82 +496,49 @@ impl EngineBuilder {
         }
         engine.metrics.adopt_histogram("engine.dwell_ns", &engine.dwell_ns);
         engine.metrics.adopt_counter("engine.rebinds", &engine.rebinds);
+        for (i, served) in engine.shard_served.iter().enumerate() {
+            engine.metrics.adopt_counter(&format!("engine.shard.{i}.served"), served);
+        }
         engine.control.attach_registry(&engine.metrics);
         let mut workers = engine.workers.lock();
-        for i in 0..engine.workers_n {
-            let queue = Arc::clone(&engine.queue);
+        for own in 0..engine.workers_n {
+            let shards: Vec<Arc<WfqQueue<Job>>> = engine.shards.clone();
+            let signal = Arc::clone(&engine.signal);
             let clock = Arc::clone(&engine.clock);
+            let served = engine.shard_served[own].clone();
             let eng = Arc::downgrade(&engine);
             workers.push(
                 std::thread::Builder::new()
-                    .name(format!("flexrpc-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(job) = queue.pop() {
-                            // Dwell check: work whose deadline passed while
-                            // queued is failed, not started — the client
-                            // has already given up on it.
-                            if job.deadline_ns.is_some_and(|d| clock.expired(d)) {
-                                if let Some(engine) = eng.upgrade() {
-                                    engine.counters.job_expired();
-                                }
-                                job.tenant_metrics.expired.inc();
-                                job.slot.fill(Err(RpcError::DeadlineExceeded));
+                    .name(format!("flexrpc-worker-{own}"))
+                    .spawn(move || loop {
+                        // Snapshot the signal epoch *before* scanning: a
+                        // push landing mid-scan moves the epoch, so the
+                        // park below returns immediately — no missed
+                        // wakeup with single-worker notifies.
+                        let epoch = signal.epoch();
+                        if let Some(job) = shards[own].try_pop() {
+                            Engine::run_job(&eng, &clock, job, &served, false);
+                            continue;
+                        }
+                        // Idle: steal the fair head of the longest peer
+                        // backlog. `try_pop` takes the peer's min-tag
+                        // job — exactly what its own worker would serve
+                        // next — so lane FIFO and WFQ order survive.
+                        let victim = (0..shards.len())
+                            .filter(|k| *k != own)
+                            .map(|k| (shards[k].len(), k))
+                            .max()
+                            .filter(|(len, _)| *len > 0);
+                        if let Some((_, k)) = victim {
+                            if let Some(job) = shards[k].try_pop() {
+                                Engine::run_job(&eng, &clock, job, &served, true);
                                 continue;
                             }
-                            let started_ns = clock.now_ns();
-                            let dwell = started_ns.saturating_sub(job.enqueue_ns);
-                            if let Some(engine) = eng.upgrade() {
-                                engine.dwell_ns.record(dwell);
-                            }
-                            job.tenant_metrics.served.inc();
-                            job.tenant_metrics.dwell_ns.record(dwell);
-                            if let Some((t, call)) = &job.trace {
-                                t.record(*call, Stage::Enqueue, job.enqueue_ns, started_ns, 0);
-                            }
-                            let mut replica = job.pool.acquire();
-                            let mut body = Vec::new();
-                            let mut rights_out = Vec::new();
-                            let result = replica
-                                .dispatch_tagged(
-                                    job.op_index,
-                                    &job.request,
-                                    &job.rights,
-                                    job.tag,
-                                    &mut body,
-                                    &mut rights_out,
-                                )
-                                .map(|()| Reply { body, rights: rights_out });
-                            job.pool.release(replica);
-                            if let Some((t, call)) = &job.trace {
-                                t.record(
-                                    *call,
-                                    Stage::Dispatch,
-                                    started_ns,
-                                    clock.now_ns(),
-                                    job.op_index as u64,
-                                );
-                            }
-                            if let Some(engine) = eng.upgrade() {
-                                engine.counters.job_finished(
-                                    job.request.len(),
-                                    result.as_ref().map_or(0, |r| r.body.len()),
-                                    result.is_ok(),
-                                );
-                                if let Some(b) = &engine.breaker {
-                                    b.record(result.is_ok(), clock.now_ns());
-                                }
-                            }
-                            // An induced Close: the call executed (and an
-                            // at-most-once engine cached its reply), but the
-                            // reply is lost on the way back.
-                            if job.close_after {
-                                job.slot.fill(Err(RpcError::Disconnected(
-                                    "engine connection closed before reply".into(),
-                                )));
-                            } else {
-                                job.slot.fill(result);
-                            }
                         }
+                        if shards[own].is_closed() {
+                            return;
+                        }
+                        signal.wait_past(epoch);
                     })
                     .expect("worker thread spawns"),
             );
@@ -552,7 +559,17 @@ pub struct Engine {
     /// The control plane owning per-tenant policy and metrics.
     control: Arc<ControlPlane>,
     clock: Arc<SimClock>,
-    queue: Arc<WfqQueue<Job>>,
+    /// Per-core engine shards: one weighted-fair queue per worker.
+    /// Submission hashes `(tenant, binding)` to a home shard; idle
+    /// workers steal whole min-tag jobs from the longest peer queue.
+    shards: Vec<Arc<WfqQueue<Job>>>,
+    /// Aggregate backlog across the shard set (admission backstop and
+    /// the inline fast path's emptiness check).
+    group: Arc<WfqGroup>,
+    /// Wakes parked workers on submission (one per job, not the herd).
+    signal: Arc<SubmitSignal>,
+    /// Jobs each worker ran (own and stolen), `engine.shard.<i>.served`.
+    shard_served: Vec<Counter>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     cache: ProgramCache,
     services: RwLock<HashMap<String, Arc<Service>>>,
@@ -735,28 +752,100 @@ impl Engine {
         }
     }
 
-    /// Enqueues one dispatch through per-tenant admission control.
-    ///
-    /// The effective tenant is the tag's (when it carries a non-default
-    /// one — the acceptor path, where tenancy rides the wire credential)
-    /// or the connection's. Its live [`Policy`] decides the weighted-fair
-    /// share, the quota (excess shed as [`EngineError::Overloaded`],
-    /// charged to this tenant), and dwell/deadline overrides; the engine
-    /// policy's high water is the aggregate backstop. With a high water
-    /// set the push never blocks; without one it blocks at queue capacity
-    /// (backpressure), though a quota refusal still returns immediately.
-    #[allow(clippy::too_many_arguments)]
-    fn enqueue(
+    /// Runs one dequeued job on the calling worker thread. `eng` is weak
+    /// so worker threads never keep a dropped engine alive; a job caught
+    /// mid-teardown is failed like any other unstarted work.
+    fn run_job(
+        eng: &std::sync::Weak<Engine>,
+        clock: &SimClock,
+        job: Job,
+        served: &Counter,
+        stolen: bool,
+    ) {
+        let Some(engine) = eng.upgrade() else {
+            job.slot.fill(Err(RpcError::Cancelled));
+            return;
+        };
+        served.inc();
+        if stolen {
+            engine.counters.steals.inc();
+        }
+        // Dwell check: work whose deadline passed while queued is
+        // failed, not started — the client has already given up on it.
+        if job.deadline_ns.is_some_and(|d| clock.expired(d)) {
+            engine.counters.job_expired();
+            job.tenant_metrics.expired.inc();
+            job.slot.fill(Err(RpcError::DeadlineExceeded));
+            return;
+        }
+        let started_ns = clock.now_ns();
+        let dwell = started_ns.saturating_sub(job.enqueue_ns);
+        engine.dwell_ns.record(dwell);
+        job.tenant_metrics.served.inc();
+        job.tenant_metrics.dwell_ns.record(dwell);
+        if let Some((t, call)) = &job.trace {
+            t.record(*call, Stage::Enqueue, job.enqueue_ns, started_ns, 0);
+        }
+        let mut replica = job.pool.acquire();
+        let mut body = Vec::new();
+        let mut rights_out = Vec::new();
+        let result = replica
+            .dispatch_tagged(
+                job.op_index,
+                &job.request,
+                &job.rights,
+                job.tag,
+                &mut body,
+                &mut rights_out,
+            )
+            .map(|()| Reply { body, rights: rights_out });
+        job.pool.release(replica);
+        if let Some((t, call)) = &job.trace {
+            t.record(*call, Stage::Dispatch, started_ns, clock.now_ns(), job.op_index as u64);
+        }
+        engine.counters.job_finished(
+            job.request.len(),
+            result.as_ref().map_or(0, |r| r.body.len()),
+            result.is_ok(),
+        );
+        if let Some(b) = &engine.breaker {
+            b.record(result.is_ok(), clock.now_ns());
+        }
+        // An induced Close: the call executed (and an at-most-once
+        // engine cached its reply), but the reply is lost on the way
+        // back.
+        if job.close_after {
+            job.slot
+                .fill(Err(RpcError::Disconnected("engine connection closed before reply".into())));
+        } else {
+            job.slot.fill(result);
+        }
+    }
+
+    /// The home shard for a `(tenant, binding)` pair. Single-shard
+    /// engines skip the hash; multi-shard ones spread bindings with a
+    /// 64-bit finalizer so adjacent ids do not clump.
+    fn home_shard(&self, tenant: TenantId, binding: u64) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let mut h = tenant.0 ^ binding.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Shared admission preamble for every submission path: the breaker
+    /// gate, tenant resolution, the induced-fault plan, and deadline /
+    /// dwell-limit resolution. Exactly one fault event is consumed per
+    /// offered call, whether it then runs inline or through a queue.
+    fn admit(
         &self,
-        pool: &Arc<ReplicaPool>,
-        op_index: usize,
-        request: Vec<u8>,
-        rights: Vec<u32>,
         deadline_ns: Option<u64>,
         tag: Option<CallTag>,
         tenant: TenantId,
-        trace: Option<&SharedCallTrace>,
-    ) -> Result<CallTicket, EngineError> {
+    ) -> Result<Admission, EngineError> {
         // Health gate first: an open breaker refuses before any work or
         // fault accounting happens, so clients fail over immediately.
         if let Some(b) = &self.breaker {
@@ -795,20 +884,72 @@ impl Engine {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        let slot = ReplySlot::new();
+        Ok(Admission {
+            tenant,
+            tenant_metrics,
+            weight: tenant_policy.weight_value(),
+            quota: tenant_policy.quota_value(),
+            high_water: engine_policy.high_water_value(),
+            deadline_ns,
+            close_after,
+            duplicate,
+            now,
+        })
+    }
+
+    /// Enqueues one dispatch through per-tenant admission control.
+    ///
+    /// The effective tenant is the tag's (when it carries a non-default
+    /// one — the acceptor path, where tenancy rides the wire credential)
+    /// or the connection's. Its live [`Policy`] decides the weighted-fair
+    /// share, the quota (excess shed as [`EngineError::Overloaded`],
+    /// charged to this tenant), and dwell/deadline overrides; the engine
+    /// policy's high water is the aggregate backstop. With a high water
+    /// set the push never blocks; without one it blocks at queue capacity
+    /// (backpressure), though a quota refusal still returns immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue(
+        &self,
+        pool: &Arc<ReplicaPool>,
+        binding: u64,
+        op_index: usize,
+        request: Vec<u8>,
+        rights: Vec<u32>,
+        deadline_ns: Option<u64>,
+        tag: Option<CallTag>,
+        tenant: TenantId,
+        trace: Option<&SharedCallTrace>,
+    ) -> Result<CallTicket, EngineError> {
+        let adm = self.admit(deadline_ns, tag, tenant)?;
+        let shard = self.home_shard(adm.tenant, binding);
+        self.finish_enqueue(pool, op_index, request, rights, tag, trace, adm, shard)
+    }
+
+    /// The queue tail of admission: slot, pre-expired check, the shadow
+    /// for a duplicated delivery, and the weighted-fair push to `shard`.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_enqueue(
+        &self,
+        pool: &Arc<ReplicaPool>,
+        op_index: usize,
+        request: Vec<u8>,
+        rights: Vec<u32>,
+        tag: Option<CallTag>,
+        trace: Option<&SharedCallTrace>,
+        adm: Admission,
+        shard: usize,
+    ) -> Result<CallTicket, EngineError> {
+        let slot = Arc::new(Completion::new());
         let ticket = CallTicket { slot: Arc::clone(&slot), clock: Arc::clone(&self.clock) };
         // A deadline already in the past never enters the queue; the
         // ticket comes back pre-failed so the caller's wait is uniform.
-        if deadline_ns.is_some_and(|d| self.clock.expired(d)) {
+        if adm.deadline_ns.is_some_and(|d| self.clock.expired(d)) {
             self.counters.deadline_expired.inc();
-            tenant_metrics.expired.inc();
+            adm.tenant_metrics.expired.inc();
             slot.fill(Err(RpcError::DeadlineExceeded));
             return Ok(ticket);
         }
-        let weight = tenant_policy.weight_value();
-        let quota = tenant_policy.quota_value();
-        let high_water = engine_policy.high_water_value();
-        if duplicate {
+        if adm.duplicate {
             // Duplicated delivery: a shadow copy of the job runs first and
             // its reply is discarded. Under at-most-once the shadow records
             // into the reply cache and the real job replays from it — one
@@ -820,16 +961,16 @@ impl Engine {
                 op_index,
                 request: request.clone(),
                 rights: rights.clone(),
-                slot: ReplySlot::new(),
-                deadline_ns,
+                slot: Arc::new(Completion::new()),
+                deadline_ns: adm.deadline_ns,
                 tag,
-                tenant,
-                tenant_metrics: Arc::clone(&tenant_metrics),
+                tenant: adm.tenant,
+                tenant_metrics: Arc::clone(&adm.tenant_metrics),
                 close_after: false,
-                enqueue_ns: now,
+                enqueue_ns: adm.now,
                 trace: None,
             };
-            self.push_job(shadow, weight, quota, high_water)?;
+            self.push_job(shadow, adm.weight, adm.quota, adm.high_water, shard)?;
         }
         self.counters.job_enqueued();
         let job = Job {
@@ -838,37 +979,42 @@ impl Engine {
             request,
             rights,
             slot,
-            deadline_ns,
+            deadline_ns: adm.deadline_ns,
             tag,
-            tenant,
-            tenant_metrics,
-            close_after,
-            enqueue_ns: now,
+            tenant: adm.tenant,
+            tenant_metrics: adm.tenant_metrics,
+            close_after: adm.close_after,
+            enqueue_ns: adm.now,
             trace: trace.map(|t| (t.clone(), t.begin_call())),
         };
-        self.push_job(job, weight, quota, high_water)?;
+        self.push_job(job, adm.weight, adm.quota, adm.high_water, shard)?;
         Ok(ticket)
     }
 
-    /// Pushes one job onto its tenant's lane, honoring the tenant quota
-    /// and the engine policy's aggregate high water. A shed is charged to
-    /// the submitting tenant's own counter as well as the engine's.
+    /// Pushes one job onto its tenant's lane on `shard`, honoring the
+    /// tenant quota and the engine policy's aggregate high water. A shed
+    /// is charged to the submitting tenant's own counter as well as the
+    /// engine's. A successful push bumps the submit signal: one wakeup,
+    /// one parked worker.
     fn push_job(
         &self,
         job: Job,
         weight: u32,
         quota: Option<usize>,
         high_water: Option<usize>,
+        shard: usize,
     ) -> Result<(), EngineError> {
         let tenant = job.tenant;
         let tenant_metrics = Arc::clone(&job.tenant_metrics);
+        let queue = &self.shards[shard];
         let pushed = match high_water {
-            Some(hw) => self.queue.try_push(job, tenant, weight, quota, hw),
-            None => self.queue.push(job, tenant, weight, quota),
+            Some(hw) => queue.try_push(job, tenant, weight, quota, hw),
+            None => queue.push(job, tenant, weight, quota),
         };
         match pushed {
             Ok(()) => {
                 tenant_metrics.admitted.inc();
+                self.signal.bump();
                 Ok(())
             }
             Err(WfqRefusal::Quota(_)) | Err(WfqRefusal::Full(_)) => {
@@ -884,9 +1030,149 @@ impl Engine {
         }
     }
 
+    /// A blocking call that may bypass the queue entirely — LRPC-style
+    /// direct dispatch on the caller's thread, straight into the caller's
+    /// reply buffers, no intermediate `Reply` and no worker handoff.
+    ///
+    /// Eligibility is decided *after* the shared admission preamble (so
+    /// breaker, faults, and counters behave identically on both paths):
+    /// the call must have no deadline to enforce mid-dispatch, the shard
+    /// group must be empty (with a backlog, jumping the weighted-fair
+    /// queue would defeat QoS), and the engine must be open. Everything
+    /// else takes the queue path and waits on the ticket.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn call_blocking(
+        &self,
+        pool: &Arc<ReplicaPool>,
+        binding: u64,
+        op_index: usize,
+        request: &[u8],
+        rights: &[u32],
+        deadline_ns: Option<u64>,
+        tag: Option<CallTag>,
+        tenant: TenantId,
+        trace: Option<&SharedCallTrace>,
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+    ) -> flexrpc_runtime::Result<()> {
+        let adm = self.admit(deadline_ns, tag, tenant).map_err(admission_error)?;
+        let shard = self.home_shard(adm.tenant, binding);
+        // Duplicate deliveries must ride the queue: the shadow and the
+        // real call share one FIFO lane there, so the shadow strictly
+        // precedes the real execution and the at-most-once cache sees
+        // exactly one handler run. Inline would race them.
+        if adm.deadline_ns.is_none()
+            && !adm.duplicate
+            && self.group.is_empty()
+            && !self.shards[shard].is_closed()
+        {
+            return self.dispatch_inline(
+                pool, op_index, request, rights, tag, adm, shard, trace, reply, rights_out,
+            );
+        }
+        let ticket = self
+            .finish_enqueue(
+                pool,
+                op_index,
+                request.to_vec(),
+                rights.to_vec(),
+                tag,
+                trace,
+                adm,
+                shard,
+            )
+            .map_err(admission_error)?;
+        let r = ticket.wait_until(deadline_ns)?;
+        // Move, don't copy: the worker's reply body becomes the caller's
+        // buffer (the caller's old allocation rides back into `r` and is
+        // dropped).
+        let mut r = r;
+        std::mem::swap(reply, &mut r.body);
+        rights_out.clear();
+        rights_out.extend_from_slice(&r.rights);
+        Ok(())
+    }
+
+    /// The inline dispatch tail: mirrors every counter, trace span, and
+    /// fault behavior of the worker path, with zero queue dwell.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_inline(
+        &self,
+        pool: &Arc<ReplicaPool>,
+        op_index: usize,
+        request: &[u8],
+        rights: &[u32],
+        tag: Option<CallTag>,
+        adm: Admission,
+        shard: usize,
+        trace: Option<&SharedCallTrace>,
+        reply: &mut Vec<u8>,
+        rights_out: &mut Vec<u32>,
+    ) -> flexrpc_runtime::Result<()> {
+        if adm.duplicate {
+            // The shadow of a duplicated delivery still rides the queue;
+            // under at-most-once either order yields one execution (the
+            // loser replays the winner's cached reply).
+            self.counters.job_enqueued();
+            let shadow = Job {
+                pool: Arc::clone(pool),
+                op_index,
+                request: request.to_vec(),
+                rights: rights.to_vec(),
+                slot: Arc::new(Completion::new()),
+                deadline_ns: adm.deadline_ns,
+                tag,
+                tenant: adm.tenant,
+                tenant_metrics: Arc::clone(&adm.tenant_metrics),
+                close_after: false,
+                enqueue_ns: adm.now,
+                trace: None,
+            };
+            self.push_job(shadow, adm.weight, adm.quota, adm.high_water, shard)
+                .map_err(admission_error)?;
+        }
+        self.counters.job_enqueued();
+        self.counters.inline_calls.inc();
+        let started_ns = self.clock.now_ns();
+        self.dwell_ns.record(0);
+        adm.tenant_metrics.served.inc();
+        adm.tenant_metrics.dwell_ns.record(0);
+        let trace_call = trace.map(|t| (t, t.begin_call()));
+        if let Some((t, call)) = &trace_call {
+            t.record(*call, Stage::Enqueue, started_ns, started_ns, 0);
+        }
+        let mut replica = pool.acquire();
+        reply.clear();
+        rights_out.clear();
+        let result = replica.dispatch_tagged(op_index, request, rights, tag, reply, rights_out);
+        pool.release(replica);
+        if let Some((t, call)) = &trace_call {
+            t.record(*call, Stage::Dispatch, started_ns, self.clock.now_ns(), op_index as u64);
+        }
+        self.counters.job_finished(
+            request.len(),
+            if result.is_ok() { reply.len() } else { 0 },
+            result.is_ok(),
+        );
+        if let Some(b) = &self.breaker {
+            b.record(result.is_ok(), self.clock.now_ns());
+        }
+        if adm.close_after {
+            reply.clear();
+            rights_out.clear();
+            return Err(RpcError::Disconnected("engine connection closed before reply".into()));
+        }
+        if result.is_err() {
+            reply.clear();
+            rights_out.clear();
+        }
+        result
+    }
+
     /// Submits into a specific pool (the acceptor's path). Tenancy rides
     /// the tag when the wire credential carried one; the dwell limit
-    /// still applies even without a caller deadline.
+    /// still applies even without a caller deadline. The shard binding is
+    /// the tag's when present, else the pool's identity.
     pub(crate) fn submit_to_pool(
         &self,
         pool: &Arc<ReplicaPool>,
@@ -895,8 +1181,10 @@ impl Engine {
         rights: &[u32],
         tag: Option<CallTag>,
     ) -> Result<CallTicket, EngineError> {
+        let binding = tag.map_or(Arc::as_ptr(pool) as u64, |t| t.binding);
         self.enqueue(
             pool,
+            binding,
             op_index,
             request.to_vec(),
             rights.to_vec(),
@@ -950,7 +1238,7 @@ impl Engine {
         let snapshot = self.metrics.snapshot();
         EngineStatsSnapshot::from_metrics(
             &snapshot,
-            self.queue.len(),
+            self.group.len(),
             self.workers_n,
             self.cache.stats(),
             self.breaker.as_ref().is_some_and(|b| b.is_open(self.clock.now_ns())),
@@ -962,10 +1250,13 @@ impl Engine {
     /// rather than waiting on work that will never run), let executing
     /// calls finish, join workers. Idempotent; also runs on drop.
     pub fn shutdown(&self) {
-        for job in self.queue.close() {
-            self.counters.job_cancelled();
-            job.slot.fill(Err(RpcError::Cancelled));
+        for shard in &self.shards {
+            for job in shard.close() {
+                self.counters.job_cancelled();
+                job.slot.fill(Err(RpcError::Cancelled));
+            }
         }
+        self.signal.bump_all();
         let mut workers = self.workers.lock();
         for w in workers.drain(..) {
             let _ = w.join();
@@ -1079,10 +1370,12 @@ impl ConnectBuilder {
             }
         }
         self.engine.counters.connections.inc();
+        static NEXT_CONN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Ok(EngineConnection {
             engine: self.engine,
             service: self.service,
             tenant: self.tenant,
+            conn_id: NEXT_CONN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             bind: RwLock::new(Binding { pool, shapes }),
             options: self.options,
             trace,
@@ -1157,6 +1450,10 @@ pub struct EngineConnection {
     engine: Arc<Engine>,
     service: String,
     tenant: TenantId,
+    /// Process-unique connection id: the default shard binding for
+    /// untagged calls, so each connection's traffic has a stable home
+    /// shard.
+    conn_id: u64,
     /// The combination currently bound — swapped live by
     /// [`EngineConnection::rebind`] without draining in-flight calls
     /// (each queued job holds its own `Arc` to the pool it was admitted
@@ -1206,6 +1503,7 @@ impl EngineConnection {
         let pool = Arc::clone(&self.bind.read().pool);
         self.engine.enqueue(
             &pool,
+            self.binding_for(tag),
             op_index,
             request.to_vec(),
             rights.to_vec(),
@@ -1214,6 +1512,13 @@ impl EngineConnection {
             self.tenant,
             self.trace.as_ref(),
         )
+    }
+
+    /// The shard binding for a call: the at-most-once tag's binding when
+    /// present (so a supervisor's resumed session keeps its lane), else
+    /// this connection's own id.
+    fn binding_for(&self, tag: Option<CallTag>) -> u64 {
+        tag.map_or(self.conn_id, |t| t.binding)
     }
 
     /// Re-runs bind-time negotiation **live**: resolves the combination
@@ -1324,16 +1629,24 @@ impl Transport for EngineConnection {
     ) -> flexrpc_runtime::Result<usize> {
         // The call-level deadline (already absolute) wins over the
         // connection-level one; either bounds the queue dwell, the
-        // execution, and the ticket wait.
+        // execution, and the ticket wait. With no deadline and an idle
+        // queue the engine dispatches inline on this thread — no queue,
+        // no worker handoff, the reply marshalled straight into `reply`.
         let deadline_ns = ctl.deadline_ns.or_else(|| self.connection_deadline());
-        let ticket = self
-            .submit_tagged(op.index, request, rights, deadline_ns, ctl.tag)
-            .map_err(admission_error)?;
-        let r = ticket.wait_until(deadline_ns)?;
-        reply.clear();
-        reply.extend_from_slice(&r.body);
-        rights_out.clear();
-        rights_out.extend_from_slice(&r.rights);
+        let pool = Arc::clone(&self.bind.read().pool);
+        self.engine.call_blocking(
+            &pool,
+            self.binding_for(ctl.tag),
+            op.index,
+            request,
+            rights,
+            deadline_ns,
+            ctl.tag,
+            self.tenant,
+            self.trace.as_ref(),
+            reply,
+            rights_out,
+        )?;
         Ok(0)
     }
 

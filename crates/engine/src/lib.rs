@@ -9,21 +9,29 @@
 //!
 //! Pieces:
 //!
-//! * [`queue::BoundedQueue`] — the job queue between acceptors and the
-//!   worker pool: bounded (blocking push = backpressure), MPMC, drained on
-//!   graceful shutdown.
+//! * [`engine::Engine`] — **per-core engine shards** + service registry.
+//!   Each worker owns a shard: its own weighted-fair
+//!   [`WfqQueue`](flexrpc_control::WfqQueue) lane set and its own stats
+//!   cell. Submission hashes `(tenant, binding)` to a home shard; idle
+//!   workers *steal* whole min-tag jobs from the longest peer queue, so a
+//!   hot tenant cannot strand cores while fair order survives. Blocking
+//!   calls with no deadline and no backlog dispatch **inline** on the
+//!   caller's thread (LRPC-style — no handoff at all).
+//! * [`slot::ReplySlot`] — the lock-free one-shot completion slot a
+//!   submitter blocks on: atomic state machine, condvar only on actual
+//!   contention.
 //! * [`cache::ProgramCache`] — compiled programs keyed by *combination
 //!   signature* (wire signature × the two presentation fingerprints × the
 //!   negotiated trust pair × wire format). Each combination compiles once;
 //!   hit/miss counters prove it.
-//! * [`engine::Engine`] — worker pool + service registry. Each combination
-//!   gets a pool of `ServerInterface` *replicas* sharing one compiled
-//!   program and one `Arc`'d application state, so dispatches run in
-//!   parallel despite `&mut self` dispatch.
+//! * [`queue::BoundedQueue`] — the original single bounded MPMC job queue,
+//!   kept as the simple building block (the engine itself now runs on
+//!   sharded `WfqQueue`s).
 //! * [`engine::EngineConnection`] — same-domain client transport with
 //!   multiple outstanding calls ([`engine::EngineConnection::submit`]).
 //! * [`acceptor`] — Sun RPC exposure on the simulated network, including
-//!   pipelined record streams (several XIDs per message), and the matching
+//!   pipelined record streams (several XIDs per message) batched into one
+//!   gather write per flush, and the matching
 //!   [`acceptor::SunRpcPipeline`] client.
 
 pub mod acceptor;
@@ -31,6 +39,7 @@ pub mod breaker;
 pub mod cache;
 pub mod engine;
 pub mod queue;
+pub mod slot;
 pub mod stats;
 
 pub use acceptor::{expose_on_net, SunRpcPipeline};
@@ -41,6 +50,7 @@ pub use engine::{
     Reply,
 };
 pub use flexrpc_control::{ControlPlane, Policy, PolicyHandle, TenantId, TenantMetrics};
+pub use slot::ReplySlot;
 pub use stats::EngineStatsSnapshot;
 
 #[cfg(test)]

@@ -32,6 +32,11 @@ pub struct EngineCounters {
     pub calls_cancelled: Counter,
     /// Calls whose deadline passed before a worker could start them.
     pub deadline_expired: Counter,
+    /// Jobs an idle shard took from a peer shard's queue.
+    pub steals: Counter,
+    /// Blocking calls served inline on the caller's thread (LRPC-style
+    /// direct dispatch — no queue, no worker handoff).
+    pub inline_calls: Counter,
 }
 
 impl EngineCounters {
@@ -47,6 +52,8 @@ impl EngineCounters {
         registry.adopt_counter("engine.shed", &self.calls_shed);
         registry.adopt_counter("engine.cancelled", &self.calls_cancelled);
         registry.adopt_counter("engine.expired", &self.deadline_expired);
+        registry.adopt_counter("engine.steals", &self.steals);
+        registry.adopt_counter("engine.inline_calls", &self.inline_calls);
     }
 
     pub(crate) fn job_enqueued(&self) {
@@ -109,6 +116,10 @@ pub struct EngineStatsSnapshot {
     pub calls_cancelled: u64,
     /// Calls whose deadline passed before a worker started them.
     pub deadline_expired: u64,
+    /// Jobs an idle shard stole from a peer shard.
+    pub steals: u64,
+    /// Blocking calls served inline on the caller's thread.
+    pub inline_calls: u64,
     /// Worker threads serving the queue.
     pub workers: usize,
     /// Program-cache counters.
@@ -150,6 +161,8 @@ impl EngineStatsSnapshot {
             calls_shed: m.counter("engine.shed"),
             calls_cancelled: m.counter("engine.cancelled"),
             deadline_expired: m.counter("engine.expired"),
+            steals: m.counter("engine.steals"),
+            inline_calls: m.counter("engine.inline_calls"),
             workers,
             cache,
             reply_cache: ReplyCacheStats::from_metrics(m),

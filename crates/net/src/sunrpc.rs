@@ -124,11 +124,31 @@ pub fn encode_call_tagged(
     tag: Option<(u64, u64, u64)>,
     parts: &[&[u8]],
 ) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(call_frame_len(tag.is_some(), parts));
+    encode_call_tagged_into(&mut buf, hdr, tag, parts);
+    buf
+}
+
+/// Exact on-wire length of a call frame (record mark included).
+fn call_frame_len(tagged: bool, parts: &[&[u8]]) -> usize {
     let body: usize = parts.iter().map(|p| p.len()).sum();
-    let padded = align_up4(body);
-    let cred_words = if tag.is_some() { CRED_AMO_LEN as usize / 4 } else { 0 };
-    let total = 4 + (CALL_HDR_WORDS + cred_words) * 4 + padded;
-    let mut buf = Vec::with_capacity(total);
+    let cred_words = if tagged { CRED_AMO_LEN as usize / 4 } else { 0 };
+    4 + (CALL_HDR_WORDS + cred_words) * 4 + align_up4(body)
+}
+
+/// Appends one record-marked call frame to `buf`. This is the batching
+/// half of the gather discipline: a pipelining client encodes every
+/// pending XID into one stream with no per-record staging vector, then
+/// hands the whole stream to the transport as a single write.
+pub fn encode_call_tagged_into(
+    buf: &mut Vec<u8>,
+    hdr: CallHeader,
+    tag: Option<(u64, u64, u64)>,
+    parts: &[&[u8]],
+) {
+    let total = call_frame_len(tag.is_some(), parts);
+    let start = buf.len();
+    buf.reserve(total);
     let mark = 0x8000_0000u32 | (total - 4) as u32; // Last-fragment bit set.
     for word in [mark, hdr.xid, CALL, RPC_VERS, hdr.prog, hdr.vers, hdr.proc] {
         buf.extend_from_slice(&word.to_be_bytes());
@@ -148,8 +168,7 @@ pub fn encode_call_tagged(
     for p in parts {
         buf.extend_from_slice(p);
     }
-    buf.resize(total, 0); // Trailing pad to the 4-byte record boundary.
-    buf
+    buf.resize(start + total, 0); // Trailing pad to the 4-byte record boundary.
 }
 
 /// Encodes a reply message: record mark + header + `results`.
@@ -161,9 +180,20 @@ pub fn encode_reply(xid: u32, stat: AcceptStat, results: &[u8]) -> Vec<u8> {
 /// see [`encode_call_gather`] for the single-allocation/no-patch scheme.
 pub fn encode_reply_gather(xid: u32, stat: AcceptStat, parts: &[&[u8]]) -> Vec<u8> {
     let body: usize = parts.iter().map(|p| p.len()).sum();
+    let mut buf = Vec::with_capacity(4 + REPLY_HDR_WORDS * 4 + align_up4(body));
+    encode_reply_gather_into(&mut buf, xid, stat, parts);
+    buf
+}
+
+/// Appends one record-marked reply frame to `buf` — the server-side
+/// batching half: a pipelined acceptor encodes every reply of a batch
+/// into one stream and sends it as a single message.
+pub fn encode_reply_gather_into(buf: &mut Vec<u8>, xid: u32, stat: AcceptStat, parts: &[&[u8]]) {
+    let body: usize = parts.iter().map(|p| p.len()).sum();
     let padded = align_up4(body);
     let total = 4 + REPLY_HDR_WORDS * 4 + padded;
-    let mut buf = Vec::with_capacity(total);
+    let start = buf.len();
+    buf.reserve(total);
     let mark = 0x8000_0000u32 | (total - 4) as u32;
     // MSG_ACCEPTED, then a null verifier, then the accept status.
     for word in [mark, xid, REPLY, 0, 0, 0, stat.code()] {
@@ -172,8 +202,7 @@ pub fn encode_reply_gather(xid: u32, stat: AcceptStat, parts: &[&[u8]]) -> Vec<u
     for p in parts {
         buf.extend_from_slice(p);
     }
-    buf.resize(total, 0);
-    buf
+    buf.resize(start + total, 0);
 }
 
 fn proto_err(why: &str) -> NetError {
@@ -417,6 +446,40 @@ mod tests {
         let reply = encode_reply_gather(1, AcceptStat::Success, &[&[9u8; 5]]);
         assert_eq!(reply.len(), reply.capacity());
         assert_eq!(reply.len(), 4 + 24 + 8);
+    }
+
+    #[test]
+    fn append_encoders_build_a_splittable_stream() {
+        // Batch three calls and two replies into single streams with the
+        // `_into` variants; the result must be byte-identical to the
+        // concatenation of the one-frame encoders, and must split back.
+        let mut calls = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..3u32 {
+            let hdr = CallHeader { xid: 50 + i, prog: 7, vers: 1, proc: i };
+            let tag = (i == 1).then_some((11u64, i as u64, 2u64));
+            let body = vec![i as u8; 5 + i as usize];
+            encode_call_tagged_into(&mut calls, hdr, tag, &[b"hdr", &body]);
+            expect.extend_from_slice(&encode_call_tagged(hdr, tag, &[b"hdr", &body]));
+        }
+        assert_eq!(calls, expect);
+        assert_eq!(split_records(&calls).unwrap().len(), 3);
+
+        let mut replies = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..2u32 {
+            encode_reply_gather_into(&mut replies, 50 + i, AcceptStat::Success, &[&[i as u8; 9]]);
+            expect.extend_from_slice(&encode_reply(50 + i, AcceptStat::Success, &[i as u8; 9]));
+        }
+        assert_eq!(replies, expect);
+        let records = split_records(&replies).unwrap();
+        assert_eq!(records.len(), 2);
+        for (i, rec) in records.iter().enumerate() {
+            let (xid, stat, results) = decode_reply(rec).unwrap();
+            assert_eq!(xid, 50 + i as u32);
+            assert_eq!(stat, AcceptStat::Success);
+            assert_eq!(&results[..9], &[i as u8; 9]);
+        }
     }
 
     #[test]

@@ -15,9 +15,12 @@
 #   BENCH_qos.json      — per-tenant isolation under a 10× noisy-neighbor
 #                         storm and exactly-once execution across a live
 #                         policy swap + combination rebind
+#   BENCH_scale.json    — per-core shard scaling: blocking (inline) and
+#                         pipelined (stealing) throughput per worker count
+#                         against the experiment's recorded floor
 #
 # Run from anywhere inside the repo. Pass --check to also enforce the
-# acceptance gates (fuse, failover, trace, stream, qos).
+# acceptance gates (fuse, failover, trace, stream, qos, scale).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,12 +49,15 @@ cargo run -q --release -p flexrpc-bench --bin report -- stream --json BENCH_stre
 echo "== report qos ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- qos --json BENCH_qos.json "${CHECK[@]}"
 
+echo "== report scale ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- scale --json BENCH_scale.json "${CHECK[@]}"
+
 # Every expected artifact must exist and be non-empty — a figure silently
 # skipped (e.g. by a typo in the selection list above) fails here, loudly,
 # instead of leaving EXPERIMENTS.md citing a stale file.
 missing=0
 for f in BENCH_fuse.json BENCH_serve.json BENCH_failover.json BENCH_trace.json \
-         BENCH_stream.json BENCH_qos.json; do
+         BENCH_stream.json BENCH_qos.json BENCH_scale.json; do
   if [[ ! -s "$f" ]]; then
     echo "ERROR: expected artifact $f is missing or empty" >&2
     missing=1
@@ -61,5 +67,24 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 
+# Self-consistency guard: an artifact that records its own acceptance
+# floor must satisfy it. This fails loudly if a BENCH_scale.json about to
+# be committed regresses the monotone/floor assertion baked into its own
+# rows — a stale or hand-edited artifact can't slip through a skipped
+# --check run.
+awk '
+  /"w8-blocking-calls-per-sec"/ { gsub(/[",]/, ""); cell = $2 }
+  /"floor-calls-per-sec"/       { gsub(/[",]/, ""); floor = $2 }
+  END {
+    if (cell == "" || floor == "") {
+      print "ERROR: BENCH_scale.json is missing its gate rows" > "/dev/stderr"; exit 1
+    }
+    if (cell + 0 < floor + 0) {
+      printf "ERROR: BENCH_scale.json w8 blocking %.0f regresses its own floor %.0f\n", \
+        cell, floor > "/dev/stderr"
+      exit 1
+    }
+  }' BENCH_scale.json
+
 echo "wrote BENCH_fuse.json, BENCH_serve.json, BENCH_failover.json, BENCH_trace.json," \
-     "BENCH_stream.json, and BENCH_qos.json" >&2
+     "BENCH_stream.json, BENCH_qos.json, and BENCH_scale.json" >&2

@@ -47,6 +47,13 @@ cargo run -q --release -p flexrpc-bench --bin report -- stream --check
 echo "== report qos --check ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- qos --check
 
+# The shard-scaling gate: blocking throughput must not regress as workers
+# grow from one to the core count (per-core shards + inline dispatch may
+# not cost what they buy), and the 8-worker same-domain cell must clear
+# the absolute calls/s floor recorded in the experiment.
+echo "== report scale --check ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- scale --check
+
 # The examples are the documented API surface; an API redesign that
 # breaks them must fail here, not in a reader's terminal.
 for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix trace_failover edit_feed; do
