@@ -1,9 +1,10 @@
 //! Prints paper-style result rows for every measured figure.
 //!
-//! Usage: `report [figure...] [--json PATH] [--check]`
+//! Usage: `report [figure...] [--json PATH] [--check] [--seed N]`
 //! where figure ∈ {fig2, fig6, fig7, fig10, fig11, fig12, port, ablate,
-//! serve, shed, fuse, failover, trace, stream, qos}; no
-//! arguments runs everything. `--json` additionally writes the numbers as
+//! serve, shed, fuse, failover, trace, stream, qos, scale, cluster}; no
+//! arguments runs everything. `--seed N` restricts `cluster` to one
+//! seeded schedule (the replay handle `scripts/chaos.sh` prints). `--json` additionally writes the numbers as
 //! JSON (schema 2; used to refresh EXPERIMENTS.md), together with a
 //! snapshot of the metrics registry the experiments populated (counters
 //! and log2 histograms). `--check` exits nonzero if a
@@ -14,11 +15,14 @@
 //! for `stream`: deterministic credit stalls that hit their closed-form
 //! prediction and zero lost or duplicated frames under injected `Close` —
 //! and for `qos`: per-tenant isolation under a 10× noisy-neighbor storm
-//! and exactly-once execution across a live policy swap + rebind).
+//! and exactly-once execution across a live policy swap + rebind —
+//! and for `cluster`: zero lost and zero duplicated non-idempotent
+//! executions across the seed matrix, p99 dwell under the recorded
+//! bound, and a byte-identical deterministic replay).
 
 use flexrpc_bench::{
-    ablate, failover, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, qos, scale,
-    serve, shed, stream, trace,
+    ablate, cluster, failover, fig10, fig11, fig12, fig2, fig6, fig7, fuse, measure_ns, port, qos,
+    scale, serve, shed, stream, trace,
 };
 use flexrpc_core::fuse::SpecializeOptions;
 use flexrpc_kernel::{NameMode, TrustLevel};
@@ -113,7 +117,7 @@ fn main() {
             s.starts_with("fig")
                 || [
                     "port", "ablate", "serve", "shed", "fuse", "failover", "trace", "stream",
-                    "qos", "scale",
+                    "qos", "scale", "cluster",
                 ]
                 .contains(s)
         })
@@ -170,6 +174,14 @@ fn main() {
     }
     if want("scale") {
         run_scale(&mut report, check);
+    }
+    if want("cluster") {
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok());
+        run_cluster(&mut report, check, seed);
     }
 
     let snap = metrics.snapshot();
@@ -1099,4 +1111,107 @@ fn run_shed(report: &mut Report) {
     }
     println!("  (p99 covers admitted calls only: the mark bounds the backlog, so the");
     println!("   tail stays queue-bound even past capacity instead of growing without limit)");
+}
+
+fn run_cluster(report: &mut Report, check: bool, seed_override: Option<u64>) {
+    let mut failures = Vec::new();
+    let cfg = cluster::config();
+    let seeds: Vec<u64> = seed_override.map_or_else(|| (1..=cluster::SEEDS).collect(), |s| vec![s]);
+    println!("\n== Cluster sim: seeded fault schedules over a replicated group ==");
+    println!(
+        "  ({} client hosts, {} replicas sharing one reply cache, {} non-idempotent calls/seed)",
+        cfg.clients, cfg.replicas, cfg.calls
+    );
+    println!(
+        "  {:>6} {:>7} {:>6} {:>7} {:>5} {:>5} {:>5} {:>5} {:>9} {:>9}",
+        "seed", "events", "ok", "failed", "lost", "dup", "supp", "fover", "p50(ns)", "p99(ns)"
+    );
+    let mut runs = Vec::new();
+    for &seed in &seeds {
+        let run = cluster::run_seed(&cfg, seed);
+        println!(
+            "  {:>6} {:>7} {:>6} {:>7} {:>5} {:>5} {:>5} {:>5} {:>9} {:>9}",
+            seed,
+            run.events,
+            run.ok,
+            run.failed,
+            run.lost,
+            run.duplicated,
+            run.suppressions,
+            run.failovers,
+            run.p50_ns,
+            run.p99_ns
+        );
+        report.put("cluster", &format!("seed{seed}-ok"), run.ok as f64);
+        report.put("cluster", &format!("seed{seed}-failed"), run.failed as f64);
+        report.put("cluster", &format!("seed{seed}-lost"), run.lost as f64);
+        report.put("cluster", &format!("seed{seed}-duplicated"), run.duplicated as f64);
+        report.put("cluster", &format!("seed{seed}-p50-ns"), run.p50_ns as f64);
+        report.put("cluster", &format!("seed{seed}-p99-ns"), run.p99_ns as f64);
+        for f in run.invariant_failures() {
+            failures.push(f);
+        }
+        if run.p99_ns > cluster::P99_BOUND_NS {
+            failures.push(format!(
+                "seed {}: p99 {} ns over the recorded {} ns bound",
+                seed,
+                run.p99_ns,
+                cluster::P99_BOUND_NS
+            ));
+        }
+        runs.push(run);
+    }
+    let lost: u64 = runs.iter().map(|r| r.lost).sum();
+    let duplicated: u64 = runs.iter().map(|r| r.duplicated).sum();
+    let suppressions: u64 = runs.iter().map(|r| r.suppressions).sum();
+    let failovers: u64 = runs.iter().map(|r| r.failovers).sum();
+    println!(
+        "  totals: lost {lost}, duplicated {duplicated} (exactly-once held), \
+         {suppressions} replays suppressed by the group cache, {failovers} failovers"
+    );
+    report.put("cluster", "total-lost", lost as f64);
+    report.put("cluster", "total-duplicated", duplicated as f64);
+    report.put("cluster", "total-suppressions", suppressions as f64);
+    report.put("cluster", "total-failovers", failovers as f64);
+    report.put("cluster", "p99-bound-ns", cluster::P99_BOUND_NS as f64);
+
+    // Replay verification: any failing seed replays from scratch so the
+    // report shows whether the failure reproduces; a healthy matrix
+    // replays its first seed to keep the determinism gate honest.
+    let mut to_replay: Vec<&cluster::ClusterRun> =
+        runs.iter().filter(|r| !r.invariant_failures().is_empty()).collect();
+    if to_replay.is_empty() {
+        to_replay.extend(runs.first());
+    }
+    for first in to_replay {
+        let (metrics_equal, trace_identical) = cluster::replay(first);
+        println!(
+            "  replay seed {}: metrics {}, trace {}",
+            first.seed,
+            if metrics_equal { "identical" } else { "DIVERGED" },
+            if trace_identical { "byte-identical" } else { "DIVERGED" }
+        );
+        if !metrics_equal || !trace_identical {
+            failures.push(format!("seed {}: replay diverged — determinism broken", first.seed));
+        }
+        if !first.invariant_failures().is_empty() {
+            println!("  reproduce with: {}", cluster::replay_command(first.seed));
+        }
+        report.put(
+            "cluster",
+            &format!("seed{}-replay-identical", first.seed),
+            (metrics_equal && trace_identical) as u64 as f64,
+        );
+    }
+
+    if check {
+        if failures.is_empty() {
+            println!("  check: ok");
+        } else {
+            for f in &failures {
+                eprintln!("  check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -6,6 +6,7 @@
 //! Keeping the drivers here guarantees the two measure the same code.
 
 pub mod ablate;
+pub mod cluster;
 pub mod failover;
 pub mod fig10;
 pub mod fig11;

@@ -83,6 +83,31 @@ pub enum Fault {
     /// without one it would re-execute. One-shot — the connection
     /// itself stays usable for the next call.
     Close,
+    /// The network partitions between endpoints `a` and `b` (abstract
+    /// endpoint ids — host indices on a simulated net, the conventional
+    /// `(0, 1)` pair on point-to-point transports; [`FaultInjector::ANY`]
+    /// is a wildcard matching every endpoint). The call that consumed the
+    /// fault and every later call between the pair fail as disconnects
+    /// until the sim clock passes `now + heal_after_ns` — the peers are
+    /// alive, only the link between them is gone, so no restart is
+    /// involved. `heal_after_ns == u64::MAX` partitions until
+    /// [`FaultInjector::heal`].
+    Partition {
+        /// One side of the severed link.
+        a: u64,
+        /// The other side.
+        b: u64,
+        /// Sim-time until the link heals, relative to the cut.
+        heal_after_ns: u64,
+    },
+    /// The link degrades: the transport charges `factor`× its normal
+    /// wire/hop time for this call (one-shot; for a degradation *window*
+    /// see [`FaultInjector::set_slow_link`]). The call still completes —
+    /// a slow link loses time, not messages.
+    SlowLink {
+        /// Multiplier on the transport's per-call time charge.
+        factor: u64,
+    },
 }
 
 /// A deterministic per-call fault plan: "on the nth call, do X".
@@ -97,9 +122,21 @@ pub struct FaultInjector {
     /// `restart_at = Some(t)` schedules a restart once the sim clock
     /// passes `t`; `None` means down until [`FaultInjector::restore`].
     down: Mutex<Option<Option<u64>>>,
+    /// Active partitions as `(a, b, heal_at)` — unordered endpoint pairs
+    /// (either id may be [`FaultInjector::ANY`]) severed until the sim
+    /// clock passes `heal_at`. Healed entries are dropped lazily on the
+    /// next pair check.
+    partitions: Mutex<Vec<(u64, u64, u64)>>,
+    /// Link-degradation window: `(factor, until_ns)` — every call before
+    /// `until_ns` charges `factor`× its normal wire time.
+    slow: Mutex<Option<(u64, u64)>>,
 }
 
 impl FaultInjector {
+    /// Wildcard endpoint id for [`Fault::Partition`]: matches any endpoint,
+    /// so `(ANY, h)` isolates `h` from the whole network.
+    pub const ANY: u64 = u64::MAX;
+
     pub fn new() -> FaultInjector {
         FaultInjector::default()
     }
@@ -129,6 +166,17 @@ impl FaultInjector {
     /// a killable peer call this instead of [`FaultInjector::next_call`],
     /// passing the current sim time.
     pub fn next_call_at(&self, now_ns: u64) -> Option<Fault> {
+        self.next_call_between(now_ns, 0, 1)
+    }
+
+    /// Like [`FaultInjector::next_call_at`], but for a call between the
+    /// endpoint pair `(a, b)`: while an active partition covers the pair
+    /// the call fails with that [`Fault::Partition`] (no plan entry is
+    /// consumed — the message never reached the link), and a planned
+    /// partition firing here enters the pair-keyed partition state with
+    /// its heal scheduled at `now_ns + heal_after_ns`. Point-to-point
+    /// transports use the conventional `(0, 1)` pair.
+    pub fn next_call_between(&self, now_ns: u64, a: u64, b: u64) -> Option<Fault> {
         let n = self.calls.fetch_add(1, Ordering::SeqCst);
         {
             let mut down = self.down.lock();
@@ -138,15 +186,86 @@ impl FaultInjector {
                 None => {}
             }
         }
+        if let Some((pa, pb, heal_at)) = self.active_partition(a, b, now_ns) {
+            let heal_after_ns = if heal_at == u64::MAX { u64::MAX } else { heal_at - now_ns };
+            return Some(Fault::Partition { a: pa, b: pb, heal_after_ns });
+        }
         let fault = {
             let mut plan = self.plan.lock();
             let at = plan.iter().position(|(when, _)| *when == n)?;
             plan.swap_remove(at).1
         };
-        if let Fault::Crash { restart_after_ns } = fault {
-            *self.down.lock() = Some(restart_after_ns.map(|d| now_ns + d));
+        match fault {
+            Fault::Crash { restart_after_ns } => {
+                *self.down.lock() = Some(restart_after_ns.map(|d| now_ns + d));
+            }
+            Fault::Partition { a: pa, b: pb, heal_after_ns } => {
+                let heal_at = now_ns.saturating_add(heal_after_ns);
+                self.partition(pa, pb, heal_at);
+                // The cut severs the link mid-call only if this call
+                // crosses the partitioned pair; an unrelated call proceeds.
+                if !pair_matches(pa, pb, a, b) {
+                    return None;
+                }
+            }
+            _ => {}
         }
         Some(fault)
+    }
+
+    /// Enters the partition state directly: the link between `a` and `b`
+    /// (either may be [`FaultInjector::ANY`]) is severed until the sim
+    /// clock passes `heal_at_ns` (absolute; `u64::MAX` = until
+    /// [`FaultInjector::heal`]). Schedule compilers use this to apply
+    /// partition events at absolute sim times without burning plan slots.
+    pub fn partition(&self, a: u64, b: u64, heal_at_ns: u64) {
+        self.partitions.lock().push((a, b, heal_at_ns));
+    }
+
+    /// True while an active partition covers the pair `(a, b)` as of
+    /// `now_ns`. Healed entries are dropped. Does not consume a call.
+    pub fn is_partitioned(&self, a: u64, b: u64, now_ns: u64) -> bool {
+        self.active_partition(a, b, now_ns).is_some()
+    }
+
+    fn active_partition(&self, a: u64, b: u64, now_ns: u64) -> Option<(u64, u64, u64)> {
+        let mut parts = self.partitions.lock();
+        parts.retain(|&(_, _, heal_at)| now_ns < heal_at);
+        parts.iter().copied().find(|&(pa, pb, _)| pair_matches(pa, pb, a, b))
+    }
+
+    /// Heals every partition touching the pair `(a, b)` immediately
+    /// (wildcards match both ways).
+    pub fn heal(&self, a: u64, b: u64) {
+        self.partitions.lock().retain(|&(pa, pb, _)| !pair_matches(pa, pb, a, b));
+    }
+
+    /// Heals every partition immediately (an operator reconnecting the
+    /// fabric, or a restart wave).
+    pub fn heal_all(&self) {
+        self.partitions.lock().clear();
+    }
+
+    /// Degrades the link until the sim clock passes `until_ns`: every call
+    /// in the window charges `factor`× its normal wire time (transports
+    /// read the factor via [`FaultInjector::slow_factor`]). A later window
+    /// replaces the current one.
+    pub fn set_slow_link(&self, factor: u64, until_ns: u64) {
+        *self.slow.lock() = Some((factor.max(1), until_ns));
+    }
+
+    /// The current wire-time multiplier (1 when the link is healthy).
+    /// Expired windows are cleared. Does not consume a call.
+    pub fn slow_factor(&self, now_ns: u64) -> u64 {
+        let mut slow = self.slow.lock();
+        match *slow {
+            Some((factor, until_ns)) if now_ns < until_ns => factor,
+            Some(_) => {
+                *slow = None;
+                1
+            }
+            None => 1,
+        }
     }
 
     /// True while the injector's peer is crashed and has not restarted
@@ -159,6 +278,14 @@ impl FaultInjector {
         }
     }
 
+    /// Enters the crash down-state directly: the peer is down until the
+    /// sim clock passes `restart_at_ns` (absolute; `None` = until
+    /// [`FaultInjector::restore`]). Schedule compilers use this to apply
+    /// crash events at absolute sim times without burning plan slots.
+    pub fn crash(&self, restart_at_ns: Option<u64>) {
+        *self.down.lock() = Some(restart_at_ns);
+    }
+
     /// Clear the crash down-state immediately (an operator restart).
     pub fn restore(&self) {
         *self.down.lock() = None;
@@ -168,6 +295,14 @@ impl FaultInjector {
     pub fn calls_seen(&self) -> u64 {
         self.calls.load(Ordering::SeqCst)
     }
+}
+
+/// True if the stored partition pair `(pa, pb)` covers the call pair
+/// `(a, b)`: pairs are unordered and [`FaultInjector::ANY`] on either
+/// stored side matches any endpoint.
+fn pair_matches(pa: u64, pb: u64, a: u64, b: u64) -> bool {
+    let end_matches = |p: u64, e: u64| p == FaultInjector::ANY || p == e;
+    (end_matches(pa, a) && end_matches(pb, b)) || (end_matches(pa, b) && end_matches(pb, a))
 }
 
 /// SplitMix64: a tiny, high-quality deterministic bit mixer.
@@ -253,5 +388,84 @@ mod tests {
     fn splitmix64_is_a_pure_function() {
         assert_eq!(splitmix64(42), splitmix64(42));
         assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn planned_partition_severs_the_pair_until_heal_time() {
+        let f = FaultInjector::new();
+        f.on_next_call(Fault::Partition { a: 0, b: 1, heal_after_ns: 1_000 });
+        // The cut fires at t=100 and severs the consuming call's link.
+        assert!(matches!(f.next_call_between(100, 0, 1), Some(Fault::Partition { .. })));
+        // Every later call on the pair fails too, without burning plan
+        // entries, until the heal time passes; order is irrelevant.
+        assert!(matches!(f.next_call_between(500, 1, 0), Some(Fault::Partition { .. })));
+        assert!(f.is_partitioned(0, 1, 1_099));
+        // An unrelated pair is unaffected.
+        assert_eq!(f.next_call_between(500, 2, 3), None);
+        // Healed: the link carries calls again.
+        assert!(!f.is_partitioned(0, 1, 1_100));
+        assert_eq!(f.next_call_between(1_100, 0, 1), None);
+    }
+
+    #[test]
+    fn planned_partition_for_another_pair_installs_state_without_failing_the_call() {
+        let f = FaultInjector::new();
+        f.on_next_call(Fault::Partition { a: 5, b: 6, heal_after_ns: 1_000 });
+        // The consuming call crosses (0, 1): it proceeds, but (5, 6) is cut.
+        assert_eq!(f.next_call_between(0, 0, 1), None);
+        assert!(f.is_partitioned(5, 6, 500));
+        assert!(matches!(f.next_call_between(500, 6, 5), Some(Fault::Partition { .. })));
+    }
+
+    #[test]
+    fn wildcard_partition_isolates_one_endpoint_from_everyone() {
+        let f = FaultInjector::new();
+        f.partition(FaultInjector::ANY, 7, 2_000);
+        assert!(f.is_partitioned(0, 7, 0));
+        assert!(f.is_partitioned(7, 123, 0));
+        assert!(!f.is_partitioned(0, 1, 0), "pairs not touching 7 still carry");
+        f.heal(FaultInjector::ANY, 7);
+        assert!(!f.is_partitioned(0, 7, 0));
+    }
+
+    #[test]
+    fn direct_partition_uses_absolute_heal_time_and_heal_all_clears() {
+        let f = FaultInjector::new();
+        f.partition(1, 2, 5_000);
+        f.partition(3, 4, u64::MAX);
+        assert!(f.is_partitioned(1, 2, 4_999));
+        assert!(!f.is_partitioned(1, 2, 5_000), "healed exactly at the heal time");
+        assert!(f.is_partitioned(3, 4, u64::MAX - 1), "MAX heals only by hand");
+        f.heal_all();
+        assert!(!f.is_partitioned(3, 4, 0));
+    }
+
+    #[test]
+    fn crash_dominates_partition() {
+        let f = FaultInjector::new();
+        f.crash(Some(1_000));
+        f.partition(0, 1, u64::MAX);
+        assert!(matches!(f.next_call_between(0, 0, 1), Some(Fault::Crash { .. })));
+        // Restarted but still partitioned.
+        assert!(matches!(f.next_call_between(1_000, 0, 1), Some(Fault::Partition { .. })));
+    }
+
+    #[test]
+    fn slow_link_window_multiplies_until_expiry() {
+        let f = FaultInjector::new();
+        assert_eq!(f.slow_factor(0), 1, "healthy link");
+        f.set_slow_link(8, 1_000);
+        assert_eq!(f.slow_factor(999), 8);
+        assert_eq!(f.slow_factor(1_000), 1, "window expired");
+        assert_eq!(f.slow_factor(0), 1, "expiry cleared the window");
+    }
+
+    #[test]
+    fn planned_slow_link_is_one_shot() {
+        let f = FaultInjector::new();
+        f.on_next_call(Fault::SlowLink { factor: 4 });
+        assert_eq!(f.next_call_at(0), Some(Fault::SlowLink { factor: 4 }));
+        assert_eq!(f.next_call_at(0), None);
+        assert_eq!(f.slow_factor(0), 1, "a one-shot fault opens no window");
     }
 }

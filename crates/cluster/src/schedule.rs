@@ -1,0 +1,121 @@
+//! Seed → fault schedule compilation.
+//!
+//! A schedule is a sorted list of absolute sim-time events — crash
+//! storms, partitions, slow/lossy link windows, lost replies, restart
+//! waves — compiled from a single `u64` seed through the workspace's
+//! [`splitmix64`] mixer. Compilation is a pure function: the same seed
+//! and config always yield the identical event list, which is what makes
+//! every cluster run (and every CI failure) reproducible from one number.
+
+use crate::ClusterConfig;
+use flexrpc_clock::splitmix64;
+
+/// What happens to the fleet at one scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// One replica's host crashes; it restarts `restart_after_ns` later.
+    CrashReplica { replica: usize, restart_after_ns: u64 },
+    /// Every replica crashes at once (a correlated storm — full outage
+    /// until the shared restart passes).
+    CrashStorm { restart_after_ns: u64 },
+    /// One replica is cut off from every client until the heal time.
+    PartitionReplica { replica: usize, heal_after_ns: u64 },
+    /// The fabric degrades: every call charges `factor`× its wire time
+    /// for `duration_ns`.
+    SlowLinkWindow { factor: u64, duration_ns: u64 },
+    /// The next reply leaving `replica` is lost *after* execution — the
+    /// scenario that exercises the cross-server duplicate window.
+    LoseReply { replica: usize },
+    /// The next `count` messages arriving at `replica` are dropped
+    /// before execution (a lossy link, not a dead one).
+    DropBurst { replica: usize, count: u64 },
+    /// Operators restore every crashed replica and reconnect the fabric.
+    RestartWave,
+}
+
+/// One absolute-sim-time event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleEvent {
+    /// When the event fires, in sim nanoseconds from run start.
+    pub at_ns: u64,
+    pub kind: EventKind,
+}
+
+/// A compiled fault schedule: the seed it came from and its events in
+/// firing order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    pub seed: u64,
+    pub events: Vec<ScheduleEvent>,
+}
+
+/// The splitmix64 stream the compiler draws from: each `next()` feeds
+/// the previous output back through the mixer, so the whole stream is a
+/// pure function of the seed.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    /// An inclusive-exclusive draw; `hi` must be > `lo`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+impl Schedule {
+    /// Compiles `seed` into a fault schedule over `cfg`'s time horizon
+    /// (`calls × interarrival_ns`). Deterministic: same seed, same
+    /// config → identical event list.
+    ///
+    /// The mix is weighted toward the single-replica events (crashes,
+    /// partitions, lost replies) that force supervisor failovers, with
+    /// rarer correlated storms, slow-link windows, and drop bursts; a
+    /// restart wave lands in the last quarter of roughly half of all
+    /// schedules, modeling operators cleaning up after the storm.
+    pub fn compile(seed: u64, cfg: &ClusterConfig) -> Schedule {
+        let mut s = Stream(seed);
+        let horizon = (cfg.calls as u64).max(1) * cfg.interarrival_ns.max(1);
+        let replicas = cfg.replicas.max(1) as u64;
+        // 4–12 events per schedule; outage windows are sized to the
+        // horizon so a schedule stays a storm, not a permanent outage.
+        let n = s.range(4, 13);
+        let short = |s: &mut Stream| s.range(horizon / 50, horizon / 10);
+        let mut events = Vec::with_capacity(n as usize + 1);
+        for _ in 0..n {
+            let at_ns = s.next() % (horizon * 3 / 4);
+            let kind = match s.next() % 10 {
+                0..=2 => EventKind::CrashReplica {
+                    replica: (s.next() % replicas) as usize,
+                    restart_after_ns: short(&mut s),
+                },
+                3..=4 => EventKind::PartitionReplica {
+                    replica: (s.next() % replicas) as usize,
+                    heal_after_ns: short(&mut s),
+                },
+                5 => {
+                    EventKind::CrashStorm { restart_after_ns: s.range(horizon / 100, horizon / 25) }
+                }
+                6 => {
+                    EventKind::SlowLinkWindow { factor: s.range(2, 9), duration_ns: short(&mut s) }
+                }
+                7..=8 => EventKind::LoseReply { replica: (s.next() % replicas) as usize },
+                _ => EventKind::DropBurst {
+                    replica: (s.next() % replicas) as usize,
+                    count: s.range(1, 9),
+                },
+            };
+            events.push(ScheduleEvent { at_ns, kind });
+        }
+        if s.next().is_multiple_of(2) {
+            events.push(ScheduleEvent { at_ns: horizon * 3 / 4, kind: EventKind::RestartWave });
+        }
+        // Stable sort: ties keep draw order, so the list stays a pure
+        // function of the seed.
+        events.sort_by_key(|e| e.at_ns);
+        Schedule { seed, events }
+    }
+}

@@ -1,0 +1,89 @@
+//! The cluster simulator's headline property: everything is a pure
+//! function of the seed. Schedule compilation, the full metrics ledger,
+//! and the exported trace bytes must all be identical across independent
+//! runs — that identity is what makes `report cluster`'s replay check
+//! (and every CI failure) reproducible from one number.
+
+use flexrpc_cluster::{run_seed, ClusterConfig, EventKind, Schedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed → byte-for-byte identical schedule; nearby seeds diverge
+    /// (the mixer actually mixes).
+    #[test]
+    fn schedule_compilation_is_deterministic(seed in any::<u64>()) {
+        let cfg = ClusterConfig::small();
+        let a = Schedule::compile(seed, &cfg);
+        let b = Schedule::compile(seed, &cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.events.len() >= 4, "at least four events per schedule");
+        prop_assert!(a.events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let c = Schedule::compile(seed.wrapping_add(1), &cfg);
+        prop_assert_ne!(a.events, c.events);
+    }
+}
+
+proptest! {
+    // Full runs are expensive (a whole fleet each); a few cases over the
+    // small profile exercise the property without owning the test budget.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Same seed → identical `ClusterRun`, trace bytes included, across
+    /// two fully independent fleets.
+    #[test]
+    fn same_seed_replays_byte_identically(seed in 0u64..1_000_000) {
+        let cfg = ClusterConfig::small();
+        let a = run_seed(&cfg, seed);
+        let b = run_seed(&cfg, seed);
+        prop_assert_eq!(a.trace.as_bytes(), b.trace.as_bytes(), "trace ledgers diverged");
+        prop_assert_eq!(a, b, "metrics snapshots diverged");
+    }
+}
+
+/// The exactly-once invariants hold across a deterministic matrix of
+/// seeds on the small profile — the unit-test twin of the acceptance
+/// gate `report cluster --check` runs at full scale.
+#[test]
+fn invariants_hold_across_a_seed_matrix() {
+    let cfg = ClusterConfig::small();
+    for seed in 1..=8u64 {
+        let run = run_seed(&cfg, seed);
+        assert_eq!(
+            run.invariant_failures(),
+            Vec::<String>::new(),
+            "seed {seed}: lost={} duplicated={} ok={}/{}",
+            run.lost,
+            run.duplicated,
+            run.ok,
+            run.calls
+        );
+        assert_eq!(run.ok + run.failed, run.calls, "every call is accounted for");
+        assert!(run.p99_ns >= run.p50_ns, "percentiles are monotone");
+    }
+}
+
+/// At least one seed in a small window actually exercises the duplicate
+/// window (a `LoseReply` fires and the shared cache suppresses the
+/// replay) — the schedules are storms, not no-ops.
+#[test]
+fn some_schedule_exercises_the_duplicate_window() {
+    let cfg = ClusterConfig::small();
+    let mut suppressed = 0u64;
+    let mut failovers = 0u64;
+    for seed in 1..=8u64 {
+        let has_lose_reply = Schedule::compile(seed, &cfg)
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::LoseReply { .. }));
+        let run = run_seed(&cfg, seed);
+        suppressed += run.suppressions;
+        failovers += run.failovers;
+        if has_lose_reply {
+            assert_eq!(run.duplicated, 0, "seed {seed}: lost reply must not double-execute");
+        }
+    }
+    assert!(failovers > 0, "no schedule in 1..=8 forced a failover");
+    assert!(suppressed > 0, "no schedule in 1..=8 exercised the shared reply cache");
+}

@@ -345,6 +345,7 @@ pub struct EngineBuilder {
     clock: Option<Arc<SimClock>>,
     specialize: SpecializeOptions,
     amo_ttl: Option<Duration>,
+    shared_cache: Option<Arc<ReplyCache>>,
     policy: Policy,
     control: Option<Arc<ControlPlane>>,
 }
@@ -357,6 +358,7 @@ impl Default for EngineBuilder {
             clock: None,
             specialize: SpecializeOptions::default(),
             amo_ttl: None,
+            shared_cache: None,
             policy: Policy::new(),
             control: None,
         }
@@ -442,11 +444,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables at-most-once semantics backed by an *existing* reply cache
+    /// — the engine-group membership primitive. Every replica engine
+    /// built with the same cache suppresses duplicates any member of the
+    /// group already executed, which closes the cross-server duplicate
+    /// window per-server caches leave open: a reply lost after execution
+    /// no longer re-executes when the supervisor fails the replay over to
+    /// a different replica. Takes precedence over
+    /// [`EngineBuilder::at_most_once`]; the cache's TTL clock should be
+    /// the same sim clock the group's engines share.
+    pub fn shared_reply_cache(mut self, cache: Arc<ReplyCache>) -> EngineBuilder {
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Starts the engine: spawns one worker per shard, returns the shared
     /// handle.
     pub fn build(self) -> Arc<Engine> {
         let clock = self.clock.unwrap_or_default();
-        let reply_cache = self.amo_ttl.map(|ttl| ReplyCache::new(Arc::clone(&clock), ttl));
+        let reply_cache = self
+            .shared_cache
+            .or_else(|| self.amo_ttl.map(|ttl| ReplyCache::new(Arc::clone(&clock), ttl)));
         let breaker = self.policy.breaker_config().map(|(t, c)| CircuitBreaker::new(t, c));
         let control = self.control.unwrap_or_else(ControlPlane::new);
         // One shard (queue + worker + stats cell) per worker. Every shard
@@ -872,6 +890,15 @@ impl Engine {
             }
             Some(Fault::Close) => close_after = true,
             Some(Fault::Duplicate) => duplicate = true,
+            // Link-level faults are meaningless at admission (the message
+            // already arrived); an engine-plan partition reads as a refused
+            // connection, a slow link as a stalled receive.
+            Some(Fault::Partition { .. }) => {
+                return Err(EngineError::Disconnected("engine link partitioned".into()));
+            }
+            Some(Fault::SlowLink { factor }) => {
+                self.clock.advance_ns(1_000u64.saturating_mul(factor.max(1)));
+            }
         }
         let now = self.clock.now_ns();
         // The tenant's dwell limit overrides the engine default; the

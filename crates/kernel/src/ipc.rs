@@ -29,6 +29,11 @@ use std::sync::Arc;
 /// fbufs or the network. 256 KiB comfortably covers every experiment.
 pub const MAX_BODY: usize = 256 * 1024;
 
+/// Nominal one-hop transfer time charged when a [`flexrpc_clock::Fault::SlowLink`]
+/// fires on an IPC call: kernel IPC has no wire model, so a degraded link
+/// costs `factor` of these stand-in hops.
+pub const SLOW_HOP_NS: u64 = 1_000;
+
 /// A server handler: runs with no kernel locks held and may re-enter the
 /// kernel. Returns the reply message or an application-defined failure code.
 pub type Handler = Box<dyn FnMut(&Kernel, MsgIn<'_>) -> core::result::Result<MsgOut, u32> + Send>;
@@ -279,6 +284,16 @@ impl Kernel {
                 self.clock().advance_ns(ns);
             }
             Some(flexrpc_clock::Fault::Crash { .. }) => return Err(KernelError::ConnectionDead),
+            // A partitioned connection looks like a dead one from the
+            // caller's side, except the server never saw the message.
+            Some(flexrpc_clock::Fault::Partition { .. }) => {
+                return Err(KernelError::ConnectionDead)
+            }
+            Some(flexrpc_clock::Fault::SlowLink { factor }) => {
+                // Degraded transfer: the message still lands, but the copy
+                // costs `factor` nominal hops of sim time.
+                self.clock().advance_ns(SLOW_HOP_NS.saturating_mul(factor.max(1)));
+            }
             Some(flexrpc_clock::Fault::Duplicate | flexrpc_clock::Fault::Close) | None => {}
         }
 

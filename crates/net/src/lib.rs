@@ -66,6 +66,14 @@ pub type Result<T> = core::result::Result<T, NetError>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HostId(usize);
 
+impl HostId {
+    /// The host's index as a raw endpoint id — the currency of pair-keyed
+    /// faults ([`Fault::Partition`], [`FaultInjector::partition`]).
+    pub fn raw(self) -> u64 {
+        self.0 as u64
+    }
+}
+
 /// Link parameters for the wire clock.
 #[derive(Debug, Clone, Copy)]
 pub struct NetConfig {
@@ -132,6 +140,11 @@ struct HostState {
     #[allow(dead_code)] // Diagnostic field, reported by `host_name`.
     name: String,
     service: Option<Service>,
+    /// Per-host fault plan, consulted (after the network-wide plan) for
+    /// every message whose *destination* is this host. A crash here takes
+    /// one host down — the fleet currency — where a crash on the global
+    /// injector takes the whole network down.
+    faults: Arc<FaultInjector>,
 }
 
 /// The simulated network: hosts, services, and the wire clock.
@@ -180,9 +193,21 @@ impl SimNet {
         &self.clock
     }
 
-    /// The fault-injection plan consulted once per [`SimNet::call`].
+    /// The network-wide fault-injection plan, consulted once per
+    /// [`SimNet::call`] / [`SimNet::send`] with the `(from, to)` host pair
+    /// — so pair-keyed [`Fault::Partition`]s and
+    /// [`FaultInjector::set_slow_link`] windows apply here.
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
+    }
+
+    /// The per-host fault plan for `host`, consulted (after the network
+    /// plan) for every message *to* that host. Crashing here takes one
+    /// host down while the rest of the fleet keeps serving — the unit of
+    /// failure a replicated engine group is built against.
+    pub fn host_faults(&self, host: HostId) -> Result<Arc<FaultInjector>> {
+        let hosts = self.hosts.lock();
+        hosts.get(host.0).map(|h| Arc::clone(&h.faults)).ok_or(NetError::NoSuchHost(host))
     }
 
     /// Wire-clock counters.
@@ -194,7 +219,11 @@ impl SimNet {
     pub fn add_host(&self, name: &str) -> HostId {
         let mut hosts = self.hosts.lock();
         let id = HostId(hosts.len());
-        hosts.push(HostState { name: name.to_owned(), service: None });
+        hosts.push(HostState {
+            name: name.to_owned(),
+            service: None,
+            faults: Arc::new(FaultInjector::new()),
+        });
         id
     }
 
@@ -229,14 +258,38 @@ impl SimNet {
         self.stats.service_ns.get()
     }
 
-    fn charge_wire(&self, payload: usize) {
+    /// Charges the wire for `payload` at `scale`× the healthy link's time
+    /// ([`Fault::SlowLink`] and [`FaultInjector::set_slow_link`] windows):
+    /// the same packets and bytes cross, they just take longer.
+    fn charge_wire_scaled(&self, payload: usize, scale: u64) {
         let packets = payload.div_ceil(self.cfg.mtu).max(1) as u64;
-        let ns = packets * self.cfg.per_packet_ns
-            + (payload as u64) * 1_000_000_000 / self.cfg.bandwidth_bps;
+        let ns = (packets * self.cfg.per_packet_ns
+            + (payload as u64) * 1_000_000_000 / self.cfg.bandwidth_bps)
+            .saturating_mul(scale);
         self.wire_ns.fetch_add(ns, Ordering::Relaxed);
         self.clock.advance_ns(ns);
         self.stats.packets.add(packets);
         self.stats.bytes.add(payload as u64);
+    }
+
+    /// Consults the network-wide and destination-host fault plans for one
+    /// message `from → to`: at most one fault applies per call (the
+    /// network plan takes precedence — a message lost on the wire never
+    /// reaches the host's plan), alongside the combined slow-link
+    /// wire-time multiplier from both plans' windows.
+    fn consult_faults(&self, from: HostId, to: HostId) -> Result<(Option<Fault>, u64)> {
+        let host_faults = self.host_faults(to)?;
+        let now = self.clock.now_ns();
+        let (a, b) = (from.raw(), to.raw());
+        let fault = self
+            .faults
+            .next_call_between(now, a, b)
+            .or_else(|| host_faults.next_call_between(now, a, b));
+        let mut scale = self.faults.slow_factor(now).saturating_mul(host_faults.slow_factor(now));
+        if let Some(Fault::SlowLink { factor }) = fault {
+            scale = scale.saturating_mul(factor.max(1));
+        }
+        Ok((fault, scale))
     }
 
     /// Sends `request` from `from` to `to` with no reply channel: the wire
@@ -259,16 +312,20 @@ impl SimNet {
             Arc::clone(h.service.as_ref().ok_or(NetError::NoService(to))?)
         };
         self.stats.messages.inc();
-        let fault = self.faults.next_call_at(self.clock.now_ns());
+        let (fault, scale) = self.consult_faults(from, to)?;
         // The request hits the wire whether or not it arrives.
-        self.charge_wire(request.len());
+        self.charge_wire_scaled(request.len(), scale);
         match fault {
-            Some(Fault::Drop) | Some(Fault::Crash { .. }) => return Ok(()),
+            // A partitioned link loses the datagram as silently as a drop:
+            // the sender has no reply channel to learn either way.
+            Some(Fault::Drop) | Some(Fault::Crash { .. }) | Some(Fault::Partition { .. }) => {
+                return Ok(())
+            }
             Some(Fault::Delay(ns)) => {
                 self.clock.advance_ns(ns);
             }
-            Some(Fault::Duplicate) => self.charge_wire(request.len()),
-            Some(Fault::Close) | None => {}
+            Some(Fault::Duplicate) => self.charge_wire_scaled(request.len(), scale),
+            Some(Fault::SlowLink { .. }) | Some(Fault::Close) | None => {}
         }
         let rx: Vec<u8> = request.to_vec();
         let t0 = std::time::Instant::now();
@@ -305,16 +362,19 @@ impl SimNet {
             }
         }
         self.stats.messages.inc();
-        // Consult the fault plan before the wire: drops lose the message
+        // Consult the fault plans before the wire: drops lose the message
         // after it is charged (it left the client), delays model a stalled
         // link or peer by advancing the sim clock, duplicates model
         // at-least-once delivery by running the handler twice. Crashes kill
         // the server before it executes (and keep it down until its
-        // scheduled sim-time restart); closes lose the stream after the
-        // server executed but before the reply arrives.
-        let fault = self.faults.next_call_at(self.clock.now_ns());
+        // scheduled sim-time restart); partitions sever the (from, to)
+        // link until it heals — both disconnect the binding, but a
+        // partitioned server is alive and keeps serving unsevered pairs.
+        // Closes lose the stream after the server executed but before the
+        // reply arrives; slow links stretch this call's wire time.
+        let (fault, scale) = self.consult_faults(from, to)?;
         // Request hits the wire.
-        self.charge_wire(request.len());
+        self.charge_wire_scaled(request.len(), scale);
         match fault {
             Some(Fault::Drop) => return Err(NetError::Dropped),
             Some(Fault::Delay(ns)) => {
@@ -328,11 +388,20 @@ impl SimNet {
                     self.host_name(to).unwrap_or_else(|_| format!("{to:?}"))
                 )));
             }
+            Some(Fault::Partition { .. }) => {
+                // The link is cut: the request never arrives, the stream
+                // is gone. The server itself is healthy.
+                return Err(NetError::Disconnected(format!(
+                    "link partitioned between {} and {}",
+                    self.host_name(from).unwrap_or_else(|_| format!("{from:?}")),
+                    self.host_name(to).unwrap_or_else(|_| format!("{to:?}"))
+                )));
+            }
             Some(Fault::Duplicate) => {
                 // The retransmitted copy traverses the wire too.
-                self.charge_wire(request.len());
+                self.charge_wire_scaled(request.len(), scale);
             }
-            Some(Fault::Close) | None => {}
+            Some(Fault::SlowLink { .. }) | Some(Fault::Close) | None => {}
         }
         // The far side receives into its own buffer: a real copy, as the
         // receiving protocol stack would perform.
@@ -362,7 +431,7 @@ impl SimNet {
             // never sees it. The reply never reaches the wire.
             return Err(NetError::Disconnected("stream closed before reply".into()));
         }
-        self.charge_wire(reply.len());
+        self.charge_wire_scaled(reply.len(), scale);
         reply_into.clear();
         reply_into.extend_from_slice(&reply);
         Ok(())
@@ -673,6 +742,137 @@ mod tests {
         net.faults().on_next_call(Fault::Duplicate);
         net.send(c, s, b"x").unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 2, "a duplicated one-way message executes twice");
+    }
+
+    #[test]
+    fn partition_severs_one_pair_and_heals_on_sim_time() {
+        let net = SimNet::new();
+        let c1 = net.add_host("c1");
+        let c2 = net.add_host("c2");
+        let s = net.add_host("s");
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.register_service(s, move |req| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(req.to_vec())
+        })
+        .unwrap();
+        net.faults().on_next_call(Fault::Partition {
+            a: c1.raw(),
+            b: s.raw(),
+            heal_after_ns: 40_000_000,
+        });
+        let mut reply = Vec::new();
+        // The cut severs c1↔s: disconnect, nothing executed.
+        let e = net.call(c1, s, b"x", &mut reply).unwrap_err();
+        assert!(matches!(e, NetError::Disconnected(ref w) if w.contains("partition")), "{e}");
+        assert!(matches!(net.call(c1, s, b"x", &mut reply), Err(NetError::Disconnected(_))));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        // c2 is on the other side of the cut: the server is alive.
+        net.call(c2, s, b"y", &mut reply).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Past the heal time the pair carries again.
+        net.clock().advance_ns(50_000_000);
+        net.call(c1, s, b"x", &mut reply).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn wildcard_partition_isolates_a_host_from_every_client() {
+        let net = SimNet::new();
+        let c1 = net.add_host("c1");
+        let c2 = net.add_host("c2");
+        let s = net.add_host("s");
+        net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+        net.faults().partition(FaultInjector::ANY, s.raw(), u64::MAX);
+        let mut reply = Vec::new();
+        assert!(matches!(net.call(c1, s, b"x", &mut reply), Err(NetError::Disconnected(_))));
+        assert!(matches!(net.call(c2, s, b"x", &mut reply), Err(NetError::Disconnected(_))));
+        net.faults().heal_all();
+        net.call(c1, s, b"x", &mut reply).unwrap();
+    }
+
+    #[test]
+    fn host_crash_takes_one_host_down_while_the_fleet_serves() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s1 = net.add_host("replica-1");
+        let s2 = net.add_host("replica-2");
+        net.register_service(s1, |req| Ok(req.to_vec())).unwrap();
+        net.register_service(s2, |req| Ok(req.to_vec())).unwrap();
+        net.host_faults(s1).unwrap().crash(Some(30_000_000));
+        let mut reply = Vec::new();
+        let e = net.call(c, s1, b"x", &mut reply).unwrap_err();
+        assert!(matches!(e, NetError::Disconnected(ref w) if w.contains("replica-1")), "{e}");
+        // The other replica keeps serving.
+        net.call(c, s2, b"x", &mut reply).unwrap();
+        // Past the restart the crashed host is back.
+        net.clock().advance_ns(60_000_000);
+        net.call(c, s1, b"x", &mut reply).unwrap();
+    }
+
+    #[test]
+    fn slow_link_fault_stretches_one_call_wire_time() {
+        let wire_for = |fault: Option<Fault>| {
+            let net = SimNet::new();
+            let c = net.add_host("c");
+            let s = net.add_host("s");
+            net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+            if let Some(f) = fault {
+                net.faults().on_next_call(f);
+            }
+            let mut reply = Vec::new();
+            net.call(c, s, &[0u8; 1000], &mut reply).unwrap();
+            net.wire_ns()
+        };
+        let healthy = wire_for(None);
+        let slowed = wire_for(Some(Fault::SlowLink { factor: 4 }));
+        let server = NetConfig::default().server_ns;
+        assert_eq!(
+            slowed - server,
+            (healthy - server) * 4,
+            "both wire legs charged exactly 4x; the server charge is unscaled"
+        );
+    }
+
+    #[test]
+    fn slow_link_window_scales_calls_until_expiry() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        net.register_service(s, |req| Ok(req.to_vec())).unwrap();
+        let mut reply = Vec::new();
+        net.call(c, s, &[0u8; 1000], &mut reply).unwrap();
+        let healthy = net.wire_ns();
+        net.faults().set_slow_link(3, net.clock().now_ns() + healthy * 10);
+        net.call(c, s, &[0u8; 1000], &mut reply).unwrap();
+        let server = NetConfig::default().server_ns;
+        assert_eq!(net.wire_ns() - healthy - server, (healthy - server) * 3);
+        // Push past the window: back to the healthy charge.
+        net.clock().advance_ns(healthy * 20);
+        let before = net.wire_ns();
+        net.call(c, s, &[0u8; 1000], &mut reply).unwrap();
+        assert_eq!(net.wire_ns() - before, healthy);
+    }
+
+    #[test]
+    fn one_way_send_swallows_partitions() {
+        let net = SimNet::new();
+        let c = net.add_host("c");
+        let s = net.add_host("s");
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        net.register_service(s, move |req| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Ok(req.to_vec())
+        })
+        .unwrap();
+        net.faults().partition(c.raw(), s.raw(), u64::MAX);
+        net.send(c, s, b"x").unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "the datagram died on the severed link");
+        net.faults().heal_all();
+        net.send(c, s, b"x").unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 
     #[test]

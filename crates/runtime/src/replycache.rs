@@ -73,6 +73,12 @@ pub struct ReplyCache {
     entry_gauge: Counter,
 }
 
+impl std::fmt::Debug for ReplyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplyCache").field("ttl_ns", &self.ttl_ns).finish_non_exhaustive()
+    }
+}
+
 impl ReplyCache {
     /// Creates a cache whose entries expire `ttl` after being recorded,
     /// measured on `clock`.

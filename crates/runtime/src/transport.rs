@@ -103,6 +103,12 @@ pub fn trust_to_kernel(t: Trust) -> TrustLevel {
     }
 }
 
+/// Nominal one-hop wire time charged by point-to-point transports when a
+/// [`Fault::SlowLink`] fires: the degraded link costs `factor` of these per
+/// call. (The real packet network scales its actual wire charge instead;
+/// loopback and kernel IPC have no wire model, so they charge this stand-in.)
+pub const SLOW_HOP_NS: u64 = 1_000;
+
 /// Direct in-process dispatch to a shared [`ServerInterface`].
 pub struct Loopback {
     server: Arc<Mutex<ServerInterface>>,
@@ -166,6 +172,17 @@ impl Transport for Loopback {
                 // executes until the injector's scheduled restart passes.
                 return Err(RpcError::Disconnected("loopback server crashed".into()));
             }
+            Some(Fault::Partition { .. }) => {
+                // The link is severed but the server is alive: nothing
+                // executes, and the caller sees a disconnect it can retry
+                // elsewhere.
+                return Err(RpcError::Disconnected("loopback link partitioned".into()));
+            }
+            Some(Fault::SlowLink { factor }) => {
+                // A degraded link: the call still completes, but each hop
+                // costs `factor` nominal hops of sim time.
+                self.clock.advance_ns(SLOW_HOP_NS.saturating_mul(factor.max(1)));
+            }
             Some(Fault::Duplicate | Fault::Close) | None => {}
         }
         if fault == Some(Fault::Duplicate) {
@@ -208,11 +225,16 @@ impl Transport for Loopback {
         }
         let fault = self.faults.next_call_at(self.clock.now_ns());
         match fault {
-            // A one-way message has no reply to miss: drops and crashes
-            // lose it silently, exactly as the datagram would be lost.
-            Some(Fault::Drop) | Some(Fault::Crash { .. }) => return Ok(()),
+            // A one-way message has no reply to miss: drops, crashes, and
+            // partitions lose it silently, exactly as the datagram would be.
+            Some(Fault::Drop) | Some(Fault::Crash { .. }) | Some(Fault::Partition { .. }) => {
+                return Ok(())
+            }
             Some(Fault::Delay(ns)) => {
                 self.clock.advance_ns(ns);
+            }
+            Some(Fault::SlowLink { factor }) => {
+                self.clock.advance_ns(SLOW_HOP_NS.saturating_mul(factor.max(1)));
             }
             Some(Fault::Duplicate | Fault::Close) | None => {}
         }

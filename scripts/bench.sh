@@ -18,9 +18,12 @@
 #   BENCH_scale.json    — per-core shard scaling: blocking (inline) and
 #                         pipelined (stealing) throughput per worker count
 #                         against the experiment's recorded floor
+#   BENCH_cluster.json  — the thousand-host cluster sim: per-seed
+#                         exactly-once tallies and latency percentiles
+#                         across the 16-schedule fault matrix
 #
 # Run from anywhere inside the repo. Pass --check to also enforce the
-# acceptance gates (fuse, failover, trace, stream, qos, scale).
+# acceptance gates (fuse, failover, trace, stream, qos, scale, cluster).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,12 +55,15 @@ cargo run -q --release -p flexrpc-bench --bin report -- qos --json BENCH_qos.jso
 echo "== report scale ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- scale --json BENCH_scale.json "${CHECK[@]}"
 
+echo "== report cluster ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- cluster --json BENCH_cluster.json "${CHECK[@]}"
+
 # Every expected artifact must exist and be non-empty — a figure silently
 # skipped (e.g. by a typo in the selection list above) fails here, loudly,
 # instead of leaving EXPERIMENTS.md citing a stale file.
 missing=0
 for f in BENCH_fuse.json BENCH_serve.json BENCH_failover.json BENCH_trace.json \
-         BENCH_stream.json BENCH_qos.json BENCH_scale.json; do
+         BENCH_stream.json BENCH_qos.json BENCH_scale.json BENCH_cluster.json; do
   if [[ ! -s "$f" ]]; then
     echo "ERROR: expected artifact $f is missing or empty" >&2
     missing=1
@@ -86,5 +92,30 @@ awk '
     }
   }' BENCH_scale.json
 
+# Same guard for the cluster artifact: it records its own exactly-once
+# tallies and p99 bound, so a committed BENCH_cluster.json that shows a
+# lost/duplicated execution or a tail over its own bound fails here even
+# if the --check run was skipped.
+awk '
+  /"total-lost"/       { gsub(/[",]/, ""); lost = $2; seen = 1 }
+  /"total-duplicated"/ { gsub(/[",]/, ""); dup = $2 }
+  /"p99-bound-ns"/     { gsub(/[",]/, ""); bound = $2 }
+  /"seed[0-9]+-p99-ns"/ { gsub(/[",]/, ""); if ($2 + 0 > worst + 0) worst = $2 }
+  END {
+    if (!seen || bound == "") {
+      print "ERROR: BENCH_cluster.json is missing its invariant rows" > "/dev/stderr"; exit 1
+    }
+    if (lost + 0 != 0 || dup + 0 != 0) {
+      printf "ERROR: BENCH_cluster.json records %d lost / %d duplicated executions\n", \
+        lost, dup > "/dev/stderr"
+      exit 1
+    }
+    if (worst + 0 > bound + 0) {
+      printf "ERROR: BENCH_cluster.json worst p99 %.0f ns exceeds its own bound %.0f ns\n", \
+        worst, bound > "/dev/stderr"
+      exit 1
+    }
+  }' BENCH_cluster.json
+
 echo "wrote BENCH_fuse.json, BENCH_serve.json, BENCH_failover.json, BENCH_trace.json," \
-     "BENCH_stream.json, BENCH_qos.json, and BENCH_scale.json" >&2
+     "BENCH_stream.json, BENCH_qos.json, BENCH_scale.json, and BENCH_cluster.json" >&2

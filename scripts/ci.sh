@@ -54,6 +54,13 @@ cargo run -q --release -p flexrpc-bench --bin report -- qos --check
 echo "== report scale --check ==" >&2
 cargo run -q --release -p flexrpc-bench --bin report -- scale --check
 
+# The cluster gate: across the 16-seed fault-schedule matrix (1024 hosts
+# against a 3-replica group sharing one reply cache) no non-idempotent
+# call is lost or duplicated, p99 dwell stays under its recorded bound,
+# and a seed replayed from scratch reproduces byte-identical traces.
+echo "== report cluster --check ==" >&2
+cargo run -q --release -p flexrpc-bench --bin report -- cluster --check
+
 # The examples are the documented API surface; an API redesign that
 # breaks them must fail here, not in a reader's terminal.
 for ex in quickstart codegen_dump nfs_read pipe_throughput trust_matrix trace_failover edit_feed; do

@@ -10,6 +10,7 @@
 //! [`Error`]/[`ErrorKind`] taxonomy.
 
 pub use flexrpc_clock as clock;
+pub use flexrpc_cluster as cluster;
 pub use flexrpc_codegen as codegen;
 pub use flexrpc_control as control;
 pub use flexrpc_core as core;

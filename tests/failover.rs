@@ -395,3 +395,94 @@ fn both_sunrpc_paths_consult_one_injector() {
     );
     engine.shutdown();
 }
+
+/// Runs the cross-server duplicate-window scenario: replica-1 executes a
+/// non-idempotent call and loses the reply stream (`Close`), the
+/// supervisor fails over to replica-2 and replays with the original tag.
+/// Returns (handler executions, mutated total, replayed return value).
+fn lost_reply_fails_over_to_second_replica(share_cache: bool) -> (u64, u64, u32) {
+    let m = counter_module();
+    let pres = presentation(&m);
+    let net = SimNet::new();
+    let client_host = net.add_host("client");
+    let r1 = net.add_host("replica-1");
+    let r2 = net.add_host("replica-2");
+
+    // Both replicas apply ops to the same replicated state machine.
+    let executions = Arc::new(AtomicU64::new(0));
+    let total = Arc::new(AtomicU64::new(0));
+    let shared = flexrpc::runtime::ReplyCache::new(Arc::clone(net.clock()), Duration::from_secs(5));
+    let mut engines = Vec::new();
+    for host in [r1, r2] {
+        let builder = Engine::builder().workers(1).clock(Arc::clone(net.clock()));
+        let builder = if share_cache {
+            builder.shared_reply_cache(Arc::clone(&shared))
+        } else {
+            builder.at_most_once(Duration::from_secs(5))
+        };
+        let engine = builder.build();
+        register_counter(&engine, Arc::clone(&executions), Arc::clone(&total));
+        flexrpc::engine::expose_on_net(
+            &engine,
+            &net,
+            host,
+            "counter",
+            400_777,
+            1,
+            ClientInfo::of(&pres),
+        )
+        .expect("exposes");
+        engines.push(engine);
+    }
+
+    let endpoint = |host| {
+        let net = Arc::clone(&net);
+        move || {
+            let t = SunRpc::new(Arc::clone(&net), client_host, host, 400_777, 1);
+            Ok(ClientStub::new(compiled(&counter_module()), WireFormat::Cdr, Box::new(t)))
+        }
+    };
+    let mut sup = Supervisor::builder()
+        .endpoint(endpoint(r1))
+        .endpoint(endpoint(r2))
+        .connect()
+        .expect("binds");
+    sup.stub_mut().enable_at_most_once();
+
+    // replica-1 executes (and its cache records the tag), then the stream
+    // closes before the reply: the supervisor sees a disconnect and
+    // replays the same tag against replica-2.
+    net.faults().on_next_call(Fault::Close);
+    let mut frame = sup.new_frame("add").expect("frame");
+    frame[0] = Value::U32(9);
+    sup.call_with("add", &mut frame, &CallOptions::default()).expect("failover recovers");
+    assert_eq!(sup.current_endpoint(), 1, "bound to replica-2 after the failover");
+    let value = frame[1].as_u32().expect("return");
+    for engine in engines {
+        engine.shutdown();
+    }
+    (executions.load(Ordering::SeqCst), total.load(Ordering::SeqCst), value)
+}
+
+/// The window itself, pinned: with *per-server* reply caches, a reply
+/// lost after execution plus failover to a different replica re-executes
+/// the non-idempotent call — at-most-once state that lives on one server
+/// cannot suppress a replay arriving at another.
+#[test]
+fn per_server_caches_leave_the_cross_server_duplicate_window_open() {
+    let (executions, total, _) = lost_reply_fails_over_to_second_replica(false);
+    assert_eq!(executions, 2, "the replay re-executed on the second replica");
+    assert_eq!(total, 18, "the non-idempotent mutation was applied twice");
+}
+
+/// Satellite regression: the same scenario with the engines built as a
+/// group around one [`flexrpc::runtime::ReplyCache`]
+/// (`EngineBuilder::shared_reply_cache`) suppresses the replay — the
+/// documented cross-server duplicate window is closed.
+#[test]
+fn shared_group_cache_closes_the_cross_server_duplicate_window() {
+    let (executions, total, value) = lost_reply_fails_over_to_second_replica(true);
+    assert_eq!(executions, 1, "replica-2 answered the replay from the group cache");
+    assert_eq!(total, 9, "the mutation was applied exactly once");
+    assert_eq!(value, 9, "the cached reply is the one the lost stream carried");
+}

@@ -1,0 +1,218 @@
+//! Link faults: `Fault::Partition` and `Fault::SlowLink` on every transport.
+//!
+//! A partition severs the link while both endpoints stay alive — the
+//! caller sees a typed `Disconnected` (retryable elsewhere), nothing
+//! executes, and the link carries again once sim time passes the heal
+//! point. A slow link degrades rather than severs: the call completes
+//! correctly but costs a multiple of the healthy transfer time on the sim
+//! clock. Covered transports: loopback, kernel IPC, and both Sun RPC
+//! paths (single-call `SunRpc` and the batched `SunRpcPipeline`).
+
+use flexrpc::clock::SimClock;
+use flexrpc::kernel::{Kernel, NameMode};
+use flexrpc::net::{NetError, SimNet};
+use flexrpc::prelude::*;
+use flexrpc::runtime::transport::{connect_kernel, serve_on_kernel, serve_on_net, SunRpc};
+use flexrpc::runtime::Transport;
+
+fn echo_module() -> flexrpc::core::ir::Module {
+    corba::parse(
+        "echo",
+        r#"
+        interface Echo {
+            unsigned long ping(in unsigned long x);
+        };
+        "#,
+    )
+    .expect("IDL parses")
+}
+
+fn compiled() -> CompiledInterface {
+    let m = echo_module();
+    let iface = m.interface("Echo").expect("declared");
+    let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    CompiledInterface::compile(&m, iface, &pres).expect("compiles")
+}
+
+fn echo_server() -> Arc<Mutex<ServerInterface>> {
+    let mut srv = ServerInterface::new(compiled(), WireFormat::Cdr);
+    srv.on("ping", |call| {
+        let x = call.u32("x").expect("x");
+        call.set("return", Value::U32(x.wrapping_add(1))).expect("return");
+        0
+    })
+    .expect("registers");
+    Arc::new(Mutex::new(srv))
+}
+
+/// One stub-addressable binding plus the handles a link-fault test needs:
+/// a way to arm the injector the transport consults and the clock whose
+/// passage heals the cut.
+struct World {
+    name: &'static str,
+    stub: ClientStub,
+    arm: Box<dyn Fn(Fault)>,
+    clock: Arc<SimClock>,
+}
+
+fn loopback_world() -> World {
+    let transport = Loopback::new(echo_server());
+    let faults = Arc::clone(transport.faults());
+    let clock = transport.clock().expect("loopback has a clock");
+    let stub = ClientStub::new(compiled(), WireFormat::Cdr, Box::new(transport));
+    World { name: "loopback", stub, arm: Box::new(move |f| faults.on_next_call(f)), clock }
+}
+
+fn kernel_world() -> World {
+    let k = Kernel::new();
+    let client_task = k.create_task("client", 4096).expect("task");
+    let server_task = k.create_task("server", 4096).expect("task");
+    let server = echo_server();
+    let sig = server.lock().compiled().signature.hash();
+    let port =
+        serve_on_kernel(&k, server_task, server, Trust::None, NameMode::Unique).expect("serves");
+    let send = k.extract_send_right(server_task, port, client_task).expect("send right");
+    let transport =
+        connect_kernel(&k, client_task, send, sig, Trust::None, NameMode::Unique).expect("binds");
+    let clock = Arc::clone(k.clock());
+    let stub = ClientStub::new(compiled(), WireFormat::Cdr, Box::new(transport));
+    World { name: "kernel", stub, arm: Box::new(move |f| k.faults().on_next_call(f)), clock }
+}
+
+fn sunrpc_world() -> World {
+    let net = SimNet::new();
+    let ch = net.add_host("client");
+    let sh = net.add_host("server");
+    serve_on_net(&net, sh, echo_server(), 500_001, 1).expect("serves");
+    let transport = SunRpc::new(Arc::clone(&net), ch, sh, 500_001, 1);
+    let clock = Arc::clone(net.clock());
+    let stub = ClientStub::new(compiled(), WireFormat::Cdr, Box::new(transport));
+    World { name: "sunrpc", stub, arm: Box::new(move |f| net.faults().on_next_call(f)), clock }
+}
+
+fn worlds() -> Vec<World> {
+    vec![loopback_world(), kernel_world(), sunrpc_world()]
+}
+
+fn ping(stub: &mut ClientStub, x: u32) -> Result<u32, Error> {
+    let mut frame = stub.new_frame("ping").expect("frame");
+    frame[0] = Value::U32(x);
+    stub.call_with("ping", &mut frame, &CallOptions::default())?;
+    Ok(frame[1].as_u32().expect("return"))
+}
+
+/// A partition is a typed, retryable outage with state: the cut persists
+/// across calls (unlike one-shot drops) and heals itself when sim time
+/// passes the deadline — no operator `restore()` required.
+#[test]
+fn partition_severs_then_heals_on_stub_transports() {
+    for mut w in worlds() {
+        let name = w.name;
+        assert_eq!(ping(&mut w.stub, 1).expect("healthy link"), 2, "on {name}");
+        // The heal window must outlast the wire time the failed attempts
+        // themselves charge (the request leg transmits into the void).
+        (w.arm)(Fault::Partition {
+            a: FaultInjector::ANY,
+            b: FaultInjector::ANY,
+            heal_after_ns: 500_000_000,
+        });
+        for i in 0..2 {
+            let err = match ping(&mut w.stub, 7) {
+                Ok(v) => panic!("on {name}, call {i}: crossed a severed link, got Ok({v})"),
+                Err(e) => e,
+            };
+            assert_eq!(
+                err.kind(),
+                ErrorKind::Disconnected,
+                "on {name}, call {i} during the cut: {err}"
+            );
+        }
+        w.clock.advance_ns(600_000_000);
+        assert_eq!(ping(&mut w.stub, 3).expect("healed link"), 4, "on {name}");
+    }
+}
+
+/// A slow link degrades without severing: the call completes correctly
+/// and the sim clock shows the stretched transfer.
+#[test]
+fn slow_link_degrades_without_severing_on_stub_transports() {
+    for mut w in worlds() {
+        let name = w.name;
+        assert_eq!(ping(&mut w.stub, 1).expect("healthy link"), 2, "on {name}");
+        let healthy_ns = w.clock.now_ns();
+        (w.arm)(Fault::SlowLink { factor: 8 });
+        assert_eq!(ping(&mut w.stub, 5).expect("degraded but alive"), 6, "on {name}");
+        let slowed = w.clock.now_ns() - healthy_ns;
+        assert!(slowed > 0, "on {name}: the slow link charged no sim time");
+        // One-shot: the next call pays the healthy price again.
+        let before = w.clock.now_ns();
+        assert_eq!(ping(&mut w.stub, 9).expect("recovered"), 10, "on {name}");
+        assert!(
+            w.clock.now_ns() - before < slowed,
+            "on {name}: the slowdown leaked past its one call"
+        );
+    }
+}
+
+/// The second Sun RPC path: a batched pipeline against an engine-hosted
+/// acceptor. A partition fails the whole flush typed; after the heal the
+/// resubmitted batch completes; a slow-link window stretches the flush's
+/// wire time by exactly its factor.
+#[test]
+fn pipeline_flush_sees_partitions_and_slow_links() {
+    let engine = Engine::builder().workers(2).build();
+    let m = echo_module();
+    let iface = m.interface("Echo").expect("declared");
+    let pres = InterfacePresentation::default_for(&m, iface).expect("defaults");
+    engine
+        .register_service("echo", m.clone(), "Echo", pres.clone(), WireFormat::Cdr, |srv| {
+            srv.on("ping", |call| {
+                let x = call.u32("x").expect("x");
+                call.set("return", Value::U32(x + 1)).expect("return");
+                0
+            })
+            .expect("registers");
+        })
+        .expect("service registers");
+    let net = SimNet::new();
+    let sh = net.add_host("server");
+    let ch = net.add_host("client");
+    flexrpc::engine::expose_on_net(&engine, &net, sh, "echo", 700, 1, ClientInfo::of(&pres))
+        .expect("exposes");
+    let mut pipe = flexrpc::engine::SunRpcPipeline::new(Arc::clone(&net), ch, sh, 700, 1);
+
+    let args = {
+        let mut w = flexrpc::runtime::wire::AnyWriter::new(WireFormat::Cdr);
+        w.put_u32(41);
+        w.into_bytes()
+    };
+
+    // Healthy flush, and its wire cost as the slow-link baseline.
+    let wire_before = net.wire_ns();
+    pipe.submit(0, &args);
+    let replies = pipe.flush().expect("healthy flush");
+    assert_eq!(replies.len(), 1);
+    let healthy_wire = net.wire_ns() - wire_before;
+
+    // Sever the client↔server pair: the flush dies typed, nothing executes.
+    net.faults().partition(ch.raw(), sh.raw(), net.clock().now_ns() + 500_000_000);
+    pipe.submit(0, &args);
+    let err = pipe.flush().expect_err("flush crossed a severed link");
+    assert!(matches!(err, NetError::Disconnected(_)), "typed outage, got {err}");
+
+    // Sim time heals the cut; the resubmitted batch goes through.
+    net.clock().advance_ns(600_000_000);
+    pipe.submit(0, &args);
+    assert_eq!(pipe.flush().expect("healed").len(), 1);
+
+    // A slow-link window stretches both wire legs of the flush 4x (the
+    // server's own processing time, folded into wire_ns, is unscaled).
+    let server = flexrpc::net::NetConfig::default().server_ns;
+    let wire_before = net.wire_ns();
+    net.faults().set_slow_link(4, net.clock().now_ns() + 1_000_000_000);
+    pipe.submit(0, &args);
+    assert_eq!(pipe.flush().expect("degraded but alive").len(), 1);
+    assert_eq!(net.wire_ns() - wire_before - server, (healthy_wire - server) * 4);
+    net.faults().heal_all();
+    engine.shutdown();
+}
